@@ -1,0 +1,518 @@
+//! `igen-affine`: sound affine arithmetic — the YalAA substitute used for
+//! the dependency-problem comparison of Section VII-C.
+//!
+//! An affine form represents a quantity as
+//!
+//! ```text
+//! x̂ = x₀ + x₁ε₁ + x₂ε₂ + … + xₙεₙ   with εᵢ ∈ [-1, 1]
+//! ```
+//!
+//! where the noise symbols `εᵢ` are *shared between variables*: if `y` was
+//! derived from `x`, they reference the same symbols and the linear
+//! correlation survives. This is what lets affine arithmetic stay accurate
+//! on the Hénon map where plain intervals blow up (Table VI), at the cost
+//! of carrying (and multiplying) whole term lists — the same experiment
+//! shows it running 2–3 orders of magnitude slower than double-double
+//! intervals.
+//!
+//! Soundness: every operation bounds its rounding error with the exact
+//! directed rounding of `igen-round` and *seals* it, together with any
+//! nonlinear remainder, into a fresh noise symbol before returning.
+//!
+//! # Example
+//!
+//! ```
+//! use igen_affine::Aff;
+//! let x = Aff::from_interval(1.0, 2.0);
+//! // x - x is exactly zero in affine arithmetic (same noise symbol) …
+//! let z = x.clone() - x.clone();
+//! let (lo, hi) = z.to_interval();
+//! assert!(lo.abs() < 1e-15 && hi.abs() < 1e-15);
+//! // … while interval arithmetic would give [-1, 1].
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use igen_round as r;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global noise-symbol allocator (fresh symbols never collide).
+static NEXT_SYMBOL: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_symbol() -> u64 {
+    NEXT_SYMBOL.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A sound affine form `x₀ + Σ xᵢ εᵢ + err·ε_new`.
+///
+/// Terms are kept sorted by symbol id so that binary operations can merge
+/// them in linear time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Aff {
+    center: f64,
+    /// `(symbol, coefficient)`, sorted by symbol.
+    terms: Vec<(u64, f64)>,
+    /// Accumulated unsigned error (rounding + nonlinear remainders) not
+    /// yet assigned a symbol. Operations *seal* this into a fresh noise
+    /// symbol before returning (YalAA's AF2-style handling): as a symbol,
+    /// the remainder participates in later linear contractions instead of
+    /// growing monotonically, which is what keeps the Hénon accuracy flat
+    /// in Table VI.
+    err: f64,
+}
+
+/// Promote any pending unsigned error into a fresh noise symbol.
+fn seal(mut a: Aff) -> Aff {
+    if a.err > 0.0 && a.err.is_finite() {
+        a.terms.push((fresh_symbol(), a.err)); // fresh id sorts last
+        a.err = 0.0;
+    }
+    a
+}
+
+impl Aff {
+    /// The exact constant `c`.
+    pub fn constant(c: f64) -> Aff {
+        Aff { center: c, terms: Vec::new(), err: 0.0 }
+    }
+
+    /// A fresh independent variable ranging over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn from_interval(lo: f64, hi: f64) -> Aff {
+        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "invalid range");
+        let center = 0.5 * (lo + hi);
+        // Sound radius: cover both |center-lo| and |hi-center| upward.
+        let rad = r::sub_ru(hi, center).max(r::sub_ru(center, lo)).max(0.0);
+        if rad == 0.0 {
+            return Aff::constant(center);
+        }
+        Aff { center, terms: vec![(fresh_symbol(), rad)], err: 0.0 }
+    }
+
+    /// An exact constant with a ±`tol` tolerance noise term (the
+    /// counterpart of the paper's `0.25t` literals).
+    pub fn with_tol(c: f64, tol: f64) -> Aff {
+        if tol == 0.0 {
+            return Aff::constant(c);
+        }
+        Aff { center: c, terms: vec![(fresh_symbol(), tol.abs())], err: 0.0 }
+    }
+
+    /// The central value.
+    pub fn center(&self) -> f64 {
+        self.center
+    }
+
+    /// Number of live noise terms (grows with operation count unless
+    /// condensed).
+    pub fn term_count(&self) -> usize {
+        self.terms.len() + usize::from(self.err != 0.0)
+    }
+
+    /// Total deviation radius, rounded up.
+    pub fn radius(&self) -> f64 {
+        let mut rad = self.err;
+        for &(_, c) in &self.terms {
+            rad = r::add_ru(rad, c.abs());
+        }
+        rad
+    }
+
+    /// Sound conversion to an interval `(lo, hi)`.
+    pub fn to_interval(&self) -> (f64, f64) {
+        let rad = self.radius();
+        (r::sub_rd(self.center, rad), r::add_ru(self.center, rad))
+    }
+
+    /// Certified bits of the equivalent interval (the evaluation metric).
+    pub fn certified_bits(&self) -> f64 {
+        let (lo, hi) = self.to_interval();
+        if lo.is_nan() || hi.is_nan() || !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return 0.0;
+        }
+        let steps = r::ulps_between(lo, hi);
+        (53.0 - ((steps + 1) as f64).log2()).max(0.0)
+    }
+
+    /// Negation (exact).
+    #[must_use]
+    pub fn neg(&self) -> Aff {
+        Aff {
+            center: -self.center,
+            terms: self.terms.iter().map(|&(s, c)| (s, -c)).collect(),
+            err: self.err,
+        }
+    }
+
+    /// Merge-add of two forms with rounding-error tracking.
+    fn add_impl(&self, other: &Aff, sub: bool) -> Aff {
+        let sign = if sub { -1.0 } else { 1.0 };
+        let center = self.center + sign * other.center;
+        // Rounding error of the center op.
+        let mut err = r::add_ru(self.err, other.err);
+        err = r::add_ru(err, center_err(self.center, sign * other.center, center));
+        let mut terms = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.terms.len() || j < other.terms.len() {
+            let take_left = match (self.terms.get(i), other.terms.get(j)) {
+                (Some(&(sa, _)), Some(&(sb, _))) => {
+                    if sa == sb {
+                        let (s, ca) = self.terms[i];
+                        let cb = sign * other.terms[j].1;
+                        let c = ca + cb;
+                        err = r::add_ru(err, center_err(ca, cb, c));
+                        if c != 0.0 {
+                            terms.push((s, c));
+                        }
+                        i += 1;
+                        j += 1;
+                        continue;
+                    }
+                    sa < sb
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_left {
+                terms.push(self.terms[i]);
+                i += 1;
+            } else {
+                let (s, c) = other.terms[j];
+                terms.push((s, sign * c));
+                j += 1;
+            }
+        }
+        seal(Aff { center, terms, err })
+    }
+
+    /// Multiplication: exact on the linear part in `center`, with the
+    /// quadratic remainder `rad(a)·rad(b)` and all rounding pushed into
+    /// the error term (the standard Stolfi rule).
+    fn mul_impl(&self, other: &Aff) -> Aff {
+        let center = self.center * other.center;
+        let mut err = center_err_mul(self.center, other.center, center);
+        // err += |a0|*err_b + |b0|*err_a + rad_a*rad_b (all upward).
+        let rad_a = self.radius();
+        let rad_b = other.radius();
+        err = r::add_ru(err, r::mul_ru(self.center.abs(), other.err));
+        err = r::add_ru(err, r::mul_ru(other.center.abs(), self.err));
+        err = r::add_ru(err, r::mul_ru(terms_radius(&self.terms), terms_radius(&other.terms)));
+        err = r::add_ru(err, r::mul_ru(terms_radius(&self.terms), other.err));
+        err = r::add_ru(err, r::mul_ru(terms_radius(&other.terms), self.err));
+        let _ = (rad_a, rad_b);
+        let mut terms = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.terms.len() || j < other.terms.len() {
+            match (self.terms.get(i), other.terms.get(j)) {
+                (Some(&(sa, ca)), Some(&(sb, cb))) if sa == sb => {
+                    // a0*cb + b0*ca
+                    let t1 = self.center * cb;
+                    let t2 = other.center * ca;
+                    let c = t1 + t2;
+                    err = r::add_ru(err, center_err_mul(self.center, cb, t1));
+                    err = r::add_ru(err, center_err_mul(other.center, ca, t2));
+                    err = r::add_ru(err, center_err(t1, t2, c));
+                    if c != 0.0 {
+                        terms.push((sa, c));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(sa, ca)), Some(&(sb, _))) if sa < sb => {
+                    let c = other.center * ca;
+                    err = r::add_ru(err, center_err_mul(other.center, ca, c));
+                    if c != 0.0 {
+                        terms.push((sa, c));
+                    }
+                    i += 1;
+                }
+                (Some(_), Some(&(sb, cb))) => {
+                    let c = self.center * cb;
+                    err = r::add_ru(err, center_err_mul(self.center, cb, c));
+                    if c != 0.0 {
+                        terms.push((sb, c));
+                    }
+                    j += 1;
+                }
+                (Some(&(sa, ca)), None) => {
+                    let c = other.center * ca;
+                    err = r::add_ru(err, center_err_mul(other.center, ca, c));
+                    if c != 0.0 {
+                        terms.push((sa, c));
+                    }
+                    i += 1;
+                }
+                (None, Some(&(sb, cb))) => {
+                    let c = self.center * cb;
+                    err = r::add_ru(err, center_err_mul(self.center, cb, c));
+                    if c != 0.0 {
+                        terms.push((sb, c));
+                    }
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        seal(Aff { center, terms, err })
+    }
+
+    /// Sound reciprocal `1/x` via the interval enclosure: correlations to
+    /// the input's noise symbols are dropped (a fresh form is returned),
+    /// which is sound but not minimal — YalAA's min-range approximation
+    /// keeps the linear part; for the paper's benchmarks (no division)
+    /// this simpler rule suffices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the enclosure of `x` contains zero.
+    #[must_use]
+    pub fn recip(&self) -> Aff {
+        let (lo, hi) = self.to_interval();
+        assert!(
+            lo > 0.0 || hi < 0.0,
+            "affine reciprocal of a range containing zero: [{lo}, {hi}]"
+        );
+        let rlo = r::div_rd(1.0, hi);
+        let rhi = r::div_ru(1.0, lo);
+        let (rlo, rhi) = if rlo <= rhi { (rlo, rhi) } else { (rhi, rlo) };
+        Aff::from_interval(rlo, rhi)
+    }
+
+    /// Condenses the smallest terms into one fresh noise symbol — the
+    /// dummy-variable reduction of Kashiwagi (reference 44 of the paper) as
+    /// used by YalAA; keeps
+    /// forms bounded in long iterations at a small accuracy cost (the
+    /// merged symbols lose their identity, so their future correlations
+    /// are over-approximated, but the merged term still contracts with
+    /// subsequent linear operations).
+    #[must_use]
+    pub fn condense(&self, max_terms: usize) -> Aff {
+        if self.terms.len() <= max_terms {
+            return self.clone();
+        }
+        let mut sorted: Vec<(u64, f64)> = self.terms.clone();
+        sorted.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+        let mut err = self.err;
+        for &(_, c) in &sorted[max_terms..] {
+            err = r::add_ru(err, c.abs());
+        }
+        let mut terms: Vec<(u64, f64)> = sorted[..max_terms].to_vec();
+        terms.sort_by_key(|&(s, _)| s);
+        seal(Aff { center: self.center, terms, err })
+    }
+}
+
+fn terms_radius(terms: &[(u64, f64)]) -> f64 {
+    let mut rad = 0.0;
+    for &(_, c) in terms {
+        rad = r::add_ru(rad, c.abs());
+    }
+    rad
+}
+
+/// Upper bound of `|a + b - s|` for `s = RN(a + b)` — the exact rounding
+/// error via TwoSum.
+fn center_err(a: f64, b: f64, s: f64) -> f64 {
+    let _ = s;
+    let (_, e) = r::two_sum(a, b);
+    if e.is_finite() {
+        e.abs()
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Upper bound of `|a*b - p|` for `p = RN(a*b)`.
+fn center_err_mul(a: f64, b: f64, p: f64) -> f64 {
+    if !p.is_finite() {
+        return f64::INFINITY;
+    }
+    let (_, e) = r::two_prod(a, b);
+    if e.is_finite() {
+        // The FMA residual may be inexact in the subnormal range; pad by
+        // one quantum.
+        r::add_ru(e.abs(), f64::from_bits(1))
+    } else {
+        f64::INFINITY
+    }
+}
+
+impl core::ops::Add for Aff {
+    type Output = Aff;
+    fn add(self, rhs: Aff) -> Aff {
+        self.add_impl(&rhs, false)
+    }
+}
+
+impl core::ops::Sub for Aff {
+    type Output = Aff;
+    fn sub(self, rhs: Aff) -> Aff {
+        self.add_impl(&rhs, true)
+    }
+}
+
+impl core::ops::Mul for Aff {
+    type Output = Aff;
+    fn mul(self, rhs: Aff) -> Aff {
+        self.mul_impl(&rhs)
+    }
+}
+
+impl core::ops::Div for Aff {
+    type Output = Aff;
+    /// `x / y = x * recip(y)`; see [`Aff::recip`] for the soundness note.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Aff) -> Aff {
+        let r = rhs.recip();
+        self * r
+    }
+}
+
+impl core::ops::Neg for Aff {
+    type Output = Aff;
+    fn neg(self) -> Aff {
+        Aff::neg(&self)
+    }
+}
+
+impl core::fmt::Display for Aff {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:e}", self.center)?;
+        for &(s, c) in &self.terms {
+            write!(f, " {} {:e}·ε{}", if c < 0.0 { "-" } else { "+" }, c.abs(), s)?;
+        }
+        if self.err != 0.0 {
+            write!(f, " ± {:e}", self.err)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dependency_cancellation() {
+        let x = Aff::from_interval(1.0, 2.0);
+        let z = x.clone() - x.clone();
+        let (lo, hi) = z.to_interval();
+        assert!(lo.abs() < 1e-15 && hi.abs() < 1e-15, "[{lo}, {hi}]");
+        // Independent variables do NOT cancel.
+        let y = Aff::from_interval(1.0, 2.0);
+        let w = x - y;
+        let (lo, hi) = w.to_interval();
+        assert!(lo <= -0.99 && hi >= 0.99);
+    }
+
+    #[test]
+    fn addition_is_sound() {
+        let x = Aff::from_interval(0.1, 0.2);
+        let y = Aff::from_interval(0.3, 0.4);
+        let s = x + y;
+        let (lo, hi) = s.to_interval();
+        assert!(lo <= 0.4 && 0.6 <= hi);
+        assert!(lo >= 0.399 && hi <= 0.601);
+    }
+
+    #[test]
+    fn multiplication_quadratic_remainder() {
+        let x = Aff::from_interval(-1.0, 1.0);
+        let sq = x.clone() * x.clone();
+        let (lo, hi) = sq.to_interval();
+        // Affine mul of x*x gives center 0 and remainder rad^2 = 1:
+        // [-1, 1] (the classical limitation; still sound for [0,1]).
+        assert!(lo <= 0.0 && hi >= 1.0);
+        assert!(hi <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn mul_tracks_linear_correlation() {
+        // (x + 1) * 2 - 2x = 2 exactly.
+        let x = Aff::from_interval(0.0, 10.0);
+        let two = Aff::constant(2.0);
+        let r1 = (x.clone() + Aff::constant(1.0)) * two.clone();
+        let r2 = r1 - x.clone() * two;
+        let (lo, hi) = r2.to_interval();
+        assert!((lo - 2.0).abs() < 1e-12 && (hi - 2.0).abs() < 1e-12, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    fn henon_map_stays_bounded() {
+        // The Section VII-C benchmark: accuracy stays roughly constant.
+        let a = Aff::constant(1.05);
+        let b = Aff::constant(0.3);
+        let mut x = Aff::with_tol(0.0, f64::EPSILON);
+        let mut y = Aff::with_tol(0.0, f64::EPSILON);
+        for _ in 0..170 {
+            let xi = x.clone();
+            x = Aff::constant(1.0) - a.clone() * xi.clone() * xi.clone() + y.clone();
+            y = b.clone() * xi;
+        }
+        let bits = x.certified_bits();
+        // Table VI: affine accuracy stays roughly constant (~44 bits).
+        assert!(bits > 38.0, "affine Henon bits = {bits}");
+    }
+
+    #[test]
+    fn rounding_errors_are_captured() {
+        // 0.1 + 0.2 has a rounding error; the form must contain the true
+        // sum of the two doubles.
+        let s = Aff::constant(0.1) + Aff::constant(0.2);
+        let (lo, hi) = s.to_interval();
+        // True sum of doubles 0.1 + 0.2 lies strictly between lo/hi.
+        let t = igen_dd::Dd::from(0.1) + igen_dd::Dd::from(0.2);
+        assert!(lo <= t.hi() && t.hi() <= hi);
+        assert!(s.term_count() >= 1); // error term present
+    }
+
+    #[test]
+    fn condense_preserves_soundness() {
+        let mut x = Aff::from_interval(0.0, 1.0);
+        for i in 0..50 {
+            x = x + Aff::from_interval(-0.01, 0.01 + i as f64 * 1e-4);
+        }
+        let (lo_full, hi_full) = x.to_interval();
+        let c = x.condense(8);
+        let (lo_c, hi_c) = c.to_interval();
+        // Condensation preserves soundness w.r.t. the represented set;
+        // the outward-rounded endpoints may differ by a few ulps because
+        // the radius is summed in a different order.
+        let slack = 1e-12 * (1.0 + hi_full.abs());
+        assert!(lo_c <= lo_full + slack && hi_full - slack <= hi_c);
+        assert!(c.term_count() <= 9);
+    }
+
+    #[test]
+    fn division_is_sound() {
+        let x = Aff::from_interval(1.0, 2.0);
+        let y = Aff::from_interval(4.0, 5.0);
+        let q = x.clone() / y.clone();
+        let (lo, hi) = q.to_interval();
+        assert!(lo <= 0.2 && 0.5 <= hi, "[{lo}, {hi}]");
+        assert!(lo >= 0.15 && hi <= 0.51, "[{lo}, {hi}]"); // affine mul remainder widens the low side
+        // Negative denominators work.
+        let q = x / Aff::from_interval(-5.0, -4.0);
+        let (lo, hi) = q.to_interval();
+        assert!(lo <= -0.25 && -0.2 <= hi, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    #[should_panic(expected = "containing zero")]
+    fn division_by_zero_range_panics() {
+        let _ = Aff::from_interval(1.0, 2.0) / Aff::from_interval(-1.0, 1.0);
+    }
+
+    #[test]
+    fn display_shows_terms() {
+        let x = Aff::from_interval(1.0, 3.0);
+        let s = format!("{x}");
+        assert!(s.contains("2e0"), "{s}");
+        assert!(s.contains("ε"), "{s}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests: affine forms always enclose point evaluations, and
+//! correlated expressions stay dramatically tighter than interval
+//! arithmetic (the crate's reason to exist, Section VII-C).
+
+use igen_affine::Aff;
+use igen_interval::F64I;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    #[test]
+    fn random_polynomials_enclose_points(
+        coeffs in prop::collection::vec(-2.0f64..2.0, 1..6),
+        lo in -3.0f64..3.0,
+        w in 0.0f64..2.0,
+        t in 0.0f64..1.0,
+    ) {
+        let hi = lo + w;
+        let x_aff = Aff::from_interval(lo, hi);
+        let x_pt = lo + t * w;
+        // Horner in affine and in f64.
+        let mut acc_a = Aff::constant(0.0);
+        let mut acc_f = 0.0f64;
+        for &c in &coeffs {
+            acc_a = acc_a * x_aff.clone() + Aff::constant(c);
+            acc_f = acc_f * x_pt + c;
+        }
+        let (alo, ahi) = acc_a.to_interval();
+        prop_assert!(alo <= acc_f && acc_f <= ahi,
+            "poly({x_pt}) = {acc_f} outside [{alo}, {ahi}]");
+    }
+
+    #[test]
+    fn affine_beats_intervals_on_correlated_chains(n in 1usize..30, lo in -1.0f64..0.0) {
+        // x - x/2 - x/4 - … : perfectly correlated. Affine stays a thin
+        // band; intervals blow up linearly in n.
+        let hi = lo + 1.0;
+        let xa = Aff::from_interval(lo, hi);
+        let xi = F64I::new(lo, hi).unwrap();
+        let mut acc_a = xa.clone();
+        let mut acc_i = xi;
+        for k in 1..=n {
+            let d = 2f64.powi(-(k as i32));
+            acc_a = acc_a - xa.clone() * Aff::constant(d);
+            acc_i = acc_i - xi * F64I::point(d);
+        }
+        let (alo, ahi) = acc_a.to_interval();
+        let aw = ahi - alo;
+        let iw = acc_i.width();
+        prop_assert!(aw <= iw + 1e-12, "affine {aw} vs interval {iw}");
+        if n >= 5 {
+            prop_assert!(aw < iw / 2.0, "affine {aw} not much tighter than {iw} at n={n}");
+        }
+    }
+
+    #[test]
+    fn to_interval_roundtrip_contains(lo in -100.0f64..100.0, w in 0.0f64..10.0, t in 0.0f64..1.0) {
+        let a = Aff::from_interval(lo, lo + w);
+        let (l, h) = a.to_interval();
+        let p = lo + t * w;
+        prop_assert!(l <= p && p <= h);
+    }
+
+    #[test]
+    fn condense_never_loses_points(
+        lo in -1.0f64..1.0,
+        w in 0.0f64..1.0,
+        keep in 1usize..8,
+        t in 0.0f64..1.0,
+    ) {
+        let mut a = Aff::from_interval(lo, lo + w);
+        for k in 0..20 {
+            a = a + Aff::from_interval(-0.01, 0.01 + k as f64 * 1e-4);
+        }
+        let p_min = a.to_interval().0;
+        let p_max = a.to_interval().1;
+        let c = a.condense(keep);
+        let (cl, ch) = c.to_interval();
+        let p = p_min + t * (p_max - p_min);
+        prop_assert!(cl <= p + 1e-9 && p - 1e-9 <= ch);
+    }
+}

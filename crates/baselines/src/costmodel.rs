@@ -1,0 +1,180 @@
+//! **Cost-model types (benchmark-only, NOT sound).**
+//!
+//! The paper's machine performs directed rounding in hardware (one flop
+//! per op once MXCSR is set); this workspace's sound types pay ~5 flops
+//! per directed op in software EFTs. That tax falls on IGen's branch-free
+//! 8-product multiplication four times harder than on the libraries'
+//! 2-product sign-specialized multiplication, which compresses the Fig. 8
+//! performance gap.
+//!
+//! To reproduce the *algorithmic* comparison the paper makes — branch-free
+//! SIMD-friendly dataflow vs. sign-case branches — these types execute
+//! exactly the same instruction mix as the sound types but with plain
+//! round-to-nearest arithmetic standing in for the 1-flop hardware
+//! directed operations. Their numeric results are NOT sound enclosures;
+//! they exist only so the `fig8_costmodel` harness can measure the
+//! dataflow cost on hardware-rounding terms.
+
+/// IGen-style interval cost model: negated-low representation,
+/// branch-free 8-product multiplication (each "directed op" is one flop,
+/// as on hardware with MXCSR set upward).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModelIGenI {
+    neg_lo: f64,
+    hi: f64,
+}
+
+impl ModelIGenI {
+    /// `[x, x]`.
+    pub fn point(x: f64) -> ModelIGenI {
+        ModelIGenI { neg_lo: -x, hi: x }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        -self.neg_lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl core::ops::Add for ModelIGenI {
+    type Output = ModelIGenI;
+    #[inline]
+    fn add(self, rhs: ModelIGenI) -> ModelIGenI {
+        ModelIGenI { neg_lo: self.neg_lo + rhs.neg_lo, hi: self.hi + rhs.hi }
+    }
+}
+
+impl core::ops::Sub for ModelIGenI {
+    type Output = ModelIGenI;
+    #[inline]
+    fn sub(self, rhs: ModelIGenI) -> ModelIGenI {
+        ModelIGenI { neg_lo: self.neg_lo + rhs.hi, hi: self.hi + rhs.neg_lo }
+    }
+}
+
+impl core::ops::Mul for ModelIGenI {
+    type Output = ModelIGenI;
+    /// Eight multiplications + six max selections, branch-free — the
+    /// paper's interval multiplication with hardware-cost directed ops.
+    #[inline]
+    fn mul(self, rhs: ModelIGenI) -> ModelIGenI {
+        let (na, ah) = (self.neg_lo, self.hi);
+        let (nb, bh) = (rhs.neg_lo, rhs.hi);
+        let u1 = na * nb;
+        let u2 = -na * bh;
+        let u3 = ah * -nb;
+        let u4 = ah * bh;
+        let l1 = -na * nb;
+        let l2 = na * bh;
+        let l3 = ah * nb;
+        let l4 = -ah * bh;
+        ModelIGenI {
+            neg_lo: l1.max(l2).max(l3.max(l4)),
+            hi: u1.max(u2).max(u3.max(u4)),
+        }
+    }
+}
+
+/// Library-style interval cost model: `(lo, hi)` pair with the classical
+/// nine-case sign dispatch (two multiplications on most paths) — Boost's
+/// dataflow with hardware-cost directed ops.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModelLibI {
+    lo: f64,
+    hi: f64,
+}
+
+impl ModelLibI {
+    /// `[x, x]`.
+    pub fn point(x: f64) -> ModelLibI {
+        ModelLibI { lo: x, hi: x }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl core::ops::Add for ModelLibI {
+    type Output = ModelLibI;
+    #[inline]
+    fn add(self, rhs: ModelLibI) -> ModelLibI {
+        ModelLibI { lo: self.lo + rhs.lo, hi: self.hi + rhs.hi }
+    }
+}
+
+impl core::ops::Sub for ModelLibI {
+    type Output = ModelLibI;
+    #[inline]
+    fn sub(self, rhs: ModelLibI) -> ModelLibI {
+        ModelLibI { lo: self.lo - rhs.hi, hi: self.hi - rhs.lo }
+    }
+}
+
+impl core::ops::Mul for ModelLibI {
+    type Output = ModelLibI;
+    /// Nine-case sign-specialized multiplication: data-dependent branches
+    /// (the paper: "this seems to make them particularly sensitive to
+    /// branch misprediction").
+    fn mul(self, rhs: ModelLibI) -> ModelLibI {
+        let (al, ah) = (self.lo, self.hi);
+        let (bl, bh) = (rhs.lo, rhs.hi);
+        if ah <= 0.0 {
+            if bh <= 0.0 {
+                ModelLibI { lo: ah * bh, hi: al * bl }
+            } else if bl >= 0.0 {
+                ModelLibI { lo: al * bh, hi: ah * bl }
+            } else {
+                ModelLibI { lo: al * bh, hi: al * bl }
+            }
+        } else if al >= 0.0 {
+            if bh <= 0.0 {
+                ModelLibI { lo: ah * bl, hi: al * bh }
+            } else if bl >= 0.0 {
+                ModelLibI { lo: al * bl, hi: ah * bh }
+            } else {
+                ModelLibI { lo: ah * bl, hi: ah * bh }
+            }
+        } else if bh <= 0.0 {
+            ModelLibI { lo: ah * bl, hi: al * bl }
+        } else if bl >= 0.0 {
+            ModelLibI { lo: al * bh, hi: ah * bh }
+        } else {
+            ModelLibI {
+                lo: (al * bh).min(ah * bl),
+                hi: (al * bl).max(ah * bh),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_endpoints_agree_when_exact() {
+        // On exactly representable data (no rounding), both models and the
+        // sound type coincide.
+        let cases = [(2.0, 3.0, -5.0, 4.0), (-3.0, -2.0, 4.0, 5.0), (0.5, 2.0, -1.0, 1.0)];
+        for (al, ah, bl, bh) in cases {
+            let g = ModelIGenI { neg_lo: -al, hi: ah } * ModelIGenI { neg_lo: -bl, hi: bh };
+            let l = ModelLibI { lo: al, hi: ah } * ModelLibI { lo: bl, hi: bh };
+            let sound = igen_interval::F64I::new(al, ah).unwrap()
+                * igen_interval::F64I::new(bl, bh).unwrap();
+            assert_eq!((g.lo(), g.hi()), (sound.lo(), sound.hi()), "igen model");
+            assert_eq!((l.lo(), l.hi()), (sound.lo(), sound.hi()), "lib model");
+        }
+    }
+}

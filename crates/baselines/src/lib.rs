@@ -1,0 +1,506 @@
+//! `igen-baselines`: re-implementations of the three interval libraries
+//! the paper benchmarks against — Boost.Interval, Filib++ and Gaol
+//! (Section VII, Fig. 8).
+//!
+//! Each baseline reproduces the *performance-relevant algorithmic style*
+//! of the original library rather than its full API:
+//!
+//! * [`BoostI`] — plain `(lo, hi)` pair; multiplication and division use
+//!   the classical **nine-case sign specialization** (branchy — the paper
+//!   identifies exactly this as the source of the libraries' sensitivity
+//!   to branch misprediction).
+//! * [`FilibI`] — `(lo, hi)` pair with Filib++'s containment-set
+//!   conventions (empty/entire handling and explicit special-case tests
+//!   on every operation) and the same case-split multiplication.
+//! * [`GaolI`] — Gaol's negated-lower SSE-pair representation (the same
+//!   trick IGen uses), but every operation is `#[inline(never)]`: Gaol
+//!   ships precompiled, so the compiler cannot inline its operations into
+//!   the caller — the paper names this as the likely cause of its lower
+//!   performance.
+//!
+//! All three are *sound*: they use the same exact software directed
+//! rounding substrate (`igen-round`) as IGen itself, so every comparison
+//! in the benchmarks is apples-to-apples on rounding cost and differs
+//! only in the algorithmic structure.
+
+#![forbid(unsafe_code)]
+// `debug_assert!(!(lo > hi))` below is deliberate: unlike `lo <= hi` it
+// admits NaN endpoints (empty/invalid intervals propagate, not panic).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod costmodel;
+
+use igen_round as r;
+
+/// Boost.Interval-style interval: `(lo, hi)` pair, sign-case-split
+/// multiplication and division.
+///
+/// # Example
+///
+/// ```
+/// use igen_baselines::BoostI;
+/// let x = BoostI::point(0.1);
+/// let y = x * x;
+/// assert!(y.lo() <= 0.1 * 0.1 && 0.1 * 0.1 <= y.hi());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BoostI {
+    lo: f64,
+    hi: f64,
+}
+
+impl BoostI {
+    /// `[x, x]`.
+    pub fn point(x: f64) -> BoostI {
+        BoostI { lo: x, hi: x }
+    }
+
+    /// `[lo, hi]` (caller guarantees order).
+    pub fn new(lo: f64, hi: f64) -> BoostI {
+        debug_assert!(!(lo > hi), "inverted interval");
+        BoostI { lo, hi }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Certified bits (same metric as `igen-interval`).
+    pub fn certified_bits(&self) -> f64 {
+        igen_interval_accuracy(self.lo, self.hi)
+    }
+
+    /// Interval square root (endpoint-monotonic).
+    #[must_use]
+    pub fn sqrt(&self) -> BoostI {
+        BoostI { lo: r::sqrt_rd(self.lo), hi: r::sqrt_ru(self.hi) }
+    }
+
+    /// Interval maximum against zero (ReLU in the ffnn benchmark).
+    #[must_use]
+    pub fn max_zero(&self) -> BoostI {
+        BoostI { lo: self.lo.max(0.0), hi: self.hi.max(0.0) }
+    }
+}
+
+fn igen_interval_accuracy(lo: f64, hi: f64) -> f64 {
+    if lo.is_nan() || hi.is_nan() || !lo.is_finite() || !hi.is_finite() || lo > hi {
+        return 0.0;
+    }
+    let steps = r::ulps_between(lo, hi);
+    (53.0 - ((steps + 1) as f64).log2()).max(0.0)
+}
+
+impl core::ops::Add for BoostI {
+    type Output = BoostI;
+    #[inline]
+    fn add(self, rhs: BoostI) -> BoostI {
+        BoostI { lo: r::add_rd(self.lo, rhs.lo), hi: r::add_ru(self.hi, rhs.hi) }
+    }
+}
+
+impl core::ops::Sub for BoostI {
+    type Output = BoostI;
+    #[inline]
+    fn sub(self, rhs: BoostI) -> BoostI {
+        BoostI { lo: r::sub_rd(self.lo, rhs.hi), hi: r::sub_ru(self.hi, rhs.lo) }
+    }
+}
+
+impl core::ops::Neg for BoostI {
+    type Output = BoostI;
+    #[inline]
+    fn neg(self) -> BoostI {
+        BoostI { lo: -self.hi, hi: -self.lo }
+    }
+}
+
+impl core::ops::Mul for BoostI {
+    type Output = BoostI;
+    /// The classical nine-case multiplication of Boost.Interval: dispatch
+    /// on the sign classes (negative / mixed / positive) of both operands.
+    /// Two multiplications in most cases — fewer flops than IGen's
+    /// branch-free version but data-dependent branches.
+    fn mul(self, rhs: BoostI) -> BoostI {
+        let (al, ah) = (self.lo, self.hi);
+        let (bl, bh) = (rhs.lo, rhs.hi);
+        if ah <= 0.0 {
+            // a <= 0
+            if bh <= 0.0 {
+                BoostI { lo: r::mul_rd(ah, bh), hi: r::mul_ru(al, bl) }
+            } else if bl >= 0.0 {
+                BoostI { lo: r::mul_rd(al, bh), hi: r::mul_ru(ah, bl) }
+            } else {
+                BoostI { lo: r::mul_rd(al, bh), hi: r::mul_ru(al, bl) }
+            }
+        } else if al >= 0.0 {
+            // a >= 0
+            if bh <= 0.0 {
+                BoostI { lo: r::mul_rd(ah, bl), hi: r::mul_ru(al, bh) }
+            } else if bl >= 0.0 {
+                BoostI { lo: r::mul_rd(al, bl), hi: r::mul_ru(ah, bh) }
+            } else {
+                BoostI { lo: r::mul_rd(ah, bl), hi: r::mul_ru(ah, bh) }
+            }
+        } else {
+            // a mixed
+            if bh <= 0.0 {
+                BoostI { lo: r::mul_rd(ah, bl), hi: r::mul_ru(al, bl) }
+            } else if bl >= 0.0 {
+                BoostI { lo: r::mul_rd(al, bh), hi: r::mul_ru(ah, bh) }
+            } else {
+                // both mixed: two candidates per side
+                let lo = r::mul_rd(al, bh).min(r::mul_rd(ah, bl));
+                let hi = r::mul_ru(al, bl).max(r::mul_ru(ah, bh));
+                BoostI { lo, hi }
+            }
+        }
+    }
+}
+
+impl core::ops::Div for BoostI {
+    type Output = BoostI;
+    /// Sign-case division; divisors containing zero give the entire line.
+    fn div(self, rhs: BoostI) -> BoostI {
+        let (al, ah) = (self.lo, self.hi);
+        let (bl, bh) = (rhs.lo, rhs.hi);
+        if bl <= 0.0 && bh >= 0.0 {
+            return BoostI { lo: f64::NEG_INFINITY, hi: f64::INFINITY };
+        }
+        if bl > 0.0 {
+            if al >= 0.0 {
+                BoostI { lo: r::div_rd(al, bh), hi: r::div_ru(ah, bl) }
+            } else if ah <= 0.0 {
+                BoostI { lo: r::div_rd(al, bl), hi: r::div_ru(ah, bh) }
+            } else {
+                BoostI { lo: r::div_rd(al, bl), hi: r::div_ru(ah, bl) }
+            }
+        } else {
+            // b < 0
+            if al >= 0.0 {
+                BoostI { lo: r::div_rd(ah, bh), hi: r::div_ru(al, bl) }
+            } else if ah <= 0.0 {
+                BoostI { lo: r::div_rd(ah, bl), hi: r::div_ru(al, bh) }
+            } else {
+                BoostI { lo: r::div_rd(ah, bh), hi: r::div_ru(al, bh) }
+            }
+        }
+    }
+}
+
+/// Filib++-style interval: containment-set conventions with explicit
+/// special-value screening on every operation, plus the same case-split
+/// arithmetic core.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FilibI {
+    lo: f64,
+    hi: f64,
+}
+
+impl FilibI {
+    /// `[x, x]`.
+    pub fn point(x: f64) -> FilibI {
+        FilibI { lo: x, hi: x }
+    }
+
+    /// `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64) -> FilibI {
+        debug_assert!(!(lo > hi));
+        FilibI { lo, hi }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// The empty containment set (Filib++'s representation).
+    pub fn empty() -> FilibI {
+        FilibI { lo: f64::NAN, hi: f64::NAN }
+    }
+
+    /// True for the empty containment set.
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_nan() || self.hi.is_nan()
+    }
+
+    /// True for the entire line.
+    pub fn is_entire(&self) -> bool {
+        self.lo == f64::NEG_INFINITY && self.hi == f64::INFINITY
+    }
+
+    /// Certified bits (same metric as `igen-interval`).
+    pub fn certified_bits(&self) -> f64 {
+        igen_interval_accuracy(self.lo, self.hi)
+    }
+
+    /// Interval square root.
+    #[must_use]
+    pub fn sqrt(&self) -> FilibI {
+        if self.is_empty() {
+            return FilibI::empty();
+        }
+        FilibI { lo: r::sqrt_rd(self.lo.max(0.0)), hi: r::sqrt_ru(self.hi) }
+    }
+
+    /// ReLU helper.
+    #[must_use]
+    pub fn max_zero(&self) -> FilibI {
+        if self.is_empty() {
+            return FilibI::empty();
+        }
+        FilibI { lo: self.lo.max(0.0), hi: self.hi.max(0.0) }
+    }
+}
+
+impl core::ops::Add for FilibI {
+    type Output = FilibI;
+    #[inline]
+    fn add(self, rhs: FilibI) -> FilibI {
+        // Filib++ screens specials before arithmetic (containment sets).
+        if self.is_empty() || rhs.is_empty() {
+            return FilibI::empty();
+        }
+        if self.is_entire() || rhs.is_entire() {
+            return FilibI { lo: f64::NEG_INFINITY, hi: f64::INFINITY };
+        }
+        FilibI { lo: r::add_rd(self.lo, rhs.lo), hi: r::add_ru(self.hi, rhs.hi) }
+    }
+}
+
+impl core::ops::Sub for FilibI {
+    type Output = FilibI;
+    #[inline]
+    fn sub(self, rhs: FilibI) -> FilibI {
+        if self.is_empty() || rhs.is_empty() {
+            return FilibI::empty();
+        }
+        FilibI { lo: r::sub_rd(self.lo, rhs.hi), hi: r::sub_ru(self.hi, rhs.lo) }
+    }
+}
+
+impl core::ops::Neg for FilibI {
+    type Output = FilibI;
+    #[inline]
+    fn neg(self) -> FilibI {
+        FilibI { lo: -self.hi, hi: -self.lo }
+    }
+}
+
+impl core::ops::Mul for FilibI {
+    type Output = FilibI;
+    fn mul(self, rhs: FilibI) -> FilibI {
+        if self.is_empty() || rhs.is_empty() {
+            return FilibI::empty();
+        }
+        let b = BoostI::new(self.lo, self.hi) * BoostI::new(rhs.lo, rhs.hi);
+        FilibI { lo: b.lo, hi: b.hi }
+    }
+}
+
+impl core::ops::Div for FilibI {
+    type Output = FilibI;
+    fn div(self, rhs: FilibI) -> FilibI {
+        if self.is_empty() || rhs.is_empty() {
+            return FilibI::empty();
+        }
+        let b = BoostI::new(self.lo, self.hi) / BoostI::new(rhs.lo, rhs.hi);
+        FilibI { lo: b.lo, hi: b.hi }
+    }
+}
+
+/// Gaol-style interval: the same negated-lower trick as IGen (Gaol stores
+/// intervals in SSE registers), but **precompiled** — every operation is
+/// `#[inline(never)]`, modeling the call-boundary the paper blames for
+/// Gaol's lower performance, and multiplication keeps Gaol's sign tests.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GaolI {
+    neg_lo: f64,
+    hi: f64,
+}
+
+impl GaolI {
+    /// `[x, x]`.
+    pub fn point(x: f64) -> GaolI {
+        GaolI { neg_lo: -x, hi: x }
+    }
+
+    /// `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64) -> GaolI {
+        debug_assert!(!(lo > hi));
+        GaolI { neg_lo: -lo, hi }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        -self.neg_lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Certified bits (same metric as `igen-interval`).
+    pub fn certified_bits(&self) -> f64 {
+        igen_interval_accuracy(self.lo(), self.hi)
+    }
+
+    /// Interval square root.
+    #[inline(never)]
+    #[must_use]
+    pub fn sqrt(&self) -> GaolI {
+        GaolI { neg_lo: -r::sqrt_rd(self.lo()), hi: r::sqrt_ru(self.hi) }
+    }
+
+    /// ReLU helper.
+    #[inline(never)]
+    #[must_use]
+    pub fn max_zero(&self) -> GaolI {
+        GaolI { neg_lo: self.neg_lo.min(0.0), hi: self.hi.max(0.0) }
+    }
+}
+
+impl core::ops::Add for GaolI {
+    type Output = GaolI;
+    #[inline(never)]
+    fn add(self, rhs: GaolI) -> GaolI {
+        GaolI {
+            neg_lo: r::add_ru(self.neg_lo, rhs.neg_lo),
+            hi: r::add_ru(self.hi, rhs.hi),
+        }
+    }
+}
+
+impl core::ops::Sub for GaolI {
+    type Output = GaolI;
+    #[inline(never)]
+    fn sub(self, rhs: GaolI) -> GaolI {
+        GaolI {
+            neg_lo: r::add_ru(self.neg_lo, rhs.hi),
+            hi: r::add_ru(self.hi, rhs.neg_lo),
+        }
+    }
+}
+
+impl core::ops::Neg for GaolI {
+    type Output = GaolI;
+    #[inline(never)]
+    fn neg(self) -> GaolI {
+        GaolI { neg_lo: self.hi, hi: self.neg_lo }
+    }
+}
+
+impl core::ops::Mul for GaolI {
+    type Output = GaolI;
+    #[inline(never)]
+    fn mul(self, rhs: GaolI) -> GaolI {
+        // Gaol specializes on signs too (certainlyPositive tests).
+        let b = BoostI::new(self.lo(), self.hi) * BoostI::new(rhs.lo(), rhs.hi);
+        GaolI { neg_lo: -b.lo, hi: b.hi }
+    }
+}
+
+impl core::ops::Div for GaolI {
+    type Output = GaolI;
+    #[inline(never)]
+    fn div(self, rhs: GaolI) -> GaolI {
+        let b = BoostI::new(self.lo(), self.hi) / BoostI::new(rhs.lo(), rhs.hi);
+        GaolI { neg_lo: -b.lo, hi: b.hi }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cases() -> Vec<(f64, f64, f64, f64)> {
+        vec![
+            (2.0, 3.0, 4.0, 5.0),
+            (-3.0, -2.0, 4.0, 5.0),
+            (-2.0, 3.0, 4.0, 5.0),
+            (-2.0, 3.0, -5.0, 4.0),
+            (-3.0, -2.0, -5.0, -4.0),
+            (0.0, 2.0, -1.0, 1.0),
+            (0.1, 0.2, -0.3, 0.4),
+        ]
+    }
+
+    #[test]
+    fn all_baselines_agree_with_igen_on_mul() {
+        use igen_interval::F64I;
+        for (al, ah, bl, bh) in cases() {
+            let want = F64I::new(al, ah).unwrap() * F64I::new(bl, bh).unwrap();
+            let boost = BoostI::new(al, ah) * BoostI::new(bl, bh);
+            let filib = FilibI::new(al, ah) * FilibI::new(bl, bh);
+            let gaol = GaolI::new(al, ah) * GaolI::new(bl, bh);
+            for (name, lo, hi) in [
+                ("boost", boost.lo(), boost.hi()),
+                ("filib", filib.lo(), filib.hi()),
+                ("gaol", gaol.lo(), gaol.hi()),
+            ] {
+                assert_eq!(lo, want.lo(), "{name} mul lo [{al},{ah}]*[{bl},{bh}]");
+                assert_eq!(hi, want.hi(), "{name} mul hi [{al},{ah}]*[{bl},{bh}]");
+            }
+        }
+    }
+
+    #[test]
+    fn all_baselines_agree_on_add_sub_div() {
+        use igen_interval::F64I;
+        for (al, ah, bl, bh) in cases() {
+            let a = F64I::new(al, ah).unwrap();
+            let b = F64I::new(bl, bh).unwrap();
+            let sum = a + b;
+            let bsum = BoostI::new(al, ah) + BoostI::new(bl, bh);
+            assert_eq!((bsum.lo(), bsum.hi()), (sum.lo(), sum.hi()));
+            let dif = a - b;
+            let fdif = FilibI::new(al, ah) - FilibI::new(bl, bh);
+            assert_eq!((fdif.lo(), fdif.hi()), (dif.lo(), dif.hi()));
+            let quo = a / b;
+            let gquo = GaolI::new(al, ah) / GaolI::new(bl, bh);
+            assert_eq!((gquo.lo(), gquo.hi()), (quo.lo(), quo.hi()), "[{al},{ah}]/[{bl},{bh}]");
+        }
+    }
+
+    #[test]
+    fn filib_containment_set_specials() {
+        let e = FilibI::empty();
+        assert!(e.is_empty());
+        assert!((e + FilibI::point(1.0)).is_empty());
+        assert!((e * FilibI::point(2.0)).is_empty());
+        let entire = FilibI::new(f64::NEG_INFINITY, f64::INFINITY);
+        assert!(entire.is_entire());
+        assert!((entire + FilibI::point(1.0)).is_entire());
+    }
+
+    #[test]
+    fn sqrt_and_relu() {
+        let b = BoostI::new(4.0, 9.0).sqrt();
+        assert_eq!((b.lo(), b.hi()), (2.0, 3.0));
+        let g = GaolI::new(-2.0, 3.0).max_zero();
+        assert_eq!((g.lo(), g.hi()), (0.0, 3.0));
+        let f = FilibI::new(-2.0, 3.0).max_zero();
+        assert_eq!((f.lo(), f.hi()), (0.0, 3.0));
+    }
+
+    #[test]
+    fn accuracy_metric_matches() {
+        let b = BoostI::point(1.0);
+        assert_eq!(b.certified_bits(), 53.0);
+        let w = FilibI::new(1.0, 1.0 + f64::EPSILON);
+        assert_eq!(w.certified_bits(), 52.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The three library baselines must compute *identical* endpoints to the
+//! IGen runtime on finite inputs — the Fig. 8 comparison is meaningful
+//! only if every contender produces the same (correctly rounded) result
+//! and differs purely in dataflow style.
+
+use igen_baselines::{BoostI, FilibI, GaolI};
+use igen_interval::F64I;
+use proptest::prelude::*;
+
+fn ep() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        4 => -1e12f64..1e12,
+        1 => -1.0f64..1.0,
+        1 => prop_oneof![Just(0.0f64), Just(-0.0), Just(1.0), Just(-1.0), Just(f64::MIN_POSITIVE)],
+    ]
+}
+
+fn interval() -> impl Strategy<Value = (f64, f64)> {
+    (ep(), ep()).prop_map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    #[test]
+    fn baselines_bitwise_agree_with_runtime(
+        (al, ah) in interval(),
+        (bl, bh) in interval(),
+    ) {
+        let a = F64I::new(al, ah).expect("ordered");
+        let b = F64I::new(bl, bh).expect("ordered");
+        type BinIvlOp = fn(F64I, F64I) -> F64I;
+        let ops: [(&str, BinIvlOp); 4] = [
+            ("add", |x, y| x + y),
+            ("sub", |x, y| x - y),
+            ("mul", |x, y| x * y),
+            ("div", |x, y| x / y),
+        ];
+        for (name, f) in ops {
+            if name == "div" && bl <= 0.0 && bh >= 0.0 {
+                continue; // all contenders return the entire line
+            }
+            let want = f(a, b);
+            let boost = apply_boost(name, BoostI::new(al, ah), BoostI::new(bl, bh));
+            let filib = apply_filib(name, FilibI::new(al, ah), FilibI::new(bl, bh));
+            let gaol = apply_gaol(name, GaolI::new(al, ah), GaolI::new(bl, bh));
+            // ±0.0 endpoints are the same interval; canonicalize before
+            // the bitwise comparison.
+            let canon = |x: f64| if x == 0.0 { 0.0f64.to_bits() } else { x.to_bits() };
+            for (lib, lo, hi) in [
+                ("boost", boost.0, boost.1),
+                ("filib", filib.0, filib.1),
+                ("gaol", gaol.0, gaol.1),
+            ] {
+                prop_assert_eq!(
+                    (canon(lo), canon(hi)),
+                    (canon(want.lo()), canon(want.hi())),
+                    "{} {} on [{},{}] op [{},{}]: [{}, {}] vs [{}, {}]",
+                    lib, name, al, ah, bl, bh, lo, hi, want.lo(), want.hi()
+                );
+            }
+        }
+    }
+}
+
+fn apply_boost(op: &str, a: BoostI, b: BoostI) -> (f64, f64) {
+    let r = match op {
+        "add" => a + b,
+        "sub" => a - b,
+        "mul" => a * b,
+        _ => a / b,
+    };
+    (r.lo(), r.hi())
+}
+
+fn apply_filib(op: &str, a: FilibI, b: FilibI) -> (f64, f64) {
+    let r = match op {
+        "add" => a + b,
+        "sub" => a - b,
+        "mul" => a * b,
+        _ => a / b,
+    };
+    (r.lo(), r.hi())
+}
+
+fn apply_gaol(op: &str, a: GaolI, b: GaolI) -> (f64, f64) {
+    let r = match op {
+        "add" => a + b,
+        "sub" => a - b,
+        "mul" => a * b,
+        _ => a / b,
+    };
+    (r.lo(), r.hi())
+}

@@ -1,0 +1,77 @@
+//! Ablation for the reduction transformation (Section VI-B): what does
+//! the accurate accumulator cost per term, against the plain interval
+//! summation it replaces?
+//!
+//! * `f64i_plain` — the untransformed loop: one `F64I` addition per term;
+//! * `f64i_acc` — `SumAcc64`, the double-double accumulator the
+//!   transformation substitutes (recovers ~3–13 bits, Fig. 10);
+//! * `ddi_plain` — untransformed double-double interval addition;
+//! * `ddi_acc` — `SumAccDd`, the exact exponent-bucket accumulator.
+//!
+//! Fig. 10's binary reports the accuracy side; this reports the runtime
+//! side at fixed n, isolating the per-term overhead from the workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igen_interval::{DdI, F64I, SumAcc64, SumAccDd};
+use std::hint::black_box;
+
+fn terms(n: usize) -> Vec<F64I> {
+    (0..n)
+        .map(|i| {
+            let v = (((i * 2654435761) % 2000) as f64 - 900.0) / 7.0;
+            F64I::with_tol(v, v.abs() * 1e-16)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 4096;
+    let xs = terms(n);
+    let xdd: Vec<DdI> = xs.iter().map(DdI::from_f64i).collect();
+
+    let mut g = c.benchmark_group("ablation_accumulator");
+    g.bench_function("f64i_plain", |b| {
+        b.iter(|| {
+            let mut s = F64I::point(0.0);
+            for x in &xs {
+                s = s + *black_box(x);
+            }
+            black_box(s)
+        })
+    });
+    g.bench_function("f64i_acc", |b| {
+        b.iter(|| {
+            let mut acc = SumAcc64::new(F64I::point(0.0));
+            for x in &xs {
+                acc.accumulate(black_box(x));
+            }
+            black_box(acc.reduce())
+        })
+    });
+    g.bench_function("ddi_plain", |b| {
+        b.iter(|| {
+            let mut s = DdI::point_f64(0.0);
+            for x in &xdd {
+                s = s + *black_box(x);
+            }
+            black_box(s)
+        })
+    });
+    g.bench_function("ddi_acc", |b| {
+        b.iter(|| {
+            let mut acc = SumAccDd::new(DdI::point_f64(0.0));
+            for x in &xdd {
+                acc.accumulate(black_box(x));
+            }
+            black_box(acc.reduce())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Ablation D1 (DESIGN.md): the cost of *exact* software directed
+//! rounding. Compares three strategies for the interval addition kernel:
+//!
+//! * `eft_exact` — this workspace's EFT-based bit-exact directed rounding;
+//! * `always_widen` — the cheap-but-lossy alternative (unconditionally
+//!   step one ulp outward, no residual test): ~1 extra bit lost per op;
+//! * `rn_unsound` — plain round-to-nearest (the cost floor: what hardware
+//!   directed rounding would cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn data(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0).collect()
+}
+
+/// The naive widening alternative to the EFT residual test.
+#[inline]
+fn add_widen(a: f64, b: f64) -> f64 {
+    let s = a + b;
+    // next_up unconditionally (sound upper bound, 1 ulp loose when exact).
+    igen_round::next_up(s)
+}
+
+fn bench(c: &mut Criterion) {
+    let xs = data(8192);
+    let mut g = c.benchmark_group("ablation_rounding_add");
+    g.bench_function("eft_exact", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &xs {
+                acc = igen_round::add_ru(acc, black_box(x));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("always_widen", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &xs {
+                acc = add_widen(acc, black_box(x));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("rn_unsound", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &xs {
+                acc += black_box(x);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_rounding_mul");
+    g.bench_function("eft_exact", |b| {
+        b.iter(|| {
+            let mut acc = 1.0;
+            for &x in &xs {
+                acc = igen_round::mul_ru(acc, black_box(x.abs() + 0.5));
+                acc = acc.clamp(1e-300, 1e300);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("rn_unsound", |b| {
+        b.iter(|| {
+            let mut acc = 1.0;
+            for &x in &xs {
+                acc *= black_box(x.abs() + 0.5);
+                acc = acc.clamp(1e-300, 1e300);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Microbenchmarks of the interval runtime against the library baselines
+//! — the operation-level view behind Fig. 8, plus the branch-free vs
+//! sign-case multiplication ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use igen_baselines::{BoostI, FilibI, GaolI};
+use igen_interval::{DdI, F64I};
+use std::hint::black_box;
+
+fn mixed_pairs(n: usize) -> Vec<(f64, f64)> {
+    // Deterministic sign-mixed data (the branchy baselines' worst case).
+    (0..n)
+        .map(|i| {
+            let a = ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0;
+            let b = ((i * 40503) % 1000) as f64 / 500.0 - 1.0;
+            (a, b)
+        })
+        .collect()
+}
+
+fn bench_mul(c: &mut Criterion) {
+    let pairs = mixed_pairs(4096);
+    let mut g = c.benchmark_group("interval_mul");
+    g.bench_function("igen_f64i", |b| {
+        let xs: Vec<(F64I, F64I)> =
+            pairs.iter().map(|&(x, y)| (F64I::point(x), F64I::point(y))).collect();
+        b.iter(|| {
+            let mut acc = F64I::point(0.0);
+            for &(x, y) in &xs {
+                acc = acc + black_box(x) * black_box(y);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("boost", |b| {
+        let xs: Vec<(BoostI, BoostI)> =
+            pairs.iter().map(|&(x, y)| (BoostI::point(x), BoostI::point(y))).collect();
+        b.iter(|| {
+            let mut acc = BoostI::point(0.0);
+            for &(x, y) in &xs {
+                acc = acc + black_box(x) * black_box(y);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("filib", |b| {
+        let xs: Vec<(FilibI, FilibI)> =
+            pairs.iter().map(|&(x, y)| (FilibI::point(x), FilibI::point(y))).collect();
+        b.iter(|| {
+            let mut acc = FilibI::point(0.0);
+            for &(x, y) in &xs {
+                acc = acc + black_box(x) * black_box(y);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("gaol_noinline", |b| {
+        let xs: Vec<(GaolI, GaolI)> =
+            pairs.iter().map(|&(x, y)| (GaolI::point(x), GaolI::point(y))).collect();
+        b.iter(|| {
+            let mut acc = GaolI::point(0.0);
+            for &(x, y) in &xs {
+                acc = acc + black_box(x) * black_box(y);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("igen_ddi", |b| {
+        let xs: Vec<(DdI, DdI)> =
+            pairs.iter().map(|&(x, y)| (DdI::point_f64(x), DdI::point_f64(y))).collect();
+        b.iter_batched(
+            || xs.clone(),
+            |xs| {
+                let mut acc = DdI::point_f64(0.0);
+                for &(x, y) in &xs {
+                    acc = acc + black_box(x) * black_box(y);
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_add_div(c: &mut Criterion) {
+    let pairs = mixed_pairs(4096);
+    let mut g = c.benchmark_group("interval_add_div");
+    g.bench_function("f64i_add", |b| {
+        let xs: Vec<F64I> = pairs.iter().map(|&(x, _)| F64I::point(x)).collect();
+        b.iter(|| {
+            let mut acc = F64I::point(0.0);
+            for &x in &xs {
+                acc = acc + black_box(x);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("f64i_div", |b| {
+        let xs: Vec<(F64I, F64I)> = pairs
+            .iter()
+            .map(|&(x, y)| (F64I::point(x), F64I::point(y.abs() + 0.5)))
+            .collect();
+        b.iter(|| {
+            let mut acc = F64I::point(0.0);
+            for &(x, y) in &xs {
+                acc = acc + black_box(x) / black_box(y);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mul, bench_add_div
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Kernel-level Criterion benchmarks: one representative size per Fig. 8
+//! benchmark, across the ss/sv/vv configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igen_interval::F64I;
+use igen_kernels::linalg::{gemm, gemm_unrolled};
+use igen_kernels::workload;
+use igen_kernels::{fft, fft_unrolled, twiddles};
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let n = 64;
+    let mut rng = workload::rng(42);
+    let re0 = workload::intervals_1ulp(&workload::random_points(&mut rng, n, -1.0, 1.0));
+    let im0 = workload::intervals_1ulp(&workload::random_points(&mut rng, n, -1.0, 1.0));
+    let tw = twiddles::<F64I>(n);
+    let mut g = c.benchmark_group("fft64");
+    g.bench_function("ss", |b| {
+        b.iter(|| {
+            let (mut re, mut im) = (re0.clone(), im0.clone());
+            fft(&mut re, &mut im, &tw);
+            black_box(re);
+        })
+    });
+    g.bench_function("sv", |b| {
+        b.iter(|| {
+            let (mut re, mut im) = (re0.clone(), im0.clone());
+            fft_unrolled::<F64I, 2>(&mut re, &mut im, &tw);
+            black_box(re);
+        })
+    });
+    g.bench_function("vv", |b| {
+        b.iter(|| {
+            let (mut re, mut im) = (re0.clone(), im0.clone());
+            fft_unrolled::<F64I, 4>(&mut re, &mut im, &tw);
+            black_box(re);
+        })
+    });
+    g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let n = 48;
+    let mut rng = workload::rng(7);
+    let a = workload::intervals_1ulp(&workload::random_points(&mut rng, n * n, -1.0, 1.0));
+    let b_ = workload::intervals_1ulp(&workload::random_points(&mut rng, n * n, -1.0, 1.0));
+    let mut g = c.benchmark_group("gemm48");
+    g.bench_function("ss", |bch| {
+        bch.iter(|| {
+            let mut cm = vec![F64I::ZERO; n * n];
+            gemm(n, n, n, &a, &b_, &mut cm);
+            black_box(cm);
+        })
+    });
+    g.bench_function("vv", |bch| {
+        bch.iter(|| {
+            let mut cm = vec![F64I::ZERO; n * n];
+            gemm_unrolled::<F64I, 4>(n, n, n, &a, &b_, &mut cm);
+            black_box(cm);
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_fft, bench_gemm
+}
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Fig. 10 and the Section VII-B runtime paragraph: accuracy improvement
+//! of the reduction transformation on the mvm benchmark (`y = Ax + y`,
+//! m = 10, n = 10^2…10^5, 10% and 45% negative inputs), in double and
+//! double-double precision, with and without the transformation; plus the
+//! slowdown figures relative to the non-interval input.
+
+use igen_bench::{full_mode, median_time, reps, sink, write_csv};
+use igen_interval::{DdI, F64I};
+use igen_kernels::linalg::{mvm, mvm_acc_dd, mvm_acc_f64};
+use igen_kernels::workload;
+use igen_kernels::Numeric;
+
+const M: usize = 10;
+
+fn main() {
+    let sizes: Vec<usize> =
+        if full_mode() { vec![100, 1_000, 10_000, 100_000] } else { vec![100, 1_000, 10_000] };
+    println!("== Fig. 10: mvm reduction accuracy [avg bits] (without -> with transformation) ==");
+    let mut rows = Vec::new();
+    for &pct in &[10u32, 45] {
+        for &n in &sizes {
+            let mut rng = workload::rng(1000 + pct as u64);
+            let a = workload::signed_magnitudes(&mut rng, M * n, pct);
+            let x = workload::signed_magnitudes(&mut rng, n, pct);
+            let y = workload::signed_magnitudes(&mut rng, M, pct);
+
+            // Double precision.
+            let ai: Vec<F64I> = a.iter().map(|&v| F64I::point(v)).collect();
+            let xi: Vec<F64I> = x.iter().map(|&v| F64I::point(v)).collect();
+            let yi: Vec<F64I> = y.iter().map(|&v| F64I::point(v)).collect();
+            let mut plain = yi.clone();
+            mvm(M, n, &ai, &xi, &mut plain);
+            let mut acc = yi.clone();
+            mvm_acc_f64(M, n, &ai, &xi, &mut acc);
+            let b_plain = avg_bits(&plain);
+            let b_acc = avg_bits(&acc);
+
+            // Double-double.
+            let ad: Vec<DdI> = a.iter().map(|&v| DdI::point_f64(v)).collect();
+            let xd: Vec<DdI> = x.iter().map(|&v| DdI::point_f64(v)).collect();
+            let yd: Vec<DdI> = y.iter().map(|&v| DdI::point_f64(v)).collect();
+            let mut plain_d = yd.clone();
+            mvm(M, n, &ad, &xd, &mut plain_d);
+            let mut acc_d = yd.clone();
+            mvm_acc_dd(M, n, &ad, &xd, &mut acc_d);
+            let bd_plain = avg_bits(&plain_d);
+            let bd_acc = avg_bits(&acc_d);
+
+            println!(
+                "(10^{}, {pct:2}%)  double: {b_plain:5.1} -> {b_acc:5.1}   dd: {bd_plain:5.1} -> {bd_acc:5.1}",
+                (n as f64).log10() as u32
+            );
+            rows.push(format!("{n},{pct},{b_plain:.2},{b_acc:.2},{bd_plain:.2},{bd_acc:.2}"));
+        }
+    }
+    write_csv(
+        "mvm_reduction_accuracy.csv",
+        "n,pct_negative,dbl_plain_bits,dbl_acc_bits,dd_plain_bits,dd_acc_bits",
+        &rows,
+    );
+
+    // Runtime paragraph of Section VII-B.
+    println!("\n== Reduction runtime (slowdown vs non-interval input, m=10) ==");
+    let n = if full_mode() { 10_000 } else { 2_000 };
+    let mut rng = workload::rng(5);
+    let a = workload::signed_magnitudes(&mut rng, M * n, 10);
+    let x = workload::signed_magnitudes(&mut rng, n, 10);
+    let y = workload::signed_magnitudes(&mut rng, M, 10);
+    let t_float = median_time(reps(), || {
+        let mut yy = y.clone();
+        mvm(M, n, &a, &x, &mut yy);
+        sink(yy);
+    });
+    let ai: Vec<F64I> = a.iter().map(|&v| F64I::point(v)).collect();
+    let xi: Vec<F64I> = x.iter().map(|&v| F64I::point(v)).collect();
+    let yi: Vec<F64I> = y.iter().map(|&v| F64I::point(v)).collect();
+    let t_plain = median_time(reps(), || {
+        let mut yy = yi.clone();
+        mvm(M, n, &ai, &xi, &mut yy);
+        sink(yy);
+    });
+    let t_acc = median_time(reps(), || {
+        let mut yy = yi.clone();
+        mvm_acc_f64(M, n, &ai, &xi, &mut yy);
+        sink(yy);
+    });
+    let ad: Vec<DdI> = a.iter().map(|&v| DdI::point_f64(v)).collect();
+    let xd: Vec<DdI> = x.iter().map(|&v| DdI::point_f64(v)).collect();
+    let yd: Vec<DdI> = y.iter().map(|&v| DdI::point_f64(v)).collect();
+    let t_plain_dd = median_time(reps(), || {
+        let mut yy = yd.clone();
+        mvm(M, n, &ad, &xd, &mut yy);
+        sink(yy);
+    });
+    let t_acc_dd = median_time(reps(), || {
+        let mut yy = yd.clone();
+        mvm_acc_dd(M, n, &ad, &xd, &mut yy);
+        sink(yy);
+    });
+    let sd = |t: std::time::Duration| t.as_secs_f64() / t_float.as_secs_f64();
+    println!("without transformation:  double {:.1}x   dd {:.1}x", sd(t_plain), sd(t_plain_dd));
+    println!("with    transformation:  double {:.1}x   dd {:.1}x", sd(t_acc), sd(t_acc_dd));
+    write_csv(
+        "mvm_reduction_runtime.csv",
+        "config,slowdown",
+        &[
+            format!("dbl_plain,{:.2}", sd(t_plain)),
+            format!("dbl_acc,{:.2}", sd(t_acc)),
+            format!("dd_plain,{:.2}", sd(t_plain_dd)),
+            format!("dd_acc,{:.2}", sd(t_acc_dd)),
+        ],
+    );
+}
+
+fn avg_bits<T: Numeric>(v: &[T]) -> f64 {
+    v.iter().map(|x| x.certified_bits_n()).sum::<f64>() / v.len() as f64
+}

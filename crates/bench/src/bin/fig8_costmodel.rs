@@ -1,0 +1,77 @@
+//! Hardware-cost-model companion to Fig. 8: the same gemm dataflow
+//! comparison with directed rounding priced at one flop per op (as on the
+//! paper's machine with MXCSR set upward), isolating the algorithmic
+//! branch-free-vs-branchy comparison from this workspace's software
+//! rounding tax. See `igen_baselines::costmodel` for the caveats.
+
+use igen_baselines::costmodel::{ModelIGenI, ModelLibI};
+use igen_bench::{full_mode, iops_per_cycle, median_time, reps, sink, write_csv};
+use igen_kernels::workload;
+
+fn main() {
+    let sizes: &[usize] = if full_mode() { &[56, 168, 280, 392] } else { &[56, 120, 184] };
+    let mut rows = Vec::new();
+    println!("== Fig. 8 cost-model ablation (gemm, hardware-priced directed ops) ==");
+    for &n in sizes {
+        let mut rng = workload::rng(7);
+        let pa = workload::random_points(&mut rng, n * n, -1.0, 1.0);
+        let pb = workload::random_points(&mut rng, n * n, -1.0, 1.0);
+        let iops = 2 * (n as u64).pow(3);
+
+        let ag: Vec<ModelIGenI> = pa.iter().map(|&x| ModelIGenI::point(x)).collect();
+        let bg: Vec<ModelIGenI> = pb.iter().map(|&x| ModelIGenI::point(x)).collect();
+        let t_igen = median_time(reps(), || {
+            let mut c = vec![ModelIGenI::default(); n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    let mut acc = c[i * n + j];
+                    for p in 0..n {
+                        acc = acc + ag[i * n + p] * bg[p * n + j];
+                    }
+                    c[i * n + j] = acc;
+                }
+            }
+            sink(c);
+        });
+
+        let al: Vec<ModelLibI> = pa.iter().map(|&x| ModelLibI::point(x)).collect();
+        let bl: Vec<ModelLibI> = pb.iter().map(|&x| ModelLibI::point(x)).collect();
+        let t_lib = median_time(reps(), || {
+            let mut c = vec![ModelLibI::default(); n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    let mut acc = c[i * n + j];
+                    for p in 0..n {
+                        acc = acc + al[i * n + p] * bl[p * n + j];
+                    }
+                    c[i * n + j] = acc;
+                }
+            }
+            sink(c);
+        });
+
+        // Float baseline for the slowdown column (Table V's cost-model
+        // counterpart).
+        let t_base = median_time(reps(), || {
+            let mut c = vec![0.0f64; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    let mut acc = c[i * n + j];
+                    for p in 0..n {
+                        acc += pa[i * n + p] * pb[p * n + j];
+                    }
+                    c[i * n + j] = acc;
+                }
+            }
+            sink(c);
+        });
+        let (g, l) = (iops_per_cycle(iops, t_igen), iops_per_cycle(iops, t_lib));
+        let sd = t_igen.as_secs_f64() / t_base.as_secs_f64();
+        println!(
+            "gemm n={n:<4} IGen-model {g:.4} iops/cyc   Lib-model {l:.4} iops/cyc   speedup {:.2}x   slowdown-vs-float {sd:.1}x",
+            g / l
+        );
+        rows.push(format!("{n},{g:.5},{l:.5},{:.3},{sd:.2}", g / l));
+    }
+    write_csv("gemm_costmodel.csv", "n,igen_model_ipc,lib_model_ipc,speedup,slowdown_vs_float", &rows);
+}

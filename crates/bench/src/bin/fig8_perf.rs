@@ -1,0 +1,211 @@
+//! Fig. 8: interval operations per cycle vs. problem size, for the four
+//! benchmarks and seven configurations:
+//! IGen-vv, IGen-sv, IGen-ss, IGen-sv-dd (+ IGen-vv-dd), Boost, Filib,
+//! Gaol.
+//!
+//! Usage: `cargo run --release -p igen-bench --bin fig8_perf [--full]`
+//! (`--full` runs the paper's sizes and 30 repetitions).
+
+use igen_baselines::{BoostI, FilibI, GaolI};
+use igen_bench::{full_mode, iops_per_cycle, median_time, reps, sink, write_csv};
+use igen_interval::{DdI, F64I};
+use igen_kernels::linalg::{gemm, gemm_iops, gemm_unrolled, potrf, potrf_iops, potrf_unrolled};
+use igen_kernels::{fft, fft_iops, fft_unrolled, twiddles, Numeric};
+use igen_kernels::ffnn::Ffnn;
+use igen_kernels::workload;
+
+fn main() {
+    let full = full_mode();
+    run_fft(full);
+    run_gemm(full);
+    run_potrf(full);
+    run_ffnn(full);
+}
+
+/// One measured cell of the figure.
+fn report(bench: &str, config: &str, n: usize, iops: u64, t: std::time::Duration) -> String {
+    let ipc = iops_per_cycle(iops, t);
+    println!("{bench:6} {config:10} n={n:<5} {:>10.1} us   {ipc:.4} iops/cycle", t.as_secs_f64() * 1e6);
+    format!("{bench},{config},{n},{},{:.6},{ipc:.6}", iops, t.as_secs_f64() * 1e6)
+}
+
+fn run_fft(full: bool) {
+    let sizes: &[usize] = if full { &[16, 32, 64, 128, 256] } else { &[16, 64, 256] };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut rng = workload::rng(42);
+        let pts_re = workload::random_points(&mut rng, n, -1.0, 1.0);
+        let pts_im = workload::random_points(&mut rng, n, -1.0, 1.0);
+        let iops = fft_iops(n);
+
+        // IGen configurations.
+        let re0 = workload::intervals_1ulp(&pts_re);
+        let im0 = workload::intervals_1ulp(&pts_im);
+        let tw = twiddles::<F64I>(n);
+        for (cfg, lanes) in [("IGen-ss", 1usize), ("IGen-sv", 2), ("IGen-vv", 4)] {
+            let t = median_time(reps(), || {
+                let mut re = re0.clone();
+                let mut im = im0.clone();
+                match lanes {
+                    1 => fft(&mut re, &mut im, &tw),
+                    2 => fft_unrolled::<F64I, 2>(&mut re, &mut im, &tw),
+                    _ => fft_unrolled::<F64I, 4>(&mut re, &mut im, &tw),
+                }
+                sink(re);
+            });
+            rows.push(report("fft", cfg, n, iops, t));
+        }
+        // Double-double.
+        let mut rng_dd = workload::rng(43);
+        let red: Vec<DdI> = workload::dd_intervals_1ulp(&mut rng_dd, n, -1.0, 1.0);
+        let imd: Vec<DdI> = workload::dd_intervals_1ulp(&mut rng_dd, n, -1.0, 1.0);
+        let twd = twiddles::<DdI>(n);
+        for (cfg, lanes) in [("IGen-sv-dd", 2usize), ("IGen-vv-dd", 4)] {
+            let t = median_time(reps(), || {
+                let mut re = red.clone();
+                let mut im = imd.clone();
+                if lanes == 2 {
+                    fft_unrolled::<DdI, 2>(&mut re, &mut im, &twd);
+                } else {
+                    fft_unrolled::<DdI, 4>(&mut re, &mut im, &twd);
+                }
+                sink(re);
+            });
+            rows.push(report("fft", cfg, n, iops, t));
+        }
+        // Library baselines (scalar only, like the paper).
+        rows.push(lib_fft::<BoostI>("Boost", n, &pts_re, &pts_im, iops));
+        rows.push(lib_fft::<FilibI>("Filib", n, &pts_re, &pts_im, iops));
+        rows.push(lib_fft::<GaolI>("Gaol", n, &pts_re, &pts_im, iops));
+    }
+    write_csv("fft_interval_perf.csv", "bench,config,n,iops,us,iops_per_cycle", &rows);
+}
+
+fn lib_fft<T: Numeric>(name: &str, n: usize, pre: &[f64], pim: &[f64], iops: u64) -> String {
+    let re0: Vec<T> = pre.iter().map(|&x| one_ulp::<T>(x)).collect();
+    let im0: Vec<T> = pim.iter().map(|&x| one_ulp::<T>(x)).collect();
+    let tw = twiddles::<T>(n);
+    let t = median_time(reps(), || {
+        let mut re = re0.clone();
+        let mut im = im0.clone();
+        fft(&mut re, &mut im, &tw);
+        sink(re);
+    });
+    report("fft", name, n, iops, t)
+}
+
+/// 1-ulp interval in any Numeric back end.
+fn one_ulp<T: Numeric>(x: f64) -> T {
+    // from_f64_enclose gives ±1 ulp (2-ulp width) for the baselines;
+    // close enough to the 1-ulp inputs and identical across libraries.
+    T::from_f64_enclose(x)
+}
+
+fn run_gemm(full: bool) {
+    let sizes: &[usize] = if full { &[56, 168, 280, 392, 504, 616] } else { &[56, 120, 184] };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut rng = workload::rng(7);
+        let pa = workload::random_points(&mut rng, n * n, -1.0, 1.0);
+        let pb = workload::random_points(&mut rng, n * n, -1.0, 1.0);
+        let iops = gemm_iops(n);
+        macro_rules! gemm_cfg {
+            ($name:expr, $ty:ty, $call:expr) => {{
+                let a: Vec<$ty> = pa.iter().map(|&x| one_ulp::<$ty>(x)).collect();
+                let b: Vec<$ty> = pb.iter().map(|&x| one_ulp::<$ty>(x)).collect();
+                let t = median_time(reps(), || {
+                    let mut c = vec![<$ty as Numeric>::zero(); n * n];
+                    #[allow(clippy::redundant_closure_call)]
+                    ($call)(n, &a, &b, &mut c);
+                    sink(c);
+                });
+                rows.push(report("gemm", $name, n, iops, t));
+            }};
+        }
+        gemm_cfg!("IGen-ss", F64I, |n, a: &Vec<F64I>, b: &Vec<F64I>, c: &mut Vec<F64I>| gemm(
+            n, n, n, a, b, c
+        ));
+        gemm_cfg!("IGen-sv", F64I, |n, a: &Vec<F64I>, b: &Vec<F64I>, c: &mut Vec<F64I>| {
+            gemm_unrolled::<F64I, 2>(n, n, n, a, b, c)
+        });
+        gemm_cfg!("IGen-vv", F64I, |n, a: &Vec<F64I>, b: &Vec<F64I>, c: &mut Vec<F64I>| {
+            gemm_unrolled::<F64I, 4>(n, n, n, a, b, c)
+        });
+        gemm_cfg!("IGen-sv-dd", DdI, |n, a: &Vec<DdI>, b: &Vec<DdI>, c: &mut Vec<DdI>| {
+            gemm_unrolled::<DdI, 2>(n, n, n, a, b, c)
+        });
+        gemm_cfg!("Boost", BoostI, |n, a: &Vec<BoostI>, b: &Vec<BoostI>, c: &mut Vec<BoostI>| {
+            gemm(n, n, n, a, b, c)
+        });
+        gemm_cfg!("Filib", FilibI, |n, a: &Vec<FilibI>, b: &Vec<FilibI>, c: &mut Vec<FilibI>| {
+            gemm(n, n, n, a, b, c)
+        });
+        gemm_cfg!("Gaol", GaolI, |n, a: &Vec<GaolI>, b: &Vec<GaolI>, c: &mut Vec<GaolI>| {
+            gemm(n, n, n, a, b, c)
+        });
+    }
+    write_csv("gemm_interval_perf.csv", "bench,config,n,iops,us,iops_per_cycle", &rows);
+}
+
+fn run_potrf(full: bool) {
+    let sizes: &[usize] = if full { &[4, 28, 52, 76, 100, 124] } else { &[4, 28, 76] };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut rng = workload::rng(11);
+        let spd = workload::spd_matrix(&mut rng, n);
+        let iops = potrf_iops(n);
+        macro_rules! potrf_cfg {
+            ($name:expr, $ty:ty, $call:expr) => {{
+                let a0: Vec<$ty> = spd.iter().map(|&x| one_ulp::<$ty>(x)).collect();
+                let t = median_time(reps(), || {
+                    let mut a = a0.clone();
+                    #[allow(clippy::redundant_closure_call)]
+                    ($call)(n, &mut a);
+                    sink(a);
+                });
+                rows.push(report("potrf", $name, n, iops, t));
+            }};
+        }
+        potrf_cfg!("IGen-ss", F64I, |n, a: &mut Vec<F64I>| potrf(n, a));
+        potrf_cfg!("IGen-sv", F64I, |n, a: &mut Vec<F64I>| potrf_unrolled::<F64I, 2>(n, a));
+        potrf_cfg!("IGen-vv", F64I, |n, a: &mut Vec<F64I>| potrf_unrolled::<F64I, 4>(n, a));
+        potrf_cfg!("IGen-sv-dd", DdI, |n, a: &mut Vec<DdI>| potrf_unrolled::<DdI, 2>(n, a));
+        potrf_cfg!("Boost", BoostI, |n, a: &mut Vec<BoostI>| potrf(n, a));
+        potrf_cfg!("Filib", FilibI, |n, a: &mut Vec<FilibI>| potrf(n, a));
+        potrf_cfg!("Gaol", GaolI, |n, a: &mut Vec<GaolI>| potrf(n, a));
+    }
+    write_csv("potrf_interval_perf.csv", "bench,config,n,iops,us,iops_per_cycle", &rows);
+}
+
+fn run_ffnn(full: bool) {
+    let sizes: &[usize] = if full { &[40, 80, 120, 160, 200] } else { &[40, 80, 120] };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let net = Ffnn::synthetic(n, 42);
+        let input = Ffnn::synthetic_input(1);
+        let iops = net.iops();
+        macro_rules! ffnn_cfg {
+            ($name:expr, $ty:ty, $lanes:expr) => {{
+                let t = median_time(reps(), || {
+                    let out: Vec<$ty> = if $lanes == 1 {
+                        net.forward::<$ty>(&input)
+                    } else if $lanes == 2 {
+                        net.forward_unrolled::<$ty, 2>(&input)
+                    } else {
+                        net.forward_unrolled::<$ty, 4>(&input)
+                    };
+                    sink(out);
+                });
+                rows.push(report("ffnn", $name, n, iops, t));
+            }};
+        }
+        ffnn_cfg!("IGen-ss", F64I, 1);
+        ffnn_cfg!("IGen-sv", F64I, 2);
+        ffnn_cfg!("IGen-vv", F64I, 4);
+        ffnn_cfg!("IGen-sv-dd", DdI, 2);
+        ffnn_cfg!("Boost", BoostI, 1);
+        ffnn_cfg!("Filib", FilibI, 1);
+        ffnn_cfg!("Gaol", GaolI, 1);
+    }
+    write_csv("ffnn_interval_perf.csv", "bench,config,n,iops,us,iops_per_cycle", &rows);
+}

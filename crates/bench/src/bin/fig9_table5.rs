@@ -1,0 +1,328 @@
+//! Fig. 9a (real performance of IGen-vv vs. the non-interval baseline),
+//! Fig. 9b (certified accuracy, double vs. double-double), and Table V
+//! (slowdown of the IGen configurations relative to the float input
+//! program) — one binary because they share the measured runs.
+//!
+//! Paper sizes: fft-64, potrf-124, ffnn-200, gemm-616 (the quick mode
+//! scales gemm/ffnn down; pass `--full` for the paper's sizes).
+
+use igen_bench::{full_mode, median_time, reps, sink, write_csv, NOMINAL_GHZ};
+use igen_interval::{DdI, F64I};
+use igen_kernels::ffnn::Ffnn;
+use igen_kernels::linalg::{gemm_iops, gemm_unrolled, potrf_iops, potrf_unrolled};
+use igen_kernels::{fft_iops, fft_unrolled, twiddles, Numeric};
+use igen_kernels::workload;
+use std::time::Duration;
+
+struct Meas {
+    bench: &'static str,
+    n: usize,
+    /// flops of the float baseline (one interval op = 2+ flops).
+    baseline_flops: u64,
+    t_base: Duration,
+    t_sv: Duration,
+    t_vv: Duration,
+    t_sv_dd: Duration,
+    t_vv_dd: Duration,
+    bits_f64: f64,
+    bits_dd: f64,
+}
+
+fn main() {
+    let full = full_mode();
+    let ms = vec![
+        fft_meas(64),
+        potrf_meas(if full { 124 } else { 60 }),
+        ffnn_meas(if full { 200 } else { 80 }),
+        gemm_meas(if full { 616 } else { 120 }),
+    ];
+
+    println!("\n== Fig. 9a: real performance [flops/cycle] (IGen-vv vs baseline) ==");
+    let mut rows9a = Vec::new();
+    for m in &ms {
+        let fl = |t: &Duration| m.baseline_flops as f64 / (t.as_secs_f64() * NOMINAL_GHZ * 1e9);
+        println!(
+            "{:6} n={:<4} baseline {:>7.3}  IGen-vv(dbl) {:>7.3}  IGen-vv(dd) {:>7.3}",
+            m.bench,
+            m.n,
+            fl(&m.t_base),
+            fl(&m.t_vv),
+            fl(&m.t_vv_dd)
+        );
+        rows9a.push(format!(
+            "{},{},{:.4},{:.4},{:.4}",
+            m.bench,
+            m.n,
+            fl(&m.t_base),
+            fl(&m.t_vv),
+            fl(&m.t_vv_dd)
+        ));
+    }
+    write_csv("real_perf.csv", "bench,n,baseline_fpc,igen_vv_dbl_fpc,igen_vv_dd_fpc", &rows9a);
+
+    println!("\n== Fig. 9b: certified accuracy [bits] ==");
+    let mut rows9b = Vec::new();
+    for m in &ms {
+        println!("{:6} n={:<4} double {:>6.1} bits   double-double {:>6.1} bits", m.bench, m.n, m.bits_f64, m.bits_dd);
+        rows9b.push(format!("{},{},{:.2},{:.2}", m.bench, m.n, m.bits_f64, m.bits_dd));
+    }
+    write_csv("accuracy.csv", "bench,n,bits_double,bits_dd", &rows9b);
+
+    println!("\n== Table V: slowdown of IGen configurations vs float input ==");
+    println!("{:12} {:>8} {:>8} {:>8} {:>8}", "Name", "Dbl sv", "Dbl vv", "DD sv", "DD vv");
+    let mut rows5 = Vec::new();
+    for m in &ms {
+        let sd = |t: &Duration| t.as_secs_f64() / m.t_base.as_secs_f64();
+        println!(
+            "{:12} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            format!("{}-{}", m.bench, m.n),
+            sd(&m.t_sv),
+            sd(&m.t_vv),
+            sd(&m.t_sv_dd),
+            sd(&m.t_vv_dd)
+        );
+        rows5.push(format!(
+            "{},{},{:.2},{:.2},{:.2},{:.2}",
+            m.bench,
+            m.n,
+            sd(&m.t_sv),
+            sd(&m.t_vv),
+            sd(&m.t_sv_dd),
+            sd(&m.t_vv_dd)
+        ));
+    }
+    write_csv("overhead.csv", "bench,n,dbl_sv,dbl_vv,dd_sv,dd_vv", &rows5);
+}
+
+fn fft_meas(n: usize) -> Meas {
+    let mut rng = workload::rng(42);
+    let pre = workload::random_points(&mut rng, n, -1.0, 1.0);
+    let pim = workload::random_points(&mut rng, n, -1.0, 1.0);
+    // Float baseline.
+    let twf = twiddles::<f64>(n);
+    let t_base = median_time(reps(), || {
+        let mut re = pre.clone();
+        let mut im = pim.clone();
+        fft_unrolled::<f64, 4>(&mut re, &mut im, &twf);
+        sink(re);
+    });
+    // Interval runs.
+    let re0 = workload::intervals_1ulp(&pre);
+    let im0 = workload::intervals_1ulp(&pim);
+    let tw = twiddles::<F64I>(n);
+    let t_sv = median_time(reps(), || {
+        let (mut re, mut im) = (re0.clone(), im0.clone());
+        fft_unrolled::<F64I, 2>(&mut re, &mut im, &tw);
+        sink(re);
+    });
+    let t_vv = median_time(reps(), || {
+        let (mut re, mut im) = (re0.clone(), im0.clone());
+        fft_unrolled::<F64I, 4>(&mut re, &mut im, &tw);
+        sink(re);
+    });
+    let bits_f64 = {
+        let (mut re, mut im) = (re0.clone(), im0.clone());
+        fft_unrolled::<F64I, 4>(&mut re, &mut im, &tw);
+        worst_bits(&re) // the minimum certified bits over outputs
+    };
+    let mut rng_dd = workload::rng(43);
+    let red = workload::dd_intervals_1ulp(&mut rng_dd, n, -1.0, 1.0);
+    let imd = workload::dd_intervals_1ulp(&mut rng_dd, n, -1.0, 1.0);
+    let twd = twiddles::<DdI>(n);
+    let t_sv_dd = median_time(reps(), || {
+        let (mut re, mut im) = (red.clone(), imd.clone());
+        fft_unrolled::<DdI, 2>(&mut re, &mut im, &twd);
+        sink(re);
+    });
+    let t_vv_dd = median_time(reps(), || {
+        let (mut re, mut im) = (red.clone(), imd.clone());
+        fft_unrolled::<DdI, 4>(&mut re, &mut im, &twd);
+        sink(re);
+    });
+    let bits_dd = {
+        let (mut re, mut im) = (red.clone(), imd.clone());
+        fft_unrolled::<DdI, 4>(&mut re, &mut im, &twd);
+        worst_bits(&re)
+    };
+    Meas {
+        bench: "fft",
+        n,
+        baseline_flops: fft_iops(n), // 1 flop per counted op in the baseline
+        t_base,
+        t_sv,
+        t_vv,
+        t_sv_dd,
+        t_vv_dd,
+        bits_f64,
+        bits_dd,
+    }
+}
+
+fn worst_bits<T: Numeric>(v: &[T]) -> f64 {
+    v.iter().map(|x| x.certified_bits_n()).fold(f64::INFINITY, f64::min)
+}
+
+fn gemm_meas(n: usize) -> Meas {
+    let mut rng = workload::rng(7);
+    let pa = workload::random_points(&mut rng, n * n, -1.0, 1.0);
+    let pb = workload::random_points(&mut rng, n * n, -1.0, 1.0);
+    let run = |a: &Vec<f64>, b: &Vec<f64>| {
+        let mut c = vec![0.0f64; n * n];
+        gemm_unrolled::<f64, 4>(n, n, n, a, b, &mut c);
+        sink(c);
+    };
+    let t_base = median_time(reps(), || run(&pa, &pb));
+    let ai = workload::intervals_1ulp(&pa);
+    let bi = workload::intervals_1ulp(&pb);
+    let t_sv = median_time(reps(), || {
+        let mut c = vec![F64I::ZERO; n * n];
+        gemm_unrolled::<F64I, 2>(n, n, n, &ai, &bi, &mut c);
+        sink(c);
+    });
+    let (t_vv, bits_f64) = {
+        let mut c = vec![F64I::ZERO; n * n];
+        gemm_unrolled::<F64I, 4>(n, n, n, &ai, &bi, &mut c);
+        let bits = worst_bits(&c);
+        let t = median_time(reps(), || {
+            let mut c = vec![F64I::ZERO; n * n];
+            gemm_unrolled::<F64I, 4>(n, n, n, &ai, &bi, &mut c);
+            sink(c);
+        });
+        (t, bits)
+    };
+    let mut rng_dd = workload::rng(8);
+    let ad = workload::dd_intervals_1ulp(&mut rng_dd, n * n, -1.0, 1.0);
+    let bd = workload::dd_intervals_1ulp(&mut rng_dd, n * n, -1.0, 1.0);
+    let t_sv_dd = median_time(reps(), || {
+        let mut c = vec![DdI::ZERO; n * n];
+        gemm_unrolled::<DdI, 2>(n, n, n, &ad, &bd, &mut c);
+        sink(c);
+    });
+    let (t_vv_dd, bits_dd) = {
+        let mut c = vec![DdI::ZERO; n * n];
+        gemm_unrolled::<DdI, 4>(n, n, n, &ad, &bd, &mut c);
+        let bits = worst_bits(&c);
+        let t = median_time(reps(), || {
+            let mut c = vec![DdI::ZERO; n * n];
+            gemm_unrolled::<DdI, 4>(n, n, n, &ad, &bd, &mut c);
+            sink(c);
+        });
+        (t, bits)
+    };
+    Meas {
+        bench: "gemm",
+        n,
+        baseline_flops: gemm_iops(n),
+        t_base,
+        t_sv,
+        t_vv,
+        t_sv_dd,
+        t_vv_dd,
+        bits_f64,
+        bits_dd,
+    }
+}
+
+fn potrf_meas(n: usize) -> Meas {
+    let mut rng = workload::rng(11);
+    let spd = workload::spd_matrix(&mut rng, n);
+    let t_base = median_time(reps(), || {
+        let mut a = spd.clone();
+        potrf_unrolled::<f64, 4>(n, &mut a);
+        sink(a);
+    });
+    let a0: Vec<F64I> = spd.iter().map(|&x| F64I::new(x, igen_round::next_up(x)).unwrap()).collect();
+    let t_sv = median_time(reps(), || {
+        let mut a = a0.clone();
+        potrf_unrolled::<F64I, 2>(n, &mut a);
+        sink(a);
+    });
+    let (t_vv, bits_f64) = {
+        let mut a = a0.clone();
+        potrf_unrolled::<F64I, 4>(n, &mut a);
+        // Accuracy over the lower triangle.
+        let mut bits = f64::INFINITY;
+        for i in 0..n {
+            for j in 0..=i {
+                bits = bits.min(a[i * n + j].certified_bits());
+            }
+        }
+        let t = median_time(reps(), || {
+            let mut a = a0.clone();
+            potrf_unrolled::<F64I, 4>(n, &mut a);
+            sink(a);
+        });
+        (t, bits)
+    };
+    // DD inputs: the matrix entries are exact doubles; dd intervals start
+    // as points (the paper's dd inputs have width ulp(x_lo), i.e. ~2^-105
+    // relative — indistinguishable from points at this scale).
+    let ad: Vec<DdI> = spd.iter().map(|&x| DdI::point_f64(x)).collect();
+    let t_sv_dd = median_time(reps(), || {
+        let mut a = ad.clone();
+        potrf_unrolled::<DdI, 2>(n, &mut a);
+        sink(a);
+    });
+    let (t_vv_dd, bits_dd) = {
+        let mut a = ad.clone();
+        potrf_unrolled::<DdI, 4>(n, &mut a);
+        let mut bits = f64::INFINITY;
+        for i in 0..n {
+            for j in 0..=i {
+                bits = bits.min(a[i * n + j].certified_bits());
+            }
+        }
+        let t = median_time(reps(), || {
+            let mut a = ad.clone();
+            potrf_unrolled::<DdI, 4>(n, &mut a);
+            sink(a);
+        });
+        (t, bits)
+    };
+    Meas {
+        bench: "potrf",
+        n,
+        baseline_flops: potrf_iops(n),
+        t_base,
+        t_sv,
+        t_vv,
+        t_sv_dd,
+        t_vv_dd,
+        bits_f64,
+        bits_dd,
+    }
+}
+
+fn ffnn_meas(n: usize) -> Meas {
+    let net = Ffnn::synthetic(n, 42);
+    let input = Ffnn::synthetic_input(1);
+    let t_base = median_time(reps(), || {
+        sink(net.forward_unrolled::<f64, 4>(&input));
+    });
+    let t_sv = median_time(reps(), || {
+        sink(net.forward_unrolled::<F64I, 2>(&input));
+    });
+    let t_vv = median_time(reps(), || {
+        sink(net.forward_unrolled::<F64I, 4>(&input));
+    });
+    let bits_f64 = worst_bits(&net.forward_unrolled::<F64I, 4>(&input));
+    let t_sv_dd = median_time(reps(), || {
+        sink(net.forward_unrolled::<DdI, 2>(&input));
+    });
+    let t_vv_dd = median_time(reps(), || {
+        sink(net.forward_unrolled::<DdI, 4>(&input));
+    });
+    let bits_dd = worst_bits(&net.forward_unrolled::<DdI, 4>(&input));
+    Meas {
+        bench: "ffnn",
+        n,
+        baseline_flops: net.iops(),
+        t_base,
+        t_sv,
+        t_vv,
+        t_sv_dd,
+        t_vv_dd,
+        bits_f64,
+        bits_dd,
+    }
+}

@@ -1,0 +1,180 @@
+//! Table VI: certified accuracy and slowdown of the Hénon map and the
+//! FFT benchmark for double intervals (`f64i`), double-double intervals
+//! (`ddi`) and affine arithmetic (the YalAA substitute).
+//!
+//! Accuracy is "the average of the minimum number of certified bits
+//! across 100 runs"; here the computations are deterministic so a single
+//! run suffices (noted in EXPERIMENTS.md).
+
+use igen_affine::Aff;
+use igen_bench::{full_mode, median_time, reps, sink, write_csv};
+use igen_interval::{DdI, F64I};
+use igen_kernels::{fft, henon, henon_affine, twiddles, Numeric};
+use igen_kernels::workload;
+
+fn main() {
+    println!("== Table VI (Henon map): accuracy [bits] and slowdown ==");
+    println!("{:>10} {:>6} {:>6} {:>6} | {:>8} {:>8} {:>10}", "iters", "f64i", "ddi", "aff", "sd f64i", "sd ddi", "sd aff");
+    let iters: &[usize] = &[10, 50, 90, 130, 170];
+    let mut rows = Vec::new();
+    for &it in iters {
+        let b_f: f64 = henon::<F64I>(it).certified_bits();
+        let b_d: f64 = henon::<DdI>(it).certified_bits();
+        let b_a: f64 = henon_affine(it).certified_bits();
+        let t_float = median_time(reps(), || {
+            sink(henon::<f64>(it));
+        });
+        let t_f = median_time(reps(), || {
+            sink(henon::<F64I>(it));
+        });
+        let t_d = median_time(reps(), || {
+            sink(henon::<DdI>(it));
+        });
+        let t_a = median_time(reps().min(3), || {
+            sink(henon_affine(it));
+        });
+        let sd = |t: std::time::Duration| t.as_secs_f64() / t_float.as_secs_f64();
+        println!(
+            "{it:>10} {b_f:>6.0} {b_d:>6.0} {b_a:>6.0} | {:>8.1} {:>8.1} {:>10.0}",
+            sd(t_f),
+            sd(t_d),
+            sd(t_a)
+        );
+        rows.push(format!(
+            "{it},{b_f:.1},{b_d:.1},{b_a:.1},{:.2},{:.2},{:.2}",
+            sd(t_f),
+            sd(t_d),
+            sd(t_a)
+        ));
+    }
+    write_csv("henon_table6.csv", "iterations,bits_f64i,bits_ddi,bits_aff,sd_f64i,sd_ddi,sd_aff", &rows);
+
+    println!("\n== Table VI (FFT): accuracy [bits] and slowdown ==");
+    println!("{:>6} {:>6} {:>6} {:>6} | {:>8} {:>8} {:>10}", "size", "f64i", "ddi", "aff", "sd f64i", "sd ddi", "sd aff");
+    let sizes: &[usize] = if full_mode() { &[16, 32, 64, 128, 256] } else { &[16, 32, 64] };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut rng = workload::rng(99);
+        let pre = workload::random_points(&mut rng, n, -1.0, 1.0);
+        let pim = workload::random_points(&mut rng, n, -1.0, 1.0);
+
+        // Float baseline time.
+        let twf = twiddles::<f64>(n);
+        let t_float = median_time(reps(), || {
+            let (mut re, mut im) = (pre.clone(), pim.clone());
+            fft(&mut re, &mut im, &twf);
+            sink(re);
+        });
+
+        // f64i.
+        let re0 = workload::intervals_1ulp(&pre);
+        let im0 = workload::intervals_1ulp(&pim);
+        let twi = twiddles::<F64I>(n);
+        let (mut re, mut im) = (re0.clone(), im0.clone());
+        fft(&mut re, &mut im, &twi);
+        let b_f = min_bits(&re).min(min_bits(&im));
+        let t_f = median_time(reps(), || {
+            let (mut re, mut im) = (re0.clone(), im0.clone());
+            fft(&mut re, &mut im, &twi);
+            sink(re);
+        });
+
+        // ddi.
+        let mut rng_dd = workload::rng(100);
+        let red = workload::dd_intervals_1ulp(&mut rng_dd, n, -1.0, 1.0);
+        let imd = workload::dd_intervals_1ulp(&mut rng_dd, n, -1.0, 1.0);
+        let twd = twiddles::<DdI>(n);
+        let (mut rd, mut id) = (red.clone(), imd.clone());
+        fft(&mut rd, &mut id, &twd);
+        let b_d = min_bits(&rd).min(min_bits(&id));
+        let t_d = median_time(reps(), || {
+            let (mut rd, mut id) = (red.clone(), imd.clone());
+            fft(&mut rd, &mut id, &twd);
+            sink(rd);
+        });
+
+        // Affine: the FFT with affine coefficients (clone-based; this is
+        // what makes it orders of magnitude slower, exactly like YalAA).
+        let (ra, ia) = affine_fft(&pre, &pim, n);
+        let b_a = ra
+            .iter()
+            .chain(ia.iter())
+            .map(|a| a.certified_bits())
+            .fold(f64::INFINITY, f64::min);
+        let t_a = median_time(2, || {
+            sink(affine_fft(&pre, &pim, n));
+        });
+
+        let sd = |t: std::time::Duration| t.as_secs_f64() / t_float.as_secs_f64();
+        println!(
+            "{n:>6} {b_f:>6.0} {b_d:>6.0} {b_a:>6.0} | {:>8.1} {:>8.1} {:>10.0}",
+            sd(t_f),
+            sd(t_d),
+            sd(t_a)
+        );
+        rows.push(format!(
+            "{n},{b_f:.1},{b_d:.1},{b_a:.1},{:.2},{:.2},{:.2}",
+            sd(t_f),
+            sd(t_d),
+            sd(t_a)
+        ));
+    }
+    write_csv("fft_table6.csv", "size,bits_f64i,bits_ddi,bits_aff,sd_f64i,sd_ddi,sd_aff", &rows);
+}
+
+fn min_bits<T: Numeric>(v: &[T]) -> f64 {
+    v.iter().map(|x| x.certified_bits_n()).fold(f64::INFINITY, f64::min)
+}
+
+/// Radix-2 FFT over affine forms (cloned term lists — the cost profile
+/// of affine arithmetic).
+fn affine_fft(pre: &[f64], pim: &[f64], n: usize) -> (Vec<Aff>, Vec<Aff>) {
+    let mut re: Vec<Aff> =
+        pre.iter().map(|&v| Aff::with_tol(v, igen_round::ulp(v))).collect();
+    let mut im: Vec<Aff> =
+        pim.iter().map(|&v| Aff::with_tol(v, igen_round::ulp(v))).collect();
+    // Bit reversal.
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+        let mut m = n >> 1;
+        while m >= 1 && j & m != 0 {
+            j ^= m;
+            m >>= 1;
+        }
+        j |= m;
+    }
+    let tw: Vec<(Aff, Aff)> = (0..n / 2)
+        .map(|k| {
+            let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            (
+                Aff::with_tol(ang.cos(), igen_round::ulp(ang.cos())),
+                Aff::with_tol(ang.sin(), igen_round::ulp(ang.sin())),
+            )
+        })
+        .collect();
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let step = n / len;
+        for base in (0..n).step_by(len) {
+            for k in 0..half {
+                let (wr, wi) = &tw[k * step];
+                let i = base + k;
+                let j = i + half;
+                let tr = wr.clone() * re[j].clone() - wi.clone() * im[j].clone();
+                let ti = wr.clone() * im[j].clone() + wi.clone() * re[j].clone();
+                let (ur, ui) = (re[i].clone(), im[i].clone());
+                re[j] = ur.clone() - tr.clone();
+                im[j] = ui.clone() - ti.clone();
+                re[i] = ur + tr;
+                im[i] = ui + ti;
+            }
+        }
+        len <<= 1;
+    }
+    (re, im)
+}

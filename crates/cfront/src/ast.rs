@@ -1,0 +1,485 @@
+//! The abstract syntax tree of the IGen C subset.
+//!
+//! The node taxonomy mirrors Clang's, as the paper describes (Section
+//! IV-B): declarations (`Decl`), statements (`Stmt`) and expressions
+//! (`Expr`), plus top-level items.
+
+/// Types in the subset: scalars, named types (including SIMD vector types
+/// and the interval types of the runtime), pointers and arrays.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// `void`.
+    Void,
+    /// `int`.
+    Int,
+    /// `unsigned`/`unsigned int`.
+    UInt,
+    /// `long` / `long long` / `int64_t`.
+    Long,
+    /// `uint64_t` / `unsigned long`.
+    ULong,
+    /// `float` (binary32).
+    Float,
+    /// `double` (binary64).
+    Double,
+    /// A named (typedef'd or builtin vendor) type: `__m256d`, `f64i`,
+    /// `ddi`, `tbool`, `acc_f64`, `vec256d`, …
+    Named(String),
+    /// Pointer.
+    Ptr(Box<Type>),
+    /// Array with optional constant size.
+    Array(Box<Type>, Option<usize>),
+}
+
+impl Type {
+    /// True for `float`/`double`.
+    pub fn is_fp_scalar(&self) -> bool {
+        matches!(self, Type::Float | Type::Double)
+    }
+
+    /// Strips all pointer/array layers.
+    pub fn base(&self) -> &Type {
+        match self {
+            Type::Ptr(t) | Type::Array(t, _) => t.base(),
+            t => t,
+        }
+    }
+
+    /// Rebuilds this type with its base element replaced.
+    #[must_use]
+    pub fn with_base(&self, new_base: Type) -> Type {
+        match self {
+            Type::Ptr(t) => Type::Ptr(Box::new(t.with_base(new_base))),
+            Type::Array(t, n) => Type::Array(Box::new(t.with_base(new_base)), *n),
+            _ => new_base,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `+x`
+    Plus,
+    /// `!x`
+    Not,
+    /// `~x`
+    BitNot,
+    /// `*p`
+    Deref,
+    /// `&x`
+    Addr,
+    /// `++x`
+    PreInc,
+    /// `--x`
+    PreDec,
+}
+
+/// Binary operators (no assignment; see [`AssignOp`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// The C source spelling.
+    pub fn as_str(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+            And => "&&",
+            Or => "||",
+        }
+    }
+
+    /// True for comparison operators (the ones that become `tbool` under
+    /// interval transformation).
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    AddAssign,
+    /// `-=`
+    SubAssign,
+    /// `*=`
+    MulAssign,
+    /// `/=`
+    DivAssign,
+}
+
+impl AssignOp {
+    /// The C source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AssignOp::Assign => "=",
+            AssignOp::AddAssign => "+=",
+            AssignOp::SubAssign => "-=",
+            AssignOp::MulAssign => "*=",
+            AssignOp::DivAssign => "/=",
+        }
+    }
+
+    /// The underlying binary operator for compound assignments.
+    pub fn bin_op(self) -> Option<BinOp> {
+        match self {
+            AssignOp::Assign => None,
+            AssignOp::AddAssign => Some(BinOp::Add),
+            AssignOp::SubAssign => Some(BinOp::Sub),
+            AssignOp::MulAssign => Some(BinOp::Mul),
+            AssignOp::DivAssign => Some(BinOp::Div),
+        }
+    }
+}
+
+/// Source location (1-based line/column), carried by expressions so the
+/// reduction detector can match Polly-style positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Loc {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit {
+        /// Value.
+        value: i64,
+        /// Source spelling.
+        text: String,
+    },
+    /// Floating literal, possibly with the `f` or IGen `t` suffix.
+    FloatLit {
+        /// Parsed binary64 value.
+        value: f64,
+        /// Source spelling (without suffix).
+        text: String,
+        /// `f` suffix (binary32 literal).
+        f32: bool,
+        /// IGen tolerance suffix `t` (Section IV-C).
+        tol: bool,
+    },
+    /// Variable reference.
+    Ident(String, Loc),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Postfix `x++` / `x--` (`true` = increment).
+    PostIncDec(Box<Expr>, bool),
+    /// Binary operation with source location (for reduction matching).
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Location of the operator.
+        loc: Loc,
+    },
+    /// Assignment.
+    Assign {
+        /// Operator (`=`, `+=`, …).
+        op: AssignOp,
+        /// Target lvalue.
+        lhs: Box<Expr>,
+        /// Value.
+        rhs: Box<Expr>,
+        /// Location of the operator.
+        loc: Loc,
+    },
+    /// Function call by name.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Location of the callee.
+        loc: Loc,
+    },
+    /// Array indexing `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Member access `base.field` (`arrow` for `->`).
+    Member {
+        /// The accessed object.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// `->` instead of `.`.
+        arrow: bool,
+    },
+    /// C cast `(type) expr`.
+    Cast(Type, Box<Expr>),
+    /// Ternary conditional.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for identifier expressions.
+    pub fn ident(name: &str) -> Expr {
+        Expr::Ident(name.to_string(), Loc::default())
+    }
+
+    /// Convenience constructor for calls.
+    pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+        Expr::Call { name: name.to_string(), args, loc: Loc::default() }
+    }
+
+    /// Convenience constructor for integer literals.
+    pub fn int(v: i64) -> Expr {
+        Expr::IntLit { value: v, text: v.to_string() }
+    }
+
+    /// The location of this expression, if tracked.
+    pub fn loc(&self) -> Loc {
+        match self {
+            Expr::Ident(_, l) => *l,
+            Expr::Binary { loc, .. } | Expr::Assign { loc, .. } | Expr::Call { loc, .. } => *loc,
+            Expr::Unary(_, e) | Expr::PostIncDec(e, _) | Expr::Cast(_, e) => e.loc(),
+            Expr::Index(b, _) | Expr::Cond(b, _, _) => b.loc(),
+            Expr::Member { base, .. } => base.loc(),
+            _ => Loc::default(),
+        }
+    }
+}
+
+/// A variable declaration (single declarator).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Declared type (array sizes included).
+    pub ty: Type,
+    /// Name.
+    pub name: String,
+    /// Optional initializer.
+    pub init: Option<Expr>,
+}
+
+/// Parsed `#pragma` payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pragma {
+    /// `#pragma igen reduce <var>[, <var>…]` — enables the reduction
+    /// transformation for the following loop (Section VI-B).
+    IgenReduce(Vec<String>),
+    /// Any other pragma, kept verbatim.
+    Other(String),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration.
+    Decl(VarDecl),
+    /// Expression statement.
+    Expr(Expr),
+    /// `{ … }` block.
+    Block(Vec<Stmt>),
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Box<Stmt>,
+        /// Optional else branch.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `for` loop.
+    For {
+        /// Init clause (declaration or expression).
+        init: Option<Box<Stmt>>,
+        /// Condition.
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `do … while`.
+    DoWhile {
+        /// Body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `switch` on an integer controlling expression. Arms are kept in
+    /// source order with C fallthrough semantics (`default` may appear
+    /// anywhere among the cases).
+    Switch {
+        /// Controlling expression (integer-typed in the supported subset).
+        cond: Expr,
+        /// The arms in source order.
+        arms: Vec<SwitchArm>,
+    },
+    /// `return`.
+    Return(Option<Expr>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// `#pragma` in statement position.
+    Pragma(Pragma),
+    /// Empty statement `;`.
+    Empty,
+}
+
+/// One `case N:` / `default:` arm of a [`Stmt::Switch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchArm {
+    /// The case label value; `None` for `default:`.
+    pub label: Option<i64>,
+    /// The arm's statements (execution falls through to the next arm
+    /// unless they end in `break`).
+    pub body: Vec<Stmt>,
+}
+
+/// A function parameter, possibly annotated with a tolerance
+/// (`double:0.125 a`, Section IV-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: Type,
+    /// Name.
+    pub name: String,
+    /// IGen tolerance annotation.
+    pub tol: Option<f64>,
+}
+
+/// A function definition or prototype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Return type.
+    pub ret: Type,
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body; `None` for prototypes.
+    pub body: Option<Vec<Stmt>>,
+}
+
+/// A typedef: either a union definition (used by the SIMD generator's
+/// `vec256d`-style wrappers) or a plain alias.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Typedef {
+    /// `typedef union { … } name;`
+    Union {
+        /// New type name.
+        name: String,
+        /// Fields (type, name).
+        fields: Vec<(Type, String)>,
+    },
+    /// `typedef <ty> name;`
+    Alias {
+        /// New type name.
+        name: String,
+        /// Aliased type.
+        ty: Type,
+    },
+}
+
+/// Top-level items.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `#include` line (target as written).
+    Include(String),
+    /// Top-level pragma.
+    Pragma(Pragma),
+    /// Typedef.
+    Typedef(Typedef),
+    /// Global variable.
+    Global(VarDecl),
+    /// Function definition or prototype.
+    Function(Function),
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TranslationUnit {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+impl TranslationUnit {
+    /// Finds a function definition by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.items.iter().find_map(|i| match i {
+            Item::Function(f) if f.name == name && f.body.is_some() => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Iterates all function definitions.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Function(f) if f.body.is_some() => Some(f),
+            _ => None,
+        })
+    }
+}

@@ -1,0 +1,556 @@
+//! Pretty-printer emitting compilable C from the AST.
+//!
+//! `parse(print(ast)) == ast` (modulo token spelling) — verified by the
+//! round-trip property tests. This is the backend IGen uses to write its
+//! transformed translation units (`igen_file.c` in Fig. 1).
+
+use crate::ast::*;
+use core::fmt::Write;
+
+/// Prints a whole translation unit as C source.
+pub fn print_unit(tu: &TranslationUnit) -> String {
+    let mut p = Printer::default();
+    for (i, item) in tu.items.iter().enumerate() {
+        if i > 0 {
+            p.out.push('\n');
+        }
+        p.item(item);
+    }
+    p.out
+}
+
+/// Prints a single function definition.
+pub fn print_function(f: &Function) -> String {
+    let mut p = Printer::default();
+    p.function(f);
+    p.out
+}
+
+/// Prints a single statement (top-level indentation).
+pub fn print_stmt(s: &Stmt) -> String {
+    let mut p = Printer::default();
+    p.stmt(s);
+    p.out
+}
+
+/// Prints an expression.
+pub fn print_expr(e: &Expr) -> String {
+    let mut p = Printer::default();
+    p.expr(e, 0);
+    p.out
+}
+
+/// Prints a type with a declarator name, C style (`double* a`,
+/// `double A[4][8]`).
+pub fn print_decl_ty(ty: &Type, name: &str) -> String {
+    // Split array suffixes off.
+    let mut suffixes = String::new();
+    let mut t = ty;
+    while let Type::Array(inner, n) = t {
+        match n {
+            Some(n) => write!(suffixes, "[{n}]").unwrap(),
+            None => suffixes.push_str("[]"),
+        }
+        t = inner;
+    }
+    format!("{} {name}{suffixes}", type_str(t))
+}
+
+/// The C spelling of a (non-array) type.
+pub fn type_str(ty: &Type) -> String {
+    match ty {
+        Type::Void => "void".into(),
+        Type::Int => "int".into(),
+        Type::UInt => "unsigned int".into(),
+        Type::Long => "int64_t".into(),
+        Type::ULong => "uint64_t".into(),
+        Type::Float => "float".into(),
+        Type::Double => "double".into(),
+        Type::Named(n) => n.clone(),
+        Type::Ptr(inner) => format!("{}*", type_str(inner)),
+        Type::Array(inner, Some(n)) => format!("{}[{n}]", type_str(inner)),
+        Type::Array(inner, None) => format!("{}[]", type_str(inner)),
+    }
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line_start(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+    }
+
+    fn item(&mut self, item: &Item) {
+        match item {
+            Item::Include(s) => {
+                let _ = writeln!(self.out, "#include {s}");
+            }
+            Item::Pragma(p) => self.pragma(p),
+            Item::Typedef(Typedef::Union { name, fields }) => {
+                let _ = writeln!(self.out, "typedef union {{");
+                for (ty, fname) in fields {
+                    let _ = writeln!(self.out, "    {};", print_decl_ty(ty, fname));
+                }
+                let _ = writeln!(self.out, "}} {name};");
+            }
+            Item::Typedef(Typedef::Alias { name, ty }) => {
+                let _ = writeln!(self.out, "typedef {} {name};", type_str(ty));
+            }
+            Item::Global(d) => {
+                self.var_decl(d);
+                self.out.push('\n');
+            }
+            Item::Function(f) => self.function(f),
+        }
+    }
+
+    fn pragma(&mut self, p: &Pragma) {
+        self.line_start();
+        match p {
+            Pragma::IgenReduce(vars) => {
+                let _ = writeln!(self.out, "#pragma igen reduce {}", vars.join(", "));
+            }
+            Pragma::Other(s) => {
+                let _ = writeln!(self.out, "#pragma {s}");
+            }
+        }
+    }
+
+    fn function(&mut self, f: &Function) {
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|p| match p.tol {
+                Some(t) => format!("{}:{} {}", type_str(&p.ty), fmt_f64(t), p.name),
+                None => print_decl_ty(&p.ty, &p.name),
+            })
+            .collect();
+        let _ = write!(self.out, "{} {}({})", type_str(&f.ret), f.name, params.join(", "));
+        match &f.body {
+            None => {
+                self.out.push_str(";\n");
+            }
+            Some(body) => {
+                self.out.push_str(" {\n");
+                self.indent += 1;
+                for s in body {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.line_start();
+                self.out.push_str("}\n");
+            }
+        }
+    }
+
+    fn var_decl(&mut self, d: &VarDecl) {
+        self.line_start();
+        let _ = write!(self.out, "{}", print_decl_ty(&d.ty, &d.name));
+        if let Some(init) = &d.init {
+            self.out.push_str(" = ");
+            self.expr(init, 0);
+        }
+        self.out.push(';');
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl(d) => {
+                self.var_decl(d);
+                self.out.push('\n');
+            }
+            Stmt::Expr(e) => {
+                self.line_start();
+                self.expr(e, 0);
+                self.out.push_str(";\n");
+            }
+            Stmt::Block(body) => {
+                self.line_start();
+                self.out.push_str("{\n");
+                self.indent += 1;
+                for st in body {
+                    self.stmt(st);
+                }
+                self.indent -= 1;
+                self.line_start();
+                self.out.push_str("}\n");
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                self.line_start();
+                self.out.push_str("if (");
+                self.expr(cond, 0);
+                self.out.push_str(")\n");
+                self.nested(then_branch);
+                if let Some(eb) = else_branch {
+                    self.line_start();
+                    self.out.push_str("else\n");
+                    self.nested(eb);
+                }
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.line_start();
+                self.out.push_str("for (");
+                match init.as_deref() {
+                    Some(Stmt::Decl(d)) => {
+                        let _ = write!(self.out, "{}", print_decl_ty(&d.ty, &d.name));
+                        if let Some(i) = &d.init {
+                            self.out.push_str(" = ");
+                            self.expr(i, 0);
+                        }
+                    }
+                    Some(Stmt::Expr(e)) => self.expr(e, 0),
+                    _ => {}
+                }
+                self.out.push_str("; ");
+                if let Some(c) = cond {
+                    self.expr(c, 0);
+                }
+                self.out.push_str("; ");
+                if let Some(st) = step {
+                    self.expr(st, 0);
+                }
+                self.out.push_str(")\n");
+                self.nested(body);
+            }
+            Stmt::While { cond, body } => {
+                self.line_start();
+                self.out.push_str("while (");
+                self.expr(cond, 0);
+                self.out.push_str(")\n");
+                self.nested(body);
+            }
+            Stmt::Switch { cond, arms } => {
+                self.line_start();
+                self.out.push_str("switch (");
+                self.expr(cond, 0);
+                self.out.push_str(")\n");
+                self.line_start();
+                self.out.push_str("{\n");
+                for arm in arms {
+                    self.line_start();
+                    match arm.label {
+                        Some(v) => {
+                            let _ = writeln!(self.out, "case {v}:");
+                        }
+                        None => self.out.push_str("default:\n"),
+                    }
+                    self.indent += 1;
+                    for st in &arm.body {
+                        self.stmt(st);
+                    }
+                    self.indent -= 1;
+                }
+                self.line_start();
+                self.out.push_str("}\n");
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.line_start();
+                self.out.push_str("do\n");
+                self.nested(body);
+                self.line_start();
+                self.out.push_str("while (");
+                self.expr(cond, 0);
+                self.out.push_str(");\n");
+            }
+            Stmt::Return(e) => {
+                self.line_start();
+                self.out.push_str("return");
+                if let Some(e) = e {
+                    self.out.push(' ');
+                    self.expr(e, 0);
+                }
+                self.out.push_str(";\n");
+            }
+            Stmt::Break => {
+                self.line_start();
+                self.out.push_str("break;\n");
+            }
+            Stmt::Continue => {
+                self.line_start();
+                self.out.push_str("continue;\n");
+            }
+            Stmt::Pragma(p) => self.pragma(p),
+            Stmt::Empty => {
+                self.line_start();
+                self.out.push_str(";\n");
+            }
+        }
+    }
+
+    fn nested(&mut self, s: &Stmt) {
+        if matches!(s, Stmt::Block(_)) {
+            self.stmt(s);
+        } else {
+            self.indent += 1;
+            self.stmt(s);
+            self.indent -= 1;
+        }
+    }
+
+    /// Expression printing with minimal parenthesization: `prec` is the
+    /// binding strength of the context; anything looser gets parentheses.
+    fn expr(&mut self, e: &Expr, prec: u8) {
+        match e {
+            Expr::IntLit { text, .. } => self.out.push_str(text),
+            Expr::FloatLit { text, f32, tol, .. } => {
+                self.out.push_str(text);
+                if *f32 {
+                    self.out.push('f');
+                }
+                if *tol {
+                    self.out.push('t');
+                }
+            }
+            Expr::Ident(s, _) => self.out.push_str(s),
+            Expr::Unary(op, inner) => {
+                let needs = prec > 11;
+                if needs {
+                    self.out.push('(');
+                }
+                self.out.push_str(match op {
+                    UnOp::Neg => "-",
+                    UnOp::Plus => "+",
+                    UnOp::Not => "!",
+                    UnOp::BitNot => "~",
+                    UnOp::Deref => "*",
+                    UnOp::Addr => "&",
+                    UnOp::PreInc => "++",
+                    UnOp::PreDec => "--",
+                });
+                self.expr(inner, 11);
+                if needs {
+                    self.out.push(')');
+                }
+            }
+            Expr::PostIncDec(inner, inc) => {
+                self.expr(inner, 12);
+                self.out.push_str(if *inc { "++" } else { "--" });
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let my = bin_prec(*op);
+                let needs = prec > my;
+                if needs {
+                    self.out.push('(');
+                }
+                self.expr(lhs, my);
+                let _ = write!(self.out, " {} ", op.as_str());
+                self.expr(rhs, my + 1);
+                if needs {
+                    self.out.push(')');
+                }
+            }
+            Expr::Assign { op, lhs, rhs, .. } => {
+                let needs = prec > 0;
+                if needs {
+                    self.out.push('(');
+                }
+                self.expr(lhs, 11);
+                let _ = write!(self.out, " {} ", op.as_str());
+                self.expr(rhs, 0);
+                if needs {
+                    self.out.push(')');
+                }
+            }
+            Expr::Call { name, args, .. } => {
+                self.out.push_str(name);
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a, 0);
+                }
+                self.out.push(')');
+            }
+            Expr::Index(base, idx) => {
+                self.expr(base, 12);
+                self.out.push('[');
+                self.expr(idx, 0);
+                self.out.push(']');
+            }
+            Expr::Member { base, field, arrow } => {
+                self.expr(base, 12);
+                self.out.push_str(if *arrow { "->" } else { "." });
+                self.out.push_str(field);
+            }
+            Expr::Cast(ty, inner) => {
+                let needs = prec > 11;
+                if needs {
+                    self.out.push('(');
+                }
+                let _ = write!(self.out, "({})", type_str(ty));
+                self.expr(inner, 11);
+                if needs {
+                    self.out.push(')');
+                }
+            }
+            Expr::Cond(c, t, f) => {
+                let needs = prec > 0;
+                if needs {
+                    self.out.push('(');
+                }
+                self.expr(c, 1);
+                self.out.push_str(" ? ");
+                self.expr(t, 0);
+                self.out.push_str(" : ");
+                self.expr(f, 0);
+                if needs {
+                    self.out.push(')');
+                }
+            }
+        }
+    }
+}
+
+fn bin_prec(op: BinOp) -> u8 {
+    use BinOp::*;
+    match op {
+        Or => 1,
+        And => 2,
+        BitOr => 3,
+        BitXor => 4,
+        BitAnd => 5,
+        Eq | Ne => 6,
+        Lt | Le | Gt | Ge => 7,
+        Shl | Shr => 8,
+        Add | Sub => 9,
+        Mul | Div | Rem => 10,
+    }
+}
+
+/// Formats an f64 so that it re-parses to the same value.
+pub fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn roundtrip(src: &str) {
+        let tu1 = parse(src).unwrap();
+        let printed = print_unit(&tu1);
+        let tu2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        // Compare modulo literal spelling by printing again.
+        assert_eq!(printed, print_unit(&tu2), "unstable printing:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_paper_listings() {
+        roundtrip(
+            r#"
+            double foo(double a, double b) {
+                double c;
+                c = a + b + 0.1;
+                if (c > a) {
+                    c = a * c;
+                }
+                return c;
+            }
+        "#,
+        );
+        roundtrip("double read_sensor(double:0.125 a) { double c = 5.0 + 0.25t; return a + c; }");
+        roundtrip(
+            r#"
+            void mvm(double* A, double* x, double* y) {
+                #pragma igen reduce y
+                for (int i = 0; i < 100; i++)
+                    for (int j = 0; j < 500; j++)
+                        y[i] = y[i] + A[i*500+j]*x[j];
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_generated_simd_style() {
+        roundtrip(
+            r#"
+            typedef union {
+                __m256d v;
+                uint64_t i[4];
+                double f[4];
+            } vec256d;
+            __m256d _c_mm256_add_pd(__m256d _a, __m256d _b) {
+                vec256d dst, a, b;
+                int i, j;
+                a.v = _a;
+                b.v = _b;
+                for (j = 0; j <= 3; ++j) {
+                    i = j * 64;
+                    dst.f[i/64] = a.f[i/64] + b.f[i/64];
+                }
+                return dst.v;
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn precedence_parens_preserved_semantically() {
+        let tu = parse("int f(void) { return (1 + 2) * 3; }").unwrap();
+        let s = print_unit(&tu);
+        assert!(s.contains("(1 + 2) * 3"), "{s}");
+        let tu = parse("int f(void) { return 1 + 2 * 3; }").unwrap();
+        let s = print_unit(&tu);
+        assert!(s.contains("1 + 2 * 3"), "{s}");
+    }
+
+    #[test]
+    fn sub_associativity_parenthesized() {
+        // a - (b - c) must keep its parens.
+        let tu = parse("int f(int a, int b, int c) { return a - (b - c); }").unwrap();
+        let s = print_unit(&tu);
+        assert!(s.contains("a - (b - c)"), "{s}");
+        let tu2 = parse(&s).unwrap();
+        assert_eq!(s, print_unit(&tu2));
+    }
+
+    #[test]
+    fn types_print_correctly() {
+        assert_eq!(type_str(&Type::Ptr(Box::new(Type::Double))), "double*");
+        assert_eq!(
+            print_decl_ty(&Type::Array(Box::new(Type::Int), Some(4)), "a"),
+            "int a[4]"
+        );
+        assert_eq!(
+            print_decl_ty(
+                &Type::Array(Box::new(Type::Array(Box::new(Type::Double), Some(8))), Some(4)),
+                "m"
+            ),
+            "double m[4][8]"
+        );
+    }
+
+    #[test]
+    #[allow(clippy::excessive_precision)] // next-below-0.1: exact by design
+    fn float_formatting_reparses() {
+        for v in [0.1, 1.0, 1e300, 4.75, 0.099999999999999992] {
+            let s = fmt_f64(v);
+            assert_eq!(s.parse::<f64>().unwrap(), v, "{s}");
+        }
+    }
+
+    #[test]
+    fn tolerance_params_print() {
+        let tu = parse("double f(double:0.25 a) { return a; }").unwrap();
+        let s = print_unit(&tu);
+        assert!(s.contains("double:0.25 a"), "{s}");
+    }
+}

@@ -1,0 +1,432 @@
+//! Tokens and the lexer for the IGen C subset.
+//!
+//! The lexer handles the two IGen language extensions (Section IV-C): the
+//! `t` suffix on floating-point constants (`0.25t` — a tolerance around
+//! the value) and the `:` tolerance annotation in parameter lists
+//! (`double:0.125 a`), plus `#include` and `#pragma` lines, which are kept
+//! as dedicated tokens instead of running a real preprocessor.
+
+/// Lexical error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl core::fmt::Display for LexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// A lexed token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+/// Token payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Integer literal (decimal, hex or octal) with its source text.
+    Int(i64, String),
+    /// Floating literal; `f32` marks an `f` suffix, `tol` the IGen `t`
+    /// suffix (Section IV-C).
+    Float {
+        /// Parsed binary64 value.
+        value: f64,
+        /// Original spelling (without suffix).
+        text: String,
+        /// `f`/`F` suffix present.
+        f32: bool,
+        /// IGen `t` suffix present.
+        tol: bool,
+    },
+    /// String literal (content without quotes; used only in includes).
+    Str(String),
+    /// Punctuation / operator, e.g. `"+"`, `"<<="`, `"->"`.
+    Punct(&'static str),
+    /// A `#include` line; payload is the include target as written
+    /// (`<x.h>` or `"x.h"`).
+    Include(String),
+    /// A `#pragma` line; payload is everything after `#pragma`.
+    Pragma(String),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// True if this token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, TokenKind::Punct(q) if *q == p)
+    }
+
+    /// True if this token is the given identifier/keyword.
+    pub fn is_ident(&self, id: &str) -> bool {
+        matches!(self, TokenKind::Ident(q) if q == id)
+    }
+}
+
+/// All multi- and single-character punctuators, longest first.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "=", "<", ">", "!", "~",
+    "&", "|", "^", "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+];
+
+/// Tokenizes a complete source string.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated comments/strings or characters
+/// outside the supported subset.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LexError {
+        LexError { line: self.line, col: self.col, msg: msg.into() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws_and_comments()?;
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, line, col });
+                return Ok(out);
+            };
+            let kind = if c == b'#' {
+                self.lex_directive()?
+            } else if c.is_ascii_alphabetic() || c == b'_' {
+                self.lex_ident()
+            } else if c.is_ascii_digit() || (c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) {
+                self.lex_number()?
+            } else if c == b'"' {
+                self.lex_string()?
+            } else {
+                self.lex_punct()?
+            };
+            out.push(Token { kind, line, col });
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => return Err(self.err("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_directive(&mut self) -> Result<TokenKind, LexError> {
+        // Consume '#', then the directive word, then the rest of the line.
+        self.bump();
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphabetic() {
+                word.push(self.bump().unwrap() as char);
+            } else {
+                break;
+            }
+        }
+        let mut rest = String::new();
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                break;
+            }
+            rest.push(self.bump().unwrap() as char);
+        }
+        let rest = rest.trim().to_string();
+        match word.as_str() {
+            "include" => Ok(TokenKind::Include(rest)),
+            "pragma" => Ok(TokenKind::Pragma(rest)),
+            "define" | "ifdef" | "ifndef" | "endif" | "if" | "else" => {
+                Err(self.err(format!("unsupported preprocessor directive: #{word}")))
+            }
+            _ => Err(self.err(format!("unknown directive: #{word}"))),
+        }
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                s.push(self.bump().unwrap() as char);
+            } else {
+                break;
+            }
+        }
+        TokenKind::Ident(s)
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, LexError> {
+        let mut s = String::new();
+        let mut is_float = false;
+        // Hex?
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            s.push(self.bump().unwrap() as char);
+            s.push(self.bump().unwrap() as char);
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    s.push(self.bump().unwrap() as char);
+                } else {
+                    break;
+                }
+            }
+            let v = i64::from_str_radix(&s[2..], 16)
+                .map_err(|e| self.err(format!("bad hex literal {s}: {e}")))?;
+            // Optional integer suffixes.
+            while matches!(self.peek(), Some(b'u' | b'U' | b'l' | b'L')) {
+                self.bump();
+            }
+            return Ok(TokenKind::Int(v, s));
+        }
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => s.push(self.bump().unwrap() as char),
+                b'.' if !is_float => {
+                    is_float = true;
+                    s.push(self.bump().unwrap() as char);
+                }
+                b'e' | b'E' => {
+                    is_float = true;
+                    s.push(self.bump().unwrap() as char);
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        s.push(self.bump().unwrap() as char);
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Suffixes: f/F (float), t/T (IGen tolerance), l/L/u/U (ints).
+        let mut f32 = false;
+        let mut tol = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'f' | b'F' => {
+                    f32 = true;
+                    is_float = true;
+                    self.bump();
+                }
+                b't' | b'T' => {
+                    tol = true;
+                    is_float = true;
+                    self.bump();
+                }
+                b'l' | b'L' | b'u' | b'U' if !is_float => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        if is_float {
+            let value: f64 = s.parse().map_err(|e| self.err(format!("bad float {s}: {e}")))?;
+            Ok(TokenKind::Float { value, text: s, f32, tol })
+        } else {
+            let v: i64 = s.parse().map_err(|e| self.err(format!("bad int {s}: {e}")))?;
+            Ok(TokenKind::Int(v, s))
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, LexError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(TokenKind::Str(s)),
+                Some(b'\\') => {
+                    let Some(e) = self.bump() else {
+                        return Err(self.err("unterminated string"));
+                    };
+                    s.push('\\');
+                    s.push(e as char);
+                }
+                Some(c) => s.push(c as char),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn lex_punct(&mut self) -> Result<TokenKind, LexError> {
+        for p in PUNCTS {
+            let bytes = p.as_bytes();
+            if self.src[self.pos..].starts_with(bytes) {
+                for _ in 0..bytes.len() {
+                    self.bump();
+                }
+                return Ok(TokenKind::Punct(p));
+            }
+        }
+        Err(self.err(format!(
+            "unexpected character {:?}",
+            self.peek().map(|c| c as char).unwrap_or('\0')
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("double foo(double a) { return a + 1.5; }");
+        assert!(matches!(&k[0], TokenKind::Ident(s) if s == "double"));
+        assert!(k.iter().any(|t| t.is_punct("{")));
+        assert!(k
+            .iter()
+            .any(|t| matches!(t, TokenKind::Float { value, .. } if *value == 1.5)));
+        assert!(matches!(k.last(), Some(TokenKind::Eof)));
+    }
+
+    #[test]
+    fn float_suffixes() {
+        let k = kinds("0.25t 1.0f 2e3 .5 3.");
+        match &k[0] {
+            TokenKind::Float { value, tol, f32, .. } => {
+                assert_eq!(*value, 0.25);
+                assert!(tol);
+                assert!(!f32);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &k[1] {
+            TokenKind::Float { value, f32, tol, .. } => {
+                assert_eq!(*value, 1.0);
+                assert!(f32);
+                assert!(!tol);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(&k[2], TokenKind::Float { value, .. } if *value == 2e3));
+        assert!(matches!(&k[3], TokenKind::Float { value, .. } if *value == 0.5));
+        assert!(matches!(&k[4], TokenKind::Float { value, .. } if *value == 3.0));
+    }
+
+    #[test]
+    fn int_literals() {
+        let k = kinds("42 0x1F 100u 7L");
+        assert!(matches!(&k[0], TokenKind::Int(42, _)));
+        assert!(matches!(&k[1], TokenKind::Int(31, _)));
+        assert!(matches!(&k[2], TokenKind::Int(100, _)));
+        assert!(matches!(&k[3], TokenKind::Int(7, _)));
+    }
+
+    #[test]
+    fn directives() {
+        let k = kinds("#include \"igen_lib.h\"\n#pragma igen reduce y\nint x;");
+        assert!(matches!(&k[0], TokenKind::Include(s) if s == "\"igen_lib.h\""));
+        assert!(matches!(&k[1], TokenKind::Pragma(s) if s == "igen reduce y"));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("a /* comment */ b // line\nc");
+        let ids: Vec<_> = k
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn multi_char_puncts() {
+        let k = kinds("a <<= b >> c != d->e");
+        assert!(k.iter().any(|t| t.is_punct("<<=")));
+        assert!(k.iter().any(|t| t.is_punct(">>")));
+        assert!(k.iter().any(|t| t.is_punct("!=")));
+        assert!(k.iter().any(|t| t.is_punct("->")));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("#define X 1").is_err());
+        assert!(lex("`").is_err());
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

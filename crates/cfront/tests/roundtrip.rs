@@ -1,0 +1,155 @@
+//! Property tests: randomly generated programs survive
+//! print → parse → print byte-identically (printer/parser coherence), and
+//! the lexer never panics on arbitrary input.
+
+use igen_cfront::{lex, parse, print_unit};
+use proptest::prelude::*;
+
+/// A strategy producing random *valid* C expressions as source text over
+/// the variables `a`, `b`, `i`.
+fn expr_src() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("i".to_string()),
+        Just("1".to_string()),
+        Just("0.5".to_string()),
+        Just("0.1".to_string()),
+        Just("2.5e3".to_string()),
+        Just("arr[i]".to_string()),
+    ];
+    leaf.prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just("+"), Just("-"), Just("*"), Just("/"),
+                Just("<"), Just(">"), Just("=="), Just("!="),
+            ])
+                .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
+            inner.clone().prop_map(|e| format!("(-{e})")),
+            inner.clone().prop_map(|e| format!("sqrt({e})")),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("fmin({l}, {r})")),
+            inner.prop_map(|e| format!("((double){e})")),
+        ]
+    })
+}
+
+/// Random statements over the same variables.
+fn stmt_src() -> impl Strategy<Value = String> {
+    let simple = prop_oneof![
+        expr_src().prop_map(|e| format!("a = {e};")),
+        expr_src().prop_map(|e| format!("b = b + {e};")),
+        Just("i = i + 1;".to_string()),
+        Just("arr[i] = a;".to_string()),
+        expr_src().prop_map(|e| format!("double t = {e};")),
+    ];
+    simple.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (expr_src(), inner.clone()).prop_map(|(c, s)| format!("if ({c} > 0.0) {{ {s} }}")),
+            (expr_src(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| format!("if ({c} < 1.0) {{ {t} }} else {{ {e} }}")),
+            inner
+                .clone()
+                .prop_map(|s| format!("for (int k = 0; k < 3; k++) {{ {s} }}")),
+            (inner.clone(), inner).prop_map(|(x, y)| format!("{{ {x} {y} }}")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_print_is_identity(stmts in prop::collection::vec(stmt_src(), 1..6)) {
+        let src = format!(
+            "double f(double a, double b, int i, double* arr) {{ {} return a; }}",
+            stmts.join("\n")
+        );
+        let tu1 = parse(&src).unwrap_or_else(|e| panic!("generated source rejected: {e}\n{src}"));
+        let p1 = print_unit(&tu1);
+        let tu2 = parse(&p1).unwrap_or_else(|e| panic!("printed source rejected: {e}\n{p1}"));
+        let p2 = print_unit(&tu2);
+        prop_assert_eq!(p1, p2, "printing is not a fixed point\nsource: {}", src);
+    }
+
+    #[test]
+    fn lexer_never_panics(s in "[ -~\\n\\t]{0,200}") {
+        let _ = lex(&s); // may Err, must not panic
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(s in "[a-z0-9+\\-*/()<>=;,{}\\[\\]. ]{0,120}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn float_literal_roundtrip(v in prop::num::f64::POSITIVE | prop::num::f64::ZERO) {
+        prop_assume!(v.is_finite());
+        let text = igen_cfront::fmt_f64(v);
+        let src = format!("double f(void) {{ return {text}; }}");
+        let tu = parse(&src).unwrap();
+        let printed = print_unit(&tu);
+        let tu2 = parse(&printed).unwrap();
+        // The literal survives a full round trip with its exact value.
+        let igen_cfront::Stmt::Return(Some(igen_cfront::Expr::FloatLit { value, .. })) =
+            &tu2.functions().next().unwrap().body.as_ref().unwrap()[0]
+        else {
+            panic!("shape");
+        };
+        prop_assert_eq!(*value, v);
+    }
+}
+
+#[test]
+fn pragma_and_extension_roundtrip() {
+    let srcs = [
+        "void f(double* y) { #pragma igen reduce y\nfor (int i = 0; i < 4; i++) y[i] = y[i] + 1.0; }",
+        "double g(double:0.25 a, float b) { return a + 0.125t; }",
+        "#include <math.h>\ndouble h(double x) { return sin(x); }",
+    ];
+    for src in srcs {
+        let p1 = print_unit(&parse(src).unwrap());
+        let p2 = print_unit(&parse(&p1).unwrap());
+        assert_eq!(p1, p2, "{src}");
+    }
+}
+
+#[test]
+fn switch_roundtrip_and_shape() {
+    let src = r#"
+        int pick(int k) {
+            switch (k + 1) {
+                case -2:
+                case 0:
+                    return 10;
+                case 3:
+                    k = k * 2;
+                    break;
+                default:
+                    return -1;
+            }
+            return k;
+        }
+    "#;
+    let tu = parse(src).unwrap();
+    let p1 = print_unit(&tu);
+    let p2 = print_unit(&parse(&p1).unwrap());
+    assert_eq!(p1, p2);
+    // Shape: one switch with 4 arms, default last, labels preserved.
+    let igen_cfront::Item::Function(f) = &tu.items[0] else { panic!() };
+    let body = f.body.as_ref().unwrap();
+    let igen_cfront::Stmt::Switch { arms, .. } = &body[0] else {
+        panic!("{body:?}")
+    };
+    let labels: Vec<Option<i64>> = arms.iter().map(|a| a.label).collect();
+    assert_eq!(labels, [Some(-2), Some(0), Some(3), None]);
+    assert!(arms[0].body.is_empty(), "fallthrough arm is empty");
+    assert_eq!(arms[1].body.len(), 1);
+}
+
+#[test]
+fn switch_parse_errors() {
+    // Statement before any label.
+    assert!(parse("int f(int k) { switch (k) { k = 1; } return k; }").is_err());
+    // Non-integer case label.
+    assert!(parse("int f(int k) { switch (k) { case 1.5: break; } return k; }").is_err());
+}

@@ -1,0 +1,87 @@
+//! Compiler configuration (Fig. 1: "file.c with target precision").
+
+/// Target precision for interval endpoints (Section III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Single-precision endpoints (`f32i`).
+    F32,
+    /// Double-precision endpoints (`f64i`) — the default.
+    #[default]
+    F64,
+    /// Double-double endpoints (`ddi`, Section VI-A).
+    Dd,
+}
+
+/// Output vectorization mode (the ss/sv/vv configurations of the
+/// evaluation).
+///
+/// The transformation is semantically identical across modes — the mode
+/// selects which runtime kernels the emitted calls resolve to (scalar,
+/// SSE-pair, or AVX-packed implementations of the same `ia_*` interface)
+/// and how input SIMD types are promoted (Table II). The performance
+/// impact is measured by the `igen-bench` harness against the
+/// corresponding `igen-interval` / `igen-kernels` implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputVec {
+    /// Scalar output (`IGen-ss` from scalar input).
+    #[default]
+    Scalar,
+    /// SSE-optimized output (`IGen-sv`): one interval per `__m128d`.
+    Sse,
+    /// AVX-optimized output (`IGen-vv`): packed interval vectors.
+    Avx,
+}
+
+/// Policy for branches whose interval condition is unknown (Section
+/// IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchPolicy {
+    /// Signal an exception at runtime (the default; Fig. 2 "It may
+    /// signal exception").
+    #[default]
+    Exception,
+    /// Compute both branches and join the resulting intervals. Falls back
+    /// to [`BranchPolicy::Exception`] (with a diagnostic) when a branch
+    /// modifies arrays or integer variables, exactly as the paper
+    /// restricts it.
+    JoinBranches,
+}
+
+/// Full compiler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Config {
+    /// Endpoint precision.
+    pub precision: Precision,
+    /// Output vectorization.
+    pub vectorize: OutputVec,
+    /// Unknown-branch policy.
+    pub branch_policy: BranchPolicy,
+    /// Enable the reduction accuracy transformation (Section VI-B);
+    /// requires `#pragma igen reduce` annotations in the source.
+    pub reductions: bool,
+    /// Rewrite `v * v` (same plain variable) to the dependency-aware
+    /// `ia_sqr_*` kernel — an accuracy optimization beyond the paper
+    /// (see DESIGN.md §7): tighter when the interval straddles zero,
+    /// identical otherwise. Off by default to match the paper's output.
+    pub sqr_rewrite: bool,
+}
+
+impl Config {
+    /// The suffix used by runtime calls for this precision (`_f64`/`_dd`).
+    pub fn suffix(&self) -> &'static str {
+        match self.precision {
+            Precision::F32 => "f32",
+            Precision::F64 => "f64",
+            Precision::Dd => "dd",
+        }
+    }
+
+    /// The scalar interval type name for this precision.
+    pub fn interval_type(&self) -> &'static str {
+        match self.precision {
+            Precision::F32 => "f32i",
+            Precision::F64 => "f64i",
+            Precision::Dd => "ddi",
+        }
+    }
+}

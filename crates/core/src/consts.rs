@@ -1,0 +1,309 @@
+//! Sound conversion of source constants to intervals (Section IV-B
+//! "Interval constants") and compile-time interval constant folding.
+//!
+//! * Integer-valued constants convert to exact point intervals
+//!   (`1.0 → [1, 1]`).
+//! * Constants that are **not** exactly representable convert to the
+//!   interval of their two neighbouring floats — width 1 ulp, oriented by
+//!   the direction the parser rounded (`0.1 → [0.0999…92, 0.1000…05]`,
+//!   exactly the pair in Fig. 2).
+//! * Representable non-integer constants (`0.5`) convert to a 2-ulp
+//!   enclosure centered at the value.
+//!
+//! Exactness of a decimal literal is decided by comparing the literal
+//! against the *exact* decimal expansion of the parsed double (every
+//! binary64 value has a finite decimal expansion, printable with enough
+//! fractional digits).
+
+use core::cmp::Ordering;
+use igen_dd::Dd;
+use igen_interval::F64I;
+use igen_round::{next_down, next_up, Rd, Rounded, Ru};
+
+/// Compares the exact value of a decimal literal with the binary64 value
+/// `v` it parsed to. `Ordering::Equal` means the literal is exactly
+/// representable.
+pub fn compare_decimal(text: &str, v: f64) -> Ordering {
+    let lit = normalize_decimal(text).expect("literal was already parsed as a float");
+    // The exact expansion of |v|: 1074 fractional digits always suffice
+    // (the smallest subnormal is 2^-1074).
+    let exact = normalize_decimal(&format!("{:.1074}", v.abs())).expect("formatted f64");
+    let cmp_mag = cmp_normalized(&lit, &exact);
+    if v >= 0.0 {
+        cmp_mag
+    } else {
+        // Negative literals never reach here in practice (the parser
+        // produces unary minus), but keep it total.
+        cmp_mag.reverse()
+    }
+}
+
+/// `(digits, exp)` with value `0.<digits> · 10^exp`, digits having no
+/// leading zero (empty = zero).
+#[derive(Debug, PartialEq, Eq)]
+struct Norm {
+    digits: String,
+    exp: i32,
+}
+
+fn normalize_decimal(text: &str) -> Option<Norm> {
+    let t = text.trim();
+    let (mant, e10) = match t.find(['e', 'E']) {
+        Some(idx) => (&t[..idx], t[idx + 1..].parse::<i32>().ok()?),
+        None => (t, 0),
+    };
+    let (int_part, frac_part) = match mant.find('.') {
+        Some(idx) => (&mant[..idx], &mant[idx + 1..]),
+        None => (mant, ""),
+    };
+    let mut digits: String = int_part.chars().chain(frac_part.chars()).collect();
+    if digits.chars().any(|c| !c.is_ascii_digit()) {
+        return None;
+    }
+    // Value = digits · 10^(e10 - frac_len); normalize to 0.D·10^exp.
+    let mut exp = e10 + int_part.len() as i32;
+    // Strip leading zeros (adjusting exp) and trailing zeros.
+    let lead = digits.len() - digits.trim_start_matches('0').len();
+    digits.drain(..lead);
+    exp -= lead as i32;
+    while digits.ends_with('0') {
+        digits.pop();
+    }
+    if digits.is_empty() {
+        return Some(Norm { digits, exp: 0 });
+    }
+    Some(Norm { digits, exp })
+}
+
+fn cmp_normalized(a: &Norm, b: &Norm) -> Ordering {
+    match (a.digits.is_empty(), b.digits.is_empty()) {
+        (true, true) => return Ordering::Equal,
+        (true, false) => return Ordering::Less,
+        (false, true) => return Ordering::Greater,
+        _ => {}
+    }
+    if a.exp != b.exp {
+        return a.exp.cmp(&b.exp);
+    }
+    // Compare digit strings padded to equal length.
+    let len = a.digits.len().max(b.digits.len());
+    let pa: String = format!("{:0<len$}", a.digits);
+    let pb: String = format!("{:0<len$}", b.digits);
+    pa.cmp(&pb)
+}
+
+/// Converts a floating literal (value `v`, original spelling `text`) to
+/// its sound interval enclosure per Section IV-B.
+pub fn literal_interval(v: f64, text: &str) -> F64I {
+    if v == v.trunc() && v.is_finite() && compare_decimal(text, v) == Ordering::Equal {
+        // Integer-valued and exact.
+        return F64I::point(v);
+    }
+    match compare_decimal(text, v) {
+        Ordering::Equal => {
+            if v == v.trunc() {
+                F64I::point(v)
+            } else {
+                // Representable non-integer: 2-ulp enclosure centered at v.
+                F64I::new(next_down(v), next_up(v)).expect("ordered")
+            }
+        }
+        Ordering::Greater => {
+            // True value above the rounded double: [v, next_up(v)].
+            F64I::new(v, next_up(v)).expect("ordered")
+        }
+        Ordering::Less => F64I::new(next_down(v), v).expect("ordered"),
+    }
+}
+
+/// Sound **double-double** enclosure `(lo, hi)` of a decimal literal —
+/// used by the DD compilation target so that constants like `0.7` keep
+/// ~106 bits instead of being capped at the 53-bit enclosure of the f64
+/// target (the paper's DD benchmarks rely on this: its Spiral/SLinGen
+/// inputs carry decimal constants).
+///
+/// The digits are accumulated exactly in chunks, then scaled by the
+/// decimal exponent with directed double-double arithmetic; digits beyond
+/// the 34th contribute a one-unit widening of the upper bound.
+pub fn dd_literal_interval(v: f64, text: &str) -> (Dd, Dd) {
+    if compare_decimal(text, v) == Ordering::Equal {
+        // The double is the exact value.
+        return (Dd::from(v), Dd::from(v));
+    }
+    let norm = normalize_decimal(text).expect("parsed literal");
+    debug_assert!(!norm.digits.is_empty(), "inexact zero is impossible");
+    const MAX_DIGITS: usize = 34;
+    let used = norm.digits.len().min(MAX_DIGITS);
+    let truncated = norm.digits.len() > used;
+    // value = D · 10^(norm.exp - used) with D the first `used` digits;
+    // lower bound uses D, upper bound uses D (+1 if truncated).
+    let k = norm.exp as i64 - used as i64;
+    let lo = digits_scaled::<Rd>(&norm.digits[..used], 0, k);
+    let hi = digits_scaled::<Ru>(&norm.digits[..used], u64::from(truncated), k);
+    debug_assert!(lo.le(&hi));
+    (lo, hi)
+}
+
+/// `(digits as integer + bump) · 10^k`, rounded in direction `R`.
+fn digits_scaled<R: Rounded>(digits: &str, bump: u64, k: i64) -> Dd {
+    // Accumulate in 12-digit chunks (each chunk < 10^12 < 2^53: exact).
+    let mut m = Dd::ZERO;
+    let bytes = digits.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let end = (i + 12).min(bytes.len());
+        let chunk: u64 = digits[i..end].parse().expect("digits");
+        let chunk = if end == bytes.len() { chunk + bump } else { chunk };
+        let scale = 10f64.powi((end - i) as i32); // 10^(<=12): exact
+        m = igen_dd::add_dir::<R>(igen_dd::mul_f64_dir::<R>(m, scale), Dd::from(chunk as f64));
+        i = end;
+    }
+    // Scale by 10^k.
+    if k >= 0 {
+        igen_dd::mul_dir::<R>(m, pow10_dir::<R>(k as u32))
+    } else {
+        // Lower bound: divide by an upper bound of 10^|k|, and vice versa.
+        let j = (-k) as u32;
+        match R::DIRECTION {
+            igen_round::Direction::Down => igen_dd::div_bounds(m, pow10_dir::<Ru>(j)).0,
+            _ => igen_dd::div_bounds(m, pow10_dir::<Rd>(j)).1,
+        }
+    }
+}
+
+/// `10^k` in direction `R` (exponentiation by squaring; k <= ~700 for
+/// parseable literals).
+fn pow10_dir<R: Rounded>(k: u32) -> Dd {
+    let mut result = Dd::ONE;
+    let mut base = Dd::from(10.0);
+    let mut e = k;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = igen_dd::mul_dir::<R>(result, base);
+        }
+        base = igen_dd::mul_dir::<R>(base, base);
+        e >>= 1;
+    }
+    result
+}
+
+/// Converts a `t`-suffixed tolerance literal (Section IV-C): `0.25t` is
+/// the interval `[-0.25, 0.25]` around zero (Fig. 3 shows the exact pair
+/// `[4.75, 5.25]` for `5.0 + 0.25t`). An exactly representable radius is
+/// used as-is; an inexact one is rounded *up* (soundly enlarging the
+/// tolerance).
+pub fn tolerance_interval(v: f64, text: &str) -> F64I {
+    let radius = match compare_decimal(text, v.abs()) {
+        Ordering::Equal => v.abs(),
+        Ordering::Greater => next_up(v.abs()), // true radius above the double
+        Ordering::Less => v.abs(),             // double already over-covers
+    };
+    F64I::new(-radius, radius).expect("ordered")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactness_detection() {
+        assert_eq!(compare_decimal("0.5", 0.5), Ordering::Equal);
+        assert_eq!(compare_decimal("1.0", 1.0), Ordering::Equal);
+        assert_eq!(compare_decimal("0.1", 0.1), Ordering::Less); // 0.1 < the double
+        // The double 0.3 is 0.29999999999999998889…: the decimal is above.
+        assert_eq!(compare_decimal("0.3", 0.3), Ordering::Greater);
+        // 0.7 rounds down: the decimal is above the double.
+        let v = 0.7f64;
+        let dir = compare_decimal("0.7", v);
+        // Verify against the library's own knowledge: the double 0.7 is
+        // 0.6999999999999999555910790149937383830547332763671875.
+        assert_eq!(dir, Ordering::Greater);
+        assert_eq!(compare_decimal("2e3", 2000.0), Ordering::Equal);
+        assert_eq!(compare_decimal("1e-3", 0.001), compare_decimal("0.001", 0.001));
+    }
+
+    #[test]
+    #[allow(clippy::excessive_precision)] // exact next-below-0.1 literal
+    fn fig2_constant_enclosure() {
+        // The paper's Fig. 2: 0.1 becomes
+        // [0.099999999999999992, 0.100000000000000006] — i.e. the two
+        // floats adjacent to the real 0.1 (our enclosure is the pair
+        // [next_down(0.1), 0.1] since 0.1 parses upward).
+        let i = literal_interval(0.1, "0.1");
+        assert!(i.lo() < 0.1 && i.hi() >= 0.1);
+        assert_eq!(igen_round::ulps_between(i.lo(), i.hi()), 1, "width 1 ulp");
+        assert!(i.lo() <= 0.099999999999999992);
+        assert!(i.hi() >= 0.1);
+    }
+
+    #[test]
+    fn integer_constants_exact() {
+        assert!(literal_interval(1.0, "1.0").is_point());
+        assert!(literal_interval(2000.0, "2e3").is_point());
+        assert!(literal_interval(0.0, "0.0").is_point());
+    }
+
+    #[test]
+    fn representable_noninteger_gets_2ulp() {
+        let i = literal_interval(0.5, "0.5");
+        assert_eq!(igen_round::ulps_between(i.lo(), i.hi()), 2);
+        assert!(i.contains(0.5));
+        let j = literal_interval(4.75, "4.75");
+        assert!(j.contains(4.75));
+        assert_eq!(igen_round::ulps_between(j.lo(), j.hi()), 2);
+    }
+
+    #[test]
+    #[allow(clippy::approx_constant)] // 3.141 IS the deliberate test case
+    fn nonrepresentable_gets_1ulp_oriented() {
+        for (text, v) in [("0.1", 0.1f64), ("0.3", 0.3), ("0.7", 0.7), ("3.141", 3.141)] {
+            let i = literal_interval(v, text);
+            assert_eq!(igen_round::ulps_between(i.lo(), i.hi()), 1, "{text}");
+            assert!(i.contains(v));
+        }
+    }
+
+    #[test]
+    fn tolerance_literal() {
+        // 0.25t = [-0.25, 0.25]; 5.0 + 0.25t = [4.75, 5.25] (Fig. 3).
+        let t = tolerance_interval(0.25, "0.25");
+        assert!(t.contains(-0.25) && t.contains(0.25));
+        let five = literal_interval(5.0, "5.0");
+        let sum = five + t;
+        assert!(sum.contains(4.75) && sum.contains(5.25));
+        assert!(sum.lo() <= 4.75 && sum.hi() >= 5.25);
+    }
+
+    #[test]
+    fn dd_literal_enclosures() {
+        // 0.7 at dd precision: width ~2^-106 relative, containing the
+        // true 7/10.
+        let (lo, hi) = dd_literal_interval(0.7, "0.7");
+        assert!(lo.lt(&hi));
+        let seven_tenths = Dd::from(7.0) / Dd::from(10.0); // within 2^-100
+        assert!(lo.le(&seven_tenths) && seven_tenths.le(&hi));
+        let width = (hi - lo).abs().to_f64();
+        assert!(width < 1e-29, "width = {width:e}");
+        // Exact literals stay points.
+        let (lo, hi) = dd_literal_interval(0.5, "0.5");
+        assert!(lo.le(&hi) && hi.le(&lo));
+        assert_eq!(lo.to_f64(), 0.5);
+        // Scientific notation, large and tiny.
+        for (t, v) in [("1.05", 1.05f64), ("6.022e23", 6.022e23), ("1.6e-19", 1.6e-19), ("0.3", 0.3)] {
+            let (lo, hi) = dd_literal_interval(v, t);
+            assert!(lo.le(&Dd::from(v)) && Dd::from(v).le(&hi) || (hi - Dd::from(v)).abs().to_f64() < v.abs() * 1e-15,
+                "{t}: [{lo}, {hi}]");
+            assert!((hi - lo).abs().to_f64() <= v.abs() * 1e-28, "{t} too wide");
+        }
+    }
+
+    #[test]
+    fn decimal_normalization_edge_cases() {
+        assert_eq!(compare_decimal("000.5000", 0.5), Ordering::Equal);
+        assert_eq!(compare_decimal("5", 5.0), Ordering::Equal);
+        assert_eq!(compare_decimal("0.0", 0.0), Ordering::Equal);
+        assert_eq!(compare_decimal("1e300", 1e300), compare_decimal("1e300", 1e300));
+        // Tiny subnormal territory.
+        assert_eq!(compare_decimal("5e-324", 5e-324), Ordering::Greater);
+    }
+}

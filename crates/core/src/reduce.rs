@@ -1,0 +1,368 @@
+//! Reduction detection — the workspace's Polly substitute (Section VI-B).
+//!
+//! Polly detects reduction dependences at the LLVM-IR level and reports
+//! the reduction type, the loop-carried self-dependence, and the source
+//! location of the reducing instruction. This module computes the same
+//! information directly on the AST: inside a loop nest annotated with
+//! `#pragma igen reduce <vars>`, it finds statements of the form
+//!
+//! ```c
+//! x = x + e;        x += e;        A[i] = A[i] + e;
+//! ```
+//!
+//! whose left-hand side is one of the pragma variables, and determines the
+//! *carrying level*: the outermost enclosing loop whose induction variable
+//! does not appear in the left-hand side's index expression (every loop
+//! from there inward carries the self-dependence, so the accumulator is
+//! initialized right before that loop and reduced right after it — in
+//! Fig. 7 that is the inner `j` loop, because `y[i]` depends on `i`).
+
+use igen_cfront::{AssignOp, BinOp, Expr, Loc, Stmt};
+
+/// Information about one detected reduction — the analogue of Polly's
+/// reduction-dependence report shown in Fig. 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionInfo {
+    /// The reduced variable (pragma-specified).
+    pub var: String,
+    /// Reduction operation (only `+` is transformed, like the paper's
+    /// evaluation).
+    pub op: BinOp,
+    /// Source location of the reducing assignment.
+    pub loc: Loc,
+    /// The reduction's left-hand side (`y` or `y[i]`), needed to emit the
+    /// accumulator initialization and final reduction.
+    pub lhs: Expr,
+    /// Induction variables of the carrying loops, outermost first.
+    pub carrying_loops: Vec<String>,
+    /// Nesting depth of the statement (number of enclosing loops).
+    pub depth: usize,
+}
+
+impl ReductionInfo {
+    /// A Polly-style textual report of the detected dependence, matching
+    /// the shape shown in Fig. 7 of the paper:
+    ///
+    /// ```text
+    /// Reduction dependences [Reduction Type: +]:
+    ///     Stmt[i0, i1] -> Stmt[i0, 1 + i1]
+    /// ```
+    pub fn polly_style_report(&self) -> String {
+        let depth = self.depth;
+        let idx: Vec<String> = (0..depth).map(|k| format!("i{k}")).collect();
+        let mut next = idx.clone();
+        if let Some(last) = next.last_mut() {
+            *last = format!("1 + {last}");
+        }
+        format!(
+            "Reduction dependences [Reduction Type: {}]:
+    Stmt[{}] -> Stmt[{}]  (var: {}, line {}, carried by: {})",
+            self.op.as_str(),
+            idx.join(", "),
+            next.join(", "),
+            self.var,
+            self.loc.line,
+            self.carrying_loops.join(", "),
+        )
+    }
+}
+
+/// Detects reductions in a function body (list of statements). `vars`
+/// are the variables named by the enclosing `#pragma igen reduce`.
+pub fn detect_in_stmts(stmts: &[Stmt], vars: &[String]) -> Vec<ReductionInfo> {
+    let mut out = Vec::new();
+    let mut loops = Vec::new();
+    walk(stmts, vars, &mut loops, &mut out);
+    out
+}
+
+fn walk(
+    stmts: &[Stmt],
+    vars: &[String],
+    loops: &mut Vec<String>,
+    out: &mut Vec<ReductionInfo>,
+) {
+    for s in stmts {
+        walk_one(s, vars, loops, out);
+    }
+}
+
+fn walk_one(s: &Stmt, vars: &[String], loops: &mut Vec<String>, out: &mut Vec<ReductionInfo>) {
+    match s {
+        Stmt::For { init, body, .. } => {
+            let var = induction_var(init.as_deref());
+            loops.push(var.unwrap_or_default());
+            walk_one(body, vars, loops, out);
+            loops.pop();
+        }
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => {
+            loops.push(String::new());
+            walk_one(body, vars, loops, out);
+            loops.pop();
+        }
+        Stmt::Block(body) => walk(body, vars, loops, out),
+        Stmt::Switch { arms, .. } => {
+            for arm in arms {
+                walk(&arm.body, vars, loops, out);
+            }
+        }
+        Stmt::If { then_branch, else_branch, .. } => {
+            walk_one(then_branch, vars, loops, out);
+            if let Some(e) = else_branch {
+                walk_one(e, vars, loops, out);
+            }
+        }
+        Stmt::Expr(e) => {
+            if loops.is_empty() {
+                return;
+            }
+            if let Some(info) = match_reduction(e, vars, loops) {
+                out.push(info);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The induction variable of a canonical `for` init clause.
+fn induction_var(init: Option<&Stmt>) -> Option<String> {
+    match init {
+        Some(Stmt::Decl(d)) => Some(d.name.clone()),
+        Some(Stmt::Expr(Expr::Assign { lhs, .. })) => match &**lhs {
+            Expr::Ident(n, _) => Some(n.clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Matches `x = x + e` / `x = e + x` / `x += e` with `x` in `vars`.
+fn match_reduction(e: &Expr, vars: &[String], loops: &[String]) -> Option<ReductionInfo> {
+    let (lhs, rhs, op, loc) = match e {
+        Expr::Assign { op: AssignOp::Assign, lhs, rhs, loc } => {
+            let Expr::Binary { op, lhs: a, rhs: b, .. } = &**rhs else {
+                return None;
+            };
+            if *op != BinOp::Add {
+                return None;
+            }
+            // Which side repeats the lvalue?
+            if exprs_equal(lhs, a) {
+                (&**lhs, &**b, *op, *loc)
+            } else if exprs_equal(lhs, b) {
+                (&**lhs, &**a, *op, *loc)
+            } else {
+                return None;
+            }
+        }
+        Expr::Assign { op: AssignOp::AddAssign, lhs, rhs, loc } => {
+            (&**lhs, &**rhs, BinOp::Add, *loc)
+        }
+        _ => return None,
+    };
+    let _ = rhs;
+    let base = base_name(lhs)?;
+    if !vars.iter().any(|v| v == &base) {
+        return None;
+    }
+    // Carrying loops: the maximal suffix of the loop stack whose
+    // induction variables do not occur in the lhs index expressions.
+    let idx_vars = index_vars(lhs);
+    let mut carrying = Vec::new();
+    for lv in loops.iter().rev() {
+        if lv.is_empty() || idx_vars.contains(lv) {
+            break;
+        }
+        carrying.push(lv.clone());
+    }
+    carrying.reverse();
+    if carrying.is_empty() {
+        return None;
+    }
+    Some(ReductionInfo {
+        var: base,
+        op,
+        loc,
+        lhs: lhs.clone(),
+        carrying_loops: carrying,
+        depth: loops.len(),
+    })
+}
+
+/// Base variable of an lvalue (`y` for both `y` and `y[i]`).
+fn base_name(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Ident(n, _) => Some(n.clone()),
+        Expr::Index(b, _) => base_name(b),
+        Expr::Unary(igen_cfront::UnOp::Deref, b) => base_name(b),
+        _ => None,
+    }
+}
+
+/// Free variables of the index expressions of an lvalue.
+fn index_vars(e: &Expr) -> Vec<String> {
+    let mut out = Vec::new();
+    fn collect(e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::Ident(n, _) => out.push(n.clone()),
+            Expr::Binary { lhs, rhs, .. } => {
+                collect(lhs, out);
+                collect(rhs, out);
+            }
+            Expr::Unary(_, i) | Expr::Cast(_, i) | Expr::PostIncDec(i, _) => collect(i, out),
+            Expr::Index(b, i) => {
+                collect(b, out);
+                collect(i, out);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    collect(a, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Expr::Index(b, i) = e {
+        collect(i, &mut out);
+        // Nested indices of the base too.
+        out.extend(index_vars(b));
+    }
+    out
+}
+
+/// Structural equality ignoring source locations.
+pub fn exprs_equal(a: &Expr, b: &Expr) -> bool {
+    use Expr::*;
+    match (a, b) {
+        (IntLit { value: x, .. }, IntLit { value: y, .. }) => x == y,
+        (FloatLit { value: x, .. }, FloatLit { value: y, .. }) => x == y,
+        (Ident(x, _), Ident(y, _)) => x == y,
+        (Unary(o1, e1), Unary(o2, e2)) => o1 == o2 && exprs_equal(e1, e2),
+        (PostIncDec(e1, i1), PostIncDec(e2, i2)) => i1 == i2 && exprs_equal(e1, e2),
+        (
+            Binary { op: o1, lhs: l1, rhs: r1, .. },
+            Binary { op: o2, lhs: l2, rhs: r2, .. },
+        ) => o1 == o2 && exprs_equal(l1, l2) && exprs_equal(r1, r2),
+        (
+            Assign { op: o1, lhs: l1, rhs: r1, .. },
+            Assign { op: o2, lhs: l2, rhs: r2, .. },
+        ) => o1 == o2 && exprs_equal(l1, l2) && exprs_equal(r1, r2),
+        (Call { name: n1, args: a1, .. }, Call { name: n2, args: a2, .. }) => {
+            n1 == n2 && a1.len() == a2.len() && a1.iter().zip(a2).all(|(x, y)| exprs_equal(x, y))
+        }
+        (Index(b1, i1), Index(b2, i2)) => exprs_equal(b1, b2) && exprs_equal(i1, i2),
+        (
+            Member { base: b1, field: f1, arrow: r1 },
+            Member { base: b2, field: f2, arrow: r2 },
+        ) => f1 == f2 && r1 == r2 && exprs_equal(b1, b2),
+        (Cast(t1, e1), Cast(t2, e2)) => t1 == t2 && exprs_equal(e1, e2),
+        (Cond(c1, t1, f1), Cond(c2, t2, f2)) => {
+            exprs_equal(c1, c2) && exprs_equal(t1, t2) && exprs_equal(f1, f2)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igen_cfront::parse;
+
+    fn body_of(src: &str) -> Vec<Stmt> {
+        let tu = parse(src).unwrap();
+        let body = tu.functions().next().unwrap().body.clone().unwrap();
+        body
+    }
+
+    #[test]
+    fn fig7_mvm_detection() {
+        let body = body_of(
+            r#"void mvm(double* A, double* x, double* y) {
+                for (int i = 0; i < 100; i++)
+                    for (int j = 0; j < 500; j++)
+                        y[i] = y[i] + A[i*500+j]*x[j];
+            }"#,
+        );
+        let red = detect_in_stmts(&body, &["y".to_string()]);
+        assert_eq!(red.len(), 1);
+        let r = &red[0];
+        assert_eq!(r.var, "y");
+        assert_eq!(r.op, BinOp::Add);
+        // Carried by the inner j loop only (y[i] depends on i).
+        assert_eq!(r.carrying_loops, vec!["j".to_string()]);
+        assert_eq!(r.depth, 2);
+        assert_eq!(r.loc.line, 4);
+    }
+
+    #[test]
+    fn polly_style_report_matches_fig7() {
+        let body = body_of(
+            r#"void mvm(double* A, double* x, double* y) {
+                for (int i = 0; i < 100; i++)
+                    for (int j = 0; j < 500; j++)
+                        y[i] = y[i] + A[i*500+j]*x[j];
+            }"#,
+        );
+        let red = detect_in_stmts(&body, &["y".to_string()]);
+        let report = red[0].polly_style_report();
+        assert!(report.contains("[Reduction Type: +]"), "{report}");
+        assert!(report.contains("Stmt[i0, i1] -> Stmt[i0, 1 + i1]"), "{report}");
+    }
+
+    #[test]
+    fn scalar_reduction_carried_by_both_loops() {
+        let body = body_of(
+            r#"double total(double* A) {
+                double s = 0.0;
+                for (int i = 0; i < 10; i++)
+                    for (int j = 0; j < 10; j++)
+                        s = s + A[i*10+j];
+                return s;
+            }"#,
+        );
+        let red = detect_in_stmts(&body, &["s".to_string()]);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red[0].carrying_loops, vec!["i".to_string(), "j".to_string()]);
+    }
+
+    #[test]
+    fn add_assign_and_flipped_forms() {
+        let body = body_of(
+            r#"double f(double* a) {
+                double s = 0.0;
+                for (int i = 0; i < 4; i++) s += a[i];
+                for (int i = 0; i < 4; i++) s = a[i] + s;
+                return s;
+            }"#,
+        );
+        let red = detect_in_stmts(&body, &["s".to_string()]);
+        assert_eq!(red.len(), 2);
+    }
+
+    #[test]
+    fn non_reductions_ignored() {
+        let body = body_of(
+            r#"void f(double* a, double* b) {
+                for (int i = 0; i < 4; i++) {
+                    a[i] = b[i] + 1.0;      // not self-referential
+                    b[i] = b[i] * 2.0;      // wrong operator
+                    a[i] = a[i] + b[i];     // self-ref but i indexes lhs
+                }
+            }"#,
+        );
+        let red = detect_in_stmts(&body, &["a".to_string(), "b".to_string()]);
+        assert!(red.is_empty(), "{red:?}");
+    }
+
+    #[test]
+    fn variables_outside_pragma_ignored() {
+        let body = body_of(
+            r#"double f(double* a) {
+                double s = 0.0;
+                for (int i = 0; i < 4; i++) s = s + a[i];
+                return s;
+            }"#,
+        );
+        assert!(detect_in_stmts(&body, &["other".to_string()]).is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Type promotion from floating-point and SIMD types to interval types
+//! (Table II of the paper).
+
+use crate::config::{Config, Precision};
+use igen_cfront::Type;
+
+/// The kind of a value during transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Kind {
+    /// A scalar interval (`f64i`/`ddi`) — promoted from `float`/`double`.
+    Interval,
+    /// A packed interval vector promoted from a SIMD type; the payload is
+    /// the number of packed intervals — one per floating-point lane of
+    /// the source type (2 for `__m128d`, 4 for `__m128`/`__m256d`, 8 for
+    /// `__m256`), since one interval occupies one `__m128d` (Table II).
+    IntervalVec(u8),
+    /// An integer (left untouched).
+    Int,
+    /// A three-valued boolean produced by an interval comparison.
+    TBool,
+    /// An interval accessed through a union's integer view (`u.i[k]` in
+    /// generated intrinsics) — bitwise operations on it become
+    /// endpoint-wise interval mask operations (Section V).
+    MaskBits,
+    /// A reduction accumulator (Section VI-B).
+    Acc,
+    /// Anything else (void, unions, …).
+    Other,
+}
+
+impl Kind {
+    /// True for interval-carrying kinds.
+    pub fn is_intervalish(&self) -> bool {
+        matches!(self, Kind::Interval | Kind::IntervalVec(_))
+    }
+}
+
+/// Promotes a C type per Table II. Pointers and arrays referring to
+/// floating-point types are promoted structurally; integers and unknown
+/// named types pass through.
+pub fn promote(ty: &Type, cfg: &Config) -> Type {
+    match ty {
+        Type::Float | Type::Double => Type::Named(cfg.interval_type().to_string()),
+        Type::Named(n) => Type::Named(promote_simd_name(n, cfg).unwrap_or_else(|| n.clone())),
+        Type::Ptr(inner) => Type::Ptr(Box::new(promote(inner, cfg))),
+        Type::Array(inner, n) => Type::Array(Box::new(promote(inner, cfg)), *n),
+        other => other.clone(),
+    }
+}
+
+/// Table II: SIMD type → interval vector type name.
+fn promote_simd_name(name: &str, cfg: &Config) -> Option<String> {
+    let lanes = simd_interval_lanes(name)?;
+    Some(match cfg.precision {
+        // SIMD lanes always promote to double-precision intervals, per
+        // the paper's default ("single precision intrinsics are
+        // transformed to equivalent double precision interval
+        // intrinsics"), even under the f32 scalar target.
+        // The `m256di_k` name counts __m256d registers: 2 intervals each.
+        Precision::F32 | Precision::F64 => format!("m256di_{}", lanes / 2),
+        Precision::Dd => format!("ddi_{lanes}"),
+    })
+}
+
+/// Number of packed *intervals* produced from a SIMD type — one per
+/// floating-point lane (Table II: an interval fills one `__m128d`, so
+/// `__m128d` → 2 intervals in `m256di_1`, `__m128`/`__m256d` → 4 in
+/// `m256di_2`, `__m256` → 8 in `m256di_4`).
+pub fn simd_interval_lanes(name: &str) -> Option<u8> {
+    match name {
+        "__m128d" => Some(2),
+        "__m128" | "__m256d" => Some(4),
+        "__m256" => Some(8),
+        _ => None,
+    }
+}
+
+/// The kind of a (source) type after promotion.
+pub fn kind_of(ty: &Type) -> Kind {
+    match ty {
+        Type::Float | Type::Double => Kind::Interval,
+        Type::Int | Type::UInt | Type::Long | Type::ULong => Kind::Int,
+        Type::Named(n) => match simd_interval_lanes(n) {
+            Some(l) => Kind::IntervalVec(l),
+            None => match n.as_str() {
+                "f64i" | "f32i" | "ddi" => Kind::Interval,
+                "tbool" => Kind::TBool,
+                "acc_f64" | "acc_dd" => Kind::Acc,
+                _ => Kind::Other,
+            },
+        },
+        Type::Ptr(inner) | Type::Array(inner, _) => kind_of(inner),
+        Type::Void => Kind::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OutputVec;
+
+    fn cfg(p: Precision) -> Config {
+        Config { precision: p, vectorize: OutputVec::Scalar, ..Config::default() }
+    }
+
+    #[test]
+    fn table2_promotions_f64() {
+        let c = cfg(Precision::F64);
+        assert_eq!(promote(&Type::Float, &c), Type::Named("f64i".into()));
+        assert_eq!(promote(&Type::Double, &c), Type::Named("f64i".into()));
+        assert_eq!(promote(&Type::Named("__m128d".into()), &c), Type::Named("m256di_1".into()));
+        assert_eq!(promote(&Type::Named("__m128".into()), &c), Type::Named("m256di_2".into()));
+        assert_eq!(promote(&Type::Named("__m256d".into()), &c), Type::Named("m256di_2".into()));
+        assert_eq!(promote(&Type::Named("__m256".into()), &c), Type::Named("m256di_4".into()));
+    }
+
+    #[test]
+    fn table2_promotions_dd() {
+        let c = cfg(Precision::Dd);
+        assert_eq!(promote(&Type::Double, &c), Type::Named("ddi".into()));
+        assert_eq!(promote(&Type::Named("__m128d".into()), &c), Type::Named("ddi_2".into()));
+        assert_eq!(promote(&Type::Named("__m256d".into()), &c), Type::Named("ddi_4".into()));
+        assert_eq!(promote(&Type::Named("__m256".into()), &c), Type::Named("ddi_8".into()));
+    }
+
+    #[test]
+    fn structural_promotion() {
+        let c = cfg(Precision::F64);
+        assert_eq!(
+            promote(&Type::Ptr(Box::new(Type::Double)), &c),
+            Type::Ptr(Box::new(Type::Named("f64i".into())))
+        );
+        assert_eq!(
+            promote(&Type::Array(Box::new(Type::Float), Some(8)), &c),
+            Type::Array(Box::new(Type::Named("f64i".into())), Some(8))
+        );
+        // Integers pass through.
+        assert_eq!(promote(&Type::Int, &c), Type::Int);
+        assert_eq!(promote(&Type::Ptr(Box::new(Type::Int)), &c), Type::Ptr(Box::new(Type::Int)));
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(kind_of(&Type::Double), Kind::Interval);
+        assert_eq!(kind_of(&Type::Ptr(Box::new(Type::Double))), Kind::Interval);
+        assert_eq!(kind_of(&Type::Int), Kind::Int);
+        assert_eq!(kind_of(&Type::Named("__m256d".into())), Kind::IntervalVec(4));
+        assert_eq!(kind_of(&Type::Named("tbool".into())), Kind::TBool);
+    }
+}

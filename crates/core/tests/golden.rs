@@ -1,0 +1,92 @@
+//! Full-text golden tests: the compiler's output for the paper's listings,
+//! compared line by line (modulo temp numbering, which is part of the
+//! assertion).
+
+use igen_core::{Compiler, Config};
+
+#[test]
+fn fig2_full_output() {
+    let out = Compiler::new(Config::default())
+        .compile_str(
+            "double foo(double a, double b) {\n\
+             double c;\n\
+             c = a + b + 0.1;\n\
+             \n\
+             if (c > a) {\n\
+             c = a * c;\n\
+             }\n\
+             return c;\n\
+             }",
+        )
+        .unwrap();
+    let want = r#"#include "igen_lib.h"
+
+f64i foo(f64i a, f64i b) {
+    f64i c;
+    f64i t1 = ia_add_f64(a, b);
+    f64i t2 = ia_set_f64(0.09999999999999999, 0.1);
+    c = ia_add_f64(t1, t2);
+    tbool t3 = ia_cmpgt_f64(c, a);
+    if (ia_cvt2bool_tb(t3))
+    {
+        c = ia_mul_f64(a, c);
+    }
+    return c;
+}
+"#;
+    assert_eq!(out.c_source, want, "got:\n{}", out.c_source);
+}
+
+#[test]
+fn fig3_full_output() {
+    let out = Compiler::new(Config::default())
+        .compile_str(
+            "double read_sensor(double:0.125 a) {\n\
+             double c = 5.0 + 0.25t;\n\
+             return a + c;\n\
+             }",
+        )
+        .unwrap();
+    let want = r#"#include "igen_lib.h"
+
+f64i read_sensor(double a) {
+    f64i _a = ia_set_tol_f64(a, 0.125);
+    f64i c = ia_set_f64(4.75, 5.25);
+    f64i t1 = ia_add_f64(_a, c);
+    return t1;
+}
+"#;
+    assert_eq!(out.c_source, want, "got:\n{}", out.c_source);
+}
+
+#[test]
+fn fig7_full_output() {
+    let cfg = Config { reductions: true, ..Config::default() };
+    let out = Compiler::new(cfg)
+        .compile_str(
+            "void mvm(double* A, double* x, double* y) {\n\
+             #pragma igen reduce y\n\
+             for (int i = 0; i < 100; i++)\n\
+             for (int j = 0; j < 500; j++)\n\
+             y[i] = y[i] + A[i*500+j]*x[j];\n\
+             }",
+        )
+        .unwrap();
+    let want = r#"#include "igen_lib.h"
+
+void mvm(f64i* A, f64i* x, f64i* y) {
+    for (int i = 0; i < 100; i++)
+    {
+        acc_f64 acc1;
+        isum_init_f64(&acc1, y[i]);
+        for (int j = 0; j < 500; j++)
+        {
+            f64i t1 = ia_mul_f64(A[i * 500 + j], x[j]);
+            isum_accumulate_f64(&acc1, t1);
+        }
+        y[i] = isum_reduce_f64(&acc1);
+    }
+}
+"#;
+    assert_eq!(out.c_source, want, "got:\n{}", out.c_source);
+}

@@ -1,0 +1,319 @@
+//! Double-double arithmetic kernels, generic over the rounding direction.
+//!
+//! These are the algorithms of Fig. 6 of the paper (DD_Add with TwoSum /
+//! FastTwoSum) and the multiplication/division algorithms of
+//! Joldes–Muller–Popescu, instantiated at round-to-nearest for plain
+//! double-double arithmetic and at RU/RD for sound interval endpoints
+//! (Lemma 1: under upward rounding every kernel yields an upper bound of
+//! the exact result; under downward rounding a lower bound).
+
+use crate::dd::Dd;
+use igen_round::{Direction, Rounded, Ru};
+
+/// Final renormalization of a kernel result: an *exact* TwoSum (value
+/// preserving, hence direction preserving) that restores the canonical
+/// `hi = RN(hi+lo)` form, plus sound saturation when the renormalized sum
+/// overflows the binary64 range.
+#[inline]
+fn finish<R: Rounded>(zh: f64, zl: f64) -> Dd {
+    if zh.is_nan() || zl.is_nan() {
+        return Dd::from_parts_unchecked(f64::NAN, f64::NAN);
+    }
+    if zh.is_infinite() {
+        return Dd::from_parts_unchecked(zh, 0.0);
+    }
+    let (h, l) = igen_round::two_sum(zh, zl);
+    if h.is_finite() {
+        return Dd::from_parts_unchecked(h, l);
+    }
+    // zh + zl overflowed during renormalization: the exact value lies
+    // beyond ±MAX. Saturate soundly for the direction in use.
+    match (R::DIRECTION, h == f64::INFINITY) {
+        (Direction::Up, true) | (Direction::Nearest, true) => Dd::from_parts_unchecked(f64::INFINITY, 0.0),
+        (Direction::Up, false) => Dd::from_parts_unchecked(-f64::MAX, 0.0),
+        (Direction::Down, false) | (Direction::Nearest, false) => {
+            Dd::from_parts_unchecked(f64::NEG_INFINITY, 0.0)
+        }
+        (Direction::Down, true) => Dd::from_parts_unchecked(f64::MAX, 0.0),
+    }
+}
+
+/// TwoSum computed entirely in rounding direction `R` (Fig. 6, right).
+///
+/// With `R = Rn` this is the exact error-free transformation; with a
+/// directed mode, `s + e` bounds the exact sum from that side.
+#[inline]
+pub fn two_sum_dir<R: Rounded>(a: f64, b: f64) -> (f64, f64) {
+    let s = R::add(a, b);
+    let a1 = R::sub(s, b);
+    let b1 = R::sub(s, a1);
+    let da = R::sub(a, a1);
+    let db = R::sub(b, b1);
+    (s, R::add(da, db))
+}
+
+/// FastTwoSum in rounding direction `R` (requires `|a| >= |b|` for the
+/// nearest-mode exactness guarantee; the directed-bound property of ref. 36
+/// holds regardless for the compositions used here).
+#[inline]
+pub fn fast_two_sum_dir<R: Rounded>(a: f64, b: f64) -> (f64, f64) {
+    let s = R::add(a, b);
+    let z = R::sub(s, a);
+    (s, R::sub(b, z))
+}
+
+/// TwoProd in rounding direction `R`: `(p, e)` with `p = R(a*b)`. The
+/// residual `a*b - p` is exactly representable for any faithful `p`, so
+/// `p + e = a*b` exactly in every mode (absent over/underflow).
+#[inline]
+pub fn two_prod_dir<R: Rounded>(a: f64, b: f64) -> (f64, f64) {
+    let p = R::mul(a, b);
+    let e = R::fma(a, b, -p);
+    (p, e)
+}
+
+/// Double-double addition in direction `R` — the AccurateDWPlusDW
+/// algorithm shown in Fig. 6 (left) of the paper.
+///
+/// With `R = Ru` the result is `>=` the exact sum; with `R = Rd`, `<=`
+/// (Lemma 1).
+pub fn add_dir<R: Rounded>(x: Dd, y: Dd) -> Dd {
+    let (sh, sl) = two_sum_dir::<R>(x.hi(), y.hi());
+    let (th, tl) = two_sum_dir::<R>(x.lo(), y.lo());
+    let c = R::add(sl, th);
+    let (vh, vl) = fast_two_sum_dir::<R>(sh, c);
+    let w = R::add(tl, vl);
+    let (zh, zl) = fast_two_sum_dir::<R>(vh, w);
+    finish::<R>(zh, zl)
+}
+
+/// Double-double subtraction in direction `R`: `x - y` bounded from the
+/// `R` side.
+pub fn sub_dir<R: Rounded>(x: Dd, y: Dd) -> Dd {
+    add_dir::<R>(x, y.neg())
+}
+
+/// Double-double multiplication in direction `R` (DWTimesDW3 of
+/// Joldes–Muller–Popescu). Monotone error accumulation makes the `Ru`
+/// instance an upper bound and the `Rd` instance a lower bound of the
+/// exact product.
+pub fn mul_dir<R: Rounded>(x: Dd, y: Dd) -> Dd {
+    let (ch, cl1) = two_prod_dir::<R>(x.hi(), y.hi());
+    let tl0 = R::mul(x.lo(), y.lo());
+    let tl1 = R::fma(x.hi(), y.lo(), tl0);
+    let cl2 = R::fma(x.lo(), y.hi(), tl1);
+    let cl3 = R::add(cl1, cl2);
+    let (zh, zl) = fast_two_sum_dir::<R>(ch, cl3);
+    finish::<R>(zh, zl)
+}
+
+/// Double-double × double in direction `R` (DWTimesFP3).
+pub fn mul_f64_dir<R: Rounded>(x: Dd, y: f64) -> Dd {
+    let (ch, cl1) = two_prod_dir::<R>(x.hi(), y);
+    let cl3 = R::fma(x.lo(), y, cl1);
+    let (zh, zl) = fast_two_sum_dir::<R>(ch, cl3);
+    finish::<R>(zh, zl)
+}
+
+/// Relative-error exponent guaranteed for [`div_rn`]: the result is within
+/// `2^-DIV_REL_ERR_EXP` of the exact quotient in relative terms.
+///
+/// Joldes–Muller–Popescu prove `<= 9.8 * 2^-106` for DWDivDW3; we use the
+/// very comfortable margin `2^-100` when deriving sound bounds in
+/// [`div_bounds`].
+pub const DIV_REL_ERR_EXP: i32 = 100;
+
+/// Double-double division in round-to-nearest (DWDivDW2 with an FMA
+/// residual refinement).
+pub fn div_rn(x: Dd, y: Dd) -> Dd {
+    let th = x.hi() / y.hi();
+    if !th.is_finite() || th == 0.0 {
+        // Degenerate magnitude: the scalar quotient already saturated.
+        return Dd::from_parts_unchecked(th, if th.is_nan() { f64::NAN } else { 0.0 });
+    }
+    // r = x - th * y, computed in double-double.
+    let (ph, pl) = two_prod_dir::<igen_round::Rn>(th, y.hi());
+    let dh = x.hi() - ph;
+    let dt = dh - pl;
+    let d = dt + (x.lo() - th * y.lo());
+    let tl = d / y.hi();
+    let (zh, zl) = igen_round::fast_two_sum(th, tl);
+    finish::<igen_round::Rn>(zh, zl)
+}
+
+/// Sound enclosure of the exact quotient `x / y`: returns `(lo, hi)` with
+/// `lo <= x/y <= hi`.
+///
+/// Derived from [`div_rn`] plus its proven relative error bound
+/// (see [`DIV_REL_ERR_EXP`]) with an absolute floor covering underflow.
+/// For `y` spanning or touching zero the caller (the interval layer) is
+/// responsible for the division-by-zero semantics; here a zero `y.hi()`
+/// yields infinite bounds.
+pub fn div_bounds(x: Dd, y: Dd) -> (Dd, Dd) {
+    let q = div_rn(x, y);
+    if !q.is_finite() {
+        if q.is_nan() {
+            return (Dd::NAN, Dd::NAN);
+        }
+        // An infinite quotient from finite operands means overflow: the
+        // exact value is a finite real beyond ±MAX, so the finite side of
+        // the enclosure saturates at ±MAX.
+        if x.is_finite() && y.is_finite() {
+            return if q.hi() > 0.0 {
+                (Dd::from(f64::MAX), Dd::INFINITY)
+            } else {
+                (Dd::NEG_INFINITY, Dd::from(-f64::MAX))
+            };
+        }
+        return (q, q);
+    }
+    if x.is_zero() {
+        return (Dd::ZERO, Dd::ZERO);
+    }
+    let delta = err_radius(q);
+    (sub_dir::<igen_round::Rd>(q, delta), add_dir::<Ru>(q, delta))
+}
+
+/// Relative-error exponent guaranteed for [`sqrt_rn`] (SQRTDWtoDW2 has a
+/// proven bound of `25/8 * 2^-106`; we use `2^-100`).
+pub const SQRT_REL_ERR_EXP: i32 = 100;
+
+/// Double-double square root in round-to-nearest (one Newton/Karp step on
+/// the scalar root). NaN for negative inputs.
+pub fn sqrt_rn(x: Dd) -> Dd {
+    if x.is_zero() {
+        return x;
+    }
+    if x.is_sign_negative() {
+        return Dd::from_parts_unchecked(f64::NAN, f64::NAN);
+    }
+    let sh = x.hi().sqrt();
+    if !sh.is_finite() {
+        return Dd::from_parts_unchecked(sh, 0.0);
+    }
+    // r = x - sh^2 in double-double, correction r / (2 sh).
+    let (ph, pl) = two_prod_dir::<igen_round::Rn>(sh, sh);
+    let dh = x.hi() - ph;
+    let dt = dh - pl;
+    let d = dt + x.lo();
+    let sl = d / (2.0 * sh);
+    let (zh, zl) = igen_round::fast_two_sum(sh, sl);
+    finish::<igen_round::Rn>(zh, zl)
+}
+
+/// Sound enclosure of the exact square root: `(lo, hi)` with
+/// `lo <= sqrt(x) <= hi`; NaN bounds for negative input.
+pub fn sqrt_bounds(x: Dd) -> (Dd, Dd) {
+    let s = sqrt_rn(x);
+    if s.is_nan() {
+        let nan = Dd::from_parts_unchecked(f64::NAN, f64::NAN);
+        return (nan, nan);
+    }
+    if x.is_zero() || !s.is_finite() {
+        return (s, s);
+    }
+    let delta = err_radius(s);
+    let lo = sub_dir::<igen_round::Rd>(s, delta).max(Dd::ZERO);
+    (lo, add_dir::<Ru>(s, delta))
+}
+
+/// `|q| * 2^-100 + 2^-1055`: a rigorous error radius for the RN kernels
+/// with proven relative error below `2^-100` in the normal range, plus an
+/// absolute floor absorbing the tail-quantization error when the trailing
+/// component falls into the subnormal range (each subnormal rounding
+/// contributes at most 2^-1074; the floor leaves a 2^19 margin).
+fn err_radius(q: Dd) -> Dd {
+    let rel = igen_round::mul_ru(q.hi().abs(), pow2_f64(-DIV_REL_ERR_EXP));
+    let abs_floor = pow2_f64(-1055);
+    Dd::from(igen_round::add_ru(rel, abs_floor))
+}
+
+fn pow2_f64(n: i32) -> f64 {
+    if n >= -1022 {
+        f64::from_bits(((1023 + n) as u64) << 52)
+    } else {
+        f64::from_bits(1u64 << (n + 1074))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igen_round::{Rd, Rn, Ru};
+
+    #[test]
+    fn add_nearest_is_exactish() {
+        let x = Dd::from(1.0);
+        let y = Dd::from(f64::EPSILON / 4.0);
+        let s = add_dir::<Rn>(x, y);
+        assert_eq!(s.hi(), 1.0);
+        assert_eq!(s.lo(), f64::EPSILON / 4.0);
+    }
+
+    #[test]
+    fn directed_add_brackets_nearest() {
+        let x = Dd::new(0.1, 0.0);
+        let y = Dd::new(0.2, 1e-25);
+        let lo = add_dir::<Rd>(x, y);
+        let hi = add_dir::<Ru>(x, y);
+        let rn = add_dir::<Rn>(x, y);
+        assert!(lo.le(&rn) && rn.le(&hi));
+    }
+
+    #[test]
+    fn mul_is_much_more_accurate_than_f64() {
+        // (1 + eps) * (1 - eps) = 1 - eps^2: exact in dd.
+        let a = Dd::from(1.0 + f64::EPSILON);
+        let b = Dd::from(1.0 - f64::EPSILON);
+        let p = mul_dir::<Rn>(a, b);
+        assert_eq!(p.hi(), 1.0);
+        assert_eq!(p.lo(), -(f64::EPSILON * f64::EPSILON));
+    }
+
+    #[test]
+    fn div_times_back_recovers() {
+        let x = Dd::from(1.0);
+        let y = Dd::from(3.0);
+        let q = div_rn(x, y);
+        let back = mul_dir::<Rn>(q, y);
+        let err = (back - Dd::ONE).abs();
+        assert!(err.to_f64() < 1e-31, "err = {err}");
+    }
+
+    #[test]
+    fn div_bounds_contain_quotient() {
+        let cases = [(1.0, 3.0), (-7.0, 11.0), (1e200, 3e-100), (5.0, -0.3)];
+        for (a, b) in cases {
+            let (lo, hi) = div_bounds(Dd::from(a), Dd::from(b));
+            let q = div_rn(Dd::from(a), Dd::from(b));
+            assert!(lo.le(&q) && q.le(&hi), "{a}/{b}: {lo} {q} {hi}");
+            assert!(lo.lt(&hi));
+        }
+        let (lo, hi) = div_bounds(Dd::ZERO, Dd::from(2.0));
+        assert!(lo.is_zero() && hi.is_zero());
+    }
+
+    #[test]
+    fn sqrt_bounds_contain_root() {
+        for v in [2.0, 0.5, 9.0, 1e300, 1e-300] {
+            let (lo, hi) = sqrt_bounds(Dd::from(v));
+            let s = sqrt_rn(Dd::from(v));
+            assert!(lo.le(&s) && s.le(&hi), "sqrt({v})");
+            // Squaring the bounds brackets v.
+            let lo2 = mul_dir::<Rd>(lo, lo);
+            let hi2 = mul_dir::<Ru>(hi, hi);
+            assert!(lo2.le(&Dd::from(v)) && Dd::from(v).le(&hi2), "sqrt({v}) squared");
+        }
+        assert!(sqrt_bounds(Dd::from(-1.0)).0.is_nan());
+        assert!(sqrt_rn(Dd::ZERO).is_zero());
+    }
+
+    #[test]
+    fn mul_f64_matches_full_mul() {
+        let x = Dd::new(std::f64::consts::PI, 1.2246467991473532e-16);
+        let p1 = mul_f64_dir::<Rn>(x, 3.0);
+        let p2 = mul_dir::<Rn>(x, Dd::from(3.0));
+        let d = (p1 - p2).abs();
+        assert!(d.to_f64() < 1e-30);
+    }
+}

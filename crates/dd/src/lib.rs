@@ -1,0 +1,45 @@
+//! `igen-dd`: double-double (double-word) arithmetic, in round-to-nearest
+//! and in the directed-rounding variants that make sound double-double
+//! *intervals* possible (Section VI-A and Lemma 1 of the IGen paper).
+//!
+//! A double-double number is an unevaluated sum `hi + lo` of two binary64
+//! values whose significands do not overlap, giving at least 106 bits of
+//! precision while keeping the binary64 exponent range.
+//!
+//! The algorithms are the most accurate ones in the literature
+//! (Joldes–Muller–Popescu, as cited by the paper), written once generically
+//! over the [`igen_round::Rounded`] trait:
+//!
+//! * instantiated at [`igen_round::Rn`] they are the classical
+//!   round-to-nearest double-double operations;
+//! * instantiated at [`igen_round::Ru`] / [`igen_round::Rd`] they compute
+//!   guaranteed upper / lower bounds of the exact result (Lemma 1), which
+//!   is exactly what `igen-interval` uses for its `ddi` endpoints.
+//!
+//! # Example
+//!
+//! ```
+//! use igen_dd::Dd;
+//! use igen_round::{Rd, Ru};
+//!
+//! let x = Dd::from(0.1);
+//! let y = Dd::from(0.2);
+//! let lo = igen_dd::add_dir::<Rd>(x, y);
+//! let hi = igen_dd::add_dir::<Ru>(x, y);
+//! let rn = x + y;
+//! assert!(lo.to_f64() <= rn.to_f64() && rn.to_f64() <= hi.to_f64());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arith;
+mod consts;
+mod dd;
+
+pub use arith::{
+    add_dir, div_bounds, div_rn, fast_two_sum_dir, mul_dir, mul_f64_dir, sqrt_bounds, sqrt_rn,
+    sub_dir, two_prod_dir, two_sum_dir, DIV_REL_ERR_EXP, SQRT_REL_ERR_EXP,
+};
+pub use consts::{DD_2_PI, DD_E, DD_LN2, DD_LOG2E, DD_PI, DD_PI_2, DD_PI_4, DD_SQRT2};
+pub use dd::Dd;

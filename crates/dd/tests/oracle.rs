@@ -1,0 +1,131 @@
+//! Property tests of the double-double kernels against the 256-bit oracle.
+//!
+//! This is the machine-checked version of the paper's Lemma 1: running the
+//! double-double algorithms with upward rounding yields an upper bound of
+//! the exact result, and with downward rounding a lower bound.
+
+use igen_dd::{add_dir, div_bounds, div_rn, mul_dir, sqrt_bounds, sub_dir, Dd};
+use igen_mpf::{Mpf, Rm};
+use igen_round::{Rd, Rn, Ru};
+use proptest::prelude::*;
+
+/// A random double-double built from a base double and a small tail.
+fn any_dd() -> impl Strategy<Value = Dd> {
+    (
+        prop_oneof![
+            3 => -1e12f64..1e12,
+            1 => -1e-3f64..1e-3,
+            1 => any::<f64>().prop_filter("finite normal-ish", |x| x.is_finite()
+                && x.abs() < 1e250 && (x.abs() > 1e-250 || *x == 0.0)),
+        ],
+        -1.0f64..1.0,
+    )
+        .prop_map(|(hi, frac)| {
+            // A tail strictly below hi's ulp keeps the dd well formed.
+            let tail = frac * igen_round::ulp(hi) * 0.49;
+            Dd::new(hi, if tail.is_finite() { tail } else { 0.0 })
+        })
+}
+
+fn to_mpf(x: Dd) -> Mpf {
+    Mpf::from_dd(x.hi(), x.lo(), Rm::Nearest) // exact for well-formed dd
+}
+
+/// Assert `lo <= exact <= hi` in the oracle's arithmetic.
+fn assert_brackets(tag: &str, lo: Dd, exact: &Mpf, hi: Dd) -> Result<(), TestCaseError> {
+    use core::cmp::Ordering::Greater;
+    use core::cmp::Ordering::Less;
+    let lo_m = to_mpf(lo);
+    let hi_m = to_mpf(hi);
+    prop_assert!(
+        lo_m.cmp_num(exact) != Some(Greater),
+        "{tag}: lower bound {lo} above exact {exact}"
+    );
+    prop_assert!(
+        hi_m.cmp_num(exact) != Some(Less),
+        "{tag}: upper bound {hi} below exact {exact}"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1500))]
+
+    #[test]
+    fn lemma1_addition(x in any_dd(), y in any_dd()) {
+        let exact = to_mpf(x).add(&to_mpf(y), Rm::Nearest); // 256 bits: exact for dd ranges
+        let lo = add_dir::<Rd>(x, y);
+        let hi = add_dir::<Ru>(x, y);
+        assert_brackets("dd add", lo, &exact, hi)?;
+        // The nearest version agrees with the exact sum to ~2^-105 rel.
+        // (it need not lie inside the directed bracket, whose width is of
+        // the same order as the RN error).
+        let rn = add_dir::<Rn>(x, y);
+        let err = to_mpf(rn).sub(&exact, Rm::Nearest).abs();
+        let tol = exact.abs().scale2(-100).add(&Mpf::from_f64(1e-320), Rm::Up);
+        prop_assert!(err.cmp_num(&tol) != Some(core::cmp::Ordering::Greater));
+    }
+
+    #[test]
+    fn lemma1_subtraction(x in any_dd(), y in any_dd()) {
+        let exact = to_mpf(x).sub(&to_mpf(y), Rm::Nearest);
+        assert_brackets("dd sub", sub_dir::<Rd>(x, y), &exact, sub_dir::<Ru>(x, y))?;
+    }
+
+    #[test]
+    fn lemma1_multiplication(x in any_dd(), y in any_dd()) {
+        let exact = to_mpf(x).mul(&to_mpf(y), Rm::Nearest); // 212 bits < 256: exact
+        assert_brackets("dd mul", mul_dir::<Rd>(x, y), &exact, mul_dir::<Ru>(x, y))?;
+    }
+
+    #[test]
+    fn division_bounds_contain_exact(x in any_dd(), y in any_dd()) {
+        prop_assume!(!y.is_zero() && y.hi().abs() > 1e-200);
+        let (lo, hi) = div_bounds(x, y);
+        prop_assume!(lo.is_finite() && hi.is_finite());
+        // Oracle directed quotients bracket the exact one.
+        let q_lo = to_mpf(x).div(&to_mpf(y), Rm::Down);
+        let q_hi = to_mpf(x).div(&to_mpf(y), Rm::Up);
+        assert_brackets("dd div lo", lo, &q_lo, hi)?;
+        assert_brackets("dd div hi", lo, &q_hi, hi)?;
+    }
+
+    #[test]
+    fn division_rn_accuracy(x in any_dd(), y in any_dd()) {
+        prop_assume!(!y.is_zero() && y.hi().abs() > 1e-200 && x.hi().abs() > 1e-200);
+        let q = div_rn(x, y);
+        // The 2^-100 relative bound needs the trailing component to stay
+        // normal, i.e. |q| comfortably above 2^-969; smaller quotients are
+        // covered by div_bounds' absolute floor instead.
+        prop_assume!(q.is_finite() && q.hi().abs() > 1e-270);
+        // Relative error below 2^-100 (the bound div_bounds relies on).
+        let exact = to_mpf(x).div(&to_mpf(y), Rm::Nearest);
+        let err = to_mpf(q).sub(&exact, Rm::Nearest).abs();
+        let tol = exact.abs().scale2(-100);
+        prop_assert!(
+            err.cmp_num(&tol) != Some(core::cmp::Ordering::Greater),
+            "dd div err too large: q={q} exact={exact}"
+        );
+    }
+
+    #[test]
+    fn sqrt_bounds_contain_exact(x in any_dd()) {
+        let x = x.abs();
+        let (lo, hi) = sqrt_bounds(x);
+        let s_lo = to_mpf(x).sqrt(Rm::Down);
+        let s_hi = to_mpf(x).sqrt(Rm::Up);
+        assert_brackets("dd sqrt", lo, &s_lo, hi)?;
+        assert_brackets("dd sqrt", lo, &s_hi, hi)?;
+    }
+
+    #[test]
+    fn mul_rn_relative_error(x in any_dd(), y in any_dd()) {
+        prop_assume!(x.hi().abs() > 1e-100 && y.hi().abs() > 1e-100);
+        prop_assume!(x.hi().abs() < 1e100 && y.hi().abs() < 1e100);
+        let p = mul_dir::<Rn>(x, y);
+        let exact = to_mpf(x).mul(&to_mpf(y), Rm::Nearest);
+        let err = to_mpf(p).sub(&exact, Rm::Nearest).abs();
+        let tol = exact.abs().scale2(-100);
+        prop_assert!(err.cmp_num(&tol) != Some(core::cmp::Ordering::Greater));
+    }
+}

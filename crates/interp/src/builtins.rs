@@ -1,0 +1,516 @@
+//! Builtin bindings: libm and SIMD intrinsics for float-mode programs,
+//! and the whole `ia_*` / `isum_*` runtime (backed by `igen-interval`)
+//! for transformed programs.
+
+use crate::exec::{Interp, RtError};
+use crate::value::Value;
+use igen_cfront::{BinOp, Expr, UnOp};
+use igen_interval::{capi, DdI, F32I, F64I, SumAcc64, SumAccDd, TBool};
+
+/// Interval semantics of a C binary operator (used when kernels are
+/// interpreted directly over interval values).
+pub fn interval_binop(op: BinOp, a: F64I, b: F64I) -> Result<Value, RtError> {
+    Ok(match op {
+        BinOp::Add => Value::Interval(a + b),
+        BinOp::Sub => Value::Interval(a - b),
+        BinOp::Mul => Value::Interval(a * b),
+        BinOp::Div => Value::Interval(a / b),
+        BinOp::Lt => Value::TBool(a.cmp_lt(&b)),
+        BinOp::Le => Value::TBool(a.cmp_le(&b)),
+        BinOp::Gt => Value::TBool(a.cmp_gt(&b)),
+        BinOp::Ge => Value::TBool(a.cmp_ge(&b)),
+        BinOp::Eq => Value::TBool(a.cmp_eq(&b)),
+        BinOp::Ne => Value::TBool(a.cmp_ne(&b)),
+        other => return Err(RtError::Type(format!("{other:?} on intervals"))),
+    })
+}
+
+/// Double-double interval semantics of a C binary operator.
+pub fn ddi_binop(op: BinOp, a: DdI, b: DdI) -> Result<Value, RtError> {
+    Ok(match op {
+        BinOp::Add => Value::DdInterval(a + b),
+        BinOp::Sub => Value::DdInterval(a - b),
+        BinOp::Mul => Value::DdInterval(a * b),
+        BinOp::Div => Value::DdInterval(a / b),
+        BinOp::Lt => Value::TBool(a.cmp_lt(&b)),
+        BinOp::Gt => Value::TBool(a.cmp_gt(&b)),
+        other => return Err(RtError::Type(format!("{other:?} on ddi"))),
+    })
+}
+
+fn want_f32i(v: &Value) -> Result<F32I, RtError> {
+    match v {
+        Value::Interval32(i) => Ok(*i),
+        Value::F64(x) => Ok(F32I::point(*x as f32)),
+        Value::Int(x) => Ok(F32I::point(*x as f32)),
+        other => Err(RtError::Type(format!("expected f32i, got {}", other.tag()))),
+    }
+}
+
+fn want_interval(v: &Value) -> Result<F64I, RtError> {
+    v.as_interval().ok_or_else(|| RtError::Type(format!("expected f64i, got {}", v.tag())))
+}
+
+fn want_ddi(v: &Value) -> Result<DdI, RtError> {
+    v.as_ddi().ok_or_else(|| RtError::Type(format!("expected ddi, got {}", v.tag())))
+}
+
+fn want_f64(v: &Value) -> Result<f64, RtError> {
+    v.as_f64().ok_or_else(|| RtError::Type(format!("expected double, got {}", v.tag())))
+}
+
+fn want_int(v: &Value) -> Result<i64, RtError> {
+    v.as_int().ok_or_else(|| RtError::Type(format!("expected int, got {}", v.tag())))
+}
+
+fn want_tbool(v: &Value) -> Result<TBool, RtError> {
+    match v {
+        Value::TBool(t) => Ok(*t),
+        other => Err(RtError::Type(format!("expected tbool, got {}", other.tag()))),
+    }
+}
+
+fn want_vecf(v: &Value) -> Result<Vec<f64>, RtError> {
+    match v {
+        Value::VecF64(x) => Ok(x.clone()),
+        other => Err(RtError::Type(format!("expected simd vector, got {}", other.tag()))),
+    }
+}
+
+fn want_veci(v: &Value) -> Result<Vec<F64I>, RtError> {
+    match v {
+        Value::VecInterval(x) => Ok(x.clone()),
+        other => Err(RtError::Type(format!("expected interval vector, got {}", other.tag()))),
+    }
+}
+
+/// Accumulator calls need by-reference first arguments; handled before
+/// ordinary evaluation.
+pub fn try_accumulator_call(
+    it: &mut Interp,
+    name: &str,
+    args: &[Expr],
+) -> Result<Option<Value>, RtError> {
+    if !name.starts_with("isum_") {
+        return Ok(None);
+    }
+    let var = match args.first() {
+        Some(Expr::Unary(UnOp::Addr, inner)) => match &**inner {
+            Expr::Ident(n, _) => n.clone(),
+            _ => return Err(RtError::Type("isum_* expects &accumulator".into())),
+        },
+        _ => return Err(RtError::Type("isum_* expects &accumulator".into())),
+    };
+    match name {
+        "isum_init_f64" => {
+            let init = want_interval(&it.eval_pub(&args[1])?)?;
+            let idx = {
+                let store = it.acc64_mut();
+                store.push(SumAcc64::new(init));
+                store.len() - 1
+            };
+            it.var_set(&var, Value::Acc64(idx))?;
+            Ok(Some(Value::Unit))
+        }
+        "isum_accumulate_f64" => {
+            let term = want_interval(&it.eval_pub(&args[1])?)?;
+            let Value::Acc64(idx) = it.var_value(&var)? else {
+                return Err(RtError::Type("accumulator not initialized".into()));
+            };
+            it.acc64_mut()[idx].accumulate(&term);
+            Ok(Some(Value::Unit))
+        }
+        "isum_reduce_f64" => {
+            let Value::Acc64(idx) = it.var_value(&var)? else {
+                return Err(RtError::Type("accumulator not initialized".into()));
+            };
+            let r = it.acc64_mut()[idx].reduce();
+            Ok(Some(Value::Interval(r)))
+        }
+        "isum_init_dd" => {
+            let init = want_ddi(&it.eval_pub(&args[1])?)?;
+            let idx = {
+                let store = it.accdd_mut();
+                store.push(SumAccDd::new(init));
+                store.len() - 1
+            };
+            it.var_set(&var, Value::AccDd(idx))?;
+            Ok(Some(Value::Unit))
+        }
+        "isum_accumulate_dd" => {
+            let term = want_ddi(&it.eval_pub(&args[1])?)?;
+            let Value::AccDd(idx) = it.var_value(&var)? else {
+                return Err(RtError::Type("accumulator not initialized".into()));
+            };
+            it.accdd_mut()[idx].accumulate(&term);
+            Ok(Some(Value::Unit))
+        }
+        "isum_reduce_dd" => {
+            let Value::AccDd(idx) = it.var_value(&var)? else {
+                return Err(RtError::Type("accumulator not initialized".into()));
+            };
+            let r = it.accdd_mut()[idx].reduce();
+            Ok(Some(Value::DdInterval(r)))
+        }
+        other => Err(RtError::Missing(format!("accumulator function {other}"))),
+    }
+}
+
+/// Dispatch table for value-level builtins. Returns `Ok(None)` when the
+/// name is not a builtin (so user functions take over).
+pub fn try_builtin(
+    it: &mut Interp,
+    name: &str,
+    vals: &[Value],
+) -> Result<Option<Value>, RtError> {
+    // --- interval runtime: f64i ---------------------------------------
+    let v = match name {
+        "ia_set_f64" => Value::Interval(capi::ia_set_f64(want_f64(&vals[0])?, want_f64(&vals[1])?)),
+        "ia_set_tol_f64" => {
+            Value::Interval(capi::ia_set_tol_f64(want_f64(&vals[0])?, want_f64(&vals[1])?))
+        }
+        "ia_set_int_f64" => Value::Interval(capi::ia_set_int_f64(want_int(&vals[0])?)),
+        "ia_add_f64" => Value::Interval(want_interval(&vals[0])? + want_interval(&vals[1])?),
+        "ia_sub_f64" => Value::Interval(want_interval(&vals[0])? - want_interval(&vals[1])?),
+        "ia_mul_f64" => Value::Interval(want_interval(&vals[0])? * want_interval(&vals[1])?),
+        "ia_div_f64" => Value::Interval(want_interval(&vals[0])? / want_interval(&vals[1])?),
+        "ia_neg_f64" => Value::Interval(-want_interval(&vals[0])?),
+        "ia_abs_f64" => Value::Interval(want_interval(&vals[0])?.abs()),
+        "ia_sqrt_f64" => Value::Interval(want_interval(&vals[0])?.sqrt()),
+        "ia_floor_f64" => Value::Interval(want_interval(&vals[0])?.floor()),
+        "ia_ceil_f64" => Value::Interval(want_interval(&vals[0])?.ceil()),
+        "ia_min_f64" => Value::Interval(want_interval(&vals[0])?.min_i(&want_interval(&vals[1])?)),
+        "ia_max_f64" => Value::Interval(want_interval(&vals[0])?.max_i(&want_interval(&vals[1])?)),
+        "ia_exp_f64" => Value::Interval(capi::ia_exp_f64(want_interval(&vals[0])?)),
+        "ia_log_f64" => Value::Interval(capi::ia_log_f64(want_interval(&vals[0])?)),
+        "ia_sin_f64" => Value::Interval(capi::ia_sin_f64(want_interval(&vals[0])?)),
+        "ia_cos_f64" => Value::Interval(capi::ia_cos_f64(want_interval(&vals[0])?)),
+        "ia_tan_f64" => Value::Interval(capi::ia_tan_f64(want_interval(&vals[0])?)),
+        "ia_atan_f64" => Value::Interval(capi::ia_atan_f64(want_interval(&vals[0])?)),
+        "ia_asin_f64" => Value::Interval(capi::ia_asin_f64(want_interval(&vals[0])?)),
+        "ia_acos_f64" => Value::Interval(capi::ia_acos_f64(want_interval(&vals[0])?)),
+        "ia_sqr_f64" => Value::Interval(want_interval(&vals[0])?.sqr()),
+        "ia_pow_f64" => Value::Interval(
+            want_interval(&vals[0])?
+                .powi(want_int(&vals[1])?.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
+        ),
+        "ia_and_f64" => {
+            Value::Interval(capi::ia_and_f64(want_interval(&vals[0])?, want_interval(&vals[1])?))
+        }
+        "ia_or_f64" => {
+            Value::Interval(capi::ia_or_f64(want_interval(&vals[0])?, want_interval(&vals[1])?))
+        }
+        "ia_not_f64" => Value::Interval(capi::ia_not_f64(want_interval(&vals[0])?)),
+        "ia_xor_f64" => {
+            Value::Interval(capi::ia_xor_f64(want_interval(&vals[0])?, want_interval(&vals[1])?))
+        }
+        "ia_join_f64" => {
+            Value::Interval(capi::ia_join_f64(want_interval(&vals[0])?, want_interval(&vals[1])?))
+        }
+        "ia_cmplt_f64" => Value::TBool(want_interval(&vals[0])?.cmp_lt(&want_interval(&vals[1])?)),
+        "ia_cmple_f64" => Value::TBool(want_interval(&vals[0])?.cmp_le(&want_interval(&vals[1])?)),
+        "ia_cmpgt_f64" => Value::TBool(want_interval(&vals[0])?.cmp_gt(&want_interval(&vals[1])?)),
+        "ia_cmpge_f64" => Value::TBool(want_interval(&vals[0])?.cmp_ge(&want_interval(&vals[1])?)),
+        "ia_cmpeq_f64" => Value::TBool(want_interval(&vals[0])?.cmp_eq(&want_interval(&vals[1])?)),
+        "ia_cmpne_f64" => Value::TBool(want_interval(&vals[0])?.cmp_ne(&want_interval(&vals[1])?)),
+
+        // --- f32i (single-precision target) ----------------------------
+        "ia_set_f32" => Value::Interval32(capi::ia_set_f32(
+            want_f64(&vals[0])? as f32,
+            want_f64(&vals[1])? as f32,
+        )),
+        "ia_set_tol_f32" => Value::Interval32(capi::ia_set_tol_f32(
+            want_f64(&vals[0])? as f32,
+            want_f64(&vals[1])? as f32,
+        )),
+        "ia_set_int_f32" => {
+            Value::Interval32(F32I::enclose_f64(want_int(&vals[0])? as f64))
+        }
+        "ia_add_f32" => Value::Interval32(want_f32i(&vals[0])? + want_f32i(&vals[1])?),
+        "ia_sub_f32" => Value::Interval32(want_f32i(&vals[0])? - want_f32i(&vals[1])?),
+        "ia_mul_f32" => Value::Interval32(want_f32i(&vals[0])? * want_f32i(&vals[1])?),
+        "ia_div_f32" => Value::Interval32(want_f32i(&vals[0])? / want_f32i(&vals[1])?),
+        "ia_neg_f32" => Value::Interval32(-want_f32i(&vals[0])?),
+        "ia_sqrt_f32" => Value::Interval32(want_f32i(&vals[0])?.sqrt()),
+        "ia_min_f32" => Value::Interval32(want_f32i(&vals[0])?.min_i(&want_f32i(&vals[1])?)),
+        "ia_max_f32" => Value::Interval32(want_f32i(&vals[0])?.max_i(&want_f32i(&vals[1])?)),
+        "ia_abs_f32" => {
+            let x = want_f32i(&vals[0])?;
+            Value::Interval32(x.max_i(&-x))
+        }
+        // Elementary functions on the f32 target: evaluate the f64
+        // enclosure and demote outward (sound; CRlibm would do the same
+        // at higher precision).
+        "ia_exp_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_exp_f64(
+            want_f32i(&vals[0])?.to_f64i(),
+        ))),
+        "ia_log_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_log_f64(
+            want_f32i(&vals[0])?.to_f64i(),
+        ))),
+        "ia_sin_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_sin_f64(
+            want_f32i(&vals[0])?.to_f64i(),
+        ))),
+        "ia_cos_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_cos_f64(
+            want_f32i(&vals[0])?.to_f64i(),
+        ))),
+        "ia_tan_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_tan_f64(
+            want_f32i(&vals[0])?.to_f64i(),
+        ))),
+        "ia_atan_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_atan_f64(
+            want_f32i(&vals[0])?.to_f64i(),
+        ))),
+        "ia_asin_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_asin_f64(
+            want_f32i(&vals[0])?.to_f64i(),
+        ))),
+        "ia_acos_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_acos_f64(
+            want_f32i(&vals[0])?.to_f64i(),
+        ))),
+        "ia_pow_f32" => Value::Interval32(F32I::from_f64i(
+            &want_f32i(&vals[0])?
+                .to_f64i()
+                .powi(want_int(&vals[1])?.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
+        )),
+        "ia_floor_f32" => Value::Interval32(F32I::from_f64i(
+            &want_f32i(&vals[0])?.to_f64i().floor(),
+        )),
+        "ia_ceil_f32" => Value::Interval32(F32I::from_f64i(
+            &want_f32i(&vals[0])?.to_f64i().ceil(),
+        )),
+        "ia_cmplt_f32" => Value::TBool(want_f32i(&vals[0])?.cmp_lt(&want_f32i(&vals[1])?)),
+        "ia_cmpgt_f32" => Value::TBool(want_f32i(&vals[0])?.cmp_gt(&want_f32i(&vals[1])?)),
+        "ia_cmple_f32" => Value::TBool(want_f32i(&vals[1])?.cmp_gt(&want_f32i(&vals[0])?).not()),
+        "ia_cmpge_f32" => Value::TBool(want_f32i(&vals[0])?.cmp_lt(&want_f32i(&vals[1])?).not()),
+        "ia_cmpeq_f32" => {
+            let (a, b) = (want_f32i(&vals[0])?.to_f64i(), want_f32i(&vals[1])?.to_f64i());
+            Value::TBool(a.cmp_eq(&b))
+        }
+        "ia_cmpne_f32" => {
+            let (a, b) = (want_f32i(&vals[0])?.to_f64i(), want_f32i(&vals[1])?.to_f64i());
+            Value::TBool(a.cmp_ne(&b))
+        }
+        "ia_join_f32" => {
+            let (a, b) = (want_f32i(&vals[0])?.to_f64i(), want_f32i(&vals[1])?.to_f64i());
+            Value::Interval32(F32I::from_f64i(&a.join(&b)))
+        }
+        "ia_cvt_f32_f64" => Value::Interval(want_f32i(&vals[0])?.to_f64i()),
+        "ia_cvt_f64_f32" => Value::Interval32(F32I::from_f64i(&want_interval(&vals[0])?)),
+
+        // --- tbool ---------------------------------------------------
+        "ia_cvt2bool_tb" => match want_tbool(&vals[0])?.to_bool() {
+            Ok(b) => Value::Int(b as i64),
+            Err(_) => return Err(RtError::UnknownBranch),
+        },
+        "ia_is_true_tb" => Value::Int(want_tbool(&vals[0])?.is_true() as i64),
+        "ia_is_false_tb" => Value::Int(want_tbool(&vals[0])?.is_false() as i64),
+
+        // --- interval runtime: ddi ------------------------------------
+        "ia_set_dd" => Value::DdInterval(capi::ia_set_dd(want_f64(&vals[0])?, want_f64(&vals[1])?)),
+        "ia_set_ddx" => Value::DdInterval(capi::ia_set_ddx(
+            want_f64(&vals[0])?,
+            want_f64(&vals[1])?,
+            want_f64(&vals[2])?,
+            want_f64(&vals[3])?,
+        )),
+        "ia_set_tol_dd" => Value::DdInterval(DdI::from_f64i(&capi::ia_set_tol_f64(
+            want_f64(&vals[0])?,
+            want_f64(&vals[1])?,
+        ))),
+        "ia_set_int_dd" => Value::DdInterval(capi::ia_set_int_dd(want_int(&vals[0])?)),
+        "ia_add_dd" => Value::DdInterval(want_ddi(&vals[0])? + want_ddi(&vals[1])?),
+        "ia_sub_dd" => Value::DdInterval(want_ddi(&vals[0])? - want_ddi(&vals[1])?),
+        "ia_mul_dd" => Value::DdInterval(want_ddi(&vals[0])? * want_ddi(&vals[1])?),
+        "ia_div_dd" => Value::DdInterval(want_ddi(&vals[0])? / want_ddi(&vals[1])?),
+        "ia_neg_dd" => Value::DdInterval(-want_ddi(&vals[0])?),
+        "ia_abs_dd" => Value::DdInterval(want_ddi(&vals[0])?.abs()),
+        "ia_sqrt_dd" => Value::DdInterval(want_ddi(&vals[0])?.sqrt()),
+        "ia_sqr_dd" => Value::DdInterval(want_ddi(&vals[0])?.sqr()),
+        "ia_pow_dd" => Value::DdInterval(
+            want_ddi(&vals[0])?.powi(want_int(&vals[1])?.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
+        ),
+        "ia_min_dd" => Value::DdInterval(want_ddi(&vals[0])?.min_i(&want_ddi(&vals[1])?)),
+        "ia_max_dd" => Value::DdInterval(want_ddi(&vals[0])?.max_i(&want_ddi(&vals[1])?)),
+        "ia_join_dd" => Value::DdInterval(want_ddi(&vals[0])?.join(&want_ddi(&vals[1])?)),
+        "ia_cmplt_dd" => Value::TBool(want_ddi(&vals[0])?.cmp_lt(&want_ddi(&vals[1])?)),
+        "ia_cmpgt_dd" => Value::TBool(want_ddi(&vals[0])?.cmp_gt(&want_ddi(&vals[1])?)),
+        "ia_cmple_dd" => Value::TBool(want_ddi(&vals[1])?.cmp_gt(&want_ddi(&vals[0])?).not()),
+        "ia_cmpge_dd" => Value::TBool(want_ddi(&vals[0])?.cmp_lt(&want_ddi(&vals[1])?).not()),
+        "ia_cvt_f64_dd" => Value::DdInterval(DdI::from_f64i(&want_interval(&vals[0])?)),
+        "ia_cvt_dd_f64" => Value::Interval(want_ddi(&vals[0])?.to_f64i()),
+
+        // --- float-mode libm -------------------------------------------
+        "sqrt" => Value::F64(want_f64(&vals[0])?.sqrt()),
+        "fabs" => Value::F64(want_f64(&vals[0])?.abs()),
+        "sin" => Value::F64(want_f64(&vals[0])?.sin()),
+        "cos" => Value::F64(want_f64(&vals[0])?.cos()),
+        "tan" => Value::F64(want_f64(&vals[0])?.tan()),
+        "atan" => Value::F64(want_f64(&vals[0])?.atan()),
+        "asin" => Value::F64(want_f64(&vals[0])?.asin()),
+        "acos" => Value::F64(want_f64(&vals[0])?.acos()),
+        "pow" => Value::F64(want_f64(&vals[0])?.powf(want_f64(&vals[1])?)),
+        "exp" => Value::F64(want_f64(&vals[0])?.exp()),
+        "log" => Value::F64(want_f64(&vals[0])?.ln()),
+        "floor" => Value::F64(want_f64(&vals[0])?.floor()),
+        "ceil" => Value::F64(want_f64(&vals[0])?.ceil()),
+        "fmin" => Value::F64(want_f64(&vals[0])?.min(want_f64(&vals[1])?)),
+        "fmax" => Value::F64(want_f64(&vals[0])?.max(want_f64(&vals[1])?)),
+
+        // --- float-mode SIMD intrinsics ---------------------------------
+        _ if name.starts_with("_mm") => return simd_float(it, name, vals).map(Some),
+
+        // --- interval-mode SIMD intrinsics -------------------------------
+        _ if name.starts_with("ia_mm") => return simd_interval(it, name, vals).map(Some),
+
+        _ => return Ok(None),
+    };
+    Ok(Some(v))
+}
+
+fn lanes_of(name: &str) -> usize {
+    if name.contains("_mm256") {
+        4
+    } else {
+        2
+    }
+}
+
+/// Float-mode semantics of the supported SIMD intrinsics.
+fn simd_float(it: &mut Interp, name: &str, vals: &[Value]) -> Result<Value, RtError> {
+    let lanewise = |f: fn(f64, f64) -> f64, a: &Value, b: &Value| -> Result<Value, RtError> {
+        let (x, y) = (want_vecf(a)?, want_vecf(b)?);
+        Ok(Value::VecF64(x.iter().zip(&y).map(|(p, q)| f(*p, *q)).collect()))
+    };
+    match name {
+        "_mm_add_pd" | "_mm256_add_pd" | "_mm_add_ps" | "_mm256_add_ps" => {
+            lanewise(|a, b| a + b, &vals[0], &vals[1])
+        }
+        "_mm_sub_pd" | "_mm256_sub_pd" => lanewise(|a, b| a - b, &vals[0], &vals[1]),
+        "_mm_mul_pd" | "_mm256_mul_pd" | "_mm256_mul_ps" => {
+            lanewise(|a, b| a * b, &vals[0], &vals[1])
+        }
+        "_mm_div_pd" | "_mm256_div_pd" => lanewise(|a, b| a / b, &vals[0], &vals[1]),
+        "_mm_min_pd" | "_mm256_min_pd" => lanewise(f64::min, &vals[0], &vals[1]),
+        "_mm_max_pd" | "_mm256_max_pd" => lanewise(f64::max, &vals[0], &vals[1]),
+        "_mm_sqrt_pd" | "_mm256_sqrt_pd" => {
+            let x = want_vecf(&vals[0])?;
+            Ok(Value::VecF64(x.iter().map(|v| v.sqrt()).collect()))
+        }
+        "_mm_set1_pd" | "_mm256_set1_pd" => {
+            let v = want_f64(&vals[0])?;
+            Ok(Value::VecF64(vec![v; lanes_of(name)]))
+        }
+        "_mm_setzero_pd" | "_mm256_setzero_pd" => Ok(Value::VecF64(vec![0.0; lanes_of(name)])),
+        "_mm_loadu_pd" | "_mm_load_pd" | "_mm256_loadu_pd" | "_mm256_load_pd" => {
+            let Value::Ptr(obj, off) = vals[0] else {
+                return Err(RtError::Type("load from non-pointer".into()));
+            };
+            let n = lanes_of(name);
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(
+                    it.heap_load(obj, off + i as i64)?
+                        .as_f64()
+                        .ok_or_else(|| RtError::Type("load of non-double".into()))?,
+                );
+            }
+            Ok(Value::VecF64(out))
+        }
+        "_mm_storeu_pd" | "_mm_store_pd" | "_mm256_storeu_pd" | "_mm256_store_pd" => {
+            let Value::Ptr(obj, off) = vals[0] else {
+                return Err(RtError::Type("store to non-pointer".into()));
+            };
+            let x = want_vecf(&vals[1])?;
+            for (i, v) in x.iter().enumerate() {
+                it.heap_store(obj, off + i as i64, Value::F64(*v))?;
+            }
+            Ok(Value::Unit)
+        }
+        "_mm256_fmadd_pd" => {
+            let (a, b, c) = (want_vecf(&vals[0])?, want_vecf(&vals[1])?, want_vecf(&vals[2])?);
+            Ok(Value::VecF64(
+                a.iter().zip(&b).zip(&c).map(|((x, y), z)| x * y + z).collect(),
+            ))
+        }
+        "_mm256_hadd_pd" => {
+            let (a, b) = (want_vecf(&vals[0])?, want_vecf(&vals[1])?);
+            Ok(Value::VecF64(vec![a[0] + a[1], b[0] + b[1], a[2] + a[3], b[2] + b[3]]))
+        }
+        "_mm256_unpacklo_pd" => {
+            let (a, b) = (want_vecf(&vals[0])?, want_vecf(&vals[1])?);
+            Ok(Value::VecF64(vec![a[0], b[0], a[2], b[2]]))
+        }
+        "_mm256_unpackhi_pd" => {
+            let (a, b) = (want_vecf(&vals[0])?, want_vecf(&vals[1])?);
+            Ok(Value::VecF64(vec![a[1], b[1], a[3], b[3]]))
+        }
+        other => Err(RtError::Missing(format!("float intrinsic {other}"))),
+    }
+}
+
+/// Interval-mode semantics of the SIMD intrinsics (`ia_mm…` — the
+/// interval implementations of Section V).
+fn simd_interval(it: &mut Interp, name: &str, vals: &[Value]) -> Result<Value, RtError> {
+    // `ia_mm256_add_pd` corresponds to the intrinsic `_mm256_add_pd`.
+    let base = format!("_{}", name.strip_prefix("ia_").expect("prefixed"));
+    let base = base.as_str();
+    // One interval per floating-point lane (Table II: an interval fills
+    // one __m128d, so a __m256d operand becomes 4 packed intervals).
+    let lanes = lanes_of(base);
+    let lanewise = |f: fn(F64I, F64I) -> F64I, a: &Value, b: &Value| -> Result<Value, RtError> {
+        let (x, y) = (want_veci(a)?, want_veci(b)?);
+        Ok(Value::VecInterval(x.iter().zip(&y).map(|(p, q)| f(*p, *q)).collect()))
+    };
+    match base {
+        "_mm_add_pd" | "_mm256_add_pd" => lanewise(|a, b| a + b, &vals[0], &vals[1]),
+        "_mm_sub_pd" | "_mm256_sub_pd" => lanewise(|a, b| a - b, &vals[0], &vals[1]),
+        "_mm_mul_pd" | "_mm256_mul_pd" => lanewise(|a, b| a * b, &vals[0], &vals[1]),
+        "_mm_div_pd" | "_mm256_div_pd" => lanewise(|a, b| a / b, &vals[0], &vals[1]),
+        "_mm_min_pd" | "_mm256_min_pd" => lanewise(|a, b| a.min_i(&b), &vals[0], &vals[1]),
+        "_mm_max_pd" | "_mm256_max_pd" => lanewise(|a, b| a.max_i(&b), &vals[0], &vals[1]),
+        "_mm_sqrt_pd" | "_mm256_sqrt_pd" => {
+            let x = want_veci(&vals[0])?;
+            Ok(Value::VecInterval(x.iter().map(|v| v.sqrt()).collect()))
+        }
+        "_mm_set1_pd" | "_mm256_set1_pd" => {
+            let v = want_interval(&vals[0])?;
+            Ok(Value::VecInterval(vec![v; lanes]))
+        }
+        "_mm_setzero_pd" | "_mm256_setzero_pd" => {
+            Ok(Value::VecInterval(vec![F64I::ZERO; lanes]))
+        }
+        "_mm_loadu_pd" | "_mm_load_pd" | "_mm256_loadu_pd" | "_mm256_load_pd" => {
+            let Value::Ptr(obj, off) = vals[0] else {
+                return Err(RtError::Type("load from non-pointer".into()));
+            };
+            let mut out = Vec::with_capacity(lanes);
+            for i in 0..lanes {
+                out.push(
+                    it.heap_load(obj, off + i as i64)?
+                        .as_interval()
+                        .ok_or_else(|| RtError::Type("load of non-interval".into()))?,
+                );
+            }
+            Ok(Value::VecInterval(out))
+        }
+        "_mm_storeu_pd" | "_mm_store_pd" | "_mm256_storeu_pd" | "_mm256_store_pd" => {
+            let Value::Ptr(obj, off) = vals[0] else {
+                return Err(RtError::Type("store to non-pointer".into()));
+            };
+            let x = want_veci(&vals[1])?;
+            for (i, v) in x.iter().enumerate() {
+                it.heap_store(obj, off + i as i64, Value::Interval(*v))?;
+            }
+            Ok(Value::Unit)
+        }
+        "_mm256_fmadd_pd" => {
+            let (a, b, c) = (want_veci(&vals[0])?, want_veci(&vals[1])?, want_veci(&vals[2])?);
+            Ok(Value::VecInterval(
+                a.iter().zip(&b).zip(&c).map(|((x, y), z)| *x * *y + *z).collect(),
+            ))
+        }
+        "_mm256_hadd_pd" => {
+            let (a, b) = (want_veci(&vals[0])?, want_veci(&vals[1])?);
+            Ok(Value::VecInterval(vec![a[0] + a[1], b[0] + b[1], a[2] + a[3], b[2] + b[3]]))
+        }
+        other => Err(RtError::Missing(format!("interval intrinsic {other}"))),
+    }
+}

@@ -1,0 +1,191 @@
+//! Unit-level interpreter tests: statements, control flow, memory,
+//! unions, error handling, and the f32 pipeline.
+
+use igen_core::{Compiler, Config, Precision};
+use igen_interp::{Interp, RtError, Value};
+
+fn run1(src: &str, f: &str, args: Vec<Value>) -> Value {
+    Interp::from_source(src).unwrap().call(f, args).unwrap()
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    let v = run1("int f(void) { return 2 + 3 * 4 - 10 / 5; }", "f", vec![]);
+    assert_eq!(v, Value::Int(12));
+    let v = run1("double g(double x) { return -x * 2.0 + 1.0; }", "g", vec![Value::F64(3.0)]);
+    assert_eq!(v, Value::F64(-5.0));
+}
+
+#[test]
+fn control_flow() {
+    let src = r#"
+        int collatz_steps(int n) {
+            int steps = 0;
+            while (n != 1) {
+                if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+                steps++;
+            }
+            return steps;
+        }
+    "#;
+    assert_eq!(run1(src, "collatz_steps", vec![Value::Int(6)]), Value::Int(8));
+    assert_eq!(run1(src, "collatz_steps", vec![Value::Int(27)]), Value::Int(111));
+}
+
+#[test]
+fn break_continue_do_while() {
+    let src = r#"
+        int f(void) {
+            int s = 0;
+            for (int i = 0; i < 100; i++) {
+                if (i % 2 == 0) continue;
+                if (i > 10) break;
+                s = s + i;
+            }
+            int j = 0;
+            do { s = s + 100; j++; } while (j < 2);
+            return s;
+        }
+    "#;
+    // odd i in 1..=9: 1+3+5+7+9 = 25, plus 200.
+    assert_eq!(run1(src, "f", vec![]), Value::Int(225));
+}
+
+#[test]
+fn arrays_pointers_and_functions() {
+    let src = r#"
+        double sum(double* a, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + a[i];
+            return s;
+        }
+        double mean(double* a, int n) {
+            return sum(a, n) / (double)n;
+        }
+    "#;
+    let mut it = Interp::from_source(src).unwrap();
+    let p = it.alloc_f64(&[1.0, 2.0, 3.0, 4.0]);
+    let v = it.call("mean", vec![p, Value::Int(4)]).unwrap();
+    assert_eq!(v, Value::F64(2.5));
+}
+
+#[test]
+fn local_array_declaration() {
+    let src = r#"
+        double f(void) {
+            double a[3];
+            a[0] = 1.5; a[1] = 2.5; a[2] = -1.0;
+            return a[0] + a[1] + a[2];
+        }
+    "#;
+    assert_eq!(run1(src, "f", vec![]), Value::F64(3.0));
+}
+
+#[test]
+fn ternary_and_casts() {
+    let src = "double f(int n) { return n > 0 ? (double)n : -1.0; }";
+    assert_eq!(run1(src, "f", vec![Value::Int(5)]), Value::F64(5.0));
+    assert_eq!(run1(src, "f", vec![Value::Int(-5)]), Value::F64(-1.0));
+}
+
+#[test]
+fn runtime_errors() {
+    let mut it = Interp::from_source("int f(int n) { return 1 / n; }").unwrap();
+    assert!(matches!(it.call("f", vec![Value::Int(0)]), Err(RtError::Type(_))));
+    assert!(matches!(it.call("nope", vec![]), Err(RtError::Missing(_))));
+    let mut it = Interp::from_source("double f(double* a) { return a[5]; }").unwrap();
+    let p = it.alloc_f64(&[1.0, 2.0]);
+    assert!(matches!(it.call("f", vec![p]), Err(RtError::Bounds(_))));
+}
+
+#[test]
+fn step_budget_stops_runaway_loops() {
+    let mut it = Interp::from_source("int f(void) { while (1) { } return 0; }").unwrap();
+    it.step_budget = 10_000;
+    assert_eq!(it.call("f", vec![]), Err(RtError::StepBudget));
+}
+
+#[test]
+fn f32_target_pipeline() {
+    let src = r#"
+        double madd(double a, double b, double c) {
+            return a * b + c + 0.1;
+        }
+    "#;
+    let cfg = Config { precision: Precision::F32, ..Config::default() };
+    let out = Compiler::new(cfg).compile_str(src).unwrap();
+    assert!(out.c_source.contains("f32i madd(f32i a, f32i b, f32i c)"), "{}", out.c_source);
+    assert!(out.c_source.contains("ia_mul_f32"), "{}", out.c_source);
+    let mut it = Interp::new(&igen_cfront::parse(&out.c_source).unwrap());
+    let arg = |v: f32| Value::Interval32(igen_interval::F32I::point(v));
+    let r = it.call("madd", vec![arg(1.5), arg(2.0), arg(0.25)]).unwrap();
+    let Value::Interval32(i) = r else { panic!("{r:?}") };
+    // Float-mode reference in f32 arithmetic.
+    let truth = 1.5f32 * 2.0 + 0.25 + 0.1;
+    assert!(i.contains(truth), "{truth} outside {i}");
+    assert!(i.certified_bits() > 20.0, "{}", i.certified_bits());
+}
+
+#[test]
+fn f32_elementary_and_sqrt() {
+    let src = "double f(double x) { return sqrt(x) + sin(x); }";
+    let cfg = Config { precision: Precision::F32, ..Config::default() };
+    let out = Compiler::new(cfg).compile_str(src).unwrap();
+    let mut it = Interp::new(&igen_cfront::parse(&out.c_source).unwrap());
+    let r = it
+        .call("f", vec![Value::Interval32(igen_interval::F32I::point(2.0))])
+        .unwrap();
+    let Value::Interval32(i) = r else { panic!("{r:?}") };
+    let truth = 2.0f64.sqrt() + 2.0f64.sin();
+    assert!(i.to_f64i().contains(truth), "{truth} outside {i}");
+}
+
+#[test]
+fn nested_scopes_shadowing() {
+    let src = r#"
+        int f(void) {
+            int x = 1;
+            {
+                int x = 2;
+                x = x + 1;
+            }
+            return x;
+        }
+    "#;
+    assert_eq!(run1(src, "f", vec![]), Value::Int(1));
+}
+
+#[test]
+fn recursion() {
+    let src = "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }";
+    assert_eq!(run1(src, "fib", vec![Value::Int(10)]), Value::Int(55));
+}
+
+#[test]
+fn pointer_arithmetic() {
+    let src = r#"
+        double f(double* a) {
+            double* p = a + 2;
+            return *p + p[1];
+        }
+    "#;
+    let mut it = Interp::from_source(src).unwrap();
+    let p = it.alloc_f64(&[0.0, 1.0, 2.0, 3.0]);
+    assert_eq!(it.call("f", vec![p]).unwrap(), Value::F64(5.0));
+}
+
+#[test]
+fn simd_float_mode_roundtrip() {
+    let src = r#"
+        void scale(double* x, double* out) {
+            __m256d v = _mm256_loadu_pd(x);
+            __m256d k = _mm256_set1_pd(2.0);
+            _mm256_storeu_pd(out, _mm256_mul_pd(v, k));
+        }
+    "#;
+    let mut it = Interp::from_source(src).unwrap();
+    let x = it.alloc_f64(&[1.0, 2.0, 3.0, 4.0]);
+    let out = it.alloc_f64(&[0.0; 4]);
+    it.call("scale", vec![x, out.clone()]).unwrap();
+    assert_eq!(it.read_f64(&out, 4), vec![2.0, 4.0, 6.0, 8.0]);
+}

@@ -1,0 +1,399 @@
+//! End-to-end differential tests of the full IGen pipeline:
+//! parse → compile → interpret, checking that the interval run encloses
+//! the float run (and the 256-bit oracle's real-arithmetic run) on random
+//! inputs. This is the whole-system soundness argument of the paper,
+//! machine-checked.
+
+use igen_core::{Compiler, Config, Precision};
+use igen_interp::{Interp, RtError, Value};
+use igen_mpf::{Mpf, Rm};
+use proptest::prelude::*;
+
+/// Compile `src` and return an interpreter holding BOTH the original
+/// program (under its own names) and the transformed program (same names,
+/// shadowing is avoided by using two interpreters instead).
+fn pipeline(src: &str, cfg: Config) -> (Interp, Interp) {
+    let orig = Interp::from_source(src).expect("parse original");
+    let out = Compiler::new(cfg).compile_str(src).expect("compile");
+    let tu = igen_cfront::parse(&out.c_source).expect("reparse transformed");
+    (orig, Interp::new(&tu))
+}
+
+#[test]
+fn fig2_foo_encloses() {
+    let src = r#"
+        double foo(double a, double b) {
+            double c;
+            c = a + b + 0.1;
+            if (c > a) {
+                c = a * c;
+            }
+            return c;
+        }
+    "#;
+    let (mut orig, mut ivl) = pipeline(src, Config::default());
+    for (a, b) in [(1.0, 2.0), (0.5, -0.25), (100.0, 3.5), (-7.25, -2.5)] {
+        let f = orig
+            .call("foo", vec![Value::F64(a), Value::F64(b)])
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let i = ivl
+            .call(
+                "foo",
+                vec![
+                    Value::Interval(igen_interval::F64I::point(a)),
+                    Value::Interval(igen_interval::F64I::point(b)),
+                ],
+            )
+            .unwrap()
+            .as_interval()
+            .unwrap();
+        assert!(i.contains(f), "foo({a},{b}) = {f}, interval {i}");
+        // And the *real-arithmetic* result (the paper's soundness claim):
+        // c = a + b + 0.1 (real), then c = a*c only if the branch is taken.
+        let c_real = Mpf::from_f64(a)
+            .add(&Mpf::from_f64(b), Rm::Nearest)
+            .add(&Mpf::from_i64(1).div(&Mpf::from_i64(10), Rm::Nearest), Rm::Nearest);
+        let take = c_real.cmp_num(&Mpf::from_f64(a)) == Some(std::cmp::Ordering::Greater);
+        let real = if take {
+            c_real.mul(&Mpf::from_f64(a), Rm::Nearest)
+        } else {
+            c_real
+        };
+        let real_f = real.to_f64(Rm::Nearest);
+        assert!(i.contains(real_f), "foo({a},{b}): real {real_f} outside {i}");
+    }
+}
+
+#[test]
+fn fig3_read_sensor_tolerance() {
+    let src = r#"
+        double read_sensor(double:0.125 a) {
+            double c = 5.0 + 0.25t;
+            return a + c;
+        }
+    "#;
+    let (_, mut ivl) = pipeline(src, Config::default());
+    let r = ivl
+        .call("read_sensor", vec![Value::F64(1.0)])
+        .unwrap()
+        .as_interval()
+        .unwrap();
+    // a ∈ [0.875, 1.125], c ∈ [4.75, 5.25] → result ⊇ [5.625, 6.375].
+    assert!(r.lo() <= 5.625 && 6.375 <= r.hi(), "{r}");
+    assert!(r.lo() >= 5.62 && r.hi() <= 6.38, "{r}");
+}
+
+#[test]
+fn fig7_mvm_reduction_end_to_end() {
+    let src = r#"
+        void mvm(double* A, double* x, double* y) {
+            #pragma igen reduce y
+            for (int i = 0; i < 4; i++)
+                for (int j = 0; j < 8; j++)
+                    y[i] = y[i] + A[i*8+j]*x[j];
+        }
+    "#;
+    for reductions in [false, true] {
+        let cfg = Config { reductions, ..Config::default() };
+        let (mut orig, mut ivl) = pipeline(src, cfg);
+        // Deterministic awkward inputs.
+        let a: Vec<f64> = (0..32).map(|k| 0.1 * (k as f64 + 1.0) * if k % 3 == 0 { -1.0 } else { 1.0 }).collect();
+        let x: Vec<f64> = (0..8).map(|k| 1.0 / (k as f64 + 3.0)).collect();
+        let y0 = [0.5; 4];
+
+        let (ap, xp, yp) = (orig.alloc_f64(&a), orig.alloc_f64(&x), orig.alloc_f64(&y0));
+        orig.call("mvm", vec![ap, xp, yp.clone()]).unwrap();
+        let yf = orig.read_f64(&yp, 4);
+
+        let ai: Vec<_> = a.iter().map(|&v| igen_interval::F64I::point(v)).collect();
+        let xi: Vec<_> = x.iter().map(|&v| igen_interval::F64I::point(v)).collect();
+        let yi: Vec<_> = y0.iter().map(|&v| igen_interval::F64I::point(v)).collect();
+        let (ap, xp, yp) = (ivl.alloc_interval(&ai), ivl.alloc_interval(&xi), ivl.alloc_interval(&yi));
+        ivl.call("mvm", vec![ap, xp, yp.clone()]).unwrap();
+        let yv = ivl.read_interval(&yp, 4);
+
+        // The soundness contract is containment of the REAL result (the
+        // reduction-transformed interval is tighter than the float run's
+        // own rounding error, so the float value may fall outside).
+        let mut y_real: Vec<Mpf> = y0.iter().map(|&v| Mpf::from_f64(v)).collect();
+        for i in 0..4 {
+            for j in 0..8 {
+                let t = Mpf::from_f64(a[i * 8 + j]).mul(&Mpf::from_f64(x[j]), Rm::Nearest);
+                y_real[i] = y_real[i].add(&t, Rm::Nearest);
+            }
+        }
+        for (k, (r, i)) in y_real.iter().zip(&yv).enumerate() {
+            let lo = r.to_f64(Rm::Down);
+            let hi = r.to_f64(Rm::Up);
+            assert!(
+                i.contains(lo) || i.contains(hi),
+                "reductions={reductions} y[{k}] real {lo} outside {i}"
+            );
+        }
+        if !reductions {
+            // Without the transformation, every op enclosed the float op,
+            // so the float run is inside too.
+            for (k, (f, i)) in yf.iter().zip(&yv).enumerate() {
+                assert!(i.contains(*f), "y[{k}] = {f} outside {i}");
+            }
+        }
+        if reductions {
+            // The accumulator keeps the result much tighter than the
+            // plain interval loop (compare widths).
+            let cfg2 = Config { reductions: false, ..Config::default() };
+            let (_, mut plain) = pipeline(src, cfg2);
+            let (ap, xp, yp2) = (
+                plain.alloc_interval(&ai),
+                plain.alloc_interval(&xi),
+                plain.alloc_interval(&yi),
+            );
+            plain.call("mvm", vec![ap, xp, yp2.clone()]).unwrap();
+            let yp2v = plain.read_interval(&yp2, 4);
+            for (t, p) in yv.iter().zip(&yp2v) {
+                assert!(t.width() <= p.width(), "transformed wider than plain");
+            }
+        }
+    }
+}
+
+#[test]
+fn unknown_branch_signals_exception() {
+    let src = r#"
+        double f(double x) {
+            double y = 1.0;
+            if (x > 0.0) {
+                y = 2.0;
+            }
+            return y;
+        }
+    "#;
+    let (_, mut ivl) = pipeline(src, Config::default());
+    // x = [-1, 1] straddles 0: undecidable.
+    let r = ivl.call("f", vec![Value::Interval(igen_interval::F64I::new(-1.0, 1.0).unwrap())]);
+    assert_eq!(r.unwrap_err(), RtError::UnknownBranch);
+    // Decidable input works.
+    let r = ivl
+        .call("f", vec![Value::Interval(igen_interval::F64I::point(3.0))])
+        .unwrap()
+        .as_interval()
+        .unwrap();
+    assert!(r.contains(2.0));
+}
+
+#[test]
+fn join_policy_survives_unknown_branch() {
+    let src = r#"
+        double f(double x) {
+            double y = 1.0;
+            if (x > 0.0) {
+                y = 2.0;
+            } else {
+                y = 3.0;
+            }
+            return y;
+        }
+    "#;
+    let cfg = Config { branch_policy: igen_core::BranchPolicy::JoinBranches, ..Config::default() };
+    let (_, mut ivl) = pipeline(src, cfg);
+    let r = ivl
+        .call("f", vec![Value::Interval(igen_interval::F64I::new(-1.0, 1.0).unwrap())])
+        .unwrap()
+        .as_interval()
+        .unwrap();
+    // Join of both branches: [2, 3].
+    assert!(r.contains(2.0) && r.contains(3.0), "{r}");
+    assert!(r.lo() >= 2.0 && r.hi() <= 3.0, "{r}");
+}
+
+#[test]
+fn henon_map_interval_matches_paper_shape() {
+    let src = r#"
+        double henon_map(double x, double y, int iterations) {
+            double a = 1.05;
+            double b = 0.3;
+            for (int i = 0; i < iterations; i++) {
+                double xi = x;
+                double yi = y;
+                x = 1 - a*xi*xi + yi;
+                y = b*xi;
+            }
+            return x;
+        }
+    "#;
+    let (mut orig, mut ivl) = pipeline(src, Config::default());
+    let f = orig
+        .call("henon_map", vec![Value::F64(0.0), Value::F64(0.0), Value::Int(10)])
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    let r = ivl
+        .call(
+            "henon_map",
+            vec![
+                Value::Interval(igen_interval::F64I::point(0.0)),
+                Value::Interval(igen_interval::F64I::point(0.0)),
+                Value::Int(10),
+            ],
+        )
+        .unwrap()
+        .as_interval()
+        .unwrap();
+    assert!(r.contains(f), "float {f} outside {r}");
+    // Table VI: ~44 bits at 10 iterations for f64i.
+    let bits = r.certified_bits();
+    assert!(bits > 35.0 && bits < 53.0, "bits = {bits}");
+}
+
+#[test]
+fn dd_precision_pipeline() {
+    let src = r#"
+        double dot3(double a0, double a1, double a2, double b0, double b1, double b2) {
+            return a0*b0 + a1*b1 + a2*b2;
+        }
+    "#;
+    let cfg = Config { precision: Precision::Dd, ..Config::default() };
+    let (mut orig, mut ivl) = pipeline(src, cfg);
+    let args_f: Vec<Value> = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6].iter().map(|&v| Value::F64(v)).collect();
+    let f = orig.call("dot3", args_f).unwrap().as_f64().unwrap();
+    let args_i: Vec<Value> = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6]
+        .iter()
+        .map(|&v| Value::DdInterval(igen_interval::DdI::point_f64(v)))
+        .collect();
+    let r = ivl.call("dot3", args_i).unwrap().as_ddi().unwrap();
+    assert!(r.contains_f64(f) || r.to_f64i().contains(f), "{f} outside {r}");
+    // DD certifies the double-precision result (Section VII-A).
+    assert!(r.certified_f64().is_some());
+    assert!(r.certified_bits() > 100.0);
+}
+
+#[test]
+fn simd_input_program_end_to_end() {
+    let src = r#"
+        void axpy4(double* x, double* y, double* out) {
+            __m256d vx = _mm256_loadu_pd(x);
+            __m256d vy = _mm256_loadu_pd(y);
+            __m256d s = _mm256_mul_pd(vx, vy);
+            __m256d r = _mm256_add_pd(s, vx);
+            _mm256_storeu_pd(out, r);
+        }
+    "#;
+    let (mut orig, mut ivl) = pipeline(src, Config::default());
+    let x = [0.1, 0.2, 0.3, 0.4];
+    let y = [1.5, -2.5, 3.5, -4.5];
+    let (xp, yp, op) = (orig.alloc_f64(&x), orig.alloc_f64(&y), orig.alloc_f64(&[0.0; 4]));
+    orig.call("axpy4", vec![xp, yp, op.clone()]).unwrap();
+    let of = orig.read_f64(&op, 4);
+    // Interval run: Table II maps each f64 lane to one interval (an
+    // interval fills one __m128d), so the 4-double arrays become
+    // 4-interval arrays and loads/stores move 4 intervals at a time.
+    let xi: Vec<_> = x.iter().map(|&v| igen_interval::F64I::point(v)).collect();
+    let yi: Vec<_> = y.iter().map(|&v| igen_interval::F64I::point(v)).collect();
+    let (xp, yp, op) = (
+        ivl.alloc_interval(&xi),
+        ivl.alloc_interval(&yi),
+        ivl.alloc_interval(&[igen_interval::F64I::ZERO; 4]),
+    );
+    ivl.call("axpy4", vec![xp, yp, op.clone()]).unwrap();
+    let oi = ivl.read_interval(&op, 4);
+    for k in 0..4 {
+        assert!(oi[k].contains(of[k]), "lane {k}: {} outside {}", of[k], oi[k]);
+        assert!(oi[k].certified_bits() > 50.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_straightline_programs_are_sound(
+        ops in prop::collection::vec(0u8..6, 1..12),
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+    ) {
+        // Build a random straight-line C function over x and y.
+        let mut body = String::from("double t = x;\n");
+        for (i, op) in ops.iter().enumerate() {
+            let rhs = match op {
+                0 => "t + y".to_string(),
+                1 => "t - 0.1".to_string(),
+                2 => "t * y".to_string(),
+                3 => "t * 0.5 + 1.25".to_string(),
+                4 => "t / 3.0".to_string(),
+                _ => format!("t * {}.0", (i % 3) + 1),
+            };
+            body.push_str(&format!("t = {rhs};\n"));
+        }
+        let src = format!("double f(double x, double y) {{ {body} return t; }}");
+        let (mut orig, mut ivl) = pipeline(&src, Config::default());
+        let f = orig
+            .call("f", vec![Value::F64(a), Value::F64(b)])
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let r = ivl
+            .call("f", vec![
+                Value::Interval(igen_interval::F64I::point(a)),
+                Value::Interval(igen_interval::F64I::point(b)),
+            ])
+            .unwrap()
+            .as_interval()
+            .unwrap();
+        prop_assert!(r.contains(f) || f.is_nan(), "f({a},{b}) = {f} outside {r}\n{src}");
+        // The REAL-arithmetic evaluation (256-bit oracle) of the same
+        // program — the soundness contract for both precisions.
+        let mut t_real = Mpf::from_f64(a);
+        let y_real = Mpf::from_f64(b);
+        let tenth = Mpf::from_i64(1).div(&Mpf::from_i64(10), Rm::Nearest);
+        for (i, op) in ops.iter().enumerate() {
+            t_real = match op {
+                0 => t_real.add(&y_real, Rm::Nearest),
+                1 => t_real.sub(&tenth, Rm::Nearest),
+                2 => t_real.mul(&y_real, Rm::Nearest),
+                3 => t_real
+                    .mul(&Mpf::from_f64(0.5), Rm::Nearest)
+                    .add(&Mpf::from_f64(1.25), Rm::Nearest),
+                4 => t_real.div(&Mpf::from_i64(3), Rm::Nearest),
+                _ => t_real.mul(&Mpf::from_i64(((i % 3) + 1) as i64), Rm::Nearest),
+            };
+        }
+        let real_f = t_real.to_f64(Rm::Nearest);
+        if real_f.is_finite() {
+            prop_assert!(r.contains(real_f), "real {real_f} outside f64i {r}\n{src}");
+        }
+        // DD pipeline: sound w.r.t. the real result and at least as tight.
+        let cfg = Config { precision: Precision::Dd, ..Config::default() };
+        let (_, mut ddl) = pipeline(&src, cfg);
+        let rd = ddl
+            .call("f", vec![
+                Value::DdInterval(igen_interval::DdI::point_f64(a)),
+                Value::DdInterval(igen_interval::DdI::point_f64(b)),
+            ])
+            .unwrap()
+            .as_ddi()
+            .unwrap();
+        let rdf = rd.to_f64i();
+        if real_f.is_finite() {
+            prop_assert!(
+                rdf.contains(real_f),
+                "real {real_f} outside ddi {rdf}\n{src}"
+            );
+            prop_assert!(rdf.width() <= r.width() || r.width() == 0.0);
+        }
+    }
+
+    #[test]
+    fn elementary_program_soundness(x in -20.0f64..20.0) {
+        let src = "double g(double x) { return sin(x)*sin(x) + cos(x)*cos(x) + exp(x/100.0); }";
+        let (mut orig, mut ivl) = pipeline(src, Config::default());
+        let f = orig.call("g", vec![Value::F64(x)]).unwrap().as_f64().unwrap();
+        let r = ivl
+            .call("g", vec![Value::Interval(igen_interval::F64I::point(x))])
+            .unwrap()
+            .as_interval()
+            .unwrap();
+        prop_assert!(r.contains(f), "g({x}) = {f} outside {r}");
+        prop_assert!(r.width() < 1e-10, "enclosure too wide: {r}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Differential soundness of the single-precision target
+//! (`Precision::F32`): interval runs must enclose a true binary32
+//! reference run. Each `ia_*_f32` op brackets its correctly-rounded f32
+//! result between the directed f32 roundings, so the f32 float execution
+//! stays inside the enclosure inductively.
+
+use igen_core::{Compiler, Config, Precision};
+use igen_interp::{Interp, Value};
+use igen_interval::F32I;
+use proptest::prelude::*;
+
+fn f32_cfg() -> Config {
+    Config { precision: Precision::F32, ..Config::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn f32_looped_programs_enclose_f32_reference(
+        iters in 1usize..15,
+        scale in prop_oneof![Just("0.5f"), Just("0.25f"), Just("0.75f")],
+        addc in prop_oneof![Just("0.1f"), Just("0.25f"), Just("1.5f")],
+        a in -2.0f32..2.0,
+    ) {
+        let src = format!(
+            "float f(float x) {{\n\
+             for (int i = 0; i < {iters}; i++) {{\n\
+             x = x * {scale} + {addc};\n\
+             }}\n\
+             return x;\n\
+             }}"
+        );
+        let out = Compiler::new(f32_cfg()).compile_str(&src).expect("compile");
+        prop_assert!(out.c_source.contains("ia_mul_f32"), "{}", out.c_source);
+        let mut run = Interp::new(&igen_cfront::parse(&out.c_source).expect("reparse"));
+        let r = run.call("f", vec![Value::Interval32(F32I::point(a))]).unwrap();
+        let Value::Interval32(got) = r else { panic!("{r:?}") };
+        // True binary32 reference.
+        let s: f32 = scale.trim_end_matches('f').parse().unwrap();
+        let c: f32 = addc.trim_end_matches('f').parse().unwrap();
+        let mut x = a;
+        for _ in 0..iters {
+            x = x * s + c;
+        }
+        prop_assert!(got.contains(x), "f({a}) = {x} outside [{}, {}]\n{src}", got.lo(), got.hi());
+        // Contractive maps keep useful precision on the f32 grid.
+        prop_assert!(got.certified_bits() > 15.0, "{} bits\n{src}", got.certified_bits());
+    }
+
+    #[test]
+    fn f32_square_and_power(a in -8.0f32..8.0, n in 2i32..6) {
+        let src = format!("float f(float x) {{ return pow(x, {n}); }}");
+        let out = Compiler::new(f32_cfg()).compile_str(&src).expect("compile");
+        prop_assert!(out.c_source.contains("ia_pow_f32"), "{}", out.c_source);
+        let mut run = Interp::new(&igen_cfront::parse(&out.c_source).expect("reparse"));
+        let r = run.call("f", vec![Value::Interval32(F32I::point(a))]).unwrap();
+        let Value::Interval32(got) = r else { panic!("{r:?}") };
+        // The enclosure must contain the real power (computed in f64,
+        // well within f64's exact range for these inputs).
+        let truth = (a as f64).powi(n);
+        prop_assert!(
+            got.to_f64i().contains(truth),
+            "pow({a}, {n}) = {truth} outside [{}, {}]",
+            got.lo(),
+            got.hi()
+        );
+    }
+}
+
+#[test]
+fn f32_constants_get_f32_grid_enclosures() {
+    // 0.1 is inexact in binary32: the constant enclosure must be on the
+    // f32 grid (width one f32 ulp), not the much finer f64 grid.
+    let out = Compiler::new(f32_cfg())
+        .compile_str("float f(float x) { return x + 0.1f; }")
+        .unwrap();
+    let mut run = Interp::new(&igen_cfront::parse(&out.c_source).unwrap());
+    let r = run.call("f", vec![Value::Interval32(F32I::point(0.0))]).unwrap();
+    let Value::Interval32(got) = r else { panic!("{r:?}") };
+    assert!(got.contains(0.1f32));
+    assert!(got.to_f64i().contains(0.1f64), "encloses the real 0.1 too");
+    assert!(got.width() <= 2.0 * f32::EPSILON * 0.1, "width {}", got.width());
+}

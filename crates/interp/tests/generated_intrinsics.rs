@@ -1,0 +1,158 @@
+//! The full Fig. 4 loop in user compilations: intrinsics WITHOUT a
+//! hand-optimized runtime kernel are lowered to their automatically
+//! generated interval implementations, which the compiler appends to the
+//! output unit and the interpreter executes like any user function.
+#![allow(clippy::needless_range_loop, clippy::type_complexity)] // lane tables read clearer indexed
+
+use igen_core::{Compiler, Config};
+use igen_interp::{Interp, Value};
+use igen_interval::F64I;
+
+#[test]
+fn unknown_intrinsic_is_diagnosed() {
+    let src = r#"
+        __m256d f(__m256d a) {
+            return _mm256_permute_pd(a, 5);
+        }
+    "#;
+    // _mm256_permute_pd is neither hand-optimized nor in the corpus: the
+    // compiler must name it in the diagnostic.
+    let err = Compiler::new(Config::default()).compile_str(src).unwrap_err();
+    assert!(err.to_string().contains("_mm256_permute_pd"), "{err}");
+}
+
+#[test]
+fn cvtps_pd_uses_generated_implementation() {
+    let src = r#"
+        __m256d widen(__m128 v) {
+            return _mm256_cvtps_pd(v);
+        }
+    "#;
+    let out = Compiler::new(Config::default()).compile_str(src).unwrap();
+    // The generated implementation is appended and called.
+    assert!(out.c_source.contains("_c_mm256_cvtps_pd(v)"), "{}", out.c_source);
+    assert!(out.c_source.contains("m256di_2 _c_mm256_cvtps_pd"), "{}", out.c_source);
+    assert!(out.c_source.contains("typedef union"), "{}", out.c_source);
+
+    let mut run = Interp::new(&igen_cfront::parse(&out.c_source).unwrap());
+    let lanes: Vec<F64I> =
+        [0.5f32, -1.25, 3.0, 0.1].iter().map(|&v| F64I::point(v as f64)).collect();
+    let r = run.call("widen", vec![Value::VecInterval(lanes)]).unwrap();
+    let Value::VecInterval(got) = r else { panic!("{r:?}") };
+    assert_eq!(got.len(), 4);
+    for (k, &x) in [0.5f32, -1.25, 3.0, 0.1].iter().enumerate() {
+        assert!(got[k].contains(x as f64), "lane {k}: {} outside {}", x, got[k]);
+    }
+}
+
+#[test]
+fn andnot_uses_generated_mask_implementation() {
+    let src = r#"
+        __m256d select(__m256d mask, __m256d x) {
+            return _mm256_andnot_pd(mask, x);
+        }
+    "#;
+    let out = Compiler::new(Config::default()).compile_str(src).unwrap();
+    // Bitwise ops on the integer view become endpoint-wise interval mask
+    // operations (Section V).
+    assert!(out.c_source.contains("ia_and_f64(ia_not_f64("), "{}", out.c_source);
+    let mut run = Interp::new(&igen_cfront::parse(&out.c_source).unwrap());
+    let ones = F64I::from_neg_lo_hi(f64::from_bits(u64::MAX), f64::from_bits(u64::MAX));
+    let zeros = F64I::from_neg_lo_hi(0.0, 0.0);
+    let x: Vec<F64I> = [1.5, -2.5, 3.5, -4.5].iter().map(|&v| F64I::point(v)).collect();
+    // andnot(mask, x) = (~mask) & x: ones-mask kills, zeros-mask passes.
+    let mask = vec![ones, zeros, ones, zeros];
+    let r = run
+        .call("select", vec![Value::VecInterval(mask), Value::VecInterval(x)])
+        .unwrap();
+    let Value::VecInterval(got) = r else { panic!("{r:?}") };
+    assert_eq!((got[0].lo(), got[0].hi()), (0.0, 0.0));
+    assert_eq!((got[1].lo(), got[1].hi()), (-2.5, -2.5));
+    assert_eq!((got[2].lo(), got[2].hi()), (0.0, 0.0));
+    assert_eq!((got[3].lo(), got[3].hi()), (-4.5, -4.5));
+}
+
+#[test]
+fn hand_optimized_intrinsics_stay_runtime_calls() {
+    let src = "__m256d f(__m256d a, __m256d b) { return _mm256_add_pd(a, b); }";
+    let out = Compiler::new(Config::default()).compile_str(src).unwrap();
+    assert!(out.c_source.contains("ia_mm256_add_pd(a, b)"));
+    assert!(!out.c_source.contains("_c_mm256_add_pd"), "{}", out.c_source);
+}
+
+#[test]
+fn blendv_is_hand_optimized_not_generated() {
+    // blendv's generated code is untransformable (raw bit shifts); the
+    // compiler must use the hand-optimized runtime kernel.
+    assert!(igen_core::hand_optimized("_mm256_blendv_pd"));
+    let src = "__m256d f(__m256d m, __m256d a, __m256d b) { return _mm256_blendv_pd(a, b, m); }";
+    let out = Compiler::new(Config::default()).compile_str(src).unwrap();
+    assert!(out.c_source.contains("ia_mm256_blendv_pd"), "{}", out.c_source);
+}
+
+#[test]
+fn float_pointer_widening_pipeline_compiles_and_runs() {
+    // float* -> __m128 -> __m256d -> double*: loads single precision,
+    // widens, stores double — all three intrinsics resolved, two of them
+    // via generated implementations (_mm_loadu_ps, _mm256_cvtps_pd).
+    let src = r#"
+        void widen(float* x, double* out) {
+            __m128 v = _mm_loadu_ps(x);
+            __m256d d = _mm256_cvtps_pd(v);
+            _mm256_storeu_pd(out, d);
+        }
+    "#;
+    let out = Compiler::new(Config::default()).compile_str(src).unwrap();
+    assert!(out.c_source.contains("_c_mm_loadu_ps"), "{}", out.c_source);
+    assert!(out.c_source.contains("_c_mm256_cvtps_pd"), "{}", out.c_source);
+    assert!(out.c_source.contains("ia_mm256_storeu_pd"), "{}", out.c_source);
+    assert_eq!(out.intrinsics_used, ["_mm_loadu_ps", "_mm256_cvtps_pd", "_mm256_storeu_pd"]);
+
+    let mut run = Interp::new(&igen_cfront::parse(&out.c_source).unwrap());
+    let xs = [0.5f32, -1.25, 3.0, 0.1];
+    let src_buf =
+        run.alloc_interval(&xs.iter().map(|&v| F64I::point(v as f64)).collect::<Vec<_>>());
+    let dst_buf = run.alloc_interval(&[F64I::point(0.0); 4]);
+    run.call("widen", vec![src_buf, dst_buf.clone()]).unwrap();
+    let got = run.read_interval(&dst_buf, 4);
+    for (k, &x) in xs.iter().enumerate() {
+        assert!(got[k].contains(x as f64), "lane {k}: {} outside {}", x, got[k]);
+    }
+}
+
+#[test]
+fn generated_ps_division_is_sound() {
+    let src = r#"
+        __m256 recip(__m256 a, __m256 b) {
+            return _mm256_div_ps(a, b);
+        }
+    "#;
+    let out = Compiler::new(Config::default()).compile_str(src).unwrap();
+    assert!(out.c_source.contains("_c_mm256_div_ps"), "{}", out.c_source);
+    let mut run = Interp::new(&igen_cfront::parse(&out.c_source).unwrap());
+    let a: Vec<F64I> = (0..8).map(|i| F64I::point(i as f64 + 1.0)).collect();
+    let b: Vec<F64I> = (0..8).map(|i| F64I::point(3.0 - i as f64 * 0.25)).collect();
+    let r = run
+        .call("recip", vec![Value::VecInterval(a.clone()), Value::VecInterval(b.clone())])
+        .unwrap();
+    let Value::VecInterval(got) = r else { panic!("{r:?}") };
+    assert_eq!(got.len(), 8);
+    for i in 0..8 {
+        let exact = (i as f64 + 1.0) / (3.0 - i as f64 * 0.25);
+        assert!(got[i].contains(exact), "lane {i}: {exact} outside {}", got[i]);
+        assert!(got[i].width() < 1e-10, "lane {i} too wide: {}", got[i]);
+    }
+}
+
+#[test]
+fn generated_movedup_duplicates_interval_lanes() {
+    let src = "__m256d f(__m256d a) { return _mm256_movedup_pd(a); }";
+    let out = Compiler::new(Config::default()).compile_str(src).unwrap();
+    assert!(out.c_source.contains("_c_mm256_movedup_pd"), "{}", out.c_source);
+    let mut run = Interp::new(&igen_cfront::parse(&out.c_source).unwrap());
+    let a: Vec<F64I> = [1.5, -2.5, 3.5, -4.5].iter().map(|&v| F64I::point(v)).collect();
+    let r = run.call("f", vec![Value::VecInterval(a)]).unwrap();
+    let Value::VecInterval(got) = r else { panic!("{r:?}") };
+    let vals: Vec<f64> = got.iter().map(|i| i.hi()).collect();
+    assert_eq!(vals, [1.5, 1.5, 3.5, 3.5]);
+}

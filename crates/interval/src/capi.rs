@@ -1,0 +1,463 @@
+//! The C-level runtime surface (`igen_lib.h`).
+//!
+//! IGen-generated C calls free functions like `ia_add_f64`; this module
+//! provides the same names with the same semantics so that (a) the
+//! interpreter (`igen-interp`) can bind generated programs one-to-one and
+//! (b) the compiler's documentation of its output maps directly onto
+//! runnable Rust. Everything here is a thin veneer over the methods of
+//! [`F64I`], [`DdI`] and [`TBool`].
+
+use crate::acc::{SumAcc64, SumAccDd};
+use crate::ddi::DdI;
+use crate::f32i::F32I;
+use crate::elem;
+use crate::f64i::F64I;
+use crate::tbool::{TBool, UnknownBranch};
+
+// --- f64i arithmetic -----------------------------------------------------
+
+/// `ia_set_f64(lo, hi)`: interval from endpoints (asserts `lo <= hi`).
+pub fn ia_set_f64(lo: f64, hi: f64) -> F64I {
+    F64I::new(lo, hi).expect("ia_set_f64: lo > hi")
+}
+
+/// `ia_set_point_f64(x)`: exact point interval.
+pub fn ia_set_point_f64(x: f64) -> F64I {
+    F64I::point(x)
+}
+
+/// `ia_set_tol_f64(x, tol)`: value with known absolute tolerance (Fig. 3).
+pub fn ia_set_tol_f64(x: f64, tol: f64) -> F64I {
+    F64I::with_tol(x, tol)
+}
+
+/// `ia_add_f64`.
+pub fn ia_add_f64(a: F64I, b: F64I) -> F64I {
+    a + b
+}
+
+/// `ia_sub_f64`.
+pub fn ia_sub_f64(a: F64I, b: F64I) -> F64I {
+    a - b
+}
+
+/// `ia_mul_f64`.
+pub fn ia_mul_f64(a: F64I, b: F64I) -> F64I {
+    a * b
+}
+
+/// `ia_div_f64`.
+pub fn ia_div_f64(a: F64I, b: F64I) -> F64I {
+    a / b
+}
+
+/// `ia_neg_f64`.
+pub fn ia_neg_f64(a: F64I) -> F64I {
+    -a
+}
+
+/// `ia_abs_f64`.
+pub fn ia_abs_f64(a: F64I) -> F64I {
+    a.abs()
+}
+
+/// `ia_sqrt_f64`.
+pub fn ia_sqrt_f64(a: F64I) -> F64I {
+    a.sqrt()
+}
+
+/// `ia_floor_f64`.
+pub fn ia_floor_f64(a: F64I) -> F64I {
+    a.floor()
+}
+
+/// `ia_ceil_f64`.
+pub fn ia_ceil_f64(a: F64I) -> F64I {
+    a.ceil()
+}
+
+/// `ia_min_f64`.
+pub fn ia_min_f64(a: F64I, b: F64I) -> F64I {
+    a.min_i(&b)
+}
+
+/// `ia_max_f64`.
+pub fn ia_max_f64(a: F64I, b: F64I) -> F64I {
+    a.max_i(&b)
+}
+
+/// `ia_exp_f64`.
+pub fn ia_exp_f64(a: F64I) -> F64I {
+    elem::exp_interval(&a)
+}
+
+/// `ia_log_f64`.
+pub fn ia_log_f64(a: F64I) -> F64I {
+    elem::log_interval(&a)
+}
+
+/// `ia_sin_f64`.
+pub fn ia_sin_f64(a: F64I) -> F64I {
+    elem::sin_interval(&a)
+}
+
+/// `ia_cos_f64`.
+pub fn ia_cos_f64(a: F64I) -> F64I {
+    elem::cos_interval(&a)
+}
+
+/// `ia_tan_f64`.
+pub fn ia_tan_f64(a: F64I) -> F64I {
+    elem::tan_interval(&a)
+}
+
+/// `ia_atan_f64`.
+pub fn ia_atan_f64(a: F64I) -> F64I {
+    elem::atan_interval(&a)
+}
+
+/// `ia_asin_f64`.
+pub fn ia_asin_f64(a: F64I) -> F64I {
+    elem::asin_interval(&a)
+}
+
+/// `ia_acos_f64`.
+pub fn ia_acos_f64(a: F64I) -> F64I {
+    elem::acos_interval(&a)
+}
+
+/// `ia_sqr_f64`: dependency-aware square (`[-1,2]² = [0,4]`).
+pub fn ia_sqr_f64(a: F64I) -> F64I {
+    a.sqr()
+}
+
+/// `ia_pow_f64`: dependency-aware integer power; the lowering of
+/// `pow(x, n)` with a compile-time integer exponent.
+pub fn ia_pow_f64(a: F64I, n: i32) -> F64I {
+    a.powi(n)
+}
+
+/// `ia_and_f64`: endpoint-wise bitwise AND (mask idiom, Section V).
+pub fn ia_and_f64(a: F64I, b: F64I) -> F64I {
+    a.bitand_mask(&b)
+}
+
+/// `ia_or_f64`: endpoint-wise bitwise OR.
+pub fn ia_or_f64(a: F64I, b: F64I) -> F64I {
+    a.bitor_mask(&b)
+}
+
+/// `ia_xor_f64`: endpoint-wise bitwise XOR.
+pub fn ia_xor_f64(a: F64I, b: F64I) -> F64I {
+    a.bitxor_mask(&b)
+}
+
+/// `ia_not_f64`: endpoint-wise bitwise NOT (mask idiom: the complement
+/// of an all-ones/all-zeros mask, Section V).
+pub fn ia_not_f64(a: F64I) -> F64I {
+    a.bitnot_mask()
+}
+
+/// `ia_join_f64`: interval hull — used by the compiler's
+/// join-both-branches policy (Section IV-B).
+pub fn ia_join_f64(a: F64I, b: F64I) -> F64I {
+    a.join(&b)
+}
+
+/// `ia_set_int_f64`: exact conversion of an integer.
+pub fn ia_set_int_f64(x: i64) -> F64I {
+    crate::cast::i64_to_f64i(x)
+}
+
+// --- f64i comparisons ----------------------------------------------------
+
+/// `ia_cmplt_f64`.
+pub fn ia_cmplt_f64(a: F64I, b: F64I) -> TBool {
+    a.cmp_lt(&b)
+}
+
+/// `ia_cmple_f64`.
+pub fn ia_cmple_f64(a: F64I, b: F64I) -> TBool {
+    a.cmp_le(&b)
+}
+
+/// `ia_cmpgt_f64`.
+pub fn ia_cmpgt_f64(a: F64I, b: F64I) -> TBool {
+    a.cmp_gt(&b)
+}
+
+/// `ia_cmpge_f64`.
+pub fn ia_cmpge_f64(a: F64I, b: F64I) -> TBool {
+    a.cmp_ge(&b)
+}
+
+/// `ia_cmpeq_f64`.
+pub fn ia_cmpeq_f64(a: F64I, b: F64I) -> TBool {
+    a.cmp_eq(&b)
+}
+
+/// `ia_cmpne_f64`.
+pub fn ia_cmpne_f64(a: F64I, b: F64I) -> TBool {
+    a.cmp_ne(&b)
+}
+
+/// `ia_cvt2bool_tb`: branch decision; signals on unknown (the paper's
+/// default policy — "It may signal exception", Fig. 2).
+///
+/// # Errors
+///
+/// [`UnknownBranch`] when the condition is undecidable.
+pub fn ia_cvt2bool_tb(t: TBool) -> Result<bool, UnknownBranch> {
+    t.to_bool()
+}
+
+/// `ia_is_true_tb`: definite-truth test (join-branches policy).
+pub fn ia_is_true_tb(t: TBool) -> bool {
+    t.is_true()
+}
+
+/// `ia_is_false_tb`: definite-falsity test (join-branches policy).
+pub fn ia_is_false_tb(t: TBool) -> bool {
+    t.is_false()
+}
+
+// --- ddi -------------------------------------------------------------------
+
+/// `ia_set_dd(lo, hi)` from f64 endpoints.
+pub fn ia_set_dd(lo: f64, hi: f64) -> DdI {
+    DdI::new(igen_dd::Dd::from(lo), igen_dd::Dd::from(hi)).expect("ia_set_dd: lo > hi")
+}
+
+/// `ia_set_ddx(lo_hi, lo_lo, hi_hi, hi_lo)`: interval from full
+/// double-double endpoints — how the DD compilation target materializes
+/// decimal constants at ~2^-106 relative accuracy.
+pub fn ia_set_ddx(lo_hi: f64, lo_lo: f64, hi_hi: f64, hi_lo: f64) -> DdI {
+    DdI::new(igen_dd::Dd::new(lo_hi, lo_lo), igen_dd::Dd::new(hi_hi, hi_lo))
+        .expect("ia_set_ddx: lo > hi")
+}
+
+/// `ia_add_dd`.
+pub fn ia_add_dd(a: DdI, b: DdI) -> DdI {
+    a + b
+}
+
+/// `ia_sub_dd`.
+pub fn ia_sub_dd(a: DdI, b: DdI) -> DdI {
+    a - b
+}
+
+/// `ia_mul_dd`.
+pub fn ia_mul_dd(a: DdI, b: DdI) -> DdI {
+    a * b
+}
+
+/// `ia_div_dd`.
+pub fn ia_div_dd(a: DdI, b: DdI) -> DdI {
+    a / b
+}
+
+/// `ia_neg_dd`.
+pub fn ia_neg_dd(a: DdI) -> DdI {
+    -a
+}
+
+/// `ia_sqrt_dd`.
+pub fn ia_sqrt_dd(a: DdI) -> DdI {
+    a.sqrt()
+}
+
+/// `ia_sqr_dd`: dependency-aware square.
+pub fn ia_sqr_dd(a: DdI) -> DdI {
+    a.sqr()
+}
+
+/// `ia_pow_dd`: dependency-aware integer power.
+pub fn ia_pow_dd(a: DdI, n: i32) -> DdI {
+    a.powi(n)
+}
+
+/// `ia_cvt_f64_dd`: promotion (Table II).
+pub fn ia_cvt_f64_dd(a: F64I) -> DdI {
+    DdI::from_f64i(&a)
+}
+
+/// `ia_cvt_dd_f64`: outward demotion.
+pub fn ia_cvt_dd_f64(a: DdI) -> F64I {
+    a.to_f64i()
+}
+
+/// `ia_join_dd`: interval hull in double-double.
+pub fn ia_join_dd(a: DdI, b: DdI) -> DdI {
+    a.join(&b)
+}
+
+/// `ia_set_int_dd`: exact conversion of an integer.
+pub fn ia_set_int_dd(x: i64) -> DdI {
+    DdI::from_f64i(&crate::cast::i64_to_f64i(x))
+}
+
+/// `ia_abs_dd`.
+pub fn ia_abs_dd(a: DdI) -> DdI {
+    a.abs()
+}
+
+/// `ia_min_dd`.
+pub fn ia_min_dd(a: DdI, b: DdI) -> DdI {
+    a.min_i(&b)
+}
+
+/// `ia_max_dd`.
+pub fn ia_max_dd(a: DdI, b: DdI) -> DdI {
+    a.max_i(&b)
+}
+
+/// `ia_cmplt_dd`.
+pub fn ia_cmplt_dd(a: DdI, b: DdI) -> TBool {
+    a.cmp_lt(&b)
+}
+
+/// `ia_cmpgt_dd`.
+pub fn ia_cmpgt_dd(a: DdI, b: DdI) -> TBool {
+    a.cmp_gt(&b)
+}
+
+// --- f32i (single-precision target, Section III) --------------------------
+
+/// `ia_set_f32(lo, hi)`.
+pub fn ia_set_f32(lo: f32, hi: f32) -> F32I {
+    F32I::new(lo, hi).expect("ia_set_f32: lo > hi")
+}
+
+/// `ia_set_tol_f32(x, tol)`.
+pub fn ia_set_tol_f32(x: f32, tol: f32) -> F32I {
+    F32I::with_tol(x, tol)
+}
+
+/// `ia_add_f32`.
+pub fn ia_add_f32(a: F32I, b: F32I) -> F32I {
+    a + b
+}
+
+/// `ia_sub_f32`.
+pub fn ia_sub_f32(a: F32I, b: F32I) -> F32I {
+    a - b
+}
+
+/// `ia_mul_f32`.
+pub fn ia_mul_f32(a: F32I, b: F32I) -> F32I {
+    a * b
+}
+
+/// `ia_div_f32`.
+pub fn ia_div_f32(a: F32I, b: F32I) -> F32I {
+    a / b
+}
+
+/// `ia_neg_f32`.
+pub fn ia_neg_f32(a: F32I) -> F32I {
+    -a
+}
+
+/// `ia_sqrt_f32`.
+pub fn ia_sqrt_f32(a: F32I) -> F32I {
+    a.sqrt()
+}
+
+/// `ia_cvt_f32_f64`: promotion (exact).
+pub fn ia_cvt_f32_f64(a: F32I) -> F64I {
+    a.to_f64i()
+}
+
+/// `ia_cvt_f64_f32`: outward demotion.
+pub fn ia_cvt_f64_f32(a: F64I) -> F32I {
+    F32I::from_f64i(&a)
+}
+
+/// `ia_cmplt_f32`.
+pub fn ia_cmplt_f32(a: F32I, b: F32I) -> TBool {
+    a.cmp_lt(&b)
+}
+
+/// `ia_cmpgt_f32`.
+pub fn ia_cmpgt_f32(a: F32I, b: F32I) -> TBool {
+    a.cmp_gt(&b)
+}
+
+// --- reduction accumulators (Section VI-B) -------------------------------
+
+/// `isum_init_f64`.
+pub fn isum_init_f64(init: F64I) -> SumAcc64 {
+    SumAcc64::new(init)
+}
+
+/// `isum_accumulate_f64`.
+pub fn isum_accumulate_f64(acc: &mut SumAcc64, term: F64I) {
+    acc.accumulate(&term);
+}
+
+/// `isum_reduce_f64`.
+pub fn isum_reduce_f64(acc: &SumAcc64) -> F64I {
+    acc.reduce()
+}
+
+/// `isum_init_dd`.
+pub fn isum_init_dd(init: DdI) -> SumAccDd {
+    SumAccDd::new(init)
+}
+
+/// `isum_accumulate_dd`.
+pub fn isum_accumulate_dd(acc: &mut SumAccDd, term: DdI) {
+    acc.accumulate(&term);
+}
+
+/// `isum_reduce_dd`.
+pub fn isum_reduce_dd(acc: &SumAccDd) -> DdI {
+    acc.reduce()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_pipeline() {
+        // The exact computation of Fig. 2: c = a + b + 0.1; if (c > a) c = a*c.
+        let a = ia_set_point_f64(1.0);
+        let b = ia_set_point_f64(2.0);
+        let t1 = ia_add_f64(a, b);
+        #[allow(clippy::excessive_precision)] // the exact 1-ulp pair around 0.1
+        let t2 = ia_set_f64(0.099999999999999992, 0.100000000000000006);
+        let c = ia_add_f64(t1, t2);
+        let t4 = ia_cmpgt_f64(c, a);
+        let take = ia_cvt2bool_tb(t4).expect("decidable");
+        assert!(take);
+        let c = ia_mul_f64(a, c);
+        assert!(c.contains(3.1));
+    }
+
+    #[test]
+    fn unknown_branch_signals() {
+        let a = ia_set_f64(0.0, 2.0);
+        let b = ia_set_f64(1.0, 3.0);
+        assert!(ia_cvt2bool_tb(ia_cmpgt_f64(a, b)).is_err());
+    }
+
+    #[test]
+    fn dd_roundtrip() {
+        let x = ia_set_point_f64(0.1);
+        let d = ia_cvt_f64_dd(x);
+        let q = ia_div_dd(d, ia_set_dd(3.0, 3.0));
+        let back = ia_cvt_dd_f64(q);
+        assert!(back.contains(0.1 / 3.0));
+    }
+
+    #[test]
+    fn reduction_accumulator_api() {
+        let mut acc = isum_init_f64(F64I::ZERO);
+        for _ in 0..100 {
+            isum_accumulate_f64(&mut acc, ia_set_point_f64(0.1));
+        }
+        let s = isum_reduce_f64(&acc);
+        assert!(s.contains(10.000000000000002)); // RN sum of a hundred 0.1s
+    }
+}

@@ -1,0 +1,130 @@
+//! Casts between precisions (Table I "Casts"; Table II promotions).
+//!
+//! Single-precision floats are promoted to double-precision intervals
+//! *exactly* (every f32 is representable as f64); demotion to f32
+//! endpoints rounds outward. Integer casts to intervals are exact within
+//! the 53-bit significand.
+
+use crate::f64i::F64I;
+
+/// Promotes an `f32` value to a point interval in double precision —
+/// IGen's default handling of `float` inputs (Table II).
+pub fn f32_to_f64i(x: f32) -> F64I {
+    F64I::point(x as f64)
+}
+
+/// Promotes an `f32` pair to a double-precision interval (exact).
+///
+/// # Errors
+///
+/// Returns [`crate::InvalidInterval`] if `lo > hi`.
+pub fn f32_pair_to_f64i(lo: f32, hi: f32) -> Result<F64I, crate::InvalidInterval> {
+    F64I::new(lo as f64, hi as f64)
+}
+
+/// Demotes a double-precision interval to `f32` endpoints, rounding
+/// outward (the result still contains every real the input did).
+pub fn f64i_to_f32_pair(x: &F64I) -> (f32, f32) {
+    (f32_below(x.lo()), f32_above(x.hi()))
+}
+
+/// Converts an `i64` to a point interval; values beyond 2^53 are enclosed
+/// by their two neighbouring doubles.
+pub fn i64_to_f64i(x: i64) -> F64I {
+    let v = x as f64;
+    if v as i64 == x && x.abs() <= (1i64 << 53) {
+        F64I::point(v)
+    } else {
+        F64I::enclose_decimal(v)
+    }
+}
+
+/// Largest f32 `<=` the f64 value.
+fn f32_below(x: f64) -> f32 {
+    if x.is_nan() {
+        return f32::NAN;
+    }
+    let c = x as f32; // round-to-nearest
+    if (c as f64) <= x {
+        c
+    } else {
+        next_down_f32(c)
+    }
+}
+
+/// Smallest f32 `>=` the f64 value.
+fn f32_above(x: f64) -> f32 {
+    if x.is_nan() {
+        return f32::NAN;
+    }
+    let c = x as f32;
+    if (c as f64) >= x {
+        c
+    } else {
+        next_up_f32(c)
+    }
+}
+
+fn next_up_f32(x: f32) -> f32 {
+    if x.is_nan() || x == f32::INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return f32::from_bits(1);
+    }
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f32::from_bits(bits + 1)
+    } else {
+        f32::from_bits(bits - 1)
+    }
+}
+
+fn next_down_f32(x: f32) -> f32 {
+    -next_up_f32(-x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_promotion_is_exact() {
+        let i = f32_to_f64i(0.1f32);
+        assert!(i.is_point());
+        assert_eq!(i.hi(), 0.1f32 as f64);
+    }
+
+    #[test]
+    fn f32_demotion_is_outward() {
+        let i = F64I::point(0.1); // not representable in f32
+        let (lo, hi) = f64i_to_f32_pair(&i);
+        assert!((lo as f64) <= 0.1 && 0.1 <= (hi as f64));
+        assert!(lo < hi);
+        // Exact f32 values stay points.
+        let j = F64I::point(0.5);
+        let (lo, hi) = f64i_to_f32_pair(&j);
+        assert_eq!((lo, hi), (0.5, 0.5));
+    }
+
+    #[test]
+    fn f32_demotion_handles_overflow() {
+        let i = F64I::point(1e300);
+        let (lo, hi) = f64i_to_f32_pair(&i);
+        assert!(lo.is_finite());
+        assert_eq!(hi, f32::INFINITY);
+        let n = F64I::point(-1e300);
+        let (lo2, hi2) = f64i_to_f32_pair(&n);
+        assert_eq!(lo2, f32::NEG_INFINITY);
+        assert!(hi2.is_finite());
+    }
+
+    #[test]
+    fn i64_cast_exactness() {
+        assert!(i64_to_f64i(42).is_point());
+        assert!(i64_to_f64i(1 << 53).is_point());
+        let big = i64_to_f64i((1 << 53) + 1);
+        assert!(!big.is_point());
+        assert!(big.contains(((1i64 << 53) + 1) as f64));
+    }
+}

@@ -1,0 +1,846 @@
+//! Rigorous elementary functions — the workspace's CRlibm substitute.
+//!
+//! The paper builds its interval elementary functions on CRlibm, which
+//! guarantees correctly rounded results. CRlibm is a large body of C that
+//! cannot be assumed here, so this module provides the same *interface
+//! guarantee the interval layer actually needs*: for every supported
+//! function and every point `x`, an enclosure `[lo, hi]` with
+//! `lo <= f(x) <= hi`, a few f64 ulps wide at most. Internally each
+//! function is evaluated in double-double (≥106 bits) with
+//! mathematically-derived truncation bounds, then widened by a certified
+//! error radius and rounded outward — soundness comes from the widening,
+//! tightness from the 50-bit headroom between double-double accuracy and
+//! the f64 target.
+//!
+//! Interval versions use monotonic-section decomposition exactly as
+//! Section IV-A describes: monotonic functions apply the point enclosure
+//! to the endpoints; sine/cosine additionally check which extrema lie
+//! inside the input interval.
+
+use crate::f64i::F64I;
+use igen_dd::{add_dir, mul_f64_dir, sub_dir, Dd, DD_LN2, DD_PI_2};
+use igen_round as r;
+use igen_round::{Rd, Rn, Ru};
+
+/// Smallest f64 less than or equal to the dd value.
+fn f64_lower(x: Dd) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let (h, l) = r::two_sum(x.hi(), x.lo());
+    if l < 0.0 {
+        r::next_down(h)
+    } else {
+        h
+    }
+}
+
+/// Largest f64 greater than or equal to the dd value.
+fn f64_upper(x: Dd) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let (h, l) = r::two_sum(x.hi(), x.lo());
+    if l > 0.0 {
+        r::next_up(h)
+    } else {
+        h
+    }
+}
+
+/// Outward-rounded f64 enclosure of `v ± err` (`err` is an absolute
+/// radius in f64).
+fn enclose(v: Dd, err: f64) -> (f64, f64) {
+    let e = Dd::from(err);
+    let lo = sub_dir::<Rd>(v, e);
+    let hi = add_dir::<Ru>(v, e);
+    (f64_lower(lo), f64_upper(hi))
+}
+
+fn pow2(n: i64) -> f64 {
+    if n >= 1024 {
+        f64::INFINITY
+    } else if n >= -1022 {
+        f64::from_bits(((1023 + n) as u64) << 52)
+    } else if n >= -1074 {
+        f64::from_bits(1u64 << (n + 1074))
+    } else {
+        0.0
+    }
+}
+
+/// Sound directed scaling of an f64 bound by `2^k` (split into two steps
+/// so saturation at the range ends stays sound).
+fn scale_lo(x: f64, k: i64) -> f64 {
+    let k1 = k / 2;
+    let k2 = k - k1;
+    r::mul_rd(r::mul_rd(x, pow2(k1)), pow2(k2))
+}
+
+fn scale_hi(x: f64, k: i64) -> f64 {
+    let k1 = k / 2;
+    let k2 = k - k1;
+    r::mul_ru(r::mul_ru(x, pow2(k1)), pow2(k2))
+}
+
+/// Enclosure of `e^x` for a point `x`: `(lo, hi)` with
+/// `lo <= e^x <= hi`, a few ulps wide.
+///
+/// The certified error radius is `2^-85` relative — derivation: argument
+/// reduction `r = x - k ln2` carries `<= 2^-88` absolute error
+/// (`|k| <= 1025`, ln2 known to `2^-110`, dd ops at `2^-104` relative), a
+/// 26-term Taylor sum truncates below `2^-134`, and the dd evaluation
+/// contributes `<= 2^-99` relative; `exp` has derivative `exp` so the
+/// argument error stays relative through the result.
+pub fn exp_point(x: f64) -> (f64, f64) {
+    if x.is_nan() {
+        return (f64::NAN, f64::NAN);
+    }
+    if x == f64::INFINITY {
+        return (f64::INFINITY, f64::INFINITY);
+    }
+    if x == f64::NEG_INFINITY {
+        return (0.0, 0.0);
+    }
+    if x > 710.0 {
+        // e^710 > 2^1024: overflow certain.
+        return (f64::MAX, f64::INFINITY);
+    }
+    if x < -745.5 {
+        // e^-745.5 < 2^-1075: underflow certain.
+        return (0.0, f64::from_bits(1));
+    }
+    if x == 0.0 {
+        return (1.0, 1.0);
+    }
+    let k = (x * std::f64::consts::LOG2_E).round() as i64;
+    let kl2 = mul_f64_dir::<Rn>(DD_LN2, k as f64);
+    let rr = sub_dir::<Rn>(Dd::from(x), kl2); // |r| <= 0.35
+    // Taylor with Horner: e^r = 1 + r(1 + r/2(1 + r/3(...))).
+    let mut sum = Dd::ONE;
+    for i in (1..=26u32).rev() {
+        // sum = 1 + (r / i) * sum
+        let t = igen_dd::div_rn(rr, Dd::from(i as f64));
+        sum = Dd::ONE + igen_dd::mul_dir::<Rn>(t, sum);
+    }
+    // Certified radius: 2^-85 relative to e^r (<= 1.5), so 2^-84 absolute.
+    let (lo, hi) = enclose(sum, pow2(-84));
+    let lo = scale_lo(lo.max(0.0), k);
+    let hi = scale_hi(hi, k);
+    (lo.max(0.0), hi)
+}
+
+/// Enclosure of `ln x` for a point `x`. Negative inputs give NaN bounds,
+/// `ln 0 = -∞`.
+///
+/// Certified radius `2^-88` relative: `t = (m-1)/(m+1)` with `|t| <=
+/// 0.1716`, 23 odd-term atanh series (truncation `< 2^-119`), dd ops at
+/// `2^-100`, and no catastrophic cancellation between `e·ln2` and the
+/// series term (their ratio is bounded).
+pub fn log_point(x: f64) -> (f64, f64) {
+    if x.is_nan() || x < 0.0 {
+        return (f64::NAN, f64::NAN);
+    }
+    if x == 0.0 {
+        return (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    }
+    if x == f64::INFINITY {
+        return (f64::INFINITY, f64::INFINITY);
+    }
+    if x == 1.0 {
+        return (0.0, 0.0);
+    }
+    let mut e = r::exponent(x) as i64;
+    let mut m = x * pow2(-e); // in [1, 2), exact scaling
+    if m > std::f64::consts::SQRT_2 {
+        m *= 0.5;
+        e += 1;
+    }
+    // t = (m - 1) / (m + 1) in dd.
+    let md = Dd::from(m);
+    let t = igen_dd::div_rn(md - Dd::ONE, md + Dd::ONE);
+    let t2 = igen_dd::mul_dir::<Rn>(t, t);
+    // atanh(t) = sum_{j>=0} t^(2j+1) / (2j+1), summed term by term
+    // (|t| <= 0.1716 makes 24 terms truncate below 2^-119).
+    let mut atanh = Dd::ZERO;
+    let mut term_pow = t; // t^(2j+1)
+    for j in 0..=23u32 {
+        let odd = (2 * j + 1) as f64;
+        atanh = atanh + igen_dd::div_rn(term_pow, Dd::from(odd));
+        term_pow = igen_dd::mul_dir::<Rn>(term_pow, t2);
+    }
+    let log_m = atanh + atanh; // 2 * atanh(t)
+    let result = mul_f64_dir::<Rn>(DD_LN2, e as f64) + log_m;
+    // Radius: relative 2^-88 with a small absolute floor.
+    let radius = r::add_ru(r::mul_ru(result.hi().abs(), pow2(-88)), pow2(-200));
+    enclose(result, radius)
+}
+
+/// Certified absolute error radius of the trig evaluation for reduction
+/// quotient `n`: the reduction contributes `|n| · 2^-103` (π/2 known to
+/// ~2^-110, dd ops at 2^-104 relative on |n·π/2|), the series truncation
+/// `2^-92`, and the dd evaluation `2^-99`.
+fn trig_radius(n: f64) -> f64 {
+    pow2(-92) + n.abs() * pow2(-103)
+}
+
+/// Reduction `x = n·(π/2) + r` with `|r| <= π/4 + 2^-60`; returns
+/// `(n mod 4, r, |n|)`. Valid for `|x| < 2^30` (larger arguments fall
+/// back to the trivial enclosure at the interval layer).
+fn trig_reduce(x: f64) -> (u8, Dd, f64) {
+    let n = (x * (2.0 / std::f64::consts::PI)).round();
+    let npi2 = mul_f64_dir::<Rn>(DD_PI_2, n);
+    let rr = sub_dir::<Rn>(Dd::from(x), npi2);
+    let q = ((n as i64).rem_euclid(4)) as u8;
+    (q, rr, n.abs())
+}
+
+/// Double-double enclosure `(lo, hi)` of `sin x` for `|x| < 2^30` — used
+/// for double-double-precision twiddle constants; ~92 certified bits for
+/// small arguments.
+pub fn sin_enclose_dd(x: f64) -> (Dd, Dd) {
+    if x == 0.0 {
+        return (Dd::ZERO, Dd::ZERO);
+    }
+    if x.is_nan() || x.abs() >= (1u64 << 30) as f64 {
+        return (Dd::from(-1.0), Dd::from(1.0));
+    }
+    let (q, rr, n) = trig_reduce(x);
+    let v = match q {
+        0 => sin_series(rr),
+        1 => cos_series(rr),
+        2 => sin_series(rr).neg(),
+        _ => cos_series(rr).neg(),
+    };
+    let e = Dd::from(trig_radius(n));
+    (sub_dir::<Rd>(v, e), add_dir::<Ru>(v, e))
+}
+
+/// Double-double enclosure of `cos x` (see [`sin_enclose_dd`]).
+pub fn cos_enclose_dd(x: f64) -> (Dd, Dd) {
+    if x == 0.0 {
+        return (Dd::ONE, Dd::ONE);
+    }
+    if x.is_nan() || x.abs() >= (1u64 << 30) as f64 {
+        return (Dd::from(-1.0), Dd::from(1.0));
+    }
+    let (q, rr, n) = trig_reduce(x);
+    let v = match q {
+        0 => cos_series(rr),
+        1 => sin_series(rr).neg(),
+        2 => cos_series(rr).neg(),
+        _ => sin_series(rr),
+    };
+    let e = Dd::from(trig_radius(n));
+    (sub_dir::<Rd>(v, e), add_dir::<Ru>(v, e))
+}
+
+/// Taylor enclosure core: sin(r) for `|r| <= 0.79`, result as dd with
+/// truncation below `2^-92`.
+fn sin_series(rr: Dd) -> Dd {
+    // sin r = r (1 - r^2/6 (1 - r^2/20 (1 - ...))) — Horner on r^2 with
+    // factors 1/((2k)(2k+1)).
+    let r2 = igen_dd::mul_dir::<Rn>(rr, rr);
+    let mut s = Dd::ONE;
+    for k in (1..=12u32).rev() {
+        let denom = (2 * k * (2 * k + 1)) as f64;
+        let t = igen_dd::div_rn(r2, Dd::from(denom));
+        s = Dd::ONE - igen_dd::mul_dir::<Rn>(t, s);
+    }
+    igen_dd::mul_dir::<Rn>(rr, s)
+}
+
+/// Taylor enclosure core: cos(r) for `|r| <= 0.79`.
+fn cos_series(rr: Dd) -> Dd {
+    let r2 = igen_dd::mul_dir::<Rn>(rr, rr);
+    let mut s = Dd::ONE;
+    for k in (1..=12u32).rev() {
+        let denom = ((2 * k - 1) * (2 * k)) as f64;
+        let t = igen_dd::div_rn(r2, Dd::from(denom));
+        s = Dd::ONE - igen_dd::mul_dir::<Rn>(t, s);
+    }
+    s
+}
+
+/// Enclosure of `sin x` at a point, for `|x| < 2^30`; wider arguments get
+/// the trivial `[-1, 1]`.
+///
+/// Certified absolute radius `2^-70`: the reduction costs `<= 2^-73`
+/// absolute (`|n| <= 2^31`, π/2 known to `2^-110`), the series truncation
+/// `2^-92`, dd evaluation `2^-99` relative.
+pub fn sin_point(x: f64) -> (f64, f64) {
+    if x.is_nan() || x.is_infinite() {
+        return (f64::NAN, f64::NAN);
+    }
+    if x.abs() >= (1u64 << 30) as f64 {
+        return (-1.0, 1.0);
+    }
+    if x == 0.0 {
+        return (0.0, 0.0);
+    }
+    let (q, rr, n) = trig_reduce(x);
+    let v = match q {
+        0 => sin_series(rr),
+        1 => cos_series(rr),
+        2 => sin_series(rr).neg(),
+        _ => cos_series(rr).neg(),
+    };
+    let (lo, hi) = enclose(v, trig_radius(n));
+    (lo.max(-1.0), hi.min(1.0))
+}
+
+/// Enclosure of `cos x` at a point (see [`sin_point`] for the bounds).
+pub fn cos_point(x: f64) -> (f64, f64) {
+    if x.is_nan() || x.is_infinite() {
+        return (f64::NAN, f64::NAN);
+    }
+    if x.abs() >= (1u64 << 30) as f64 {
+        return (-1.0, 1.0);
+    }
+    let (q, rr, n) = trig_reduce(x);
+    let v = match q {
+        0 => cos_series(rr),
+        1 => sin_series(rr).neg(),
+        2 => cos_series(rr).neg(),
+        _ => sin_series(rr),
+    };
+    let (lo, hi) = enclose(v, trig_radius(n));
+    (lo.max(-1.0), hi.min(1.0))
+}
+
+/// Enclosure of `tan x` at a point via `sin/cos` interval division; if the
+/// cosine enclosure touches zero the result is the entire line.
+pub fn tan_point(x: f64) -> (f64, f64) {
+    if x.is_nan() || x.is_infinite() {
+        return (f64::NAN, f64::NAN);
+    }
+    if x.abs() >= (1u64 << 30) as f64 {
+        return (f64::NEG_INFINITY, f64::INFINITY);
+    }
+    let (slo, shi) = sin_point(x);
+    let (clo, chi) = cos_point(x);
+    if clo <= 0.0 && chi >= 0.0 {
+        return (f64::NEG_INFINITY, f64::INFINITY);
+    }
+    let s = F64I::new(slo, shi).expect("ordered");
+    let c = F64I::new(clo, chi).expect("ordered");
+    let q = s / c;
+    (q.lo(), q.hi())
+}
+
+/// Enclosure of `arctan x` at a point. Total on all of ℝ (including
+/// ±∞ → ±π/2), monotonically increasing, so interval versions use the
+/// endpoints directly.
+///
+/// Certified radius `2^-95` relative (absolute floor `2^-200`): two
+/// argument-halving steps `t ← t/(1+√(1+t²))` bring `|t| ≤ tan(π/16) <
+/// 0.199` (each step: one dd sqrt at `2^-100` rel, one div at `2^-99`;
+/// `atan` has derivative `≤ 1` so absolute argument error passes
+/// through), the 24-odd-term Leibniz series truncates below `2^-112`,
+/// and π/2 for the `|x| > 1` reflection is known to `2^-110`.
+pub fn atan_point(x: f64) -> (f64, f64) {
+    if x.is_nan() {
+        return (f64::NAN, f64::NAN);
+    }
+    if x == 0.0 {
+        return (0.0, 0.0);
+    }
+    if x == f64::INFINITY {
+        return (f64_lower(DD_PI_2), f64_upper(DD_PI_2));
+    }
+    if x == f64::NEG_INFINITY {
+        return (f64_lower(DD_PI_2.neg()), f64_upper(DD_PI_2.neg()));
+    }
+    let neg = x < 0.0;
+    let ax = x.abs();
+    // |x| > 1: atan(x) = pi/2 - atan(1/x).
+    let (t0, reflect) = if ax > 1.0 {
+        (igen_dd::div_rn(Dd::ONE, Dd::from(ax)), true)
+    } else {
+        (Dd::from(ax), false)
+    };
+    // Two halvings: t <- t / (1 + sqrt(1 + t^2)); atan(t0) = 4 atan(t).
+    let mut t = t0;
+    for _ in 0..2 {
+        let t2 = igen_dd::mul_dir::<Rn>(t, t);
+        let s = igen_dd::sqrt_rn(Dd::ONE + t2);
+        t = igen_dd::div_rn(t, Dd::ONE + s);
+    }
+    // Leibniz series: atan(t) = sum (-1)^j t^(2j+1)/(2j+1), |t| < 0.199.
+    let t2 = igen_dd::mul_dir::<Rn>(t, t);
+    let mut series = Dd::ZERO;
+    let mut term_pow = t; // t^(2j+1)
+    for j in 0..=23u32 {
+        let term = igen_dd::div_rn(term_pow, Dd::from((2 * j + 1) as f64));
+        series = if j % 2 == 0 { series + term } else { series - term };
+        term_pow = igen_dd::mul_dir::<Rn>(term_pow, t2);
+    }
+    let quarter = series + series;
+    let mut v = quarter + quarter; // 4 atan(t) = atan(t0)
+    if reflect {
+        v = DD_PI_2 - v;
+    }
+    if neg {
+        v = v.neg();
+    }
+    let radius = r::add_ru(r::mul_ru(v.hi().abs(), pow2(-95)), pow2(-200));
+    let (lo, hi) = enclose(v, radius);
+    // atan is bounded by ±pi/2; clamping keeps extreme inputs tight.
+    (lo.max(f64_lower(DD_PI_2.neg())), hi.min(f64_upper(DD_PI_2)))
+}
+
+/// Interval `arctan` (total and monotonically increasing: endpoints).
+pub fn atan_interval(x: &F64I) -> F64I {
+    let (a, b) = (x.lo(), x.hi());
+    if a.is_nan() || b.is_nan() {
+        return F64I::NAI;
+    }
+    let lo = atan_point(a).0;
+    let hi = atan_point(b).1;
+    F64I::from_neg_lo_hi(-lo, hi)
+}
+
+/// Enclosure of `arcsin x` at a point. Out-of-domain inputs (`|x| > 1`)
+/// give NaN bounds, mirroring the sqrt convention of Section IV-A.
+///
+/// Computed by sound interval composition `asin x = arctan(x / √(1−x²))`
+/// — every step uses directed interval arithmetic, so the radius is the
+/// composition's, a few ulps (wider only in the last few ulps before
+/// ±1, where the reformulation's slope blows up but the result is still
+/// clamped to ±π/2).
+pub fn asin_point(x: f64) -> (f64, f64) {
+    if x.is_nan() || x.abs() > 1.0 {
+        return (f64::NAN, f64::NAN);
+    }
+    if x == 0.0 {
+        return (0.0, 0.0);
+    }
+    if x == 1.0 {
+        return (f64_lower(DD_PI_2), f64_upper(DD_PI_2));
+    }
+    if x == -1.0 {
+        return (f64_lower(DD_PI_2.neg()), f64_upper(DD_PI_2.neg()));
+    }
+    let xi = F64I::point(x);
+    // 1 - x^2 as a sound interval; its lower bound can round to 0 just
+    // below |x| = 1, making `t` unbounded on one side — atan of an
+    // infinite endpoint is +-pi/2, which keeps the result sound there.
+    let one_minus = F64I::point(1.0).sub(&xi.mul(&xi));
+    let t = xi.div(&one_minus.sqrt());
+    let a = atan_interval(&t);
+    (
+        a.lo().max(f64_lower(DD_PI_2.neg())),
+        a.hi().min(f64_upper(DD_PI_2)),
+    )
+}
+
+/// Enclosure of `arccos x` at a point: `π/2 − asin x` with directed
+/// endpoint arithmetic. Out-of-domain inputs give NaN bounds.
+pub fn acos_point(x: f64) -> (f64, f64) {
+    if x.is_nan() || x.abs() > 1.0 {
+        return (f64::NAN, f64::NAN);
+    }
+    let (slo, shi) = asin_point(x);
+    let lo = r::sub_rd(f64_lower(DD_PI_2), shi).max(0.0);
+    let hi = r::sub_ru(f64_upper(DD_PI_2), slo);
+    (lo, hi)
+}
+
+/// Interval `arcsin` (monotonically increasing on [−1, 1]: endpoints).
+/// Endpoints outside the domain yield NaN bounds.
+pub fn asin_interval(x: &F64I) -> F64I {
+    let (a, b) = (x.lo(), x.hi());
+    if a.is_nan() || b.is_nan() {
+        return F64I::NAI;
+    }
+    let lo = if a < -1.0 { f64::NAN } else { asin_point(a.min(1.0)).0 };
+    let hi = if b > 1.0 { f64::NAN } else { asin_point(b.max(-1.0)).1 };
+    F64I::from_neg_lo_hi(-lo, hi)
+}
+
+/// Interval `arccos` (monotonically decreasing on [−1, 1]: swapped
+/// endpoints). Endpoints outside the domain yield NaN bounds.
+pub fn acos_interval(x: &F64I) -> F64I {
+    let (a, b) = (x.lo(), x.hi());
+    if a.is_nan() || b.is_nan() {
+        return F64I::NAI;
+    }
+    let lo = if b > 1.0 { f64::NAN } else { acos_point(b.max(-1.0)).0 };
+    let hi = if a < -1.0 { f64::NAN } else { acos_point(a.min(1.0)).1 };
+    F64I::from_neg_lo_hi(-lo, hi)
+}
+
+/// Interval `exp` (monotonic: endpoints).
+pub fn exp_interval(x: &F64I) -> F64I {
+    let lo = exp_point(x.lo()).0;
+    let hi = exp_point(x.hi()).1;
+    F64I::from_neg_lo_hi(-lo, hi)
+}
+
+/// Interval `log`; lower endpoints below zero yield a NaN lower bound,
+/// mirroring the sqrt convention of Section IV-A.
+pub fn log_interval(x: &F64I) -> F64I {
+    let lo = if x.lo() < 0.0 { f64::NAN } else { log_point(x.lo()).0 };
+    let hi = log_point(x.hi()).1;
+    F64I::from_neg_lo_hi(-lo, hi)
+}
+
+/// True if a point of the family `offset + k * period_multiples_of_π` may
+/// lie inside `[a, b]` (`period_pis` is the period expressed in multiples
+/// of π: 2 for sine/cosine extrema, 1 for tangent poles). Conservative by
+/// a relative slack — false positives only widen the result.
+fn trig_point_in(a: f64, b: f64, offset: Dd, period_pis: i64) -> bool {
+    let period = std::f64::consts::PI * period_pis as f64;
+    let k_lo = ((a - offset.hi()) / period).floor() as i64 - 1;
+    let k_hi = ((b - offset.hi()) / period).ceil() as i64 + 1;
+    if k_hi - k_lo > 16 {
+        return true; // interval spans many periods
+    }
+    for k in k_lo..=k_hi {
+        let c = add_dir::<Rn>(
+            offset,
+            mul_f64_dir::<Rn>(igen_dd::DD_PI, (k * period_pis) as f64),
+        );
+        let c_hi = c.hi();
+        let slack = 1e-12 * (1.0 + c_hi.abs());
+        if c_hi >= a - slack && c_hi <= b + slack {
+            return true;
+        }
+    }
+    false
+}
+
+/// Interval sine via monotonic-section decomposition.
+pub fn sin_interval(x: &F64I) -> F64I {
+    let (a, b) = (x.lo(), x.hi());
+    if a.is_nan() || b.is_nan() || !a.is_finite() || !b.is_finite() {
+        if a.is_nan() || b.is_nan() {
+            return F64I::NAI;
+        }
+        return F64I::new(-1.0, 1.0).expect("ordered");
+    }
+    if b - a >= 2.0 * std::f64::consts::PI {
+        return F64I::new(-1.0, 1.0).expect("ordered");
+    }
+    let (la, ha) = sin_point(a);
+    let (lb, hb) = sin_point(b);
+    let mut lo = la.min(lb);
+    let mut hi = ha.max(hb);
+    // Max of sine at pi/2 + 2k*pi; min at -pi/2 + 2k*pi. Using period pi
+    // with offset pi/2 catches both (alternating) — test each separately
+    // with period 2pi via offset and offset+pi.
+    if trig_point_in(a, b, DD_PI_2, 2) {
+        hi = 1.0; // maximum at pi/2 + 2k*pi
+    }
+    if trig_point_in(a, b, DD_PI_2.neg(), 2) {
+        lo = -1.0; // minimum at -pi/2 + 2k*pi
+    }
+    F64I::from_neg_lo_hi(-lo.max(-1.0), hi.min(1.0))
+}
+
+/// Interval cosine.
+pub fn cos_interval(x: &F64I) -> F64I {
+    let (a, b) = (x.lo(), x.hi());
+    if a.is_nan() || b.is_nan() || !a.is_finite() || !b.is_finite() {
+        if a.is_nan() || b.is_nan() {
+            return F64I::NAI;
+        }
+        return F64I::new(-1.0, 1.0).expect("ordered");
+    }
+    if b - a >= 2.0 * std::f64::consts::PI {
+        return F64I::new(-1.0, 1.0).expect("ordered");
+    }
+    let (la, ha) = cos_point(a);
+    let (lb, hb) = cos_point(b);
+    let mut lo = la.min(lb);
+    let mut hi = ha.max(hb);
+    if trig_point_in(a, b, Dd::ZERO, 2) {
+        hi = 1.0; // maximum at 2k*pi
+    }
+    if trig_point_in(a, b, igen_dd::DD_PI, 2) {
+        lo = -1.0; // minimum at pi + 2k*pi
+    }
+    F64I::from_neg_lo_hi(-lo.max(-1.0), hi.min(1.0))
+}
+
+/// Interval tangent; if the input may contain a pole the entire line is
+/// returned.
+pub fn tan_interval(x: &F64I) -> F64I {
+    let (a, b) = (x.lo(), x.hi());
+    if a.is_nan() || b.is_nan() {
+        return F64I::NAI;
+    }
+    if !a.is_finite() || !b.is_finite() || b - a >= std::f64::consts::PI {
+        return F64I::ENTIRE;
+    }
+    if trig_point_in(a, b, DD_PI_2, 1) {
+        return F64I::ENTIRE; // pole at pi/2 + k*pi
+    }
+    let lo = tan_point(a).0;
+    let hi = tan_point(b).1;
+    if lo.is_infinite() || hi.is_infinite() || lo > hi {
+        return F64I::ENTIRE;
+    }
+    F64I::from_neg_lo_hi(-lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_encloses(tag: &str, (lo, hi): (f64, f64), truth: f64) {
+        assert!(
+            lo <= truth && truth <= hi,
+            "{tag}: [{lo:e}, {hi:e}] does not contain {truth:e}"
+        );
+        // Tightness: at most ~8 ulps wide for normal magnitudes.
+        if truth.abs() > 1e-280 && truth.is_finite() {
+            assert!(
+                r::ulps_between(lo, hi) <= 8,
+                "{tag}: enclosure too wide: [{lo:e}, {hi:e}]"
+            );
+        }
+    }
+
+    #[test]
+    fn exp_reference_points() {
+        // e itself, to double-double accuracy.
+        let (lo, hi) = exp_point(1.0);
+        assert!(Dd::from(lo).le(&igen_dd::DD_E) && igen_dd::DD_E.le(&Dd::from(hi)));
+        assert_eq!(exp_point(0.0), (1.0, 1.0));
+        assert_encloses("exp(1)", exp_point(1.0), std::f64::consts::E);
+        assert_encloses("exp(-1)", exp_point(-1.0), 1.0 / std::f64::consts::E);
+        assert_encloses("exp(10)", exp_point(10.0), 22026.465794806718);
+        assert_encloses("exp(-20)", exp_point(-20.0), 2.061153622438558e-9);
+        assert_encloses("exp(700)", exp_point(700.0), 1.0142320547350045e304);
+        // libm agreement (necessary condition).
+        for &x in &[0.5, -0.5, 3.3, -7.7, 42.0, -300.0, 1e-8] {
+            let (lo, hi) = exp_point(x);
+            assert!(lo <= x.exp() && x.exp() <= hi, "exp({x})");
+        }
+    }
+
+    #[test]
+    fn exp_extremes() {
+        assert_eq!(exp_point(f64::NEG_INFINITY), (0.0, 0.0));
+        assert_eq!(exp_point(f64::INFINITY).1, f64::INFINITY);
+        assert!(exp_point(f64::NAN).0.is_nan());
+        let (lo, hi) = exp_point(800.0);
+        assert_eq!(hi, f64::INFINITY);
+        assert!(lo > 0.0);
+        let (lo, hi) = exp_point(-800.0);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi <= f64::from_bits(1));
+        // Near the overflow boundary, bounds stay sound.
+        let (lo, hi) = exp_point(709.7);
+        assert!(lo <= 709.7f64.exp() && 709.7f64.exp() <= hi);
+    }
+
+    #[test]
+    fn log_reference_points() {
+        assert_eq!(log_point(1.0), (0.0, 0.0));
+        // ln 2 to dd accuracy.
+        let (lo, hi) = log_point(2.0);
+        assert!(Dd::from(lo).le(&DD_LN2) && DD_LN2.le(&Dd::from(hi)));
+        assert_encloses("log(e)", log_point(std::f64::consts::E), 1.0000000000000000444); // ln(E_f64)
+        for &x in &[0.1, 0.5, 3.0, 10.0, 1e10, 1e-10, 1e300, 1e-300] {
+            let (lo, hi) = log_point(x);
+            assert!(lo <= x.ln() && x.ln() <= hi, "log({x}): [{lo}, {hi}] vs {}", x.ln());
+        }
+        assert!(log_point(-1.0).0.is_nan());
+        assert_eq!(log_point(0.0).0, f64::NEG_INFINITY);
+        assert_eq!(log_point(f64::INFINITY).1, f64::INFINITY);
+    }
+
+    #[test]
+    fn exp_log_roundtrip() {
+        for &x in &[0.3, 1.7, 10.0, 1e-5, 100.0] {
+            let (elo, ehi) = exp_point(x);
+            let lo = log_point(elo).0;
+            let hi = log_point(ehi).1;
+            assert!(lo <= x && x <= hi, "log(exp({x}))");
+        }
+    }
+
+    #[test]
+    fn sin_reference_points() {
+        assert_eq!(sin_point(0.0), (0.0, 0.0));
+        // sin(pi_f64) = sin(pi - pi_lo) ≈ +pi_lo = 1.2246...e-16.
+        let (lo, hi) = sin_point(std::f64::consts::PI);
+        let truth = 1.2246467991473532e-16;
+        assert!(lo <= truth && truth <= hi, "sin(pi_f64): [{lo:e}, {hi:e}]");
+        for &x in &[0.5, 1.0, -2.0, 10.0, 100.0, 1e6, -12345.678] {
+            let (lo, hi) = sin_point(x);
+            assert!(lo <= x.sin() && x.sin() <= hi, "sin({x})");
+            let (lo, hi) = cos_point(x);
+            assert!(lo <= x.cos() && x.cos() <= hi, "cos({x})");
+        }
+    }
+
+    #[test]
+    fn sin_cos_pythagorean() {
+        for &x in &[0.1, 0.9, 2.3, -4.4, 77.7] {
+            let s = F64I::new(sin_point(x).0, sin_point(x).1).unwrap();
+            let c = F64I::new(cos_point(x).0, cos_point(x).1).unwrap();
+            let one = s * s + c * c;
+            assert!(one.contains(1.0), "sin^2+cos^2 at {x}: {one}");
+            assert!(one.width() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn tan_points_and_poles() {
+        for &x in &[0.0, 0.5, 1.0, -1.2, 4.0] {
+            let (lo, hi) = tan_point(x);
+            assert!(lo <= x.tan() && x.tan() <= hi, "tan({x})");
+        }
+        // Near pi/2 the cosine enclosure still separates from zero —
+        // exactly at the f64 closest to pi/2, tan is huge but finite.
+        let near = std::f64::consts::FRAC_PI_2;
+        let (lo, hi) = tan_point(near);
+        assert!(lo <= near.tan() && near.tan() <= hi);
+    }
+
+    #[test]
+    fn interval_sin_extrema() {
+        // [0, pi] contains the max (pi/2): sin -> [~0, 1].
+        let i = F64I::new(0.0, std::f64::consts::PI).unwrap();
+        let s = sin_interval(&i);
+        assert_eq!(s.hi(), 1.0);
+        assert!(s.lo() <= 0.0 && s.lo() > -1e-10);
+        // [pi, 2pi] contains the min.
+        let j = F64I::new(std::f64::consts::PI, 2.0 * std::f64::consts::PI).unwrap();
+        let t = sin_interval(&j);
+        assert_eq!(t.lo(), -1.0);
+        // Narrow monotone section: [0.1, 0.2].
+        let k = F64I::new(0.1, 0.2).unwrap();
+        let u = sin_interval(&k);
+        assert!(u.lo() <= 0.1f64.sin() && 0.2f64.sin() <= u.hi());
+        assert!(u.hi() < 0.21);
+        // Width >= 2pi: trivial.
+        let w = F64I::new(0.0, 10.0).unwrap();
+        let v = sin_interval(&w);
+        assert_eq!((v.lo(), v.hi()), (-1.0, 1.0));
+    }
+
+    #[test]
+    fn interval_cos_extrema() {
+        let i = F64I::new(-0.5, 0.5).unwrap();
+        let c = cos_interval(&i);
+        assert_eq!(c.hi(), 1.0); // max at 0
+        assert!(c.lo() <= 0.5f64.cos());
+        let j = F64I::new(3.0, 3.3).unwrap(); // contains pi
+        let d = cos_interval(&j);
+        assert_eq!(d.lo(), -1.0);
+    }
+
+    #[test]
+    fn interval_tan_pole() {
+        let i = F64I::new(1.0, 2.0).unwrap(); // contains pi/2
+        let t = tan_interval(&i);
+        assert_eq!(t.lo(), f64::NEG_INFINITY);
+        assert_eq!(t.hi(), f64::INFINITY);
+        let m = F64I::new(-0.5, 0.5).unwrap();
+        let u = tan_interval(&m);
+        assert!(u.lo() <= (-0.5f64).tan() && 0.5f64.tan() <= u.hi());
+        assert!(u.hi().is_finite());
+    }
+
+    #[test]
+    fn atan_reference_points() {
+        assert_eq!(atan_point(0.0), (0.0, 0.0));
+        // atan(1) = pi/4 to dd accuracy.
+        let (lo, hi) = atan_point(1.0);
+        let pi_4 = igen_dd::mul_f64_dir::<Rn>(DD_PI_2, 0.5);
+        assert!(Dd::from(lo).le(&pi_4) && pi_4.le(&Dd::from(hi)));
+        for &x in &[0.1, 0.5, 0.999, 1.0, 1.001, 2.0, -3.3, 100.0, -1e6, 1e300, 5e-324, -0.25]
+        {
+            assert_encloses(&format!("atan({x})"), atan_point(x), x.atan());
+        }
+        // Infinities map to +-pi/2 enclosures.
+        let (lo, hi) = atan_point(f64::INFINITY);
+        assert!(lo <= std::f64::consts::FRAC_PI_2 && std::f64::consts::FRAC_PI_2 <= hi);
+        let (lo, hi) = atan_point(f64::NEG_INFINITY);
+        assert!(lo <= -std::f64::consts::FRAC_PI_2 && -std::f64::consts::FRAC_PI_2 <= hi);
+        assert!(atan_point(f64::NAN).0.is_nan());
+    }
+
+    #[test]
+    fn atan_odd_symmetry_and_bounds() {
+        for &x in &[0.3, 1.7, 42.0, 1e-10, 1e15] {
+            let (plo, phi) = atan_point(x);
+            let (nlo, nhi) = atan_point(-x);
+            assert_eq!(plo, -nhi, "atan(-x) = -atan(x) at {x}");
+            assert_eq!(phi, -nlo);
+            assert!(phi <= f64_upper(DD_PI_2), "bounded by pi/2 at {x}");
+        }
+    }
+
+    #[test]
+    fn asin_acos_reference_points() {
+        assert_eq!(asin_point(0.0), (0.0, 0.0));
+        for &x in &[0.1, 0.5, -0.5, 0.9, -0.99, 0.9999999, 1e-300, -1.0, 1.0] {
+            let (lo, hi) = asin_point(x);
+            assert!(lo <= x.asin() && x.asin() <= hi, "asin({x}): [{lo}, {hi}]");
+            let (lo, hi) = acos_point(x);
+            assert!(lo <= x.acos() && x.acos() <= hi, "acos({x}): [{lo}, {hi}]");
+        }
+        // Tightness away from the domain edge.
+        for &x in &[0.3, -0.7, 0.5] {
+            let (lo, hi) = asin_point(x);
+            assert!(r::ulps_between(lo, hi) <= 16, "asin({x}) too wide: [{lo}, {hi}]");
+        }
+        // acos range is [0, pi].
+        let (lo, _) = acos_point(1.0);
+        assert_eq!(lo, 0.0);
+        let (_, hi) = acos_point(-1.0);
+        assert!(hi >= std::f64::consts::PI);
+        // Out of domain: NaN.
+        assert!(asin_point(1.5).0.is_nan());
+        assert!(acos_point(-1.0000000000000002).0.is_nan());
+        assert!(asin_point(f64::NAN).0.is_nan());
+    }
+
+    #[test]
+    fn interval_asin_acos() {
+        let i = F64I::new(-0.5, 0.5).unwrap();
+        let s = asin_interval(&i);
+        assert!(s.lo() <= (-0.5f64).asin() && 0.5f64.asin() <= s.hi());
+        let c = acos_interval(&i);
+        // acos decreasing: lower bound from 0.5, upper from -0.5.
+        assert!(c.lo() <= 0.5f64.acos() && (-0.5f64).acos() <= c.hi());
+        assert!(c.lo() > 1.0 && c.hi() < 2.1);
+        // Domain violation poisons the matching endpoint.
+        let j = F64I::new(-2.0, 0.5).unwrap();
+        assert!(asin_interval(&j).lo().is_nan());
+        assert!(acos_interval(&j).hi().is_nan());
+        assert!(asin_interval(&F64I::NAI).has_nan());
+    }
+
+    #[test]
+    fn interval_atan_monotone() {
+        let i = F64I::new(-1.0, 1.0).unwrap();
+        let a = atan_interval(&i);
+        assert!(a.lo() <= -std::f64::consts::FRAC_PI_4);
+        assert!(a.hi() >= std::f64::consts::FRAC_PI_4);
+        assert!(a.hi() < 0.786);
+        // Entire line maps into (-pi/2, pi/2) closure.
+        let e = atan_interval(&F64I::ENTIRE);
+        assert!(e.lo() <= -std::f64::consts::FRAC_PI_2 && e.hi() >= std::f64::consts::FRAC_PI_2);
+        assert!(e.width() < 3.15);
+        assert!(atan_interval(&F64I::NAI).has_nan());
+    }
+
+    #[test]
+    fn interval_exp_log_monotone() {
+        let i = F64I::new(0.0, 1.0).unwrap();
+        let e = exp_interval(&i);
+        assert!(e.lo() <= 1.0 && std::f64::consts::E <= e.hi());
+        let l = log_interval(&F64I::new(1.0, std::f64::consts::E).unwrap());
+        assert!(l.lo() <= 0.0 && 1.0 <= l.hi() + 1e-15);
+        // log of interval with negative lower bound -> NaN lower.
+        let n = log_interval(&F64I::new(-1.0, 4.0).unwrap());
+        assert!(n.lo().is_nan());
+        assert!(n.hi() >= 4.0f64.ln());
+    }
+}

@@ -1,0 +1,220 @@
+//! Vectorized interval types (Section IV-A "Vectorized intervals" and
+//! Table II).
+//!
+//! In the paper's C runtime a double-precision interval occupies one SSE
+//! register (`__m128d`) and the wider types pack 2 or 4 intervals into AVX
+//! registers. In this Rust reproduction the directed rounding is computed
+//! by branch-free error-free transformations (see `igen-round`), so the
+//! lane types below are plain fixed-size arrays whose operations are
+//! written as straight-line lane loops — exactly the shape LLVM's
+//! auto-vectorizer turns into SSE/AVX code at `opt-level=3`. The
+//! performance experiments (Fig. 8) compare these against the scalar and
+//! library versions.
+
+use crate::ddi::DdI;
+use crate::f64i::F64I;
+
+macro_rules! lane_type {
+    ($(#[$doc:meta])* $name:ident, $elem:ty, $n:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        pub struct $name(pub [$elem; $n]);
+
+        impl $name {
+            /// Number of packed intervals.
+            pub const LANES: usize = $n;
+
+            /// Broadcasts one interval to all lanes.
+            pub fn splat(v: $elem) -> Self {
+                $name([v; $n])
+            }
+
+            /// Loads lanes from a slice.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `s.len() < LANES`.
+            pub fn load(s: &[$elem]) -> Self {
+                let mut a = [<$elem>::default(); $n];
+                a.copy_from_slice(&s[..$n]);
+                $name(a)
+            }
+
+            /// Stores lanes to a slice.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `s.len() < LANES`.
+            pub fn store(&self, s: &mut [$elem]) {
+                s[..$n].copy_from_slice(&self.0);
+            }
+
+            /// Lane-wise fused multiply-accumulate `self * b + c`
+            /// (used heavily by the vectorized kernels).
+            #[inline]
+            #[must_use]
+            pub fn mul_add(self, b: Self, c: Self) -> Self {
+                let mut out = [<$elem>::default(); $n];
+                for i in 0..$n {
+                    out[i] = self.0[i] * b.0[i] + c.0[i];
+                }
+                $name(out)
+            }
+
+            /// Horizontal sum of all lanes.
+            pub fn reduce_sum(self) -> $elem {
+                let mut acc = self.0[0];
+                for i in 1..$n {
+                    acc = acc + self.0[i];
+                }
+                acc
+            }
+
+            /// Lane accessor.
+            pub fn lane(&self, i: usize) -> $elem {
+                self.0[i]
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                let mut out = [<$elem>::default(); $n];
+                for i in 0..$n {
+                    out[i] = self.0[i] + rhs.0[i];
+                }
+                $name(out)
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                let mut out = [<$elem>::default(); $n];
+                for i in 0..$n {
+                    out[i] = self.0[i] - rhs.0[i];
+                }
+                $name(out)
+            }
+        }
+
+        impl core::ops::Mul for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                let mut out = [<$elem>::default(); $n];
+                for i in 0..$n {
+                    out[i] = self.0[i] * rhs.0[i];
+                }
+                $name(out)
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                let mut out = [<$elem>::default(); $n];
+                for i in 0..$n {
+                    out[i] = -self.0[i];
+                }
+                $name(out)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                $name([<$elem>::default(); $n])
+            }
+        }
+    };
+}
+
+lane_type!(
+    /// Two packed double-precision intervals — the counterpart of the
+    /// paper's `m256di_1` (one AVX register holding 2 intervals).
+    F64Ix2,
+    F64I,
+    2
+);
+
+lane_type!(
+    /// Four packed double-precision intervals — the counterpart of two
+    /// AVX registers (`m256di_2`), the widest shape the vectorized
+    /// kernels use.
+    F64Ix4,
+    F64I,
+    4
+);
+
+lane_type!(
+    /// Two packed double-double intervals (`2 ddi` of Table II).
+    DdIx2,
+    DdI,
+    2
+);
+
+lane_type!(
+    /// Four packed double-double intervals (`4 ddi` of Table II).
+    DdIx4,
+    DdI,
+    4
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_match_scalar() {
+        let a = F64I::point(0.1);
+        let b = F64I::new(1.0, 2.0).unwrap();
+        let va = F64Ix4::splat(a);
+        let vb = F64Ix4::splat(b);
+        let sum = va + vb;
+        let prod = va * vb;
+        for i in 0..4 {
+            assert_eq!(sum.lane(i), a + b);
+            assert_eq!(prod.lane(i), a * b);
+        }
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let xs = [
+            F64I::point(1.0),
+            F64I::point(2.0),
+            F64I::new(-1.0, 1.0).unwrap(),
+            F64I::point(4.0),
+        ];
+        let v = F64Ix4::load(&xs);
+        let mut out = [F64I::ZERO; 4];
+        v.store(&mut out);
+        assert_eq!(xs, out);
+    }
+
+    #[test]
+    fn mul_add_and_reduce() {
+        let a = F64Ix2::splat(F64I::point(2.0));
+        let b = F64Ix2::splat(F64I::point(3.0));
+        let c = F64Ix2::splat(F64I::point(1.0));
+        let r = a.mul_add(b, c);
+        assert_eq!(r.lane(0).hi(), 7.0);
+        assert_eq!(r.reduce_sum().hi(), 14.0);
+    }
+
+    #[test]
+    fn dd_lanes() {
+        let x = DdI::point_f64(0.1);
+        let v = DdIx2::splat(x);
+        let s = v + v;
+        assert!(s.lane(0).contains_f64(0.2));
+        let p = v * v;
+        // The dd interval is tighter than the f64-rounded product; it
+        // contains the exact square of the double 0.1.
+        let exact_sq = igen_dd::Dd::from(0.1) * igen_dd::Dd::from(0.1);
+        assert!(p.lane(1).contains(exact_sq));
+    }
+}

@@ -1,0 +1,91 @@
+//! Soundness tests of the double-double trig enclosures used for DD
+//! twiddle factors, via mathematical identities (there is no external
+//! high-precision trig oracle in the workspace).
+
+use igen_dd::{add_dir, mul_dir, Dd};
+use igen_interval::elem::{cos_enclose_dd, sin_enclose_dd};
+use igen_round::{Rd, Rn, Ru};
+use proptest::prelude::*;
+
+fn dd_interval_mul(lo: Dd, hi: Dd) -> (Dd, Dd) {
+    // Square of a dd interval [lo, hi] around values in [-1, 1].
+    let cands = [
+        mul_dir::<Rd>(lo, lo),
+        mul_dir::<Rd>(lo, hi),
+        mul_dir::<Rd>(hi, hi),
+    ];
+    let cands_hi = [
+        mul_dir::<Ru>(lo, lo),
+        mul_dir::<Ru>(lo, hi),
+        mul_dir::<Ru>(hi, hi),
+    ];
+    let mut mn = cands[0];
+    let mut mx = cands_hi[0];
+    for c in &cands[1..] {
+        if c.lt(&mn) {
+            mn = *c;
+        }
+    }
+    for c in &cands_hi[1..] {
+        if mx.lt(c) {
+            mx = *c;
+        }
+    }
+    (mn, mx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn pythagorean_identity_at_dd_precision(x in -100.0f64..100.0) {
+        let (slo, shi) = sin_enclose_dd(x);
+        let (clo, chi) = cos_enclose_dd(x);
+        let (s2lo, s2hi) = dd_interval_mul(slo, shi);
+        let (c2lo, c2hi) = dd_interval_mul(clo, chi);
+        let lo = add_dir::<Rd>(s2lo, c2lo);
+        let hi = add_dir::<Ru>(s2hi, c2hi);
+        // 1 must be inside, and the enclosure must be dd-tight
+        // (width < 2^-85; the reduction bound allows |n|·2^-103).
+        prop_assert!(lo.le(&Dd::ONE) && Dd::ONE.le(&hi),
+            "sin²+cos²({x}) = [{lo}, {hi}]");
+        let width = add_dir::<Rn>(hi, lo.neg());
+        prop_assert!(width.to_f64() < 2f64.powi(-80), "width {width} at {x}");
+    }
+
+    #[test]
+    fn dd_enclosures_contain_libm(x in -1e6f64..1e6) {
+        let (slo, shi) = sin_enclose_dd(x);
+        let s = Dd::from(x.sin());
+        // libm is within ~1 ulp of truth; the dd enclosure must be within
+        // 2 f64-ulps of it.
+        let pad = Dd::from(2.0 * igen_round::ulp(x.sin().abs().max(1e-300)));
+        prop_assert!(add_dir::<Rn>(slo, pad.neg()).le(&s));
+        prop_assert!(s.le(&add_dir::<Rn>(shi, pad)));
+        let (clo, chi) = cos_enclose_dd(x);
+        let c = Dd::from(x.cos());
+        let padc = Dd::from(2.0 * igen_round::ulp(x.cos().abs().max(1e-300)));
+        prop_assert!(add_dir::<Rn>(clo, padc.neg()).le(&c));
+        prop_assert!(c.le(&add_dir::<Rn>(chi, padc)));
+    }
+
+    #[test]
+    fn periodicity_consistency(k in -50i64..50) {
+        // sin at exact multiples of 2π(f64-approx): enclosures of nearby
+        // angles must overlap coherently: sin(x) ⊆ sin(x + 2π) ± reduction
+        // error. We check that both enclosures intersect.
+        let x = 0.7 + k as f64 * 2.0 * std::f64::consts::PI;
+        let (alo, ahi) = sin_enclose_dd(0.7);
+        let (blo, bhi) = sin_enclose_dd(x);
+        // Two error sources: k·(2π_f64 − 2π) ≈ |k|·2.5e-16, and the f64
+        // rounding of the sum 0.7 + k·2π itself (one ulp of |x|). Widen
+        // by both and require overlap.
+        let slack = Dd::from(
+            1e-15 * (k.abs() as f64 + 1.0) + 2.0 * igen_round::ulp(x.abs() + 1.0),
+        );
+        let a_lo_w = add_dir::<Rn>(alo, slack.neg());
+        let a_hi_w = add_dir::<Rn>(ahi, slack);
+        prop_assert!(a_lo_w.le(&bhi) && blo.le(&a_hi_w),
+            "no overlap at k={k}: [{alo},{ahi}] vs [{blo},{bhi}]");
+    }
+}

@@ -1,0 +1,282 @@
+//! MPFI-style validation of the interval runtime (the paper's Section
+//! IV-A testing methodology): every operation's result must enclose the
+//! 256-bit oracle's outward-rounded result, for random inputs including
+//! NaN, infinity, zero and denormals in the endpoints.
+
+use igen_interval::{DdI, F64I, TBool};
+use igen_mpf::{Mpf, MpfInterval, Rm};
+use proptest::prelude::*;
+
+/// Random endpoint values, biased toward awkward cases (the paper:
+/// "we randomly tested combinations of NaNs, infinity, zero and other
+/// special inputs such as denormals").
+fn endpoint() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        5 => -1e9f64..1e9,
+        3 => any::<f64>().prop_filter("finite", |x| x.is_finite()),
+        1 => prop_oneof![
+            Just(0.0f64),
+            Just(-0.0),
+            Just(f64::from_bits(1)),
+            Just(-f64::from_bits(7)),
+            Just(f64::MIN_POSITIVE),
+            Just(f64::MAX),
+            Just(-f64::MAX),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+        ],
+    ]
+}
+
+fn any_interval() -> impl Strategy<Value = F64I> {
+    (endpoint(), endpoint()).prop_map(|(a, b)| {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        F64I::new(lo, hi).expect("ordered")
+    })
+}
+
+/// Check: the runtime interval `got` encloses the oracle interval `want`
+/// (the runtime may be wider — soundness — but within 2 ulps per side).
+fn check_encloses(tag: &str, got: &F64I, want: &MpfInterval) -> Result<(), TestCaseError> {
+    // NaN endpoints in got absorb everything: fine.
+    let want_lo = want.lo().to_f64(Rm::Down);
+    let want_hi = want.hi().to_f64(Rm::Up);
+    if !want_lo.is_nan() && !got.lo().is_nan() {
+        prop_assert!(
+            got.lo() <= want_lo,
+            "{tag}: lower bound {} above oracle {}",
+            got.lo(),
+            want_lo
+        );
+        // Tightness within 2 quanta (outside the documented conservative
+        // deep-subnormal region of the division/sqrt kernels).
+        if want_lo.is_finite() && want_lo.abs() > 1e-250 {
+            prop_assert!(
+                got.lo() >= igen_round::next_down(igen_round::next_down(want_lo)),
+                "{tag}: lower bound too loose: {} vs {}",
+                got.lo(),
+                want_lo
+            );
+        }
+    }
+    if !want_hi.is_nan() && !got.hi().is_nan() {
+        prop_assert!(
+            got.hi() >= want_hi,
+            "{tag}: upper bound {} below oracle {}",
+            got.hi(),
+            want_hi
+        );
+        if want_hi.is_finite() && want_hi.abs() > 1e-250 {
+            prop_assert!(
+                got.hi() <= igen_round::next_up(igen_round::next_up(want_hi)),
+                "{tag}: upper bound too loose: {} vs {}",
+                got.hi(),
+                want_hi
+            );
+        }
+    }
+    Ok(())
+}
+
+fn to_oracle(x: &F64I) -> MpfInterval {
+    MpfInterval::new(Mpf::from_f64(x.lo()), Mpf::from_f64(x.hi()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1200))]
+
+    #[test]
+    fn add_encloses_oracle(a in any_interval(), b in any_interval()) {
+        check_encloses("add", &(a + b), &to_oracle(&a).add(&to_oracle(&b)))?;
+    }
+
+    #[test]
+    fn sub_encloses_oracle(a in any_interval(), b in any_interval()) {
+        check_encloses("sub", &(a - b), &to_oracle(&a).sub(&to_oracle(&b)))?;
+    }
+
+    #[test]
+    fn mul_encloses_oracle(a in any_interval(), b in any_interval()) {
+        check_encloses("mul", &(a * b), &to_oracle(&a).mul(&to_oracle(&b)))?;
+    }
+
+    #[test]
+    fn div_encloses_oracle(a in any_interval(), b in any_interval()) {
+        check_encloses("div", &(a / b), &to_oracle(&a).div(&to_oracle(&b)))?;
+    }
+
+    #[test]
+    fn sqrt_encloses_oracle(a in any_interval()) {
+        check_encloses("sqrt", &a.sqrt(), &to_oracle(&a).sqrt())?;
+    }
+
+    #[test]
+    fn point_sampling_containment(a in any_interval(), b in any_interval(),
+                                  ta in 0.0f64..1.0, tb in 0.0f64..1.0) {
+        // Sample points inside a and b; every op result must contain the
+        // oracle evaluation at those points.
+        prop_assume!(a.lo().is_finite() && a.hi().is_finite());
+        prop_assume!(b.lo().is_finite() && b.hi().is_finite());
+        let pa = a.lo() + ta * (a.hi() - a.lo());
+        let pb = b.lo() + tb * (b.hi() - b.lo());
+        prop_assume!(pa.is_finite() && pb.is_finite());
+        let pa = pa.clamp(a.lo(), a.hi());
+        let pb = pb.clamp(b.lo(), b.hi());
+        let (oa, ob) = (Mpf::from_f64(pa), Mpf::from_f64(pb));
+        let sum = (a + b, oa.add(&ob, Rm::Nearest));
+        let dif = (a - b, oa.sub(&ob, Rm::Nearest));
+        let prd = (a * b, oa.mul(&ob, Rm::Nearest));
+        for (tag, (iv, point)) in [("add", sum), ("sub", dif), ("mul", prd)] {
+            // The oracle value is exact (or 256-bit-rounded, far inside
+            // the f64-width interval): bound it loosely by f64 rounding.
+            let v = point.to_f64(Rm::Nearest);
+            if v.is_finite() {
+                prop_assert!(iv.contains(v) || iv.has_nan(),
+                    "{tag}: {iv} does not contain {v} (points {pa}, {pb})");
+            }
+        }
+    }
+
+    #[test]
+    fn dd_interval_encloses_oracle(a in any_interval(), b in any_interval()) {
+        prop_assume!(!a.has_nan() && !b.has_nan());
+        let da = DdI::from_f64i(&a);
+        let db = DdI::from_f64i(&b);
+        let oa = to_oracle(&a);
+        let ob = to_oracle(&b);
+        for (tag, got, want) in [
+            ("dd add", da + db, oa.add(&ob)),
+            ("dd sub", da - db, oa.sub(&ob)),
+            ("dd mul", da * db, oa.mul(&ob)),
+            ("dd div", da / db, oa.div(&ob)),
+        ] {
+            // dd results, demoted outward to f64, must enclose the oracle.
+            check_encloses(tag, &got.to_f64i(), &want)?;
+        }
+    }
+
+    /// powi must contain the 256-bit power of every sampled point
+    /// (directed repeated Mpf multiplication brackets the true x^n).
+    #[test]
+    fn powi_contains_oracle_point_powers(
+        a in any_interval(),
+        n in 1u32..10,
+        t in 0.0f64..1.0,
+    ) {
+        prop_assume!(!a.has_nan());
+        let lo = a.lo().max(-1e30);
+        let hi = a.hi().min(1e30);
+        prop_assume!(lo <= hi);
+        let a = F64I::new(lo, hi).expect("ordered");
+        let p = (lo + t * (hi - lo)).clamp(lo, hi);
+        prop_assume!(p.is_finite());
+        // Oracle: p^n with directed rounding on both sides; widening to
+        // the min/max of the four directed candidates keeps a bracket of
+        // the true power regardless of sign.
+        let mut olo = Mpf::from_f64(1.0);
+        let mut ohi = Mpf::from_f64(1.0);
+        let pm = Mpf::from_f64(p);
+        for _ in 0..n {
+            let c1 = olo.mul(&pm, Rm::Down);
+            let c2 = olo.mul(&pm, Rm::Up);
+            let c3 = ohi.mul(&pm, Rm::Down);
+            let c4 = ohi.mul(&pm, Rm::Up);
+            let mut lo_new = c1;
+            let mut hi_new = c1;
+            for c in [c2, c3, c4] {
+                if c.cmp_num(&lo_new) == Some(core::cmp::Ordering::Less) {
+                    lo_new = c;
+                }
+                if c.cmp_num(&hi_new) == Some(core::cmp::Ordering::Greater) {
+                    hi_new = c;
+                }
+            }
+            olo = lo_new;
+            ohi = hi_new;
+        }
+        let r = a.powi(n as i32);
+        let tlo = olo.to_f64(Rm::Down);
+        let thi = ohi.to_f64(Rm::Up);
+        prop_assert!(
+            r.lo() <= tlo && thi <= r.hi(),
+            "powi({n}) of {a} at p={p}: [{tlo}, {thi}] outside {r}"
+        );
+    }
+
+    #[test]
+    fn comparison_consistency(a in any_interval(), b in any_interval(),
+                              ta in 0.0f64..1.0, tb in 0.0f64..1.0) {
+        prop_assume!(a.lo().is_finite() && a.hi().is_finite());
+        prop_assume!(b.lo().is_finite() && b.hi().is_finite());
+        let pa = (a.lo() + ta * (a.hi() - a.lo())).clamp(a.lo(), a.hi());
+        let pb = (b.lo() + tb * (b.hi() - b.lo())).clamp(b.lo(), b.hi());
+        prop_assume!(pa.is_finite() && pb.is_finite());
+        // A definite tbool answer must agree with every point sample.
+        match a.cmp_lt(&b) {
+            TBool::True => prop_assert!(pa < pb),
+            TBool::False => prop_assert!(pa >= pb),
+            TBool::Unknown => {}
+        }
+        match a.cmp_le(&b) {
+            TBool::True => prop_assert!(pa <= pb),
+            TBool::False => prop_assert!(pa > pb),
+            TBool::Unknown => {}
+        }
+    }
+
+    #[test]
+    fn join_and_meet_are_lattice_ops(a in any_interval(), b in any_interval(),
+                                     t in 0.0f64..1.0) {
+        prop_assume!(!a.has_nan() && !b.has_nan());
+        prop_assume!(a.lo().is_finite() && a.hi().is_finite());
+        let p = (a.lo() + t * (a.hi() - a.lo())).clamp(a.lo(), a.hi());
+        prop_assume!(p.is_finite());
+        prop_assert!(a.join(&b).contains(p));
+        if let Some(m) = a.meet(&b) {
+            if b.contains(p) {
+                prop_assert!(m.contains(p));
+            }
+        } else {
+            // Disjoint: no point of a is in b.
+            prop_assert!(!b.contains(p));
+        }
+    }
+
+    #[test]
+    fn elementary_functions_contain_libm(x in -700.0f64..700.0) {
+        // libm values are within 1-2 ulp of the truth; our enclosures are
+        // certified to contain the truth, so they must contain libm up to
+        // 2 ulps of slack. Testing direct containment of libm is stricter
+        // than required but passes because the enclosures are ~4 ulps.
+        use igen_interval::elem::*;
+        let (lo, hi) = exp_point(x);
+        prop_assert!(lo <= x.exp() && x.exp() <= hi, "exp({x})");
+        if x > 0.0 {
+            let (lo, hi) = log_point(x);
+            prop_assert!(lo <= x.ln() && x.ln() <= hi, "log({x})");
+        }
+        let (lo, hi) = sin_point(x);
+        prop_assert!(lo <= x.sin() && x.sin() <= hi, "sin({x})");
+        let (lo, hi) = cos_point(x);
+        prop_assert!(lo <= x.cos() && x.cos() <= hi, "cos({x})");
+    }
+
+    #[test]
+    fn accumulators_enclose_oracle_sum(terms in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut acc = igen_interval::SumAcc64::new(F64I::ZERO);
+        let mut acc_dd = igen_interval::SumAccDd::new(DdI::ZERO);
+        let mut oracle = Mpf::ZERO;
+        for &t in &terms {
+            acc.accumulate(&F64I::point(t));
+            acc_dd.accumulate(&DdI::point_f64(t));
+            oracle = oracle.add(&Mpf::from_f64(t), Rm::Nearest); // exact
+        }
+        let s = acc.reduce();
+        let v = oracle.to_f64(Rm::Nearest);
+        prop_assert!(s.contains(v), "SumAcc64 {s} misses {v}");
+        let sd = acc_dd.reduce().to_f64i();
+        prop_assert!(sd.contains(v), "SumAccDd {sd} misses {v}");
+        // The dd accumulator is exact: its width demoted to f64 is <= 1 ulp.
+        prop_assert!(igen_round::ulps_between(sd.lo(), sd.hi()) <= 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! Algebraic property tests of the interval runtime: the textbook
+//! interval-arithmetic laws that any sound implementation must satisfy.
+
+use igen_interval::{DdI, F64I};
+use proptest::prelude::*;
+
+fn iv() -> impl Strategy<Value = F64I> {
+    (-1e9f64..1e9, 0.0f64..1e3)
+        .prop_map(|(lo, w)| F64I::new(lo, lo + w).expect("ordered"))
+}
+
+fn point_in(i: &F64I, t: f64) -> f64 {
+    (i.lo() + t * (i.hi() - i.lo())).clamp(i.lo(), i.hi())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    #[test]
+    fn addition_commutes_and_mul_commutes(a in iv(), b in iv()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn neg_is_involutive_and_flips(a in iv()) {
+        prop_assert_eq!(-(-a), a);
+        prop_assert_eq!((-a).lo(), -a.hi());
+        prop_assert_eq!((-a).hi(), -a.lo());
+    }
+
+    #[test]
+    fn inclusion_monotonicity(a in iv(), b in iv(), t1 in 0.0f64..1.0, t2 in 0.0f64..1.0) {
+        // Subintervals map into subsets: [p,p] op [q,q] ⊆ a op b for
+        // points p ∈ a, q ∈ b.
+        let p = F64I::point(point_in(&a, t1));
+        let q = F64I::point(point_in(&b, t2));
+        for (big, small) in [
+            (a + b, p + q),
+            (a - b, p - q),
+            (a * b, p * q),
+        ] {
+            prop_assert!(big.encloses(&small), "{big} !⊇ {small}");
+        }
+        if !b.contains(0.0) {
+            prop_assert!((a / b).encloses(&(p / q)));
+        }
+    }
+
+    #[test]
+    fn subdistributivity(a in iv(), b in iv(), c in iv()) {
+        // a*(b + c) ⊆ a*b + a*c — the classical interval law.
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        // Allow 1-ulp slack per endpoint for the outward roundings on
+        // different operation orders.
+        prop_assert!(
+            rhs.lo() <= lhs.lo() + lhs.lo().abs() * 1e-15 + 1e-300
+                && lhs.hi() <= rhs.hi() + rhs.hi().abs() * 1e-15 + 1e-300,
+            "lhs {lhs} rhs {rhs}"
+        );
+    }
+
+    #[test]
+    fn add_sub_cancellation_contains_original(a in iv(), b in iv()) {
+        // (a + b) - b ⊇ a.
+        let r = (a + b) - b;
+        prop_assert!(r.encloses(&a), "{r} !⊇ {a}");
+    }
+
+    #[test]
+    fn mul_by_one_and_zero(a in iv()) {
+        let one = F64I::ONE;
+        prop_assert_eq!(a * one, a);
+        let z = a * F64I::ZERO;
+        prop_assert!(z.contains(0.0));
+        prop_assert!(z.width() == 0.0 || a.lo().abs().max(a.hi().abs()) == f64::INFINITY);
+    }
+
+    #[test]
+    fn join_is_lub(a in iv(), b in iv()) {
+        let j = a.join(&b);
+        prop_assert!(j.encloses(&a) && j.encloses(&b));
+        // Minimality: endpoints come from the operands.
+        prop_assert!(j.lo() == a.lo() || j.lo() == b.lo());
+        prop_assert!(j.hi() == a.hi() || j.hi() == b.hi());
+    }
+
+    #[test]
+    fn meet_is_glb_or_disjoint(a in iv(), b in iv()) {
+        match a.meet(&b) {
+            Some(m) => {
+                prop_assert!(a.encloses(&m) && b.encloses(&m));
+            }
+            None => {
+                prop_assert!(a.hi() < b.lo() || b.hi() < a.lo());
+            }
+        }
+    }
+
+    #[test]
+    fn width_is_monotone_under_ops(a in iv(), b in iv()) {
+        // Adding can't shrink the width below either operand's width
+        // (additive width law, modulo one outward rounding).
+        let s = a + b;
+        prop_assert!(s.width() >= a.width());
+        prop_assert!(s.width() >= b.width());
+    }
+
+    #[test]
+    fn dd_refines_f64(a in iv(), b in iv()) {
+        // The dd result, demoted outward, is never wider than the f64
+        // result by more than the demotion rounding.
+        let (da, db) = (DdI::from_f64i(&a), DdI::from_f64i(&b));
+        for (f, d) in [
+            (a + b, (da + db).to_f64i()),
+            (a - b, (da - db).to_f64i()),
+            (a * b, (da * db).to_f64i()),
+        ] {
+            prop_assert!(d.width() <= f.width(), "dd {d} wider than f64 {f}");
+        }
+    }
+
+    #[test]
+    fn sqrt_monotone_and_inverse(lo in 0.0f64..1e12, w in 0.0f64..1e6) {
+        let a = F64I::new(lo, lo + w).unwrap();
+        let s = a.sqrt();
+        // s*s ⊇ a.
+        let sq = s * s;
+        prop_assert!(sq.encloses(&a), "{sq} !⊇ {a}");
+    }
+
+    #[test]
+    fn abs_properties(a in iv()) {
+        let ab = a.abs();
+        prop_assert!(ab.lo() >= 0.0);
+        prop_assert!(ab.contains(a.lo().abs()) && ab.contains(a.hi().abs()));
+    }
+
+    #[test]
+    fn comparisons_antisymmetric(a in iv(), b in iv()) {
+        use igen_interval::TBool;
+        // a < b true  ⇒  b < a false.
+        if a.cmp_lt(&b) == TBool::True {
+            prop_assert_eq!(b.cmp_lt(&a), TBool::False);
+            prop_assert_eq!(a.cmp_ge(&b), TBool::False);
+        }
+        // eq is symmetric.
+        prop_assert_eq!(a.cmp_eq(&b), b.cmp_eq(&a));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn elementary_sound_on_wide_ranges(x in -1e8f64..1e8, w in 0.0f64..10.0, t in 0.0f64..1.0) {
+        let a = F64I::new(x, x + w).expect("ordered");
+        let p = (x + t * w).clamp(a.lo(), a.hi());
+        use igen_interval::elem::*;
+        prop_assert!(sin_interval(&a).contains(p.sin()), "sin {a} at {p}");
+        prop_assert!(cos_interval(&a).contains(p.cos()), "cos {a} at {p}");
+        if a.lo() > 0.0 {
+            prop_assert!(log_interval(&a).contains(p.ln()), "log {a} at {p}");
+        }
+        if x.abs() < 500.0 {
+            prop_assert!(exp_interval(&a).contains(p.exp()), "exp {a} at {p}");
+        }
+        prop_assert!(atan_interval(&a).contains(p.atan()), "atan {a} at {p}");
+    }
+
+    /// sqr and powi contain every point power, and sqr refines mul.
+    #[test]
+    fn powers_contain_point_samples(
+        a in iv(),
+        n in 0i32..12,
+        t in 0.0f64..1.0,
+    ) {
+        let p = point_in(&a, t);
+        let s = a.sqr();
+        prop_assert!(s.contains(p * p), "sqr {a} at {p}");
+        prop_assert!(s.lo() >= 0.0, "sqr never negative: {s}");
+        prop_assert!(a.mul(&a).encloses(&s), "sqr refines mul: {a}");
+        let q = a.powi(n);
+        // Compare against the true power sampled through widening
+        // multiplication of the point (f64::powi itself rounds, so give
+        // its result the one-interval slack it deserves).
+        let pi = F64I::point(p).powi(n);
+        prop_assert!(
+            q.encloses(&pi),
+            "powi({n}) inclusion-monotone: {a} at {p}: {q} vs {pi}"
+        );
+    }
+
+    /// powi with negative exponents matches 1/x^n.
+    #[test]
+    fn negative_powers_are_reciprocals(a in iv(), n in 1i32..8) {
+        let direct = a.powi(-n);
+        let recip = F64I::point(1.0).div(&a.powi(n));
+        // Same construction, so identical endpoints.
+        prop_assert_eq!(
+            (direct.lo().to_bits(), direct.hi().to_bits()),
+            (recip.lo().to_bits(), recip.hi().to_bits())
+        );
+    }
+
+    /// atan enclosures are tight (a few ulps) and ordered with respect to
+    /// the true monotone function.
+    #[test]
+    fn atan_point_tight_and_monotone(x in -1e12f64..1e12, y in -1e12f64..1e12) {
+        use igen_interval::elem::atan_point;
+        let (lo, hi) = atan_point(x);
+        prop_assert!(lo <= x.atan() && x.atan() <= hi, "containment at {x}");
+        prop_assert!(igen_round::ulps_between(lo, hi) <= 8, "width at {x}: [{lo}, {hi}]");
+        let (xl, xh) = (lo, hi);
+        let (yl, yh) = atan_point(y);
+        if x <= y {
+            prop_assert!(xl <= yh, "monotone: atan({x}) vs atan({y})");
+        } else {
+            prop_assert!(yl <= xh);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The Section IV-A special-value battery: NaN, infinities, zeros and
+//! denormals in interval endpoints must be handled soundly — "we
+//! randomly tested combinations of NaNs, infinity, Zero and other special
+//! inputs such as denormals in the endpoints of intervals".
+
+use igen_interval::elem;
+use igen_interval::{DdI, F64I, TBool};
+
+const TINY: f64 = 5e-324; // smallest subnormal
+
+#[test]
+fn paper_examples_verbatim() {
+    // sqrt([-1, 1]) = [NaN, 1].
+    let s = F64I::new(-1.0, 1.0).unwrap().sqrt();
+    assert!(s.lo().is_nan());
+    assert_eq!(s.hi(), 1.0);
+
+    // [-inf, inf]: any floating-point except NaN.
+    let entire = F64I::ENTIRE;
+    assert!(entire.contains(f64::MAX) && entire.contains(-f64::MAX) && entire.contains(0.0));
+
+    // [inf, inf]: larger than the maximum representable float.
+    let overflow = F64I::new(f64::INFINITY, f64::INFINITY).unwrap();
+    assert!(!overflow.contains(f64::MAX));
+    assert!(overflow.contains(f64::INFINITY));
+
+    // [1, inf]: any value >= 1.
+    let ge1 = F64I::new(1.0, f64::INFINITY).unwrap();
+    assert!(ge1.contains(1.0) && ge1.contains(1e308) && !ge1.contains(0.999));
+}
+
+#[test]
+fn nan_is_viral_through_arithmetic() {
+    let nai = F64I::NAI;
+    let x = F64I::new(1.0, 2.0).unwrap();
+    for r in [nai + x, nai - x, nai * x, nai / x, x / nai, -nai, nai.abs(), nai.sqrt()] {
+        assert!(r.has_nan(), "{r}");
+    }
+    // NaN intervals are Unknown in comparisons (never decide a branch).
+    assert_eq!(nai.cmp_lt(&x), TBool::Unknown);
+    assert_eq!(x.cmp_gt(&nai), TBool::Unknown);
+}
+
+#[test]
+fn infinity_arithmetic_stays_sound() {
+    let pos = F64I::new(1.0, f64::INFINITY).unwrap();
+    let neg = F64I::new(f64::NEG_INFINITY, -1.0).unwrap();
+    // inf + (-inf) style cancellations must degrade to NaN/entire, never
+    // produce a bogus finite bound.
+    let s = pos + neg;
+    assert!(s.has_nan() || (s.lo() == f64::NEG_INFINITY && s.hi() == f64::INFINITY));
+    // inf * positive stays inf-bounded.
+    let p = pos * F64I::new(2.0, 3.0).unwrap();
+    assert_eq!(p.hi(), f64::INFINITY);
+    assert_eq!(p.lo(), 2.0);
+    // Entire absorbs addition.
+    let e = F64I::ENTIRE + F64I::point(42.0);
+    assert_eq!((e.lo(), e.hi()), (f64::NEG_INFINITY, f64::INFINITY));
+}
+
+#[test]
+fn denormal_endpoints() {
+    let d = F64I::new(TINY, 3.0 * TINY).unwrap();
+    let s = d + d;
+    assert!(s.contains(2.0 * TINY) && s.contains(6.0 * TINY));
+    let p = d * F64I::point(0.5);
+    // Halving subnormals rounds outward soundly.
+    assert!(p.lo() <= TINY * 0.5 && TINY * 1.5 <= p.hi());
+    assert!(p.lo() >= 0.0);
+    // Squaring the smallest subnormal underflows to [0, tiny].
+    let sq = d * d;
+    assert!(sq.lo() >= 0.0 && sq.hi() > 0.0);
+    assert!(sq.contains(0.0) || sq.lo() > 0.0);
+}
+
+#[test]
+fn division_by_zero_family() {
+    let one = F64I::ONE;
+    // [0,0] divisor: entire.
+    let q = one / F64I::ZERO;
+    assert_eq!((q.lo(), q.hi()), (f64::NEG_INFINITY, f64::INFINITY));
+    // Positive divisor touching zero: entire (sound; the paper's library
+    // loses the sign refinement rather than risking unsoundness).
+    let q = one / F64I::new(0.0, 1.0).unwrap();
+    assert_eq!(q.hi(), f64::INFINITY);
+    // 0/positive is exactly zero.
+    let q = F64I::ZERO / F64I::new(1.0, 2.0).unwrap();
+    assert_eq!((q.lo(), q.hi()), (0.0, 0.0));
+}
+
+#[test]
+fn signed_zero_does_not_flip_bounds() {
+    let a = F64I::new(-0.0, 0.0).unwrap();
+    let b = F64I::new(0.0, 0.0).unwrap();
+    assert!(a.contains(0.0) && b.contains(-0.0));
+    let s = a + b;
+    assert!(s.contains(0.0));
+    let p = a * F64I::new(-5.0, 5.0).unwrap();
+    assert!(p.contains(0.0));
+}
+
+#[test]
+fn elementary_functions_on_specials() {
+    // exp of entire: [0, inf].
+    let e = elem::exp_interval(&F64I::ENTIRE);
+    assert!(e.lo() >= 0.0);
+    assert_eq!(e.hi(), f64::INFINITY);
+    // log of [0, 1]: [-inf, <=0].
+    let l = elem::log_interval(&F64I::new(0.0, 1.0).unwrap());
+    assert_eq!(l.lo(), f64::NEG_INFINITY);
+    assert!(l.hi() >= 0.0 && l.hi() < 1e-10);
+    // log touching negative territory: NaN lower bound.
+    let l = elem::log_interval(&F64I::new(-1.0, 1.0).unwrap());
+    assert!(l.lo().is_nan());
+    // trig of NaN intervals: NaN.
+    assert!(elem::sin_interval(&F64I::NAI).has_nan());
+    // trig of infinite intervals: [-1, 1].
+    let s = elem::sin_interval(&F64I::ENTIRE);
+    assert_eq!((s.lo(), s.hi()), (-1.0, 1.0));
+}
+
+#[test]
+fn dd_specials_mirror_f64() {
+    let nai = DdI::nai();
+    let x = DdI::point_f64(2.0);
+    assert!((nai + x).has_nan());
+    assert!((nai * x).has_nan());
+    let s = DdI::new(igen_dd::Dd::from(-1.0), igen_dd::Dd::from(4.0)).unwrap().sqrt();
+    assert!(s.lo().is_nan());
+    assert_eq!(s.hi().to_f64(), 2.0);
+    let e = x / DdI::new(igen_dd::Dd::from(-1.0), igen_dd::Dd::from(1.0)).unwrap();
+    assert!(e.hi().to_f64().is_infinite());
+}
+
+#[test]
+fn overflow_saturation_keeps_finite_side() {
+    // MAX + MAX overflows upward only; the lower bound stays finite.
+    let big = F64I::point(f64::MAX);
+    let s = big + big;
+    assert_eq!(s.hi(), f64::INFINITY);
+    assert_eq!(s.lo(), f64::MAX); // RD(MAX+MAX) = MAX
+    let m = big * F64I::point(2.0);
+    assert_eq!(m.hi(), f64::INFINITY);
+    assert!(m.lo().is_finite());
+}
+
+#[test]
+fn accuracy_metric_on_specials() {
+    assert_eq!(F64I::NAI.certified_bits(), 0.0);
+    assert_eq!(F64I::ENTIRE.certified_bits(), 0.0);
+    assert_eq!(F64I::new(1.0, f64::INFINITY).unwrap().certified_bits(), 0.0);
+    assert_eq!(F64I::point(TINY).certified_bits(), 53.0);
+}

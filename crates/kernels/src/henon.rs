@@ -1,0 +1,87 @@
+//! The Hénon map (Fig. 11) — the Section VII-C dependency-problem
+//! benchmark, with interval, double-double and affine instantiations.
+
+use crate::num::Numeric;
+use igen_affine::Aff;
+
+/// The iterate count → final `x` value of the Hénon map
+/// `x' = 1 - a·x² + y`, `y' = b·x` with `a = 1.05`, `b = 0.3`, from
+/// `(x₀, y₀) = (0, 0)` (the paper's parameters).
+pub fn henon<T: Numeric>(iterations: usize) -> T {
+    // The literals 1.05 and 0.3 are not exactly representable: sound
+    // enclosures at the type's own precision.
+    let a = T::from_rational(105, 100);
+    let b = T::from_rational(3, 10);
+    let one = T::one();
+    let mut x = T::zero();
+    let mut y = T::zero();
+    for _ in 0..iterations {
+        let xi = x;
+        x = one - a * xi * xi + y;
+        y = b * xi;
+    }
+    x
+}
+
+/// The same map in affine arithmetic (the YalAA comparison of Table VI).
+pub fn henon_affine(iterations: usize) -> Aff {
+    let a = Aff::with_tol(1.05, igen_round::ulp(1.05));
+    let b = Aff::with_tol(0.3, igen_round::ulp(0.3));
+    let one = Aff::constant(1.0);
+    let mut x = Aff::constant(0.0);
+    let mut y = Aff::constant(0.0);
+    for _ in 0..iterations {
+        let xi = x.clone();
+        x = one.clone() - a.clone() * xi.clone() * xi.clone() + y.clone();
+        y = b.clone() * xi;
+    }
+    x
+}
+
+/// Interval operations per Hénon iteration (2 mul + 1 sub + 1 add + 1
+/// mul = 5).
+pub fn henon_iops(iterations: usize) -> u64 {
+    5 * iterations as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igen_interval::{DdI, F64I};
+
+    #[test]
+    fn float_and_interval_agree_initially() {
+        let f: f64 = henon(10);
+        let iv: F64I = henon(10);
+        assert!(iv.contains(f), "{f} outside {iv}");
+    }
+
+    #[test]
+    fn table6_accuracy_shape() {
+        // Table VI: f64i ~44 bits at 10 iterations, ~24 at 50, 0 at 130+;
+        // ddi ~96 at 10, still >0 at 170; affine ~constant 44.
+        let b10 = henon::<F64I>(10).certified_bits();
+        let b50 = henon::<F64I>(50).certified_bits();
+        let b130 = henon::<F64I>(130).certified_bits();
+        assert!(b10 > 35.0, "f64i@10 = {b10}");
+        assert!(b50 < b10 && b50 > 5.0, "f64i@50 = {b50}");
+        assert!(b130 < 5.0, "f64i@130 = {b130}");
+
+        let d10 = henon::<DdI>(10).certified_bits();
+        let d170 = henon::<DdI>(170).certified_bits();
+        assert!(d10 > 85.0, "ddi@10 = {d10}");
+        assert!(d170 > 5.0 && d170 < d10, "ddi@170 = {d170}");
+
+        let a10 = henon_affine(10).certified_bits();
+        let a170 = henon_affine(170).certified_bits();
+        assert!(a10 > 38.0, "aff@10 = {a10}");
+        assert!(a170 > 38.0, "aff@170 = {a170}");
+    }
+
+    #[test]
+    fn affine_encloses_float() {
+        let f: f64 = henon(50);
+        let (lo, hi) = henon_affine(50).to_interval();
+        assert!(lo <= f && f <= hi, "{f} outside [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,132 @@
+//! Workload generation per the paper's experimental setup (Section VII):
+//! random inputs; interval inputs have width 1 ulp; for double-double
+//! precision the width is `ulp(x_lo)` of a random double-double; the mvm
+//! experiment draws magnitudes randomly with a controlled fraction of
+//! negative values.
+
+use igen_dd::Dd;
+use igen_interval::{DdI, F64I};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Random doubles in `[lo, hi)`.
+pub fn random_points(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+/// 1-ulp-wide interval around each point (`[x, next_up(x)]`) — the
+/// paper's input intervals.
+pub fn intervals_1ulp(points: &[f64]) -> Vec<F64I> {
+    points
+        .iter()
+        .map(|&x| F64I::new(x, igen_round::next_up(x)).expect("ordered"))
+        .collect()
+}
+
+/// Double-double intervals of width `ulp(x_lo)` around random
+/// double-double values (Section VII: "the length of an input interval
+/// is ulp(x_l), where x_l is the lower term of a random double-double").
+pub fn dd_intervals_1ulp(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<DdI> {
+    (0..n)
+        .map(|_| {
+            let xh = rng.random_range(lo..hi);
+            let xl = rng.random_range(-0.49..0.49) * igen_round::ulp(xh);
+            let x = Dd::new(xh, xl);
+            let w = igen_round::ulp(x.lo().abs().max(f64::MIN_POSITIVE));
+            let upper = igen_dd::add_dir::<igen_round::Ru>(x, Dd::from(w));
+            DdI::new(x, upper).expect("ordered")
+        })
+        .collect()
+}
+
+/// The mvm experiment's inputs (Section VII-B): magnitudes drawn
+/// randomly, with `pct_negative` percent of entries negated.
+pub fn signed_magnitudes(rng: &mut StdRng, n: usize, pct_negative: u32) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            // Magnitudes "drawn randomly from the set of double precision
+            // numbers": spread exponents over a wide but finite range so
+            // sums stay finite.
+            let e = rng.random_range(-30..30);
+            let m = rng.random_range(1.0..2.0);
+            let v = m * 2f64.powi(e);
+            if rng.random_range(0..100) < pct_negative {
+                -v
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+/// A random symmetric positive-definite matrix (for potrf): `MᵀM + n·I`.
+pub fn spd_matrix(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    let m: Vec<f64> = (0..n * n).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let mut a = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for p in 0..n {
+                s += m[i * n + p] * m[j * n + p];
+            }
+            a[i * n + j] = s;
+        }
+        a[i * n + i] += n as f64;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervals_have_1ulp_width() {
+        let mut r = rng(1);
+        let pts = random_points(&mut r, 100, -10.0, 10.0);
+        for iv in intervals_1ulp(&pts) {
+            assert_eq!(igen_round::ulps_between(iv.lo(), iv.hi()), 1);
+        }
+    }
+
+    #[test]
+    fn dd_intervals_are_tiny_but_nonzero() {
+        let mut r = rng(2);
+        for iv in dd_intervals_1ulp(&mut r, 50, 0.5, 2.0) {
+            assert!(!iv.width().is_zero());
+            assert!(iv.certified_bits() > 100.0);
+        }
+    }
+
+    #[test]
+    fn signed_fraction_respected() {
+        let mut r = rng(3);
+        let v = signed_magnitudes(&mut r, 10_000, 45);
+        let neg = v.iter().filter(|&&x| x < 0.0).count();
+        assert!((4000..5000).contains(&neg), "neg = {neg}");
+        let v10 = signed_magnitudes(&mut r, 10_000, 10);
+        let neg10 = v10.iter().filter(|&&x| x < 0.0).count();
+        assert!((700..1300).contains(&neg10), "neg = {neg10}");
+    }
+
+    #[test]
+    fn spd_is_choleskyable() {
+        let mut r = rng(4);
+        let n = 12;
+        let mut a = spd_matrix(&mut r, n);
+        crate::linalg::potrf(n, &mut a);
+        assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn workloads_are_reproducible() {
+        let a = random_points(&mut rng(7), 10, 0.0, 1.0);
+        let b = random_points(&mut rng(7), 10, 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+}

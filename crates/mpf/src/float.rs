@@ -1,0 +1,962 @@
+//! The 256-bit-significand binary floating-point type.
+
+use crate::limbs::{self, U256, U512, LIMBS, ZERO};
+use core::cmp::Ordering;
+
+/// Significand precision in bits.
+pub const PREC: u32 = 256;
+
+/// Rounding mode for [`Mpf`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rm {
+    /// Toward negative infinity.
+    Down,
+    /// Toward positive infinity.
+    Up,
+    /// To nearest, ties to even.
+    Nearest,
+    /// Toward zero.
+    Zero,
+}
+
+/// Finite nonzero payload: `value = (-1)^neg * mant * 2^exp`, with `mant`
+/// normalized so its top bit (bit 255) is set. `exp` is the weight of the
+/// least significant bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Num {
+    neg: bool,
+    exp: i64,
+    mant: U256,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Repr {
+    Zero { neg: bool },
+    Finite(Num),
+    Inf { neg: bool },
+    Nan,
+}
+
+/// A 256-bit-precision binary floating-point number with correct rounding.
+///
+/// This is the crate's MPFI-substitute oracle scalar: `igen-round`,
+/// `igen-dd`, `igen-interval` and `igen-affine` are all validated against
+/// it. 256 bits comfortably dominates both double (53) and double-double
+/// (106) precision.
+///
+/// # Example
+///
+/// ```
+/// use igen_mpf::{Mpf, Rm};
+/// let third = Mpf::from_f64(1.0).div(&Mpf::from_f64(3.0), Rm::Nearest);
+/// let back = third.mul(&Mpf::from_f64(3.0), Rm::Nearest).to_f64(Rm::Nearest);
+/// assert_eq!(back, 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mpf {
+    repr: Repr,
+}
+
+/// 384-bit working frame used by addition/subtraction: 256 significand
+/// bits plus 64 fraction bits of headroom plus 64 carry bits.
+type Frame = [u64; 6];
+
+fn fr_zero() -> Frame {
+    [0; 6]
+}
+
+fn fr_cmp(a: &Frame, b: &Frame) -> Ordering {
+    for i in (0..6).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => continue,
+            o => return o,
+        }
+    }
+    Ordering::Equal
+}
+
+fn fr_add(a: &Frame, b: &Frame) -> Frame {
+    let mut out = fr_zero();
+    let mut carry = false;
+    for i in 0..6 {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(carry as u64);
+        out[i] = s2;
+        carry = c1 || c2;
+    }
+    debug_assert!(!carry, "frame addition overflow");
+    out
+}
+
+fn fr_sub(a: &Frame, b: &Frame) -> Frame {
+    let mut out = fr_zero();
+    let mut borrow = false;
+    for i in 0..6 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow as u64);
+        out[i] = d2;
+        borrow = b1 || b2;
+    }
+    debug_assert!(!borrow, "frame subtraction underflow");
+    out
+}
+
+fn fr_dec(a: &Frame) -> Frame {
+    let mut one = fr_zero();
+    one[0] = 1;
+    fr_sub(a, &one)
+}
+
+fn fr_is_zero(a: &Frame) -> bool {
+    a.iter().all(|&l| l == 0)
+}
+
+fn fr_highest_bit(a: &Frame) -> Option<u32> {
+    for i in (0..6).rev() {
+        if a[i] != 0 {
+            return Some(i as u32 * 64 + (63 - a[i].leading_zeros()));
+        }
+    }
+    None
+}
+
+fn fr_bit(a: &Frame, bit: u32) -> bool {
+    (a[(bit / 64) as usize] >> (bit % 64)) & 1 == 1
+}
+
+/// True iff any of bits `[0, n)` is set.
+fn fr_low_nonzero(a: &Frame, n: u32) -> bool {
+    let full = (n / 64) as usize;
+    for &l in a.iter().take(full) {
+        if l != 0 {
+            return true;
+        }
+    }
+    let rem = n % 64;
+    rem > 0 && full < 6 && a[full] << (64 - rem) != 0
+}
+
+fn fr_shl(a: &Frame, n: u32) -> Frame {
+    if n == 0 {
+        return *a;
+    }
+    let mut out = fr_zero();
+    let limb_shift = (n / 64) as usize;
+    let bit_shift = n % 64;
+    for i in (0..6).rev() {
+        if i < limb_shift {
+            continue;
+        }
+        let src = i - limb_shift;
+        let mut v = a[src] << bit_shift;
+        if bit_shift > 0 && src > 0 {
+            v |= a[src - 1] >> (64 - bit_shift);
+        }
+        out[i] = v;
+    }
+    out
+}
+
+/// Right shift with sticky collection; `n` may exceed the width.
+fn fr_shr_sticky(a: &Frame, n: u64) -> (Frame, bool) {
+    if n == 0 {
+        return (*a, false);
+    }
+    if n >= 384 {
+        return (fr_zero(), !fr_is_zero(a));
+    }
+    let n = n as u32;
+    let sticky = fr_low_nonzero(a, n);
+    let limb_shift = (n / 64) as usize;
+    let bit_shift = n % 64;
+    let mut out = fr_zero();
+    for (i, o) in out.iter_mut().enumerate() {
+        let src = i + limb_shift;
+        if src >= 6 {
+            break;
+        }
+        let mut v = a[src] >> bit_shift;
+        if bit_shift > 0 && src + 1 < 6 {
+            v |= a[src + 1] << (64 - bit_shift);
+        }
+        *o = v;
+    }
+    (out, sticky)
+}
+
+impl Mpf {
+    /// Positive zero.
+    pub const ZERO: Mpf = Mpf { repr: Repr::Zero { neg: false } };
+    /// Positive infinity.
+    pub const INFINITY: Mpf = Mpf { repr: Repr::Inf { neg: false } };
+    /// Negative infinity.
+    pub const NEG_INFINITY: Mpf = Mpf { repr: Repr::Inf { neg: true } };
+    /// Not-a-number.
+    pub const NAN: Mpf = Mpf { repr: Repr::Nan };
+
+    /// Exact conversion from a binary64 value (always representable).
+    pub fn from_f64(x: f64) -> Mpf {
+        if x.is_nan() {
+            return Mpf::NAN;
+        }
+        if x.is_infinite() {
+            return Mpf { repr: Repr::Inf { neg: x < 0.0 } };
+        }
+        if x == 0.0 {
+            return Mpf { repr: Repr::Zero { neg: x.is_sign_negative() } };
+        }
+        let neg = x < 0.0;
+        let bits = x.abs().to_bits();
+        let raw_exp = (bits >> 52) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mant53, exp) = if raw_exp == 0 {
+            (frac, -1074i64) // subnormal
+        } else {
+            (frac | (1u64 << 52), raw_exp - 1075)
+        };
+        let hb = 63 - mant53.leading_zeros();
+        let mut mant = ZERO;
+        mant[0] = mant53;
+        let shift = 255 - hb;
+        let mant = limbs::shl(&mant, shift);
+        Mpf { repr: Repr::Finite(Num { neg, exp: exp - shift as i64, mant }) }
+    }
+
+    /// Exact conversion from an `i64`.
+    pub fn from_i64(x: i64) -> Mpf {
+        if x == 0 {
+            return Mpf::ZERO;
+        }
+        let neg = x < 0;
+        let mag = x.unsigned_abs();
+        let hb = 63 - mag.leading_zeros();
+        let mut mant = ZERO;
+        mant[0] = mag;
+        let shift = 255 - hb;
+        let mant = limbs::shl(&mant, shift);
+        Mpf { repr: Repr::Finite(Num { neg, exp: -(shift as i64), mant }) }
+    }
+
+    /// Sum of a double-double pair `hi + lo`, rounded in `rm` (exact
+    /// whenever the two components are within 203 binades of each other,
+    /// which holds for every normalized double-double).
+    pub fn from_dd(hi: f64, lo: f64, rm: Rm) -> Mpf {
+        Mpf::from_f64(hi).add(&Mpf::from_f64(lo), rm)
+    }
+
+    /// True for NaN.
+    pub fn is_nan(&self) -> bool {
+        matches!(self.repr, Repr::Nan)
+    }
+
+    /// True for ±∞.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self.repr, Repr::Inf { .. })
+    }
+
+    /// True for ±0.
+    pub fn is_zero(&self) -> bool {
+        matches!(self.repr, Repr::Zero { .. })
+    }
+
+    /// True for finite values (including zero).
+    pub fn is_finite(&self) -> bool {
+        matches!(self.repr, Repr::Zero { .. } | Repr::Finite(_))
+    }
+
+    /// True if the sign bit is set (NaN reports false; `-0.0` reports
+    /// true while still comparing equal to `+0.0`).
+    pub fn is_sign_negative(&self) -> bool {
+        match self.repr {
+            Repr::Zero { neg } => neg,
+            Repr::Finite(n) => n.neg,
+            Repr::Inf { neg } => neg,
+            Repr::Nan => false,
+        }
+    }
+
+    /// Negation (exact).
+    #[must_use]
+    pub fn neg(&self) -> Mpf {
+        let repr = match self.repr {
+            Repr::Zero { neg } => Repr::Zero { neg: !neg },
+            Repr::Finite(n) => Repr::Finite(Num { neg: !n.neg, ..n }),
+            Repr::Inf { neg } => Repr::Inf { neg: !neg },
+            Repr::Nan => Repr::Nan,
+        };
+        Mpf { repr }
+    }
+
+    /// Absolute value (exact).
+    #[must_use]
+    pub fn abs(&self) -> Mpf {
+        if self.is_sign_negative() {
+            self.neg()
+        } else {
+            *self
+        }
+    }
+
+    /// Exact scaling by `2^n`.
+    #[must_use]
+    pub fn scale2(&self, n: i64) -> Mpf {
+        match self.repr {
+            Repr::Finite(num) => Mpf { repr: Repr::Finite(Num { exp: num.exp + n, ..num }) },
+            _ => *self,
+        }
+    }
+
+    /// Numeric comparison; `None` if either operand is NaN. `-0 == +0`.
+    pub fn cmp_num(&self, other: &Mpf) -> Option<Ordering> {
+        use Repr::*;
+        if self.is_nan() || other.is_nan() {
+            return None;
+        }
+        let sgn = |m: &Mpf| -> i32 {
+            match m.repr {
+                Zero { .. } => 0,
+                Finite(n) => {
+                    if n.neg {
+                        -1
+                    } else {
+                        1
+                    }
+                }
+                Inf { neg } => {
+                    if neg {
+                        -1
+                    } else {
+                        1
+                    }
+                }
+                Nan => 0,
+            }
+        };
+        let (sa, sb) = (sgn(self), sgn(other));
+        if sa != sb {
+            return Some(sa.cmp(&sb));
+        }
+        if sa == 0 {
+            return Some(Ordering::Equal);
+        }
+        let mag = match (self.repr, other.repr) {
+            (Inf { .. }, Inf { .. }) => Ordering::Equal,
+            (Inf { .. }, _) => Ordering::Greater,
+            (_, Inf { .. }) => Ordering::Less,
+            (Finite(a), Finite(b)) => {
+                // Both normalized: compare binary exponents, then mantissas.
+                match a.exp.cmp(&b.exp) {
+                    Ordering::Equal => limbs::cmp(&a.mant, &b.mant),
+                    o => o,
+                }
+            }
+            _ => unreachable!(),
+        };
+        Some(if sa > 0 { mag } else { mag.reverse() })
+    }
+
+    /// Round a normalized 256-bit magnitude with explicit guard and sticky
+    /// information. `mant` must have bit 255 set (or be zero with
+    /// guard/sticky describing a sub-ulp value at `exp`'s scale).
+    fn round_parts(neg: bool, exp: i64, mant: U256, guard: bool, sticky: bool, rm: Rm) -> Mpf {
+        if limbs::is_zero(&mant) && !guard && !sticky {
+            return Mpf { repr: Repr::Zero { neg } };
+        }
+        let round_up_mag = match rm {
+            Rm::Zero => false,
+            Rm::Up => !neg && (guard || sticky),
+            Rm::Down => neg && (guard || sticky),
+            Rm::Nearest => guard && (sticky || (mant[0] & 1 == 1)),
+        };
+        if limbs::is_zero(&mant) {
+            // Magnitude entirely in the guard/sticky bits.
+            if round_up_mag {
+                let mut m = ZERO;
+                m[LIMBS - 1] = 1 << 63;
+                return Mpf { repr: Repr::Finite(Num { neg, exp: exp - 255, mant: m }) };
+            }
+            return Mpf { repr: Repr::Zero { neg } };
+        }
+        debug_assert_eq!(limbs::highest_bit(&mant), Some(255), "unnormalized round_parts");
+        if round_up_mag {
+            let (m2, carry) = limbs::inc(&mant);
+            if carry {
+                let mut m = ZERO;
+                m[LIMBS - 1] = 1 << 63;
+                return Mpf { repr: Repr::Finite(Num { neg, exp: exp + 1, mant: m }) };
+            }
+            return Mpf { repr: Repr::Finite(Num { neg, exp, mant: m2 }) };
+        }
+        Mpf { repr: Repr::Finite(Num { neg, exp, mant }) }
+    }
+
+    /// Normalize-and-round a frame known to be either exact
+    /// (`below_sticky == false`) or the *truncation* of the true magnitude
+    /// with a strictly positive sub-LSB fraction (`below_sticky == true`).
+    /// `frame_exp` is the weight of the frame's bit 0.
+    fn round_frame(neg: bool, frame_exp: i64, frame: Frame, below_sticky: bool, rm: Rm) -> Mpf {
+        let hb = match fr_highest_bit(&frame) {
+            Some(h) => h,
+            None => {
+                if !below_sticky {
+                    return Mpf { repr: Repr::Zero { neg } };
+                }
+                // Value is in (0, 1) frame-ulp: sub-ulp magnitude.
+                return Mpf::round_parts(neg, frame_exp, ZERO, false, true, rm);
+            }
+        };
+        if hb <= 255 {
+            // Fits in 256 bits: shift left to normalize.
+            let sh = 255 - hb;
+            if !below_sticky {
+                let f2 = fr_shl(&frame, sh);
+                let mut mant = ZERO;
+                mant.copy_from_slice(&f2[..LIMBS]);
+                debug_assert!(f2[LIMBS..].iter().all(|&l| l == 0));
+                return Mpf::round_parts(neg, frame_exp - sh as i64, mant, false, false, rm);
+            }
+            // Truncated value with hb <= 255: the lost fraction sits right
+            // below bit 0, so after shifting left it sits below bit `sh`;
+            // it contributes only sticky unless sh == 0.
+            let f2 = fr_shl(&frame, sh);
+            let mut mant = ZERO;
+            mant.copy_from_slice(&f2[..LIMBS]);
+            if sh == 0 {
+                return Mpf::round_parts(neg, frame_exp, mant, false, true, rm);
+            }
+            // The fraction is in (0,1) original-ulp = (0, 2^sh) new-ulp:
+            // we only know the truncation to `sh` extra bits is 0. This
+            // situation cannot occur in this crate: callers only pass
+            // below_sticky with hb >= 318 (see add path). Be conservative.
+            debug_assert!(false, "sticky with left-normalization");
+            return Mpf::round_parts(neg, frame_exp, mant, true, true, rm);
+        }
+        // hb > 255: shift right, extracting guard and sticky.
+        let s = hb - 255; // >= 1
+        let guard = fr_bit(&frame, s - 1);
+        let sticky = fr_low_nonzero(&frame, s - 1) || below_sticky;
+        let (f2, _) = fr_shr_sticky(&frame, s as u64);
+        let mut mant = ZERO;
+        mant.copy_from_slice(&f2[..LIMBS]);
+        Mpf::round_parts(neg, frame_exp + s as i64, mant, guard, sticky, rm)
+    }
+
+    /// Correctly rounded addition.
+    pub fn add(&self, other: &Mpf, rm: Rm) -> Mpf {
+        use Repr::*;
+        match (self.repr, other.repr) {
+            (Nan, _) | (_, Nan) => Mpf::NAN,
+            (Inf { neg: a }, Inf { neg: b }) => {
+                if a == b {
+                    *self
+                } else {
+                    Mpf::NAN
+                }
+            }
+            (Inf { .. }, _) => *self,
+            (_, Inf { .. }) => *other,
+            (Zero { neg: a }, Zero { neg: b }) => {
+                let neg = if a == b { a } else { rm == Rm::Down };
+                Mpf { repr: Zero { neg } }
+            }
+            (Zero { .. }, Finite(_)) => *other,
+            (Finite(_), Zero { .. }) => *self,
+            (Finite(a), Finite(b)) => Mpf::add_finite(a, b, rm),
+        }
+    }
+
+    fn add_finite(a: Num, b: Num, rm: Rm) -> Mpf {
+        // Order |hi| >= |lo|.
+        let (hi, lo) = {
+            let mag = match a.exp.cmp(&b.exp) {
+                Ordering::Equal => limbs::cmp(&a.mant, &b.mant),
+                o => o,
+            };
+            if mag == Ordering::Less {
+                (b, a)
+            } else {
+                (a, b)
+            }
+        };
+        let gap = (hi.exp - lo.exp) as u64;
+        // Work frame: LSB weight = hi.exp - 64 (64 fraction bits).
+        let frame_exp = hi.exp - 64;
+        let hi_w = {
+            let mut f = fr_zero();
+            f[1..5].copy_from_slice(&hi.mant);
+            f // hi.mant << 64
+        };
+        let (lo_w, lo_sticky) = {
+            let mut f = fr_zero();
+            f[1..5].copy_from_slice(&lo.mant);
+            if gap <= 64 {
+                // Shift left by (64 - gap) relative to f >> 64... i.e. the
+                // frame holds lo.mant << (64 - gap): exact.
+                (fr_shr_sticky(&f, gap).0, false)
+            } else {
+                fr_shr_sticky(&f, gap)
+            }
+        };
+        if hi.neg == lo.neg {
+            // Magnitude addition. True value = (hi_w + lo_w + delta)*2^fe,
+            // delta in [0,1) nonzero iff lo_sticky.
+            let sum = fr_add(&hi_w, &lo_w); // hb <= 320: fits
+            Mpf::round_frame(hi.neg, frame_exp, sum, lo_sticky, rm)
+        } else {
+            // Magnitude subtraction: hi_w - lo_w (- delta).
+            if !lo_sticky {
+                if fr_cmp(&hi_w, &lo_w) == Ordering::Equal {
+                    return Mpf { repr: Repr::Zero { neg: rm == Rm::Down } };
+                }
+                let diff = fr_sub(&hi_w, &lo_w);
+                return Mpf::round_frame(hi.neg, frame_exp, diff, false, rm);
+            }
+            // delta in (0,1): true = (diff - 1) + (1 - delta), fraction in
+            // (0,1). lo_sticky requires gap > 64, so lo_w < 2^256 while
+            // hi_w >= 2^319: diff - 1 >= 2^318, far above bit 255, so
+            // round_frame's right-shift path handles the fraction as a pure
+            // sticky below bit 0.
+            let diff = fr_sub(&hi_w, &lo_w);
+            let trunc = fr_dec(&diff);
+            debug_assert!(fr_highest_bit(&trunc).unwrap_or(0) >= 318);
+            Mpf::round_frame(hi.neg, frame_exp, trunc, true, rm)
+        }
+    }
+
+    /// Correctly rounded subtraction.
+    pub fn sub(&self, other: &Mpf, rm: Rm) -> Mpf {
+        self.add(&other.neg(), rm)
+    }
+
+    /// Correctly rounded multiplication.
+    pub fn mul(&self, other: &Mpf, rm: Rm) -> Mpf {
+        use Repr::*;
+        match (self.repr, other.repr) {
+            (Nan, _) | (_, Nan) => Mpf::NAN,
+            (Inf { neg: a }, Inf { neg: b }) => Mpf { repr: Inf { neg: a != b } },
+            (Inf { neg }, Finite(n)) | (Finite(n), Inf { neg }) => {
+                Mpf { repr: Inf { neg: neg != n.neg } }
+            }
+            (Inf { .. }, Zero { .. }) | (Zero { .. }, Inf { .. }) => Mpf::NAN,
+            (Zero { neg: a }, Zero { neg: b }) => Mpf { repr: Zero { neg: a != b } },
+            (Zero { neg }, Finite(n)) | (Finite(n), Zero { neg }) => {
+                Mpf { repr: Zero { neg: neg != n.neg } }
+            }
+            (Finite(a), Finite(b)) => {
+                let neg = a.neg != b.neg;
+                let wide = limbs::mul_wide(&a.mant, &b.mant);
+                let hb = limbs::highest_bit_512(&wide).expect("nonzero product");
+                debug_assert!(hb == 510 || hb == 511);
+                let s = hb - 255; // 255 or 256
+                let guard = bit_512(&wide, s - 1);
+                let sticky = low_nonzero_512(&wide, s - 1);
+                let mant = shr_512_into_256(&wide, s);
+                // LSB weight: a.exp + b.exp + s.
+                Mpf::round_parts(neg, a.exp + b.exp + s as i64, mant, guard, sticky, rm)
+            }
+        }
+    }
+
+    /// Correctly rounded division.
+    pub fn div(&self, other: &Mpf, rm: Rm) -> Mpf {
+        use Repr::*;
+        match (self.repr, other.repr) {
+            (Nan, _) | (_, Nan) => Mpf::NAN,
+            (Inf { .. }, Inf { .. }) => Mpf::NAN,
+            (Zero { .. }, Zero { .. }) => Mpf::NAN,
+            (Inf { neg }, Zero { neg: zn }) => Mpf { repr: Inf { neg: neg != zn } },
+            (Inf { neg }, Finite(n)) => Mpf { repr: Inf { neg: neg != n.neg } },
+            (Zero { neg }, Finite(n)) => Mpf { repr: Zero { neg: neg != n.neg } },
+            (Zero { neg }, Inf { neg: ni }) => Mpf { repr: Zero { neg: neg != ni } },
+            (Finite(n), Inf { neg }) => Mpf { repr: Zero { neg: n.neg != neg } },
+            (Finite(a), Zero { neg }) => Mpf { repr: Inf { neg: a.neg != neg } },
+            (Finite(a), Finite(b)) => {
+                let neg = a.neg != b.neg;
+                // Restoring long division of (a.mant << 257) by b.mant:
+                // quotient in (2^256, 2^258), i.e. 257 or 258 bits, plus a
+                // remainder that only contributes sticky.
+                // Remainder fits in 257 bits; track the 257th explicitly.
+                let mut rem = ZERO;
+                let mut rem_hi = false;
+                let mut q = [0u64; 5]; // up to 258 bits
+                let total = 256 + 257; // bits of the shifted numerator
+                for i in (0..total).rev() {
+                    // Shift remainder left one, bring in numerator bit i
+                    // (numerator = a.mant << 257: bits 257..512 hold a.mant).
+                    rem_hi = rem[LIMBS - 1] >> 63 == 1;
+                    rem = limbs::shl(&rem, 1);
+                    if i >= 257 {
+                        let src = i - 257;
+                        if (a.mant[(src / 64) as usize] >> (src % 64)) & 1 == 1 {
+                            rem[0] |= 1;
+                        }
+                    }
+                    let ge = rem_hi || limbs::cmp(&rem, &b.mant) != Ordering::Less;
+                    // Shift quotient left one.
+                    let mut carry = 0u64;
+                    for l in q.iter_mut() {
+                        let nv = (*l << 1) | carry;
+                        carry = *l >> 63;
+                        *l = nv;
+                    }
+                    debug_assert_eq!(carry, 0, "quotient overflow");
+                    if ge {
+                        if rem_hi && limbs::cmp(&rem, &b.mant) == Ordering::Less {
+                            // rem = 2^256 + rem_low; rem - b =
+                            // rem_low + (2^256 - b) (two's complement of b).
+                            let mut comp = ZERO;
+                            let mut carry = 1u64;
+                            for (c, &bl) in comp.iter_mut().zip(b.mant.iter()) {
+                                let (v, c2) = (!bl).overflowing_add(carry);
+                                *c = v;
+                                carry = c2 as u64;
+                            }
+                            let (r2, _) = limbs::add(&rem, &comp);
+                            rem = r2;
+                        } else {
+                            rem = limbs::sub(&rem, &b.mant);
+                        }
+                        rem_hi = false;
+                        q[0] |= 1;
+                    }
+                }
+                let rem_sticky = rem_hi || !limbs::is_zero(&rem);
+                // Quotient bits: hb is 256 or 257.
+                let qhb = {
+                    let mut h = 0;
+                    for i in (0..5).rev() {
+                        if q[i] != 0 {
+                            h = i as u32 * 64 + (63 - q[i].leading_zeros());
+                            break;
+                        }
+                    }
+                    h
+                };
+                debug_assert!(qhb == 256 || qhb == 257, "quotient bits: {qhb}");
+                let s = qhb - 255; // 1 or 2
+                let guard = (q[((s - 1) / 64) as usize] >> ((s - 1) % 64)) & 1 == 1;
+                let sticky = (s == 2 && q[0] & 1 == 1) || rem_sticky;
+                let mut mant = ZERO;
+                // mant = q >> s.
+                for i in 0..LIMBS {
+                    let mut v = q[i] >> s;
+                    v |= q[i + 1] << (64 - s);
+                    mant[i] = v;
+                }
+                // Weight: quotient integer Q = floor((Ma*2^257)/Mb) with
+                // value a/b = Q * 2^(a.exp - b.exp - 257) (+ remainder).
+                // After dropping s low bits, the LSB weight is
+                // a.exp - b.exp - 257 + s.
+                Mpf::round_parts(neg, a.exp - b.exp - 257 + s as i64, mant, guard, sticky, rm)
+            }
+        }
+    }
+
+    /// Square root: correctly rounded for the directed modes (`Up`,
+    /// `Down`, `Zero`); *faithfully* rounded (within one ulp) for
+    /// `Nearest`. Negative inputs give NaN.
+    ///
+    /// The oracle role of this crate only requires directed bounds, which
+    /// are exact.
+    pub fn sqrt(&self, rm: Rm) -> Mpf {
+        use Repr::*;
+        match self.repr {
+            Nan => Mpf::NAN,
+            Zero { neg } => Mpf { repr: Zero { neg } },
+            Inf { neg } => {
+                if neg {
+                    Mpf::NAN
+                } else {
+                    Mpf::INFINITY
+                }
+            }
+            Finite(n) if n.neg => Mpf::NAN,
+            Finite(n) => {
+                // Radicand = mant << 256 at exponent (exp - 256); make the
+                // exponent even so the root's exponent is integral.
+                let mut wide: U512 = [0; 2 * LIMBS];
+                wide[LIMBS..].copy_from_slice(&n.mant);
+                let mut exp = n.exp - 256;
+                if exp.rem_euclid(2) != 0 {
+                    // Shift radicand left 1 (headroom: top bit at 511 only
+                    // if mant's bit 255 set and already shifted — the
+                    // initial layout has the top bit at 511, so shifting
+                    // left would overflow. Shift RIGHT instead and bump exp.
+                    let mut carry = 0u64;
+                    for i in (0..2 * LIMBS).rev() {
+                        let nv = (wide[i] >> 1) | (carry << 63);
+                        carry = wide[i] & 1;
+                        wide[i] = nv;
+                    }
+                    // The dropped bit is zero: mant<<256 has 256 zero bits
+                    // at the bottom.
+                    debug_assert_eq!(carry, 0);
+                    exp += 1;
+                }
+                debug_assert_eq!(exp.rem_euclid(2), 0);
+                let (root, rem_nonzero) = isqrt_512(&wide);
+                // root = floor(sqrt(radicand)), 255 or 256 bits.
+                let hb = limbs::highest_bit(&root).expect("nonzero root");
+                let half_exp = exp / 2;
+                if hb == 255 {
+                    // value = root * 2^half_exp, truncated (sticky =
+                    // rem_nonzero).
+                    Mpf::round_parts(false, half_exp, root, false, rem_nonzero, rm)
+                } else {
+                    // The radicand is always >= 2^510 (mantissa bit 255 set,
+                    // shifted into the top half, at most one right-shift for
+                    // parity), so the floor root is >= 2^255.
+                    unreachable!("sqrt root is always 256 bits")
+                }
+            }
+        }
+    }
+
+    /// Convert to binary64 with correct rounding in the given mode,
+    /// including overflow to ±∞/±MAX and gradual underflow.
+    pub fn to_f64(&self, rm: Rm) -> f64 {
+        match self.repr {
+            Repr::Nan => f64::NAN,
+            Repr::Inf { neg } => {
+                if neg {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Repr::Zero { neg } => {
+                if neg {
+                    -0.0
+                } else {
+                    0.0
+                }
+            }
+            Repr::Finite(n) => {
+                let e = n.exp + 255; // binary exponent: value in [2^e, 2^(e+1))
+                if e > 1023 {
+                    return Self::overflow_f64(n.neg, rm);
+                }
+                if e < -1075 {
+                    // Below half the smallest subnormal: 0 or ±tiny.
+                    return Self::underflow_f64(n.neg, rm);
+                }
+                if e == -1075 {
+                    // Magnitude in [2^-1075, 2^-1074): RN rounds up except
+                    // at the exact tie 2^-1075 (ties-to-even -> 0).
+                    let tiny = f64::from_bits(1);
+                    let is_tie = limbs::highest_bit(&n.mant) == Some(255)
+                        && n.mant[..LIMBS - 1].iter().all(|&l| l == 0)
+                        && n.mant[LIMBS - 1] == 1 << 63;
+                    let mag = match rm {
+                        Rm::Zero => 0.0,
+                        Rm::Up => {
+                            if n.neg {
+                                0.0
+                            } else {
+                                tiny
+                            }
+                        }
+                        Rm::Down => {
+                            if n.neg {
+                                tiny
+                            } else {
+                                0.0
+                            }
+                        }
+                        Rm::Nearest => {
+                            if is_tie {
+                                0.0
+                            } else {
+                                tiny
+                            }
+                        }
+                    };
+                    return if n.neg { -mag } else { mag };
+                }
+                // Keep bits: 53 for normal, fewer when subnormal.
+                let keep: u32 = if e >= -1022 { 53 } else { (53 + (e + 1022)) as u32 };
+                debug_assert!((1..=53).contains(&keep));
+                let shift = 256 - keep;
+                let (top, _) = limbs::shr_sticky(&n.mant, shift as u64);
+                let mant_trunc = top[0];
+                let (_, sticky_below) = limbs::shr_sticky(&n.mant, (shift - 1) as u64);
+                let guard = {
+                    let (g, _) = limbs::shr_sticky(&n.mant, (shift - 1) as u64);
+                    g[0] & 1 == 1
+                };
+                let sticky = sticky_below;
+                let odd = mant_trunc & 1 == 1;
+                let round_up = match rm {
+                    Rm::Zero => false,
+                    Rm::Up => !n.neg && (guard || sticky),
+                    Rm::Down => n.neg && (guard || sticky),
+                    Rm::Nearest => guard && (sticky || odd),
+                };
+                let mant_final = mant_trunc + round_up as u64;
+                let mag = if e >= -1022 {
+                    // Normal path; handle binade carry.
+                    let (m53, e2) = if mant_final >> 53 != 0 {
+                        (mant_final >> 1, e + 1)
+                    } else {
+                        (mant_final, e)
+                    };
+                    if e2 > 1023 {
+                        return Self::overflow_f64(n.neg, rm);
+                    }
+                    debug_assert_eq!(m53 >> 52, 1);
+                    f64::from_bits((((e2 + 1023) as u64) << 52) | (m53 & ((1 << 52) - 1)))
+                } else {
+                    // Subnormal encoding: LSB weight 2^-1074; a carry to
+                    // 2^keep lands naturally in the next encoding slot
+                    // (including the smallest normal).
+                    f64::from_bits(mant_final)
+                };
+                if n.neg {
+                    -mag
+                } else {
+                    mag
+                }
+            }
+        }
+    }
+
+    fn overflow_f64(neg: bool, rm: Rm) -> f64 {
+        match (rm, neg) {
+            (Rm::Up, false) | (Rm::Nearest, false) => f64::INFINITY,
+            (Rm::Up, true) | (Rm::Zero, true) => -f64::MAX,
+            (Rm::Down, false) | (Rm::Zero, false) => f64::MAX,
+            (Rm::Down, true) | (Rm::Nearest, true) => f64::NEG_INFINITY,
+        }
+    }
+
+    fn underflow_f64(neg: bool, rm: Rm) -> f64 {
+        let tiny = f64::from_bits(1);
+        match (rm, neg) {
+            (Rm::Up, false) => tiny,
+            (Rm::Down, true) => -tiny,
+            (_, true) => -0.0,
+            (_, false) => 0.0,
+        }
+    }
+}
+
+fn bit_512(a: &U512, bit: u32) -> bool {
+    (a[(bit / 64) as usize] >> (bit % 64)) & 1 == 1
+}
+
+fn low_nonzero_512(a: &U512, n: u32) -> bool {
+    let full = (n / 64) as usize;
+    for &l in a.iter().take(full) {
+        if l != 0 {
+            return true;
+        }
+    }
+    let rem = n % 64;
+    rem > 0 && full < 2 * LIMBS && a[full] << (64 - rem) != 0
+}
+
+/// `a >> s` truncated into 256 bits; caller guarantees the result fits.
+fn shr_512_into_256(a: &U512, s: u32) -> U256 {
+    let limb_shift = (s / 64) as usize;
+    let bit_shift = s % 64;
+    let mut out = ZERO;
+    for (i, o) in out.iter_mut().enumerate() {
+        let src = i + limb_shift;
+        if src >= 2 * LIMBS {
+            break;
+        }
+        let mut v = a[src] >> bit_shift;
+        if bit_shift > 0 && src + 1 < 2 * LIMBS {
+            v |= a[src + 1] << (64 - bit_shift);
+        }
+        *o = v;
+    }
+    out
+}
+
+/// Integer square root of a 512-bit value: floor root (256 bits) and
+/// whether the remainder is nonzero.
+fn isqrt_512(v: &U512) -> (U256, bool) {
+    const W: usize = 9;
+    type Wide = [u64; W];
+    fn wcmp(a: &Wide, b: &Wide) -> Ordering {
+        for i in (0..W).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+    fn wsub(a: &mut Wide, b: &Wide) {
+        let mut borrow = false;
+        for i in 0..W {
+            let (d1, b1) = a[i].overflowing_sub(b[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            a[i] = d2;
+            borrow = b1 || b2;
+        }
+        debug_assert!(!borrow);
+    }
+    fn wshl(a: &mut Wide, n: u32) {
+        debug_assert!(n > 0 && n < 64);
+        for i in (0..W).rev() {
+            let mut x = a[i] << n;
+            if i > 0 {
+                x |= a[i - 1] >> (64 - n);
+            }
+            a[i] = x;
+        }
+    }
+    let mut rem: Wide = [0; W];
+    let mut root: Wide = [0; W];
+    for i in (0..256).rev() {
+        wshl(&mut rem, 2);
+        let hi_idx = 2 * i + 1;
+        let bit_hi = (v[hi_idx / 64] >> (hi_idx % 64)) & 1;
+        let bit_lo = (v[(2 * i) / 64] >> ((2 * i) % 64)) & 1;
+        rem[0] |= (bit_hi << 1) | bit_lo;
+        let mut trial = root;
+        wshl(&mut trial, 2);
+        trial[0] |= 1;
+        wshl(&mut root, 1);
+        if wcmp(&rem, &trial) != Ordering::Less {
+            wsub(&mut rem, &trial);
+            root[0] |= 1;
+        }
+    }
+    let mut out = ZERO;
+    out.copy_from_slice(&root[..LIMBS]);
+    debug_assert!(root[LIMBS..].iter().all(|&l| l == 0));
+    (out, rem.iter().any(|&l| l != 0))
+}
+
+impl core::fmt::Display for Mpf {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.repr {
+            Repr::Nan => write!(f, "NaN"),
+            Repr::Inf { neg } => write!(f, "{}inf", if neg { "-" } else { "" }),
+            Repr::Zero { neg } => write!(f, "{}0", if neg { "-" } else { "" }),
+            Repr::Finite(n) => {
+                // Hex-float style: sign 0x1.<hex fraction>p<exp>.
+                let frac = limbs::shl(&n.mant, 1); // drop the leading 1
+                let mut digits = String::new();
+                for i in 0..63 {
+                    let top = 256 - 4 * (i + 1);
+                    let limb = (top / 64) as usize;
+                    let off = top % 64;
+                    let nib = (frac[limb] >> off) & 0xf;
+                    digits.push(core::char::from_digit(nib as u32, 16).unwrap());
+                }
+                let digits = digits.trim_end_matches('0');
+                write!(
+                    f,
+                    "{}0x1.{}p{}",
+                    if n.neg { "-" } else { "" },
+                    if digits.is_empty() { "0" } else { digits },
+                    n.exp + 255
+                )
+            }
+        }
+    }
+}

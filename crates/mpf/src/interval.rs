@@ -1,0 +1,239 @@
+//! Multiprecision intervals — the MPFI-substitute oracle.
+//!
+//! The paper validates its interval library against MPFI (Section IV-A);
+//! this module plays the same role for the whole workspace: every interval
+//! operation in `igen-interval`, `igen-affine` and the end-to-end compiler
+//! pipeline is property-tested for containment against [`MpfInterval`].
+
+use crate::float::{Mpf, Rm};
+use core::cmp::Ordering;
+
+/// An interval with 256-bit-precision endpoints, outward rounded.
+///
+/// Empty intervals are not representable; invalid operations produce NaN
+/// endpoints, mirroring the paper's semantics (an interval with a NaN
+/// endpoint means "could be anything").
+///
+/// # Example
+///
+/// ```
+/// use igen_mpf::MpfInterval;
+/// let x = MpfInterval::from_f64(0.1);
+/// let y = x.add(&x);
+/// assert!(y.contains_f64(0.2));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MpfInterval {
+    lo: Mpf,
+    hi: Mpf,
+}
+
+impl MpfInterval {
+    /// The point interval `[x, x]` (exact: any f64 is representable).
+    pub fn from_f64(x: f64) -> MpfInterval {
+        let v = Mpf::from_f64(x);
+        MpfInterval { lo: v, hi: v }
+    }
+
+    /// The interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` (NaN endpoints are allowed).
+    pub fn new(lo: Mpf, hi: Mpf) -> MpfInterval {
+        if let Some(o) = lo.cmp_num(&hi) {
+            assert!(o != Ordering::Greater, "MpfInterval::new: lo > hi");
+        }
+        MpfInterval { lo, hi }
+    }
+
+    /// The interval `[lo, hi]` from f64 endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn from_f64_pair(lo: f64, hi: f64) -> MpfInterval {
+        MpfInterval::new(Mpf::from_f64(lo), Mpf::from_f64(hi))
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> Mpf {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> Mpf {
+        self.hi
+    }
+
+    /// True if `x` lies inside the interval. NaN endpoints absorb
+    /// everything on their side (unknown bound), matching the paper's
+    /// convention.
+    pub fn contains(&self, x: &Mpf) -> bool {
+        if x.is_nan() {
+            return self.lo.is_nan() || self.hi.is_nan();
+        }
+        let lo_ok = self.lo.is_nan() || self.lo.cmp_num(x) != Some(Ordering::Greater);
+        let hi_ok = self.hi.is_nan() || self.hi.cmp_num(x) != Some(Ordering::Less);
+        lo_ok && hi_ok
+    }
+
+    /// True if the f64 value lies inside the interval.
+    pub fn contains_f64(&self, x: f64) -> bool {
+        self.contains(&Mpf::from_f64(x))
+    }
+
+    /// True if `other` is a subset of `self`.
+    pub fn encloses(&self, other: &MpfInterval) -> bool {
+        self.contains(&other.lo) && self.contains(&other.hi)
+    }
+
+    /// Outward-rounded addition.
+    #[must_use]
+    pub fn add(&self, other: &MpfInterval) -> MpfInterval {
+        MpfInterval {
+            lo: self.lo.add(&other.lo, Rm::Down),
+            hi: self.hi.add(&other.hi, Rm::Up),
+        }
+    }
+
+    /// Outward-rounded subtraction.
+    #[must_use]
+    pub fn sub(&self, other: &MpfInterval) -> MpfInterval {
+        MpfInterval {
+            lo: self.lo.sub(&other.hi, Rm::Down),
+            hi: self.hi.sub(&other.lo, Rm::Up),
+        }
+    }
+
+    /// Negation (exact).
+    #[must_use]
+    pub fn neg(&self) -> MpfInterval {
+        MpfInterval { lo: self.hi.neg(), hi: self.lo.neg() }
+    }
+
+    /// Outward-rounded multiplication (all four endpoint products in both
+    /// directions).
+    #[must_use]
+    pub fn mul(&self, other: &MpfInterval) -> MpfInterval {
+        let cands = [
+            (&self.lo, &other.lo),
+            (&self.lo, &other.hi),
+            (&self.hi, &other.lo),
+            (&self.hi, &other.hi),
+        ];
+        let mut lo = Mpf::INFINITY;
+        let mut hi = Mpf::NEG_INFINITY;
+        let mut any_nan = false;
+        for (a, b) in cands {
+            let d = a.mul(b, Rm::Down);
+            let u = a.mul(b, Rm::Up);
+            if d.is_nan() || u.is_nan() {
+                any_nan = true;
+                continue;
+            }
+            if d.cmp_num(&lo) == Some(Ordering::Less) {
+                lo = d;
+            }
+            if u.cmp_num(&hi) == Some(Ordering::Greater) {
+                hi = u;
+            }
+        }
+        if any_nan {
+            return MpfInterval { lo: Mpf::NAN, hi: Mpf::NAN };
+        }
+        MpfInterval { lo, hi }
+    }
+
+    /// Outward-rounded division. If the divisor interval contains zero the
+    /// result is the entire line `[-∞, +∞]`.
+    #[must_use]
+    pub fn div(&self, other: &MpfInterval) -> MpfInterval {
+        let zero = Mpf::ZERO;
+        let lo_sign = other.lo.cmp_num(&zero);
+        let hi_sign = other.hi.cmp_num(&zero);
+        let straddles = match (lo_sign, hi_sign) {
+            (Some(a), Some(b)) => a != Ordering::Greater && b != Ordering::Less,
+            _ => true, // NaN endpoint: unknown, be maximally conservative
+        };
+        if straddles {
+            return MpfInterval { lo: Mpf::NEG_INFINITY, hi: Mpf::INFINITY };
+        }
+        let cands = [
+            (&self.lo, &other.lo),
+            (&self.lo, &other.hi),
+            (&self.hi, &other.lo),
+            (&self.hi, &other.hi),
+        ];
+        let mut lo = Mpf::INFINITY;
+        let mut hi = Mpf::NEG_INFINITY;
+        for (a, b) in cands {
+            let d = a.div(b, Rm::Down);
+            let u = a.div(b, Rm::Up);
+            if d.is_nan() || u.is_nan() {
+                return MpfInterval { lo: Mpf::NAN, hi: Mpf::NAN };
+            }
+            if d.cmp_num(&lo) == Some(Ordering::Less) {
+                lo = d;
+            }
+            if u.cmp_num(&hi) == Some(Ordering::Greater) {
+                hi = u;
+            }
+        }
+        MpfInterval { lo, hi }
+    }
+
+    /// Outward-rounded square root; a negative lower endpoint yields a NaN
+    /// lower bound, exactly like the paper's `sqrt([-1,1]) = [NaN, 1]`.
+    #[must_use]
+    pub fn sqrt(&self) -> MpfInterval {
+        MpfInterval { lo: self.lo.sqrt(Rm::Down), hi: self.hi.sqrt(Rm::Up) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic_contains_truth() {
+        let x = MpfInterval::from_f64(0.1);
+        let three = MpfInterval::from_f64(3.0);
+        let s = x.mul(&three);
+        // The exact product of the double 0.1 by 3 needs only 55 bits, so
+        // the 256-bit interval is a point containing it exactly.
+        let exact = Mpf::from_f64(0.1).mul(&Mpf::from_f64(3.0), Rm::Nearest);
+        assert!(s.contains(&exact));
+        // The double-rounded f64 product differs from the exact value, so
+        // it must NOT be in this ultra-tight interval (sanity check that
+        // the oracle is tighter than f64):
+        assert!(!s.contains_f64(0.1 * 3.0) || 0.1 * 3.0 == exact.to_f64(Rm::Nearest));
+        let w = s.sub(&s);
+        assert!(w.contains_f64(0.0));
+    }
+
+    #[test]
+    fn division_by_zero_interval_is_entire() {
+        let one = MpfInterval::from_f64(1.0);
+        let z = MpfInterval::from_f64_pair(-1.0, 1.0);
+        let q = one.div(&z);
+        assert!(q.lo().is_infinite() && q.lo().is_sign_negative());
+        assert!(q.hi().is_infinite() && !q.hi().is_sign_negative());
+    }
+
+    #[test]
+    fn sqrt_of_mixed_interval_has_nan_lower() {
+        let m = MpfInterval::from_f64_pair(-1.0, 1.0);
+        let s = m.sqrt();
+        assert!(s.lo().is_nan());
+        assert_eq!(s.hi().to_f64(crate::Rm::Up), 1.0);
+    }
+
+    #[test]
+    fn enclosure_ordering() {
+        let a = MpfInterval::from_f64_pair(1.0, 2.0);
+        let b = MpfInterval::from_f64_pair(0.5, 3.0);
+        assert!(b.encloses(&a));
+        assert!(!a.encloses(&b));
+    }
+}

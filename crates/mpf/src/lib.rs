@@ -1,0 +1,265 @@
+//! `igen-mpf`: an arbitrary-precision (256-bit significand) binary
+//! floating-point type with correct directed rounding, plus an interval
+//! type built on it.
+//!
+//! This crate is the workspace's substitute for **MPFI**, the
+//! multi-precision interval library the IGen paper uses to validate its
+//! interval runtime (Section IV-A). It has no dependencies and is written
+//! for *clarity and correctness*, not speed: it is the oracle every other
+//! crate's soundness is property-tested against.
+//!
+//! # Example
+//!
+//! ```
+//! use igen_mpf::{Mpf, MpfInterval, Rm};
+//!
+//! // Correct directed rounding at 256 bits:
+//! let x = Mpf::from_f64(1.0).div(&Mpf::from_f64(10.0), Rm::Down);
+//! assert!(x.to_f64(Rm::Down) <= 0.1);
+//!
+//! // Oracle interval arithmetic: the enclosure of sqrt(2) squares back
+//! // to an interval containing 2 exactly.
+//! let i = MpfInterval::from_f64(2.0).sqrt();
+//! assert!(i.mul(&i).contains_f64(2.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod float;
+mod interval;
+pub mod limbs;
+
+pub use float::{Mpf, Rm, PREC};
+pub use interval::MpfInterval;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::cmp::Ordering;
+
+    fn rt(x: f64) -> f64 {
+        Mpf::from_f64(x).to_f64(Rm::Nearest)
+    }
+
+    #[test]
+    fn f64_roundtrip_exact() {
+        let cases = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            std::f64::consts::PI,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1),
+            -f64::from_bits(0x000f_ffff_ffff_ffff),
+            1e-300,
+            6.02214076e23,
+        ];
+        for x in cases {
+            let y = rt(x);
+            assert_eq!(y.to_bits(), x.to_bits(), "roundtrip of {x}");
+            for rm in [Rm::Down, Rm::Up, Rm::Zero] {
+                assert_eq!(Mpf::from_f64(x).to_f64(rm).to_bits(), x.to_bits());
+            }
+        }
+        assert!(rt(f64::NAN).is_nan());
+        assert_eq!(rt(f64::INFINITY), f64::INFINITY);
+        assert_eq!(rt(f64::NEG_INFINITY), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn add_matches_f64_when_exact() {
+        let cases = [(1.0, 2.0), (0.5, 0.25), (-3.0, 3.0), (1e10, 1e-10), (0.1, 0.2)];
+        for (a, b) in cases {
+            // At 256 bits the sum of two doubles is always exact, so
+            // rounding the Mpf sum to f64-nearest must equal a + b.
+            let s = Mpf::from_f64(a).add(&Mpf::from_f64(b), Rm::Nearest);
+            assert_eq!(s.to_f64(Rm::Nearest), a + b, "{a} + {b}");
+        }
+    }
+
+    #[test]
+    fn sub_cancellation_is_exact() {
+        let a = Mpf::from_f64(1.0 + f64::EPSILON);
+        let b = Mpf::from_f64(1.0);
+        let d = a.sub(&b, Rm::Nearest);
+        assert_eq!(d.to_f64(Rm::Nearest), f64::EPSILON);
+        // Total cancellation gives signed zero per IEEE.
+        let z = b.sub(&b, Rm::Nearest);
+        assert!(z.is_zero());
+        assert!(!z.is_sign_negative());
+        let zd = b.sub(&b, Rm::Down);
+        assert!(zd.is_zero() && zd.is_sign_negative());
+    }
+
+    #[test]
+    fn mul_matches_f64_exact_products() {
+        let cases = [(3.0, 5.0), (0.5, -8.0), (1.5, 1.5), (1e150, 1e150)];
+        for (a, b) in cases {
+            let p = Mpf::from_f64(a).mul(&Mpf::from_f64(b), Rm::Nearest);
+            assert_eq!(p.to_f64(Rm::Nearest), a * b, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn mul_directed_rounding_brackets() {
+        // 0.1 * 0.1 at 256 bits is inexact (the double 0.1 squared needs
+        // 106 bits — representable! so exact). Use values needing > 256
+        // bits: impossible for two doubles (106 max). So check bracketing
+        // against a third multiplication instead:
+        let x = Mpf::from_f64(0.1);
+        let sq = x.mul(&x, Rm::Nearest); // exact: 106 bits
+        let lo = sq.mul(&sq, Rm::Down); // 212 bits: still exact
+        let hi = sq.mul(&sq, Rm::Up);
+        assert_eq!(lo.cmp_num(&hi), Some(Ordering::Equal));
+        // Force inexactness with a third squaring (424 bits > 256):
+        let lo2 = lo.mul(&lo, Rm::Down);
+        let hi2 = hi.mul(&hi, Rm::Up);
+        assert_eq!(lo2.cmp_num(&hi2), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn div_correctly_rounded_vs_f64() {
+        // For quotients of small integers, the 53-bit rounding of the
+        // 256-bit quotient must match hardware division.
+        for a in 1..50i64 {
+            for b in 1..50i64 {
+                let q = Mpf::from_i64(a).div(&Mpf::from_i64(b), Rm::Nearest);
+                assert_eq!(q.to_f64(Rm::Nearest), a as f64 / b as f64, "{a}/{b}");
+            }
+        }
+        let third = Mpf::from_i64(1).div(&Mpf::from_i64(3), Rm::Down);
+        let third_up = Mpf::from_i64(1).div(&Mpf::from_i64(3), Rm::Up);
+        assert_eq!(third.cmp_num(&third_up), Some(Ordering::Less));
+        // RD(3 * RD(1/3)) < 1 < RU(3 * RU(1/3)).
+        let m = third.mul(&Mpf::from_i64(3), Rm::Down);
+        assert_eq!(m.cmp_num(&Mpf::from_i64(1)), Some(Ordering::Less));
+        let m2 = third_up.mul(&Mpf::from_i64(3), Rm::Up);
+        assert_eq!(m2.cmp_num(&Mpf::from_i64(1)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn div_special_values() {
+        let one = Mpf::from_f64(1.0);
+        assert!(one.div(&Mpf::ZERO, Rm::Nearest).is_infinite());
+        assert!(Mpf::ZERO.div(&Mpf::ZERO, Rm::Nearest).is_nan());
+        assert!(one.div(&Mpf::INFINITY, Rm::Nearest).is_zero());
+        assert!(Mpf::INFINITY.div(&Mpf::INFINITY, Rm::Nearest).is_nan());
+        let m = one.neg().div(&Mpf::ZERO, Rm::Nearest);
+        assert!(m.is_infinite() && m.is_sign_negative());
+    }
+
+    #[test]
+    fn sqrt_exact_squares() {
+        for v in [4.0, 9.0, 16.0, 2.25, 1e10 * 1e10] {
+            let s = Mpf::from_f64(v).sqrt(Rm::Down);
+            let s2 = Mpf::from_f64(v).sqrt(Rm::Up);
+            assert_eq!(s.cmp_num(&s2), Some(Ordering::Equal), "sqrt({v}) exact");
+            assert_eq!(s.to_f64(Rm::Nearest), v.sqrt());
+        }
+    }
+
+    #[test]
+    fn sqrt_directed_brackets() {
+        let lo = Mpf::from_f64(2.0).sqrt(Rm::Down);
+        let hi = Mpf::from_f64(2.0).sqrt(Rm::Up);
+        assert_eq!(lo.cmp_num(&hi), Some(Ordering::Less));
+        let lo2 = lo.mul(&lo, Rm::Nearest);
+        let hi2 = hi.mul(&hi, Rm::Up);
+        assert_eq!(lo2.cmp_num(&Mpf::from_i64(2)), Some(Ordering::Less));
+        assert_eq!(hi2.cmp_num(&Mpf::from_i64(2)), Some(Ordering::Greater));
+        assert!(Mpf::from_f64(-1.0).sqrt(Rm::Nearest).is_nan());
+    }
+
+    #[test]
+    fn to_f64_overflow_and_underflow() {
+        let big = Mpf::from_f64(f64::MAX).mul(&Mpf::from_f64(2.0), Rm::Nearest);
+        assert_eq!(big.to_f64(Rm::Nearest), f64::INFINITY);
+        assert_eq!(big.to_f64(Rm::Down), f64::MAX);
+        assert_eq!(big.neg().to_f64(Rm::Up), -f64::MAX);
+        assert_eq!(big.neg().to_f64(Rm::Nearest), f64::NEG_INFINITY);
+
+        let tiny = Mpf::from_f64(f64::from_bits(1)).div(&Mpf::from_f64(4.0), Rm::Nearest);
+        // 2^-1076: RN -> 0, RU -> minimum subnormal.
+        assert_eq!(tiny.to_f64(Rm::Nearest), 0.0);
+        assert_eq!(tiny.to_f64(Rm::Up), f64::from_bits(1));
+        assert_eq!(tiny.to_f64(Rm::Down), 0.0);
+        assert_eq!(tiny.neg().to_f64(Rm::Down), -f64::from_bits(1));
+        // Exactly half the smallest subnormal: tie -> 0 under RN.
+        let half = Mpf::from_f64(f64::from_bits(1)).div(&Mpf::from_f64(2.0), Rm::Nearest);
+        assert_eq!(half.to_f64(Rm::Nearest), 0.0);
+        // Slightly above the tie rounds up.
+        let above = half.mul(&Mpf::from_f64(1.5), Rm::Nearest);
+        assert_eq!(above.to_f64(Rm::Nearest), f64::from_bits(1));
+    }
+
+    #[test]
+    fn to_f64_subnormal_rounding() {
+        // A value between two subnormals.
+        let a = Mpf::from_f64(f64::from_bits(5));
+        let b = Mpf::from_f64(f64::from_bits(6));
+        let mid = a.add(&b, Rm::Nearest).div(&Mpf::from_i64(2), Rm::Nearest);
+        // Tie between bits 5 and 6: nearest-even -> 6.
+        assert_eq!(mid.to_f64(Rm::Nearest).to_bits(), 6);
+        assert_eq!(mid.to_f64(Rm::Down).to_bits(), 5);
+        assert_eq!(mid.to_f64(Rm::Up).to_bits(), 6);
+    }
+
+    #[test]
+    fn to_f64_nearest_even_ties() {
+        // 1 + 2^-53 is exactly between 1.0 and 1.0+eps: ties to even -> 1.0.
+        let t = Mpf::from_f64(1.0).add(&Mpf::from_f64(f64::EPSILON / 2.0), Rm::Nearest);
+        assert_eq!(t.to_f64(Rm::Nearest), 1.0);
+        assert_eq!(t.to_f64(Rm::Up), 1.0 + f64::EPSILON);
+        assert_eq!(t.to_f64(Rm::Down), 1.0);
+        // 1 + 3*2^-54 rounds up to 1+eps (not a tie).
+        let t2 = Mpf::from_f64(1.0).add(&Mpf::from_f64(3.0 * f64::EPSILON / 4.0), Rm::Nearest);
+        assert_eq!(t2.to_f64(Rm::Nearest), 1.0 + f64::EPSILON);
+    }
+
+    #[test]
+    fn cmp_and_sign_handling() {
+        assert_eq!(
+            Mpf::from_f64(-0.0).cmp_num(&Mpf::from_f64(0.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(Mpf::from_f64(-1.0).cmp_num(&Mpf::from_f64(1.0)), Some(Ordering::Less));
+        assert_eq!(
+            Mpf::NEG_INFINITY.cmp_num(&Mpf::from_f64(-1e308)),
+            Some(Ordering::Less)
+        );
+        assert!(Mpf::NAN.cmp_num(&Mpf::NAN).is_none());
+        assert!(Mpf::from_f64(-3.5).is_sign_negative());
+        assert!(!Mpf::from_f64(-3.5).abs().is_sign_negative());
+    }
+
+    #[test]
+    fn from_dd_recovers_both_parts() {
+        let hi = 1.0;
+        let lo = f64::EPSILON / 8.0;
+        let v = Mpf::from_dd(hi, lo, Rm::Nearest);
+        let back_hi = v.to_f64(Rm::Nearest);
+        assert_eq!(back_hi, hi);
+        let rem = v.sub(&Mpf::from_f64(back_hi), Rm::Nearest);
+        assert_eq!(rem.to_f64(Rm::Nearest), lo);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Mpf::from_f64(1.0)), "0x1.0p0");
+        assert_eq!(format!("{}", Mpf::from_f64(-2.0)), "-0x1.0p1");
+        assert_eq!(format!("{}", Mpf::from_f64(3.0)), "0x1.8p1");
+        assert_eq!(format!("{}", Mpf::NAN), "NaN");
+        assert_eq!(format!("{}", Mpf::NEG_INFINITY), "-inf");
+        assert_eq!(format!("{}", Mpf::ZERO), "0");
+    }
+
+    #[test]
+    fn scale2_is_exact() {
+        let x = Mpf::from_f64(3.0).scale2(-10);
+        assert_eq!(x.to_f64(Rm::Nearest), 3.0 / 1024.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Fixed-width multi-limb integer helpers for the 256-bit significand.
+//!
+//! All values are little-endian arrays of `u64` limbs. These are internal
+//! building blocks of [`crate::Mpf`]; they favour clarity over speed — the
+//! crate is a test oracle, not a production bignum.
+
+/// Number of 64-bit limbs in a significand.
+pub const LIMBS: usize = 4;
+
+/// A 256-bit unsigned significand, little-endian limbs.
+pub type U256 = [u64; LIMBS];
+
+/// A 512-bit product, little-endian limbs.
+pub type U512 = [u64; 2 * LIMBS];
+
+/// The zero significand.
+pub const ZERO: U256 = [0; LIMBS];
+
+/// Compare two significands as unsigned integers.
+pub fn cmp(a: &U256, b: &U256) -> core::cmp::Ordering {
+    for i in (0..LIMBS).rev() {
+        match a[i].cmp(&b[i]) {
+            core::cmp::Ordering::Equal => continue,
+            o => return o,
+        }
+    }
+    core::cmp::Ordering::Equal
+}
+
+/// True if every limb is zero.
+pub fn is_zero(a: &U256) -> bool {
+    a.iter().all(|&l| l == 0)
+}
+
+/// `a + b`, returning the carry out.
+pub fn add(a: &U256, b: &U256) -> (U256, bool) {
+    let mut out = ZERO;
+    let mut carry = false;
+    for i in 0..LIMBS {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(carry as u64);
+        out[i] = s2;
+        carry = c1 || c2;
+    }
+    (out, carry)
+}
+
+/// `a - b`, assuming `a >= b`.
+///
+/// # Panics
+///
+/// Debug-panics on underflow.
+pub fn sub(a: &U256, b: &U256) -> U256 {
+    let mut out = ZERO;
+    let mut borrow = false;
+    for i in 0..LIMBS {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow as u64);
+        out[i] = d2;
+        borrow = b1 || b2;
+    }
+    debug_assert!(!borrow, "limb subtraction underflow");
+    out
+}
+
+/// Add one unit in the last place; returns the carry out.
+pub fn inc(a: &U256) -> (U256, bool) {
+    let one = {
+        let mut o = ZERO;
+        o[0] = 1;
+        o
+    };
+    add(a, &one)
+}
+
+/// Index of the highest set bit (0-based), or `None` if zero.
+pub fn highest_bit(a: &U256) -> Option<u32> {
+    for i in (0..LIMBS).rev() {
+        if a[i] != 0 {
+            return Some(i as u32 * 64 + (63 - a[i].leading_zeros()));
+        }
+    }
+    None
+}
+
+/// Logical left shift by `n < 256` bits (bits shifted out the top are lost;
+/// callers ensure there is headroom).
+pub fn shl(a: &U256, n: u32) -> U256 {
+    if n == 0 {
+        return *a;
+    }
+    let mut out = ZERO;
+    let limb_shift = (n / 64) as usize;
+    let bit_shift = n % 64;
+    for i in (0..LIMBS).rev() {
+        if i < limb_shift {
+            continue;
+        }
+        let src = i - limb_shift;
+        let mut v = a[src] << bit_shift;
+        if bit_shift > 0 && src > 0 {
+            v |= a[src - 1] >> (64 - bit_shift);
+        }
+        out[i] = v;
+    }
+    out
+}
+
+/// Logical right shift by `n` bits, returning `(shifted, sticky)` where
+/// `sticky` is true iff any shifted-out bit was set. `n` may exceed 256.
+pub fn shr_sticky(a: &U256, n: u64) -> (U256, bool) {
+    if n == 0 {
+        return (*a, false);
+    }
+    if n >= 256 {
+        return (ZERO, !is_zero(a));
+    }
+    let n = n as u32;
+    let limb_shift = (n / 64) as usize;
+    let bit_shift = n % 64;
+    let mut sticky = false;
+    for (i, &limb) in a.iter().enumerate().take(limb_shift) {
+        let _ = i;
+        if limb != 0 {
+            sticky = true;
+        }
+    }
+    if bit_shift > 0 && a[limb_shift] << (64 - bit_shift) != 0 {
+        sticky = true;
+    }
+    let mut out = ZERO;
+    for (i, o) in out.iter_mut().enumerate() {
+        let src = i + limb_shift;
+        if src >= LIMBS {
+            break;
+        }
+        let mut v = a[src] >> bit_shift;
+        if bit_shift > 0 && src + 1 < LIMBS {
+            v |= a[src + 1] << (64 - bit_shift);
+        }
+        *o = v;
+    }
+    (out, sticky)
+}
+
+/// Full 256x256 -> 512-bit schoolbook multiplication.
+pub fn mul_wide(a: &U256, b: &U256) -> U512 {
+    let mut out = [0u64; 2 * LIMBS];
+    for i in 0..LIMBS {
+        let mut carry: u128 = 0;
+        for j in 0..LIMBS {
+            let cur = out[i + j] as u128 + (a[i] as u128) * (b[j] as u128) + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        out[i + LIMBS] = carry as u64;
+    }
+    out
+}
+
+/// Index of the highest set bit of a 512-bit value, or `None` if zero.
+pub fn highest_bit_512(a: &U512) -> Option<u32> {
+    for i in (0..2 * LIMBS).rev() {
+        if a[i] != 0 {
+            return Some(i as u32 * 64 + (63 - a[i].leading_zeros()));
+        }
+    }
+    None
+}
+
+/// Right shift of a 512-bit value by `n` bits with sticky collection,
+/// truncated into the low 256 bits of the result (callers ensure the value
+/// fits after shifting).
+pub fn shr_512_to_256_sticky(a: &U512, n: u64) -> (U256, bool) {
+    let mut sticky = false;
+    let mut v = *a;
+    let mut n = n;
+    while n > 0 {
+        let step = n.min(63) as u32;
+        // Collect sticky from the bits about to fall off.
+        if v[0] << (64 - step) != 0 {
+            sticky = true;
+        }
+        let mut out = [0u64; 2 * LIMBS];
+        for i in 0..2 * LIMBS {
+            let mut x = v[i] >> step;
+            if i + 1 < 2 * LIMBS {
+                x |= v[i + 1] << (64 - step);
+            }
+            out[i] = x;
+        }
+        v = out;
+        n -= step as u64;
+    }
+    debug_assert!(v[LIMBS..].iter().all(|&l| l == 0), "512->256 truncation loss");
+    let mut out = ZERO;
+    out.copy_from_slice(&v[..LIMBS]);
+    (out, sticky)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        let mut x = ZERO;
+        x[0] = v;
+        x
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = [u64::MAX, 1, 2, 3];
+        let b = [5, u64::MAX, 0, 1];
+        let (s, c) = add(&a, &b);
+        assert!(!c);
+        assert_eq!(sub(&s, &b), a);
+        assert_eq!(sub(&s, &a), b);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = [u64::MAX, u64::MAX, u64::MAX, 0];
+        let (s, c) = add(&a, &u(1));
+        assert!(!c);
+        assert_eq!(s, [0, 0, 0, 1]);
+        let top = [0, 0, 0, u64::MAX];
+        let (_, c) = add(&top, &top);
+        assert!(c);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = [0b1011, 0, 0, 0];
+        assert_eq!(shl(&a, 2), [0b101100, 0, 0, 0]);
+        assert_eq!(shl(&a, 64), [0, 0b1011, 0, 0]);
+        let (r, s) = shr_sticky(&[0b1011, 0, 0, 0], 1);
+        assert_eq!(r, [0b101, 0, 0, 0]);
+        assert!(s);
+        let (r, s) = shr_sticky(&[0b1010, 0, 0, 0], 1);
+        assert_eq!(r, [0b101, 0, 0, 0]);
+        assert!(!s);
+        let (r, s) = shr_sticky(&[1, 0, 0, 1 << 63], 300);
+        assert_eq!(r, ZERO);
+        assert!(s);
+        let (r, s) = shr_sticky(&[0, 0, 0, 1 << 63], 255);
+        assert_eq!(r, [1, 0, 0, 0]);
+        assert!(!s);
+    }
+
+    #[test]
+    fn mul_wide_small() {
+        let p = mul_wide(&u(3), &u(5));
+        assert_eq!(p[0], 15);
+        assert!(p[1..].iter().all(|&l| l == 0));
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let p = mul_wide(&u(u64::MAX), &u(u64::MAX));
+        assert_eq!(p[0], 1);
+        assert_eq!(p[1], u64::MAX - 1);
+    }
+
+    #[test]
+    fn highest_bits() {
+        assert_eq!(highest_bit(&ZERO), None);
+        assert_eq!(highest_bit(&u(1)), Some(0));
+        assert_eq!(highest_bit(&[0, 0, 0, 1 << 63]), Some(255));
+        assert_eq!(highest_bit_512(&mul_wide(&[0, 0, 0, 1 << 63], &[0, 0, 0, 1 << 63])), Some(510));
+    }
+
+    #[test]
+    fn shr_512_collects_sticky() {
+        let mut a = [0u64; 8];
+        a[0] = 1;
+        a[7] = 1 << 62;
+        let (r, s) = shr_512_to_256_sticky(&a, 255);
+        assert!(s);
+        assert_eq!(r[3], 1 << 63);
+    }
+}

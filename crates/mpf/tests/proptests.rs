@@ -1,0 +1,100 @@
+//! Property tests of the 256-bit oracle itself against binary64 hardware
+//! arithmetic: at 53-bit granularity the oracle must agree bit-for-bit
+//! with the machine (RN), and its directed conversions must bracket.
+
+use igen_mpf::{Mpf, Rm};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        5 => -1e15f64..1e15,
+        3 => any::<f64>().prop_filter("finite", |x| x.is_finite()),
+        1 => prop_oneof![
+            Just(0.0),
+            Just(-0.0),
+            Just(f64::MIN_POSITIVE),
+            Just(f64::from_bits(1)),
+            Just(f64::MAX),
+            Just(-f64::MAX),
+        ],
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1500))]
+
+    #[test]
+    fn roundtrip_is_exact(x in finite()) {
+        for rm in [Rm::Nearest, Rm::Up, Rm::Down, Rm::Zero] {
+            prop_assert_eq!(Mpf::from_f64(x).to_f64(rm).to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn add_matches_hardware_rn(a in -1e18f64..1e18, b in -1e18f64..1e18) {
+        // Exponents here span < 190 binades, so the 256-bit sum is exact
+        // and its nearest-53 rounding must equal the hardware sum.
+        let s = Mpf::from_f64(a).add(&Mpf::from_f64(b), Rm::Nearest);
+        prop_assert_eq!(s.to_f64(Rm::Nearest).to_bits(), (a + b).to_bits(),
+            "{} + {}", a, b);
+    }
+
+    #[test]
+    fn mul_matches_hardware_rn(a in finite(), b in finite()) {
+        // Products of doubles are exact at 256 bits, so nearest-53 of the
+        // oracle product is the hardware product.
+        let p = Mpf::from_f64(a).mul(&Mpf::from_f64(b), Rm::Nearest);
+        prop_assert_eq!(p.to_f64(Rm::Nearest).to_bits(), (a * b).to_bits(),
+            "{} * {}", a, b);
+    }
+
+    #[test]
+    fn div_brackets_hardware(a in finite(), b in finite()) {
+        prop_assume!(b != 0.0);
+        let lo = Mpf::from_f64(a).div(&Mpf::from_f64(b), Rm::Down).to_f64(Rm::Down);
+        let hi = Mpf::from_f64(a).div(&Mpf::from_f64(b), Rm::Up).to_f64(Rm::Up);
+        let q = a / b;
+        if q.is_finite() {
+            prop_assert!(lo <= q && q <= hi, "{a}/{b}: [{lo}, {hi}] vs {q}");
+        }
+    }
+
+    #[test]
+    fn directed_conversions_bracket_nearest(a in finite(), b in finite()) {
+        let v = Mpf::from_f64(a).add(&Mpf::from_f64(b), Rm::Nearest);
+        let (dn, rn, up) = (v.to_f64(Rm::Down), v.to_f64(Rm::Nearest), v.to_f64(Rm::Up));
+        if dn.is_finite() && up.is_finite() {
+            prop_assert!(dn <= rn && rn <= up);
+            prop_assert!(igen_round::ulps_between(dn, up) <= 1);
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back(x in 0.0f64..1e300) {
+        let lo = Mpf::from_f64(x).sqrt(Rm::Down);
+        let hi = Mpf::from_f64(x).sqrt(Rm::Up);
+        let lo2 = lo.mul(&lo, Rm::Down);
+        let hi2 = hi.mul(&hi, Rm::Up);
+        let xm = Mpf::from_f64(x);
+        use core::cmp::Ordering::*;
+        prop_assert!(lo2.cmp_num(&xm) != Some(Greater));
+        prop_assert!(hi2.cmp_num(&xm) != Some(Less));
+    }
+
+    #[test]
+    fn scale2_matches_ldexp_semantics(x in -1e10f64..1e10, k in -60i64..60) {
+        prop_assume!(x != 0.0);
+        let v = Mpf::from_f64(x).scale2(k).to_f64(Rm::Nearest);
+        let expect = x * 2f64.powi(k as i32);
+        if expect.is_finite() && expect != 0.0 {
+            prop_assert_eq!(v.to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn comparison_total_on_non_nan(a in finite(), b in finite()) {
+        let (ma, mb) = (Mpf::from_f64(a), Mpf::from_f64(b));
+        let want = a.partial_cmp(&b);
+        prop_assert_eq!(ma.cmp_num(&mb), want);
+    }
+}

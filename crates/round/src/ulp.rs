@@ -1,0 +1,208 @@
+//! Ulp- and neighbour-level manipulation of binary64 values.
+
+/// Returns the smallest binary64 value strictly greater than `x`.
+///
+/// Follows the IEEE-754 `nextUp` semantics:
+/// * `next_up(-0.0) == next_up(0.0)` is the smallest positive subnormal,
+/// * `next_up(f64::MAX)` is `+∞`,
+/// * `next_up(+∞) == +∞`,
+/// * `next_up(-∞) == f64::MIN` (the most negative finite value),
+/// * NaN propagates.
+///
+/// # Example
+///
+/// ```
+/// use igen_round::next_up;
+/// assert_eq!(next_up(1.0), 1.0 + f64::EPSILON);
+/// assert_eq!(next_up(f64::MAX), f64::INFINITY);
+/// ```
+#[inline]
+pub fn next_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return f64::from_bits(1); // smallest positive subnormal
+    }
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f64::from_bits(bits + 1)
+    } else {
+        f64::from_bits(bits - 1)
+    }
+}
+
+/// Returns the largest binary64 value strictly less than `x`.
+///
+/// Mirror image of [`next_up`]; see there for the boundary semantics.
+///
+/// # Example
+///
+/// ```
+/// use igen_round::next_down;
+/// assert_eq!(next_down(f64::MIN_POSITIVE), next_down(f64::MIN_POSITIVE));
+/// assert_eq!(next_down(f64::INFINITY), f64::MAX);
+/// ```
+#[inline]
+pub fn next_down(x: f64) -> f64 {
+    -next_up(-x)
+}
+
+/// The unit in the last place of `x`: the gap between the two finite
+/// binary64 values adjacent to `x`.
+///
+/// For finite `x` this is `next_up(|x|) - |x|` except at exact powers of two
+/// and at `f64::MAX`, where the *smaller* of the two neighbouring gaps is
+/// returned, matching the usual Goldberg definition used by the paper when
+/// enclosing decimal constants. `ulp(0.0)` is the subnormal quantum
+/// 2^-1074. For `±∞` and NaN, NaN is returned.
+#[inline]
+pub fn ulp(x: f64) -> f64 {
+    if !x.is_finite() {
+        return f64::NAN;
+    }
+    let ax = x.abs();
+    if ax == 0.0 {
+        return f64::from_bits(1);
+    }
+    let down = ax - next_down(ax);
+    if down > 0.0 && down.is_finite() {
+        down
+    } else {
+        next_up(ax) - ax
+    }
+}
+
+/// The unbiased binary exponent of `x`, i.e. `e` such that
+/// `2^e <= |x| < 2^(e+1)` for normal values.
+///
+/// Subnormals report their effective exponent (below -1022); `exponent(0.0)`
+/// returns `i32::MIN` as a sentinel.
+///
+/// # Example
+///
+/// ```
+/// use igen_round::exponent;
+/// assert_eq!(exponent(1.0), 0);
+/// assert_eq!(exponent(0.75), -1);
+/// assert_eq!(exponent(4096.0), 12);
+/// ```
+#[inline]
+pub fn exponent(x: f64) -> i32 {
+    let ax = x.abs();
+    if ax == 0.0 {
+        return i32::MIN;
+    }
+    if !ax.is_finite() {
+        return i32::MAX;
+    }
+    let bits = ax.to_bits();
+    let raw = (bits >> 52) as i32;
+    if raw == 0 {
+        // Subnormal: effective exponent derived from the leading bit of the
+        // 52-bit significand field.
+        let lead = 63 - (bits.leading_zeros() as i32);
+        -1074 + lead
+    } else {
+        raw - 1023
+    }
+}
+
+/// Number of binary64 values strictly between `a` and `b` plus one, i.e. the
+/// distance in "ulp steps" from `a` to `b` (`a <= b` expected).
+///
+/// This is the quantity the paper uses to *measure accuracy*: the loss of
+/// accuracy of an interval is `log2` of the number of double values it
+/// contains. Both endpoints must be finite; the count saturates at
+/// `u64::MAX`.
+///
+/// # Panics
+///
+/// Panics if either bound is NaN or if `a > b`.
+///
+/// # Example
+///
+/// ```
+/// use igen_round::ulps_between;
+/// assert_eq!(ulps_between(1.0, 1.0), 0);
+/// assert_eq!(ulps_between(1.0, 1.0 + f64::EPSILON), 1);
+/// assert_eq!(ulps_between(-0.0, 0.0), 0);
+/// ```
+pub fn ulps_between(a: f64, b: f64) -> u64 {
+    assert!(!a.is_nan() && !b.is_nan(), "ulps_between: NaN bound");
+    assert!(a <= b, "ulps_between: a > b");
+    // Map to a monotone signed-integer encoding of the float order
+    // (negative floats map to negated magnitudes, ±0.0 both map to 0).
+    fn okey(x: f64) -> i64 {
+        let bits = x.to_bits();
+        if bits >> 63 == 0 {
+            bits as i64
+        } else {
+            -((bits & 0x7fff_ffff_ffff_ffff) as i64)
+        }
+    }
+    let (ka, kb) = (okey(a) as i128, okey(b) as i128);
+    u64::try_from(kb - ka).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_up_basics() {
+        assert_eq!(next_up(0.0), f64::from_bits(1));
+        assert_eq!(next_up(-0.0), f64::from_bits(1));
+        assert_eq!(next_up(f64::MAX), f64::INFINITY);
+        assert_eq!(next_up(f64::NEG_INFINITY), f64::MIN);
+        assert_eq!(next_up(f64::INFINITY), f64::INFINITY);
+        assert!(next_up(f64::NAN).is_nan());
+        assert_eq!(next_up(1.0), 1.0 + f64::EPSILON);
+        assert_eq!(next_up(-f64::from_bits(1)), -0.0);
+        assert!(next_up(-f64::from_bits(1)).is_sign_negative());
+    }
+
+    #[test]
+    fn next_down_basics() {
+        assert_eq!(next_down(0.0), -f64::from_bits(1));
+        assert_eq!(next_down(f64::MIN), f64::NEG_INFINITY);
+        assert_eq!(next_down(f64::INFINITY), f64::MAX);
+        assert_eq!(next_down(1.0), 1.0 - f64::EPSILON / 2.0);
+        assert!(next_down(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn next_up_down_inverse() {
+        for &x in &[1.0, -1.0, 0.5, 1e300, -1e-300, std::f64::consts::PI, f64::MIN_POSITIVE] {
+            assert_eq!(next_down(next_up(x)), x, "x = {x}");
+            assert_eq!(next_up(next_down(x)), x, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn ulp_powers_of_two_take_smaller_gap() {
+        // At 1.0 the gap below is eps/2, the gap above is eps.
+        assert_eq!(ulp(1.0), f64::EPSILON / 2.0);
+        assert_eq!(ulp(1.5), f64::EPSILON);
+        assert_eq!(ulp(0.0), f64::from_bits(1));
+        assert_eq!(ulp(-2.0), ulp(2.0));
+        assert!(ulp(f64::INFINITY).is_nan());
+    }
+
+    #[test]
+    fn exponent_basics() {
+        assert_eq!(exponent(1.0), 0);
+        assert_eq!(exponent(2.0), 1);
+        assert_eq!(exponent(-3.0), 1);
+        assert_eq!(exponent(0.5), -1);
+        assert_eq!(exponent(f64::MIN_POSITIVE), -1022);
+        assert_eq!(exponent(f64::from_bits(1)), -1074);
+        assert_eq!(exponent(0.0), i32::MIN);
+    }
+
+    #[test]
+    fn ulps_between_spans_zero() {
+        assert_eq!(ulps_between(-f64::from_bits(1), f64::from_bits(1)), 2);
+        assert_eq!(ulps_between(1.0, 2.0), 1u64 << 52);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests: the EFT-based software directed rounding must be
+//! bit-identical to the 256-bit oracle's correctly rounded results
+//! (outside the documented deep-subnormal fallback ranges, where it must
+//! still be a sound bound within one quantum).
+
+use igen_mpf::{Mpf, Rm};
+use igen_round as r;
+use proptest::prelude::*;
+
+/// Strategy over "interesting" doubles: mixes uniform bit patterns (which
+/// are heavily biased to extreme exponents) with everyday-magnitude values.
+fn any_double() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        4 => any::<f64>().prop_filter("finite", |x| x.is_finite()),
+        4 => (-1e6f64..1e6).prop_map(|x| x),
+        1 => prop_oneof![
+            Just(0.0),
+            Just(-0.0),
+            Just(f64::MIN_POSITIVE),
+            Just(-f64::MIN_POSITIVE),
+            Just(f64::from_bits(1)),
+            Just(f64::MAX),
+            Just(-f64::MAX),
+            Just(1.0),
+            Just(-1.0),
+        ],
+    ]
+}
+
+/// Check a software-rounded result against the oracle.
+///
+/// `exact_beyond`: magnitude above which the kernel promises bit-exactness;
+/// below it, a one-quantum slack in the safe direction is allowed.
+fn check_dir(
+    tag: &str,
+    got: f64,
+    oracle: Mpf,
+    up: bool,
+    exact: bool,
+) -> Result<(), TestCaseError> {
+    let want = oracle.to_f64(if up { Rm::Up } else { Rm::Down });
+    if got.is_nan() || want.is_nan() {
+        prop_assert!(got.is_nan() && want.is_nan(), "{tag}: NaN mismatch {got} vs {want}");
+        return Ok(());
+    }
+    if exact {
+        prop_assert!(
+            got == want && got.is_sign_negative() == want.is_sign_negative(),
+            "{tag}: got {got:e} ({:#x}) want {want:e} ({:#x})",
+            got.to_bits(),
+            want.to_bits()
+        );
+    } else if up {
+        // Sound and at most one quantum wide of the true RU.
+        prop_assert!(got >= want, "{tag}: unsound upward {got:e} < {want:e}");
+        prop_assert!(got <= r::next_up(want), "{tag}: too loose {got:e} vs {want:e}");
+    } else {
+        prop_assert!(got <= want, "{tag}: unsound downward {got:e} > {want:e}");
+        prop_assert!(got >= r::next_down(want), "{tag}: too loose {got:e} vs {want:e}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn add_matches_oracle(a in any_double(), b in any_double()) {
+        // Directed rounding composes across nested precisions, so rounding
+        // the 256-bit directed sum to f64 in the same direction gives the
+        // true RU/RD (256-bit Nearest would NOT be safe: the exact sum of
+        // two doubles can need ~2100 bits).
+        let o_up = Mpf::from_f64(a).add(&Mpf::from_f64(b), Rm::Up);
+        let o_dn = Mpf::from_f64(a).add(&Mpf::from_f64(b), Rm::Down);
+        check_dir("add_ru", r::add_ru(a, b), o_up, true, true)?;
+        check_dir("add_rd", r::add_rd(a, b), o_dn, false, true)?;
+    }
+
+    #[test]
+    fn sub_matches_oracle(a in any_double(), b in any_double()) {
+        let o_up = Mpf::from_f64(a).sub(&Mpf::from_f64(b), Rm::Up);
+        let o_dn = Mpf::from_f64(a).sub(&Mpf::from_f64(b), Rm::Down);
+        check_dir("sub_ru", r::sub_ru(a, b), o_up, true, true)?;
+        check_dir("sub_rd", r::sub_rd(a, b), o_dn, false, true)?;
+    }
+
+    #[test]
+    fn mul_matches_oracle(a in any_double(), b in any_double()) {
+        let o = Mpf::from_f64(a).mul(&Mpf::from_f64(b), Rm::Nearest); // exact: 106 bits
+        check_dir("mul_ru", r::mul_ru(a, b), o, true, true)?;
+        check_dir("mul_rd", r::mul_rd(a, b), o, false, true)?;
+    }
+
+    #[test]
+    fn div_matches_oracle(a in any_double(), b in any_double()) {
+        prop_assume!(b != 0.0);
+        let q = a / b;
+        let exact = q.abs() >= f64::MIN_POSITIVE && a.abs() >= 1e-270 || q == 0.0 && a == 0.0;
+        let o_up = Mpf::from_f64(a).div(&Mpf::from_f64(b), Rm::Up);
+        let o_dn = Mpf::from_f64(a).div(&Mpf::from_f64(b), Rm::Down);
+        check_dir("div_ru", r::div_ru(a, b), o_up, true, exact)?;
+        check_dir("div_rd", r::div_rd(a, b), o_dn, false, exact)?;
+    }
+
+    #[test]
+    fn sqrt_matches_oracle(raw in any_double()) {
+        let a = raw.abs();
+        let exact = a >= 1e-290;
+        let o_up = Mpf::from_f64(a).sqrt(Rm::Up);
+        let o_dn = Mpf::from_f64(a).sqrt(Rm::Down);
+        check_dir("sqrt_ru", r::sqrt_ru(a), o_up, true, exact)?;
+        check_dir("sqrt_rd", r::sqrt_rd(a), o_dn, false, exact)?;
+    }
+
+    #[test]
+    fn fma_is_sound_vs_oracle(a in any_double(), b in any_double(), c in any_double()) {
+        // fma kernels promise soundness with at most one quantum of slack.
+        let o = Mpf::from_f64(a)
+            .mul(&Mpf::from_f64(b), Rm::Nearest)
+            .add(&Mpf::from_f64(c), Rm::Nearest); // exact at 256 bits (106+53)
+        check_dir("fma_ru", r::fma_ru(a, b, c), o, true, false)?;
+        check_dir("fma_rd", r::fma_rd(a, b, c), o, false, false)?;
+    }
+
+    #[test]
+    fn dd_generic_trait_dispatch(a in any_double(), b in any_double()) {
+        use igen_round::{Rounded, Rn, Ru, Rd};
+        prop_assert_eq!(Rn::add(a, b).to_bits(), (a + b).to_bits());
+        prop_assert_eq!(Ru::add(a, b).to_bits(), r::add_ru(a, b).to_bits());
+        prop_assert_eq!(Rd::mul(a, b).to_bits(), r::mul_rd(a, b).to_bits());
+    }
+}
+
+#[test]
+fn ulps_between_matches_oracle_width_idea() {
+    // ulps_between is the paper's accuracy metric denominator; sanity-check
+    // a few spans against direct stepping.
+    let mut x = 1.0f64;
+    for steps in 0..100u64 {
+        assert_eq!(r::ulps_between(1.0, x), steps);
+        x = r::next_up(x);
+    }
+}

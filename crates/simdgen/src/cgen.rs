@@ -1,0 +1,1009 @@
+//! C code generation from intrinsic specifications (Fig. 4 "Code
+//! generator", Fig. 5 example output).
+//!
+//! For each SIMD vector type a union wrapper (`vec256d` …) exposes the
+//! vector as arrays of floats and integers; bit-range accesses are lowered
+//! to element accesses after the symbolic width analysis, exactly as
+//! Section V describes. The output is a `igen-cfront` AST, so it can be
+//! printed as C *and* fed straight into the IGen compiler to produce the
+//! interval version of each intrinsic.
+
+use crate::pseudo::{self, linearize, Lin, PExpr, PLval, PStmt, PseudoError, RangeBase};
+use crate::spec::IntrinsicSpec;
+use igen_cfront::{BinOp, Expr, Function, Item, Param, Stmt, TranslationUnit, Type, Typedef, UnOp, VarDecl};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Code-generation failure for one intrinsic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenError {
+    /// The intrinsic uses a construct outside the supported subset
+    /// (Section V "Limitations"), e.g. an undefined pseudo-function.
+    Unsupported {
+        /// Intrinsic name.
+        intrinsic: String,
+        /// What was not supported.
+        reason: String,
+    },
+    /// The operation body did not parse.
+    Pseudo(PseudoError),
+}
+
+impl core::fmt::Display for GenError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GenError::Unsupported { intrinsic, reason } => {
+                write!(f, "unsupported intrinsic {intrinsic}: {reason}")
+            }
+            GenError::Pseudo(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+impl From<PseudoError> for GenError {
+    fn from(e: PseudoError) -> GenError {
+        GenError::Pseudo(e)
+    }
+}
+
+/// Element kind of a vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Elem {
+    /// 64-bit double lanes (`_pd`).
+    F64,
+    /// 32-bit float lanes (`_ps`).
+    F32,
+}
+
+impl Elem {
+    fn bits(self) -> i64 {
+        match self {
+            Elem::F64 => 64,
+            Elem::F32 => 32,
+        }
+    }
+}
+
+/// `(total bits, element kind)` of a vector C type, if it is one.
+pub fn vec_kind(ty: &str) -> Option<(i64, Elem)> {
+    match ty.trim() {
+        "__m128d" => Some((128, Elem::F64)),
+        "__m256d" => Some((256, Elem::F64)),
+        "__m128" => Some((128, Elem::F32)),
+        "__m256" => Some((256, Elem::F32)),
+        _ => None,
+    }
+}
+
+/// Union wrapper type name for a vector kind (`vec256d` in Fig. 5).
+pub fn union_name(bits: i64, elem: Elem) -> String {
+    match elem {
+        Elem::F64 => format!("vec{bits}d"),
+        Elem::F32 => format!("vec{bits}"),
+    }
+}
+
+/// The union typedef for a vector kind (lines 1–5 of Fig. 5).
+pub fn union_typedef(bits: i64, elem: Elem) -> Typedef {
+    let lanes = (bits / elem.bits()) as usize;
+    let (fty, ity, vty) = match elem {
+        Elem::F64 => (Type::Double, Type::ULong, format!("__m{bits}d")),
+        Elem::F32 => (Type::Float, Type::UInt, format!("__m{bits}")),
+    };
+    Typedef::Union {
+        name: union_name(bits, elem),
+        fields: vec![
+            (Type::Named(vty), "v".to_string()),
+            (Type::Array(Box::new(ity), Some(lanes)), "i".to_string()),
+            (Type::Array(Box::new(fty), Some(lanes)), "f".to_string()),
+        ],
+    }
+}
+
+/// Generates the C implementation `_c<name>` of one intrinsic.
+///
+/// # Errors
+///
+/// [`GenError::Unsupported`] for constructs outside the subset (bit-level
+/// writes, undefined pseudo-functions, integer intrinsics, …).
+pub fn generate_c(spec: &IntrinsicSpec) -> Result<Function, GenError> {
+    Gen::new(spec)?.run()
+}
+
+/// Generates a full translation unit: required union typedefs followed by
+/// the C implementations of all convertible specs; failures are returned
+/// alongside (the paper reports the same: some intrinsics need manual
+/// treatment).
+pub fn generate_unit(specs: &[IntrinsicSpec]) -> (TranslationUnit, Vec<(String, GenError)>) {
+    let mut funcs = Vec::new();
+    let mut errors = Vec::new();
+    let mut kinds: BTreeSet<(i64, bool)> = BTreeSet::new();
+    for spec in specs {
+        match generate_c(spec) {
+            Ok(f) => {
+                for p in spec
+                    .params
+                    .iter()
+                    .map(|p| p.ty.as_str())
+                    .chain(std::iter::once(spec.rettype.as_str()))
+                {
+                    if let Some((bits, elem)) = vec_kind(p) {
+                        kinds.insert((bits, elem == Elem::F64));
+                    }
+                }
+                funcs.push(Item::Function(f));
+            }
+            Err(e) => errors.push((spec.name.clone(), e)),
+        }
+    }
+    let mut items: Vec<Item> = kinds
+        .into_iter()
+        .map(|(bits, is_f64)| {
+            Item::Typedef(union_typedef(bits, if is_f64 { Elem::F64 } else { Elem::F32 }))
+        })
+        .collect();
+    items.extend(funcs);
+    (TranslationUnit { items }, errors)
+}
+
+/// Per-assignment value domain, inferred from the operators used
+/// (bitwise logic works on the integer view, arithmetic on the float
+/// view — Section V: "the integer array is useful when … performing
+/// bit-wise operations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Domain {
+    Float,
+    Intish,
+}
+
+struct Gen<'a> {
+    spec: &'a IntrinsicSpec,
+    stmts: Vec<PStmt>,
+    /// Vector operands (params + dst): name → (bits, elem).
+    vecs: BTreeMap<String, (i64, Elem)>,
+    /// Pointer params: name → element kind.
+    ptrs: BTreeMap<String, Elem>,
+    /// Integer scalar params.
+    int_params: BTreeSet<String>,
+    /// Float scalar params (e.g. `double a` of `set1`).
+    f64_params: BTreeSet<String>,
+    /// Discovered int locals (loop vars, index temps).
+    int_locals: BTreeSet<String>,
+    /// Discovered scalar double locals (`tmp[63:0]` style).
+    f64_locals: BTreeSet<String>,
+    /// Fresh-name counter for generated loop variables.
+    fresh: u32,
+    /// `MAX` substitution (dst top bit).
+    max_bit: i64,
+    dst: Option<(i64, Elem)>,
+}
+
+impl<'a> Gen<'a> {
+    fn new(spec: &'a IntrinsicSpec) -> Result<Gen<'a>, GenError> {
+        let stmts = pseudo::parse_operation(&spec.operation)?;
+        let mut g = Gen {
+            spec,
+            stmts,
+            vecs: BTreeMap::new(),
+            ptrs: BTreeMap::new(),
+            int_params: BTreeSet::new(),
+            f64_params: BTreeSet::new(),
+            int_locals: BTreeSet::new(),
+            f64_locals: BTreeSet::new(),
+            fresh: 0,
+            max_bit: 255,
+            dst: None,
+        };
+        let dst = vec_kind(&spec.rettype);
+        if spec.rettype != "void" && dst.is_none() {
+            return Err(g.unsupported("non-vector return type"));
+        }
+        g.dst = dst;
+        if let Some((bits, elem)) = dst {
+            g.max_bit = bits - 1;
+            g.vecs.insert("dst".to_string(), (bits, elem));
+        }
+        for p in &spec.params {
+            if let Some(k) = vec_kind(&p.ty) {
+                g.vecs.insert(p.name.clone(), k);
+            } else if p.ty.contains('*') {
+                let elem = if p.ty.contains("double") {
+                    Elem::F64
+                } else if p.ty.contains("float") {
+                    Elem::F32
+                } else {
+                    return Err(g.unsupported(format!("pointer type {}", p.ty)));
+                };
+                g.ptrs.insert(p.name.clone(), elem);
+            } else if p.ty.contains("int") {
+                g.int_params.insert(p.name.clone());
+            } else if p.ty.trim() == "double" || p.ty.trim() == "float" {
+                g.f64_params.insert(p.name.clone());
+            } else {
+                return Err(g.unsupported(format!("parameter type {}", p.ty)));
+            }
+        }
+        Ok(g)
+    }
+
+    fn unsupported(&self, reason: impl Into<String>) -> GenError {
+        GenError::Unsupported { intrinsic: self.spec.name.clone(), reason: reason.into() }
+    }
+
+    fn run(mut self) -> Result<Function, GenError> {
+        let body_stmts = self.stmts.clone();
+        let mut out = Vec::new();
+        for s in &body_stmts {
+            self.stmt(s, &mut out)?;
+        }
+        // Prologue: union locals for vector params and dst, loads of the
+        // raw arguments (lines 8–9 of Fig. 5), declarations of scalar
+        // locals.
+        let mut prologue: Vec<Stmt> = Vec::new();
+        for (name, (bits, elem)) in &self.vecs {
+            prologue.push(Stmt::Decl(VarDecl {
+                ty: Type::Named(union_name(*bits, *elem)),
+                name: name.clone(),
+                init: None,
+            }));
+        }
+        for (name, _) in self.vecs.iter().filter(|(n, _)| n.as_str() != "dst") {
+            prologue.push(Stmt::Expr(Expr::Assign {
+                op: igen_cfront::AssignOp::Assign,
+                lhs: Box::new(Expr::Member {
+                    base: Box::new(Expr::ident(name)),
+                    field: "v".into(),
+                    arrow: false,
+                }),
+                rhs: Box::new(Expr::ident(&format!("_{name}"))),
+                loc: Default::default(),
+            }));
+        }
+        for v in &self.int_locals {
+            prologue.push(Stmt::Decl(VarDecl { ty: Type::Int, name: v.clone(), init: None }));
+        }
+        for v in &self.f64_locals {
+            prologue.push(Stmt::Decl(VarDecl { ty: Type::Double, name: v.clone(), init: None }));
+        }
+        prologue.extend(out);
+        if self.dst.is_some() {
+            prologue.push(Stmt::Return(Some(Expr::Member {
+                base: Box::new(Expr::ident("dst")),
+                field: "v".into(),
+                arrow: false,
+            })));
+        }
+        // Signature.
+        let params = self
+            .spec
+            .params
+            .iter()
+            .map(|p| {
+                let (ty, name) = if vec_kind(&p.ty).is_some() {
+                    (Type::Named(p.ty.clone()), format!("_{}", p.name))
+                } else if p.ty.contains('*') {
+                    let base = if p.ty.contains("double") { Type::Double } else { Type::Float };
+                    (Type::Ptr(Box::new(base)), p.name.clone())
+                } else if p.ty.contains("int") {
+                    (Type::Int, p.name.clone())
+                } else if p.ty.trim() == "float" {
+                    (Type::Float, p.name.clone())
+                } else {
+                    (Type::Double, p.name.clone())
+                };
+                Param { ty, name, tol: None }
+            })
+            .collect();
+        let ret = match self.dst {
+            Some(_) => Type::Named(self.spec.rettype.clone()),
+            None => Type::Void,
+        };
+        Ok(Function {
+            ret,
+            name: format!("_c{}", self.spec.name),
+            params,
+            body: Some(prologue),
+        })
+    }
+
+    fn fresh_var(&mut self) -> String {
+        self.fresh += 1;
+        let name = format!("_k{}", self.fresh);
+        name
+    }
+
+    fn stmt(&mut self, s: &PStmt, out: &mut Vec<Stmt>) -> Result<(), GenError> {
+        match s {
+            PStmt::For { var, from, to, body } => {
+                self.int_locals.insert(var.clone());
+                let mut inner = Vec::new();
+                for b in body {
+                    self.stmt(b, &mut inner)?;
+                }
+                out.push(Stmt::For {
+                    init: Some(Box::new(Stmt::Expr(Expr::Assign {
+                        op: igen_cfront::AssignOp::Assign,
+                        lhs: Box::new(Expr::ident(var)),
+                        rhs: Box::new(self.int_expr(from)?),
+                        loc: Default::default(),
+                    }))),
+                    cond: Some(Expr::Binary {
+                        op: BinOp::Le,
+                        lhs: Box::new(Expr::ident(var)),
+                        rhs: Box::new(self.int_expr(to)?),
+                        loc: Default::default(),
+                    }),
+                    step: Some(Expr::Unary(UnOp::PreInc, Box::new(Expr::ident(var)))),
+                    body: Box::new(Stmt::Block(inner)),
+                });
+                Ok(())
+            }
+            PStmt::If { cond, then_body, else_body } => {
+                let c = self.cond_expr(cond)?;
+                let mut tb = Vec::new();
+                for b in then_body {
+                    self.stmt(b, &mut tb)?;
+                }
+                let mut eb = Vec::new();
+                for b in else_body {
+                    self.stmt(b, &mut eb)?;
+                }
+                out.push(Stmt::If {
+                    cond: c,
+                    then_branch: Box::new(Stmt::Block(tb)),
+                    else_branch: if eb.is_empty() { None } else { Some(Box::new(Stmt::Block(eb))) },
+                });
+                Ok(())
+            }
+            PStmt::Assign { lhs, rhs } => self.assign(lhs, rhs, out),
+        }
+    }
+
+    fn assign(&mut self, lhs: &PLval, rhs: &PExpr, out: &mut Vec<Stmt>) -> Result<(), GenError> {
+        match lhs {
+            PLval::Var(v) => {
+                // Scalar integer temp (e.g. `i := j*64`).
+                self.int_locals.insert(v.clone());
+                let rhs = self.int_expr(rhs)?;
+                out.push(assign_stmt(Expr::ident(v), rhs));
+                Ok(())
+            }
+            PLval::Range { base, hi, lo } => {
+                let Some(lo) = lo else {
+                    return Err(self.unsupported("single-bit write"));
+                };
+                let hi_l = self
+                    .lin(hi)
+                    .ok_or_else(|| self.unsupported("non-linear high bit index"))?;
+                let lo_l = self
+                    .lin(lo)
+                    .ok_or_else(|| self.unsupported("non-linear low bit index"))?;
+                let width = hi_l
+                    .sub(&lo_l)
+                    .as_const()
+                    .ok_or_else(|| self.unsupported("non-constant range width"))?
+                    + 1;
+                match base {
+                    RangeBase::Mem => self.assign_mem(&lo_l, width, rhs, out),
+                    RangeBase::Var(name) => self.assign_var(name, &lo_l, width, rhs, out),
+                }
+            }
+        }
+    }
+
+    /// Store to memory: `MEM[ptr + lo + w - 1 : ptr + lo] := rhs`.
+    fn assign_mem(
+        &mut self,
+        lo: &Lin,
+        width: i64,
+        rhs: &PExpr,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), GenError> {
+        let (ptr, elem, lo_rest) = self.split_ptr(lo)?;
+        if width == elem.bits() {
+            let val = self.value_expr(rhs, Domain::Float)?;
+            out.push(assign_stmt(
+                Expr::Index(
+                    Box::new(Expr::ident(&ptr)),
+                    Box::new(div_expr(self.lin_expr(&lo_rest), elem.bits())),
+                ),
+                val,
+            ));
+            return Ok(());
+        }
+        if width % elem.bits() == 0 {
+            // Block store: rhs must be a whole-register range.
+            let PExpr::Range { base: RangeBase::Var(src), lo: Some(src_lo), .. } = rhs else {
+                return Err(self.unsupported("block store of a non-register value"));
+            };
+            let src_lo = self
+                .lin(src_lo)
+                .ok_or_else(|| self.unsupported("non-linear source index"))?;
+            let lanes = width / elem.bits();
+            let k = self.fresh_var();
+            let body = assign_stmt(
+                Expr::Index(
+                    Box::new(Expr::ident(&ptr)),
+                    Box::new(add_expr(
+                        div_expr(self.lin_expr(&lo_rest), elem.bits()),
+                        Expr::ident(&k),
+                    )),
+                ),
+                Expr::Index(
+                    Box::new(Expr::Member {
+                        base: Box::new(Expr::ident(src)),
+                        field: "f".into(),
+                        arrow: false,
+                    }),
+                    Box::new(add_expr(
+                        div_expr(self.lin_expr(&src_lo), elem.bits()),
+                        Expr::ident(&k),
+                    )),
+                ),
+            );
+            out.push(counted_loop(&k, lanes, body));
+            return Ok(());
+        }
+        Err(self.unsupported(format!("store width {width}")))
+    }
+
+    /// Assignment to a register or scalar-local bit range.
+    fn assign_var(
+        &mut self,
+        name: &str,
+        lo: &Lin,
+        width: i64,
+        rhs: &PExpr,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), GenError> {
+        if let Some(&(bits, elem)) = self.vecs.get(name) {
+            if let Some(lo_c) = lo.as_const() {
+                if lo_c >= bits {
+                    // `dst[MAX:256] := 0`: zeroing of nonexistent upper
+                    // bits — a documented no-op.
+                    return Ok(());
+                }
+            }
+            if width == elem.bits() {
+                let domain = self.domain_of(rhs);
+                let val = self.value_expr(rhs, domain)?;
+                let field = if domain == Domain::Intish { "i" } else { "f" };
+                out.push(assign_stmt(
+                    Expr::Index(
+                        Box::new(Expr::Member {
+                            base: Box::new(Expr::ident(name)),
+                            field: field.into(),
+                            arrow: false,
+                        }),
+                        Box::new(div_expr(self.lin_expr(lo), elem.bits())),
+                    ),
+                    val,
+                ));
+                return Ok(());
+            }
+            if width % elem.bits() == 0 {
+                // Whole/multi-element assignment: block copy or zero fill.
+                let lanes = width / elem.bits();
+                let k = self.fresh_var();
+                let dst_idx = add_expr(div_expr(self.lin_expr(lo), elem.bits()), Expr::ident(&k));
+                let dst_e = Expr::Index(
+                    Box::new(Expr::Member {
+                        base: Box::new(Expr::ident(name)),
+                        field: "f".into(),
+                        arrow: false,
+                    }),
+                    Box::new(dst_idx),
+                );
+                let src_e = match rhs {
+                    PExpr::Num(0) => Expr::FloatLit {
+                        value: 0.0,
+                        text: "0.0".into(),
+                        f32: false,
+                        tol: false,
+                    },
+                    PExpr::Range { base: RangeBase::Mem, lo: Some(src_lo), .. } => {
+                        let src_lo = self
+                            .lin(src_lo)
+                            .ok_or_else(|| self.unsupported("non-linear source index"))?;
+                        let (ptr, pelem, rest) = self.split_ptr(&src_lo)?;
+                        Expr::Index(
+                            Box::new(Expr::ident(&ptr)),
+                            Box::new(add_expr(
+                                div_expr(self.lin_expr(&rest), pelem.bits()),
+                                Expr::ident(&k),
+                            )),
+                        )
+                    }
+                    PExpr::Range { base: RangeBase::Var(src), lo: Some(src_lo), .. } => {
+                        let src_lo = self
+                            .lin(src_lo)
+                            .ok_or_else(|| self.unsupported("non-linear source index"))?;
+                        Expr::Index(
+                            Box::new(Expr::Member {
+                                base: Box::new(Expr::ident(src)),
+                                field: "f".into(),
+                                arrow: false,
+                            }),
+                            Box::new(add_expr(
+                                div_expr(self.lin_expr(&src_lo), elem.bits()),
+                                Expr::ident(&k),
+                            )),
+                        )
+                    }
+                    _ => return Err(self.unsupported("multi-element assignment of an expression")),
+                };
+                out.push(counted_loop(&k, lanes, assign_stmt(dst_e, src_e)));
+                return Ok(());
+            }
+            return Err(self.unsupported(format!("register write width {width}")));
+        }
+        // Scalar double local (`tmp[63:0] := …`).
+        if width == 64 && lo.as_const() == Some(0) {
+            self.f64_locals.insert(name.to_string());
+            let val = self.value_expr(rhs, Domain::Float)?;
+            out.push(assign_stmt(Expr::ident(name), val));
+            return Ok(());
+        }
+        Err(self.unsupported(format!("write to unknown operand {name}")))
+    }
+
+    /// Splits a `MEM` index into (pointer name, pointee element, bit
+    /// offset form).
+    fn split_ptr(&self, lo: &Lin) -> Result<(String, Elem, Lin), GenError> {
+        for (name, &elem) in &self.ptrs {
+            if let Some(rest) = lo.without_var(name) {
+                return Ok((name.clone(), elem, rest));
+            }
+        }
+        Err(self.unsupported("memory operand without pointer base"))
+    }
+
+    /// Value domain of an expression: bitwise operators force the integer
+    /// view.
+    fn domain_of(&self, e: &PExpr) -> Domain {
+        fn has_bitwise(e: &PExpr) -> bool {
+            match e {
+                PExpr::Bin(op, a, b) => {
+                    matches!(*op, "AND" | "OR" | "XOR" | "<<" | ">>")
+                        || has_bitwise(a)
+                        || has_bitwise(b)
+                }
+                PExpr::Un(op, a) => *op == "NOT" || has_bitwise(a),
+                _ => false,
+            }
+        }
+        if has_bitwise(e) {
+            Domain::Intish
+        } else {
+            Domain::Float
+        }
+    }
+
+    /// Translates a value expression in the given domain.
+    fn value_expr(&mut self, e: &PExpr, domain: Domain) -> Result<Expr, GenError> {
+        match e {
+            PExpr::Num(v) => Ok(if domain == Domain::Float {
+                Expr::FloatLit {
+                    value: *v as f64,
+                    text: format!("{}.0", v),
+                    f32: false,
+                    tol: false,
+                }
+            } else {
+                Expr::int(*v)
+            }),
+            PExpr::Var(v) => Ok(Expr::ident(v)),
+            PExpr::MaxBit => Ok(Expr::int(self.max_bit)),
+            PExpr::Range { base, hi, lo } => self.range_value(base, hi, lo.as_deref(), domain),
+            PExpr::Un("-", a) => {
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.value_expr(a, domain)?)))
+            }
+            PExpr::Un("NOT", a) => {
+                Ok(Expr::Unary(UnOp::BitNot, Box::new(self.value_expr(a, Domain::Intish)?)))
+            }
+            PExpr::Un(op, _) => Err(self.unsupported(format!("unary {op}"))),
+            PExpr::Bin(op, a, b) => {
+                let c_op = match *op {
+                    "+" => BinOp::Add,
+                    "-" => BinOp::Sub,
+                    "*" => BinOp::Mul,
+                    "/" => BinOp::Div,
+                    "%" => BinOp::Rem,
+                    "AND" => BinOp::BitAnd,
+                    "OR" => BinOp::BitOr,
+                    "XOR" => BinOp::BitXor,
+                    "<<" => BinOp::Shl,
+                    ">>" => BinOp::Shr,
+                    "<" => BinOp::Lt,
+                    "<=" => BinOp::Le,
+                    ">" => BinOp::Gt,
+                    ">=" => BinOp::Ge,
+                    "==" => BinOp::Eq,
+                    "!=" => BinOp::Ne,
+                    other => return Err(self.unsupported(format!("operator {other}"))),
+                };
+                let sub = if matches!(
+                    c_op,
+                    BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr
+                ) {
+                    Domain::Intish
+                } else {
+                    domain
+                };
+                Ok(Expr::Binary {
+                    op: c_op,
+                    lhs: Box::new(self.value_expr(a, sub)?),
+                    rhs: Box::new(self.value_expr(b, sub)?),
+                    loc: Default::default(),
+                })
+            }
+            PExpr::Call(name, args) => {
+                let c_args = args
+                    .iter()
+                    .map(|a| self.value_expr(a, Domain::Float))
+                    .collect::<Result<Vec<_>, _>>()?;
+                match name.as_str() {
+                    "SQRT" => Ok(Expr::call("sqrt", c_args)),
+                    "ABS" => Ok(Expr::call("fabs", c_args)),
+                    "MIN" => Ok(Expr::call("fmin", c_args)),
+                    "MAX" => Ok(Expr::call("fmax", c_args)),
+                    // Conversions whose operation bodies the XML leaves
+                    // undefined — implemented "manually" as the paper says.
+                    "Convert_FP32_To_FP64" => {
+                        Ok(Expr::Cast(Type::Double, Box::new(c_args.into_iter().next().unwrap())))
+                    }
+                    "Convert_FP64_To_FP32" => {
+                        Ok(Expr::Cast(Type::Float, Box::new(c_args.into_iter().next().unwrap())))
+                    }
+                    other => Err(self.unsupported(format!("undefined pseudo-function {other}"))),
+                }
+            }
+        }
+    }
+
+    /// Translates a bit-range read as a value.
+    fn range_value(
+        &mut self,
+        base: &RangeBase,
+        hi: &PExpr,
+        lo: Option<&PExpr>,
+        domain: Domain,
+    ) -> Result<Expr, GenError> {
+        let hi_l = self.lin(hi).ok_or_else(|| self.unsupported("non-linear index"))?;
+        match lo {
+            None => {
+                // Single-bit read.
+                let bit = hi_l;
+                match base {
+                    RangeBase::Var(name) => {
+                        if self.int_params.contains(name) {
+                            // (imm8 >> bit) & 1
+                            Ok(bit_and_1(Expr::Binary {
+                                op: BinOp::Shr,
+                                lhs: Box::new(Expr::ident(name)),
+                                rhs: Box::new(self.lin_expr(&bit)),
+                                loc: Default::default(),
+                            }))
+                        } else if let Some(&(_, _elem)) = self.vecs.get(name) {
+                            // (v.i[bit/64] >> (bit%64)) & 1
+                            let idx = div_expr(self.lin_expr(&bit), 64);
+                            let sh = rem_expr(self.lin_expr(&bit), 64);
+                            Ok(bit_and_1(Expr::Binary {
+                                op: BinOp::Shr,
+                                lhs: Box::new(Expr::Index(
+                                    Box::new(Expr::Member {
+                                        base: Box::new(Expr::ident(name)),
+                                        field: "i".into(),
+                                        arrow: false,
+                                    }),
+                                    Box::new(idx),
+                                )),
+                                rhs: Box::new(sh),
+                                loc: Default::default(),
+                            }))
+                        } else {
+                            Err(self.unsupported(format!("bit access on {name}")))
+                        }
+                    }
+                    RangeBase::Mem => Err(self.unsupported("bit access on memory")),
+                }
+            }
+            Some(lo) => {
+                let lo_l = self.lin(lo).ok_or_else(|| self.unsupported("non-linear index"))?;
+                let width = hi_l
+                    .sub(&lo_l)
+                    .as_const()
+                    .ok_or_else(|| self.unsupported("non-constant range width"))?
+                    + 1;
+                match base {
+                    RangeBase::Mem => {
+                        let (ptr, elem, rest) = self.split_ptr(&lo_l)?;
+                        if width != elem.bits() {
+                            return Err(self.unsupported(format!("memory read width {width}")));
+                        }
+                        Ok(Expr::Index(
+                            Box::new(Expr::ident(&ptr)),
+                            Box::new(div_expr(self.lin_expr(&rest), elem.bits())),
+                        ))
+                    }
+                    RangeBase::Var(name) => {
+                        if let Some(&(_, elem)) = self.vecs.get(name) {
+                            if width != elem.bits() {
+                                return Err(self
+                                    .unsupported(format!("register read width {width}")));
+                            }
+                            let field = if domain == Domain::Intish { "i" } else { "f" };
+                            Ok(Expr::Index(
+                                Box::new(Expr::Member {
+                                    base: Box::new(Expr::ident(name)),
+                                    field: field.into(),
+                                    arrow: false,
+                                }),
+                                Box::new(div_expr(self.lin_expr(&lo_l), elem.bits())),
+                            ))
+                        } else if self.f64_params.contains(name)
+                            || self.f64_locals.contains(name)
+                        {
+                            // `a[63:0]` on a scalar double is the value.
+                            if width != 64 || lo_l.as_const() != Some(0) {
+                                return Err(self.unsupported("partial scalar access"));
+                            }
+                            Ok(Expr::ident(name))
+                        } else {
+                            Err(self.unsupported(format!("range access on {name}")))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Condition expression with the `a == b == c` chain rewrite the
+    /// paper mentions ("not the proper way to do it in C").
+    fn cond_expr(&mut self, e: &PExpr) -> Result<Expr, GenError> {
+        if let PExpr::Bin("==", a, c) = e {
+            if let PExpr::Bin("==", _, b) = &**a {
+                // (x == y) == z  ⇒  (x == y) && (y == z)
+                let left = self.cond_expr(a)?;
+                let right = self.value_expr(&PExpr::Bin("==", b.clone(), c.clone()), Domain::Intish)?;
+                return Ok(Expr::Binary {
+                    op: BinOp::And,
+                    lhs: Box::new(left),
+                    rhs: Box::new(right),
+                    loc: Default::default(),
+                });
+            }
+        }
+        self.value_expr(e, Domain::Intish)
+    }
+
+    /// Integer scalar expression (loop bounds, index temps).
+    fn int_expr(&mut self, e: &PExpr) -> Result<Expr, GenError> {
+        self.value_expr(e, Domain::Intish)
+    }
+
+    fn lin(&self, e: &PExpr) -> Option<Lin> {
+        linearize(e, self.max_bit)
+    }
+
+    /// A linear form as a C integer expression.
+    fn lin_expr(&self, l: &Lin) -> Expr {
+        let mut parts: Vec<Expr> = Vec::new();
+        for (v, c) in &l.coeffs {
+            let var = Expr::ident(v);
+            parts.push(if *c == 1 {
+                var
+            } else {
+                Expr::Binary {
+                    op: BinOp::Mul,
+                    lhs: Box::new(var),
+                    rhs: Box::new(Expr::int(*c)),
+                    loc: Default::default(),
+                }
+            });
+        }
+        if l.konst != 0 || parts.is_empty() {
+            parts.push(Expr::int(l.konst));
+        }
+        parts
+            .into_iter()
+            .reduce(|a, b| Expr::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(a),
+                rhs: Box::new(b),
+                loc: Default::default(),
+            })
+            .unwrap()
+    }
+}
+
+fn assign_stmt(lhs: Expr, rhs: Expr) -> Stmt {
+    Stmt::Expr(Expr::Assign {
+        op: igen_cfront::AssignOp::Assign,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+        loc: Default::default(),
+    })
+}
+
+fn div_expr(e: Expr, k: i64) -> Expr {
+    // Fold constant indices (`0 / 64` → `0`) for readable output.
+    if let Expr::IntLit { value, .. } = e {
+        return Expr::int(value / k);
+    }
+    Expr::Binary {
+        op: BinOp::Div,
+        lhs: Box::new(e),
+        rhs: Box::new(Expr::int(k)),
+        loc: Default::default(),
+    }
+}
+
+fn rem_expr(e: Expr, k: i64) -> Expr {
+    if let Expr::IntLit { value, .. } = e {
+        return Expr::int(value % k);
+    }
+    Expr::Binary {
+        op: BinOp::Rem,
+        lhs: Box::new(e),
+        rhs: Box::new(Expr::int(k)),
+        loc: Default::default(),
+    }
+}
+
+fn add_expr(a: Expr, b: Expr) -> Expr {
+    if matches!(a, Expr::IntLit { value: 0, .. }) {
+        return b;
+    }
+    if matches!(b, Expr::IntLit { value: 0, .. }) {
+        return a;
+    }
+    Expr::Binary { op: BinOp::Add, lhs: Box::new(a), rhs: Box::new(b), loc: Default::default() }
+}
+
+fn bit_and_1(e: Expr) -> Expr {
+    Expr::Binary {
+        op: BinOp::BitAnd,
+        lhs: Box::new(e),
+        rhs: Box::new(Expr::int(1)),
+        loc: Default::default(),
+    }
+}
+
+/// `for (int k = 0; k < lanes; ++k) body`
+fn counted_loop(var: &str, lanes: i64, body: Stmt) -> Stmt {
+    Stmt::For {
+        init: Some(Box::new(Stmt::Decl(VarDecl {
+            ty: Type::Int,
+            name: var.to_string(),
+            init: Some(Expr::int(0)),
+        }))),
+        cond: Some(Expr::Binary {
+            op: BinOp::Lt,
+            lhs: Box::new(Expr::ident(var)),
+            rhs: Box::new(Expr::int(lanes)),
+            loc: Default::default(),
+        }),
+        step: Some(Expr::Unary(UnOp::PreInc, Box::new(Expr::ident(var)))),
+        body: Box::new(Stmt::Block(vec![body])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse_spec_xml;
+    use igen_cfront::print_function;
+
+    fn spec_named(name: &str) -> IntrinsicSpec {
+        parse_spec_xml(crate::CORPUS)
+            .unwrap()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} not in corpus"))
+    }
+
+    #[test]
+    fn fig5_add_pd_shape() {
+        let f = generate_c(&spec_named("_mm256_add_pd")).unwrap();
+        let c = print_function(&f);
+        assert!(c.contains("__m256d _c_mm256_add_pd(__m256d _a, __m256d _b)"), "{c}");
+        assert!(c.contains("a.v = _a;"), "{c}");
+        assert!(c.contains("for (j = 0; j <= 3; ++j)"), "{c}");
+        assert!(c.contains("dst.f[i / 64] = a.f[i / 64] + b.f[i / 64];"), "{c}");
+        assert!(c.contains("return dst.v;"), "{c}");
+        // The MAX:256 no-op is dropped.
+        assert!(!c.contains("[256") && !c.contains("255]"), "{c}");
+    }
+
+    #[test]
+    fn bitwise_uses_integer_view() {
+        let f = generate_c(&spec_named("_mm256_and_pd")).unwrap();
+        let c = print_function(&f);
+        assert!(c.contains("dst.i[i / 64] = a.i[i / 64] & b.i[i / 64];"), "{c}");
+        let f = generate_c(&spec_named("_mm256_andnot_pd")).unwrap();
+        let c = print_function(&f);
+        assert!(c.contains("~a.i[i / 64] & b.i[i / 64]"), "{c}");
+    }
+
+    #[test]
+    fn load_store_block_copies() {
+        let f = generate_c(&spec_named("_mm256_loadu_pd")).unwrap();
+        let c = print_function(&f);
+        assert!(c.contains("dst.f["), "{c}");
+        assert!(c.contains("mem_addr["), "{c}");
+        let f = generate_c(&spec_named("_mm256_storeu_pd")).unwrap();
+        let c = print_function(&f);
+        assert!(c.contains("void _c_mm256_storeu_pd(double* mem_addr, __m256d _a)"), "{c}");
+        assert!(c.contains("mem_addr["), "{c}");
+    }
+
+    #[test]
+    fn broadcast_uses_scalar_local() {
+        let f = generate_c(&spec_named("_mm256_broadcast_sd")).unwrap();
+        let c = print_function(&f);
+        assert!(c.contains("double tmp;"), "{c}");
+        assert!(c.contains("tmp = mem_addr[0];"), "{c}");
+        assert!(c.contains("dst.f[i / 64] = tmp;"), "{c}");
+    }
+
+    #[test]
+    fn blend_reads_imm_bits() {
+        let f = generate_c(&spec_named("_mm256_blend_pd")).unwrap();
+        let c = print_function(&f);
+        assert!(c.contains("imm8 >> j & 1"), "{c}");
+        let f = generate_c(&spec_named("_mm256_blendv_pd")).unwrap();
+        let c = print_function(&f);
+        assert!(c.contains("mask.i[(i + 63) / 64] >> (i + 63) % 64 & 1"), "{c}");
+    }
+
+    #[test]
+    fn sqrt_min_max_map_to_libm() {
+        let c = print_function(&generate_c(&spec_named("_mm256_sqrt_pd")).unwrap());
+        assert!(c.contains("sqrt(a.f[i / 64])"), "{c}");
+        let c = print_function(&generate_c(&spec_named("_mm_min_pd")).unwrap());
+        assert!(c.contains("fmin("), "{c}");
+    }
+
+    #[test]
+    fn cvt_uses_cast_and_mixed_lanes() {
+        let c = print_function(&generate_c(&spec_named("_mm256_cvtps_pd")).unwrap());
+        assert!(c.contains("(double)a.f[i / 32]"), "{c}");
+        assert!(c.contains("dst.f[k / 64]"), "{c}");
+    }
+
+    #[test]
+    fn round_pd_is_unsupported() {
+        let err = generate_c(&spec_named("_mm256_round_pd")).unwrap_err();
+        assert!(matches!(err, GenError::Unsupported { ref reason, .. } if reason.contains("ROUND")),
+            "{err}");
+    }
+
+    #[test]
+    fn unit_generates_and_reparses() {
+        let specs = parse_spec_xml(crate::CORPUS).unwrap();
+        let (tu, errors) = generate_unit(&specs);
+        // Exactly the deliberate unsupported entry fails.
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert_eq!(errors[0].0, "_mm256_round_pd");
+        assert!(tu.functions().count() >= 40);
+        // The emitted C re-parses.
+        let printed = igen_cfront::print_unit(&tu);
+        let re = igen_cfront::parse(&printed)
+            .unwrap_or_else(|e| panic!("generated C does not parse: {e}\n{printed}"));
+        assert_eq!(igen_cfront::print_unit(&re), printed);
+    }
+
+    #[test]
+    fn setzero_zero_fills() {
+        let c = print_function(&generate_c(&spec_named("_mm256_setzero_pd")).unwrap());
+        assert!(c.contains("= 0.0;"), "{c}");
+    }
+
+    #[test]
+    fn hadd_constant_lanes() {
+        let c = print_function(&generate_c(&spec_named("_mm256_hadd_pd")).unwrap());
+        assert!(c.contains("dst.f[0] = a.f[1] + a.f[0];"), "{c}");
+    }
+}

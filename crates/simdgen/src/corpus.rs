@@ -1,0 +1,771 @@
+//! The embedded intrinsics specification corpus.
+//!
+//! The real Intel Intrinsics Guide XML (`data-3.4.3.xml`, ~6000 entries)
+//! is not redistributable in this repository, so this module embeds a
+//! corpus in **exactly the same schema** covering the floating-point
+//! intrinsics the paper's benchmarks and examples exercise: SSE2/AVX
+//! arithmetic, min/max, bitwise logic, loads/stores, set/broadcast,
+//! unpack/shuffle/blend, horizontal add, FMA and a float→double
+//! conversion. One entry (`_mm256_round_pd`) deliberately uses an
+//! undefined pseudo-function to exercise the generator's unsupported-
+//! intrinsic diagnostics (Section V "Limitations").
+
+/// The corpus document (Intel Intrinsics Guide schema).
+pub const CORPUS: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<intrinsics_list version="3.4.3-mini">
+
+<intrinsic rettype="__m128d" name="_mm_add_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m128d"/><parameter varname="b" type="__m128d"/>
+  <description>Add packed double-precision (64-bit) floating-point elements in "a" and "b", and store the results in "dst".</description>
+  <operation>
+FOR j := 0 to 1
+	i := j*64
+	dst[i+63:i] := a[i+63:i] + b[i+63:i]
+ENDFOR
+  </operation>
+  <instruction name="addpd" form="xmm, xmm"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128d" name="_mm_sub_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m128d"/><parameter varname="b" type="__m128d"/>
+  <description>Subtract packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 1
+	i := j*64
+	dst[i+63:i] := a[i+63:i] - b[i+63:i]
+ENDFOR
+  </operation>
+  <instruction name="subpd" form="xmm, xmm"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128d" name="_mm_mul_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m128d"/><parameter varname="b" type="__m128d"/>
+  <description>Multiply packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 1
+	i := j*64
+	dst[i+63:i] := a[i+63:i] * b[i+63:i]
+ENDFOR
+  </operation>
+  <instruction name="mulpd" form="xmm, xmm"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128d" name="_mm_div_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m128d"/><parameter varname="b" type="__m128d"/>
+  <description>Divide packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 1
+	i := j*64
+	dst[i+63:i] := a[i+63:i] / b[i+63:i]
+ENDFOR
+  </operation>
+  <instruction name="divpd" form="xmm, xmm"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128d" name="_mm_sqrt_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Elementary Math Functions</category>
+  <parameter varname="a" type="__m128d"/>
+  <description>Square root of packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 1
+	i := j*64
+	dst[i+63:i] := SQRT(a[i+63:i])
+ENDFOR
+  </operation>
+  <instruction name="sqrtpd" form="xmm, xmm"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128d" name="_mm_min_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Special Math Functions</category>
+  <parameter varname="a" type="__m128d"/><parameter varname="b" type="__m128d"/>
+  <description>Minimum of packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 1
+	i := j*64
+	dst[i+63:i] := MIN(a[i+63:i], b[i+63:i])
+ENDFOR
+  </operation>
+  <instruction name="minpd" form="xmm, xmm"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128d" name="_mm_max_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Special Math Functions</category>
+  <parameter varname="a" type="__m128d"/><parameter varname="b" type="__m128d"/>
+  <description>Maximum of packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 1
+	i := j*64
+	dst[i+63:i] := MAX(a[i+63:i], b[i+63:i])
+ENDFOR
+  </operation>
+  <instruction name="maxpd" form="xmm, xmm"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128d" name="_mm_and_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Logical</category>
+  <parameter varname="a" type="__m128d"/><parameter varname="b" type="__m128d"/>
+  <description>Bitwise AND of packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 1
+	i := j*64
+	dst[i+63:i] := (a[i+63:i] AND b[i+63:i])
+ENDFOR
+  </operation>
+  <instruction name="andpd" form="xmm, xmm"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128d" name="_mm_or_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Logical</category>
+  <parameter varname="a" type="__m128d"/><parameter varname="b" type="__m128d"/>
+  <description>Bitwise OR of packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 1
+	i := j*64
+	dst[i+63:i] := (a[i+63:i] OR b[i+63:i])
+ENDFOR
+  </operation>
+  <instruction name="orpd" form="xmm, xmm"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128d" name="_mm_xor_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Logical</category>
+  <parameter varname="a" type="__m128d"/><parameter varname="b" type="__m128d"/>
+  <description>Bitwise XOR of packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 1
+	i := j*64
+	dst[i+63:i] := (a[i+63:i] XOR b[i+63:i])
+ENDFOR
+  </operation>
+  <instruction name="xorpd" form="xmm, xmm"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128d" name="_mm_loadu_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Load</category>
+  <parameter varname="mem_addr" type="double const*"/>
+  <description>Load 128-bits (composed of 2 packed double-precision elements) from memory.</description>
+  <operation>
+dst[127:0] := MEM[mem_addr+127:mem_addr]
+  </operation>
+  <instruction name="movupd" form="xmm, m128"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="void" name="_mm_storeu_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Store</category>
+  <parameter varname="mem_addr" type="double*"/><parameter varname="a" type="__m128d"/>
+  <description>Store 128-bits from "a" into memory.</description>
+  <operation>
+MEM[mem_addr+127:mem_addr] := a[127:0]
+  </operation>
+  <instruction name="movupd" form="m128, xmm"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128d" name="_mm_set1_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Set</category>
+  <parameter varname="a" type="double"/>
+  <description>Broadcast double-precision value "a" to all elements of "dst".</description>
+  <operation>
+FOR j := 0 to 1
+	i := j*64
+	dst[i+63:i] := a[63:0]
+ENDFOR
+  </operation>
+  <instruction name="" form=""/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128d" name="_mm_setzero_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Set</category>
+  <description>Return vector with all elements set to zero.</description>
+  <operation>
+dst[MAX:0] := 0
+  </operation>
+  <instruction name="xorpd" form="xmm, xmm"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128d" name="_mm_unpacklo_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Swizzle</category>
+  <parameter varname="a" type="__m128d"/><parameter varname="b" type="__m128d"/>
+  <description>Unpack and interleave double-precision elements from the low half of "a" and "b".</description>
+  <operation>
+dst[63:0] := a[63:0]
+dst[127:64] := b[63:0]
+  </operation>
+  <instruction name="unpcklpd" form="xmm, xmm"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128d" name="_mm_unpackhi_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Swizzle</category>
+  <parameter varname="a" type="__m128d"/><parameter varname="b" type="__m128d"/>
+  <description>Unpack and interleave double-precision elements from the high half of "a" and "b".</description>
+  <operation>
+dst[63:0] := a[127:64]
+dst[127:64] := b[127:64]
+  </operation>
+  <instruction name="unpckhpd" form="xmm, xmm"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128d" name="_mm_shuffle_pd">
+  <type>Floating Point</type><CPUID>SSE2</CPUID><category>Swizzle</category>
+  <parameter varname="a" type="__m128d"/><parameter varname="b" type="__m128d"/><parameter varname="imm8" type="const int"/>
+  <description>Shuffle double-precision elements using the control in "imm8".</description>
+  <operation>
+IF imm8[0]
+	dst[63:0] := a[127:64]
+ELSE
+	dst[63:0] := a[63:0]
+FI
+IF imm8[1]
+	dst[127:64] := b[127:64]
+ELSE
+	dst[127:64] := b[63:0]
+FI
+  </operation>
+  <instruction name="shufpd" form="xmm, xmm, imm8"/><header>emmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_add_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/>
+  <description>Add packed double-precision (64-bit) floating-point elements in "a" and "b", and store the results in "dst".</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := a[i+63:i] + b[i+63:i]
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vaddpd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_sub_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/>
+  <description>Subtract packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := a[i+63:i] - b[i+63:i]
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vsubpd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_mul_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/>
+  <description>Multiply packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := a[i+63:i] * b[i+63:i]
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vmulpd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_div_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/>
+  <description>Divide packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := a[i+63:i] / b[i+63:i]
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vdivpd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_sqrt_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Elementary Math Functions</category>
+  <parameter varname="a" type="__m256d"/>
+  <description>Square root of packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := SQRT(a[i+63:i])
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vsqrtpd" form="ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_min_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Special Math Functions</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/>
+  <description>Minimum of packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := MIN(a[i+63:i], b[i+63:i])
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vminpd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_max_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Special Math Functions</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/>
+  <description>Maximum of packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := MAX(a[i+63:i], b[i+63:i])
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vmaxpd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_and_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Logical</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/>
+  <description>Bitwise AND of packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := (a[i+63:i] AND b[i+63:i])
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vandpd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_or_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Logical</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/>
+  <description>Bitwise OR of packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := (a[i+63:i] OR b[i+63:i])
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vorpd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_xor_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Logical</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/>
+  <description>Bitwise XOR of packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := (a[i+63:i] XOR b[i+63:i])
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vxorpd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_andnot_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Logical</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/>
+  <description>Bitwise NOT of "a" then AND with "b".</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := ((NOT a[i+63:i]) AND b[i+63:i])
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vandnpd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_loadu_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Load</category>
+  <parameter varname="mem_addr" type="double const*"/>
+  <description>Load 256-bits (composed of 4 packed double-precision elements) from memory (unaligned).</description>
+  <operation>
+dst[255:0] := MEM[mem_addr+255:mem_addr]
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vmovupd" form="ymm, m256"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_load_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Load</category>
+  <parameter varname="mem_addr" type="double const*"/>
+  <description>Load 256-bits from memory (aligned).</description>
+  <operation>
+dst[255:0] := MEM[mem_addr+255:mem_addr]
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vmovapd" form="ymm, m256"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="void" name="_mm256_storeu_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Store</category>
+  <parameter varname="mem_addr" type="double*"/><parameter varname="a" type="__m256d"/>
+  <description>Store 256-bits from "a" into memory (unaligned).</description>
+  <operation>
+MEM[mem_addr+255:mem_addr] := a[255:0]
+  </operation>
+  <instruction name="vmovupd" form="m256, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="void" name="_mm256_store_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Store</category>
+  <parameter varname="mem_addr" type="double*"/><parameter varname="a" type="__m256d"/>
+  <description>Store 256-bits from "a" into memory (aligned).</description>
+  <operation>
+MEM[mem_addr+255:mem_addr] := a[255:0]
+  </operation>
+  <instruction name="vmovapd" form="m256, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_set1_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Set</category>
+  <parameter varname="a" type="double"/>
+  <description>Broadcast double-precision value "a" to all elements of "dst".</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := a[63:0]
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="" form=""/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_setzero_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Set</category>
+  <description>Return vector with all elements set to zero.</description>
+  <operation>
+dst[MAX:0] := 0
+  </operation>
+  <instruction name="vxorpd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_broadcast_sd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Load</category>
+  <parameter varname="mem_addr" type="double const*"/>
+  <description>Broadcast a double-precision element from memory to all elements of "dst".</description>
+  <operation>
+tmp[63:0] := MEM[mem_addr+63:mem_addr]
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := tmp[63:0]
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vbroadcastsd" form="ymm, m64"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_unpacklo_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Swizzle</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/>
+  <description>Unpack and interleave double-precision elements from the low half of each 128-bit lane.</description>
+  <operation>
+dst[63:0] := a[63:0]
+dst[127:64] := b[63:0]
+dst[191:128] := a[191:128]
+dst[255:192] := b[191:128]
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vunpcklpd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_unpackhi_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Swizzle</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/>
+  <description>Unpack and interleave double-precision elements from the high half of each 128-bit lane.</description>
+  <operation>
+dst[63:0] := a[127:64]
+dst[127:64] := b[127:64]
+dst[191:128] := a[255:192]
+dst[255:192] := b[255:192]
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vunpckhpd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_blend_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Swizzle</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/><parameter varname="imm8" type="const int"/>
+  <description>Blend packed double-precision elements using control mask "imm8".</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	IF imm8[j]
+		dst[i+63:i] := b[i+63:i]
+	ELSE
+		dst[i+63:i] := a[i+63:i]
+	FI
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vblendpd" form="ymm, ymm, ymm, imm8"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_blendv_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Swizzle</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/><parameter varname="mask" type="__m256d"/>
+  <description>Blend packed double-precision elements using "mask".</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	IF mask[i+63]
+		dst[i+63:i] := b[i+63:i]
+	ELSE
+		dst[i+63:i] := a[i+63:i]
+	FI
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vblendvpd" form="ymm, ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_hadd_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/>
+  <description>Horizontally add adjacent pairs of double-precision elements.</description>
+  <operation>
+dst[63:0] := a[127:64] + a[63:0]
+dst[127:64] := b[127:64] + b[63:0]
+dst[191:128] := a[255:192] + a[191:128]
+dst[255:192] := b[255:192] + b[191:128]
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vhaddpd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_fmadd_pd">
+  <type>Floating Point</type><CPUID>FMA</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/><parameter varname="c" type="__m256d"/>
+  <description>Multiply packed elements in "a" and "b", add the intermediate result to "c".</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := (a[i+63:i] * b[i+63:i]) + c[i+63:i]
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vfmadd132pd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_fmsub_pd">
+  <type>Floating Point</type><CPUID>FMA</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="b" type="__m256d"/><parameter varname="c" type="__m256d"/>
+  <description>Multiply packed elements in "a" and "b", subtract "c" from the intermediate result.</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := (a[i+63:i] * b[i+63:i]) - c[i+63:i]
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vfmsub132pd" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_cvtps_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Convert</category>
+  <parameter varname="a" type="__m128"/>
+  <description>Convert packed single-precision elements to packed double-precision elements.</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*32
+	k := j*64
+	dst[k+63:k] := Convert_FP32_To_FP64(a[i+31:i])
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vcvtps2pd" form="ymm, xmm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_round_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Special Math Functions</category>
+  <parameter varname="a" type="__m256d"/><parameter varname="rounding" type="int"/>
+  <description>Round packed double-precision elements using the rounding parameter.</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := ROUND(a[i+63:i], rounding)
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vroundpd" form="ymm, ymm, imm8"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256" name="_mm256_add_ps">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m256"/><parameter varname="b" type="__m256"/>
+  <description>Add packed single-precision (32-bit) floating-point elements.</description>
+  <operation>
+FOR j := 0 to 7
+	i := j*32
+	dst[i+31:i] := a[i+31:i] + b[i+31:i]
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vaddps" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256" name="_mm256_mul_ps">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m256"/><parameter varname="b" type="__m256"/>
+  <description>Multiply packed single-precision (32-bit) floating-point elements.</description>
+  <operation>
+FOR j := 0 to 7
+	i := j*32
+	dst[i+31:i] := a[i+31:i] * b[i+31:i]
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vmulps" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128" name="_mm_add_ps">
+  <type>Floating Point</type><CPUID>SSE</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m128"/><parameter varname="b" type="__m128"/>
+  <description>Add packed single-precision (32-bit) floating-point elements.</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*32
+	dst[i+31:i] := a[i+31:i] + b[i+31:i]
+ENDFOR
+  </operation>
+  <instruction name="addps" form="xmm, xmm, xmm"/><header>xmmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256" name="_mm256_sub_ps">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m256"/><parameter varname="b" type="__m256"/>
+  <description>Subtract packed single-precision (32-bit) floating-point elements.</description>
+  <operation>
+FOR j := 0 to 7
+	i := j*32
+	dst[i+31:i] := a[i+31:i] - b[i+31:i]
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vsubps" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256" name="_mm256_div_ps">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m256"/><parameter varname="b" type="__m256"/>
+  <description>Divide packed single-precision (32-bit) floating-point elements.</description>
+  <operation>
+FOR j := 0 to 7
+	i := j*32
+	dst[i+31:i] := a[i+31:i] / b[i+31:i]
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vdivps" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256" name="_mm256_sqrt_ps">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Elementary Math Functions</category>
+  <parameter varname="a" type="__m256"/>
+  <description>Square root of packed single-precision elements.</description>
+  <operation>
+FOR j := 0 to 7
+	i := j*32
+	dst[i+31:i] := SQRT(a[i+31:i])
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vsqrtps" form="ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256" name="_mm256_max_ps">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Special Math Functions</category>
+  <parameter varname="a" type="__m256"/><parameter varname="b" type="__m256"/>
+  <description>Maximum of packed single-precision elements.</description>
+  <operation>
+FOR j := 0 to 7
+	i := j*32
+	dst[i+31:i] := MAX(a[i+31:i], b[i+31:i])
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vmaxps" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256" name="_mm256_min_ps">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Special Math Functions</category>
+  <parameter varname="a" type="__m256"/><parameter varname="b" type="__m256"/>
+  <description>Minimum of packed single-precision elements.</description>
+  <operation>
+FOR j := 0 to 7
+	i := j*32
+	dst[i+31:i] := MIN(a[i+31:i], b[i+31:i])
+ENDFOR
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vminps" form="ymm, ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128" name="_mm_mul_ps">
+  <type>Floating Point</type><CPUID>SSE</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m128"/><parameter varname="b" type="__m128"/>
+  <description>Multiply packed single-precision (32-bit) floating-point elements.</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*32
+	dst[i+31:i] := a[i+31:i] * b[i+31:i]
+ENDFOR
+  </operation>
+  <instruction name="mulps" form="xmm, xmm"/><header>xmmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128" name="_mm_sub_ps">
+  <type>Floating Point</type><CPUID>SSE</CPUID><category>Arithmetic</category>
+  <parameter varname="a" type="__m128"/><parameter varname="b" type="__m128"/>
+  <description>Subtract packed single-precision (32-bit) floating-point elements.</description>
+  <operation>
+FOR j := 0 to 3
+	i := j*32
+	dst[i+31:i] := a[i+31:i] - b[i+31:i]
+ENDFOR
+  </operation>
+  <instruction name="subps" form="xmm, xmm"/><header>xmmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m128" name="_mm_loadu_ps">
+  <type>Floating Point</type><CPUID>SSE</CPUID><category>Load</category>
+  <parameter varname="mem_addr" type="float const*"/>
+  <description>Load 128-bits (composed of 4 packed single-precision elements) from memory.</description>
+  <operation>
+dst[127:0] := MEM[mem_addr+127:mem_addr]
+  </operation>
+  <instruction name="movups" form="xmm, m128"/><header>xmmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="void" name="_mm_storeu_ps">
+  <type>Floating Point</type><CPUID>SSE</CPUID><category>Store</category>
+  <parameter varname="mem_addr" type="float*"/><parameter varname="a" type="__m128"/>
+  <description>Store 128-bits of single-precision elements into memory.</description>
+  <operation>
+MEM[mem_addr+127:mem_addr] := a[127:0]
+  </operation>
+  <instruction name="movups" form="m128, xmm"/><header>xmmintrin.h</header>
+</intrinsic>
+
+<intrinsic rettype="__m256d" name="_mm256_movedup_pd">
+  <type>Floating Point</type><CPUID>AVX</CPUID><category>Swizzle</category>
+  <parameter varname="a" type="__m256d"/>
+  <description>Duplicate even-indexed double-precision elements.</description>
+  <operation>
+dst[63:0] := a[63:0]
+dst[127:64] := a[63:0]
+dst[191:128] := a[191:128]
+dst[255:192] := a[191:128]
+dst[MAX:256] := 0
+  </operation>
+  <instruction name="vmovddup" form="ymm, ymm"/><header>immintrin.h</header>
+</intrinsic>
+
+</intrinsics_list>
+"#;

@@ -1,0 +1,49 @@
+//! `igen-simdgen`: automatic support for SIMD intrinsics (Section V).
+//!
+//! Reproduces the paper's generator pipeline (Fig. 4):
+//!
+//! 1. an [`xml`] parser reads the vendor specification document;
+//! 2. `spec` extracts per-intrinsic name/types/parameters/operation;
+//! 3. [`pseudo`] tokenizes and parses the Intel pseudo-language with a
+//!    symbolic linear-form analysis for bit-range widths;
+//! 4. `cgen` emits plain C implementing each intrinsic (`SIMD2C`),
+//!    using per-vector-type unions so elements are accessible as float
+//!    and integer arrays (Fig. 5).
+//!
+//! The real `data-3.4.3.xml` is not redistributable, so [`CORPUS`] embeds
+//! a faithful subset in the same schema (see `corpus.rs`). The IGen
+//! compiler (`igen-core`) then translates the generated C to interval
+//! code, completing the Fig. 4 pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use igen_simdgen::{corpus_specs, generate_c};
+//! let specs = corpus_specs();
+//! let add = specs.iter().find(|s| s.name == "_mm256_add_pd").unwrap();
+//! let f = generate_c(add).unwrap();
+//! let c = igen_cfront::print_function(&f);
+//! assert!(c.contains("_c_mm256_add_pd"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cgen;
+mod corpus;
+pub mod pseudo;
+mod spec;
+pub mod xml;
+
+pub use cgen::{generate_c, generate_unit, union_name, union_typedef, vec_kind, Elem, GenError};
+pub use corpus::CORPUS;
+pub use spec::{parse_spec_xml, IntrinsicSpec, SpecError, SpecParam};
+
+/// Parses the embedded corpus.
+///
+/// # Panics
+///
+/// Never in practice — the corpus is validated by the test suite.
+pub fn corpus_specs() -> Vec<IntrinsicSpec> {
+    parse_spec_xml(CORPUS).expect("embedded corpus is well-formed")
+}

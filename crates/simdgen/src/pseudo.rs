@@ -1,0 +1,628 @@
+//! Tokenizer, grammar and parser for the Intel pseudo-language used in
+//! the `<operation>` element of the intrinsics specification (Section V,
+//! Fig. 4 "Tokenizer" and "Parser").
+//!
+//! The language is line-oriented: `FOR j := 0 to 3 … ENDFOR`,
+//! `IF cond … ELSE … FI`, assignments `dst[i+63:i] := a[i+63:i] + …`,
+//! bit-range accesses `v[hi:lo]` (single indices `v[bit]` select one
+//! bit), the `MAX` top-bit constant, and `MEM[addr+hi:addr+lo]` memory
+//! operands.
+
+use std::collections::BTreeMap;
+
+/// Error while tokenizing/parsing an `<operation>` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PseudoError {
+    /// 1-based line within the operation text.
+    pub line: u32,
+    /// Description.
+    pub msg: String,
+}
+
+impl core::fmt::Display for PseudoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pseudo-language error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for PseudoError {}
+
+/// Tokens of the pseudo-language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PTok {
+    /// Identifier or keyword.
+    Id(String),
+    /// Integer literal.
+    Num(i64),
+    /// `:=`
+    Assign,
+    /// Punctuation or operator.
+    P(&'static str),
+    /// Statement separator (newline).
+    Nl,
+    /// End of text.
+    End,
+}
+
+/// Tokenizes an operation body.
+pub fn tokenize(src: &str) -> Result<Vec<(PTok, u32)>, PseudoError> {
+    let mut out = Vec::new();
+    for (ln, line) in src.lines().enumerate() {
+        let line_no = ln as u32 + 1;
+        let mut rest = line.trim();
+        // Strip comments (Intel uses none in our subset; support `//`).
+        if let Some(idx) = rest.find("//") {
+            rest = rest[..idx].trim_end();
+        }
+        let bytes = rest.as_bytes();
+        let mut i = 0;
+        let had_any = !rest.is_empty();
+        while i < bytes.len() {
+            let c = bytes[i];
+            if c.is_ascii_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == b'_' {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push((PTok::Id(rest[start..i].to_string()), line_no));
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'x') {
+                    i += 1;
+                }
+                let text = &rest[start..i];
+                let v = if let Some(hex) = text.strip_prefix("0x") {
+                    i64::from_str_radix(hex, 16)
+                        .map_err(|e| PseudoError { line: line_no, msg: format!("bad number {text}: {e}") })?
+                } else {
+                    text.parse().map_err(|e| PseudoError {
+                        line: line_no,
+                        msg: format!("bad number {text}: {e}"),
+                    })?
+                };
+                out.push((PTok::Num(v), line_no));
+                continue;
+            }
+            if rest[i..].starts_with(":=") {
+                out.push((PTok::Assign, line_no));
+                i += 2;
+                continue;
+            }
+            let two = ["==", "!=", "<=", ">=", "<<", ">>"];
+            if let Some(p) = two.iter().find(|p| rest[i..].starts_with(**p)) {
+                out.push((PTok::P(p), line_no));
+                i += 2;
+                continue;
+            }
+            let one = ["+", "-", "*", "/", "%", "(", ")", "[", "]", ":", ",", "<", ">", "="];
+            if let Some(p) = one.iter().find(|p| rest[i..].starts_with(**p)) {
+                out.push((PTok::P(p), line_no));
+                i += 1;
+                continue;
+            }
+            return Err(PseudoError {
+                line: line_no,
+                msg: format!("unexpected character {:?}", c as char),
+            });
+        }
+        if had_any {
+            out.push((PTok::Nl, line_no));
+        }
+    }
+    out.push((PTok::End, src.lines().count() as u32 + 1));
+    Ok(out)
+}
+
+/// Base of a bit-range access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RangeBase {
+    /// Named variable or parameter.
+    Var(String),
+    /// `MEM[…]` memory operand.
+    Mem,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PExpr {
+    /// Integer literal.
+    Num(i64),
+    /// Scalar variable.
+    Var(String),
+    /// `MAX` — the top bit index of the destination register.
+    MaxBit,
+    /// Bit-range access `base[hi:lo]`; `lo == None` selects the single
+    /// bit `hi`.
+    Range {
+        /// Accessed base.
+        base: RangeBase,
+        /// High bit (inclusive).
+        hi: Box<PExpr>,
+        /// Low bit (inclusive); `None` for a single-bit access.
+        lo: Option<Box<PExpr>>,
+    },
+    /// Unary operation (`-`, `NOT`).
+    Un(&'static str, Box<PExpr>),
+    /// Binary operation (`+ - * / % << >> < <= > >= == != AND OR XOR`).
+    Bin(&'static str, Box<PExpr>, Box<PExpr>),
+    /// Intrinsic pseudo-function call (`SQRT`, `ABS`, `MIN`, `MAX`, …).
+    Call(String, Vec<PExpr>),
+}
+
+/// L-values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PLval {
+    /// Whole scalar variable.
+    Var(String),
+    /// Bit-range of a register or memory.
+    Range {
+        /// Accessed base.
+        base: RangeBase,
+        /// High bit.
+        hi: PExpr,
+        /// Low bit (None = single bit).
+        lo: Option<PExpr>,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PStmt {
+    /// `FOR v := a to b … ENDFOR` (inclusive bounds).
+    For {
+        /// Induction variable.
+        var: String,
+        /// Inclusive start.
+        from: PExpr,
+        /// Inclusive end.
+        to: PExpr,
+        /// Body.
+        body: Vec<PStmt>,
+    },
+    /// `IF c … ELSE … FI`.
+    If {
+        /// Condition.
+        cond: PExpr,
+        /// Then branch.
+        then_body: Vec<PStmt>,
+        /// Else branch.
+        else_body: Vec<PStmt>,
+    },
+    /// `lhs := rhs`.
+    Assign {
+        /// Target.
+        lhs: PLval,
+        /// Source expression.
+        rhs: PExpr,
+    },
+}
+
+/// Parses an operation body into statements.
+///
+/// # Errors
+///
+/// Returns [`PseudoError`] on malformed pseudo-code.
+pub fn parse_operation(src: &str) -> Result<Vec<PStmt>, PseudoError> {
+    let toks = tokenize(src)?;
+    let mut p = PP { toks, pos: 0 };
+    let body = p.stmts(&[])?;
+    Ok(body)
+}
+
+struct PP {
+    toks: Vec<(PTok, u32)>,
+    pos: usize,
+}
+
+impl PP {
+    fn peek(&self) -> &PTok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].0
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos.min(self.toks.len() - 1)].1
+    }
+
+    fn bump(&mut self) -> PTok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].0.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> PseudoError {
+        PseudoError { line: self.line(), msg: msg.into() }
+    }
+
+    fn skip_nl(&mut self) {
+        while matches!(self.peek(), PTok::Nl) {
+            self.bump();
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), PTok::Id(s) if s == kw)
+    }
+
+    fn eat_p(&mut self, p: &str) -> Result<(), PseudoError> {
+        if matches!(self.peek(), PTok::P(q) if *q == p) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {:?}", self.peek())))
+        }
+    }
+
+    /// Parses statements until one of the terminator keywords or `End`.
+    fn stmts(&mut self, until: &[&str]) -> Result<Vec<PStmt>, PseudoError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_nl();
+            if matches!(self.peek(), PTok::End) || until.iter().any(|k| self.at_kw(k)) {
+                return Ok(out);
+            }
+            out.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<PStmt, PseudoError> {
+        if self.at_kw("FOR") {
+            self.bump();
+            let PTok::Id(var) = self.bump() else {
+                return Err(self.err("expected induction variable"));
+            };
+            if !matches!(self.bump(), PTok::Assign) {
+                return Err(self.err("expected `:=` in FOR"));
+            }
+            let from = self.expr(0)?;
+            if !self.at_kw("to") {
+                return Err(self.err("expected `to` in FOR"));
+            }
+            self.bump();
+            let to = self.expr(0)?;
+            let body = self.stmts(&["ENDFOR"])?;
+            if !self.at_kw("ENDFOR") {
+                return Err(self.err("expected ENDFOR"));
+            }
+            self.bump();
+            return Ok(PStmt::For { var, from, to, body });
+        }
+        if self.at_kw("IF") {
+            self.bump();
+            let cond = self.expr(0)?;
+            // Optional THEN.
+            if self.at_kw("THEN") {
+                self.bump();
+            }
+            let then_body = self.stmts(&["ELSE", "FI"])?;
+            let else_body = if self.at_kw("ELSE") {
+                self.bump();
+                self.stmts(&["FI"])?
+            } else {
+                Vec::new()
+            };
+            if !self.at_kw("FI") {
+                return Err(self.err("expected FI"));
+            }
+            self.bump();
+            return Ok(PStmt::If { cond, then_body, else_body });
+        }
+        // Assignment.
+        let lhs = self.lvalue()?;
+        if !matches!(self.bump(), PTok::Assign) {
+            return Err(self.err("expected `:=`"));
+        }
+        let rhs = self.expr(0)?;
+        Ok(PStmt::Assign { lhs, rhs })
+    }
+
+    fn lvalue(&mut self) -> Result<PLval, PseudoError> {
+        let base = match self.bump() {
+            PTok::Id(s) if s == "MEM" => RangeBase::Mem,
+            PTok::Id(s) => RangeBase::Var(s),
+            other => return Err(self.err(format!("expected lvalue, found {other:?}"))),
+        };
+        if matches!(self.peek(), PTok::P("[")) {
+            self.bump();
+            let hi = self.expr(0)?;
+            let lo = if matches!(self.peek(), PTok::P(":")) {
+                self.bump();
+                Some(self.expr(0)?)
+            } else {
+                None
+            };
+            self.eat_p("]")?;
+            Ok(PLval::Range { base, hi, lo })
+        } else {
+            match base {
+                RangeBase::Var(s) => Ok(PLval::Var(s)),
+                RangeBase::Mem => Err(self.err("MEM requires a range")),
+            }
+        }
+    }
+
+    fn binop_at(&self) -> Option<(&'static str, u8)> {
+        match self.peek() {
+            PTok::Id(s) if s == "OR" => Some(("OR", 1)),
+            PTok::Id(s) if s == "XOR" => Some(("XOR", 2)),
+            PTok::Id(s) if s == "AND" => Some(("AND", 3)),
+            PTok::P("==") => Some(("==", 4)),
+            PTok::P("!=") => Some(("!=", 4)),
+            PTok::P("=") => Some(("==", 4)), // Intel sometimes writes `=`
+            PTok::P("<") => Some(("<", 5)),
+            PTok::P("<=") => Some(("<=", 5)),
+            PTok::P(">") => Some((">", 5)),
+            PTok::P(">=") => Some((">=", 5)),
+            PTok::P("<<") => Some(("<<", 6)),
+            PTok::P(">>") => Some((">>", 6)),
+            PTok::P("+") => Some(("+", 7)),
+            PTok::P("-") => Some(("-", 7)),
+            PTok::P("*") => Some(("*", 8)),
+            PTok::P("/") => Some(("/", 8)),
+            PTok::P("%") => Some(("%", 8)),
+            _ => None,
+        }
+    }
+
+    fn expr(&mut self, min_prec: u8) -> Result<PExpr, PseudoError> {
+        let mut lhs = self.unary()?;
+        while let Some((op, prec)) = self.binop_at() {
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.expr(prec + 1)?;
+            lhs = PExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<PExpr, PseudoError> {
+        if matches!(self.peek(), PTok::P("-")) {
+            self.bump();
+            return Ok(PExpr::Un("-", Box::new(self.unary()?)));
+        }
+        if self.at_kw("NOT") {
+            self.bump();
+            return Ok(PExpr::Un("NOT", Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<PExpr, PseudoError> {
+        match self.bump() {
+            PTok::Num(v) => Ok(PExpr::Num(v)),
+            PTok::P("(") => {
+                let e = self.expr(0)?;
+                self.eat_p(")")?;
+                Ok(e)
+            }
+            PTok::Id(s) => {
+                if s == "MAX" && !matches!(self.peek(), PTok::P("(")) {
+                    return Ok(PExpr::MaxBit);
+                }
+                if matches!(self.peek(), PTok::P("(")) {
+                    // Pseudo-function call.
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), PTok::P(")")) {
+                        loop {
+                            args.push(self.expr(0)?);
+                            if matches!(self.peek(), PTok::P(",")) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat_p(")")?;
+                    return Ok(PExpr::Call(s, args));
+                }
+                if matches!(self.peek(), PTok::P("[")) {
+                    self.bump();
+                    let hi = self.expr(0)?;
+                    let lo = if matches!(self.peek(), PTok::P(":")) {
+                        self.bump();
+                        Some(Box::new(self.expr(0)?))
+                    } else {
+                        None
+                    };
+                    self.eat_p("]")?;
+                    let base = if s == "MEM" { RangeBase::Mem } else { RangeBase::Var(s) };
+                    return Ok(PExpr::Range { base, hi: Box::new(hi), lo });
+                }
+                Ok(PExpr::Var(s))
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// A linear form `Σ cᵢ·varᵢ + k` over the pseudo-code's integer
+/// variables — the symbolic machinery used to derive bit widths
+/// ("we first derive symbolically the number of bits accessed", §V).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Lin {
+    /// Coefficients per variable.
+    pub coeffs: BTreeMap<String, i64>,
+    /// Constant term.
+    pub konst: i64,
+}
+
+impl Lin {
+    /// The constant `k`.
+    pub fn constant(k: i64) -> Lin {
+        Lin { coeffs: BTreeMap::new(), konst: k }
+    }
+
+    /// A single variable.
+    pub fn var(name: &str) -> Lin {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(name.to_string(), 1);
+        Lin { coeffs, konst: 0 }
+    }
+
+    /// Sum.
+    #[must_use]
+    pub fn add(&self, other: &Lin) -> Lin {
+        let mut out = self.clone();
+        out.konst += other.konst;
+        for (v, c) in &other.coeffs {
+            *out.coeffs.entry(v.clone()).or_insert(0) += c;
+        }
+        out.coeffs.retain(|_, c| *c != 0);
+        out
+    }
+
+    /// Difference.
+    #[must_use]
+    pub fn sub(&self, other: &Lin) -> Lin {
+        self.add(&other.scale(-1))
+    }
+
+    /// Scalar multiple.
+    #[must_use]
+    pub fn scale(&self, k: i64) -> Lin {
+        Lin {
+            coeffs: self
+                .coeffs
+                .iter()
+                .filter(|(_, c)| **c * k != 0)
+                .map(|(v, c)| (v.clone(), c * k))
+                .collect(),
+            konst: self.konst * k,
+        }
+    }
+
+    /// The value if the form is constant.
+    pub fn as_const(&self) -> Option<i64> {
+        if self.coeffs.is_empty() {
+            Some(self.konst)
+        } else {
+            None
+        }
+    }
+
+    /// Removes one occurrence of `var` (coefficient 1); `None` if absent
+    /// or with a different coefficient.
+    pub fn without_var(&self, var: &str) -> Option<Lin> {
+        if self.coeffs.get(var) != Some(&1) {
+            return None;
+        }
+        let mut out = self.clone();
+        out.coeffs.remove(var);
+        Some(out)
+    }
+}
+
+/// Evaluates an index expression to a linear form; `max_bit` substitutes
+/// the `MAX` constant. Returns `None` for non-linear expressions.
+pub fn linearize(e: &PExpr, max_bit: i64) -> Option<Lin> {
+    match e {
+        PExpr::Num(v) => Some(Lin::constant(*v)),
+        PExpr::Var(v) => Some(Lin::var(v)),
+        PExpr::MaxBit => Some(Lin::constant(max_bit)),
+        PExpr::Un("-", inner) => Some(linearize(inner, max_bit)?.scale(-1)),
+        PExpr::Bin("+", a, b) => Some(linearize(a, max_bit)?.add(&linearize(b, max_bit)?)),
+        PExpr::Bin("-", a, b) => Some(linearize(a, max_bit)?.sub(&linearize(b, max_bit)?)),
+        PExpr::Bin("*", a, b) => {
+            let la = linearize(a, max_bit)?;
+            let lb = linearize(b, max_bit)?;
+            match (la.as_const(), lb.as_const()) {
+                (Some(ka), _) => Some(lb.scale(ka)),
+                (_, Some(kb)) => Some(la.scale(kb)),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ADD_PD: &str = "FOR j := 0 to 3\n\ti := j*64\n\tdst[i+63:i] := a[i+63:i] + b[i+63:i]\nENDFOR\ndst[MAX:256] := 0";
+
+    #[test]
+    fn parses_add_pd_operation() {
+        let stmts = parse_operation(ADD_PD).unwrap();
+        assert_eq!(stmts.len(), 2);
+        let PStmt::For { var, from, to, body } = &stmts[0] else { panic!() };
+        assert_eq!(var, "j");
+        assert_eq!(from, &PExpr::Num(0));
+        assert_eq!(to, &PExpr::Num(3));
+        assert_eq!(body.len(), 2);
+        let PStmt::Assign { lhs, rhs } = &body[1] else { panic!() };
+        assert!(matches!(lhs, PLval::Range { base: RangeBase::Var(b), .. } if b == "dst"));
+        assert!(matches!(rhs, PExpr::Bin("+", _, _)));
+        // The tail zeroing of the upper (nonexistent) bits.
+        let PStmt::Assign { lhs: PLval::Range { hi, lo, .. }, .. } = &stmts[1] else { panic!() };
+        assert_eq!(hi, &PExpr::MaxBit);
+        assert_eq!(lo.as_ref().unwrap(), &PExpr::Num(256));
+    }
+
+    #[test]
+    fn parses_if_else() {
+        let src = "FOR j := 0 to 3\n\ti := j*64\n\tIF imm8[j]\n\t\tdst[i+63:i] := b[i+63:i]\n\tELSE\n\t\tdst[i+63:i] := a[i+63:i]\n\tFI\nENDFOR";
+        let stmts = parse_operation(src).unwrap();
+        let PStmt::For { body, .. } = &stmts[0] else { panic!() };
+        let PStmt::If { cond, then_body, else_body } = &body[1] else { panic!() };
+        assert!(matches!(cond, PExpr::Range { lo: None, .. }));
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn parses_mem_and_calls() {
+        let src = "FOR j := 0 to 3\n\ti := j*64\n\tdst[i+63:i] := SQRT(MEM[mem_addr+i+63:mem_addr+i])\nENDFOR";
+        let stmts = parse_operation(src).unwrap();
+        let PStmt::For { body, .. } = &stmts[0] else { panic!() };
+        let PStmt::Assign { rhs: PExpr::Call(name, args), .. } = &body[1] else { panic!() };
+        assert_eq!(name, "SQRT");
+        assert!(matches!(&args[0], PExpr::Range { base: RangeBase::Mem, .. }));
+    }
+
+    #[test]
+    fn linear_forms() {
+        let stmts = parse_operation("dst[i+63:i] := a[i+63:i]").unwrap();
+        let PStmt::Assign { lhs: PLval::Range { hi, lo, .. }, .. } = &stmts[0] else { panic!() };
+        let h = linearize(hi, 255).unwrap();
+        let l = linearize(lo.as_ref().unwrap(), 255).unwrap();
+        let width = h.sub(&l).konst + 1;
+        assert_eq!(width, 64);
+        assert_eq!(h.sub(&l).coeffs.len(), 0);
+    }
+
+    #[test]
+    fn linearize_products_and_max() {
+        let e = parse_operation("x := 2*j*4 + MAX - 3").unwrap();
+        let PStmt::Assign { rhs, .. } = &e[0] else { panic!() };
+        let l = linearize(rhs, 255).unwrap();
+        assert_eq!(l.coeffs.get("j"), Some(&8));
+        assert_eq!(l.konst, 252);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse_operation("FOR j := 0 to").is_err());
+        assert!(parse_operation("dst[1:0] :=").is_err());
+        assert!(parse_operation("IF x\ny := 1").is_err()); // missing FI
+    }
+
+    #[test]
+    fn equality_chain_quirk() {
+        // Intel sometimes writes `a == b == c`; we parse it (left assoc)
+        // like the paper notes — the generator rewrites it properly.
+        let stmts = parse_operation("x := a == b == c").unwrap();
+        let PStmt::Assign { rhs: PExpr::Bin("==", l, _), .. } = &stmts[0] else { panic!() };
+        assert!(matches!(&**l, PExpr::Bin("==", _, _)));
+    }
+}

@@ -1,0 +1,152 @@
+//! Intrinsic specifications extracted from the vendor XML (Fig. 4 "XML
+//! parser": name, return type, parameter list and the operation text).
+
+use crate::xml::{parse_xml, XmlError, XmlNode};
+
+/// One parameter of an intrinsic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecParam {
+    /// C type as spelled in the XML (`__m256d`, `double const*`, `int`).
+    pub ty: String,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A parsed intrinsic specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntrinsicSpec {
+    /// Intrinsic name (`_mm256_add_pd`).
+    pub name: String,
+    /// Return type as spelled in the XML.
+    pub rettype: String,
+    /// The `<type>` element (e.g. "Floating Point").
+    pub data_type: String,
+    /// Required CPUID feature (e.g. "AVX").
+    pub cpuid: String,
+    /// Category (e.g. "Arithmetic").
+    pub category: String,
+    /// Parameters in order.
+    pub params: Vec<SpecParam>,
+    /// Human description.
+    pub description: String,
+    /// The pseudo-language operation body.
+    pub operation: String,
+}
+
+/// Error while extracting specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Underlying XML problem.
+    Xml(XmlError),
+    /// An `<intrinsic>` element missing required pieces.
+    Malformed(String),
+}
+
+impl core::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpecError::Xml(e) => write!(f, "{e}"),
+            SpecError::Malformed(m) => write!(f, "malformed intrinsic spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<XmlError> for SpecError {
+    fn from(e: XmlError) -> SpecError {
+        SpecError::Xml(e)
+    }
+}
+
+/// Parses an intrinsics XML document into specifications.
+///
+/// Only floating-point intrinsics are considered, like the paper ("we
+/// only consider intrinsics that perform floating-point operations").
+///
+/// # Errors
+///
+/// Returns [`SpecError`] on malformed XML or incomplete entries.
+pub fn parse_spec_xml(src: &str) -> Result<Vec<IntrinsicSpec>, SpecError> {
+    let root = parse_xml(src)?;
+    let mut out = Vec::new();
+    for intr in root.children_named("intrinsic") {
+        let spec = parse_one(intr)?;
+        if spec.data_type.contains("Floating Point") {
+            out.push(spec);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_one(n: &XmlNode) -> Result<IntrinsicSpec, SpecError> {
+    let name = n
+        .attr("name")
+        .ok_or_else(|| SpecError::Malformed("missing name".into()))?
+        .to_string();
+    let rettype = n
+        .attr("rettype")
+        .ok_or_else(|| SpecError::Malformed(format!("{name}: missing rettype")))?
+        .to_string();
+    let params = n
+        .children_named("parameter")
+        .map(|p| {
+            Ok(SpecParam {
+                ty: p
+                    .attr("type")
+                    .ok_or_else(|| SpecError::Malformed(format!("{name}: parameter type")))?
+                    .to_string(),
+                name: p
+                    .attr("varname")
+                    .ok_or_else(|| SpecError::Malformed(format!("{name}: parameter varname")))?
+                    .to_string(),
+            })
+        })
+        .collect::<Result<Vec<_>, SpecError>>()?;
+    let text_of = |tag: &str| n.child(tag).map(|c| c.text.trim().to_string()).unwrap_or_default();
+    Ok(IntrinsicSpec {
+        name,
+        rettype,
+        data_type: text_of("type"),
+        cpuid: text_of("CPUID"),
+        category: text_of("category"),
+        params,
+        description: text_of("description"),
+        operation: text_of("operation"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses_completely() {
+        let specs = parse_spec_xml(crate::CORPUS).unwrap();
+        assert!(specs.len() >= 30, "corpus has {} specs", specs.len());
+        let add = specs.iter().find(|s| s.name == "_mm256_add_pd").unwrap();
+        assert_eq!(add.rettype, "__m256d");
+        assert_eq!(add.params.len(), 2);
+        assert!(add.operation.contains("FOR j := 0 to 3"));
+        assert_eq!(add.cpuid, "AVX");
+    }
+
+    #[test]
+    fn non_fp_filtered() {
+        let src = r#"<root>
+            <intrinsic rettype="__m256i" name="_mm256_add_epi64">
+              <type>Integer</type>
+              <parameter varname="a" type="__m256i"/>
+              <operation>x := 0</operation>
+            </intrinsic>
+        </root>"#;
+        let specs = parse_spec_xml(src).unwrap();
+        assert!(specs.is_empty());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let src = r#"<root><intrinsic name="_mm_x"><type>Floating Point</type></intrinsic></root>"#;
+        assert!(matches!(parse_spec_xml(src), Err(SpecError::Malformed(_))));
+    }
+}

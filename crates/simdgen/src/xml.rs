@@ -1,0 +1,284 @@
+//! A minimal XML parser — just enough for the Intel Intrinsics Guide
+//! data file format (elements, attributes, text; no namespaces, CDATA or
+//! processing instructions).
+
+/// An XML element.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XmlNode {
+    /// Tag name.
+    pub tag: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements.
+    pub children: Vec<XmlNode>,
+    /// Concatenated text content (entity-decoded, children's text
+    /// excluded).
+    pub text: String,
+}
+
+impl XmlNode {
+    /// First attribute with the given name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// All children with the given tag.
+    pub fn children_named<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a XmlNode> {
+        self.children.iter().filter(move |c| c.tag == tag)
+    }
+
+    /// First child with the given tag.
+    pub fn child(&self, tag: &str) -> Option<&XmlNode> {
+        self.children.iter().find(|c| c.tag == tag)
+    }
+}
+
+/// XML parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset of the problem.
+    pub offset: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl core::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "xml error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parses a document and returns its root element. A leading
+/// `<?xml … ?>` declaration and comments are skipped.
+///
+/// # Errors
+///
+/// Returns [`XmlError`] on malformed input.
+pub fn parse_xml(src: &str) -> Result<XmlNode, XmlError> {
+    let mut p = P { src: src.as_bytes(), pos: 0 };
+    p.skip_misc();
+    let node = p.element()?;
+    p.skip_misc();
+    Ok(node)
+}
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, msg: impl Into<String>) -> XmlError {
+        XmlError { offset: self.pos, msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos.min(self.src.len())..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                if let Some(end) = find(self.src, self.pos, "?>") {
+                    self.pos = end + 2;
+                    continue;
+                }
+            }
+            if self.starts_with("<!--") {
+                if let Some(end) = find(self.src, self.pos, "-->") {
+                    self.pos = end + 3;
+                    continue;
+                }
+            }
+            if self.starts_with("<!DOCTYPE") {
+                if let Some(end) = find(self.src, self.pos, ">") {
+                    self.pos = end + 1;
+                    continue;
+                }
+            }
+            return;
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b':')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected name"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn element(&mut self) -> Result<XmlNode, XmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected `<`"));
+        }
+        self.pos += 1;
+        let tag = self.name()?;
+        let mut node = XmlNode { tag, ..Default::default() };
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected `>` after `/`"));
+                    }
+                    self.pos += 1;
+                    return Ok(node); // self-closing
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected `=` in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek().ok_or_else(|| self.err("eof in attribute"))?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(self.err("expected quoted attribute value"));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    let val = decode_entities(&String::from_utf8_lossy(
+                        &self.src[start..self.pos],
+                    ));
+                    self.pos += 1; // closing quote
+                    node.attrs.push((key, val));
+                }
+                None => return Err(self.err("eof in tag")),
+            }
+        }
+        // Content.
+        loop {
+            if self.starts_with("<!--") {
+                if let Some(end) = find(self.src, self.pos, "-->") {
+                    self.pos = end + 3;
+                    continue;
+                }
+                return Err(self.err("unterminated comment"));
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != node.tag {
+                    return Err(self.err(format!(
+                        "mismatched close tag: expected </{}>, got </{close}>",
+                        node.tag
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected `>`"));
+                }
+                self.pos += 1;
+                return Ok(node);
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    node.children.push(self.element()?);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != b'<') {
+                        self.pos += 1;
+                    }
+                    let chunk = String::from_utf8_lossy(&self.src[start..self.pos]);
+                    node.text.push_str(&decode_entities(&chunk));
+                }
+                None => return Err(self.err(format!("eof inside <{}>", node.tag))),
+            }
+        }
+    }
+}
+
+fn find(src: &[u8], from: usize, needle: &str) -> Option<usize> {
+    let n = needle.as_bytes();
+    (from..src.len().saturating_sub(n.len() - 1)).find(|&i| src[i..].starts_with(n))
+}
+
+fn decode_entities(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_intrinsic_shape() {
+        let src = r#"<?xml version="1.0"?>
+<intrinsics_list>
+  <!-- a comment -->
+  <intrinsic rettype="__m256d" name="_mm256_add_pd">
+    <type>Floating Point</type>
+    <CPUID>AVX</CPUID>
+    <parameter varname="a" type="__m256d"/>
+    <parameter varname="b" type="__m256d"/>
+    <operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := a[i+63:i] + b[i+63:i]
+ENDFOR
+    </operation>
+  </intrinsic>
+</intrinsics_list>"#;
+        let root = parse_xml(src).unwrap();
+        assert_eq!(root.tag, "intrinsics_list");
+        let intr = root.child("intrinsic").unwrap();
+        assert_eq!(intr.attr("name"), Some("_mm256_add_pd"));
+        assert_eq!(intr.attr("rettype"), Some("__m256d"));
+        assert_eq!(intr.children_named("parameter").count(), 2);
+        let op = intr.child("operation").unwrap();
+        assert!(op.text.contains("FOR j := 0 to 3"));
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let root = parse_xml(r#"<a x="1 &lt; 2">a &amp;&amp; b</a>"#).unwrap();
+        assert_eq!(root.attr("x"), Some("1 < 2"));
+        assert_eq!(root.text.trim(), "a && b");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_xml("<a><b></a>").is_err());
+        assert!(parse_xml("<a").is_err());
+        assert!(parse_xml("plain").is_err());
+    }
+
+    #[test]
+    fn self_closing_and_nesting() {
+        let root = parse_xml("<a><b/><c><d/></c></a>").unwrap();
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[1].children[0].tag, "d");
+    }
+}

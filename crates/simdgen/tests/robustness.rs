@@ -1,0 +1,109 @@
+//! Robustness tests of the intrinsics toolchain: malformed XML and
+//! pseudo-code never panic, and every corpus entry either generates valid
+//! C or reports a precise unsupported-construct error.
+
+use igen_simdgen::{corpus_specs, generate_c, parse_spec_xml, pseudo, xml};
+use proptest::prelude::*;
+
+#[test]
+fn corpus_every_entry_accounted_for() {
+    let specs = corpus_specs();
+    let mut ok = 0;
+    let mut errs = Vec::new();
+    for s in &specs {
+        match generate_c(s) {
+            Ok(f) => {
+                ok += 1;
+                // Generated functions re-print and re-parse.
+                let c = igen_cfront::print_function(&f);
+                assert!(c.contains(&format!("_c{}", s.name)), "{c}");
+            }
+            Err(e) => errs.push((s.name.clone(), e.to_string())),
+        }
+    }
+    assert_eq!(ok + errs.len(), specs.len());
+    assert_eq!(errs.len(), 1, "{errs:?}");
+    assert!(errs[0].1.contains("ROUND"));
+}
+
+#[test]
+fn corpus_coverage_by_category() {
+    // The corpus spans the categories the paper's benchmarks touch.
+    let specs = corpus_specs();
+    for cat in ["Arithmetic", "Logical", "Load", "Store", "Set", "Swizzle", "Convert"] {
+        assert!(
+            specs.iter().any(|s| s.category == cat),
+            "no {cat} intrinsic in the corpus"
+        );
+    }
+    // Both SSE and AVX generations, both element widths.
+    assert!(specs.iter().any(|s| s.cpuid == "SSE2"));
+    assert!(specs.iter().any(|s| s.cpuid == "AVX"));
+    assert!(specs.iter().any(|s| s.name.ends_with("_ps")));
+    assert!(specs.iter().any(|s| s.name.ends_with("_pd")));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn xml_parser_never_panics(s in "[ -~\\n]{0,300}") {
+        let _ = xml::parse_xml(&s);
+    }
+
+    #[test]
+    fn pseudo_parser_never_panics(s in "[a-zA-Z0-9 :=\\[\\]()+\\-*/\\n\\t]{0,200}") {
+        let _ = pseudo::parse_operation(&s);
+    }
+
+    #[test]
+    fn pseudo_roundtripish(j in 0i64..8, w in prop_oneof![Just(32i64), Just(64)]) {
+        // Structured generation: FOR loops with element accesses always
+        // parse and linearize.
+        let hi = w - 1;
+        let src = format!(
+            "FOR j := 0 to {j}\n\ti := j*{w}\n\tdst[i+{hi}:i] := a[i+{hi}:i] + b[i+{hi}:i]\nENDFOR"
+        );
+        let stmts = pseudo::parse_operation(&src).unwrap();
+        let pseudo::PStmt::For { body, .. } = &stmts[0] else { panic!() };
+        let pseudo::PStmt::Assign { lhs: pseudo::PLval::Range { hi: h, lo, .. }, .. } = &body[1]
+        else { panic!() };
+        let hl = pseudo::linearize(h, 255).unwrap();
+        let ll = pseudo::linearize(lo.as_ref().unwrap(), 255).unwrap();
+        prop_assert_eq!(hl.sub(&ll).as_const(), Some(w - 1));
+    }
+}
+
+#[test]
+fn malformed_specs_rejected_cleanly() {
+    // Missing operation -> pseudo error at generation, not a panic.
+    let src = r#"<r><intrinsic rettype="__m256d" name="_mm_x">
+        <type>Floating Point</type>
+        <parameter varname="a" type="__m256d"/>
+        <operation>dst[63:0] := UNKNOWN_FN(a[63:0])</operation>
+    </intrinsic></r>"#;
+    let specs = parse_spec_xml(src).unwrap();
+    let err = generate_c(&specs[0]).unwrap_err();
+    assert!(err.to_string().contains("UNKNOWN_FN"), "{err}");
+
+    // Integer vector types are out of scope (the paper: FP only).
+    let src = r#"<r><intrinsic rettype="__m256i" name="_mm_y">
+        <type>Floating Point</type>
+        <parameter varname="a" type="__m256i"/>
+        <operation>dst[63:0] := a[63:0]</operation>
+    </intrinsic></r>"#;
+    let specs = parse_spec_xml(src).unwrap();
+    assert!(generate_c(&specs[0]).is_err());
+}
+
+#[test]
+fn single_bit_write_is_unsupported() {
+    let src = r#"<r><intrinsic rettype="__m256d" name="_mm_z">
+        <type>Floating Point</type>
+        <parameter varname="a" type="__m256d"/>
+        <operation>dst[0] := 1</operation>
+    </intrinsic></r>"#;
+    let specs = parse_spec_xml(src).unwrap();
+    let err = generate_c(&specs[0]).unwrap_err();
+    assert!(err.to_string().contains("single-bit write"), "{err}");
+}

@@ -1,0 +1,33 @@
+//! The dependency-problem study of Section VII-C on the Hénon map:
+//! double intervals lose all bits by ~130 iterations, double-double
+//! extends the horizon, affine arithmetic stays flat (and costs orders of
+//! magnitude more).
+//!
+//! ```sh
+//! cargo run --release --example henon
+//! ```
+
+use igen::interval::{DdI, F64I};
+use igen::kernels::{henon, henon_affine};
+
+fn main() {
+    println!("Henon map x' = 1 - 1.05 x^2 + y, y' = 0.3 x   (certified bits)");
+    println!("{:>6} {:>8} {:>8} {:>8}", "iters", "f64i", "ddi", "affine");
+    for iters in [10, 50, 90, 130, 170] {
+        let f: F64I = henon(iters);
+        let d: DdI = henon(iters);
+        let a = henon_affine(iters);
+        println!(
+            "{iters:>6} {:>8.0} {:>8.0} {:>8.0}",
+            f.certified_bits(),
+            d.certified_bits(),
+            a.certified_bits()
+        );
+    }
+    println!();
+    let x170: DdI = henon(170);
+    println!("ddi after 170 iterations: {x170}");
+    println!("still certifies {:.0} bits where plain intervals have 0 —", x170.certified_bits());
+    println!("and affine arithmetic holds ~46 bits indefinitely, at 2-3 orders of");
+    println!("magnitude higher cost (run `table6_affine` for the timings).");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: compile a floating-point C function to sound interval C
+//! and run both versions.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use igen::compiler::{Compiler, Config};
+use igen::interp::{Interp, Value};
+use igen::interval::F64I;
+
+fn main() {
+    // The paper's running example (Fig. 2).
+    let src = r#"
+        double foo(double a, double b) {
+            double c;
+            c = a + b + 0.1;
+            if (c > a) {
+                c = a * c;
+            }
+            return c;
+        }
+    "#;
+
+    // 1. Compile: C with doubles -> C with sound intervals.
+    let out = Compiler::new(Config::default()).compile_str(src).expect("compiles");
+    println!("=== IGen output ===\n{}", out.c_source);
+
+    // 2. Run the original (float) and the transformed (interval) program.
+    let mut float_run = Interp::from_source(src).expect("parses");
+    let transformed = igen::cfront::parse(&out.c_source).expect("output parses");
+    let mut interval_run = Interp::new(&transformed);
+
+    let (a, b) = (1.0, 2.0);
+    let f = float_run
+        .call("foo", vec![Value::F64(a), Value::F64(b)])
+        .expect("float run")
+        .as_f64()
+        .unwrap();
+    let i = interval_run
+        .call(
+            "foo",
+            vec![Value::Interval(F64I::point(a)), Value::Interval(F64I::point(b))],
+        )
+        .expect("interval run")
+        .as_interval()
+        .unwrap();
+
+    println!("float  result: {f:.17}");
+    println!("sound  result: {i}");
+    println!("contains float run: {}", i.contains(f));
+    println!("certified bits:     {:.1} / 53", i.certified_bits());
+    assert!(i.contains(f));
+}

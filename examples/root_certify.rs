@@ -1,0 +1,76 @@
+//! Certified root isolation with interval branch-and-bound.
+//!
+//! A classic application of sound interval arithmetic (and of the sound
+//! code IGen emits): isolate *all* roots of a function on a domain with a
+//! mathematical guarantee. Evaluating `f` over an interval `X` gives an
+//! enclosure `F(X)` of the true range; if `F(X)` excludes zero, `X`
+//! provably contains no root — floating-point rounding included. Boxes
+//! where the three-valued sign test is [`TBool::Unknown`] are bisected.
+//!
+//! The function here is `f(x) = sin(x) * (x*x - 2)` on [-3, 3]: its
+//! roots are -√2, 0, and √2 (sin's only zero in range is x = 0).
+//!
+//! ```sh
+//! cargo run --example root_certify
+//! ```
+
+use igen::interval::elem::sin_interval;
+use igen::interval::F64I;
+
+/// `F(X) ⊇ { sin(x)·(x² − 2) : x ∈ X }` — every FP rounding is outward.
+/// `sqr` (not `x.mul(x)`) keeps `x²` nonnegative on boxes straddling
+/// zero — the dependency-aware square prunes more boxes per bisection.
+fn f(x: &F64I) -> F64I {
+    let x2 = x.sqr();
+    let shifted = x2.sub(&F64I::point(2.0));
+    sin_interval(x).mul(&shifted)
+}
+
+fn main() {
+    let domain = F64I::new(-3.0, 3.0).unwrap();
+    let tol = 1e-12;
+
+    // Branch and bound: keep only boxes whose range enclosure straddles 0.
+    let mut work = vec![domain];
+    let mut roots: Vec<F64I> = Vec::new();
+    let mut discarded = 0usize;
+    while let Some(x) = work.pop() {
+        let fx = f(&x);
+        // Certified sign: if 0 ∉ F(X) there is NO root in X, period.
+        if !fx.contains(0.0) {
+            discarded += 1;
+            continue;
+        }
+        if x.width() <= tol {
+            // Merge adjacent candidate boxes into one enclosure.
+            match roots.last_mut() {
+                Some(last) if last.hi() >= x.lo() => *last = last.join(&x),
+                _ => roots.push(x),
+            }
+            continue;
+        }
+        let m = x.mid();
+        // Split at the midpoint; the shared endpoint keeps the union exact.
+        work.push(F64I::new(m, x.hi()).unwrap());
+        work.push(F64I::new(x.lo(), m).unwrap());
+    }
+
+    println!("domain    : {domain}");
+    println!("f(x)      : sin(x) * (x^2 - 2)");
+    println!("discarded : {discarded} boxes certified root-free");
+    println!("candidates: {} enclosures of width <= {tol:e}", roots.len());
+    for r in &roots {
+        println!("  root in {r}  (width {:.3e})", r.width());
+    }
+
+    // Check against the known roots.
+    let expected = [-(2.0f64.sqrt()), 0.0, 2.0f64.sqrt()];
+    assert_eq!(roots.len(), expected.len(), "exactly three isolated roots");
+    for (r, want) in roots.iter().zip(expected) {
+        assert!(
+            r.contains(want),
+            "enclosure {r} must contain the true root {want}"
+        );
+    }
+    println!("\nall three analytic roots (-sqrt(2), 0, sqrt(2)) certified ✓");
+}

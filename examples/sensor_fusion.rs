@@ -1,0 +1,74 @@
+//! Cyber-physical example (the Section IV-C motivation): inputs come from
+//! sensors with known resolution, expressed with IGen's language
+//! extensions — `double:0.05` parameter tolerances and `…t` tolerance
+//! literals — and a safety check whose branch can become *undecidable*,
+//! signalling an exception instead of silently guessing.
+//!
+//! ```sh
+//! cargo run --example sensor_fusion
+//! ```
+
+use igen::compiler::{Compiler, Config};
+use igen::interp::{Interp, RtError, Value};
+
+fn main() {
+    // A complementary filter fusing a gyroscope rate (resolution 0.05)
+    // and an accelerometer angle (resolution 0.5 degrees), then a safety
+    // envelope check. The constant 0.98 carries an empirical calibration
+    // tolerance of ±0.001 (the `t` literal).
+    let src = r#"
+        double fuse(double:0.05 gyro_rate, double:0.5 accel_angle, double angle, double dt) {
+            double alpha = 0.98 + 0.001t;
+            double predicted = angle + gyro_rate * dt;
+            double fused = alpha * predicted + (1.0 - alpha) * accel_angle;
+            return fused;
+        }
+
+        double check_envelope(double fused) {
+            double limit = 30.0;
+            if (fused > limit) {
+                return 1.0;
+            }
+            return 0.0;
+        }
+    "#;
+
+    let out = Compiler::new(Config::default()).compile_str(src).expect("compiles");
+    println!("=== transformed ===\n{}", out.c_source);
+
+    let tu = igen::cfront::parse(&out.c_source).expect("reparses");
+    let mut run = Interp::new(&tu);
+
+    // Sensors report plain doubles; the tolerances are applied inside.
+    let fused = run
+        .call(
+            "fuse",
+            vec![Value::F64(1.2), Value::F64(24.0), Value::F64(25.0), Value::F64(0.01)],
+        )
+        .expect("fuse")
+        .as_interval()
+        .unwrap();
+    println!("fused angle enclosure: {fused}");
+    println!("width from sensor tolerances: {:.4} degrees", fused.width());
+
+    // Far from the limit: the check is decidable.
+    let verdict = run
+        .call("check_envelope", vec![Value::Interval(fused)])
+        .expect("check")
+        .as_interval()
+        .unwrap();
+    println!(
+        "envelope exceeded: {} (check_envelope returned {verdict})",
+        if verdict.contains(1.0) { "yes" } else { "no" }
+    );
+
+    // Near the limit the interval straddles it: IGen's default policy
+    // signals an exception rather than taking an unsound branch.
+    let near = igen::interval::F64I::new(29.9, 30.1).expect("ordered");
+    match run.call("check_envelope", vec![Value::Interval(near)]) {
+        Err(RtError::UnknownBranch) => {
+            println!("near the limit: branch undecidable -> exception signalled (sound!)")
+        }
+        other => panic!("expected an exception, got {other:?}"),
+    }
+}

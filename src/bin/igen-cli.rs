@@ -1,0 +1,147 @@
+//! `igen-cli` — the command-line front of the IGen compiler (Fig. 1):
+//! reads a C file with floating-point computations, writes the equivalent
+//! sound interval C.
+//!
+//! ```text
+//! igen-cli input.c [-o igen_input.c] [--precision f32|f64|dd]
+//!                  [--reductions] [--join-branches] [--intrinsics]
+//! ```
+
+use igen::compiler::{BranchPolicy, Compiler, Config, OutputVec, Precision};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: igen-cli <input.c> [options]\n\
+         \n\
+         options:\n\
+           -o <file>           output path (default: igen_<input>.c)\n\
+           --precision <p>     target endpoint precision: f32 | f64 (default) | dd\n\
+           --reductions        enable the reduction accuracy transformation\n\
+                               (requires `#pragma igen reduce` annotations)\n\
+           --join-branches     compute both branches of undecidable ifs and\n\
+                               join the results (default: signal exception)\n\
+           --sqr-rewrite       lower `v * v` to the dependency-aware square\n\
+                               (tighter enclosures when v straddles zero)\n\
+           --vectorize <c>     ss (default) | sv | vv: the Fig. 8 register-\n\
+                               packing configuration recorded in the output\n\
+           --intrinsics        also emit igen_simd.c (interval implementations\n\
+                               of the SIMD intrinsics corpus)\n\
+           --report            print detected reductions (Polly-style) and\n\
+                               warnings to stderr"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut cfg = Config::default();
+    let mut emit_intrinsics = false;
+    let mut report = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                i += 1;
+                output = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--precision" => {
+                i += 1;
+                cfg.precision = match args.get(i).map(String::as_str) {
+                    Some("f32") => Precision::F32,
+                    Some("f64") => Precision::F64,
+                    Some("dd") => Precision::Dd,
+                    _ => usage(),
+                };
+            }
+            "--reductions" => cfg.reductions = true,
+            "--sqr-rewrite" => cfg.sqr_rewrite = true,
+            "--vectorize" => {
+                i += 1;
+                cfg.vectorize = match args.get(i).map(String::as_str) {
+                    Some("ss") => OutputVec::Scalar,
+                    Some("sv") => OutputVec::Sse,
+                    Some("vv") => OutputVec::Avx,
+                    _ => usage(),
+                };
+            }
+            "--join-branches" => cfg.branch_policy = BranchPolicy::JoinBranches,
+            "--intrinsics" => emit_intrinsics = true,
+            "--report" => report = true,
+            "-h" | "--help" => usage(),
+            a if a.starts_with('-') => {
+                eprintln!("unknown option {a}");
+                usage()
+            }
+            a => {
+                if input.replace(a.to_string()).is_some() {
+                    usage()
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(input) = input else { usage() };
+
+    let src = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("igen-cli: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = match Compiler::new(cfg).compile_str(&src) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("igen-cli: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report {
+        for w in &out.warnings {
+            eprintln!("warning: {w}");
+        }
+        for r in &out.reductions {
+            eprintln!("{}", r.polly_style_report());
+        }
+        if !out.intrinsics_used.is_empty() {
+            eprintln!("intrinsics used: {}", out.intrinsics_used.join(", "));
+        }
+    }
+    let out_path = output.unwrap_or_else(|| {
+        let stem = std::path::Path::new(&input)
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_else(|| input.clone());
+        format!("igen_{stem}")
+    });
+    if let Err(e) = std::fs::write(&out_path, &out.c_source) {
+        eprintln!("igen-cli: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+    // Ship the runtime interface alongside (Fig. 2 line 1 includes it).
+    std::fs::write("igen_lib.h", igen::compiler::runtime_header(&cfg)).expect("write igen_lib.h");
+    eprintln!("wrote igen_lib.h");
+
+    if emit_intrinsics {
+        match igen::compiler::compile_intrinsics(&cfg) {
+            Ok(intr) => {
+                std::fs::write("igen_simd.c", &intr.c_source).expect("write igen_simd.c");
+                eprintln!(
+                    "wrote igen_simd.c ({} skipped: {})",
+                    intr.skipped.len(),
+                    intr.skipped.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(", ")
+                );
+            }
+            Err(e) => {
+                eprintln!("igen-cli: intrinsics generation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,16 @@
+//! Facade crate for the IGen reproduction workspace.
+//!
+//! Re-exports every member crate under a short name; see the README for a
+//! tour and `DESIGN.md` for the system inventory.
+
+pub use igen_affine as affine;
+pub use igen_baselines as baselines;
+pub use igen_cfront as cfront;
+pub use igen_core as compiler;
+pub use igen_dd as dd;
+pub use igen_interp as interp;
+pub use igen_interval as interval;
+pub use igen_kernels as kernels;
+pub use igen_mpf as mpf;
+pub use igen_round as round;
+pub use igen_simdgen as simdgen;

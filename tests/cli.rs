@@ -1,0 +1,132 @@
+//! End-to-end tests of the `igen-cli` binary: file in, files out, exit
+//! codes, and the `--report` diagnostics channel.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_igen-cli"))
+}
+
+/// Fresh scratch directory per test (under the target dir, so `cargo
+/// clean` removes it).
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_in(dir: &PathBuf, args: &[&str]) -> Output {
+    cli().current_dir(dir).args(args).output().expect("spawn igen-cli")
+}
+
+#[test]
+fn compiles_a_file_and_writes_header() {
+    let dir = scratch("cli_basic");
+    fs::write(dir.join("foo.c"), "double f(double a) { return a * a + 0.5; }").unwrap();
+    let out = run_in(&dir, &["foo.c"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let c = fs::read_to_string(dir.join("igen_foo.c")).unwrap();
+    assert!(c.contains("f64i f(f64i a)"), "{c}");
+    assert!(c.contains("ia_mul_f64"), "{c}");
+    let h = fs::read_to_string(dir.join("igen_lib.h")).unwrap();
+    assert!(h.contains("f64i ia_add_f64"), "{h}");
+}
+
+#[test]
+fn custom_output_path_and_dd_precision() {
+    let dir = scratch("cli_dd");
+    fs::write(dir.join("g.c"), "double g(double x) { return x + 1.0; }").unwrap();
+    let out = run_in(&dir, &["g.c", "-o", "out.c", "--precision", "dd"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let c = fs::read_to_string(dir.join("out.c")).unwrap();
+    assert!(c.contains("ddi g(ddi x)"), "{c}");
+    assert!(c.contains("ia_add_dd"), "{c}");
+    assert!(!dir.join("igen_g.c").exists());
+}
+
+#[test]
+fn report_prints_polly_style_reductions() {
+    let dir = scratch("cli_report");
+    fs::write(
+        dir.join("dot.c"),
+        r#"
+        double dot(double* x, double* y, int n) {
+            double s = 0.0;
+            int i;
+            #pragma igen reduce s
+            for (i = 0; i < n; i++) {
+                s = s + x[i] * y[i];
+            }
+            return s;
+        }
+        "#,
+    )
+    .unwrap();
+    let out = run_in(&dir, &["dot.c", "--reductions", "--report"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("Reduction dependences"), "{stderr}");
+    assert!(stderr.contains("var: s"), "{stderr}");
+    let c = fs::read_to_string(dir.join("igen_dot.c")).unwrap();
+    assert!(c.contains("isum_"), "{c}");
+}
+
+#[test]
+fn intrinsics_flag_emits_simd_library() {
+    let dir = scratch("cli_simd");
+    fs::write(dir.join("k.c"), "double k(double a) { return a - 2.0; }").unwrap();
+    let out = run_in(&dir, &["k.c", "--intrinsics"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let simd = fs::read_to_string(dir.join("igen_simd.c")).unwrap();
+    assert!(simd.contains("_c_mm256_add_pd"), "{simd}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // blendv + the deliberately-unsupported round_pd are reported skipped.
+    assert!(stderr.contains("_mm256_blendv_pd"), "{stderr}");
+    assert!(stderr.contains("_mm256_round_pd"), "{stderr}");
+}
+
+#[test]
+fn compile_error_is_reported_with_failure_exit() {
+    let dir = scratch("cli_err");
+    // float -> int cast is a rejected construct (paper Section V).
+    fs::write(dir.join("bad.c"), "int f(double a) { return (int) a; }").unwrap();
+    let out = run_in(&dir, &["bad.c"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad.c"), "{stderr}");
+    assert!(!dir.join("igen_bad.c").exists());
+}
+
+#[test]
+fn missing_input_fails_cleanly() {
+    let dir = scratch("cli_missing");
+    let out = run_in(&dir, &["nonexistent.c"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"), "");
+}
+
+#[test]
+fn unknown_flag_shows_usage() {
+    let dir = scratch("cli_usage");
+    let out = run_in(&dir, &["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn vectorize_flag_stamps_configuration() {
+    let dir = scratch("cli_vec");
+    fs::write(dir.join("v.c"), "double f(double a) { return a + 1.0; }").unwrap();
+    let out = run_in(&dir, &["v.c", "--vectorize", "vv"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let c = fs::read_to_string(dir.join("igen_v.c")).unwrap();
+    assert!(c.starts_with("/* igen configuration: vv"), "{c}");
+    // Default ss: no banner (paper listings stay byte-exact).
+    let out = run_in(&dir, &["v.c", "-o", "ss.c"]);
+    assert!(out.status.success());
+    let c = fs::read_to_string(dir.join("ss.c")).unwrap();
+    assert!(c.starts_with("#include"), "{c}");
+}

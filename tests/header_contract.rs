@@ -1,0 +1,91 @@
+//! The runtime-header contract: every `ia_*` / `isum_*` function the
+//! compiler emits must be declared in the `igen_lib.h` it ships, for each
+//! precision. A C build would fail to link otherwise; here the test
+//! closes the same gap (the interpreter binds names dynamically, so a
+//! missing declaration would otherwise go unnoticed).
+
+use igen::compiler::{runtime_header, Compiler, Config, Precision};
+use std::collections::BTreeSet;
+
+/// Extracts `ia_*`/`isum_*` identifiers from C text.
+fn runtime_calls(c: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let bytes = c.as_bytes();
+    for (i, _) in c.match_indices("ia_").chain(c.match_indices("isum_")) {
+        // must start an identifier
+        if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+            continue;
+        }
+        let end = c[i..]
+            .find(|ch: char| !ch.is_ascii_alphanumeric() && ch != '_')
+            .map_or(c.len(), |k| i + k);
+        out.insert(c[i..end].to_string());
+    }
+    // ia_mm* kernels are declared by the SIMD header section the vector
+    // programs include; they are outside the scalar contract.
+    out.retain(|n| !n.starts_with("ia_mm"));
+    out
+}
+
+fn check(cfg: Config, sources: &[&str]) {
+    let header = runtime_header(&cfg);
+    for src in sources {
+        let out = Compiler::new(cfg).compile_str(src).unwrap_or_else(|e| {
+            panic!("compile failed for {src}: {e}");
+        });
+        for name in runtime_calls(&out.c_source) {
+            assert!(
+                header.contains(&format!("{name}(")),
+                "{name} emitted but not declared in igen_lib.h (precision {:?})\nsource: {src}",
+                cfg.precision
+            );
+        }
+    }
+}
+
+const COMMON: &[&str] = &[
+    "double f(double a, double b) { double c; c = a + b + 0.1; if (c > a) { c = a * c; } return c; }",
+    "double g(double x) { return -x / (x + 2.5); }",
+    "double h(double x) { return pow(x, 3) + pow(x, -2); }",
+    "double m(double a, double b) { return fmin(a, b) - fmax(a, b); }",
+    "double r(double* v, int n) { double s = 0.0; int i;\n#pragma igen reduce s\nfor (i = 0; i < n; i++) { s = s + v[i]; } return s; }",
+];
+
+#[test]
+fn f64_header_covers_all_emitted_calls() {
+    let mut sources = COMMON.to_vec();
+    sources.push(
+        "double e(double x) { return exp(x) + log(x) + sin(x) + cos(x) + tan(x) \
+         + atan(x) + asin(x) + acos(x) + sqrt(x) + fabs(x) + floor(x) + ceil(x); }",
+    );
+    let cfg = Config { reductions: true, ..Config::default() };
+    check(cfg, &sources);
+    // join-branches policy uses additional tbool helpers.
+    let join = Config {
+        reductions: true,
+        branch_policy: igen::compiler::BranchPolicy::JoinBranches,
+        ..Config::default()
+    };
+    check(join, COMMON);
+}
+
+#[test]
+fn dd_header_covers_all_emitted_calls() {
+    let cfg = Config { precision: Precision::Dd, reductions: true, ..Config::default() };
+    check(cfg, COMMON);
+}
+
+#[test]
+fn f32_header_covers_all_emitted_calls() {
+    let cfg = Config { precision: Precision::F32, reductions: true, ..Config::default() };
+    // The reduction accumulator & pow exist for f32 too.
+    check(
+        cfg,
+        &[
+            "float f(float a, float b) { float c; c = a + b + 0.1f; if (c > a) { c = a * c; } return c; }",
+            "float h(float x) { return pow(x, 4); }",
+            "float e(float x) { return exp(x) + log(x) + sin(x) + cos(x) + tan(x) \
+             + atan(x) + asin(x) + acos(x) + sqrt(x) + fabs(x) + floor(x) + ceil(x); }",
+        ],
+    );
+}
