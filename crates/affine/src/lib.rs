@@ -273,10 +273,7 @@ impl Aff {
     #[must_use]
     pub fn recip(&self) -> Aff {
         let (lo, hi) = self.to_interval();
-        assert!(
-            lo > 0.0 || hi < 0.0,
-            "affine reciprocal of a range containing zero: [{lo}, {hi}]"
-        );
+        assert!(lo > 0.0 || hi < 0.0, "affine reciprocal of a range containing zero: [{lo}, {hi}]");
         let rlo = r::div_rd(1.0, hi);
         let rhi = r::div_ru(1.0, lo);
         let (rlo, rhi) = if rlo <= rhi { (rlo, rhi) } else { (rhi, rlo) };
@@ -496,7 +493,7 @@ mod tests {
         let (lo, hi) = q.to_interval();
         assert!(lo <= 0.2 && 0.5 <= hi, "[{lo}, {hi}]");
         assert!(lo >= 0.15 && hi <= 0.51, "[{lo}, {hi}]"); // affine mul remainder widens the low side
-        // Negative denominators work.
+                                                           // Negative denominators work.
         let q = x / Aff::from_interval(-5.0, -4.0);
         let (lo, hi) = q.to_interval();
         assert!(lo <= -0.25 && -0.2 <= hi, "[{lo}, {hi}]");

@@ -73,10 +73,7 @@ impl core::ops::Mul for ModelIGenI {
         let l2 = na * bh;
         let l3 = ah * nb;
         let l4 = -ah * bh;
-        ModelIGenI {
-            neg_lo: l1.max(l2).max(l3.max(l4)),
-            hi: u1.max(u2).max(u3.max(u4)),
-        }
+        ModelIGenI { neg_lo: l1.max(l2).max(l3.max(l4)), hi: u1.max(u2).max(u3.max(u4)) }
     }
 }
 
@@ -151,10 +148,7 @@ impl core::ops::Mul for ModelLibI {
         } else if bl >= 0.0 {
             ModelLibI { lo: al * bh, hi: ah * bh }
         } else {
-            ModelLibI {
-                lo: (al * bh).min(ah * bl),
-                hi: (al * bl).max(ah * bh),
-            }
+            ModelLibI { lo: (al * bh).min(ah * bl), hi: (al * bl).max(ah * bh) }
         }
     }
 }

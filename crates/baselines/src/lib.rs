@@ -377,10 +377,7 @@ impl core::ops::Add for GaolI {
     type Output = GaolI;
     #[inline(never)]
     fn add(self, rhs: GaolI) -> GaolI {
-        GaolI {
-            neg_lo: r::add_ru(self.neg_lo, rhs.neg_lo),
-            hi: r::add_ru(self.hi, rhs.hi),
-        }
+        GaolI { neg_lo: r::add_ru(self.neg_lo, rhs.neg_lo), hi: r::add_ru(self.hi, rhs.hi) }
     }
 }
 
@@ -388,10 +385,7 @@ impl core::ops::Sub for GaolI {
     type Output = GaolI;
     #[inline(never)]
     fn sub(self, rhs: GaolI) -> GaolI {
-        GaolI {
-            neg_lo: r::add_ru(self.neg_lo, rhs.hi),
-            hi: r::add_ru(self.hi, rhs.neg_lo),
-        }
+        GaolI { neg_lo: r::add_ru(self.neg_lo, rhs.hi), hi: r::add_ru(self.hi, rhs.neg_lo) }
     }
 }
 

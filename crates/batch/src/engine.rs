@@ -1,0 +1,300 @@
+//! The chunked parallel execution engine.
+//!
+//! `rayon` is not available in the build environment, so the engine is
+//! built on `std::thread::scope` (std since 1.63): work is split into
+//! contiguous index ranges, one scoped thread per range, and per-range
+//! results are stitched back together *in range order*. Because every
+//! interval operation in this workspace rounds via deterministic software
+//! EFTs, a pure per-element function returns bit-identical results no
+//! matter which thread runs it — so `par_map` output is byte-for-byte the
+//! sequential output, at any thread count.
+//!
+//! Reductions are different: interval addition is *not* associative at
+//! the bit level, so a reduction's combine order must be pinned for the
+//! result to be reproducible. [`par_reduce`] therefore cuts the index
+//! space into fixed-size chunks whose boundaries depend only on the
+//! configured chunk length — never on the thread count — computes one
+//! partial per chunk, and folds the partials left-to-right in chunk
+//! order. The result is identical for 1, 2, or N threads.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Execution parameters for the batch engine.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    threads: usize,
+    seq_threshold: usize,
+}
+
+/// Below this many work items the engine stays sequential by default —
+/// spawning threads for tiny batches costs more than it saves.
+pub const DEFAULT_SEQ_THRESHOLD: usize = 32;
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig { threads: available_threads(), seq_threshold: DEFAULT_SEQ_THRESHOLD }
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be queried).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+impl BatchConfig {
+    /// The default configuration: all available cores, default sequential
+    /// fallback threshold.
+    pub fn new() -> BatchConfig {
+        BatchConfig::default()
+    }
+
+    /// Sets the worker thread count (`0` means "all available cores").
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> BatchConfig {
+        self.threads = if threads == 0 { available_threads() } else { threads };
+        self
+    }
+
+    /// Sets the sequential fallback threshold: batches of at most this
+    /// many items run on the calling thread.
+    #[must_use]
+    pub fn with_seq_threshold(mut self, seq_threshold: usize) -> BatchConfig {
+        self.seq_threshold = seq_threshold;
+        self
+    }
+
+    /// Configured worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Configured sequential fallback threshold.
+    pub fn seq_threshold(&self) -> usize {
+        self.seq_threshold
+    }
+
+    /// Number of worker threads a batch of `n` items will actually use.
+    pub fn effective_threads(&self, n: usize) -> usize {
+        if n <= self.seq_threshold {
+            return 1;
+        }
+        self.threads.clamp(1, n.max(1))
+    }
+}
+
+/// Splits `0..n` into `parts` contiguous ranges whose lengths differ by
+/// at most one (earlier ranges get the extra items).
+fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    debug_assert!(parts >= 1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Applies `f` to every index in `0..n`, in parallel, preserving index
+/// order in the output. Bit-identical to the sequential
+/// `(0..n).map(f).collect()` because `f` runs once per index with no
+/// cross-index state.
+pub fn par_map_indexed<O, F>(cfg: &BatchConfig, n: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    let threads = cfg.effective_threads(n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let ranges = split_ranges(n, threads);
+    let mut parts: Vec<Vec<O>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            ranges.into_iter().map(|r| scope.spawn(|| r.map(&f).collect::<Vec<O>>())).collect();
+        for h in handles {
+            parts.push(h.join().expect("batch worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Applies `f` to every item of `items`, in parallel, preserving order.
+pub fn par_map<I, O, F>(cfg: &BatchConfig, items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    par_map_indexed(cfg, items.len(), |i| f(&items[i]))
+}
+
+/// Splits `data` into consecutive blocks of `block_len` items (the last
+/// block may be shorter) and runs `f(block_index, block)` on every block,
+/// distributing contiguous runs of blocks across threads. Each block is
+/// handed out as a disjoint `&mut` slice, so `f` may freely mutate it.
+///
+/// # Panics
+///
+/// Panics if `block_len == 0`.
+pub fn par_for_each_block<T, F>(cfg: &BatchConfig, data: &mut [T], block_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(block_len > 0, "block_len must be positive");
+    let nblocks = data.len().div_ceil(block_len);
+    let threads = cfg.effective_threads(nblocks);
+    if threads == 1 {
+        for (bi, block) in data.chunks_mut(block_len).enumerate() {
+            f(bi, block);
+        }
+        return;
+    }
+    let ranges = split_ranges(nblocks, threads);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut handles = Vec::with_capacity(threads);
+        for r in ranges {
+            let bytes = (r.len() * block_len).min(rest.len());
+            let (head, tail) = rest.split_at_mut(bytes);
+            rest = tail;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                for (off, block) in head.chunks_mut(block_len).enumerate() {
+                    f(r.start + off, block);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("batch worker panicked");
+        }
+    });
+}
+
+/// Chunked deterministic reduction over `0..n`.
+///
+/// The index space is cut into chunks of exactly `chunk` indices (the
+/// last may be shorter); `map_chunk` produces one partial per chunk (in
+/// parallel), and the partials are folded left-to-right in chunk order
+/// with `combine`. Chunk boundaries depend only on `chunk`, so the
+/// result is bitwise identical at every thread count — the property the
+/// proptests pin down. Returns `None` when `n == 0`.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+pub fn par_reduce<A, F, G>(
+    cfg: &BatchConfig,
+    n: usize,
+    chunk: usize,
+    map_chunk: F,
+    combine: G,
+) -> Option<A>
+where
+    A: Send,
+    F: Fn(Range<usize>) -> A + Sync,
+    G: Fn(A, A) -> A,
+{
+    assert!(chunk > 0, "chunk must be positive");
+    if n == 0 {
+        return None;
+    }
+    let nchunks = n.div_ceil(chunk);
+    let chunk_range = |ci: usize| ci * chunk..((ci + 1) * chunk).min(n);
+    let partials = par_map_indexed(cfg, nchunks, |ci| map_chunk(chunk_range(ci)));
+    partials.into_iter().reduce(combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_everything_in_order() {
+        for n in [0, 1, 7, 64, 100] {
+            for parts in [1, 2, 3, 8] {
+                let rs = split_ranges(n, parts);
+                assert_eq!(rs.len(), parts);
+                let mut next = 0;
+                for r in &rs {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                let (min, max) = rs
+                    .iter()
+                    .fold((usize::MAX, 0), |(lo, hi), r| (lo.min(r.len()), hi.max(r.len())));
+                assert!(max - min <= 1, "unbalanced: {rs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let cfg = BatchConfig::new().with_threads(4).with_seq_threshold(0);
+        let seq: Vec<u64> = (0..1000).map(|i| (i as u64).wrapping_mul(0x9e37)).collect();
+        let par = par_map_indexed(&cfg, 1000, |i| (i as u64).wrapping_mul(0x9e37));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn seq_threshold_forces_one_thread() {
+        let cfg = BatchConfig::new().with_threads(8).with_seq_threshold(100);
+        assert_eq!(cfg.effective_threads(100), 1);
+        assert_eq!(cfg.effective_threads(101), 8);
+        assert_eq!(cfg.effective_threads(0), 1);
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        let cfg = BatchConfig::new().with_threads(0);
+        assert_eq!(cfg.threads(), available_threads());
+    }
+
+    #[test]
+    fn blocks_visit_disjoint_slices_once() {
+        let cfg = BatchConfig::new().with_threads(3).with_seq_threshold(0);
+        let mut data = vec![0u32; 103]; // non-multiple of the block length
+        par_for_each_block(&cfg, &mut data, 10, |bi, block| {
+            for (i, v) in block.iter_mut().enumerate() {
+                *v = (bi * 10 + i) as u32 + 1;
+            }
+        });
+        let want: Vec<u32> = (1..=103).collect();
+        assert_eq!(data, want);
+    }
+
+    #[test]
+    fn reduce_is_thread_count_invariant() {
+        // f64 addition is non-associative, exactly like interval addition:
+        // if chunk boundaries drifted with the thread count this would
+        // differ bitwise.
+        let vals: Vec<f64> = (0..10_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let run = |threads| {
+            let cfg = BatchConfig::new().with_threads(threads).with_seq_threshold(0);
+            par_reduce(&cfg, vals.len(), 64, |r| r.fold(0.0f64, |a, i| a + vals[i]), |a, b| a + b)
+                .unwrap()
+        };
+        let one = run(1);
+        for t in [2, 3, 8] {
+            assert_eq!(one.to_bits(), run(t).to_bits(), "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn reduce_empty_is_none() {
+        let cfg = BatchConfig::new();
+        let r: Option<u32> = par_reduce(&cfg, 0, 8, |_| 1, |a, b| a + b);
+        assert_eq!(r, None);
+    }
+}

@@ -1,0 +1,299 @@
+//! Batched entry points for the paper kernels.
+//!
+//! Batches are stored *item-major*: a batch of `B` vectors of length `n`
+//! occupies one [`BatchF64I`] of `B·n` intervals where item `b`'s
+//! element `j` sits at index `b·n + j`. The batched kernels then evolve
+//! **four batch items per packed register**: element `j` of items
+//! `b..b+4` is gathered from the SoA columns into one
+//! [`igen_interval::F64Ix4`] (stride-`n` loads, no shuffling), and every
+//! lane operation is element-wise. Each lane therefore executes *exactly*
+//! the scalar kernel's operation sequence for its item — with software
+//! directed rounding this makes the batched results bit-identical to the
+//! scalar kernels at any thread count, which the proptests enforce.
+//!
+//! Trailing items (`B mod 4`) run the scalar kernel directly.
+
+use crate::engine::{par_for_each_block, par_map, par_map_indexed, BatchConfig};
+use crate::soa::{BatchDdI, BatchF64I};
+use igen_interval::{DdI, DdIx4, F64Ix4, F64I};
+use igen_kernels::ffnn::Ffnn;
+use igen_kernels::linalg::gemm;
+use igen_kernels::{henon_from, Numeric};
+
+/// Batch items evolved per packed register group.
+const LANES: usize = 4;
+
+macro_rules! lane_batch_kernels {
+    ($batch:ty, $lane:ty, $elem:ty, $dot:ident, $mvm:ident, $henon:ident) => {
+        /// Batched dot products: `xs`/`ys` hold `B` item-major vectors of
+        /// length `n`; returns the `B` interval dot products, each
+        /// bit-identical to [`igen_kernels::linalg::dot`] on that item.
+        pub fn $dot(cfg: &BatchConfig, n: usize, xs: &$batch, ys: &$batch) -> $batch {
+            assert_eq!(xs.len(), ys.len());
+            if xs.is_empty() {
+                return <$batch>::new();
+            }
+            assert!(n > 0 && xs.len() % n == 0, "batch must be a multiple of n");
+            let batch = xs.len() / n;
+            let groups = batch.div_ceil(LANES);
+            let parts = par_map_indexed(cfg, groups, |g| {
+                let first = g * LANES;
+                let items = LANES.min(batch - first);
+                let mut out = Vec::with_capacity(items);
+                if items == LANES {
+                    let mut acc = <$lane>::splat(<$elem>::ZERO);
+                    for j in 0..n {
+                        acc = acc + xs.load_x4(first * n + j, n) * ys.load_x4(first * n + j, n);
+                    }
+                    for l in 0..LANES {
+                        out.push(acc.lane(l));
+                    }
+                } else {
+                    for b in first..first + items {
+                        let mut acc = <$elem>::ZERO;
+                        for j in 0..n {
+                            acc = acc + xs.get(b * n + j) * ys.get(b * n + j);
+                        }
+                        out.push(acc);
+                    }
+                }
+                out
+            });
+            parts.into_iter().flatten().collect()
+        }
+
+        /// Batched matrix-vector products `y ← A·x + y`: one shared
+        /// row-major `m×n` matrix `a`, `B` item-major input vectors `xs`
+        /// (length `n`) and accumulator vectors `ys` (length `m`). Each
+        /// item's result is bit-identical to
+        /// [`igen_kernels::linalg::mvm`] on that item.
+        pub fn $mvm(
+            cfg: &BatchConfig,
+            m: usize,
+            n: usize,
+            a: &[$elem],
+            xs: &$batch,
+            ys: &$batch,
+        ) -> $batch {
+            assert_eq!(a.len(), m * n);
+            if xs.is_empty() && ys.is_empty() {
+                return <$batch>::new();
+            }
+            assert!(n > 0 && m > 0, "matrix dimensions must be positive");
+            assert!(xs.len() % n == 0 && ys.len() % m == 0);
+            let batch = xs.len() / n;
+            assert_eq!(ys.len() / m, batch);
+            let groups = batch.div_ceil(LANES);
+            let parts = par_map_indexed(cfg, groups, |g| {
+                let first = g * LANES;
+                let items = LANES.min(batch - first);
+                let mut out = vec![<$elem>::ZERO; items * m];
+                if items == LANES {
+                    for i in 0..m {
+                        let mut acc = ys.load_x4(first * m + i, m);
+                        for j in 0..n {
+                            let aij = <$lane>::splat(a[i * n + j]);
+                            acc = acc + aij * xs.load_x4(first * n + j, n);
+                        }
+                        for l in 0..LANES {
+                            out[l * m + i] = acc.lane(l);
+                        }
+                    }
+                } else {
+                    for (l, b) in (first..first + items).enumerate() {
+                        for i in 0..m {
+                            let mut acc = ys.get(b * m + i);
+                            for j in 0..n {
+                                acc = acc + a[i * n + j] * xs.get(b * n + j);
+                            }
+                            out[l * m + i] = acc;
+                        }
+                    }
+                }
+                out
+            });
+            parts.into_iter().flatten().collect()
+        }
+
+        /// A Hénon orbit ensemble: evolves one orbit per batch item from
+        /// its initial point `(x0s[b], y0s[b])`, four orbits per packed
+        /// register, returning the final `x` values. Each item is
+        /// bit-identical to [`igen_kernels::henon_from`].
+        pub fn $henon(cfg: &BatchConfig, iterations: usize, x0s: &$batch, y0s: &$batch) -> $batch {
+            assert_eq!(x0s.len(), y0s.len());
+            let batch = x0s.len();
+            let groups = batch.div_ceil(LANES);
+            let parts = par_map_indexed(cfg, groups, |g| {
+                let first = g * LANES;
+                let items = LANES.min(batch - first);
+                let mut out = Vec::with_capacity(items);
+                if items == LANES {
+                    let a = <$lane>::splat(<$elem as Numeric>::from_rational(105, 100));
+                    let b = <$lane>::splat(<$elem as Numeric>::from_rational(3, 10));
+                    let one = <$lane>::splat(<$elem as Numeric>::one());
+                    let mut x = x0s.load_x4(first, 1);
+                    let mut y = y0s.load_x4(first, 1);
+                    for _ in 0..iterations {
+                        let xi = x;
+                        x = one - a * xi * xi + y;
+                        y = b * xi;
+                    }
+                    for l in 0..LANES {
+                        out.push(x.lane(l));
+                    }
+                } else {
+                    for i in first..first + items {
+                        out.push(henon_from(x0s.get(i), y0s.get(i), iterations));
+                    }
+                }
+                out
+            });
+            parts.into_iter().flatten().collect()
+        }
+    };
+}
+
+lane_batch_kernels!(BatchF64I, F64Ix4, F64I, dot_batch, mvm_batch, henon_ensemble);
+lane_batch_kernels!(BatchDdI, DdIx4, DdI, dot_batch_dd, mvm_batch_dd, henon_ensemble_dd);
+
+/// One GEMM `C += A·B` parallelized over blocks of `row_block` rows of
+/// `C`: every thread runs the scalar [`igen_kernels::linalg::gemm`] on a
+/// disjoint row block, so every element of `C` is computed by exactly
+/// the scalar loop — bit-identical at any thread count.
+// The parameter list mirrors `linalg::gemm` plus the engine config and
+// block size; bundling dims into a struct would diverge from the
+// kernel-crate idiom.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_row_blocks<T: Numeric>(
+    cfg: &BatchConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    row_block: usize,
+) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    assert!(row_block > 0, "row_block must be positive");
+    if m == 0 || n == 0 {
+        return;
+    }
+    par_for_each_block(cfg, c, row_block * n, |bi, c_block| {
+        let r0 = bi * row_block;
+        let rows = c_block.len() / n;
+        gemm(rows, k, n, &a[r0 * k..(r0 + rows) * k], b, c_block);
+    });
+}
+
+/// Batched FFNN inference: one forward pass per input, in parallel.
+/// Embarrassingly parallel, so each output equals
+/// [`igen_kernels::ffnn::Ffnn::forward`] on that input bit-for-bit.
+pub fn ffnn_batch<T: Numeric>(cfg: &BatchConfig, net: &Ffnn, inputs: &[Vec<f64>]) -> Vec<Vec<T>> {
+    par_map(cfg, inputs, |input| net.forward::<T>(input))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igen_kernels::linalg::{dot, mvm};
+    use igen_kernels::workload;
+
+    fn cfg(threads: usize) -> BatchConfig {
+        BatchConfig::new().with_threads(threads).with_seq_threshold(0)
+    }
+
+    fn sample_batch(seed: u64, len: usize) -> BatchF64I {
+        let mut rng = workload::rng(seed);
+        let pts = workload::random_points(&mut rng, len, -2.0, 2.0);
+        BatchF64I::from_intervals(&workload::intervals_1ulp(&pts))
+    }
+
+    #[test]
+    fn dot_batch_matches_scalar_incl_tail() {
+        let (batch, n) = (7, 33); // 7 items: one full lane group + tail of 3
+        let xs = sample_batch(1, batch * n);
+        let ys = sample_batch(2, batch * n);
+        let got = dot_batch(&cfg(3), n, &xs, &ys);
+        assert_eq!(got.len(), batch);
+        let xv = xs.to_intervals();
+        let yv = ys.to_intervals();
+        for b in 0..batch {
+            let want = dot(&xv[b * n..(b + 1) * n], &yv[b * n..(b + 1) * n]);
+            assert_eq!(got.get(b), want, "item {b}");
+        }
+    }
+
+    #[test]
+    fn mvm_batch_matches_scalar() {
+        let (batch, m, n) = (6, 5, 17);
+        let a = sample_batch(3, m * n).to_intervals();
+        let xs = sample_batch(4, batch * n);
+        let ys = sample_batch(5, batch * m);
+        let got = mvm_batch(&cfg(4), m, n, &a, &xs, &ys);
+        let xv = xs.to_intervals();
+        for b in 0..batch {
+            let mut want = ys.to_intervals()[b * m..(b + 1) * m].to_vec();
+            mvm(m, n, &a, &xv[b * n..(b + 1) * n], &mut want);
+            for (i, w) in want.iter().enumerate() {
+                assert_eq!(got.get(b * m + i), *w, "item {b} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn henon_ensemble_matches_scalar() {
+        let x0s = sample_batch(6, 9);
+        let y0s = sample_batch(7, 9);
+        let got = henon_ensemble(&cfg(2), 20, &x0s, &y0s);
+        for b in 0..9 {
+            assert_eq!(got.get(b), henon_from(x0s.get(b), y0s.get(b), 20), "orbit {b}");
+        }
+    }
+
+    #[test]
+    fn henon_ensemble_dd_matches_scalar() {
+        let x0s: BatchDdI = (0..5).map(|i| DdI::point_f64(0.01 * i as f64)).collect();
+        let y0s: BatchDdI = (0..5).map(|i| DdI::point_f64(-0.02 * i as f64)).collect();
+        let got = henon_ensemble_dd(&cfg(2), 15, &x0s, &y0s);
+        for b in 0..5 {
+            assert_eq!(got.get(b), henon_from(x0s.get(b), y0s.get(b), 15), "orbit {b}");
+        }
+    }
+
+    #[test]
+    fn gemm_row_blocks_matches_scalar() {
+        let (m, k, n) = (13, 9, 11);
+        let a = sample_batch(8, m * k).to_intervals();
+        let b = sample_batch(9, k * n).to_intervals();
+        let mut c_seq = sample_batch(10, m * n).to_intervals();
+        let mut c_par = c_seq.clone();
+        gemm(m, k, n, &a, &b, &mut c_seq);
+        gemm_row_blocks(&cfg(4), m, k, n, &a, &b, &mut c_par, 3);
+        assert_eq!(c_seq, c_par);
+    }
+
+    #[test]
+    fn ffnn_batch_matches_scalar() {
+        let net = Ffnn::synthetic(16, 3);
+        let inputs: Vec<Vec<f64>> = (0..5).map(Ffnn::synthetic_input).collect();
+        let got: Vec<Vec<F64I>> = ffnn_batch(&cfg(3), &net, &inputs);
+        for (b, input) in inputs.iter().enumerate() {
+            assert_eq!(got[b], net.forward::<F64I>(input), "input {b}");
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let e = BatchF64I::new();
+        assert!(dot_batch(&cfg(4), 8, &e, &e).is_empty());
+        assert!(mvm_batch(&cfg(4), 3, 4, &sample_batch(1, 12).to_intervals(), &e, &e).is_empty());
+        assert!(henon_ensemble(&cfg(4), 10, &e, &e).is_empty());
+        let got: Vec<Vec<F64I>> = ffnn_batch(&cfg(4), &Ffnn::synthetic(8, 1), &[]);
+        assert!(got.is_empty());
+        let d = BatchDdI::new();
+        assert!(dot_batch_dd(&cfg(2), 4, &d, &d).is_empty());
+    }
+}

@@ -1,0 +1,326 @@
+//! Structure-of-arrays interval buffers.
+//!
+//! A `Vec<F64I>` stores intervals as `(neg_lo, hi)` pairs — fine for one
+//! kernel invocation, but a batch of thousands of intervals is better
+//! stored as *columns*: one slice of negated lower endpoints and one of
+//! upper endpoints. The columns are the interval types' internal
+//! representation verbatim (the lower endpoint is stored negated so every
+//! operation rounds upward — see `igen-interval`), so reassembling an
+//! interval is two plain loads with **no negation and no per-element
+//! shuffling**, and a lane type ([`igen_interval::F64Ix4`]) is filled by
+//! four strided loads per column. The columns are also exactly what an
+//! AVX gather or a future GPU port wants to touch.
+
+use igen_dd::Dd;
+use igen_interval::{DdI, DdIx2, DdIx4, F64Ix2, F64Ix4, F64I};
+
+/// A batch of double-precision intervals in structure-of-arrays layout:
+/// one column of negated lower endpoints, one of upper endpoints.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchF64I {
+    neg_lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl BatchF64I {
+    /// An empty batch.
+    pub fn new() -> BatchF64I {
+        BatchF64I::default()
+    }
+
+    /// An empty batch with room for `n` intervals per column.
+    pub fn with_capacity(n: usize) -> BatchF64I {
+        BatchF64I { neg_lo: Vec::with_capacity(n), hi: Vec::with_capacity(n) }
+    }
+
+    /// Columnizes a slice of intervals.
+    pub fn from_intervals(xs: &[F64I]) -> BatchF64I {
+        BatchF64I {
+            neg_lo: xs.iter().map(F64I::neg_lo).collect(),
+            hi: xs.iter().map(F64I::hi).collect(),
+        }
+    }
+
+    /// Point intervals (width zero) from raw doubles.
+    pub fn from_points(xs: &[f64]) -> BatchF64I {
+        BatchF64I { neg_lo: xs.iter().map(|&x| -x).collect(), hi: xs.to_vec() }
+    }
+
+    /// Number of intervals in the batch.
+    pub fn len(&self) -> usize {
+        self.neg_lo.len()
+    }
+
+    /// True when the batch holds no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.neg_lo.is_empty()
+    }
+
+    /// Appends one interval.
+    pub fn push(&mut self, v: F64I) {
+        self.neg_lo.push(v.neg_lo());
+        self.hi.push(v.hi());
+    }
+
+    /// The `i`-th interval, reassembled from the columns (two loads, no
+    /// negation).
+    pub fn get(&self, i: usize) -> F64I {
+        F64I::from_neg_lo_hi(self.neg_lo[i], self.hi[i])
+    }
+
+    /// Overwrites the `i`-th interval.
+    pub fn set(&mut self, i: usize, v: F64I) {
+        self.neg_lo[i] = v.neg_lo();
+        self.hi[i] = v.hi();
+    }
+
+    /// The negated-lower-endpoint column.
+    pub fn neg_lo_col(&self) -> &[f64] {
+        &self.neg_lo
+    }
+
+    /// The upper-endpoint column.
+    pub fn hi_col(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Materializes the batch back to array-of-structs form.
+    pub fn to_intervals(&self) -> Vec<F64I> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// Loads lanes `start, start+stride, ..` into a 2-wide lane vector.
+    pub fn load_x2(&self, start: usize, stride: usize) -> F64Ix2 {
+        F64Ix2([self.get(start), self.get(start + stride)])
+    }
+
+    /// Loads lanes `start, start+stride, ..` into a 4-wide lane vector —
+    /// the shape the batched kernels use to evolve four batch elements
+    /// per packed register.
+    pub fn load_x4(&self, start: usize, stride: usize) -> F64Ix4 {
+        F64Ix4([
+            self.get(start),
+            self.get(start + stride),
+            self.get(start + 2 * stride),
+            self.get(start + 3 * stride),
+        ])
+    }
+
+    /// Stores a 4-wide lane vector back to lanes `start, start+stride, ..`.
+    pub fn store_x4(&mut self, start: usize, stride: usize, v: F64Ix4) {
+        for l in 0..F64Ix4::LANES {
+            self.set(start + l * stride, v.lane(l));
+        }
+    }
+}
+
+impl FromIterator<F64I> for BatchF64I {
+    fn from_iter<I: IntoIterator<Item = F64I>>(iter: I) -> BatchF64I {
+        let mut b = BatchF64I::new();
+        for v in iter {
+            b.push(v);
+        }
+        b
+    }
+}
+
+/// A batch of double-double intervals in structure-of-arrays layout.
+///
+/// A `DdI` endpoint is itself a double-double pair, so the batch carries
+/// four columns: the hi/lo components of the negated lower endpoint and
+/// of the upper endpoint.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchDdI {
+    neg_lo_hi: Vec<f64>,
+    neg_lo_lo: Vec<f64>,
+    hi_hi: Vec<f64>,
+    hi_lo: Vec<f64>,
+}
+
+impl BatchDdI {
+    /// An empty batch.
+    pub fn new() -> BatchDdI {
+        BatchDdI::default()
+    }
+
+    /// Columnizes a slice of double-double intervals.
+    pub fn from_intervals(xs: &[DdI]) -> BatchDdI {
+        let mut b = BatchDdI::new();
+        for x in xs {
+            b.push(*x);
+        }
+        b
+    }
+
+    /// Point intervals (width zero) from raw doubles.
+    pub fn from_points(xs: &[f64]) -> BatchDdI {
+        xs.iter().map(|&x| DdI::point_f64(x)).collect()
+    }
+
+    /// Number of intervals in the batch.
+    pub fn len(&self) -> usize {
+        self.neg_lo_hi.len()
+    }
+
+    /// True when the batch holds no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.neg_lo_hi.is_empty()
+    }
+
+    /// Appends one interval.
+    pub fn push(&mut self, v: DdI) {
+        let (nl, h) = (v.neg_lo(), v.hi());
+        self.neg_lo_hi.push(nl.hi());
+        self.neg_lo_lo.push(nl.lo());
+        self.hi_hi.push(h.hi());
+        self.hi_lo.push(h.lo());
+    }
+
+    /// The `i`-th interval, reassembled from the four columns.
+    pub fn get(&self, i: usize) -> DdI {
+        DdI::from_neg_lo_hi(
+            Dd::from_parts_unchecked(self.neg_lo_hi[i], self.neg_lo_lo[i]),
+            Dd::from_parts_unchecked(self.hi_hi[i], self.hi_lo[i]),
+        )
+    }
+
+    /// Overwrites the `i`-th interval.
+    pub fn set(&mut self, i: usize, v: DdI) {
+        let (nl, h) = (v.neg_lo(), v.hi());
+        self.neg_lo_hi[i] = nl.hi();
+        self.neg_lo_lo[i] = nl.lo();
+        self.hi_hi[i] = h.hi();
+        self.hi_lo[i] = h.lo();
+    }
+
+    /// Materializes the batch back to array-of-structs form.
+    pub fn to_intervals(&self) -> Vec<DdI> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// Loads lanes `start, start+stride, ..` into a 2-wide lane vector.
+    pub fn load_x2(&self, start: usize, stride: usize) -> DdIx2 {
+        DdIx2([self.get(start), self.get(start + stride)])
+    }
+
+    /// Loads lanes `start, start+stride, ..` into a 4-wide lane vector.
+    pub fn load_x4(&self, start: usize, stride: usize) -> DdIx4 {
+        DdIx4([
+            self.get(start),
+            self.get(start + stride),
+            self.get(start + 2 * stride),
+            self.get(start + 3 * stride),
+        ])
+    }
+
+    /// Stores a 4-wide lane vector back to lanes `start, start+stride, ..`.
+    pub fn store_x4(&mut self, start: usize, stride: usize, v: DdIx4) {
+        for l in 0..DdIx4::LANES {
+            self.set(start + l * stride, v.lane(l));
+        }
+    }
+}
+
+impl FromIterator<DdI> for BatchDdI {
+    fn from_iter<I: IntoIterator<Item = DdI>>(iter: I) -> BatchDdI {
+        let mut b = BatchDdI::new();
+        for v in iter {
+            b.push(v);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_f64i(n: usize) -> Vec<F64I> {
+        (0..n)
+            .map(|i| {
+                let x = (i as f64) * 0.37 - 3.0;
+                F64I::new(x, igen_round::next_up(x)).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn f64i_roundtrip_is_exact() {
+        let xs = sample_f64i(17);
+        let b = BatchF64I::from_intervals(&xs);
+        assert_eq!(b.len(), 17);
+        assert_eq!(b.to_intervals(), xs);
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(b.get(i), *x);
+        }
+    }
+
+    #[test]
+    fn f64i_columns_hold_raw_representation() {
+        let x = F64I::new(-2.0, 5.0).unwrap();
+        let b = BatchF64I::from_intervals(&[x]);
+        // neg_lo column stores the *negated* lower endpoint: no shuffle
+        // between batch memory and the interval representation.
+        assert_eq!(b.neg_lo_col(), &[2.0]);
+        assert_eq!(b.hi_col(), &[5.0]);
+    }
+
+    #[test]
+    fn f64i_lane_loads_match_gets() {
+        let xs = sample_f64i(12);
+        let b = BatchF64I::from_intervals(&xs);
+        let v = b.load_x4(1, 2); // lanes 1, 3, 5, 7
+        for l in 0..4 {
+            assert_eq!(v.lane(l), xs[1 + 2 * l]);
+        }
+        let v2 = b.load_x2(0, 6);
+        assert_eq!(v2.lane(0), xs[0]);
+        assert_eq!(v2.lane(1), xs[6]);
+    }
+
+    #[test]
+    fn f64i_store_x4_roundtrips() {
+        let xs = sample_f64i(8);
+        let mut b = BatchF64I::from_intervals(&xs);
+        let v = b.load_x4(0, 2);
+        let mut b2 = BatchF64I::from_intervals(&sample_f64i(8));
+        b2.store_x4(0, 2, v);
+        assert_eq!(b2.get(2), b.get(2));
+        b.set(3, F64I::point(9.0));
+        assert_eq!(b.get(3), F64I::point(9.0));
+    }
+
+    #[test]
+    fn ddi_roundtrip_is_exact() {
+        let xs: Vec<DdI> = (0..9)
+            .map(|i| {
+                let x = Dd::new(0.1 * i as f64, 1e-20 * i as f64);
+                DdI::new(x, x + Dd::from(1.0)).unwrap()
+            })
+            .collect();
+        let b = BatchDdI::from_intervals(&xs);
+        assert_eq!(b.len(), 9);
+        assert_eq!(b.to_intervals(), xs);
+        let v = b.load_x4(0, 2);
+        for l in 0..4 {
+            assert_eq!(v.lane(l), xs[2 * l]);
+        }
+    }
+
+    #[test]
+    fn empty_batches() {
+        assert!(BatchF64I::new().is_empty());
+        assert!(BatchDdI::new().is_empty());
+        assert_eq!(BatchF64I::from_intervals(&[]).to_intervals(), vec![]);
+        assert_eq!(BatchDdI::from_points(&[]).len(), 0);
+    }
+
+    #[test]
+    fn from_points_are_points() {
+        let b = BatchF64I::from_points(&[1.5, -2.25]);
+        assert_eq!(b.get(0), F64I::point(1.5));
+        assert_eq!(b.get(1), F64I::point(-2.25));
+        let d = BatchDdI::from_points(&[0.1]);
+        assert_eq!(d.get(0), DdI::point_f64(0.1));
+    }
+}

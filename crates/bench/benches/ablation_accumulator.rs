@@ -12,7 +12,7 @@
 //! side at fixed n, isolating the per-term overhead from the workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use igen_interval::{DdI, F64I, SumAcc64, SumAccDd};
+use igen_interval::{DdI, SumAcc64, SumAccDd, F64I};
 use std::hint::black_box;
 
 fn terms(n: usize) -> Vec<F64I> {

@@ -1,0 +1,164 @@
+//! Thread-scaling of the `igen-batch` evaluation engine: batched dot,
+//! mvm, Hénon ensembles and FFNN inference at 1 → N worker threads.
+//!
+//! Besides the criterion groups, a plain run (without `--test`) records
+//! `results/batch_throughput.csv` with the median time, throughput and
+//! speedup-vs-1-thread per kernel and thread count, plus the host's core
+//! count — on a single-core host (such as the container this repo is
+//! developed in) the speedup column is honestly ~1.0; the batch path's
+//! scaling claim is only observable on multi-core hosts.
+
+use criterion::{black_box, Criterion};
+use igen_batch::{available_threads, dot_batch, henon_ensemble, mvm_batch, BatchConfig, BatchF64I};
+use igen_bench::{median_time, write_csv};
+use igen_kernels::workload;
+
+/// Batched problem shapes kept small enough that the full sweep stays in
+/// CI-smoke territory.
+const DOT_BATCH: usize = 512;
+const DOT_N: usize = 256;
+const MVM_BATCH: usize = 64;
+const MVM_N: usize = 96;
+const HENON_BATCH: usize = 4096;
+const HENON_ITERS: usize = 50;
+
+fn thread_counts() -> Vec<usize> {
+    let max = available_threads();
+    let mut ts = vec![1, 2, 4, max];
+    ts.sort_unstable();
+    ts.dedup();
+    ts.retain(|&t| t <= max.max(4)); // keep 2 and 4 even on small hosts: oversubscription is part of the record
+    ts
+}
+
+fn cfg(threads: usize) -> BatchConfig {
+    BatchConfig::new().with_threads(threads).with_seq_threshold(0)
+}
+
+fn sample(seed: u64, len: usize) -> BatchF64I {
+    let mut rng = workload::rng(seed);
+    BatchF64I::from_intervals(&workload::intervals_1ulp(&workload::random_points(
+        &mut rng, len, -2.0, 2.0,
+    )))
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let xs = sample(1, DOT_BATCH * DOT_N);
+    let ys = sample(2, DOT_BATCH * DOT_N);
+    let a = sample(3, MVM_N * MVM_N).to_intervals();
+    let mx = sample(4, MVM_BATCH * MVM_N);
+    let my = sample(5, MVM_BATCH * MVM_N);
+    let hx = sample(6, HENON_BATCH);
+    let hy = sample(7, HENON_BATCH);
+
+    let mut g = c.benchmark_group("batch_dot");
+    for t in thread_counts() {
+        let cfg = cfg(t);
+        g.bench_function(&format!("threads/{t}"), |b| {
+            b.iter(|| dot_batch(black_box(&cfg), DOT_N, black_box(&xs), black_box(&ys)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("batch_mvm");
+    for t in thread_counts() {
+        let cfg = cfg(t);
+        g.bench_function(&format!("threads/{t}"), |b| {
+            b.iter(|| {
+                mvm_batch(
+                    black_box(&cfg),
+                    MVM_N,
+                    MVM_N,
+                    black_box(&a),
+                    black_box(&mx),
+                    black_box(&my),
+                )
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("batch_henon");
+    for t in thread_counts() {
+        let cfg = cfg(t);
+        g.bench_function(&format!("threads/{t}"), |b| {
+            b.iter(|| henon_ensemble(black_box(&cfg), HENON_ITERS, black_box(&hx), black_box(&hy)))
+        });
+    }
+    g.finish();
+}
+
+/// Records the scaling sweep to `results/batch_throughput.csv` at the
+/// workspace root (cargo runs benches from the package directory, so
+/// re-anchor first to match where the harness binaries write).
+fn record_csv() {
+    if let Some(root) = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2) {
+        let _ = std::env::set_current_dir(root);
+    }
+    let xs = sample(1, DOT_BATCH * DOT_N);
+    let ys = sample(2, DOT_BATCH * DOT_N);
+    let a = sample(3, MVM_N * MVM_N).to_intervals();
+    let mx = sample(4, MVM_BATCH * MVM_N);
+    let my = sample(5, MVM_BATCH * MVM_N);
+    let hx = sample(6, HENON_BATCH);
+    let hy = sample(7, HENON_BATCH);
+
+    let mut rows = Vec::new();
+    let cores = available_threads();
+    type Runner<'a> = (&'a str, usize, u64, Box<dyn Fn(&BatchConfig) + 'a>);
+    let kernels: Vec<Runner> = vec![
+        (
+            "dot",
+            DOT_BATCH,
+            DOT_BATCH as u64 * igen_kernels::linalg::dot_iops(DOT_N),
+            Box::new(|c: &BatchConfig| {
+                black_box(dot_batch(c, DOT_N, &xs, &ys));
+            }),
+        ),
+        (
+            "mvm",
+            MVM_BATCH,
+            MVM_BATCH as u64 * 2 * (MVM_N * MVM_N) as u64,
+            Box::new(|c: &BatchConfig| {
+                black_box(mvm_batch(c, MVM_N, MVM_N, &a, &mx, &my));
+            }),
+        ),
+        (
+            "henon",
+            HENON_BATCH,
+            HENON_BATCH as u64 * igen_kernels::henon_iops(HENON_ITERS),
+            Box::new(|c: &BatchConfig| {
+                black_box(henon_ensemble(c, HENON_ITERS, &hx, &hy));
+            }),
+        ),
+    ];
+    for (name, batch, iops, run) in &kernels {
+        let mut t1 = None;
+        for t in thread_counts() {
+            let cfg = cfg(t);
+            let med = median_time(igen_bench::reps(), || run(&cfg));
+            let secs = med.as_secs_f64();
+            let t1s = *t1.get_or_insert(secs);
+            rows.push(format!(
+                "{name},{t},{cores},{batch},{:.0},{:.3e},{:.3}",
+                secs * 1e9,
+                *iops as f64 / secs,
+                t1s / secs
+            ));
+        }
+    }
+    write_csv(
+        "batch_throughput.csv",
+        "kernel,threads,host_cores,batch,median_ns,iops_per_sec,speedup_vs_1thread",
+        &rows,
+    );
+}
+
+fn main() {
+    let mut c = Criterion::default().sample_size(10);
+    bench_scaling(&mut c);
+    // CI smoke (`--test`) only checks the benches run; skip the sweep.
+    if !std::env::args().any(|a| a == "--test") {
+        record_csv();
+    }
+}

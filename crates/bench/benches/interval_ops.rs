@@ -97,10 +97,8 @@ fn bench_add_div(c: &mut Criterion) {
         })
     });
     g.bench_function("f64i_div", |b| {
-        let xs: Vec<(F64I, F64I)> = pairs
-            .iter()
-            .map(|&(x, y)| (F64I::point(x), F64I::point(y.abs() + 0.5)))
-            .collect();
+        let xs: Vec<(F64I, F64I)> =
+            pairs.iter().map(|&(x, y)| (F64I::point(x), F64I::point(y.abs() + 0.5))).collect();
         b.iter(|| {
             let mut acc = F64I::point(0.0);
             for &(x, y) in &xs {

@@ -73,5 +73,9 @@ fn main() {
         );
         rows.push(format!("{n},{g:.5},{l:.5},{:.3},{sd:.2}", g / l));
     }
-    write_csv("gemm_costmodel.csv", "n,igen_model_ipc,lib_model_ipc,speedup,slowdown_vs_float", &rows);
+    write_csv(
+        "gemm_costmodel.csv",
+        "n,igen_model_ipc,lib_model_ipc,speedup,slowdown_vs_float",
+        &rows,
+    );
 }

@@ -9,10 +9,10 @@
 use igen_baselines::{BoostI, FilibI, GaolI};
 use igen_bench::{full_mode, iops_per_cycle, median_time, reps, sink, write_csv};
 use igen_interval::{DdI, F64I};
-use igen_kernels::linalg::{gemm, gemm_iops, gemm_unrolled, potrf, potrf_iops, potrf_unrolled};
-use igen_kernels::{fft, fft_iops, fft_unrolled, twiddles, Numeric};
 use igen_kernels::ffnn::Ffnn;
+use igen_kernels::linalg::{gemm, gemm_iops, gemm_unrolled, potrf, potrf_iops, potrf_unrolled};
 use igen_kernels::workload;
+use igen_kernels::{fft, fft_iops, fft_unrolled, twiddles, Numeric};
 
 fn main() {
     let full = full_mode();
@@ -25,7 +25,10 @@ fn main() {
 /// One measured cell of the figure.
 fn report(bench: &str, config: &str, n: usize, iops: u64, t: std::time::Duration) -> String {
     let ipc = iops_per_cycle(iops, t);
-    println!("{bench:6} {config:10} n={n:<5} {:>10.1} us   {ipc:.4} iops/cycle", t.as_secs_f64() * 1e6);
+    println!(
+        "{bench:6} {config:10} n={n:<5} {:>10.1} us   {ipc:.4} iops/cycle",
+        t.as_secs_f64() * 1e6
+    );
     format!("{bench},{config},{n},{},{:.6},{ipc:.6}", iops, t.as_secs_f64() * 1e6)
 }
 

@@ -10,8 +10,8 @@ use igen_bench::{full_mode, median_time, reps, sink, write_csv, NOMINAL_GHZ};
 use igen_interval::{DdI, F64I};
 use igen_kernels::ffnn::Ffnn;
 use igen_kernels::linalg::{gemm_iops, gemm_unrolled, potrf_iops, potrf_unrolled};
-use igen_kernels::{fft_iops, fft_unrolled, twiddles, Numeric};
 use igen_kernels::workload;
+use igen_kernels::{fft_iops, fft_unrolled, twiddles, Numeric};
 use std::time::Duration;
 
 struct Meas {
@@ -63,7 +63,10 @@ fn main() {
     println!("\n== Fig. 9b: certified accuracy [bits] ==");
     let mut rows9b = Vec::new();
     for m in &ms {
-        println!("{:6} n={:<4} double {:>6.1} bits   double-double {:>6.1} bits", m.bench, m.n, m.bits_f64, m.bits_dd);
+        println!(
+            "{:6} n={:<4} double {:>6.1} bits   double-double {:>6.1} bits",
+            m.bench, m.n, m.bits_f64, m.bits_dd
+        );
         rows9b.push(format!("{},{},{:.2},{:.2}", m.bench, m.n, m.bits_f64, m.bits_dd));
     }
     write_csv("accuracy.csv", "bench,n,bits_double,bits_dd", &rows9b);
@@ -231,7 +234,8 @@ fn potrf_meas(n: usize) -> Meas {
         potrf_unrolled::<f64, 4>(n, &mut a);
         sink(a);
     });
-    let a0: Vec<F64I> = spd.iter().map(|&x| F64I::new(x, igen_round::next_up(x)).unwrap()).collect();
+    let a0: Vec<F64I> =
+        spd.iter().map(|&x| F64I::new(x, igen_round::next_up(x)).unwrap()).collect();
     let t_sv = median_time(reps(), || {
         let mut a = a0.clone();
         potrf_unrolled::<F64I, 2>(n, &mut a);

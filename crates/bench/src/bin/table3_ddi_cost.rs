@@ -87,17 +87,10 @@ fn main() {
     println!("{:16} {:>8}", "Multiplication", mul_flops);
     println!("{:16} {:>8}", "Division", div_flops);
     println!();
-    println!(
-        "shape check: Add < Mul < Div: {}",
-        add_flops < mul_flops && mul_flops < div_flops
-    );
+    println!("shape check: Add < Mul < Div: {}", add_flops < mul_flops && mul_flops < div_flops);
     igen_bench::write_csv(
         "ddi_op_cost.csv",
         "op,flops",
-        &[
-            format!("add,{add_flops}"),
-            format!("mul,{mul_flops}"),
-            format!("div,{div_flops}"),
-        ],
+        &[format!("add,{add_flops}"), format!("mul,{mul_flops}"), format!("div,{div_flops}")],
     );
 }

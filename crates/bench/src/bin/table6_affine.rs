@@ -9,12 +9,15 @@
 use igen_affine::Aff;
 use igen_bench::{full_mode, median_time, reps, sink, write_csv};
 use igen_interval::{DdI, F64I};
-use igen_kernels::{fft, henon, henon_affine, twiddles, Numeric};
 use igen_kernels::workload;
+use igen_kernels::{fft, henon, henon_affine, twiddles, Numeric};
 
 fn main() {
     println!("== Table VI (Henon map): accuracy [bits] and slowdown ==");
-    println!("{:>10} {:>6} {:>6} {:>6} | {:>8} {:>8} {:>10}", "iters", "f64i", "ddi", "aff", "sd f64i", "sd ddi", "sd aff");
+    println!(
+        "{:>10} {:>6} {:>6} {:>6} | {:>8} {:>8} {:>10}",
+        "iters", "f64i", "ddi", "aff", "sd f64i", "sd ddi", "sd aff"
+    );
     let iters: &[usize] = &[10, 50, 90, 130, 170];
     let mut rows = Vec::new();
     for &it in iters {
@@ -47,10 +50,17 @@ fn main() {
             sd(t_a)
         ));
     }
-    write_csv("henon_table6.csv", "iterations,bits_f64i,bits_ddi,bits_aff,sd_f64i,sd_ddi,sd_aff", &rows);
+    write_csv(
+        "henon_table6.csv",
+        "iterations,bits_f64i,bits_ddi,bits_aff,sd_f64i,sd_ddi,sd_aff",
+        &rows,
+    );
 
     println!("\n== Table VI (FFT): accuracy [bits] and slowdown ==");
-    println!("{:>6} {:>6} {:>6} {:>6} | {:>8} {:>8} {:>10}", "size", "f64i", "ddi", "aff", "sd f64i", "sd ddi", "sd aff");
+    println!(
+        "{:>6} {:>6} {:>6} {:>6} | {:>8} {:>8} {:>10}",
+        "size", "f64i", "ddi", "aff", "sd f64i", "sd ddi", "sd aff"
+    );
     let sizes: &[usize] = if full_mode() { &[16, 32, 64, 128, 256] } else { &[16, 32, 64] };
     let mut rows = Vec::new();
     for &n in sizes {
@@ -96,11 +106,8 @@ fn main() {
         // Affine: the FFT with affine coefficients (clone-based; this is
         // what makes it orders of magnitude slower, exactly like YalAA).
         let (ra, ia) = affine_fft(&pre, &pim, n);
-        let b_a = ra
-            .iter()
-            .chain(ia.iter())
-            .map(|a| a.certified_bits())
-            .fold(f64::INFINITY, f64::min);
+        let b_a =
+            ra.iter().chain(ia.iter()).map(|a| a.certified_bits()).fold(f64::INFINITY, f64::min);
         let t_a = median_time(2, || {
             sink(affine_fft(&pre, &pim, n));
         });
@@ -129,10 +136,8 @@ fn min_bits<T: Numeric>(v: &[T]) -> f64 {
 /// Radix-2 FFT over affine forms (cloned term lists — the cost profile
 /// of affine arithmetic).
 fn affine_fft(pre: &[f64], pim: &[f64], n: usize) -> (Vec<Aff>, Vec<Aff>) {
-    let mut re: Vec<Aff> =
-        pre.iter().map(|&v| Aff::with_tol(v, igen_round::ulp(v))).collect();
-    let mut im: Vec<Aff> =
-        pim.iter().map(|&v| Aff::with_tol(v, igen_round::ulp(v))).collect();
+    let mut re: Vec<Aff> = pre.iter().map(|&v| Aff::with_tol(v, igen_round::ulp(v))).collect();
+    let mut im: Vec<Aff> = pim.iter().map(|&v| Aff::with_tol(v, igen_round::ulp(v))).collect();
     // Bit reversal.
     let mut j = 0usize;
     for i in 0..n {

@@ -56,9 +56,9 @@ pub fn parse(src: &str) -> Result<TranslationUnit, ParseError> {
 /// generated intrinsics are themselves compiled, Fig. 4).
 const BUILTIN_TYPENAMES: &[&str] = &[
     "void", "int", "unsigned", "long", "float", "double", "char", "size_t", "int32_t", "int64_t",
-    "uint32_t", "uint64_t", "__m128", "__m128d", "__m128i", "__m256", "__m256d", "__m256i",
-    "f32i", "f64i", "ddi", "ddi_2", "ddi_4", "ddi_8", "tbool", "acc_f64", "acc_dd", "m256di_1",
-    "m256di_2", "m256di_4",
+    "uint32_t", "uint64_t", "__m128", "__m128d", "__m128i", "__m256", "__m256d", "__m256i", "f32i",
+    "f64i", "ddi", "ddi_2", "ddi_4", "ddi_8", "tbool", "acc_f64", "acc_dd", "m256di_1", "m256di_2",
+    "m256di_4",
 ];
 
 struct Parser {
@@ -359,7 +359,8 @@ impl Parser {
     fn parse_block_stmts(&mut self) -> Result<Vec<Stmt>, ParseError> {
         let mut out = Vec::new();
         while !self.at_punct("}") {
-            if matches!(&self.peek().kind, TokenKind::Ident(_)) && self.at_type_start()
+            if matches!(&self.peek().kind, TokenKind::Ident(_))
+                && self.at_type_start()
                 && !matches!(&self.peek().kind, TokenKind::Ident(s)
                     if s == "if" || s == "for" || s == "while" || s == "do" || s == "return")
             {
@@ -552,7 +553,11 @@ impl Parser {
                         TokenKind::Int(v, _) => {
                             let v = *v;
                             self.bump();
-                            if neg { -v } else { v }
+                            if neg {
+                                -v
+                            } else {
+                                v
+                            }
                         }
                         other => {
                             return Err(
@@ -931,8 +936,7 @@ mod tests {
     fn casts_and_calls() {
         let tu = parse("double f(int n) { return (double)n + sin(0.5); }").unwrap();
         let f = tu.function("f").unwrap();
-        let Stmt::Return(Some(Expr::Binary { lhs, rhs, .. })) = &f.body.as_ref().unwrap()[0]
-        else {
+        let Stmt::Return(Some(Expr::Binary { lhs, rhs, .. })) = &f.body.as_ref().unwrap()[0] else {
             panic!()
         };
         assert!(matches!(&**lhs, Expr::Cast(Type::Double, _)));
@@ -949,7 +953,8 @@ mod tests {
 
     #[test]
     fn while_and_do_while() {
-        let src = "int f(int n) { while (n > 0) { n = n - 1; } do { n++; } while (n < 3); return n; }";
+        let src =
+            "int f(int n) { while (n > 0) { n = n - 1; } do { n++; } while (n < 3); return n; }";
         let tu = parse(src).unwrap();
         let body = tu.function("f").unwrap().body.as_ref().unwrap();
         assert!(matches!(&body[0], Stmt::While { .. }));

@@ -525,10 +525,7 @@ mod tests {
     #[test]
     fn types_print_correctly() {
         assert_eq!(type_str(&Type::Ptr(Box::new(Type::Double))), "double*");
-        assert_eq!(
-            print_decl_ty(&Type::Array(Box::new(Type::Int), Some(4)), "a"),
-            "int a[4]"
-        );
+        assert_eq!(print_decl_ty(&Type::Array(Box::new(Type::Int), Some(4)), "a"), "int a[4]");
         assert_eq!(
             print_decl_ty(
                 &Type::Array(Box::new(Type::Array(Box::new(Type::Double), Some(8))), Some(4)),

@@ -142,7 +142,9 @@ impl<'a> Lexer<'a> {
                 self.lex_directive()?
             } else if c.is_ascii_alphabetic() || c == b'_' {
                 self.lex_ident()
-            } else if c.is_ascii_digit() || (c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) {
+            } else if c.is_ascii_digit()
+                || (c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit()))
+            {
                 self.lex_number()?
             } else if c == b'"' {
                 self.lex_string()?
@@ -348,9 +350,7 @@ mod tests {
         let k = kinds("double foo(double a) { return a + 1.5; }");
         assert!(matches!(&k[0], TokenKind::Ident(s) if s == "double"));
         assert!(k.iter().any(|t| t.is_punct("{")));
-        assert!(k
-            .iter()
-            .any(|t| matches!(t, TokenKind::Float { value, .. } if *value == 1.5)));
+        assert!(k.iter().any(|t| matches!(t, TokenKind::Float { value, .. } if *value == 1.5)));
         assert!(matches!(k.last(), Some(TokenKind::Eof)));
     }
 

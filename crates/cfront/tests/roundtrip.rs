@@ -20,10 +20,20 @@ fn expr_src() -> impl Strategy<Value = String> {
     ];
     leaf.prop_recursive(4, 64, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("/"),
-                Just("<"), Just(">"), Just("=="), Just("!="),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("/"),
+                    Just("<"),
+                    Just(">"),
+                    Just("=="),
+                    Just("!="),
+                ]
+            )
                 .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
             inner.clone().prop_map(|e| format!("(-{e})")),
             inner.clone().prop_map(|e| format!("sqrt({e})")),
@@ -47,9 +57,7 @@ fn stmt_src() -> impl Strategy<Value = String> {
             (expr_src(), inner.clone()).prop_map(|(c, s)| format!("if ({c} > 0.0) {{ {s} }}")),
             (expr_src(), inner.clone(), inner.clone())
                 .prop_map(|(c, t, e)| format!("if ({c} < 1.0) {{ {t} }} else {{ {e} }}")),
-            inner
-                .clone()
-                .prop_map(|s| format!("for (int k = 0; k < 3; k++) {{ {s} }}")),
+            inner.clone().prop_map(|s| format!("for (int k = 0; k < 3; k++) {{ {s} }}")),
             (inner.clone(), inner).prop_map(|(x, y)| format!("{{ {x} {y} }}")),
         ]
     })
@@ -137,9 +145,7 @@ fn switch_roundtrip_and_shape() {
     // Shape: one switch with 4 arms, default last, labels preserved.
     let igen_cfront::Item::Function(f) = &tu.items[0] else { panic!() };
     let body = f.body.as_ref().unwrap();
-    let igen_cfront::Stmt::Switch { arms, .. } = &body[0] else {
-        panic!("{body:?}")
-    };
+    let igen_cfront::Stmt::Switch { arms, .. } = &body[0] else { panic!("{body:?}") };
     let labels: Vec<Option<i64>> = arms.iter().map(|a| a.label).collect();
     assert_eq!(labels, [Some(-2), Some(0), Some(3), None]);
     assert!(arms[0].body.is_empty(), "fallthrough arm is empty");

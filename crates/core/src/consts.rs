@@ -210,7 +210,7 @@ mod tests {
         assert_eq!(compare_decimal("0.5", 0.5), Ordering::Equal);
         assert_eq!(compare_decimal("1.0", 1.0), Ordering::Equal);
         assert_eq!(compare_decimal("0.1", 0.1), Ordering::Less); // 0.1 < the double
-        // The double 0.3 is 0.29999999999999998889…: the decimal is above.
+                                                                 // The double 0.3 is 0.29999999999999998889…: the decimal is above.
         assert_eq!(compare_decimal("0.3", 0.3), Ordering::Greater);
         // 0.7 rounds down: the decimal is above the double.
         let v = 0.7f64;
@@ -289,10 +289,15 @@ mod tests {
         assert!(lo.le(&hi) && hi.le(&lo));
         assert_eq!(lo.to_f64(), 0.5);
         // Scientific notation, large and tiny.
-        for (t, v) in [("1.05", 1.05f64), ("6.022e23", 6.022e23), ("1.6e-19", 1.6e-19), ("0.3", 0.3)] {
+        for (t, v) in
+            [("1.05", 1.05f64), ("6.022e23", 6.022e23), ("1.6e-19", 1.6e-19), ("0.3", 0.3)]
+        {
             let (lo, hi) = dd_literal_interval(v, t);
-            assert!(lo.le(&Dd::from(v)) && Dd::from(v).le(&hi) || (hi - Dd::from(v)).abs().to_f64() < v.abs() * 1e-15,
-                "{t}: [{lo}, {hi}]");
+            assert!(
+                lo.le(&Dd::from(v)) && Dd::from(v).le(&hi)
+                    || (hi - Dd::from(v)).abs().to_f64() < v.abs() * 1e-15,
+                "{t}: [{lo}, {hi}]"
+            );
             assert!((hi - lo).abs().to_f64() <= v.abs() * 1e-28, "{t} too wide");
         }
     }

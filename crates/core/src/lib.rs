@@ -52,8 +52,8 @@ pub mod types;
 mod xform;
 
 pub use config::{BranchPolicy, Config, OutputVec, Precision};
-pub use reduce::ReductionInfo;
 pub use header::runtime_header;
+pub use reduce::ReductionInfo;
 pub use simd::{compile_intrinsics, hand_optimized, HAND_OPTIMIZED};
 pub use xform::{CompileError, Output};
 
@@ -96,8 +96,7 @@ impl Compiler {
     ///
     /// See [`Compiler::compile_str`].
     pub fn compile_unit(&self, tu: &TranslationUnit) -> Result<Output, CompileError> {
-        let (unit, warnings, reductions, intrinsics_used) =
-            xform::transform_unit(tu, &self.cfg)?;
+        let (unit, warnings, reductions, intrinsics_used) = xform::transform_unit(tu, &self.cfg)?;
         let mut c_source = igen_cfront::print_unit(&unit);
         // The requested register-packing configuration (Fig. 8's sv/vv)
         // is recorded in the output; the packing itself is a register-
@@ -244,9 +243,7 @@ mod tests {
 
     #[test]
     fn elementary_functions_mapped() {
-        let out = compile(
-            "double f(double x) { return sin(x) + sqrt(fabs(x)) + exp(log(x)); }",
-        );
+        let out = compile("double f(double x) { return sin(x) + sqrt(fabs(x)) + exp(log(x)); }");
         for name in ["ia_sin_f64", "ia_sqrt_f64", "ia_abs_f64", "ia_exp_f64", "ia_log_f64"] {
             assert!(out.c_source.contains(name), "{name} missing:\n{}", out.c_source);
         }
@@ -338,11 +335,7 @@ mod tests {
             }
         "#,
         );
-        assert!(
-            out.c_source.contains("while (ia_cvt2bool_tb(ia_cmplt_f64(x,"),
-            "{}",
-            out.c_source
-        );
+        assert!(out.c_source.contains("while (ia_cvt2bool_tb(ia_cmplt_f64(x,"), "{}", out.c_source);
     }
 
     #[test]

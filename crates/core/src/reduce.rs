@@ -76,12 +76,7 @@ pub fn detect_in_stmts(stmts: &[Stmt], vars: &[String]) -> Vec<ReductionInfo> {
     out
 }
 
-fn walk(
-    stmts: &[Stmt],
-    vars: &[String],
-    loops: &mut Vec<String>,
-    out: &mut Vec<ReductionInfo>,
-) {
+fn walk(stmts: &[Stmt], vars: &[String], loops: &mut Vec<String>, out: &mut Vec<ReductionInfo>) {
     for s in stmts {
         walk_one(s, vars, loops, out);
     }
@@ -239,22 +234,19 @@ pub fn exprs_equal(a: &Expr, b: &Expr) -> bool {
         (Ident(x, _), Ident(y, _)) => x == y,
         (Unary(o1, e1), Unary(o2, e2)) => o1 == o2 && exprs_equal(e1, e2),
         (PostIncDec(e1, i1), PostIncDec(e2, i2)) => i1 == i2 && exprs_equal(e1, e2),
-        (
-            Binary { op: o1, lhs: l1, rhs: r1, .. },
-            Binary { op: o2, lhs: l2, rhs: r2, .. },
-        ) => o1 == o2 && exprs_equal(l1, l2) && exprs_equal(r1, r2),
-        (
-            Assign { op: o1, lhs: l1, rhs: r1, .. },
-            Assign { op: o2, lhs: l2, rhs: r2, .. },
-        ) => o1 == o2 && exprs_equal(l1, l2) && exprs_equal(r1, r2),
+        (Binary { op: o1, lhs: l1, rhs: r1, .. }, Binary { op: o2, lhs: l2, rhs: r2, .. }) => {
+            o1 == o2 && exprs_equal(l1, l2) && exprs_equal(r1, r2)
+        }
+        (Assign { op: o1, lhs: l1, rhs: r1, .. }, Assign { op: o2, lhs: l2, rhs: r2, .. }) => {
+            o1 == o2 && exprs_equal(l1, l2) && exprs_equal(r1, r2)
+        }
         (Call { name: n1, args: a1, .. }, Call { name: n2, args: a2, .. }) => {
             n1 == n2 && a1.len() == a2.len() && a1.iter().zip(a2).all(|(x, y)| exprs_equal(x, y))
         }
         (Index(b1, i1), Index(b2, i2)) => exprs_equal(b1, b2) && exprs_equal(i1, i2),
-        (
-            Member { base: b1, field: f1, arrow: r1 },
-            Member { base: b2, field: f2, arrow: r2 },
-        ) => f1 == f2 && r1 == r2 && exprs_equal(b1, b2),
+        (Member { base: b1, field: f1, arrow: r1 }, Member { base: b2, field: f2, arrow: r2 }) => {
+            f1 == f2 && r1 == r2 && exprs_equal(b1, b2)
+        }
         (Cast(t1, e1), Cast(t2, e2)) => t1 == t2 && exprs_equal(e1, e2),
         (Cond(c1, t1, f1), Cond(c2, t2, f2)) => {
             exprs_equal(c1, c2) && exprs_equal(t1, t2) && exprs_equal(f1, f2)

@@ -527,7 +527,10 @@ impl<'c> Xform<'c> {
                 name: format!("_then_{name}"),
                 init: Some(Expr::ident(&emit)),
             }));
-            both.push(Stmt::Expr(assign(Expr::ident(&emit), Expr::ident(&format!("_save_{name}")))));
+            both.push(Stmt::Expr(assign(
+                Expr::ident(&emit),
+                Expr::ident(&format!("_save_{name}")),
+            )));
         }
         both.push(match else_branch {
             Some(e) => self.block(e)?,
@@ -644,11 +647,7 @@ impl<'c> Xform<'c> {
         e: &Expr,
         out: &mut Vec<Stmt>,
     ) -> Result<Option<Stmt>, CompileError> {
-        let Some((red, acc)) = self
-            .active_red
-            .iter()
-            .find(|(r, _)| r.loc == e.loc())
-            .cloned()
+        let Some((red, acc)) = self.active_red.iter().find(|(r, _)| r.loc == e.loc()).cloned()
         else {
             return Ok(None);
         };
@@ -756,9 +755,7 @@ impl<'c> Xform<'c> {
 
     fn expr(&mut self, e: &Expr, out: &mut Vec<Stmt>) -> Result<XVal, CompileError> {
         match e {
-            Expr::IntLit { value, .. } => {
-                Ok(XVal::V(e.clone(), Kind::Int).with_int_const(*value))
-            }
+            Expr::IntLit { value, .. } => Ok(XVal::V(e.clone(), Kind::Int).with_int_const(*value)),
             Expr::FloatLit { value, text, tol, .. } => {
                 if self.cfg.precision == Precision::Dd {
                     // DD target: enclose the decimal at double-double
@@ -781,17 +778,16 @@ impl<'c> Xform<'c> {
                 }
             }
             Expr::Ident(name, loc) => match self.lookup(name) {
-                Some(vi) => Ok(XVal::V(
-                    Expr::Ident(vi.emit_name.clone(), *loc),
-                    vi.kind.clone(),
-                )),
+                Some(vi) => Ok(XVal::V(Expr::Ident(vi.emit_name.clone(), *loc), vi.kind.clone())),
                 None => Ok(XVal::V(e.clone(), Kind::Int)),
             },
             Expr::Unary(op, inner) => self.unary(*op, inner, out),
             Expr::PostIncDec(inner, inc) => {
                 let v = self.expr(inner, out)?;
                 match v {
-                    XVal::V(e2, Kind::Int) => Ok(XVal::V(Expr::PostIncDec(Box::new(e2), *inc), Kind::Int)),
+                    XVal::V(e2, Kind::Int) => {
+                        Ok(XVal::V(Expr::PostIncDec(Box::new(e2), *inc), Kind::Int))
+                    }
                     _ => Err(CompileError::Unsupported {
                         loc: inner.loc(),
                         msg: "increment of a floating-point value".into(),
@@ -828,10 +824,7 @@ impl<'c> Xform<'c> {
                     "i" => ("f".to_string(), Kind::MaskBits),
                     other => (other.to_string(), Kind::Other),
                 };
-                Ok(XVal::V(
-                    Expr::Member { base: Box::new(be), field: field2, arrow: *arrow },
-                    kind,
-                ))
+                Ok(XVal::V(Expr::Member { base: Box::new(be), field: field2, arrow: *arrow }, kind))
             }
             Expr::Cast(ty, inner) => {
                 let v = self.expr(inner, out)?;
@@ -858,10 +851,7 @@ impl<'c> Xform<'c> {
                     (XVal::V(_, Kind::Interval), Kind::Interval) => Ok(v),
                     _ => {
                         let e2 = self.lower_plain_expr(v, out);
-                        Ok(XVal::V(
-                            Expr::Cast(promote(ty, self.cfg), Box::new(e2)),
-                            target,
-                        ))
+                        Ok(XVal::V(Expr::Cast(promote(ty, self.cfg), Box::new(e2)), target))
                     }
                 }
             }
@@ -885,7 +875,11 @@ impl<'c> Xform<'c> {
                 XVal::V(e, Kind::Interval) => {
                     let operand = self.as_operand(XVal::V(e, Kind::Interval), out);
                     Ok(XVal::V(
-                        Expr::Call { name: self.ia("neg"), args: vec![operand], loc: Loc::default() },
+                        Expr::Call {
+                            name: self.ia("neg"),
+                            args: vec![operand],
+                            loc: Loc::default(),
+                        },
                         Kind::Interval,
                     ))
                 }
@@ -967,8 +961,8 @@ impl<'c> Xform<'c> {
         // Bitwise operations touching a union integer view: endpoint-wise
         // interval mask operations (Section V). Shifts and arithmetic on
         // the raw bits are outside the supported subset.
-        let mask_involved = matches!(&lv, XVal::V(_, Kind::MaskBits))
-            || matches!(&rv, XVal::V(_, Kind::MaskBits));
+        let mask_involved =
+            matches!(&lv, XVal::V(_, Kind::MaskBits)) || matches!(&rv, XVal::V(_, Kind::MaskBits));
         if mask_involved {
             let fname = match op {
                 BinOp::BitAnd => "and",
@@ -1060,12 +1054,7 @@ impl<'c> Xform<'c> {
         Ok(XVal::V(Expr::Call { name: self.ia(fname), args: vec![le, re], loc }, Kind::Interval))
     }
 
-    fn two_interval_operands(
-        &mut self,
-        lv: XVal,
-        rv: XVal,
-        out: &mut Vec<Stmt>,
-    ) -> (Expr, Expr) {
+    fn two_interval_operands(&mut self, lv: XVal, rv: XVal, out: &mut Vec<Stmt>) -> (Expr, Expr) {
         let lv = self.lift_int(lv);
         let rv = self.lift_int(rv);
         let le = self.as_operand(lv, out);
@@ -1169,11 +1158,7 @@ impl<'c> Xform<'c> {
             let base = self.lift_int(base);
             let base = self.as_operand(base, out);
             return Ok(XVal::V(
-                Expr::Call {
-                    name: self.ia("pow"),
-                    args: vec![base, Expr::int(n)],
-                    loc,
-                },
+                Expr::Call { name: self.ia("pow"), args: vec![base, Expr::int(n)], loc },
                 Kind::Interval,
             ));
         }
@@ -1243,10 +1228,7 @@ impl<'c> Xform<'c> {
                 ));
             }
             self.generated_needed.push(name.to_string());
-            return Ok(XVal::V(
-                Expr::Call { name: format!("_c{name}"), args: xargs, loc },
-                kind,
-            ));
+            return Ok(XVal::V(Expr::Call { name: format!("_c{name}"), args: xargs, loc }, kind));
         }
         // Ordinary call: arguments promoted, name kept.
         let mut xargs = Vec::new();
@@ -1308,7 +1290,12 @@ fn intrinsic_result_kind(name: &str) -> Kind {
 }
 
 fn assign(lhs: Expr, rhs: Expr) -> Expr {
-    Expr::Assign { op: AssignOp::Assign, lhs: Box::new(lhs), rhs: Box::new(rhs), loc: Loc::default() }
+    Expr::Assign {
+        op: AssignOp::Assign,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+        loc: Loc::default(),
+    }
 }
 
 fn addr_of(name: &str) -> Expr {
@@ -1324,12 +1311,7 @@ fn float_lit(v: f64) -> Expr {
 fn ddx_const(lo: igen_dd::Dd, hi: igen_dd::Dd) -> Expr {
     Expr::Call {
         name: "ia_set_ddx".to_string(),
-        args: vec![
-            float_lit(lo.hi()),
-            float_lit(lo.lo()),
-            float_lit(hi.hi()),
-            float_lit(hi.lo()),
-        ],
+        args: vec![float_lit(lo.hi()), float_lit(lo.lo()), float_lit(hi.hi()), float_lit(hi.lo())],
         loc: Loc::default(),
     }
 }
@@ -1499,12 +1481,7 @@ pub(crate) fn transform_unit(
         gen_unit.items.extend(gen_items);
         let (gen_transformed, w2, _, _) = transform_unit(&gen_unit, cfg)?;
         let _ = w2;
-        items.extend(
-            gen_transformed
-                .items
-                .into_iter()
-                .filter(|i| !matches!(i, Item::Include(_))),
-        );
+        items.extend(gen_transformed.items.into_iter().filter(|i| !matches!(i, Item::Include(_))));
     }
     Ok((TranslationUnit { items }, warnings, reductions, intrinsics))
 }
@@ -1525,8 +1502,6 @@ pub(crate) fn promote_typedef(td: &Typedef, cfg: &Config) -> Typedef {
                 })
                 .collect(),
         },
-        Typedef::Alias { name, ty } => {
-            Typedef::Alias { name: name.clone(), ty: promote(ty, cfg) }
-        }
+        Typedef::Alias { name, ty } => Typedef::Alias { name: name.clone(), ty: promote(ty, cfg) },
     }
 }

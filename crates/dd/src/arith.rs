@@ -29,7 +29,9 @@ fn finish<R: Rounded>(zh: f64, zl: f64) -> Dd {
     // zh + zl overflowed during renormalization: the exact value lies
     // beyond ±MAX. Saturate soundly for the direction in use.
     match (R::DIRECTION, h == f64::INFINITY) {
-        (Direction::Up, true) | (Direction::Nearest, true) => Dd::from_parts_unchecked(f64::INFINITY, 0.0),
+        (Direction::Up, true) | (Direction::Nearest, true) => {
+            Dd::from_parts_unchecked(f64::INFINITY, 0.0)
+        }
         (Direction::Up, false) => Dd::from_parts_unchecked(-f64::MAX, 0.0),
         (Direction::Down, false) | (Direction::Nearest, false) => {
             Dd::from_parts_unchecked(f64::NEG_INFINITY, 0.0)

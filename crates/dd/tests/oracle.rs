@@ -41,10 +41,7 @@ fn assert_brackets(tag: &str, lo: Dd, exact: &Mpf, hi: Dd) -> Result<(), TestCas
         lo_m.cmp_num(exact) != Some(Greater),
         "{tag}: lower bound {lo} above exact {exact}"
     );
-    prop_assert!(
-        hi_m.cmp_num(exact) != Some(Less),
-        "{tag}: upper bound {hi} below exact {exact}"
-    );
+    prop_assert!(hi_m.cmp_num(exact) != Some(Less), "{tag}: upper bound {hi} below exact {exact}");
     Ok(())
 }
 

@@ -5,7 +5,7 @@
 use crate::exec::{Interp, RtError};
 use crate::value::Value;
 use igen_cfront::{BinOp, Expr, UnOp};
-use igen_interval::{capi, DdI, F32I, F64I, SumAcc64, SumAccDd, TBool};
+use igen_interval::{capi, DdI, SumAcc64, SumAccDd, TBool, F32I, F64I};
 
 /// Interval semantics of a C binary operator (used when kernels are
 /// interpreted directly over interval values).
@@ -158,11 +158,7 @@ pub fn try_accumulator_call(
 
 /// Dispatch table for value-level builtins. Returns `Ok(None)` when the
 /// name is not a builtin (so user functions take over).
-pub fn try_builtin(
-    it: &mut Interp,
-    name: &str,
-    vals: &[Value],
-) -> Result<Option<Value>, RtError> {
+pub fn try_builtin(it: &mut Interp, name: &str, vals: &[Value]) -> Result<Option<Value>, RtError> {
     // --- interval runtime: f64i ---------------------------------------
     let v = match name {
         "ia_set_f64" => Value::Interval(capi::ia_set_f64(want_f64(&vals[0])?, want_f64(&vals[1])?)),
@@ -223,9 +219,7 @@ pub fn try_builtin(
             want_f64(&vals[0])? as f32,
             want_f64(&vals[1])? as f32,
         )),
-        "ia_set_int_f32" => {
-            Value::Interval32(F32I::enclose_f64(want_int(&vals[0])? as f64))
-        }
+        "ia_set_int_f32" => Value::Interval32(F32I::enclose_f64(want_int(&vals[0])? as f64)),
         "ia_add_f32" => Value::Interval32(want_f32i(&vals[0])? + want_f32i(&vals[1])?),
         "ia_sub_f32" => Value::Interval32(want_f32i(&vals[0])? - want_f32i(&vals[1])?),
         "ia_mul_f32" => Value::Interval32(want_f32i(&vals[0])? * want_f32i(&vals[1])?),
@@ -241,41 +235,39 @@ pub fn try_builtin(
         // Elementary functions on the f32 target: evaluate the f64
         // enclosure and demote outward (sound; CRlibm would do the same
         // at higher precision).
-        "ia_exp_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_exp_f64(
-            want_f32i(&vals[0])?.to_f64i(),
-        ))),
-        "ia_log_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_log_f64(
-            want_f32i(&vals[0])?.to_f64i(),
-        ))),
-        "ia_sin_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_sin_f64(
-            want_f32i(&vals[0])?.to_f64i(),
-        ))),
-        "ia_cos_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_cos_f64(
-            want_f32i(&vals[0])?.to_f64i(),
-        ))),
-        "ia_tan_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_tan_f64(
-            want_f32i(&vals[0])?.to_f64i(),
-        ))),
-        "ia_atan_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_atan_f64(
-            want_f32i(&vals[0])?.to_f64i(),
-        ))),
-        "ia_asin_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_asin_f64(
-            want_f32i(&vals[0])?.to_f64i(),
-        ))),
-        "ia_acos_f32" => Value::Interval32(F32I::from_f64i(&capi::ia_acos_f64(
-            want_f32i(&vals[0])?.to_f64i(),
-        ))),
+        "ia_exp_f32" => {
+            Value::Interval32(F32I::from_f64i(&capi::ia_exp_f64(want_f32i(&vals[0])?.to_f64i())))
+        }
+        "ia_log_f32" => {
+            Value::Interval32(F32I::from_f64i(&capi::ia_log_f64(want_f32i(&vals[0])?.to_f64i())))
+        }
+        "ia_sin_f32" => {
+            Value::Interval32(F32I::from_f64i(&capi::ia_sin_f64(want_f32i(&vals[0])?.to_f64i())))
+        }
+        "ia_cos_f32" => {
+            Value::Interval32(F32I::from_f64i(&capi::ia_cos_f64(want_f32i(&vals[0])?.to_f64i())))
+        }
+        "ia_tan_f32" => {
+            Value::Interval32(F32I::from_f64i(&capi::ia_tan_f64(want_f32i(&vals[0])?.to_f64i())))
+        }
+        "ia_atan_f32" => {
+            Value::Interval32(F32I::from_f64i(&capi::ia_atan_f64(want_f32i(&vals[0])?.to_f64i())))
+        }
+        "ia_asin_f32" => {
+            Value::Interval32(F32I::from_f64i(&capi::ia_asin_f64(want_f32i(&vals[0])?.to_f64i())))
+        }
+        "ia_acos_f32" => {
+            Value::Interval32(F32I::from_f64i(&capi::ia_acos_f64(want_f32i(&vals[0])?.to_f64i())))
+        }
         "ia_pow_f32" => Value::Interval32(F32I::from_f64i(
             &want_f32i(&vals[0])?
                 .to_f64i()
                 .powi(want_int(&vals[1])?.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
         )),
-        "ia_floor_f32" => Value::Interval32(F32I::from_f64i(
-            &want_f32i(&vals[0])?.to_f64i().floor(),
-        )),
-        "ia_ceil_f32" => Value::Interval32(F32I::from_f64i(
-            &want_f32i(&vals[0])?.to_f64i().ceil(),
-        )),
+        "ia_floor_f32" => {
+            Value::Interval32(F32I::from_f64i(&want_f32i(&vals[0])?.to_f64i().floor()))
+        }
+        "ia_ceil_f32" => Value::Interval32(F32I::from_f64i(&want_f32i(&vals[0])?.to_f64i().ceil())),
         "ia_cmplt_f32" => Value::TBool(want_f32i(&vals[0])?.cmp_lt(&want_f32i(&vals[1])?)),
         "ia_cmpgt_f32" => Value::TBool(want_f32i(&vals[0])?.cmp_gt(&want_f32i(&vals[1])?)),
         "ia_cmple_f32" => Value::TBool(want_f32i(&vals[1])?.cmp_gt(&want_f32i(&vals[0])?).not()),
@@ -325,7 +317,8 @@ pub fn try_builtin(
         "ia_sqrt_dd" => Value::DdInterval(want_ddi(&vals[0])?.sqrt()),
         "ia_sqr_dd" => Value::DdInterval(want_ddi(&vals[0])?.sqr()),
         "ia_pow_dd" => Value::DdInterval(
-            want_ddi(&vals[0])?.powi(want_int(&vals[1])?.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
+            want_ddi(&vals[0])?
+                .powi(want_int(&vals[1])?.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
         ),
         "ia_min_dd" => Value::DdInterval(want_ddi(&vals[0])?.min_i(&want_ddi(&vals[1])?)),
         "ia_max_dd" => Value::DdInterval(want_ddi(&vals[0])?.max_i(&want_ddi(&vals[1])?)),
@@ -426,9 +419,7 @@ fn simd_float(it: &mut Interp, name: &str, vals: &[Value]) -> Result<Value, RtEr
         }
         "_mm256_fmadd_pd" => {
             let (a, b, c) = (want_vecf(&vals[0])?, want_vecf(&vals[1])?, want_vecf(&vals[2])?);
-            Ok(Value::VecF64(
-                a.iter().zip(&b).zip(&c).map(|((x, y), z)| x * y + z).collect(),
-            ))
+            Ok(Value::VecF64(a.iter().zip(&b).zip(&c).map(|((x, y), z)| x * y + z).collect()))
         }
         "_mm256_hadd_pd" => {
             let (a, b) = (want_vecf(&vals[0])?, want_vecf(&vals[1])?);
@@ -474,9 +465,7 @@ fn simd_interval(it: &mut Interp, name: &str, vals: &[Value]) -> Result<Value, R
             let v = want_interval(&vals[0])?;
             Ok(Value::VecInterval(vec![v; lanes]))
         }
-        "_mm_setzero_pd" | "_mm256_setzero_pd" => {
-            Ok(Value::VecInterval(vec![F64I::ZERO; lanes]))
-        }
+        "_mm_setzero_pd" | "_mm256_setzero_pd" => Ok(Value::VecInterval(vec![F64I::ZERO; lanes])),
         "_mm_loadu_pd" | "_mm_load_pd" | "_mm256_loadu_pd" | "_mm256_load_pd" => {
             let Value::Ptr(obj, off) = vals[0] else {
                 return Err(RtError::Type("load from non-pointer".into()));

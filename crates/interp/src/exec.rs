@@ -3,10 +3,8 @@
 
 use crate::builtins;
 use crate::value::Value;
-use igen_cfront::{
-    BinOp, Expr, Function, Item, Stmt, TranslationUnit, Type, UnOp,
-};
-use igen_interval::{DdI, F64I, SumAcc64, SumAccDd, TBool};
+use igen_cfront::{BinOp, Expr, Function, Item, Stmt, TranslationUnit, Type, UnOp};
+use igen_interval::{DdI, SumAcc64, SumAccDd, TBool, F64I};
 use std::collections::HashMap;
 
 /// Runtime error.
@@ -155,9 +153,7 @@ impl Interp {
     pub fn read_interval(&self, ptr: &Value, len: usize) -> Vec<F64I> {
         let Value::Ptr(base, off) = ptr else { panic!("not a pointer") };
         (0..len)
-            .map(|i| {
-                self.heap[*base][(*off + i as i64) as usize].as_interval().expect("interval")
-            })
+            .map(|i| self.heap[*base][(*off + i as i64) as usize].as_interval().expect("interval"))
             .collect()
     }
 
@@ -180,11 +176,8 @@ impl Interp {
     /// [`RtError`] on runtime failures; notably [`RtError::UnknownBranch`]
     /// when an interval branch condition cannot be decided.
     pub fn call(&mut self, name: &str, args: Vec<Value>) -> Result<Value, RtError> {
-        let f = self
-            .functions
-            .get(name)
-            .cloned()
-            .ok_or_else(|| RtError::Missing(name.to_string()))?;
+        let f =
+            self.functions.get(name).cloned().ok_or_else(|| RtError::Missing(name.to_string()))?;
         if f.params.len() != args.len() {
             return Err(RtError::Type(format!(
                 "{name}: expected {} arguments, got {}",
@@ -329,10 +322,7 @@ impl Interp {
             Stmt::Switch { cond, arms } => {
                 let v = self.eval(cond)?;
                 let Some(n) = v.as_int() else {
-                    return Err(RtError::Type(format!(
-                        "switch on non-integer value {}",
-                        v.tag()
-                    )));
+                    return Err(RtError::Type(format!("switch on non-integer value {}", v.tag())));
                 };
                 // Find the matching case (or default), then execute with
                 // C fallthrough until a break.
@@ -441,9 +431,7 @@ impl Interp {
                 let new = match &old {
                     Value::Int(v) => Value::Int(v + delta),
                     Value::F64(v) => Value::F64(v + delta as f64),
-                    other => {
-                        return Err(RtError::Type(format!("increment of {}", other.tag())))
-                    }
+                    other => return Err(RtError::Type(format!("increment of {}", other.tag()))),
                 };
                 let place = self.resolve_place(inner)?;
                 self.store(place, new)?;
@@ -496,9 +484,7 @@ impl Interp {
                             match lane {
                                 Value::F64(f) => Ok(Value::Int(f.to_bits() as i64)),
                                 Value::Int(b) => Ok(Value::Int(b)),
-                                other => {
-                                    Err(RtError::Type(format!("bit view of {}", other.tag())))
-                                }
+                                other => Err(RtError::Type(format!("bit view of {}", other.tag()))),
                             }
                         } else {
                             Ok(lane)
@@ -668,9 +654,7 @@ impl Interp {
                     Eq => Value::Int((a == b) as i64),
                     Ne => Value::Int((a != b) as i64),
                     Rem => Value::F64(a % b),
-                    other => {
-                        return Err(RtError::Type(format!("{other:?} on doubles")))
-                    }
+                    other => return Err(RtError::Type(format!("{other:?} on doubles"))),
                 })
             }
             (Add | Sub, Value::Ptr(obj, off), Value::Int(i)) => {
@@ -704,10 +688,7 @@ impl Interp {
     // --- heap & places ---------------------------------------------------
 
     pub(crate) fn heap_load(&self, obj: usize, idx: i64) -> Result<Value, RtError> {
-        let arr = self
-            .heap
-            .get(obj)
-            .ok_or_else(|| RtError::Bounds(format!("object {obj}")))?;
+        let arr = self.heap.get(obj).ok_or_else(|| RtError::Bounds(format!("object {obj}")))?;
         if idx < 0 || idx as usize >= arr.len() {
             return Err(RtError::Bounds(format!("index {idx} of {} elements", arr.len())));
         }
@@ -715,10 +696,7 @@ impl Interp {
     }
 
     pub(crate) fn heap_store(&mut self, obj: usize, idx: i64, v: Value) -> Result<(), RtError> {
-        let arr = self
-            .heap
-            .get_mut(obj)
-            .ok_or_else(|| RtError::Bounds(format!("object {obj}")))?;
+        let arr = self.heap.get_mut(obj).ok_or_else(|| RtError::Bounds(format!("object {obj}")))?;
         if idx < 0 || idx as usize >= arr.len() {
             return Err(RtError::Bounds(format!("index {idx} of {} elements", arr.len())));
         }

@@ -1,6 +1,6 @@
 //! Runtime values of the interpreter.
 
-use igen_interval::{DdI, F64I, TBool};
+use igen_interval::{DdI, TBool, F64I};
 
 /// A runtime value.
 ///

@@ -132,9 +132,7 @@ fn f32_elementary_and_sqrt() {
     let cfg = Config { precision: Precision::F32, ..Config::default() };
     let out = Compiler::new(cfg).compile_str(src).unwrap();
     let mut it = Interp::new(&igen_cfront::parse(&out.c_source).unwrap());
-    let r = it
-        .call("f", vec![Value::Interval32(igen_interval::F32I::point(2.0))])
-        .unwrap();
+    let r = it.call("f", vec![Value::Interval32(igen_interval::F32I::point(2.0))]).unwrap();
     let Value::Interval32(i) = r else { panic!("{r:?}") };
     let truth = 2.0f64.sqrt() + 2.0f64.sin();
     assert!(i.to_f64i().contains(truth), "{truth} outside {i}");

@@ -23,9 +23,8 @@ fn dd_mvm_reduction_certifies() {
     assert!(out.c_source.contains("isum_accumulate_dd"), "{}", out.c_source);
     let mut run = Interp::new(&igen_cfront::parse(&out.c_source).unwrap());
 
-    let a: Vec<DdI> = (0..192)
-        .map(|k| DdI::point_f64(((k * 37 % 101) as f64 - 50.0) * 0.137))
-        .collect();
+    let a: Vec<DdI> =
+        (0..192).map(|k| DdI::point_f64(((k * 37 % 101) as f64 - 50.0) * 0.137)).collect();
     let x: Vec<DdI> = (0..64).map(|k| DdI::point_f64(1.0 / (k as f64 + 1.7))).collect();
     let y: Vec<DdI> = vec![DdI::point_f64(0.25); 3];
     let (ap, xp, yp) = (run.alloc_ddi(&a), run.alloc_ddi(&x), run.alloc_ddi(&y));

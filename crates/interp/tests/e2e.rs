@@ -33,11 +33,7 @@ fn fig2_foo_encloses() {
     "#;
     let (mut orig, mut ivl) = pipeline(src, Config::default());
     for (a, b) in [(1.0, 2.0), (0.5, -0.25), (100.0, 3.5), (-7.25, -2.5)] {
-        let f = orig
-            .call("foo", vec![Value::F64(a), Value::F64(b)])
-            .unwrap()
-            .as_f64()
-            .unwrap();
+        let f = orig.call("foo", vec![Value::F64(a), Value::F64(b)]).unwrap().as_f64().unwrap();
         let i = ivl
             .call(
                 "foo",
@@ -56,11 +52,7 @@ fn fig2_foo_encloses() {
             .add(&Mpf::from_f64(b), Rm::Nearest)
             .add(&Mpf::from_i64(1).div(&Mpf::from_i64(10), Rm::Nearest), Rm::Nearest);
         let take = c_real.cmp_num(&Mpf::from_f64(a)) == Some(std::cmp::Ordering::Greater);
-        let real = if take {
-            c_real.mul(&Mpf::from_f64(a), Rm::Nearest)
-        } else {
-            c_real
-        };
+        let real = if take { c_real.mul(&Mpf::from_f64(a), Rm::Nearest) } else { c_real };
         let real_f = real.to_f64(Rm::Nearest);
         assert!(i.contains(real_f), "foo({a},{b}): real {real_f} outside {i}");
     }
@@ -75,11 +67,7 @@ fn fig3_read_sensor_tolerance() {
         }
     "#;
     let (_, mut ivl) = pipeline(src, Config::default());
-    let r = ivl
-        .call("read_sensor", vec![Value::F64(1.0)])
-        .unwrap()
-        .as_interval()
-        .unwrap();
+    let r = ivl.call("read_sensor", vec![Value::F64(1.0)]).unwrap().as_interval().unwrap();
     // a ∈ [0.875, 1.125], c ∈ [4.75, 5.25] → result ⊇ [5.625, 6.375].
     assert!(r.lo() <= 5.625 && 6.375 <= r.hi(), "{r}");
     assert!(r.lo() >= 5.62 && r.hi() <= 6.38, "{r}");
@@ -99,7 +87,8 @@ fn fig7_mvm_reduction_end_to_end() {
         let cfg = Config { reductions, ..Config::default() };
         let (mut orig, mut ivl) = pipeline(src, cfg);
         // Deterministic awkward inputs.
-        let a: Vec<f64> = (0..32).map(|k| 0.1 * (k as f64 + 1.0) * if k % 3 == 0 { -1.0 } else { 1.0 }).collect();
+        let a: Vec<f64> =
+            (0..32).map(|k| 0.1 * (k as f64 + 1.0) * if k % 3 == 0 { -1.0 } else { 1.0 }).collect();
         let x: Vec<f64> = (0..8).map(|k| 1.0 / (k as f64 + 3.0)).collect();
         let y0 = [0.5; 4];
 
@@ -110,7 +99,8 @@ fn fig7_mvm_reduction_end_to_end() {
         let ai: Vec<_> = a.iter().map(|&v| igen_interval::F64I::point(v)).collect();
         let xi: Vec<_> = x.iter().map(|&v| igen_interval::F64I::point(v)).collect();
         let yi: Vec<_> = y0.iter().map(|&v| igen_interval::F64I::point(v)).collect();
-        let (ap, xp, yp) = (ivl.alloc_interval(&ai), ivl.alloc_interval(&xi), ivl.alloc_interval(&yi));
+        let (ap, xp, yp) =
+            (ivl.alloc_interval(&ai), ivl.alloc_interval(&xi), ivl.alloc_interval(&yi));
         ivl.call("mvm", vec![ap, xp, yp.clone()]).unwrap();
         let yv = ivl.read_interval(&yp, 4);
 
@@ -144,11 +134,8 @@ fn fig7_mvm_reduction_end_to_end() {
             // plain interval loop (compare widths).
             let cfg2 = Config { reductions: false, ..Config::default() };
             let (_, mut plain) = pipeline(src, cfg2);
-            let (ap, xp, yp2) = (
-                plain.alloc_interval(&ai),
-                plain.alloc_interval(&xi),
-                plain.alloc_interval(&yi),
-            );
+            let (ap, xp, yp2) =
+                (plain.alloc_interval(&ai), plain.alloc_interval(&xi), plain.alloc_interval(&yi));
             plain.call("mvm", vec![ap, xp, yp2.clone()]).unwrap();
             let yp2v = plain.read_interval(&yp2, 4);
             for (t, p) in yv.iter().zip(&yp2v) {
@@ -255,7 +242,8 @@ fn dd_precision_pipeline() {
     "#;
     let cfg = Config { precision: Precision::Dd, ..Config::default() };
     let (mut orig, mut ivl) = pipeline(src, cfg);
-    let args_f: Vec<Value> = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6].iter().map(|&v| Value::F64(v)).collect();
+    let args_f: Vec<Value> =
+        [0.1, 0.2, 0.3, 0.4, 0.5, 0.6].iter().map(|&v| Value::F64(v)).collect();
     let f = orig.call("dot3", args_f).unwrap().as_f64().unwrap();
     let args_i: Vec<Value> = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6]
         .iter()

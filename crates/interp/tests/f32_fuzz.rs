@@ -72,9 +72,8 @@ proptest! {
 fn f32_constants_get_f32_grid_enclosures() {
     // 0.1 is inexact in binary32: the constant enclosure must be on the
     // f32 grid (width one f32 ulp), not the much finer f64 grid.
-    let out = Compiler::new(f32_cfg())
-        .compile_str("float f(float x) { return x + 0.1f; }")
-        .unwrap();
+    let out =
+        Compiler::new(f32_cfg()).compile_str("float f(float x) { return x + 0.1f; }").unwrap();
     let mut run = Interp::new(&igen_cfront::parse(&out.c_source).unwrap());
     let r = run.call("f", vec![Value::Interval32(F32I::point(0.0))]).unwrap();
     let Value::Interval32(got) = r else { panic!("{r:?}") };

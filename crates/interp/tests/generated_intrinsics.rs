@@ -62,9 +62,7 @@ fn andnot_uses_generated_mask_implementation() {
     let x: Vec<F64I> = [1.5, -2.5, 3.5, -4.5].iter().map(|&v| F64I::point(v)).collect();
     // andnot(mask, x) = (~mask) & x: ones-mask kills, zeros-mask passes.
     let mask = vec![ones, zeros, ones, zeros];
-    let r = run
-        .call("select", vec![Value::VecInterval(mask), Value::VecInterval(x)])
-        .unwrap();
+    let r = run.call("select", vec![Value::VecInterval(mask), Value::VecInterval(x)]).unwrap();
     let Value::VecInterval(got) = r else { panic!("{r:?}") };
     assert_eq!((got[0].lo(), got[0].hi()), (0.0, 0.0));
     assert_eq!((got[1].lo(), got[1].hi()), (-2.5, -2.5));

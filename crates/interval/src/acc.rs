@@ -205,8 +205,12 @@ mod tests {
             naive = naive + term;
         }
         let smart = acc.reduce();
-        assert!(smart.certified_bits() > naive.certified_bits() + 10.0,
-            "smart {} vs naive {}", smart.certified_bits(), naive.certified_bits());
+        assert!(
+            smart.certified_bits() > naive.certified_bits() + 10.0,
+            "smart {} vs naive {}",
+            smart.certified_bits(),
+            naive.certified_bits()
+        );
         // Both contain 0.1 * 100000 summed in higher precision, i.e. the
         // true value 0.1(f64) * 100000 (within dd accuracy).
         let truth = Dd::from(0.1) * Dd::from(100000.0);

@@ -9,8 +9,8 @@
 
 use crate::acc::{SumAcc64, SumAccDd};
 use crate::ddi::DdI;
-use crate::f32i::F32I;
 use crate::elem;
+use crate::f32i::F32I;
 use crate::f64i::F64I;
 use crate::tbool::{TBool, UnknownBranch};
 

@@ -113,6 +113,19 @@ impl DdI {
         F64I::from_neg_lo_hi(f64_upper(self.neg_lo), f64_upper(self.hi))
     }
 
+    /// Raw constructor from the internal representation: the *negated*
+    /// lower endpoint and the upper endpoint. The structure-of-arrays
+    /// batch buffers (`igen-batch`) store exactly these components so
+    /// intervals can be reassembled with two loads and no negation.
+    pub fn from_neg_lo_hi(neg_lo: Dd, hi: Dd) -> DdI {
+        DdI { neg_lo, hi }
+    }
+
+    /// The negated lower endpoint (the stored representation).
+    pub fn neg_lo(&self) -> Dd {
+        self.neg_lo
+    }
+
     /// Lower endpoint.
     pub fn lo(&self) -> Dd {
         self.neg_lo.neg()
@@ -157,10 +170,7 @@ impl DdI {
     /// Interval hull.
     #[must_use]
     pub fn join(&self, other: &DdI) -> DdI {
-        DdI {
-            neg_lo: dd_max(self.neg_lo, other.neg_lo),
-            hi: dd_max(self.hi, other.hi),
-        }
+        DdI { neg_lo: dd_max(self.neg_lo, other.neg_lo), hi: dd_max(self.hi, other.hi) }
     }
 
     /// Absolute value.
@@ -316,10 +326,7 @@ impl DdI {
         if self.has_nan() || other.has_nan() {
             return DdI::nai();
         }
-        DdI {
-            neg_lo: dd_max(self.neg_lo, other.neg_lo),
-            hi: dd_min(self.hi, other.hi),
-        }
+        DdI { neg_lo: dd_max(self.neg_lo, other.neg_lo), hi: dd_min(self.hi, other.hi) }
     }
 
     /// Interval maximum.
@@ -328,10 +335,7 @@ impl DdI {
         if self.has_nan() || other.has_nan() {
             return DdI::nai();
         }
-        DdI {
-            neg_lo: dd_min(self.neg_lo, other.neg_lo),
-            hi: dd_max(self.hi, other.hi),
-        }
+        DdI { neg_lo: dd_min(self.neg_lo, other.neg_lo), hi: dd_max(self.hi, other.hi) }
     }
 
     /// `self < other` three-valued.

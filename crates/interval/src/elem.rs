@@ -116,7 +116,7 @@ pub fn exp_point(x: f64) -> (f64, f64) {
     let k = (x * std::f64::consts::LOG2_E).round() as i64;
     let kl2 = mul_f64_dir::<Rn>(DD_LN2, k as f64);
     let rr = sub_dir::<Rn>(Dd::from(x), kl2); // |r| <= 0.35
-    // Taylor with Horner: e^r = 1 + r(1 + r/2(1 + r/3(...))).
+                                              // Taylor with Horner: e^r = 1 + r(1 + r/2(1 + r/3(...))).
     let mut sum = Dd::ONE;
     for i in (1..=26u32).rev() {
         // sum = 1 + (r / i) * sum
@@ -428,10 +428,7 @@ pub fn asin_point(x: f64) -> (f64, f64) {
     let one_minus = F64I::point(1.0).sub(&xi.mul(&xi));
     let t = xi.div(&one_minus.sqrt());
     let a = atan_interval(&t);
-    (
-        a.lo().max(f64_lower(DD_PI_2.neg())),
-        a.hi().min(f64_upper(DD_PI_2)),
-    )
+    (a.lo().max(f64_lower(DD_PI_2.neg())), a.hi().min(f64_upper(DD_PI_2)))
 }
 
 /// Enclosure of `arccos x` at a point: `π/2 − asin x` with directed
@@ -497,10 +494,7 @@ fn trig_point_in(a: f64, b: f64, offset: Dd, period_pis: i64) -> bool {
         return true; // interval spans many periods
     }
     for k in k_lo..=k_hi {
-        let c = add_dir::<Rn>(
-            offset,
-            mul_f64_dir::<Rn>(igen_dd::DD_PI, (k * period_pis) as f64),
-        );
+        let c = add_dir::<Rn>(offset, mul_f64_dir::<Rn>(igen_dd::DD_PI, (k * period_pis) as f64));
         let c_hi = c.hi();
         let slack = 1e-12 * (1.0 + c_hi.abs());
         if c_hi >= a - slack && c_hi <= b + slack {
@@ -589,16 +583,10 @@ mod tests {
     use super::*;
 
     fn assert_encloses(tag: &str, (lo, hi): (f64, f64), truth: f64) {
-        assert!(
-            lo <= truth && truth <= hi,
-            "{tag}: [{lo:e}, {hi:e}] does not contain {truth:e}"
-        );
+        assert!(lo <= truth && truth <= hi, "{tag}: [{lo:e}, {hi:e}] does not contain {truth:e}");
         // Tightness: at most ~8 ulps wide for normal magnitudes.
         if truth.abs() > 1e-280 && truth.is_finite() {
-            assert!(
-                r::ulps_between(lo, hi) <= 8,
-                "{tag}: enclosure too wide: [{lo:e}, {hi:e}]"
-            );
+            assert!(r::ulps_between(lo, hi) <= 8, "{tag}: enclosure too wide: [{lo:e}, {hi:e}]");
         }
     }
 
@@ -753,8 +741,7 @@ mod tests {
         let (lo, hi) = atan_point(1.0);
         let pi_4 = igen_dd::mul_f64_dir::<Rn>(DD_PI_2, 0.5);
         assert!(Dd::from(lo).le(&pi_4) && pi_4.le(&Dd::from(hi)));
-        for &x in &[0.1, 0.5, 0.999, 1.0, 1.001, 2.0, -3.3, 100.0, -1e6, 1e300, 5e-324, -0.25]
-        {
+        for &x in &[0.1, 0.5, 0.999, 1.0, 1.001, 2.0, -3.3, 100.0, -1e6, 1e300, 5e-324, -0.25] {
             assert_encloses(&format!("atan({x})"), atan_point(x), x.atan());
         }
         // Infinities map to +-pi/2 enclosures.

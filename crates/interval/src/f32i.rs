@@ -280,10 +280,7 @@ impl core::ops::Mul for F32I {
                 a.max(b)
             }
         }
-        F32I {
-            neg_lo: f32_above(m(m(l1, l2), m(l3, l4))),
-            hi: f32_above(m(m(u1, u2), m(u3, u4))),
-        }
+        F32I { neg_lo: f32_above(m(m(l1, l2), m(l3, l4))), hi: f32_above(m(m(u1, u2), m(u3, u4))) }
     }
 }
 
@@ -314,10 +311,7 @@ impl core::ops::Div for F32I {
                 a.max(b)
             }
         }
-        F32I {
-            neg_lo: f32_above(m(m(l1, l2), m(l3, l4))),
-            hi: f32_above(m(m(u1, u2), m(u3, u4))),
-        }
+        F32I { neg_lo: f32_above(m(m(l1, l2), m(l3, l4))), hi: f32_above(m(m(u1, u2), m(u3, u4))) }
     }
 }
 

@@ -214,10 +214,7 @@ impl F64I {
     /// Interval hull (join): the smallest interval containing both.
     #[must_use]
     pub fn join(&self, other: &F64I) -> F64I {
-        F64I {
-            neg_lo: max_nan(self.neg_lo, other.neg_lo),
-            hi: max_nan(self.hi, other.hi),
-        }
+        F64I { neg_lo: max_nan(self.neg_lo, other.neg_lo), hi: max_nan(self.hi, other.hi) }
     }
 
     /// Intersection; `None` if provably disjoint.
@@ -230,11 +227,8 @@ impl F64I {
                 self.neg_lo.min(other.neg_lo)
             }
         };
-        let hi = if self.hi.is_nan() || other.hi.is_nan() {
-            f64::NAN
-        } else {
-            self.hi.min(other.hi)
-        };
+        let hi =
+            if self.hi.is_nan() || other.hi.is_nan() { f64::NAN } else { self.hi.min(other.hi) };
         if !neg_lo.is_nan() && !hi.is_nan() && -neg_lo > hi {
             return None;
         }
@@ -289,10 +283,7 @@ impl F64I {
         if self.has_nan() || other.has_nan() {
             return F64I::NAI;
         }
-        F64I {
-            neg_lo: max_nan(self.neg_lo, other.neg_lo),
-            hi: self.hi.min(other.hi),
-        }
+        F64I { neg_lo: max_nan(self.neg_lo, other.neg_lo), hi: self.hi.min(other.hi) }
     }
 
     /// Interval maximum.
@@ -301,10 +292,7 @@ impl F64I {
         if self.has_nan() || other.has_nan() {
             return F64I::NAI;
         }
-        F64I {
-            neg_lo: self.neg_lo.min(other.neg_lo),
-            hi: max_nan(self.hi, other.hi),
-        }
+        F64I { neg_lo: self.neg_lo.min(other.neg_lo), hi: max_nan(self.hi, other.hi) }
     }
 
     /// Addition: two upward-rounded additions, thanks to the negated-low
@@ -312,20 +300,14 @@ impl F64I {
     #[inline]
     #[must_use]
     pub fn add(&self, other: &F64I) -> F64I {
-        F64I {
-            neg_lo: r::add_ru(self.neg_lo, other.neg_lo),
-            hi: r::add_ru(self.hi, other.hi),
-        }
+        F64I { neg_lo: r::add_ru(self.neg_lo, other.neg_lo), hi: r::add_ru(self.hi, other.hi) }
     }
 
     /// Subtraction: `a - b = a + (-b)`, endpoint swap plus two additions.
     #[inline]
     #[must_use]
     pub fn sub(&self, other: &F64I) -> F64I {
-        F64I {
-            neg_lo: r::add_ru(self.neg_lo, other.hi),
-            hi: r::add_ru(self.hi, other.neg_lo),
-        }
+        F64I { neg_lo: r::add_ru(self.neg_lo, other.hi), hi: r::add_ru(self.hi, other.neg_lo) }
     }
 
     /// Multiplication: eight upward-rounded multiplications and six
@@ -401,16 +383,8 @@ impl F64I {
             return F64I { neg_lo: -pow_abs_rd(alo.min(ahi), n as u32), hi: upper };
         }
         // Odd: x^n is monotone increasing over the whole line.
-        let plo = if lo >= 0.0 {
-            pow_abs_rd(lo, n as u32)
-        } else {
-            -pow_abs_ru(-lo, n as u32)
-        };
-        let phi = if hi >= 0.0 {
-            pow_abs_ru(hi, n as u32)
-        } else {
-            -pow_abs_rd(-hi, n as u32)
-        };
+        let plo = if lo >= 0.0 { pow_abs_rd(lo, n as u32) } else { -pow_abs_ru(-lo, n as u32) };
+        let phi = if hi >= 0.0 { pow_abs_ru(hi, n as u32) } else { -pow_abs_rd(-hi, n as u32) };
         F64I { neg_lo: -plo, hi: phi }
     }
 
@@ -683,7 +657,7 @@ mod tests {
         let x = F64I::new(-1.0, 2.0).unwrap();
         assert_eq!((x.sqr().lo(), x.sqr().hi()), (0.0, 4.0));
         assert_eq!((x.mul(&x).lo(), x.mul(&x).hi()), (-2.0, 4.0)); // naive
-        // Strictly positive and strictly negative bases.
+                                                                   // Strictly positive and strictly negative bases.
         let p = F64I::new(2.0, 3.0).unwrap().sqr();
         assert_eq!((p.lo(), p.hi()), (4.0, 9.0));
         let n = F64I::new(-3.0, -2.0).unwrap().sqr();
@@ -824,10 +798,7 @@ mod tests {
 
     #[test]
     fn mask_bit_operations() {
-        let ones = F64I::from_neg_lo_hi(
-            f64::from_bits(u64::MAX),
-            f64::from_bits(u64::MAX),
-        );
+        let ones = F64I::from_neg_lo_hi(f64::from_bits(u64::MAX), f64::from_bits(u64::MAX));
         let x = F64I::new(1.0, 2.0).unwrap();
         let a = x.bitand_mask(&ones);
         assert_eq!((a.lo(), a.hi()), (1.0, 2.0));

@@ -56,6 +56,6 @@ pub use acc::{SumAcc64, SumAccDd, EXACT_ACC_SLOTS};
 pub use cast::{f32_pair_to_f64i, f32_to_f64i, f64i_to_f32_pair, i64_to_f64i};
 pub use ddi::DdI;
 pub use f32i::F32I;
-pub use f64i::{F64I, InvalidInterval};
+pub use f64i::{InvalidInterval, F64I};
 pub use tbool::{TBool, UnknownBranch};
 pub use vector::{DdIx2, DdIx4, F64Ix2, F64Ix4};

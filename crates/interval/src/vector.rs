@@ -183,12 +183,8 @@ mod tests {
 
     #[test]
     fn load_store_roundtrip() {
-        let xs = [
-            F64I::point(1.0),
-            F64I::point(2.0),
-            F64I::new(-1.0, 1.0).unwrap(),
-            F64I::point(4.0),
-        ];
+        let xs =
+            [F64I::point(1.0), F64I::point(2.0), F64I::new(-1.0, 1.0).unwrap(), F64I::point(4.0)];
         let v = F64Ix4::load(&xs);
         let mut out = [F64I::ZERO; 4];
         v.store(&mut out);

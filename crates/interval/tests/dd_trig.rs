@@ -9,16 +9,8 @@ use proptest::prelude::*;
 
 fn dd_interval_mul(lo: Dd, hi: Dd) -> (Dd, Dd) {
     // Square of a dd interval [lo, hi] around values in [-1, 1].
-    let cands = [
-        mul_dir::<Rd>(lo, lo),
-        mul_dir::<Rd>(lo, hi),
-        mul_dir::<Rd>(hi, hi),
-    ];
-    let cands_hi = [
-        mul_dir::<Ru>(lo, lo),
-        mul_dir::<Ru>(lo, hi),
-        mul_dir::<Ru>(hi, hi),
-    ];
+    let cands = [mul_dir::<Rd>(lo, lo), mul_dir::<Rd>(lo, hi), mul_dir::<Rd>(hi, hi)];
+    let cands_hi = [mul_dir::<Ru>(lo, lo), mul_dir::<Ru>(lo, hi), mul_dir::<Ru>(hi, hi)];
     let mut mn = cands[0];
     let mut mx = cands_hi[0];
     for c in &cands[1..] {

@@ -3,7 +3,7 @@
 //! 256-bit oracle's outward-rounded result, for random inputs including
 //! NaN, infinity, zero and denormals in the endpoints.
 
-use igen_interval::{DdI, F64I, TBool};
+use igen_interval::{DdI, TBool, F64I};
 use igen_mpf::{Mpf, MpfInterval, Rm};
 use proptest::prelude::*;
 

@@ -5,8 +5,7 @@ use igen_interval::{DdI, F64I};
 use proptest::prelude::*;
 
 fn iv() -> impl Strategy<Value = F64I> {
-    (-1e9f64..1e9, 0.0f64..1e3)
-        .prop_map(|(lo, w)| F64I::new(lo, lo + w).expect("ordered"))
+    (-1e9f64..1e9, 0.0f64..1e3).prop_map(|(lo, w)| F64I::new(lo, lo + w).expect("ordered"))
 }
 
 fn point_in(i: &F64I, t: f64) -> f64 {

@@ -4,7 +4,7 @@
 //! inputs such as denormals in the endpoints of intervals".
 
 use igen_interval::elem;
-use igen_interval::{DdI, F64I, TBool};
+use igen_interval::{DdI, TBool, F64I};
 
 const TINY: f64 = 5e-324; // smallest subnormal
 

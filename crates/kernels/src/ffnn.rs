@@ -46,9 +46,7 @@ impl Ffnn {
         for w in dims.windows(2) {
             let (fan_in, fan_out) = (w[0], w[1]);
             let scale = 1.0 / (fan_in as f64).sqrt();
-            weights.push(
-                (0..fan_in * fan_out).map(|_| rng.random_range(-scale..scale)).collect(),
-            );
+            weights.push((0..fan_in * fan_out).map(|_| rng.random_range(-scale..scale)).collect());
             biases.push((0..fan_out).map(|_| rng.random_range(-0.1..0.1)).collect());
         }
         Ffnn { width, weights, biases }
@@ -176,7 +174,7 @@ mod tests {
     }
 
     #[test]
-    fn dd_certifies_double_result(){
+    fn dd_certifies_double_result() {
         use igen_interval::DdI;
         let net = Ffnn::synthetic(24, 11);
         let input = Ffnn::synthetic_input(2);

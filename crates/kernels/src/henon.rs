@@ -8,13 +8,20 @@ use igen_affine::Aff;
 /// `x' = 1 - a·x² + y`, `y' = b·x` with `a = 1.05`, `b = 0.3`, from
 /// `(x₀, y₀) = (0, 0)` (the paper's parameters).
 pub fn henon<T: Numeric>(iterations: usize) -> T {
+    henon_from(T::zero(), T::zero(), iterations)
+}
+
+/// The Hénon map from an arbitrary initial point — the orbit-ensemble
+/// form used by `igen-batch` (many initial conditions evolved in
+/// lock-step). `henon(n)` is exactly `henon_from(0, 0, n)`.
+pub fn henon_from<T: Numeric>(x0: T, y0: T, iterations: usize) -> T {
     // The literals 1.05 and 0.3 are not exactly representable: sound
     // enclosures at the type's own precision.
     let a = T::from_rational(105, 100);
     let b = T::from_rational(3, 10);
     let one = T::one();
-    let mut x = T::zero();
-    let mut y = T::zero();
+    let mut x = x0;
+    let mut y = y0;
     for _ in 0..iterations {
         let xi = x;
         x = one - a * xi * xi + y;

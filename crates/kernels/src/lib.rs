@@ -21,12 +21,12 @@
 #![warn(missing_docs)]
 
 pub mod ffnn;
-mod fft;
+pub mod fft;
 pub mod henon;
 pub mod linalg;
 mod num;
 pub mod workload;
 
 pub use fft::{fft, fft_iops, fft_unrolled, twiddles};
-pub use henon::{henon, henon_affine, henon_iops};
+pub use henon::{henon, henon_affine, henon_from, henon_iops};
 pub use num::Numeric;

@@ -3,7 +3,24 @@
 //! (matrix-vector product, the Section VI-B reduction benchmark).
 
 use crate::num::Numeric;
-use igen_interval::{DdI, F64I, SumAcc64, SumAccDd};
+use igen_interval::{DdI, SumAcc64, SumAccDd, F64I};
+
+/// Dot product `Σ xᵢ·yᵢ` as a plain left-to-right fold — the per-row
+/// reduction shared by `mvm` and `gemm`, exposed on its own as the unit
+/// of the batched evaluation engine (`igen-batch`).
+pub fn dot<T: Numeric>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len());
+    let mut acc = T::zero();
+    for (&xi, &yi) in x.iter().zip(y) {
+        acc = acc + xi * yi;
+    }
+    acc
+}
+
+/// Interval operations of one dot product (1 mul + 1 add per element).
+pub fn dot_iops(n: usize) -> u64 {
+    2 * n as u64
+}
 
 /// `C += A·B` for row-major `m×k` times `k×n` — scalar triple loop (the
 /// `ss` configuration).
@@ -205,10 +222,8 @@ mod tests {
     fn gemm_unrolled_bitwise_matches() {
         use igen_interval::F64I;
         let (m, k, n) = (4, 6, 7); // n=7 exercises the lane tail
-        let a: Vec<F64I> = seq(m * k, |i| (i as f64 - 10.0) * 0.3)
-            .iter()
-            .map(|&v| F64I::point(v))
-            .collect();
+        let a: Vec<F64I> =
+            seq(m * k, |i| (i as f64 - 10.0) * 0.3).iter().map(|&v| F64I::point(v)).collect();
         let b: Vec<F64I> =
             seq(k * n, |i| 0.1 * (i as f64 + 1.0)).iter().map(|&v| F64I::point(v)).collect();
         let mut c1 = vec![F64I::ZERO; m * n];
@@ -283,9 +298,8 @@ mod tests {
     fn mvm_accumulator_is_tighter() {
         use igen_interval::F64I;
         let (m, n) = (3, 200);
-        let a: Vec<F64I> = (0..m * n)
-            .map(|i| F64I::point(0.05 * ((i * 7 % 23) as f64 - 11.0)))
-            .collect();
+        let a: Vec<F64I> =
+            (0..m * n).map(|i| F64I::point(0.05 * ((i * 7 % 23) as f64 - 11.0))).collect();
         let x: Vec<F64I> = (0..n).map(|i| F64I::point(1.0 / (i as f64 + 2.0))).collect();
         let y0: Vec<F64I> = vec![F64I::point(0.25); m];
         let mut y_plain = y0.clone();
@@ -313,9 +327,8 @@ mod tests {
     fn mvm_dd_accumulator_certifies() {
         use igen_interval::DdI;
         let (m, n) = (2, 500);
-        let a: Vec<DdI> = (0..m * n)
-            .map(|i| DdI::point_f64(0.01 * ((i * 11 % 31) as f64 - 15.0)))
-            .collect();
+        let a: Vec<DdI> =
+            (0..m * n).map(|i| DdI::point_f64(0.01 * ((i * 11 % 31) as f64 - 15.0))).collect();
         let x: Vec<DdI> = (0..n).map(|i| DdI::point_f64((i as f64 * 0.37).cos())).collect();
         let mut y = vec![DdI::ZERO; m];
         mvm_acc_dd(m, n, &a, &x, &mut y);

@@ -22,10 +22,7 @@ pub fn random_points(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
 /// 1-ulp-wide interval around each point (`[x, next_up(x)]`) — the
 /// paper's input intervals.
 pub fn intervals_1ulp(points: &[f64]) -> Vec<F64I> {
-    points
-        .iter()
-        .map(|&x| F64I::new(x, igen_round::next_up(x)).expect("ordered"))
-        .collect()
+    points.iter().map(|&x| F64I::new(x, igen_round::next_up(x)).expect("ordered")).collect()
 }
 
 /// Double-double intervals of width `ulp(x_lo)` around random

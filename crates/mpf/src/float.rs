@@ -1,6 +1,6 @@
 //! The 256-bit-significand binary floating-point type.
 
-use crate::limbs::{self, U256, U512, LIMBS, ZERO};
+use crate::limbs::{self, LIMBS, U256, U512, ZERO};
 use core::cmp::Ordering;
 
 /// Significand precision in bits.

@@ -91,19 +91,13 @@ impl MpfInterval {
     /// Outward-rounded addition.
     #[must_use]
     pub fn add(&self, other: &MpfInterval) -> MpfInterval {
-        MpfInterval {
-            lo: self.lo.add(&other.lo, Rm::Down),
-            hi: self.hi.add(&other.hi, Rm::Up),
-        }
+        MpfInterval { lo: self.lo.add(&other.lo, Rm::Down), hi: self.hi.add(&other.hi, Rm::Up) }
     }
 
     /// Outward-rounded subtraction.
     #[must_use]
     pub fn sub(&self, other: &MpfInterval) -> MpfInterval {
-        MpfInterval {
-            lo: self.lo.sub(&other.hi, Rm::Down),
-            hi: self.hi.sub(&other.lo, Rm::Up),
-        }
+        MpfInterval { lo: self.lo.sub(&other.hi, Rm::Down), hi: self.hi.sub(&other.lo, Rm::Up) }
     }
 
     /// Negation (exact).

@@ -222,15 +222,9 @@ mod tests {
 
     #[test]
     fn cmp_and_sign_handling() {
-        assert_eq!(
-            Mpf::from_f64(-0.0).cmp_num(&Mpf::from_f64(0.0)),
-            Some(Ordering::Equal)
-        );
+        assert_eq!(Mpf::from_f64(-0.0).cmp_num(&Mpf::from_f64(0.0)), Some(Ordering::Equal));
         assert_eq!(Mpf::from_f64(-1.0).cmp_num(&Mpf::from_f64(1.0)), Some(Ordering::Less));
-        assert_eq!(
-            Mpf::NEG_INFINITY.cmp_num(&Mpf::from_f64(-1e308)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Mpf::NEG_INFINITY.cmp_num(&Mpf::from_f64(-1e308)), Some(Ordering::Less));
         assert!(Mpf::NAN.cmp_num(&Mpf::NAN).is_none());
         assert!(Mpf::from_f64(-3.5).is_sign_negative());
         assert!(!Mpf::from_f64(-3.5).abs().is_sign_negative());

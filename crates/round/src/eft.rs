@@ -76,14 +76,8 @@ mod tests {
 
     #[test]
     fn two_sum_is_exact() {
-        let cases = [
-            (0.1, 0.2),
-            (1e16, 1.0),
-            (-1e16, 1.0),
-            (1.0, -1.0),
-            (3.5, 4.25),
-            (1e-300, 1e300),
-        ];
+        let cases =
+            [(0.1, 0.2), (1e16, 1.0), (-1e16, 1.0), (1.0, -1.0), (3.5, 4.25), (1e-300, 1e300)];
         for (a, b) in cases {
             let (s, e) = two_sum(a, b);
             assert_eq!(s, a + b);

@@ -402,13 +402,8 @@ mod tests {
 
     #[test]
     fn add_directed_brackets_exact_sum() {
-        let cases = [
-            (0.1, 0.2),
-            (1.0, f64::EPSILON / 4.0),
-            (1e16, 1.0),
-            (-1e16, 3.0),
-            (1e-300, -1e-320),
-        ];
+        let cases =
+            [(0.1, 0.2), (1.0, f64::EPSILON / 4.0), (1e16, 1.0), (-1e16, 3.0), (1e-300, -1e-320)];
         for (a, b) in cases {
             let lo = add_rd(a, b);
             let hi = add_ru(a, b);
@@ -479,7 +474,7 @@ mod tests {
     #[test]
     fn mul_underflow_is_sound_and_tight() {
         let tiny = f64::MIN_POSITIVE; // 2^-1022
-        // tiny * 2^-53: exact value 2^-1075, below half quantum: RN -> 0.
+                                      // tiny * 2^-53: exact value 2^-1075, below half quantum: RN -> 0.
         let p_ru = mul_ru(tiny, pow2(-53));
         let p_rd = mul_rd(tiny, pow2(-53));
         assert_eq!(p_ru, f64::from_bits(1));
@@ -561,8 +556,18 @@ mod tests {
     fn directed_monotonicity_small_grid() {
         // RU >= RN >= RD on a deterministic grid of awkward values.
         let vals = [
-            0.1, -0.1, 1.0 / 3.0, -1.0 / 7.0, 1e-5, 1e5, 3.25, -2.75, 1e-160, -1e160,
-            f64::MIN_POSITIVE, 6.02e23,
+            0.1,
+            -0.1,
+            1.0 / 3.0,
+            -1.0 / 7.0,
+            1e-5,
+            1e5,
+            3.25,
+            -2.75,
+            1e-160,
+            -1e160,
+            f64::MIN_POSITIVE,
+            6.02e23,
         ];
         for &a in &vals {
             for &b in &vals {

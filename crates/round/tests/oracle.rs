@@ -31,13 +31,7 @@ fn any_double() -> impl Strategy<Value = f64> {
 ///
 /// `exact_beyond`: magnitude above which the kernel promises bit-exactness;
 /// below it, a one-quantum slack in the safe direction is allowed.
-fn check_dir(
-    tag: &str,
-    got: f64,
-    oracle: Mpf,
-    up: bool,
-    exact: bool,
-) -> Result<(), TestCaseError> {
+fn check_dir(tag: &str, got: f64, oracle: Mpf, up: bool, exact: bool) -> Result<(), TestCaseError> {
     let want = oracle.to_f64(if up { Rm::Up } else { Rm::Down });
     if got.is_nan() || want.is_nan() {
         prop_assert!(got.is_nan() && want.is_nan(), "{tag}: NaN mismatch {got} vs {want}");

@@ -10,7 +10,9 @@
 
 use crate::pseudo::{self, linearize, Lin, PExpr, PLval, PStmt, PseudoError, RangeBase};
 use crate::spec::IntrinsicSpec;
-use igen_cfront::{BinOp, Expr, Function, Item, Param, Stmt, TranslationUnit, Type, Typedef, UnOp, VarDecl};
+use igen_cfront::{
+    BinOp, Expr, Function, Item, Param, Stmt, TranslationUnit, Type, Typedef, UnOp, VarDecl,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Code-generation failure for one intrinsic.
@@ -299,12 +301,7 @@ impl<'a> Gen<'a> {
             Some(_) => Type::Named(self.spec.rettype.clone()),
             None => Type::Void,
         };
-        Ok(Function {
-            ret,
-            name: format!("_c{}", self.spec.name),
-            params,
-            body: Some(prologue),
-        })
+        Ok(Function { ret, name: format!("_c{}", self.spec.name), params, body: Some(prologue) })
     }
 
     fn fresh_var(&mut self) -> String {
@@ -373,12 +370,10 @@ impl<'a> Gen<'a> {
                 let Some(lo) = lo else {
                     return Err(self.unsupported("single-bit write"));
                 };
-                let hi_l = self
-                    .lin(hi)
-                    .ok_or_else(|| self.unsupported("non-linear high bit index"))?;
-                let lo_l = self
-                    .lin(lo)
-                    .ok_or_else(|| self.unsupported("non-linear low bit index"))?;
+                let hi_l =
+                    self.lin(hi).ok_or_else(|| self.unsupported("non-linear high bit index"))?;
+                let lo_l =
+                    self.lin(lo).ok_or_else(|| self.unsupported("non-linear low bit index"))?;
                 let width = hi_l
                     .sub(&lo_l)
                     .as_const()
@@ -417,9 +412,8 @@ impl<'a> Gen<'a> {
             let PExpr::Range { base: RangeBase::Var(src), lo: Some(src_lo), .. } = rhs else {
                 return Err(self.unsupported("block store of a non-register value"));
             };
-            let src_lo = self
-                .lin(src_lo)
-                .ok_or_else(|| self.unsupported("non-linear source index"))?;
+            let src_lo =
+                self.lin(src_lo).ok_or_else(|| self.unsupported("non-linear source index"))?;
             let lanes = width / elem.bits();
             let k = self.fresh_var();
             let body = assign_stmt(
@@ -496,12 +490,9 @@ impl<'a> Gen<'a> {
                     Box::new(dst_idx),
                 );
                 let src_e = match rhs {
-                    PExpr::Num(0) => Expr::FloatLit {
-                        value: 0.0,
-                        text: "0.0".into(),
-                        f32: false,
-                        tol: false,
-                    },
+                    PExpr::Num(0) => {
+                        Expr::FloatLit { value: 0.0, text: "0.0".into(), f32: false, tol: false }
+                    }
                     PExpr::Range { base: RangeBase::Mem, lo: Some(src_lo), .. } => {
                         let src_lo = self
                             .lin(src_lo)
@@ -596,9 +587,7 @@ impl<'a> Gen<'a> {
             PExpr::Var(v) => Ok(Expr::ident(v)),
             PExpr::MaxBit => Ok(Expr::int(self.max_bit)),
             PExpr::Range { base, hi, lo } => self.range_value(base, hi, lo.as_deref(), domain),
-            PExpr::Un("-", a) => {
-                Ok(Expr::Unary(UnOp::Neg, Box::new(self.value_expr(a, domain)?)))
-            }
+            PExpr::Un("-", a) => Ok(Expr::Unary(UnOp::Neg, Box::new(self.value_expr(a, domain)?))),
             PExpr::Un("NOT", a) => {
                 Ok(Expr::Unary(UnOp::BitNot, Box::new(self.value_expr(a, Domain::Intish)?)))
             }
@@ -730,8 +719,9 @@ impl<'a> Gen<'a> {
                     RangeBase::Var(name) => {
                         if let Some(&(_, elem)) = self.vecs.get(name) {
                             if width != elem.bits() {
-                                return Err(self
-                                    .unsupported(format!("register read width {width}")));
+                                return Err(
+                                    self.unsupported(format!("register read width {width}"))
+                                );
                             }
                             let field = if domain == Domain::Intish { "i" } else { "f" };
                             Ok(Expr::Index(
@@ -742,9 +732,7 @@ impl<'a> Gen<'a> {
                                 }),
                                 Box::new(div_expr(self.lin_expr(&lo_l), elem.bits())),
                             ))
-                        } else if self.f64_params.contains(name)
-                            || self.f64_locals.contains(name)
-                        {
+                        } else if self.f64_params.contains(name) || self.f64_locals.contains(name) {
                             // `a[63:0]` on a scalar double is the value.
                             if width != 64 || lo_l.as_const() != Some(0) {
                                 return Err(self.unsupported("partial scalar access"));
@@ -766,7 +754,8 @@ impl<'a> Gen<'a> {
             if let PExpr::Bin("==", _, b) = &**a {
                 // (x == y) == z  ⇒  (x == y) && (y == z)
                 let left = self.cond_expr(a)?;
-                let right = self.value_expr(&PExpr::Bin("==", b.clone(), c.clone()), Domain::Intish)?;
+                let right =
+                    self.value_expr(&PExpr::Bin("==", b.clone(), c.clone()), Domain::Intish)?;
                 return Ok(Expr::Binary {
                     op: BinOp::And,
                     lhs: Box::new(left),
@@ -976,8 +965,10 @@ mod tests {
     #[test]
     fn round_pd_is_unsupported() {
         let err = generate_c(&spec_named("_mm256_round_pd")).unwrap_err();
-        assert!(matches!(err, GenError::Unsupported { ref reason, .. } if reason.contains("ROUND")),
-            "{err}");
+        assert!(
+            matches!(err, GenError::Unsupported { ref reason, .. } if reason.contains("ROUND")),
+            "{err}"
+        );
     }
 
     #[test]

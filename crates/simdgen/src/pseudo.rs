@@ -78,8 +78,10 @@ pub fn tokenize(src: &str) -> Result<Vec<(PTok, u32)>, PseudoError> {
                 }
                 let text = &rest[start..i];
                 let v = if let Some(hex) = text.strip_prefix("0x") {
-                    i64::from_str_radix(hex, 16)
-                        .map_err(|e| PseudoError { line: line_no, msg: format!("bad number {text}: {e}") })?
+                    i64::from_str_radix(hex, 16).map_err(|e| PseudoError {
+                        line: line_no,
+                        msg: format!("bad number {text}: {e}"),
+                    })?
                 } else {
                     text.parse().map_err(|e| PseudoError {
                         line: line_no,

@@ -80,10 +80,8 @@ pub fn parse_spec_xml(src: &str) -> Result<Vec<IntrinsicSpec>, SpecError> {
 }
 
 fn parse_one(n: &XmlNode) -> Result<IntrinsicSpec, SpecError> {
-    let name = n
-        .attr("name")
-        .ok_or_else(|| SpecError::Malformed("missing name".into()))?
-        .to_string();
+    let name =
+        n.attr("name").ok_or_else(|| SpecError::Malformed("missing name".into()))?.to_string();
     let rettype = n
         .attr("rettype")
         .ok_or_else(|| SpecError::Malformed(format!("{name}: missing rettype")))?

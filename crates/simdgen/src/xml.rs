@@ -164,9 +164,7 @@ impl<'a> P<'a> {
                     while self.peek().is_some_and(|c| c != quote) {
                         self.pos += 1;
                     }
-                    let val = decode_entities(&String::from_utf8_lossy(
-                        &self.src[start..self.pos],
-                    ));
+                    let val = decode_entities(&String::from_utf8_lossy(&self.src[start..self.pos]));
                     self.pos += 1; // closing quote
                     node.attrs.push((key, val));
                 }

@@ -31,10 +31,7 @@ fn corpus_coverage_by_category() {
     // The corpus spans the categories the paper's benchmarks touch.
     let specs = corpus_specs();
     for cat in ["Arithmetic", "Logical", "Load", "Store", "Set", "Swizzle", "Convert"] {
-        assert!(
-            specs.iter().any(|s| s.category == cat),
-            "no {cat} intrinsic in the corpus"
-        );
+        assert!(specs.iter().any(|s| s.category == cat), "no {cat} intrinsic in the corpus");
     }
     // Both SSE and AVX generations, both element widths.
     assert!(specs.iter().any(|s| s.cpuid == "SSE2"));

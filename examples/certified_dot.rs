@@ -9,7 +9,7 @@
 
 use igen::compiler::{Compiler, Config, Precision};
 use igen::interp::Interp;
-use igen::interval::{DdI, F64I, SumAcc64, SumAccDd};
+use igen::interval::{DdI, SumAcc64, SumAccDd, F64I};
 
 fn main() {
     // A dot product with the reduction pragma.

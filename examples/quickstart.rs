@@ -38,10 +38,7 @@ fn main() {
         .as_f64()
         .unwrap();
     let i = interval_run
-        .call(
-            "foo",
-            vec![Value::Interval(F64I::point(a)), Value::Interval(F64I::point(b))],
-        )
+        .call("foo", vec![Value::Interval(F64I::point(a)), Value::Interval(F64I::point(b))])
         .expect("interval run")
         .as_interval()
         .unwrap();

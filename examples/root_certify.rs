@@ -67,10 +67,7 @@ fn main() {
     let expected = [-(2.0f64.sqrt()), 0.0, 2.0f64.sqrt()];
     assert_eq!(roots.len(), expected.len(), "exactly three isolated roots");
     for (r, want) in roots.iter().zip(expected) {
-        assert!(
-            r.contains(want),
-            "enclosure {r} must contain the true root {want}"
-        );
+        assert!(r.contains(want), "enclosure {r} must contain the true root {want}");
     }
     println!("\nall three analytic roots (-sqrt(2), 0, sqrt(2)) certified ✓");
 }

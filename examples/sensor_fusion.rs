@@ -41,10 +41,7 @@ fn main() {
 
     // Sensors report plain doubles; the tolerances are applied inside.
     let fused = run
-        .call(
-            "fuse",
-            vec![Value::F64(1.2), Value::F64(24.0), Value::F64(25.0), Value::F64(0.01)],
-        )
+        .call("fuse", vec![Value::F64(1.2), Value::F64(24.0), Value::F64(25.0), Value::F64(0.01)])
         .expect("fuse")
         .as_interval()
         .unwrap();

@@ -5,10 +5,13 @@
 //! ```text
 //! igen-cli input.c [-o igen_input.c] [--precision f32|f64|dd]
 //!                  [--reductions] [--join-branches] [--intrinsics]
+//! igen-cli batch <dot|mvm|gemm|henon|ffnn> [--threads N] [--batch N]
+//!                [--size N] [--iters N] [--seq-threshold N]
 //! ```
 
 use igen::compiler::{BranchPolicy, Compiler, Config, OutputVec, Precision};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
@@ -28,13 +31,153 @@ fn usage() -> ! {
            --intrinsics        also emit igen_simd.c (interval implementations\n\
                                of the SIMD intrinsics corpus)\n\
            --report            print detected reductions (Polly-style) and\n\
-                               warnings to stderr"
+                               warnings to stderr\n\
+         \n\
+         batch mode (parallel batch evaluation over the interval runtime):\n\
+           igen-cli batch <dot|mvm|gemm|henon|ffnn> [options]\n\
+           --threads <n>       worker threads (default: all cores; 0 = all)\n\
+           --batch <n>         batch items (default: 256)\n\
+           --size <n>          per-item problem size (default: 256)\n\
+           --iters <n>         Hénon iterations (default: 100)\n\
+           --seq-threshold <n> below this many items stay sequential"
     );
     std::process::exit(2)
 }
 
+fn batch_usage() -> ! {
+    eprintln!(
+        "usage: igen-cli batch <dot|mvm|gemm|henon|ffnn> [--threads N] [--batch N]\n\
+         \x20                [--size N] [--iters N] [--seq-threshold N]"
+    );
+    std::process::exit(2)
+}
+
+/// `igen-cli batch <kernel>`: runs one batched kernel through
+/// `igen-batch` at 1 thread and at the configured thread count, checks
+/// the two results are bit-identical, and prints the throughput.
+fn run_batch(args: &[String]) -> ExitCode {
+    use igen::batch::{self, BatchConfig, BatchF64I};
+    use igen::kernels::ffnn::Ffnn;
+    use igen::kernels::{linalg, workload};
+
+    let Some(kernel) = args.first() else { batch_usage() };
+    let mut threads = 0usize; // 0 = all cores
+    let mut batch = 256usize;
+    let mut size = 256usize;
+    let mut iters = 100usize;
+    let mut seq_threshold: Option<usize> = None;
+    let mut i = 1;
+    let num = |args: &[String], i: &mut usize| -> usize {
+        *i += 1;
+        args.get(*i).and_then(|s| s.parse().ok()).unwrap_or_else(|| batch_usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => threads = num(args, &mut i),
+            "--batch" => batch = num(args, &mut i),
+            "--size" => size = num(args, &mut i),
+            "--iters" => iters = num(args, &mut i),
+            "--seq-threshold" => seq_threshold = Some(num(args, &mut i)),
+            _ => batch_usage(),
+        }
+        i += 1;
+    }
+    let mut cfg = BatchConfig::new().with_threads(threads);
+    if let Some(t) = seq_threshold {
+        cfg = cfg.with_seq_threshold(t);
+    }
+    let seq = BatchConfig::new().with_threads(1);
+    let mut rng = workload::rng(0xba7c);
+    let inputs = |rng: &mut _, n: usize| {
+        BatchF64I::from_intervals(&workload::intervals_1ulp(&workload::random_points(
+            rng, n, -2.0, 2.0,
+        )))
+    };
+
+    // Each arm: (total interval ops, one-thread time, n-thread time, identical?)
+    let (iops, t1, tn, same) = match kernel.as_str() {
+        "dot" => {
+            let xs = inputs(&mut rng, batch * size);
+            let ys = inputs(&mut rng, batch * size);
+            let t = Instant::now();
+            let a = batch::dot_batch(&seq, size, &xs, &ys);
+            let t1 = t.elapsed();
+            let t = Instant::now();
+            let b = batch::dot_batch(&cfg, size, &xs, &ys);
+            (batch as u64 * linalg::dot_iops(size), t1, t.elapsed(), a == b)
+        }
+        "mvm" => {
+            let a_mat = inputs(&mut rng, size * size).to_intervals();
+            let xs = inputs(&mut rng, batch * size);
+            let ys = inputs(&mut rng, batch * size);
+            let t = Instant::now();
+            let a = batch::mvm_batch(&seq, size, size, &a_mat, &xs, &ys);
+            let t1 = t.elapsed();
+            let t = Instant::now();
+            let b = batch::mvm_batch(&cfg, size, size, &a_mat, &xs, &ys);
+            (batch as u64 * 2 * (size * size) as u64, t1, t.elapsed(), a == b)
+        }
+        "gemm" => {
+            let a_mat = inputs(&mut rng, size * size).to_intervals();
+            let b_mat = inputs(&mut rng, size * size).to_intervals();
+            let c0 = inputs(&mut rng, size * size).to_intervals();
+            let mut c1 = c0.clone();
+            let t = Instant::now();
+            batch::gemm_row_blocks(&seq, size, size, size, &a_mat, &b_mat, &mut c1, 4);
+            let t1 = t.elapsed();
+            let mut cn = c0.clone();
+            let t = Instant::now();
+            batch::gemm_row_blocks(&cfg, size, size, size, &a_mat, &b_mat, &mut cn, 4);
+            (linalg::gemm_iops(size), t1, t.elapsed(), c1 == cn)
+        }
+        "henon" => {
+            let x0s = inputs(&mut rng, batch);
+            let y0s = inputs(&mut rng, batch);
+            let t = Instant::now();
+            let a = batch::henon_ensemble(&seq, iters, &x0s, &y0s);
+            let t1 = t.elapsed();
+            let t = Instant::now();
+            let b = batch::henon_ensemble(&cfg, iters, &x0s, &y0s);
+            (batch as u64 * igen::kernels::henon_iops(iters), t1, t.elapsed(), a == b)
+        }
+        "ffnn" => {
+            let width = size.clamp(4, 64);
+            let net = Ffnn::synthetic(width, 7);
+            let ins: Vec<Vec<f64>> = (0..batch as u64).map(Ffnn::synthetic_input).collect();
+            let t = Instant::now();
+            let a: Vec<Vec<igen::interval::F64I>> = batch::ffnn_batch(&seq, &net, &ins);
+            let t1 = t.elapsed();
+            let t = Instant::now();
+            let b: Vec<Vec<igen::interval::F64I>> = batch::ffnn_batch(&cfg, &net, &ins);
+            (batch as u64 * net.iops(), t1, t.elapsed(), a == b)
+        }
+        _ => batch_usage(),
+    };
+
+    if !same {
+        eprintln!("igen-cli: batch result diverged from the single-thread path");
+        return ExitCode::FAILURE;
+    }
+    let mops = |t: std::time::Duration| iops as f64 / t.as_secs_f64() / 1e6;
+    println!(
+        "{kernel}: batch={batch} size={size} threads={}\n\
+         1 thread : {t1:>12.3?}  {:>9.1} M iops/s\n\
+         {} threads: {tn:>12.3?}  {:>9.1} M iops/s  ({:.2}x)\n\
+         results bit-identical across thread counts: yes",
+        cfg.threads(),
+        mops(t1),
+        cfg.threads(),
+        mops(tn),
+        t1.as_secs_f64() / tn.as_secs_f64(),
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("batch") {
+        return run_batch(&args[1..]);
+    }
     let mut input: Option<String> = None;
     let mut output: Option<String> = None;
     let mut cfg = Config::default();

@@ -5,6 +5,7 @@
 
 pub use igen_affine as affine;
 pub use igen_baselines as baselines;
+pub use igen_batch as batch;
 pub use igen_cfront as cfront;
 pub use igen_core as compiler;
 pub use igen_dd as dd;

@@ -24,7 +24,10 @@ fn helper_functions_compose() {
     assert!(out.c_source.contains("sq(a)"), "{}", out.c_source);
     let mut run = Interp::new(&igen::cfront::parse(&out.c_source).unwrap());
     let r = run
-        .call("normalize", vec![Value::Interval(F64I::point(3.0)), Value::Interval(F64I::point(4.0))])
+        .call(
+            "normalize",
+            vec![Value::Interval(F64I::point(3.0)), Value::Interval(F64I::point(4.0))],
+        )
         .unwrap()
         .as_interval()
         .unwrap();

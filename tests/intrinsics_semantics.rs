@@ -98,8 +98,7 @@ fn swizzles() {
     assert_eq!(got, [A2[1], B2[1]]);
     // shuffle_pd with all four immediates.
     for imm in 0..4i64 {
-        let got =
-            want2(r.call("_c_mm_shuffle_pd", vec![v2(A2), v2(B2), Value::Int(imm)]).unwrap());
+        let got = want2(r.call("_c_mm_shuffle_pd", vec![v2(A2), v2(B2), Value::Int(imm)]).unwrap());
         let want = [A2[(imm & 1) as usize], B2[((imm >> 1) & 1) as usize]];
         assert_eq!(got, want, "imm={imm}");
     }
@@ -154,7 +153,8 @@ fn logical_via_bit_view() {
     // XOR with the sign mask negates.
     assert_eq!(&got[..3], &[-1.5, 1.5, -0.0][..]);
     assert_eq!(got[3], 2.0);
-    let got = want4(r.call("_c_mm256_andnot_pd", vec![v4([ones, 0.0, ones, 0.0]), v4(A4)]).unwrap());
+    let got =
+        want4(r.call("_c_mm256_andnot_pd", vec![v4([ones, 0.0, ones, 0.0]), v4(A4)]).unwrap());
     assert_eq!(got, [0.0, A4[1], 0.0, A4[3]]);
 }
 
@@ -208,9 +208,7 @@ fn ps_lane_arithmetic() {
         ("_c_mm256_max_ps", f64::max),
     ];
     for (name, f) in cases {
-        let got = r
-            .call(name, vec![Value::VecF64(a8.clone()), Value::VecF64(b8.clone())])
-            .unwrap();
+        let got = r.call(name, vec![Value::VecF64(a8.clone()), Value::VecF64(b8.clone())]).unwrap();
         let Value::VecF64(got) = got else { panic!() };
         for i in 0..8 {
             assert_eq!(got[i], f(a8[i], b8[i]), "{name} lane {i}");

@@ -18,11 +18,7 @@ fn paper_fig2_exact_constant_pair() {
     let out = Compiler::new(Config::default())
         .compile_str("double f(double a) { return a + 0.1; }")
         .unwrap();
-    assert!(
-        out.c_source.contains("ia_set_f64(0.09999999999999999"),
-        "{}",
-        out.c_source
-    );
+    assert!(out.c_source.contains("ia_set_f64(0.09999999999999999"), "{}", out.c_source);
     // The printed pair re-parses to the floats adjacent to 1/10.
     let lo = 0.09999999999999999f64;
     let hi = 0.1f64;
@@ -58,11 +54,8 @@ fn whole_pipeline_against_oracle_on_polynomial() {
     ];
     for i in 0..50 {
         let x = -2.0 + 0.08 * i as f64;
-        let iv = run
-            .call("poly", vec![Value::Interval(F64I::point(x))])
-            .unwrap()
-            .as_interval()
-            .unwrap();
+        let iv =
+            run.call("poly", vec![Value::Interval(F64I::point(x))]).unwrap().as_interval().unwrap();
         // Oracle: real-arithmetic Horner with the real constants.
         let xm = Mpf::from_f64(x);
         let mut r = coeffs_exact[0];
@@ -92,11 +85,8 @@ fn dd_pipeline_certifies_polynomial() {
     let mut run = compile_and_load(src, cfg);
     for i in 0..20 {
         let x = -1.0 + 0.1 * i as f64;
-        let iv = run
-            .call("poly", vec![Value::DdInterval(DdI::point_f64(x))])
-            .unwrap()
-            .as_ddi()
-            .unwrap();
+        let iv =
+            run.call("poly", vec![Value::DdInterval(DdI::point_f64(x))]).unwrap().as_ddi().unwrap();
         assert!(iv.certified_f64().is_some(), "x = {x}: {iv}");
         assert!(iv.certified_bits() > 95.0);
     }
@@ -260,9 +250,7 @@ fn compiler_rejects_paper_limitations() {
     // Bit-level manipulation of floats.
     assert!(c.compile_str("double f(double x) { return ~x; }").is_err());
     // Shift of a float.
-    assert!(c
-        .compile_str("double f(double x) { return x << 2; }")
-        .is_err());
+    assert!(c.compile_str("double f(double x) { return x << 2; }").is_err());
 }
 
 #[test]
@@ -291,7 +279,11 @@ fn atan_through_the_whole_pipeline() {
         // rounding of the pi constant in the source (within 1e-15).
         let truth = (y / x).atan()
             + if x < 0.0 {
-                if y < 0.0 { -std::f64::consts::PI } else { std::f64::consts::PI }
+                if y < 0.0 {
+                    -std::f64::consts::PI
+                } else {
+                    std::f64::consts::PI
+                }
             } else {
                 0.0
             };
@@ -397,7 +389,8 @@ fn sqr_rewrite_is_opt_in_and_tighter() {
     assert_eq!((oi.lo(), oi.hi()), (0.0, 4.0));
     assert_eq!((pi.lo(), pi.hi()), (-2.0, 4.0));
     // Different variables never rewrite.
-    let two = Compiler::new(cfg).compile_str("double g(double x, double y) { return x * y; }").unwrap();
+    let two =
+        Compiler::new(cfg).compile_str("double g(double x, double y) { return x * y; }").unwrap();
     assert!(two.c_source.contains("ia_mul_f64(x, y)"), "{}", two.c_source);
 }
 
@@ -430,11 +423,11 @@ fn switch_statements_full_pipeline() {
 
     let mut run = Interp::new(&igen::cfront::parse(&out.c_source).unwrap());
     let cases = [
-        (0i64, 2.0f64, 1.25),        // case 0
-        (1, 2.0, 1.25),              // case 1 falls through to case 2 arm
-        (2, 2.0, 1.25),              // direct
-        (7, 2.0, -1.75),             // default
-        (-3, 4.0, -3.75),            // default, negative selector
+        (0i64, 2.0f64, 1.25), // case 0
+        (1, 2.0, 1.25),       // case 1 falls through to case 2 arm
+        (2, 2.0, 1.25),       // direct
+        (7, 2.0, -1.75),      // default
+        (-3, 4.0, -3.75),     // default, negative selector
     ];
     for (mode, x, want) in cases {
         let r = run

@@ -63,8 +63,13 @@ fn sqr_rewrite_never_hurts_and_eventually_helps() {
     let mut prun = Interp::new(&igen::cfront::parse(&pout.c_source).unwrap());
     let mut srun = Interp::new(&igen::cfront::parse(&sout.c_source).unwrap());
     for iters in [10i64, 30, 45] {
-        let args =
-            |v: f64, w: f64| vec![Value::Interval(F64I::point(v)), Value::Interval(F64I::point(w)), Value::Int(iters)];
+        let args = |v: f64, w: f64| {
+            vec![
+                Value::Interval(F64I::point(v)),
+                Value::Interval(F64I::point(w)),
+                Value::Int(iters),
+            ]
+        };
         let Value::Interval(p) = prun.call("henon_x", args(0.1, 0.3)).unwrap() else { panic!() };
         let Value::Interval(s) = srun.call("henon_x", args(0.1, 0.3)).unwrap() else { panic!() };
         // Soundness: both contain the same true orbit, and the rewrite
@@ -78,7 +83,11 @@ fn sqr_rewrite_never_hurts_and_eventually_helps() {
     let Value::Interval(p) = prun
         .call(
             "henon_x",
-            vec![Value::Interval(F64I::point(0.1)), Value::Interval(F64I::point(0.3)), Value::Int(45)],
+            vec![
+                Value::Interval(F64I::point(0.1)),
+                Value::Interval(F64I::point(0.3)),
+                Value::Int(45),
+            ],
         )
         .unwrap()
     else {
@@ -87,7 +96,11 @@ fn sqr_rewrite_never_hurts_and_eventually_helps() {
     let Value::Interval(s) = srun
         .call(
             "henon_x",
-            vec![Value::Interval(F64I::point(0.1)), Value::Interval(F64I::point(0.3)), Value::Int(45)],
+            vec![
+                Value::Interval(F64I::point(0.1)),
+                Value::Interval(F64I::point(0.3)),
+                Value::Int(45),
+            ],
         )
         .unwrap()
     else {

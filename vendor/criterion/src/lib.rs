@@ -1,0 +1,283 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this workspace vendors
+//! the subset of criterion's API its benches use: `Criterion` with
+//! `sample_size`, `benchmark_group`/`bench_function`, `Bencher::iter` and
+//! `iter_batched`, `BatchSize`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Measurement model: per sample, the routine runs in a loop sized to
+//! take roughly [`TARGET_SAMPLE_TIME`]; the reported statistics are the
+//! min / median / max of the per-iteration times across `sample_size`
+//! samples. That is cruder than criterion's bootstrap analysis but stable
+//! enough for the comparative numbers this repo records. `--test` runs
+//! every routine exactly once and reports nothing (the CI smoke mode);
+//! positional CLI arguments filter benchmarks by substring, as with real
+//! criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one measurement sample.
+pub const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+/// How `iter_batched` amortizes setup; the vendored harness times each
+/// batch element individually, so the variants behave identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion users commonly pass; ignored here.
+                "--bench" | "--noplot" | "--quiet" | "--verbose" | "--exact" => {}
+                a if a.starts_with('-') => {}
+                a => filters.push(a.to_string()),
+            }
+        }
+        Criterion { sample_size: 20, test_mode, filters }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, group: name.to_string() }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.run_one(&id, f);
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if !self.selected(id) {
+            return;
+        }
+        if self.test_mode {
+            let mut b = Bencher { test_mode: true, sample_size: 1, samples_ns: Vec::new() };
+            f(&mut b);
+            println!("Testing {id} ... ok");
+            return;
+        }
+        let mut b =
+            Bencher { test_mode: false, sample_size: self.sample_size, samples_ns: Vec::new() };
+        f(&mut b);
+        b.samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+        if b.samples_ns.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let lo = b.samples_ns[0];
+        let hi = b.samples_ns[b.samples_ns.len() - 1];
+        let med = b.samples_ns[b.samples_ns.len() / 2];
+        println!("{id:<40} time:   [{} {} {}]", format_ns(lo), format_ns(med), format_ns(hi));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.group, id);
+        self.c.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (formatting no-op here).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` (the per-iteration result is passed to
+    /// `black_box`-equivalent sinks by the caller).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Calibrate the per-sample iteration count.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME / 4 || iters >= 1 << 30 {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let target = TARGET_SAMPLE_TIME.as_secs_f64();
+                iters = ((target / per_iter.max(1e-12)) as u64).clamp(1, 1 << 32);
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns.push(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..self.sample_size {
+            // Time a small batch per sample, setup excluded.
+            const BATCH: usize = 8;
+            let inputs: Vec<I> = (0..BATCH).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.samples_ns.push(t.elapsed().as_secs_f64() * 1e9 / BATCH as f64);
+        }
+    }
+}
+
+/// Re-export matching criterion's convenience (`criterion::black_box`).
+pub use std::hint::black_box;
+
+/// Declares a group-runner function from a config and target list.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher { test_mode: false, sample_size: 5, samples_ns: Vec::new() };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples_ns.len(), 5);
+        assert!(b.samples_ns.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut b = Bencher { test_mode: false, sample_size: 3, samples_ns: Vec::new() };
+        b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.samples_ns.len(), 3);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher { test_mode: true, sample_size: 50, samples_ns: Vec::new() };
+        let mut count = 0;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.samples_ns.is_empty());
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert!(format_ns(12.3).ends_with("ns"));
+        assert!(format_ns(12_300.0).ends_with("µs"));
+        assert!(format_ns(12_300_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

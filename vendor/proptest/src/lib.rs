@@ -1,0 +1,215 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this workspace vendors
+//! the *subset* of proptest's API its tests use: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, [`strategy::Strategy`]
+//! with `prop_map`/`prop_filter`/`prop_recursive`, `prop_oneof!`, `Just`,
+//! `any::<f64>()`, numeric ranges, tuple strategies, `prop::collection::vec`,
+//! `prop::num::f64` class strategies, and character-class regex string
+//! strategies (`"[a-z]{0,20}"`).
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs and panics; it is
+//!   not minimized. Failure messages always include every generated input,
+//!   so diagnosis stays possible.
+//! * **No persistence.** `.proptest-regressions` files are not read or
+//!   written; each run draws a fresh deterministic sequence. The RNG is
+//!   seeded from the test's module path and name (override with
+//!   `PROPTEST_SEED=<u64>`), so runs are reproducible per test.
+//! * **Local filter retries.** `prop_filter` regenerates its own input up
+//!   to a bounded number of times instead of rejecting the whole case.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` namespace (`prop::collection`, `prop::num`).
+pub mod prop {
+    pub mod collection {
+        //! Collection strategies.
+        pub use crate::strategy::collection_vec as vec;
+    }
+    pub mod num {
+        //! Numeric class strategies.
+        pub mod f64 {
+            //! `f64` class strategies combinable with `|`.
+            pub use crate::strategy::{
+                F64Classes, ANY, INFINITE, NEGATIVE, NORMAL, POSITIVE, SUBNORMAL, ZERO,
+            };
+        }
+    }
+}
+
+/// Everything a proptest-using test file needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body; on failure the case
+/// fails with the formatted message and its inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal (via `==`) inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), a, b),
+            ));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Discards the current case (does not count against the case budget)
+/// when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Weighted or unweighted choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let budget = config.cases.saturating_mul(20).max(2048);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= budget,
+                    "proptest: too many rejected cases ({accepted}/{} accepted after {attempts} attempts)",
+                    config.cases
+                );
+                let mut __proptest_inputs = ::std::string::String::new();
+                let ($($arg,)+) = ($(
+                    {
+                        let __proptest_v =
+                            $crate::strategy::Strategy::gen_value(&($strat), &mut rng);
+                        __proptest_inputs.push_str(&format!(
+                            "  {} = {:?}\n",
+                            stringify!($arg),
+                            &__proptest_v
+                        ));
+                        __proptest_v
+                    },
+                )+);
+                let __proptest_result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::core::result::Result::Ok(())
+                        },
+                    )) {
+                        ::core::result::Result::Ok(r) => r,
+                        ::core::result::Result::Err(payload) => {
+                            eprintln!(
+                                "proptest case panicked (case {} of {}); inputs:\n{}",
+                                accepted + 1, config.cases, __proptest_inputs
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    };
+                match __proptest_result {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case failed: {msg}\ninputs:\n{__proptest_inputs}");
+                    }
+                }
+            }
+        }
+    )*};
+}

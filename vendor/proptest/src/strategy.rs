@@ -1,0 +1,640 @@
+//! Generation-only strategies: the value-producing half of proptest's
+//! `Strategy` abstraction (no shrink trees).
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no intermediate `ValueTree`: strategies
+/// produce final values directly, and failing cases are reported without
+/// shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`, regenerating locally on
+    /// rejection (bounded; panics if the predicate is almost never true).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason: reason.into(), pred }
+    }
+
+    /// Recursive strategies: `recurse` receives the strategy for the
+    /// previous depth level and returns the strategy for composite
+    /// values. Levels are stacked `depth` times; every level also keeps a
+    /// chance of producing a base-level value so sizes vary.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+        Self::Value: 'static,
+    {
+        let base: BoxedStrategy<Self::Value> = self.boxed();
+        let mut level = base.clone();
+        for _ in 0..depth {
+            let composite = recurse(level.clone()).boxed();
+            // 1 part base to 3 parts composite keeps generation depth-
+            // bounded by construction while still varying sizes.
+            level = Union::new(vec![(1u32, base.clone()), (3u32, composite)]).boxed();
+        }
+        level
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.0.gen_value(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.gen_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 consecutive values", self.reason);
+    }
+}
+
+/// Weighted choice between same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|&(w, _)| w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone(), total: self.total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.gen_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights exhausted");
+    }
+}
+
+// ---- numeric ranges ----------------------------------------------------
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn gen_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty f32 range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---- tuples ------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---- any::<T>() --------------------------------------------------------
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical full-range strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<f64>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-range `f64`s: special values, random bit patterns (hitting NaNs,
+/// infinities and subnormals), and uniformly scaled normal values.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyF64;
+
+impl Strategy for AnyF64 {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        const SPECIAL: [f64; 10] = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::EPSILON,
+        ];
+        match rng.below(8) {
+            0 => SPECIAL[rng.below(SPECIAL.len() as u64) as usize],
+            1 | 2 => f64::from_bits(rng.next_u64()),
+            _ => {
+                // Normal values over a wide exponent span.
+                let mag = rng.unit_f64() + 1.0; // [1, 2)
+                let exp = rng.below(601) as i32 - 300;
+                let v = mag * 2f64.powi(exp);
+                if rng.below(2) == 0 {
+                    -v
+                } else {
+                    v
+                }
+            }
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyF64;
+    fn arbitrary() -> AnyF64 {
+        AnyF64
+    }
+}
+
+macro_rules! arbitrary_uniform_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+            fn arbitrary() -> AnyInt<$t> {
+                AnyInt(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+/// Uniform full-range integers.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyInt<T>(std::marker::PhantomData<T>);
+
+macro_rules! any_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+arbitrary_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// Uniform booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn gen_value(&self, rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+// ---- f64 class strategies (prop::num::f64) -----------------------------
+
+/// A set of floating-point value families to draw from, combinable with
+/// `|` (mirrors `proptest::num::f64`'s bitflag strategies).
+///
+/// Family semantics: `POSITIVE`/`NEGATIVE` contribute signed normal
+/// values; `ZERO`, `SUBNORMAL` and `INFINITE` contribute those classes,
+/// with their sign restricted to the sign flags present (positive when
+/// neither sign flag is set).
+#[derive(Debug, Clone, Copy)]
+pub struct F64Classes(u32);
+
+/// Positive finite values (normal range).
+pub const POSITIVE: F64Classes = F64Classes(1);
+/// Negative finite values.
+pub const NEGATIVE: F64Classes = F64Classes(2);
+/// Zero (sign follows the sign flags present).
+pub const ZERO: F64Classes = F64Classes(4);
+/// Subnormal magnitudes.
+pub const SUBNORMAL: F64Classes = F64Classes(8);
+/// Infinities.
+pub const INFINITE: F64Classes = F64Classes(16);
+/// Normal values of either sign.
+pub const NORMAL: F64Classes = F64Classes(1 | 2);
+/// Any of the above.
+pub const ANY: F64Classes = F64Classes(31);
+
+impl std::ops::BitOr for F64Classes {
+    type Output = F64Classes;
+    fn bitor(self, rhs: F64Classes) -> F64Classes {
+        F64Classes(self.0 | rhs.0)
+    }
+}
+
+impl Strategy for F64Classes {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        let mut families: Vec<u32> = Vec::new();
+        for bit in [1u32, 2, 4, 8, 16] {
+            if self.0 & bit != 0 {
+                families.push(bit);
+            }
+        }
+        assert!(!families.is_empty(), "empty f64 class set");
+        let negative_allowed = self.0 & 2 != 0;
+        let positive_allowed = self.0 & 1 != 0 || !negative_allowed;
+        let sign = |rng: &mut TestRng| -> f64 {
+            if negative_allowed && (!positive_allowed || rng.below(2) == 0) {
+                -1.0
+            } else {
+                1.0
+            }
+        };
+        let family = families[rng.below(families.len() as u64) as usize];
+        let normal = |rng: &mut TestRng| {
+            let m = rng.unit_f64() + 1.0;
+            let e = rng.below(601) as i32 - 300;
+            m * 2f64.powi(e)
+        };
+        match family {
+            1 => normal(rng),
+            2 => -normal(rng),
+            4 => 0.0 * sign(rng),
+            8 => f64::from_bits(rng.below(1u64 << 52).max(1)) * sign(rng),
+            _ => f64::INFINITY * sign(rng),
+        }
+    }
+}
+
+// ---- collections -------------------------------------------------------
+
+/// `prop::collection::vec(element, len_range)`.
+pub fn collection_vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// See [`collection_vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start).max(1) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+// ---- regex string strategies -------------------------------------------
+
+/// String literals act as regex strategies. Only the subset this
+/// workspace uses is implemented: a single character class with a counted
+/// repetition, `"[<class>]{m,n}"`, where the class supports literals,
+/// ranges, and `\n`/`\t`/`\\`-style escapes.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_repeat(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy {self:?} (vendored proptest supports only \"[class]{{m,n}}\")"));
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..n).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+    }
+}
+
+/// Parses `[<class>]{m,n}` into (expanded alphabet, m, n).
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = find_unescaped_close(rest)?;
+    let class = &rest[..close];
+    let rep = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match rep.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = rep.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if hi < lo {
+        return None;
+    }
+    let items = parse_class(class)?;
+    if items.is_empty() {
+        return None;
+    }
+    Some((items, lo, hi))
+}
+
+fn find_unescaped_close(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b']' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn parse_class(class: &str) -> Option<Vec<char>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    let unescape = |c: char| match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    };
+    while i < chars.len() {
+        // One class atom: a literal or an escape.
+        let (c, consumed) =
+            if chars[i] == '\\' { (unescape(*chars.get(i + 1)?), 2) } else { (chars[i], 1) };
+        i += consumed;
+        // Range? (`-` not last and followed by an atom.)
+        if i + 1 < chars.len() && chars[i] == '-' {
+            let (end, consumed_end) = if chars[i + 1] == '\\' {
+                (unescape(*chars.get(i + 2)?), 3)
+            } else {
+                (chars[i + 1], 2)
+            };
+            i += consumed_end;
+            if (end as u32) < (c as u32) {
+                return None;
+            }
+            for v in (c as u32)..=(end as u32) {
+                out.push(char::from_u32(v)?);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (1i32..9).gen_value(&mut r);
+            assert!((1..9).contains(&v));
+            let f = (-2.0f64..2.0).gen_value(&mut r);
+            assert!((-2.0..2.0).contains(&f));
+        }
+        let doubled = (0u8..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(doubled.gen_value(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut r = rng();
+        let even = (0u32..100).prop_filter("even", |x| x % 2 == 0);
+        for _ in 0..200 {
+            assert_eq!(even.gen_value(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn union_respects_arms() {
+        let mut r = rng();
+        let u = Union::new(vec![(1u32, Just("a").boxed()), (1u32, Just("b").boxed())]);
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for _ in 0..100 {
+            match u.gen_value(&mut r) {
+                "a" => seen_a = true,
+                "b" => seen_b = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(seen_a && seen_b);
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        let mut r = rng();
+        let leaf = Just("x".to_string()).boxed();
+        let expr = leaf.prop_recursive(4, 64, 4, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})"))
+        });
+        for _ in 0..200 {
+            let e = expr.gen_value(&mut r);
+            assert!(e.len() < 200, "unbounded recursion: {e}");
+            assert!(e.contains('x'));
+        }
+    }
+
+    #[test]
+    fn regex_class_subset() {
+        let mut r = rng();
+        let s = "[a-c\\n]{2,5}";
+        for _ in 0..200 {
+            let v = Strategy::gen_value(&s, &mut r);
+            assert!((2..=5).contains(&v.chars().count()), "{v:?}");
+            assert!(v.chars().all(|c| matches!(c, 'a'..='c' | '\n')), "{v:?}");
+        }
+        // The space-to-tilde printable range used by the lexer fuzz tests.
+        let printable = "[ -~\\n\\t]{0,40}";
+        for _ in 0..100 {
+            let v = Strategy::gen_value(&printable, &mut r);
+            assert!(v.chars().all(|c| c == '\n' || c == '\t' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn any_f64_hits_all_classes() {
+        let mut r = rng();
+        let (mut finite, mut nonfinite) = (0, 0);
+        for _ in 0..2000 {
+            let v = any::<f64>().gen_value(&mut r);
+            if v.is_finite() {
+                finite += 1;
+            } else {
+                nonfinite += 1;
+            }
+        }
+        assert!(finite > 100 && nonfinite > 10, "{finite} finite, {nonfinite} nonfinite");
+    }
+
+    #[test]
+    fn f64_classes() {
+        let mut r = rng();
+        let s = POSITIVE | ZERO;
+        for _ in 0..500 {
+            let v = s.gen_value(&mut r);
+            assert!(v.is_sign_positive(), "{v}");
+            assert!(v.is_finite());
+        }
+        let n = NEGATIVE | INFINITE;
+        let mut saw_neg_inf = false;
+        for _ in 0..500 {
+            let v = n.gen_value(&mut r);
+            assert!(v.is_sign_negative(), "{v}");
+            saw_neg_inf |= v == f64::NEG_INFINITY;
+        }
+        assert!(saw_neg_inf);
+    }
+
+    #[test]
+    fn collection_vec_lengths() {
+        let mut r = rng();
+        let s = collection_vec(0.0f64..1.0, 1..6);
+        for _ in 0..200 {
+            let v = s.gen_value(&mut r);
+            assert!((1..6).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so this workspace
+//! vendors the *subset* of the `rand` 0.10 API its code actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`RngExt::random_range`] over half-open integer and float ranges.
+//!
+//! The generator is deterministic (xoshiro256**, seeded through
+//! SplitMix64 exactly like the real `rand` seeds small-state RNGs), which
+//! is all the workloads need: the paper harness only requires seeded,
+//! reproducible inputs, not cryptographic quality.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// The core trait: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding constructors (the subset of `rand::SeedableRng` used here).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types uniformly sampleable from a half-open range (mirrors `rand`'s
+/// `SampleUniform`; the single blanket `SampleRange` impl below is what
+/// lets integer/float literal defaulting work in `random_range(0..100)`).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range sampling, mirroring `rand`'s `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range");
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(low: f32, high: f32, rng: &mut R) -> f32 {
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32);
+        low + unit * (high - low)
+    }
+}
+
+/// Uniform `u64` below `n` by rejection (avoids modulo bias).
+fn below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let zone = u64::MAX - u64::MAX % n;
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                let width = (high as i128 - low as i128) as u64;
+                (low as i128 + below(rng, width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience methods on any RNG (the subset of `rand::Rng` used here;
+/// `rand` 0.9 renamed `gen_range` to `random_range`).
+pub trait RngExt: RngCore {
+    /// Draws one value uniformly from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// A uniformly random value of a sampleable type.
+    fn random<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Types drawable uniformly from their "standard" distribution.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256** with SplitMix64
+    /// seed expansion. Statistically solid and fast; *not* the ChaCha12
+    /// generator the real `rand` uses, but this workspace only relies on
+    /// seeded reproducibility within one build of itself.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1u64 << 60), b.random_range(0u64..1u64 << 60));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random_range(0..u32::MAX), c.random_range(0..u32::MAX));
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = r.random_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&f));
+            let i = r.random_range(-30..30);
+            assert!((-30..30).contains(&i));
+            let u = r.random_range(0u32..100);
+            assert!(u < 100);
+        }
+    }
+
+    #[test]
+    fn float_range_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.random_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+}
