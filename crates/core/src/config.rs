@@ -47,6 +47,26 @@ pub enum BranchPolicy {
     JoinBranches,
 }
 
+/// Optimization level of the IR pass pipeline (see DESIGN.md §9).
+///
+/// At [`OptLevel::O0`] the pipeline runs only the reduction rewriting
+/// pass (which implements `#pragma igen reduce` and is therefore part of
+/// the language, not an optimization), and the emitted C is
+/// byte-identical to the original single-pass rewriter — the contract
+/// pinned by the golden-file tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// No optimization: faithful lowering (the paper's output).
+    #[default]
+    O0,
+    /// Constant-interval folding, copy propagation and dead-temporary
+    /// elimination.
+    O1,
+    /// `O1` plus common-subexpression elimination over pure interval
+    /// operations.
+    O2,
+}
+
 /// Full compiler configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Config {
@@ -64,6 +84,12 @@ pub struct Config {
     /// (see DESIGN.md §7): tighter when the interval straddles zero,
     /// identical otherwise. Off by default to match the paper's output.
     pub sqr_rewrite: bool,
+    /// Optimization level of the IR pass pipeline.
+    pub opt_level: OptLevel,
+    /// Differentially verify every optimization pass: re-execute the
+    /// before/after IR of each pass under the reference interpreter on
+    /// pseudo-random inputs and require bit-identical interval endpoints.
+    pub verify_passes: bool,
 }
 
 impl Config {

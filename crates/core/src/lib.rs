@@ -46,16 +46,19 @@
 pub mod config;
 pub mod consts;
 mod header;
+mod lower;
+pub mod opt;
 pub mod reduce;
 mod simd;
 pub mod types;
-mod xform;
+mod verify;
 
-pub use config::{BranchPolicy, Config, OutputVec, Precision};
+pub use config::{BranchPolicy, Config, OptLevel, OutputVec, Precision};
 pub use header::runtime_header;
+pub use lower::{CompileError, Output};
+pub use opt::{PassReport, PassStats};
 pub use reduce::ReductionInfo;
 pub use simd::{compile_intrinsics, hand_optimized, HAND_OPTIMIZED};
-pub use xform::{CompileError, Output};
 
 use igen_cfront::TranslationUnit;
 
@@ -96,7 +99,28 @@ impl Compiler {
     ///
     /// See [`Compiler::compile_str`].
     pub fn compile_unit(&self, tu: &TranslationUnit) -> Result<Output, CompileError> {
-        let (unit, warnings, reductions, intrinsics_used) = xform::transform_unit(tu, &self.cfg)?;
+        // Layer 1 — lower: AST → three-address AST (type promotion,
+        // constant enclosures, temporaries) plus detected reduction
+        // groups.
+        let (lowered, warnings, reduction_groups, intrinsics_used) =
+            lower::lower_unit(tu, &self.cfg)?;
+        // Layer 2 — optimize: typed IR through the pass pipeline.
+        let mut ir = igen_ir::build_unit(&lowered);
+        let mut ctx = opt::PassCtx {
+            cfg: &self.cfg,
+            reduction_groups: reduction_groups.into(),
+            reductions: Vec::new(),
+        };
+        let opt_report = opt::run_pipeline(&mut ir, &mut ctx)?;
+        if opt_report.changed() {
+            // Restore the paper's dense `t1, t2, …`/`acc1, …` numbering;
+            // an unchanged IR keeps its lowering-assigned numbers (and its
+            // exact bytes).
+            igen_ir::renumber_unit(&mut ir);
+        }
+        let reductions = ctx.reductions;
+        // Layer 3 — emit: IR → AST → C through the existing printer.
+        let unit = igen_ir::emit_unit(&ir);
         let mut c_source = igen_cfront::print_unit(&unit);
         // The requested register-packing configuration (Fig. 8's sv/vv)
         // is recorded in the output; the packing itself is a register-
@@ -114,7 +138,7 @@ impl Compiler {
                     format!("/* igen configuration: vv (packed interval vectors) */\n{c_source}");
             }
         }
-        Ok(Output { unit, c_source, warnings, reductions, intrinsics_used })
+        Ok(Output { unit, c_source, warnings, reductions, intrinsics_used, ir, opt_report })
     }
 }
 

@@ -1,5 +1,6 @@
-//! The source-to-source transformation (Section IV-B): visits every AST
-//! node and produces the equivalent interval program.
+//! The lowering layer (Section IV-B): visits every AST node and
+//! produces the equivalent interval program in three-address form,
+//! ready for conversion into the typed IR (`igen-ir`).
 //!
 //! Expression results follow the paper's `igenExpr` design: each
 //! transformed expression carries its generated representation plus
@@ -7,10 +8,18 @@
 //! compile time (`2.0 + 0.1` becomes a single `ia_set_f64` constant).
 //! Intermediate interval operations are materialized into `t1, t2, …`
 //! temporaries exactly as in Fig. 2.
+//!
+//! Reduction handling is split across layers: the *detection* (Section
+//! VI-B) happens here, at the `#pragma igen reduce` site, because it
+//! needs source-level variable scopes; the *rewriting* into `isum_*`
+//! accumulator calls is an IR pass (`crate::opt::reduce`). The pragma is
+//! re-emitted directly before the lowered loop as a marker for that
+//! pass, and the detected [`ReductionInfo`] groups are handed over in
+//! marker order.
 
 use crate::config::{BranchPolicy, Config, Precision};
 use crate::consts::{dd_literal_interval, literal_interval, tolerance_interval};
-use crate::reduce::{detect_in_stmts, exprs_equal, ReductionInfo};
+use crate::reduce::{detect_in_stmts, ReductionInfo};
 use crate::types::{kind_of, promote, Kind};
 use igen_cfront::{
     fmt_f64, AssignOp, BinOp, Expr, Function, Item, Loc, Param, Pragma, Stmt, SwitchArm,
@@ -33,6 +42,15 @@ pub enum CompileError {
         /// What was unsupported.
         msg: String,
     },
+    /// The differential pass verifier (`Config::verify_passes`) observed
+    /// different interval endpoints before and after an optimization
+    /// pass — a compiler bug, surfaced instead of miscompiled output.
+    VerifierMismatch {
+        /// The offending pass.
+        pass: &'static str,
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
 }
 
 impl core::fmt::Display for CompileError {
@@ -41,6 +59,9 @@ impl core::fmt::Display for CompileError {
             CompileError::Parse(e) => write!(f, "{e}"),
             CompileError::Unsupported { loc, msg } => {
                 write!(f, "unsupported at {}:{}: {msg}", loc.line, loc.col)
+            }
+            CompileError::VerifierMismatch { pass, detail } => {
+                write!(f, "pass verifier: `{pass}` changed observable results: {detail}")
             }
         }
     }
@@ -67,6 +88,11 @@ pub struct Output {
     pub reductions: Vec<ReductionInfo>,
     /// Names of SIMD intrinsics encountered in the input (Section V).
     pub intrinsics_used: Vec<String>,
+    /// The optimized IR the C output was emitted from (`--emit-ir`).
+    pub ir: igen_ir::IrUnit,
+    /// Per-pass op-count/cost report of the optimization pipeline
+    /// (`--dump-passes`).
+    pub opt_report: crate::opt::PassReport,
 }
 
 /// Transformed expression value: a compile-time interval constant or a
@@ -87,13 +113,11 @@ pub(crate) struct Xform<'c> {
     cfg: &'c Config,
     scopes: Vec<HashMap<String, VarInfo>>,
     tmp: u32,
-    acc: u32,
     warnings: Vec<String>,
-    reductions: Vec<ReductionInfo>,
+    /// Detected reduction groups, one per re-emitted pragma marker, in
+    /// marker (textual) order. Consumed by the IR reduction pass.
+    reduction_groups: Vec<Vec<ReductionInfo>>,
     intrinsics: Vec<String>,
-    /// Active reduction rewrites: reduction loc → (accumulator name,
-    /// original lhs).
-    active_red: Vec<(ReductionInfo, String)>,
     /// Non-hand-optimized intrinsics whose generated interval
     /// implementation must be appended to the output unit.
     generated_needed: Vec<String>,
@@ -105,29 +129,22 @@ impl<'c> Xform<'c> {
             cfg,
             scopes: vec![HashMap::new()],
             tmp: 0,
-            acc: 0,
             warnings: Vec::new(),
-            reductions: Vec::new(),
+            reduction_groups: Vec::new(),
             intrinsics: Vec::new(),
-            active_red: Vec::new(),
             generated_needed: Vec::new(),
         }
     }
 
     pub(crate) fn into_results(
         self,
-    ) -> (Vec<String>, Vec<ReductionInfo>, Vec<String>, Vec<String>) {
-        (self.warnings, self.reductions, self.intrinsics, self.generated_needed)
+    ) -> (Vec<String>, Vec<Vec<ReductionInfo>>, Vec<String>, Vec<String>) {
+        (self.warnings, self.reduction_groups, self.intrinsics, self.generated_needed)
     }
 
     fn fresh_tmp(&mut self) -> String {
         self.tmp += 1;
         format!("t{}", self.tmp)
-    }
-
-    fn fresh_acc(&mut self) -> String {
-        self.acc += 1;
-        format!("acc{}", self.acc)
     }
 
     fn lookup(&self, name: &str) -> Option<&VarInfo> {
@@ -208,19 +225,19 @@ impl<'c> Xform<'c> {
                     && i + 1 < stmts.len()
                     && matches!(&stmts[i + 1], Stmt::For { .. })
                 {
-                    // Section VI-B: analyze the annotated loop nest and
-                    // rewrite its reductions.
+                    // Section VI-B: analyze the annotated loop nest here
+                    // (variable scopes are only known during lowering); the
+                    // rewrite itself is the IR reduction pass. The pragma is
+                    // kept directly before the lowered loop as its marker.
                     let loop_slice = std::slice::from_ref(&stmts[i + 1]);
                     let reds = detect_in_stmts(loop_slice, vars);
-                    for r in &reds {
-                        let acc = self.fresh_acc();
-                        self.active_red.push((r.clone(), acc));
-                        self.reductions.push(r.clone());
-                    }
                     self.stmt(&stmts[i + 1], &mut out)?;
-                    // Deactivate the rewrites installed for this nest.
-                    for _ in &reds {
-                        self.active_red.pop();
+                    if !reds.is_empty() {
+                        self.reduction_groups.push(reds);
+                        // The loop statement is the last one pushed; any
+                        // condition temporaries precede the marker.
+                        let pragma = Stmt::Pragma(Pragma::IgenReduce(vars.clone()));
+                        out.insert(out.len() - 1, pragma);
                     }
                     i += 2;
                     continue;
@@ -269,11 +286,6 @@ impl<'c> Xform<'c> {
                 Ok(())
             }
             Stmt::Expr(e) => {
-                // Reduction accumulate rewrite?
-                if let Some(stmt) = self.try_reduction_accumulate(e, out)? {
-                    out.push(stmt);
-                    return Ok(());
-                }
                 let v = self.expr(e, out)?;
                 if let XVal::V(expr, _) = v {
                     out.push(Stmt::Expr(expr));
@@ -292,8 +304,6 @@ impl<'c> Xform<'c> {
             }
             Stmt::For { init, cond, step, body } => {
                 self.scopes.push(HashMap::new());
-                // The loop may carry reduction init/reduce wrappers.
-                let wrappers = self.reduction_wrappers_for_loop(init.as_deref())?;
                 let init2 = match init.as_deref() {
                     None => None,
                     Some(st) => {
@@ -321,16 +331,12 @@ impl<'c> Xform<'c> {
                 };
                 let body2 = self.block(body)?;
                 self.scopes.pop();
-                let for_stmt =
-                    Stmt::For { init: init2, cond: cond2, step: step2, body: Box::new(body2) };
-                match wrappers {
-                    None => out.push(for_stmt),
-                    Some((pre, post)) => {
-                        out.extend(pre);
-                        out.push(for_stmt);
-                        out.extend(post);
-                    }
-                }
+                out.push(Stmt::For {
+                    init: init2,
+                    cond: cond2,
+                    step: step2,
+                    body: Box::new(body2),
+                });
                 Ok(())
             }
             Stmt::While { cond, body } => {
@@ -530,6 +536,7 @@ impl<'c> Xform<'c> {
             both.push(Stmt::Expr(assign(
                 Expr::ident(&emit),
                 Expr::ident(&format!("_save_{name}")),
+                Loc::default(),
             )));
         }
         both.push(match else_branch {
@@ -545,6 +552,7 @@ impl<'c> Xform<'c> {
                     args: vec![Expr::ident(&format!("_then_{name}")), Expr::ident(&emit)],
                     loc: Loc::default(),
                 },
+                Loc::default(),
             )));
         }
         out.push(Stmt::If {
@@ -567,120 +575,6 @@ impl<'c> Xform<'c> {
             XVal::V(e, Kind::TBool) => Expr::call("ia_cvt2bool_tb", vec![e]),
             other => self.lower_plain_expr(other, out),
         })
-    }
-
-    // --- reductions ------------------------------------------------------
-
-    /// If this loop is the outermost carrying loop of an active reduction,
-    /// produce the accumulator declaration/init (before) and the final
-    /// reduce (after) — Fig. 7 lines 2, 4 and 9.
-    #[allow(clippy::type_complexity)]
-    fn reduction_wrappers_for_loop(
-        &mut self,
-        init: Option<&Stmt>,
-    ) -> Result<Option<(Vec<Stmt>, Vec<Stmt>)>, CompileError> {
-        let var = match init {
-            Some(Stmt::Decl(d)) => d.name.clone(),
-            Some(Stmt::Expr(Expr::Assign { lhs, .. })) => match &**lhs {
-                Expr::Ident(n, _) => n.clone(),
-                _ => return Ok(None),
-            },
-            _ => return Ok(None),
-        };
-        let mut pre = Vec::new();
-        let mut post = Vec::new();
-        let matches: Vec<(ReductionInfo, String)> = self
-            .active_red
-            .iter()
-            .filter(|(r, _)| r.carrying_loops.first() == Some(&var))
-            .cloned()
-            .collect();
-        for (red, acc) in matches {
-            // The original lhs of the reduction: rebuild `var` or `var[i]`
-            // from the detected info? We stored only the variable name; the
-            // accumulate rewrite knows the full lvalue. For init/reduce we
-            // need the same lvalue — it is recovered when the accumulate
-            // statement is rewritten; here we emit decl + init using the
-            // stored lhs snapshot.
-            let lhs = red_lhs(&red);
-            let lhs_x = {
-                let v = self.expr(&lhs, &mut pre)?;
-                self.lower_interval_expr(v, &mut pre)
-            };
-            pre.push(Stmt::Decl(VarDecl {
-                ty: Type::Named(format!("acc_{}", self.sfx())),
-                name: acc.clone(),
-                init: None,
-            }));
-            pre.push(Stmt::Expr(Expr::Call {
-                name: format!("isum_init_{}", self.sfx()),
-                args: vec![addr_of(&acc), lhs_x],
-                loc: Loc::default(),
-            }));
-            let store = {
-                let v = self.expr(&lhs, &mut post)?;
-                match v {
-                    XVal::V(e, _) => e,
-                    XVal::Const(_) => unreachable!("lvalue is not a constant"),
-                }
-            };
-            post.push(Stmt::Expr(assign(
-                store,
-                Expr::Call {
-                    name: format!("isum_reduce_{}", self.sfx()),
-                    args: vec![addr_of(&acc)],
-                    loc: Loc::default(),
-                },
-            )));
-        }
-        if pre.is_empty() {
-            Ok(None)
-        } else {
-            Ok(Some((pre, post)))
-        }
-    }
-
-    /// If `e` is the reducing assignment of an active reduction, rewrite
-    /// it into `isum_accumulate(&acc, term)` (Fig. 7 line 7).
-    fn try_reduction_accumulate(
-        &mut self,
-        e: &Expr,
-        out: &mut Vec<Stmt>,
-    ) -> Result<Option<Stmt>, CompileError> {
-        let Some((red, acc)) = self.active_red.iter().find(|(r, _)| r.loc == e.loc()).cloned()
-        else {
-            return Ok(None);
-        };
-        // Extract the accumulated term.
-        let term = match e {
-            Expr::Assign { op: AssignOp::Assign, lhs, rhs, .. } => match &**rhs {
-                Expr::Binary { op: BinOp::Add, lhs: a, rhs: b, .. } => {
-                    if exprs_equal(lhs, a) {
-                        (**b).clone()
-                    } else {
-                        (**a).clone()
-                    }
-                }
-                _ => return Ok(None),
-            },
-            Expr::Assign { op: AssignOp::AddAssign, rhs, .. } => (**rhs).clone(),
-            _ => return Ok(None),
-        };
-        let _ = red;
-        let v = self.expr(&term, out)?;
-        let term_x = self.lower_interval_expr(v, out);
-        // Materialize the term into a temp like Fig. 7 line 6.
-        let t = self.fresh_tmp();
-        out.push(Stmt::Decl(VarDecl {
-            ty: Type::Named(self.cfg.interval_type().into()),
-            name: t.clone(),
-            init: Some(term_x),
-        }));
-        Ok(Some(Stmt::Expr(Expr::Call {
-            name: format!("isum_accumulate_{}", self.sfx()),
-            args: vec![addr_of(&acc), Expr::ident(&t)],
-            loc: Loc::default(),
-        })))
     }
 
     // --- expressions -----------------------------------------------------
@@ -1089,7 +983,7 @@ impl<'c> Xform<'c> {
             (None, Kind::Interval | Kind::MaskBits) => {
                 let rv = self.expr(rhs, out)?;
                 let r_e = self.lower_interval_expr(rv, out);
-                Ok(XVal::V(assign(l_e, r_e), Kind::Interval))
+                Ok(XVal::V(assign(l_e, r_e, loc), Kind::Interval))
             }
             (Some(bop), Kind::Interval) => {
                 // a += b  →  a = ia_add(a, b)
@@ -1101,7 +995,7 @@ impl<'c> Xform<'c> {
                 };
                 let rv = self.expr(&combined, out)?;
                 let r_e = self.lower_interval_expr(rv, out);
-                Ok(XVal::V(assign(l_e, r_e), Kind::Interval))
+                Ok(XVal::V(assign(l_e, r_e, loc), Kind::Interval))
             }
             _ => {
                 let rv = self.expr(rhs, out)?;
@@ -1289,17 +1183,12 @@ fn intrinsic_result_kind(name: &str) -> Kind {
     }
 }
 
-fn assign(lhs: Expr, rhs: Expr) -> Expr {
-    Expr::Assign {
-        op: AssignOp::Assign,
-        lhs: Box::new(lhs),
-        rhs: Box::new(rhs),
-        loc: Loc::default(),
-    }
-}
-
-fn addr_of(name: &str) -> Expr {
-    Expr::Unary(UnOp::Addr, Box::new(Expr::ident(name)))
+/// A plain `lhs = rhs` assignment. `loc` carries the source location of
+/// the original assignment; the IR reduction pass matches accumulate
+/// stores by this location (compiler-synthesized assignments pass
+/// [`Loc::default`]).
+fn assign(lhs: Expr, rhs: Expr, loc: Loc) -> Expr {
+    Expr::Assign { op: AssignOp::Assign, lhs: Box::new(lhs), rhs: Box::new(rhs), loc }
 }
 
 fn float_lit(v: f64) -> Expr {
@@ -1314,12 +1203,6 @@ fn ddx_const(lo: igen_dd::Dd, hi: igen_dd::Dd) -> Expr {
         args: vec![float_lit(lo.hi()), float_lit(lo.lo()), float_lit(hi.hi()), float_lit(hi.lo())],
         loc: Loc::default(),
     }
-}
-
-/// The lvalue of a reduction (`var` or `var[…]`), as captured by the
-/// detector.
-fn red_lhs(red: &ReductionInfo) -> Expr {
-    red.lhs.clone()
 }
 
 /// Variables assigned anywhere in a statement (for the join policy's
@@ -1390,15 +1273,14 @@ fn collect_modified(s: &Stmt, out: &mut Vec<String>) {
     }
 }
 
-/// The pieces a whole-unit transformation produces: the transformed
-/// unit, warnings, detected reductions, and the intrinsics encountered.
-pub(crate) type UnitXform = (TranslationUnit, Vec<String>, Vec<ReductionInfo>, Vec<String>);
+/// The pieces whole-unit lowering produces: the lowered unit, warnings,
+/// detected reduction groups (one per pragma marker, in marker order),
+/// and the intrinsics encountered.
+pub(crate) type UnitXform = (TranslationUnit, Vec<String>, Vec<Vec<ReductionInfo>>, Vec<String>);
 
-/// Transforms a full translation unit.
-pub(crate) fn transform_unit(
-    tu: &TranslationUnit,
-    cfg: &Config,
-) -> Result<UnitXform, CompileError> {
+/// Lowers a full translation unit (type promotion, interval-constant
+/// folding, three-address materialization — but no reduction rewriting).
+pub(crate) fn lower_unit(tu: &TranslationUnit, cfg: &Config) -> Result<UnitXform, CompileError> {
     let mut xf = Xform::new(cfg);
     let mut items = vec![Item::Include("\"igen_lib.h\"".to_string())];
     for item in &tu.items {
@@ -1437,7 +1319,7 @@ pub(crate) fn transform_unit(
             }
         }
     }
-    let (warnings, reductions, intrinsics, mut needed) = xf.into_results();
+    let (warnings, mut reduction_groups, intrinsics, mut needed) = xf.into_results();
     needed.sort();
     needed.dedup();
     if !needed.is_empty() {
@@ -1479,11 +1361,12 @@ pub(crate) fn transform_unit(
                 .collect(),
         };
         gen_unit.items.extend(gen_items);
-        let (gen_transformed, w2, _, _) = transform_unit(&gen_unit, cfg)?;
+        let (gen_transformed, w2, g2, _) = lower_unit(&gen_unit, cfg)?;
         let _ = w2;
+        reduction_groups.extend(g2);
         items.extend(gen_transformed.items.into_iter().filter(|i| !matches!(i, Item::Include(_))));
     }
-    Ok((TranslationUnit { items }, warnings, reductions, intrinsics))
+    Ok((TranslationUnit { items }, warnings, reduction_groups, intrinsics))
 }
 
 pub(crate) fn promote_typedef(td: &Typedef, cfg: &Config) -> Typedef {

@@ -1,0 +1,59 @@
+//! Copy propagation: uses of a temporary defined as a plain copy of
+//! another temporary (`f64i t3 = t1;`) are rewritten to the source.
+//!
+//! Only temp-to-temp copies are propagated: temporaries are SSA by
+//! construction, so the source still holds the same value at every use;
+//! propagating variable copies would require a reaching-definitions
+//! analysis. The now-dead copy definitions are removed by `dce`.
+
+use super::{Pass, PassCtx};
+use crate::lower::CompileError;
+use igen_ir::{IrExpr, IrStmt, IrUnit};
+use std::collections::HashMap;
+
+/// The copy-propagation pass.
+pub struct CopyPropPass;
+
+impl Pass for CopyPropPass {
+    fn name(&self) -> &'static str {
+        "copyprop"
+    }
+
+    fn run(&mut self, unit: &mut IrUnit, _ctx: &mut PassCtx<'_>) -> Result<bool, CompileError> {
+        let mut changed = false;
+        for f in unit.functions_mut() {
+            let body = f.body.as_mut().expect("definition");
+            let mut copies: HashMap<u32, u32> = HashMap::new();
+            for s in body.iter() {
+                super::for_each_stmt(s, &mut |s| {
+                    if let IrStmt::Def { temp, init: IrExpr::Temp(src), .. } = s {
+                        copies.insert(*temp, *src);
+                    }
+                });
+            }
+            if copies.is_empty() {
+                continue;
+            }
+            // Resolve chains (t5 = t3 = t1 → t5 → t1); SSA makes the
+            // copy graph acyclic.
+            let resolve = |mut n: u32| {
+                while let Some(&m) = copies.get(&n) {
+                    n = m;
+                }
+                n
+            };
+            for s in body.iter_mut() {
+                s.walk_exprs_mut(&mut |e| {
+                    if let IrExpr::Temp(n) = e {
+                        let r = resolve(*n);
+                        if r != *n {
+                            *n = r;
+                            changed = true;
+                        }
+                    }
+                });
+            }
+        }
+        Ok(changed)
+    }
+}

@@ -7,7 +7,7 @@
 //! performs exactly that: it generates C from the embedded specification
 //! corpus and self-compiles it.
 
-use crate::xform;
+use crate::lower;
 use crate::{CompileError, Config};
 use igen_cfront::TranslationUnit;
 
@@ -83,9 +83,9 @@ pub fn compile_intrinsics(cfg: &Config) -> Result<IntrinsicsOutput, CompileError
     let mut items: Vec<Item> = vec![Item::Include("\"igen_lib.h\"".to_string())];
     for item in &gen_unit.items {
         match item {
-            Item::Typedef(td) => items.push(Item::Typedef(xform::promote_typedef(td, cfg))),
+            Item::Typedef(td) => items.push(Item::Typedef(lower::promote_typedef(td, cfg))),
             Item::Function(f) => {
-                let mut xf = xform::Xform::new(cfg);
+                let mut xf = lower::Xform::new(cfg);
                 match xf.function(f) {
                     Ok(tf) => items.push(Item::Function(tf)),
                     Err(e) => {

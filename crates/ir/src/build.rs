@@ -1,0 +1,144 @@
+//! AST → IR conversion.
+//!
+//! The lowered AST produced by the compiler's first layer is already in
+//! three-address shape (temporaries `t1, t2, …` hold every intermediate
+//! interval operation), so building the IR is a faithful structural
+//! conversion: runtime call names are decoded into [`OpKind`]s,
+//! temporary declarations become [`IrStmt::Def`]s, and everything else
+//! maps one-to-one. [`crate::emit`] is the exact inverse; a
+//! build-then-emit round trip reproduces the input unit byte-for-byte
+//! when printed.
+
+use crate::ir::{IrArm, IrExpr, IrFunction, IrItem, IrStmt, IrUnit};
+use crate::op::OpKind;
+use igen_cfront::{Expr, Function, Item, Stmt, SwitchArm, TranslationUnit};
+
+/// True for the compiler's temporary names `t1`, `t2`, ….
+pub(crate) fn temp_number(name: &str) -> Option<u32> {
+    let digits = name.strip_prefix('t')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Converts a lowered translation unit into IR.
+pub fn build_unit(tu: &TranslationUnit) -> IrUnit {
+    let items = tu
+        .items
+        .iter()
+        .map(|item| match item {
+            Item::Include(s) => IrItem::Include(s.clone()),
+            Item::Pragma(p) => IrItem::Pragma(p.clone()),
+            Item::Typedef(td) => IrItem::Typedef(td.clone()),
+            Item::Global(d) => IrItem::Global(d.clone()),
+            Item::Function(f) => IrItem::Function(build_function(f)),
+        })
+        .collect();
+    IrUnit { items }
+}
+
+/// Converts one function.
+pub fn build_function(f: &Function) -> IrFunction {
+    IrFunction {
+        ret: f.ret.clone(),
+        name: f.name.clone(),
+        params: f.params.clone(),
+        body: f.body.as_ref().map(|b| b.iter().map(build_stmt).collect()),
+    }
+}
+
+fn build_stmt(s: &Stmt) -> IrStmt {
+    match s {
+        Stmt::Decl(d) => match (temp_number(&d.name), &d.init) {
+            (Some(n), Some(init)) => {
+                IrStmt::Def { temp: n, ty: d.ty.clone(), init: build_expr(init) }
+            }
+            _ => IrStmt::Decl {
+                ty: d.ty.clone(),
+                name: d.name.clone(),
+                init: d.init.as_ref().map(build_expr),
+            },
+        },
+        Stmt::Expr(e) => IrStmt::Expr(build_expr(e)),
+        Stmt::Block(b) => IrStmt::Block(b.iter().map(build_stmt).collect()),
+        Stmt::If { cond, then_branch, else_branch } => IrStmt::If {
+            cond: build_expr(cond),
+            then_branch: Box::new(build_stmt(then_branch)),
+            else_branch: else_branch.as_ref().map(|e| Box::new(build_stmt(e))),
+        },
+        Stmt::For { init, cond, step, body } => IrStmt::For {
+            init: init.as_ref().map(|s| Box::new(build_stmt(s))),
+            cond: cond.as_ref().map(build_expr),
+            step: step.as_ref().map(build_expr),
+            body: Box::new(build_stmt(body)),
+        },
+        Stmt::While { cond, body } => {
+            IrStmt::While { cond: build_expr(cond), body: Box::new(build_stmt(body)) }
+        }
+        Stmt::DoWhile { body, cond } => {
+            IrStmt::DoWhile { body: Box::new(build_stmt(body)), cond: build_expr(cond) }
+        }
+        Stmt::Switch { cond, arms } => IrStmt::Switch {
+            cond: build_expr(cond),
+            arms: arms
+                .iter()
+                .map(|SwitchArm { label, body }| IrArm {
+                    label: *label,
+                    body: body.iter().map(build_stmt).collect(),
+                })
+                .collect(),
+        },
+        Stmt::Return(e) => IrStmt::Return(e.as_ref().map(build_expr)),
+        Stmt::Break => IrStmt::Break,
+        Stmt::Continue => IrStmt::Continue,
+        Stmt::Pragma(p) => IrStmt::Pragma(p.clone()),
+        Stmt::Empty => IrStmt::Empty,
+    }
+}
+
+/// Converts one expression (temporary `tN` identifiers become
+/// [`IrExpr::Temp`], runtime calls become [`IrExpr::Op`]).
+pub fn build_expr(e: &Expr) -> IrExpr {
+    match e {
+        Expr::IntLit { value, text } => IrExpr::Int { value: *value, text: text.clone() },
+        Expr::FloatLit { value, text, f32, tol } => {
+            IrExpr::Float { value: *value, text: text.clone(), f32: *f32, tol: *tol }
+        }
+        Expr::Ident(name, loc) => match temp_number(name) {
+            Some(n) => IrExpr::Temp(n),
+            None => IrExpr::Var(name.clone(), *loc),
+        },
+        Expr::Unary(op, inner) => IrExpr::Unary(*op, Box::new(build_expr(inner))),
+        Expr::PostIncDec(inner, inc) => IrExpr::PostIncDec(Box::new(build_expr(inner)), *inc),
+        Expr::Binary { op, lhs, rhs, loc } => IrExpr::Binary {
+            op: *op,
+            lhs: Box::new(build_expr(lhs)),
+            rhs: Box::new(build_expr(rhs)),
+            loc: *loc,
+        },
+        Expr::Assign { op, lhs, rhs, loc } => IrExpr::Assign {
+            op: *op,
+            lhs: Box::new(build_expr(lhs)),
+            rhs: Box::new(build_expr(rhs)),
+            loc: *loc,
+        },
+        Expr::Call { name, args, loc } => {
+            let args: Vec<IrExpr> = args.iter().map(build_expr).collect();
+            match OpKind::parse(name) {
+                Some((op, sfx)) => IrExpr::Op { op, sfx, args, loc: *loc },
+                None => IrExpr::Call { name: name.clone(), args, loc: *loc },
+            }
+        }
+        Expr::Index(base, idx) => {
+            IrExpr::Index(Box::new(build_expr(base)), Box::new(build_expr(idx)))
+        }
+        Expr::Member { base, field, arrow } => {
+            IrExpr::Member { base: Box::new(build_expr(base)), field: field.clone(), arrow: *arrow }
+        }
+        Expr::Cast(ty, inner) => IrExpr::Cast(ty.clone(), Box::new(build_expr(inner))),
+        Expr::Cond(c, t, f) => {
+            IrExpr::Cond(Box::new(build_expr(c)), Box::new(build_expr(t)), Box::new(build_expr(f)))
+        }
+    }
+}

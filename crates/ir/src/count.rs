@@ -1,0 +1,70 @@
+//! Operation counting: the op-count/cost statistics reported per pass by
+//! `--dump-passes`. When directed rounding is done in software, every
+//! interval operation pays for error-free transformations, so the static
+//! op count is the quantity the optimization pipeline tries to shrink.
+
+use crate::ir::{IrFunction, IrStmt, IrUnit};
+
+/// Static operation statistics of a function or unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpStats {
+    /// Number of interval runtime operations ([`crate::IrExpr::Op`]
+    /// nodes).
+    pub ops: usize,
+    /// Sum of the abstract per-op costs ([`crate::OpKind::cost`]).
+    pub cost: u64,
+    /// Per-opcode counts, keyed by the `f64`-suffix C name, sorted by
+    /// name for deterministic reports.
+    pub per_op: Vec<(String, usize)>,
+}
+
+impl OpStats {
+    fn add_op(&mut self, name: String, cost: u64) {
+        self.ops += 1;
+        self.cost += cost;
+        match self.per_op.binary_search_by(|(n, _)| n.as_str().cmp(&name)) {
+            Ok(i) => self.per_op[i].1 += 1,
+            Err(i) => self.per_op.insert(i, (name, 1)),
+        }
+    }
+
+    /// Merges another stats record into this one.
+    pub fn merge(&mut self, other: &OpStats) {
+        self.ops += other.ops;
+        self.cost += other.cost;
+        for (name, n) in &other.per_op {
+            match self.per_op.binary_search_by(|(m, _)| m.as_str().cmp(name)) {
+                Ok(i) => self.per_op[i].1 += n,
+                Err(i) => self.per_op.insert(i, (name.clone(), *n)),
+            }
+        }
+    }
+}
+
+fn count_stmts(stmts: &[IrStmt], stats: &mut OpStats) {
+    for s in stmts {
+        s.walk_exprs(&mut |e| {
+            if let crate::ir::IrExpr::Op { op, sfx, .. } = e {
+                stats.add_op(op.c_name(*sfx), op.cost());
+            }
+        });
+    }
+}
+
+/// Statistics for one function (empty for prototypes).
+pub fn function_stats(f: &IrFunction) -> OpStats {
+    let mut stats = OpStats::default();
+    if let Some(body) = &f.body {
+        count_stmts(body, &mut stats);
+    }
+    stats
+}
+
+/// Statistics for a whole unit (all function definitions).
+pub fn unit_stats(unit: &IrUnit) -> OpStats {
+    let mut stats = OpStats::default();
+    for f in unit.functions() {
+        stats.merge(&function_stats(f));
+    }
+    stats
+}

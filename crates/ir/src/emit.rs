@@ -1,0 +1,126 @@
+//! IR → AST conversion (the emit layer's front half): the exact inverse
+//! of [`crate::build`]. The resulting unit is printed by the existing
+//! `igen-cfront` printer, which keeps the paper's output style.
+
+use crate::ir::{IrArm, IrExpr, IrFunction, IrItem, IrStmt, IrUnit};
+use igen_cfront::{Expr, Function, Item, Loc, Stmt, SwitchArm, TranslationUnit, VarDecl};
+
+/// Converts an IR unit back into a printable AST.
+pub fn emit_unit(unit: &IrUnit) -> TranslationUnit {
+    TranslationUnit {
+        items: unit
+            .items
+            .iter()
+            .map(|item| match item {
+                IrItem::Include(s) => Item::Include(s.clone()),
+                IrItem::Pragma(p) => Item::Pragma(p.clone()),
+                IrItem::Typedef(td) => Item::Typedef(td.clone()),
+                IrItem::Global(d) => Item::Global(d.clone()),
+                IrItem::Function(f) => Item::Function(emit_function(f)),
+            })
+            .collect(),
+    }
+}
+
+/// Converts one function.
+pub fn emit_function(f: &IrFunction) -> Function {
+    Function {
+        ret: f.ret.clone(),
+        name: f.name.clone(),
+        params: f.params.clone(),
+        body: f.body.as_ref().map(|b| b.iter().map(emit_stmt).collect()),
+    }
+}
+
+fn emit_stmt(s: &IrStmt) -> Stmt {
+    match s {
+        IrStmt::Def { temp, ty, init } => Stmt::Decl(VarDecl {
+            ty: ty.clone(),
+            name: format!("t{temp}"),
+            init: Some(emit_expr(init)),
+        }),
+        IrStmt::Decl { ty, name, init } => Stmt::Decl(VarDecl {
+            ty: ty.clone(),
+            name: name.clone(),
+            init: init.as_ref().map(emit_expr),
+        }),
+        IrStmt::Expr(e) => Stmt::Expr(emit_expr(e)),
+        IrStmt::Block(b) => Stmt::Block(b.iter().map(emit_stmt).collect()),
+        IrStmt::If { cond, then_branch, else_branch } => Stmt::If {
+            cond: emit_expr(cond),
+            then_branch: Box::new(emit_stmt(then_branch)),
+            else_branch: else_branch.as_ref().map(|e| Box::new(emit_stmt(e))),
+        },
+        IrStmt::For { init, cond, step, body } => Stmt::For {
+            init: init.as_ref().map(|s| Box::new(emit_stmt(s))),
+            cond: cond.as_ref().map(emit_expr),
+            step: step.as_ref().map(emit_expr),
+            body: Box::new(emit_stmt(body)),
+        },
+        IrStmt::While { cond, body } => {
+            Stmt::While { cond: emit_expr(cond), body: Box::new(emit_stmt(body)) }
+        }
+        IrStmt::DoWhile { body, cond } => {
+            Stmt::DoWhile { body: Box::new(emit_stmt(body)), cond: emit_expr(cond) }
+        }
+        IrStmt::Switch { cond, arms } => Stmt::Switch {
+            cond: emit_expr(cond),
+            arms: arms
+                .iter()
+                .map(|IrArm { label, body }| SwitchArm {
+                    label: *label,
+                    body: body.iter().map(emit_stmt).collect(),
+                })
+                .collect(),
+        },
+        IrStmt::Return(e) => Stmt::Return(e.as_ref().map(emit_expr)),
+        IrStmt::Break => Stmt::Break,
+        IrStmt::Continue => Stmt::Continue,
+        IrStmt::Pragma(p) => Stmt::Pragma(p.clone()),
+        IrStmt::Empty => Stmt::Empty,
+    }
+}
+
+/// Converts one expression back to AST form.
+pub fn emit_expr(e: &IrExpr) -> Expr {
+    match e {
+        IrExpr::Int { value, text } => Expr::IntLit { value: *value, text: text.clone() },
+        IrExpr::Float { value, text, f32, tol } => {
+            Expr::FloatLit { value: *value, text: text.clone(), f32: *f32, tol: *tol }
+        }
+        IrExpr::Var(name, loc) => Expr::Ident(name.clone(), *loc),
+        IrExpr::Temp(n) => Expr::Ident(format!("t{n}"), Loc::default()),
+        IrExpr::Op { op, sfx, args, loc } => Expr::Call {
+            name: op.c_name(*sfx),
+            args: args.iter().map(emit_expr).collect(),
+            loc: *loc,
+        },
+        IrExpr::Call { name, args, loc } => {
+            Expr::Call { name: name.clone(), args: args.iter().map(emit_expr).collect(), loc: *loc }
+        }
+        IrExpr::Unary(op, inner) => Expr::Unary(*op, Box::new(emit_expr(inner))),
+        IrExpr::PostIncDec(inner, inc) => Expr::PostIncDec(Box::new(emit_expr(inner)), *inc),
+        IrExpr::Binary { op, lhs, rhs, loc } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(emit_expr(lhs)),
+            rhs: Box::new(emit_expr(rhs)),
+            loc: *loc,
+        },
+        IrExpr::Assign { op, lhs, rhs, loc } => Expr::Assign {
+            op: *op,
+            lhs: Box::new(emit_expr(lhs)),
+            rhs: Box::new(emit_expr(rhs)),
+            loc: *loc,
+        },
+        IrExpr::Index(base, idx) => {
+            Expr::Index(Box::new(emit_expr(base)), Box::new(emit_expr(idx)))
+        }
+        IrExpr::Member { base, field, arrow } => {
+            Expr::Member { base: Box::new(emit_expr(base)), field: field.clone(), arrow: *arrow }
+        }
+        IrExpr::Cast(ty, inner) => Expr::Cast(ty.clone(), Box::new(emit_expr(inner))),
+        IrExpr::Cond(c, t, f) => {
+            Expr::Cond(Box::new(emit_expr(c)), Box::new(emit_expr(t)), Box::new(emit_expr(f)))
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Deterministic renumbering of temporaries and accumulators.
+//!
+//! Optimization passes insert and delete [`IrStmt::Def`]s, which leaves
+//! gaps and out-of-order numbers. Before emission the temporaries are
+//! renumbered `t1, t2, …` in textual (declaration) order per function —
+//! exactly the order the paper's single-pass rewriter would have
+//! assigned — and accumulators `acc1, acc2, …` in textual order across
+//! the unit (the accumulator counter is unit-global in the seed
+//! compiler). The numbering depends only on the IR itself, never on hash
+//! iteration order, so repeated compiles are byte-identical.
+
+use crate::ir::{IrExpr, IrStmt, IrUnit};
+use std::collections::HashMap;
+
+/// Renumbers all temporaries (per function) and accumulators
+/// (unit-global) in textual order.
+pub fn renumber_unit(unit: &mut IrUnit) {
+    let mut acc_map: HashMap<String, String> = HashMap::new();
+    let mut next_acc = 0u32;
+    // Accumulator declarations in textual order across the whole unit.
+    for f in unit.functions() {
+        for s in f.body.as_deref().unwrap_or_default() {
+            collect_accs(s, &mut acc_map, &mut next_acc);
+        }
+    }
+    for f in unit.functions_mut() {
+        let body = f.body.as_mut().expect("definition");
+        let mut tmp_map: HashMap<u32, u32> = HashMap::new();
+        let mut next = 0u32;
+        for s in body.iter() {
+            collect_defs(s, &mut tmp_map, &mut next);
+        }
+        for s in body.iter_mut() {
+            // Rename declarations (recursing through nested statements),
+            // then rewrite every expression exactly once — walk_exprs_mut
+            // already descends into nested statements, so the two
+            // traversals stay separate to avoid remapping a name twice.
+            rename_decls(s, &tmp_map, &acc_map);
+            s.walk_exprs_mut(&mut |e| match e {
+                IrExpr::Temp(n) => {
+                    if let Some(m) = tmp_map.get(n) {
+                        *n = *m;
+                    }
+                }
+                IrExpr::Var(name, _) => {
+                    if let Some(m) = acc_map.get(name) {
+                        *name = m.clone();
+                    }
+                }
+                _ => {}
+            });
+        }
+    }
+}
+
+fn acc_number(name: &str) -> bool {
+    name.strip_prefix("acc").is_some_and(|d| !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()))
+}
+
+fn collect_accs(s: &IrStmt, map: &mut HashMap<String, String>, next: &mut u32) {
+    if let IrStmt::Decl { ty: igen_cfront::Type::Named(ty), name, .. } = s {
+        if ty.starts_with("acc_") && acc_number(name) && !map.contains_key(name) {
+            *next += 1;
+            map.insert(name.clone(), format!("acc{next}"));
+        }
+    }
+    each_child(s, &mut |c| collect_accs(c, map, next));
+}
+
+fn collect_defs(s: &IrStmt, map: &mut HashMap<u32, u32>, next: &mut u32) {
+    if let IrStmt::Def { temp, .. } = s {
+        if !map.contains_key(temp) {
+            *next += 1;
+            map.insert(*temp, *next);
+        }
+    }
+    each_child(s, &mut |c| collect_defs(c, map, next));
+}
+
+/// Visits direct child statements in textual order.
+fn each_child(s: &IrStmt, f: &mut dyn FnMut(&IrStmt)) {
+    match s {
+        IrStmt::Block(b) => b.iter().for_each(f),
+        IrStmt::If { then_branch, else_branch, .. } => {
+            f(then_branch);
+            if let Some(e) = else_branch {
+                f(e);
+            }
+        }
+        IrStmt::For { init, body, .. } => {
+            if let Some(i) = init {
+                f(i);
+            }
+            f(body);
+        }
+        IrStmt::While { body, .. } | IrStmt::DoWhile { body, .. } => f(body),
+        IrStmt::Switch { arms, .. } => {
+            for arm in arms {
+                arm.body.iter().for_each(&mut *f);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn each_child_mut(s: &mut IrStmt, f: &mut dyn FnMut(&mut IrStmt)) {
+    match s {
+        IrStmt::Block(b) => b.iter_mut().for_each(f),
+        IrStmt::If { then_branch, else_branch, .. } => {
+            f(then_branch);
+            if let Some(e) = else_branch {
+                f(e);
+            }
+        }
+        IrStmt::For { init, body, .. } => {
+            if let Some(i) = init {
+                f(i);
+            }
+            f(body);
+        }
+        IrStmt::While { body, .. } | IrStmt::DoWhile { body, .. } => f(body),
+        IrStmt::Switch { arms, .. } => {
+            for arm in arms {
+                arm.body.iter_mut().for_each(&mut *f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Renames `Def` temporaries and accumulator `Decl`s, recursing through
+/// nested statements. Expressions are rewritten separately.
+fn rename_decls(s: &mut IrStmt, tmp_map: &HashMap<u32, u32>, acc_map: &HashMap<String, String>) {
+    if let IrStmt::Def { temp, .. } = s {
+        if let Some(n) = tmp_map.get(temp) {
+            *temp = *n;
+        }
+    }
+    if let IrStmt::Decl { name, .. } = s {
+        if let Some(n) = acc_map.get(name) {
+            *name = n.clone();
+        }
+    }
+    each_child_mut(s, &mut |c| rename_decls(c, tmp_map, acc_map));
+}

@@ -3,23 +3,34 @@
 //! sound interval C.
 //!
 //! ```text
-//! igen-cli input.c [-o igen_input.c] [--precision f32|f64|dd]
-//!                  [--reductions] [--join-branches] [--intrinsics]
+//! igen-cli compile input.c [-o igen_input.c] [--precision f32|f64|dd]
+//!                  [--opt-level 0|1|2] [--emit-ir] [--dump-passes]
+//!                  [--verify-passes] [--reductions] [--join-branches]
+//!                  [--intrinsics]
 //! igen-cli batch <dot|mvm|gemm|henon|ffnn> [--threads N] [--batch N]
 //!                [--size N] [--iters N] [--seq-threshold N]
 //! ```
+//!
+//! The `compile` subcommand name is optional for backward compatibility:
+//! `igen-cli input.c` behaves identically.
 
-use igen::compiler::{BranchPolicy, Compiler, Config, OutputVec, Precision};
+use igen::compiler::{BranchPolicy, Compiler, Config, OptLevel, OutputVec, Precision};
 use std::process::ExitCode;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: igen-cli <input.c> [options]\n\
+        "usage: igen-cli [compile] <input.c> [options]\n\
          \n\
          options:\n\
            -o <file>           output path (default: igen_<input>.c)\n\
            --precision <p>     target endpoint precision: f32 | f64 (default) | dd\n\
+           --opt-level <n>     IR optimization level 0 | 1 | 2 (default: 0;\n\
+                               0 is byte-identical to the unoptimized output)\n\
+           --emit-ir           print the optimized interval IR to stdout\n\
+           --dump-passes       print the per-pass op-count/cost report to stdout\n\
+           --verify-passes     differentially re-execute each pass's before/after\n\
+                               IR under the reference interpreter\n\
            --reductions        enable the reduction accuracy transformation\n\
                                (requires `#pragma igen reduce` annotations)\n\
            --join-branches     compute both branches of undecidable ifs and\n\
@@ -174,15 +185,21 @@ fn run_batch(args: &[String]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("batch") {
         return run_batch(&args[1..]);
+    }
+    // `compile` is the canonical subcommand; the bare form stays accepted.
+    if args.first().map(String::as_str) == Some("compile") {
+        args.remove(0);
     }
     let mut input: Option<String> = None;
     let mut output: Option<String> = None;
     let mut cfg = Config::default();
     let mut emit_intrinsics = false;
     let mut report = false;
+    let mut emit_ir = false;
+    let mut dump_passes = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -200,6 +217,18 @@ fn main() -> ExitCode {
                     _ => usage(),
                 };
             }
+            "--opt-level" => {
+                i += 1;
+                cfg.opt_level = match args.get(i).map(String::as_str) {
+                    Some("0") => OptLevel::O0,
+                    Some("1") => OptLevel::O1,
+                    Some("2") => OptLevel::O2,
+                    _ => usage(),
+                };
+            }
+            "--emit-ir" => emit_ir = true,
+            "--dump-passes" => dump_passes = true,
+            "--verify-passes" => cfg.verify_passes = true,
             "--reductions" => cfg.reductions = true,
             "--sqr-rewrite" => cfg.sqr_rewrite = true,
             "--vectorize" => {
@@ -253,6 +282,12 @@ fn main() -> ExitCode {
         if !out.intrinsics_used.is_empty() {
             eprintln!("intrinsics used: {}", out.intrinsics_used.join(", "));
         }
+    }
+    if emit_ir {
+        print!("{}", igen::ir::dump_unit(&out.ir));
+    }
+    if dump_passes {
+        print!("{}", out.opt_report.render());
     }
     let out_path = output.unwrap_or_else(|| {
         let stem = std::path::Path::new(&input)

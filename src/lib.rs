@@ -11,6 +11,7 @@ pub use igen_core as compiler;
 pub use igen_dd as dd;
 pub use igen_interp as interp;
 pub use igen_interval as interval;
+pub use igen_ir as ir;
 pub use igen_kernels as kernels;
 pub use igen_mpf as mpf;
 pub use igen_round as round;

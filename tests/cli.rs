@@ -130,3 +130,48 @@ fn vectorize_flag_stamps_configuration() {
     let c = fs::read_to_string(dir.join("ss.c")).unwrap();
     assert!(c.starts_with("#include"), "{c}");
 }
+
+#[test]
+fn compile_subcommand_matches_bare_form() {
+    let dir = scratch("cli_compile_subcmd");
+    fs::write(dir.join("h.c"), "double f(double x) { return x * x + x * x; }").unwrap();
+    let out = run_in(&dir, &["compile", "h.c", "-o", "sub.c"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = run_in(&dir, &["h.c", "-o", "bare.c"]);
+    assert!(out.status.success());
+    assert_eq!(
+        fs::read_to_string(dir.join("sub.c")).unwrap(),
+        fs::read_to_string(dir.join("bare.c")).unwrap(),
+        "`compile` subcommand and bare form must agree"
+    );
+}
+
+#[test]
+fn opt_level_two_removes_common_subexpression() {
+    let dir = scratch("cli_opt_level");
+    fs::write(dir.join("h.c"), "double f(double x) { return x * x + x * x; }").unwrap();
+    let out = run_in(&dir, &["compile", "h.c", "-o", "o0.c"]);
+    assert!(out.status.success());
+    let out =
+        run_in(&dir, &["compile", "h.c", "-o", "o2.c", "--opt-level", "2", "--verify-passes"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let o0 = fs::read_to_string(dir.join("o0.c")).unwrap();
+    let o2 = fs::read_to_string(dir.join("o2.c")).unwrap();
+    assert_eq!(o0.matches("ia_mul_f64(x, x)").count(), 2, "{o0}");
+    assert_eq!(o2.matches("ia_mul_f64(x, x)").count(), 1, "{o2}");
+}
+
+#[test]
+fn emit_ir_and_dump_passes_go_to_stdout() {
+    let dir = scratch("cli_emit_ir");
+    fs::write(dir.join("h.c"), "double f(double x) { return x * x + x * x; }").unwrap();
+    let out = run_in(&dir, &["compile", "h.c", "--opt-level", "2", "--emit-ir", "--dump-passes"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("func f(f64i x) -> f64i"), "{stdout}");
+    assert!(stdout.contains("mul.f64"), "{stdout}");
+    assert!(stdout.contains("pass pipeline (O2):"), "{stdout}");
+    for pass in ["reduce", "fold", "cse", "copyprop", "dce"] {
+        assert!(stdout.contains(pass), "missing {pass} in report:\n{stdout}");
+    }
+}

@@ -1,0 +1,11 @@
+#include "igen_lib.h"
+
+ddi dd_poly(ddi x) {
+    ddi t1 = ia_mul_dd(x, x);
+    ddi t2 = ia_set_ddx(2.0, 0.0, 2.0, 0.0);
+    ddi t3 = ia_add_dd(t1, t2);
+    ddi t4 = ia_mul_dd(t3, x);
+    ddi t5 = ia_set_ddx(1.0, 0.0, 1.0, 0.0);
+    ddi t6 = ia_add_dd(t4, t5);
+    return t6;
+}

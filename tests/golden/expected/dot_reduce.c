@@ -1,0 +1,12 @@
+#include "igen_lib.h"
+
+void dot(f64i* x, f64i* y, f64i* r) {
+    acc_f64 acc1;
+    isum_init_f64(&acc1, r[0]);
+    for (int i = 0; i < 100; i++)
+    {
+        f64i t1 = ia_mul_f64(x[i], y[i]);
+        isum_accumulate_f64(&acc1, t1);
+    }
+    r[0] = isum_reduce_f64(&acc1);
+}

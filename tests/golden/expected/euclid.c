@@ -1,0 +1,13 @@
+#include "igen_lib.h"
+
+f64i euclid(f64i x1, f64i y1, f64i x2, f64i y2) {
+    f64i t1 = ia_sub_f64(x1, x2);
+    f64i t2 = ia_sub_f64(x1, x2);
+    f64i t3 = ia_sub_f64(y1, y2);
+    f64i t4 = ia_sub_f64(y1, y2);
+    f64i t5 = ia_mul_f64(t1, t2);
+    f64i t6 = ia_mul_f64(t3, t4);
+    f64i t7 = ia_add_f64(t5, t6);
+    f64i t8 = ia_sqrt_f64(t7);
+    return t8;
+}

@@ -1,0 +1,14 @@
+#include "igen_lib.h"
+
+f64i foo(f64i a, f64i b) {
+    f64i c;
+    f64i t1 = ia_add_f64(a, b);
+    f64i t2 = ia_set_f64(0.09999999999999999, 0.1);
+    c = ia_add_f64(t1, t2);
+    tbool t3 = ia_cmpgt_f64(c, a);
+    if (ia_cvt2bool_tb(t3))
+    {
+        c = ia_mul_f64(a, c);
+    }
+    return c;
+}

@@ -1,0 +1,18 @@
+#include "igen_lib.h"
+
+f64i henon_map(f64i x, f64i y, int iterations) {
+    f64i a = ia_set_f64(1.0499999999999998, 1.05);
+    f64i b = ia_set_f64(0.3, 0.30000000000000004);
+    for (int i = 0; i < iterations; i++)
+    {
+        f64i xi = x;
+        f64i yi = y;
+        f64i t1 = ia_mul_f64(a, xi);
+        f64i t2 = ia_set_f64(1.0, 1.0);
+        f64i t3 = ia_mul_f64(t1, xi);
+        f64i t4 = ia_sub_f64(t2, t3);
+        x = ia_add_f64(t4, yi);
+        y = ia_mul_f64(b, xi);
+    }
+    return x;
+}

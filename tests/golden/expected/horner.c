@@ -1,0 +1,16 @@
+#include "igen_lib.h"
+
+f64i poly(f64i x) {
+    f64i t1 = ia_set_f64(0.49999999999999994, 0.5000000000000001);
+    f64i t2 = ia_mul_f64(x, x);
+    f64i t3 = ia_set_f64(1.0, 1.0);
+    f64i t4 = ia_mul_f64(t1, t2);
+    f64i t5 = ia_set_f64(0.24999999999999997, 0.25000000000000006);
+    f64i t6 = ia_mul_f64(x, x);
+    f64i t7 = ia_mul_f64(t5, t6);
+    f64i t8 = ia_mul_f64(x, x);
+    f64i t9 = ia_add_f64(t3, t4);
+    f64i t10 = ia_mul_f64(t7, t8);
+    f64i t11 = ia_add_f64(t9, t10);
+    return t11;
+}

@@ -1,0 +1,8 @@
+#include "igen_lib.h"
+
+f64i rnorm(f64i x) {
+    f64i t1 = ia_set_f64(2.0, 2.0);
+    f64i t2 = ia_sqrt_f64(t1);
+    f64i t3 = ia_div_f64(x, t2);
+    return t3;
+}

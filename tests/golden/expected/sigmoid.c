@@ -1,0 +1,11 @@
+#include "igen_lib.h"
+
+f64i sigmoid(f64i z) {
+    f64i t1 = ia_neg_f64(z);
+    f64i t2 = ia_set_f64(1.0, 1.0);
+    f64i t3 = ia_exp_f64(t1);
+    f64i t4 = ia_set_f64(1.0, 1.0);
+    f64i t5 = ia_add_f64(t2, t3);
+    f64i t6 = ia_div_f64(t4, t5);
+    return t6;
+}

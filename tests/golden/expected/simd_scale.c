@@ -1,0 +1,26 @@
+#include "igen_lib.h"
+
+m256di_2 simd_scale(m256di_2 x, m256di_2 y) {
+    m256di_2 p = ia_mm256_mul_pd(x, y);
+    m256di_2 s = ia_mm256_add_pd(p, x);
+    return _c_mm256_unpacklo_pd(s, p);
+}
+
+typedef union {
+    m256di_2 v;
+    uint64_t i[4];
+    f64i f[4];
+} vec256d;
+
+m256di_2 _c_mm256_unpacklo_pd(m256di_2 _a, m256di_2 _b) {
+    vec256d a;
+    vec256d b;
+    vec256d dst;
+    a.v = _a;
+    b.v = _b;
+    dst.f[0] = a.f[0];
+    dst.f[1] = b.f[0];
+    dst.f[2] = a.f[2];
+    dst.f[3] = b.f[2];
+    return dst.v;
+}

@@ -1,0 +1,3 @@
+double dd_poly(double x) {
+    return (x * x + 2.0) * x + 1.0;
+}

@@ -1,0 +1,5 @@
+void dot(double* x, double* y, double* r) {
+    #pragma igen reduce r
+    for (int i = 0; i < 100; i++)
+        r[0] = r[0] + x[i] * y[i];
+}

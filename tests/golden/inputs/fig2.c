@@ -1,0 +1,8 @@
+double foo(double a, double b) {
+    double c;
+    c = a + b + 0.1;
+    if (c > a) {
+        c = a * c;
+    }
+    return c;
+}

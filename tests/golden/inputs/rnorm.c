@@ -1,0 +1,3 @@
+double rnorm(double x) {
+    return x / sqrt(2.0);
+}

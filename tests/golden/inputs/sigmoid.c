@@ -1,0 +1,3 @@
+double sigmoid(double z) {
+    return 1.0 / (1.0 + exp(-z));
+}

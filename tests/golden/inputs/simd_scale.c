@@ -1,0 +1,5 @@
+__m256d simd_scale(__m256d x, __m256d y) {
+    __m256d p = _mm256_mul_pd(x, y);
+    __m256d s = _mm256_add_pd(p, x);
+    return _mm256_unpacklo_pd(s, p);
+}
