@@ -131,8 +131,8 @@ macro_rules! lane_batch_kernels {
                     let a = <$lane>::splat(<$elem as Numeric>::from_rational(105, 100));
                     let b = <$lane>::splat(<$elem as Numeric>::from_rational(3, 10));
                     let one = <$lane>::splat(<$elem as Numeric>::one());
-                    let mut x = x0s.load_x4(first, 1);
-                    let mut y = y0s.load_x4(first, 1);
+                    let mut x = x0s.load_x4_contig(first);
+                    let mut y = y0s.load_x4_contig(first);
                     for _ in 0..iterations {
                         let xi = x;
                         x = one - a * xi * xi + y;

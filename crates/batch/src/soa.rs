@@ -90,26 +90,39 @@ impl BatchF64I {
     }
 
     /// Loads lanes `start, start+stride, ..` into a 2-wide lane vector.
+    /// The lane vector's columns are filled straight from the batch
+    /// columns — no per-element interval reassembly.
     pub fn load_x2(&self, start: usize, stride: usize) -> F64Ix2 {
-        F64Ix2([self.get(start), self.get(start + stride)])
+        F64Ix2::from_columns(
+            [self.neg_lo[start], self.neg_lo[start + stride]],
+            [self.hi[start], self.hi[start + stride]],
+        )
     }
 
     /// Loads lanes `start, start+stride, ..` into a 4-wide lane vector —
     /// the shape the batched kernels use to evolve four batch elements
-    /// per packed register.
+    /// per packed register. Column-to-column gather, no reassembly.
     pub fn load_x4(&self, start: usize, stride: usize) -> F64Ix4 {
-        F64Ix4([
-            self.get(start),
-            self.get(start + stride),
-            self.get(start + 2 * stride),
-            self.get(start + 3 * stride),
-        ])
+        let idx = [start, start + stride, start + 2 * stride, start + 3 * stride];
+        F64Ix4::from_columns(idx.map(|i| self.neg_lo[i]), idx.map(|i| self.hi[i]))
     }
 
-    /// Stores a 4-wide lane vector back to lanes `start, start+stride, ..`.
+    /// Loads four *consecutive* lanes starting at `start` — the
+    /// contiguous fast path (each column is one unit-stride 256-bit
+    /// load) used when batch items are adjacent, e.g. the Hénon
+    /// ensemble. Equivalent to `load_x4(start, 1)`.
+    pub fn load_x4_contig(&self, start: usize) -> F64Ix4 {
+        let nl: &[f64; 4] = self.neg_lo[start..start + 4].try_into().expect("4 lanes");
+        let h: &[f64; 4] = self.hi[start..start + 4].try_into().expect("4 lanes");
+        F64Ix4::from_columns(*nl, *h)
+    }
+
+    /// Stores a 4-wide lane vector back to lanes `start, start+stride, ..`
+    /// (column-to-column scatter).
     pub fn store_x4(&mut self, start: usize, stride: usize, v: F64Ix4) {
         for l in 0..F64Ix4::LANES {
-            self.set(start + l * stride, v.lane(l));
+            self.neg_lo[start + l * stride] = v.neg_lo_col()[l];
+            self.hi[start + l * stride] = v.hi_col()[l];
         }
     }
 }
@@ -211,6 +224,13 @@ impl BatchDdI {
             self.get(start + 2 * stride),
             self.get(start + 3 * stride),
         ])
+    }
+
+    /// Loads four consecutive lanes starting at `start` (API parity with
+    /// [`BatchF64I::load_x4_contig`]; the dd lane types have no packed
+    /// backend, so this is simply the unit-stride load).
+    pub fn load_x4_contig(&self, start: usize) -> DdIx4 {
+        self.load_x4(start, 1)
     }
 
     /// Stores a 4-wide lane vector back to lanes `start, start+stride, ..`.

@@ -1,0 +1,411 @@
+//! Scalar vs. lane-portable vs. explicit-SIMD comparison for the
+//! interval runtime.
+//!
+//! Three variants per measurement:
+//!
+//! - `scalar`: plain `F64I` element loops (the bit-identity reference);
+//! - `lane_portable`: the `F64Ix4` lane types with the backend forced to
+//!   `Portable`, i.e. the compiler-autovectorized lane loops;
+//! - `simd`: the same lane types dispatching to the packed
+//!   `igen_round::simd` kernels on the host's detected backend.
+//!
+//! A plain run (without `--test`) records `results/simd_speedup.csv`
+//! with per-op and per-paper-kernel rows. The `packed_path` column is
+//! honest about which kernels actually route through the lane types:
+//! `gemm` and `ffnn` are scalar-per-item in `igen-batch`, so their
+//! "simd" rows measure the same code and hover around 1.0x.
+
+use criterion::{black_box, Criterion};
+use igen_batch::{
+    dot_batch, ffnn_batch, gemm_row_blocks, henon_ensemble, mvm_batch, BatchConfig, BatchF64I,
+};
+use igen_bench::{median_time, write_csv};
+use igen_interval::{F64Ix4, F64I};
+use igen_kernels::ffnn::Ffnn;
+use igen_kernels::{henon_from, linalg, workload};
+use igen_round::simd::{self, Backend};
+use std::time::Duration;
+
+/// Lanes per element-wise op measurement (multiple of 4).
+const OP_N: usize = 4096;
+const DOT_BATCH: usize = 256;
+const DOT_N: usize = 256;
+const MVM_BATCH: usize = 32;
+const MVM_N: usize = 64;
+const GEMM_N: usize = 48;
+const HENON_BATCH: usize = 2048;
+const HENON_ITERS: usize = 50;
+const FFNN_WIDTH: usize = 32;
+const FFNN_INPUTS: usize = 64;
+
+fn cfg() -> BatchConfig {
+    // Single worker: this bench isolates SIMD speedup, not thread scaling.
+    BatchConfig::new().with_threads(1)
+}
+
+fn sample(seed: u64, len: usize) -> Vec<F64I> {
+    let mut rng = workload::rng(seed);
+    workload::intervals_1ulp(&workload::random_points(&mut rng, len, -2.0, 2.0))
+}
+
+/// Zero-free intervals (for division benchmarks that should stay on the
+/// packed path rather than the per-lane screening fallback).
+fn sample_positive(seed: u64, len: usize) -> Vec<F64I> {
+    let mut rng = workload::rng(seed);
+    workload::intervals_1ulp(&workload::random_points(&mut rng, len, 0.5, 2.0))
+}
+
+fn to_lanes(xs: &[F64I]) -> Vec<F64Ix4> {
+    xs.chunks_exact(4).map(|c| F64Ix4::from_lanes([c[0], c[1], c[2], c[3]])).collect()
+}
+
+/// Runs `f` with the dispatch pinned to `bk` (clamped to the host).
+fn timed_with_backend(bk: Backend, reps: usize, mut f: impl FnMut()) -> Duration {
+    simd::force_backend(Some(bk));
+    let t = median_time(reps, &mut f);
+    simd::force_backend(None);
+    t
+}
+
+struct Row {
+    name: &'static str,
+    packed_path: bool,
+    scalar: Duration,
+    lane_portable: Duration,
+    simd: Duration,
+}
+
+fn op_rows(reps: usize) -> Vec<Row> {
+    let a = sample(11, OP_N);
+    let b = sample_positive(12, OP_N);
+    let c = sample(13, OP_N);
+    let (va, vb, vc) = (to_lanes(&a), to_lanes(&b), to_lanes(&c));
+
+    type OpSpec<'a> = (&'static str, Box<dyn FnMut() + 'a>, Box<dyn FnMut() + 'a>);
+    let specs: Vec<OpSpec> = {
+        // Each op gets a scalar closure and a lane closure (each owning
+        // its output buffer); the lane one is timed twice, under
+        // Portable and under the native backend.
+        macro_rules! op {
+            ($name:literal, $scalar:expr, $lane:expr) => {
+                ($name, Box::new($scalar) as Box<dyn FnMut()>, Box::new($lane) as Box<dyn FnMut()>)
+            };
+        }
+        vec![
+            op!(
+                "add",
+                {
+                    let mut out = vec![F64I::point(0.0); OP_N];
+                    let (a, b) = (&a, &b);
+                    move || {
+                        for i in 0..OP_N {
+                            out[i] = a[i] + b[i];
+                        }
+                        black_box(&out);
+                    }
+                },
+                {
+                    let mut out = vec![F64Ix4::default(); OP_N / 4];
+                    let (va, vb) = (&va, &vb);
+                    move || {
+                        for i in 0..OP_N / 4 {
+                            out[i] = va[i] + vb[i];
+                        }
+                        black_box(&out);
+                    }
+                }
+            ),
+            op!(
+                "sub",
+                {
+                    let mut out = vec![F64I::point(0.0); OP_N];
+                    let (a, b) = (&a, &b);
+                    move || {
+                        for i in 0..OP_N {
+                            out[i] = a[i] - b[i];
+                        }
+                        black_box(&out);
+                    }
+                },
+                {
+                    let mut out = vec![F64Ix4::default(); OP_N / 4];
+                    let (va, vb) = (&va, &vb);
+                    move || {
+                        for i in 0..OP_N / 4 {
+                            out[i] = va[i] - vb[i];
+                        }
+                        black_box(&out);
+                    }
+                }
+            ),
+            op!(
+                "mul",
+                {
+                    let mut out = vec![F64I::point(0.0); OP_N];
+                    let (a, b) = (&a, &b);
+                    move || {
+                        for i in 0..OP_N {
+                            out[i] = a[i] * b[i];
+                        }
+                        black_box(&out);
+                    }
+                },
+                {
+                    let mut out = vec![F64Ix4::default(); OP_N / 4];
+                    let (va, vb) = (&va, &vb);
+                    move || {
+                        for i in 0..OP_N / 4 {
+                            out[i] = va[i] * vb[i];
+                        }
+                        black_box(&out);
+                    }
+                }
+            ),
+            op!(
+                "div",
+                {
+                    let mut out = vec![F64I::point(0.0); OP_N];
+                    let (a, b) = (&a, &b);
+                    move || {
+                        for i in 0..OP_N {
+                            out[i] = a[i] / b[i];
+                        }
+                        black_box(&out);
+                    }
+                },
+                {
+                    let mut out = vec![F64Ix4::default(); OP_N / 4];
+                    let (va, vb) = (&va, &vb);
+                    move || {
+                        for i in 0..OP_N / 4 {
+                            out[i] = va[i] / vb[i];
+                        }
+                        black_box(&out);
+                    }
+                }
+            ),
+            op!(
+                "mul_add",
+                {
+                    let mut out = vec![F64I::point(0.0); OP_N];
+                    let (a, b, c) = (&a, &b, &c);
+                    move || {
+                        for i in 0..OP_N {
+                            out[i] = a[i] * b[i] + c[i];
+                        }
+                        black_box(&out);
+                    }
+                },
+                {
+                    let mut out = vec![F64Ix4::default(); OP_N / 4];
+                    let (va, vb, vc) = (&va, &vb, &vc);
+                    move || {
+                        for i in 0..OP_N / 4 {
+                            out[i] = va[i].mul_add(vb[i], vc[i]);
+                        }
+                        black_box(&out);
+                    }
+                }
+            ),
+        ]
+    };
+
+    specs
+        .into_iter()
+        .map(|(name, mut scalar, mut lane)| Row {
+            name,
+            packed_path: true,
+            scalar: median_time(reps, &mut scalar),
+            lane_portable: timed_with_backend(Backend::Portable, reps, &mut lane),
+            simd: timed_with_backend(simd::detected_backend(), reps, &mut lane),
+        })
+        .collect()
+}
+
+fn kernel_rows(reps: usize) -> Vec<Row> {
+    let cfg = cfg();
+
+    // dot
+    let xs = sample(21, DOT_BATCH * DOT_N);
+    let ys = sample(22, DOT_BATCH * DOT_N);
+    let (bxs, bys) = (BatchF64I::from_intervals(&xs), BatchF64I::from_intervals(&ys));
+    let dot_scalar = median_time(reps, || {
+        for i in 0..DOT_BATCH {
+            black_box(linalg::dot(
+                &xs[i * DOT_N..(i + 1) * DOT_N],
+                &ys[i * DOT_N..(i + 1) * DOT_N],
+            ));
+        }
+    });
+    let mut dot_lane = || {
+        black_box(dot_batch(&cfg, DOT_N, &bxs, &bys));
+    };
+    let dot = Row {
+        name: "dot",
+        packed_path: true,
+        scalar: dot_scalar,
+        lane_portable: timed_with_backend(Backend::Portable, reps, &mut dot_lane),
+        simd: timed_with_backend(simd::detected_backend(), reps, &mut dot_lane),
+    };
+
+    // mvm
+    let a = sample(23, MVM_N * MVM_N);
+    let mx = sample(24, MVM_BATCH * MVM_N);
+    let my = sample(25, MVM_BATCH * MVM_N);
+    let (bmx, bmy) = (BatchF64I::from_intervals(&mx), BatchF64I::from_intervals(&my));
+    let mvm_scalar = median_time(reps, || {
+        let mut y = vec![F64I::point(0.0); MVM_N];
+        for i in 0..MVM_BATCH {
+            linalg::mvm(MVM_N, MVM_N, &a, &mx[i * MVM_N..(i + 1) * MVM_N], &mut y);
+            for (j, yj) in y.iter().enumerate() {
+                black_box(*yj + my[i * MVM_N + j]);
+            }
+        }
+    });
+    let mut mvm_lane = || {
+        black_box(mvm_batch(&cfg, MVM_N, MVM_N, &a, &bmx, &bmy));
+    };
+    let mvm = Row {
+        name: "mvm",
+        packed_path: true,
+        scalar: mvm_scalar,
+        lane_portable: timed_with_backend(Backend::Portable, reps, &mut mvm_lane),
+        simd: timed_with_backend(simd::detected_backend(), reps, &mut mvm_lane),
+    };
+
+    // henon
+    let hx = sample(26, HENON_BATCH);
+    let hy = sample(27, HENON_BATCH);
+    let (bhx, bhy) = (BatchF64I::from_intervals(&hx), BatchF64I::from_intervals(&hy));
+    let henon_scalar = median_time(reps, || {
+        for i in 0..HENON_BATCH {
+            black_box(henon_from::<F64I>(hx[i], hy[i], HENON_ITERS));
+        }
+    });
+    let mut henon_lane = || {
+        black_box(henon_ensemble(&cfg, HENON_ITERS, &bhx, &bhy));
+    };
+    let henon = Row {
+        name: "henon",
+        packed_path: true,
+        scalar: henon_scalar,
+        lane_portable: timed_with_backend(Backend::Portable, reps, &mut henon_lane),
+        simd: timed_with_backend(simd::detected_backend(), reps, &mut henon_lane),
+    };
+
+    // gemm — `gemm_row_blocks` is scalar-per-row-block; no lane routing.
+    let ga = sample(28, GEMM_N * GEMM_N);
+    let gb = sample(29, GEMM_N * GEMM_N);
+    let gemm_scalar = median_time(reps, || {
+        let mut gc = vec![F64I::point(0.0); GEMM_N * GEMM_N];
+        linalg::gemm(GEMM_N, GEMM_N, GEMM_N, &ga, &gb, &mut gc);
+        black_box(&gc);
+    });
+    let mut gemm_lane = || {
+        let mut gc = vec![F64I::point(0.0); GEMM_N * GEMM_N];
+        gemm_row_blocks(&cfg, GEMM_N, GEMM_N, GEMM_N, &ga, &gb, &mut gc, 8);
+        black_box(&gc);
+    };
+    let gemm = Row {
+        name: "gemm",
+        packed_path: false,
+        scalar: gemm_scalar,
+        lane_portable: timed_with_backend(Backend::Portable, reps, &mut gemm_lane),
+        simd: timed_with_backend(simd::detected_backend(), reps, &mut gemm_lane),
+    };
+
+    // ffnn — `ffnn_batch` forwards each input with the scalar kernel.
+    let net = Ffnn::synthetic(FFNN_WIDTH, 7);
+    let inputs: Vec<Vec<f64>> = (0..FFNN_INPUTS as u64).map(Ffnn::synthetic_input).collect();
+    let ffnn_scalar = median_time(reps, || {
+        for input in &inputs {
+            black_box(net.forward::<F64I>(input));
+        }
+    });
+    let mut ffnn_lane = || {
+        black_box(ffnn_batch::<F64I>(&cfg, &net, &inputs));
+    };
+    let ffnn = Row {
+        name: "ffnn",
+        packed_path: false,
+        scalar: ffnn_scalar,
+        lane_portable: timed_with_backend(Backend::Portable, reps, &mut ffnn_lane),
+        simd: timed_with_backend(simd::detected_backend(), reps, &mut ffnn_lane),
+    };
+
+    vec![dot, mvm, henon, gemm, ffnn]
+}
+
+/// Records `results/simd_speedup.csv` at the workspace root.
+fn record_csv() {
+    if let Some(root) = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2) {
+        let _ = std::env::set_current_dir(root);
+    }
+    let reps = igen_bench::reps();
+    let detected = simd::detected_backend();
+    let mut rows = Vec::new();
+    let mut emit = |kind: &str, r: &Row| {
+        let s = r.scalar.as_secs_f64();
+        rows.push(format!(
+            "{},{kind},{detected},{},{:.0},{:.0},{:.0},{:.3},{:.3}",
+            r.name,
+            r.packed_path,
+            s * 1e9,
+            r.lane_portable.as_secs_f64() * 1e9,
+            r.simd.as_secs_f64() * 1e9,
+            s / r.lane_portable.as_secs_f64(),
+            s / r.simd.as_secs_f64(),
+        ));
+    };
+    for r in &op_rows(reps) {
+        emit("op", r);
+    }
+    for r in &kernel_rows(reps) {
+        emit("kernel", r);
+    }
+    write_csv(
+        "simd_speedup.csv",
+        "name,kind,detected_backend,packed_path,scalar_ns,lane_portable_ns,simd_ns,\
+         speedup_lane_vs_scalar,speedup_simd_vs_scalar",
+        &rows,
+    );
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let a = sample(11, OP_N);
+    let b = sample_positive(12, OP_N);
+    let (va, vb) = (to_lanes(&a), to_lanes(&b));
+    let mut g = c.benchmark_group("simd_speedup_mul");
+    g.bench_function("scalar", |bch| {
+        bch.iter(|| {
+            let mut acc = F64I::point(0.0);
+            for i in 0..OP_N {
+                acc = acc + black_box(a[i]) * black_box(b[i]);
+            }
+            black_box(acc)
+        })
+    });
+    for (tag, bk) in [("lane_portable", Backend::Portable), ("simd", simd::detected_backend())] {
+        g.bench_function(tag, |bch| {
+            simd::force_backend(Some(bk));
+            bch.iter(|| {
+                let mut acc = F64Ix4::default();
+                for i in 0..OP_N / 4 {
+                    acc = acc + black_box(va[i]) * black_box(vb[i]);
+                }
+                black_box(acc)
+            });
+            simd::force_backend(None);
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default().sample_size(10);
+    bench_ops(&mut c);
+    // CI smoke (`--test`) only checks the benches run; skip the sweep.
+    if !std::env::args().any(|a| a == "--test") {
+        record_csv();
+    }
+}

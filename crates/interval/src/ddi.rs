@@ -122,21 +122,29 @@ impl DdI {
     }
 
     /// The negated lower endpoint (the stored representation).
+    #[inline]
+    #[must_use]
     pub fn neg_lo(&self) -> Dd {
         self.neg_lo
     }
 
     /// Lower endpoint.
+    #[inline]
+    #[must_use]
     pub fn lo(&self) -> Dd {
         self.neg_lo.neg()
     }
 
     /// Upper endpoint.
+    #[inline]
+    #[must_use]
     pub fn hi(&self) -> Dd {
         self.hi
     }
 
     /// True if any endpoint component is NaN.
+    #[inline]
+    #[must_use]
     pub fn has_nan(&self) -> bool {
         self.neg_lo.is_nan() || self.hi.is_nan()
     }
@@ -163,6 +171,7 @@ impl DdI {
 
     /// Negation (endpoint swap, exact).
     #[must_use]
+    #[inline]
     pub fn neg(&self) -> DdI {
         DdI { neg_lo: self.hi, hi: self.neg_lo }
     }
@@ -175,6 +184,7 @@ impl DdI {
 
     /// Absolute value.
     #[must_use]
+    #[inline]
     pub fn abs(&self) -> DdI {
         if self.has_nan() {
             return DdI::nai();
@@ -235,6 +245,7 @@ impl DdI {
     ///
     /// [`F64I::sqr`]: crate::F64I::sqr
     #[must_use]
+    #[inline]
     pub fn sqr(&self) -> DdI {
         if self.has_nan() {
             return DdI::nai();
@@ -250,6 +261,7 @@ impl DdI {
     ///
     /// [`F64I::powi`]: crate::F64I::powi
     #[must_use]
+    #[inline]
     pub fn powi(&self, n: i32) -> DdI {
         if self.has_nan() {
             return DdI::nai();
@@ -284,6 +296,7 @@ impl DdI {
 
     /// Division; divisor intervals containing zero give the entire line.
     #[must_use]
+    #[inline]
     pub fn div(&self, other: &DdI) -> DdI {
         if self.has_nan() || other.has_nan() {
             return DdI::nai();
@@ -308,6 +321,7 @@ impl DdI {
 
     /// Square root; a negative lower endpoint yields a NaN lower bound.
     #[must_use]
+    #[inline]
     pub fn sqrt(&self) -> DdI {
         let lo_in = self.lo();
         let hi_in = self.hi;
@@ -322,6 +336,7 @@ impl DdI {
 
     /// Interval minimum.
     #[must_use]
+    #[inline]
     pub fn min_i(&self, other: &DdI) -> DdI {
         if self.has_nan() || other.has_nan() {
             return DdI::nai();
@@ -331,6 +346,7 @@ impl DdI {
 
     /// Interval maximum.
     #[must_use]
+    #[inline]
     pub fn max_i(&self, other: &DdI) -> DdI {
         if self.has_nan() || other.has_nan() {
             return DdI::nai();
@@ -339,6 +355,7 @@ impl DdI {
     }
 
     /// `self < other` three-valued.
+    #[must_use]
     pub fn cmp_lt(&self, other: &DdI) -> TBool {
         if self.has_nan() || other.has_nan() {
             return TBool::Unknown;
@@ -353,6 +370,7 @@ impl DdI {
     }
 
     /// `self > other` three-valued.
+    #[must_use]
     pub fn cmp_gt(&self, other: &DdI) -> TBool {
         other.cmp_lt(self)
     }
@@ -360,6 +378,7 @@ impl DdI {
     /// If the interval is narrow enough that both endpoints round to the
     /// same binary64, returns that *certified double precision result*
     /// (Section VII-A: "at most one bit of error in double precision").
+    #[must_use]
     pub fn certified_f64(&self) -> Option<f64> {
         if self.has_nan() {
             return None;
@@ -383,6 +402,7 @@ impl DdI {
     /// Certified accuracy in bits out of the 106 the format carries
     /// (Section VII's metric, generalized: 106 minus log2 of the interval
     /// width measured in double-double quanta of the midpoint).
+    #[must_use]
     pub fn certified_bits(&self) -> f64 {
         crate::accuracy::certified_bits_dd(self.lo(), self.hi)
     }
@@ -403,6 +423,7 @@ fn f64_upper(x: Dd) -> f64 {
 
 impl core::ops::Add for DdI {
     type Output = DdI;
+    #[inline]
     fn add(self, rhs: DdI) -> DdI {
         DdI::add(&self, &rhs)
     }
@@ -410,6 +431,7 @@ impl core::ops::Add for DdI {
 
 impl core::ops::Sub for DdI {
     type Output = DdI;
+    #[inline]
     fn sub(self, rhs: DdI) -> DdI {
         DdI::sub(&self, &rhs)
     }
@@ -417,6 +439,7 @@ impl core::ops::Sub for DdI {
 
 impl core::ops::Mul for DdI {
     type Output = DdI;
+    #[inline]
     fn mul(self, rhs: DdI) -> DdI {
         DdI::mul(&self, &rhs)
     }
@@ -424,6 +447,7 @@ impl core::ops::Mul for DdI {
 
 impl core::ops::Div for DdI {
     type Output = DdI;
+    #[inline]
     fn div(self, rhs: DdI) -> DdI {
         DdI::div(&self, &rhs)
     }
@@ -431,6 +455,7 @@ impl core::ops::Div for DdI {
 
 impl core::ops::Neg for DdI {
     type Output = DdI;
+    #[inline]
     fn neg(self) -> DdI {
         DdI::neg(&self)
     }

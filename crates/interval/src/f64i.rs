@@ -45,18 +45,10 @@ pub struct F64I {
     hi: f64,
 }
 
-/// NaN-propagating maximum (unlike `f64::max`, which ignores NaN — that
-/// would silently drop invalid-operation information).
-#[inline(always)]
-fn max_nan(a: f64, b: f64) -> f64 {
-    if a.is_nan() || b.is_nan() {
-        f64::NAN
-    } else if a >= b {
-        a
-    } else {
-        b
-    }
-}
+// NaN-propagating maximum (unlike `f64::max`, which ignores NaN — that
+// would silently drop invalid-operation information). Shared with the
+// packed kernels, whose `max_nan_4` must match it bit for bit.
+use igen_round::simd::max_nan;
 
 /// `x^n` rounded down, for `x >= 0`: square-and-multiply where every
 /// multiplication rounds down — all factors are nonnegative lower bounds
@@ -173,16 +165,22 @@ impl F64I {
     }
 
     /// True if either endpoint is NaN (invalid operation happened).
+    #[inline]
+    #[must_use]
     pub fn has_nan(&self) -> bool {
         self.neg_lo.is_nan() || self.hi.is_nan()
     }
 
     /// True if the interval is a single point.
+    #[inline]
+    #[must_use]
     pub fn is_point(&self) -> bool {
         !self.has_nan() && -self.neg_lo == self.hi
     }
 
     /// Width `hi - lo`, rounded up. NaN if an endpoint is NaN.
+    #[inline]
+    #[must_use]
     pub fn width(&self) -> f64 {
         r::add_ru(self.hi, self.neg_lo)
     }
@@ -237,12 +235,14 @@ impl F64I {
 
     /// Negation (exact, endpoint swap — free in the `(-lo, hi)` layout).
     #[must_use]
+    #[inline]
     pub fn neg(&self) -> F64I {
         F64I { neg_lo: self.hi, hi: self.neg_lo }
     }
 
     /// Interval absolute value.
     #[must_use]
+    #[inline]
     pub fn abs(&self) -> F64I {
         if self.has_nan() {
             return F64I::NAI;
@@ -261,6 +261,7 @@ impl F64I {
     /// lower endpoint yields a NaN lower bound (`sqrt([-1,1]) = [NaN,1]`,
     /// Section IV-A).
     #[must_use]
+    #[inline]
     pub fn sqrt(&self) -> F64I {
         F64I { neg_lo: -r::sqrt_rd(-self.neg_lo), hi: r::sqrt_ru(self.hi) }
     }
@@ -279,6 +280,7 @@ impl F64I {
 
     /// Interval minimum.
     #[must_use]
+    #[inline]
     pub fn min_i(&self, other: &F64I) -> F64I {
         if self.has_nan() || other.has_nan() {
             return F64I::NAI;
@@ -288,6 +290,7 @@ impl F64I {
 
     /// Interval maximum.
     #[must_use]
+    #[inline]
     pub fn max_i(&self, other: &F64I) -> F64I {
         if self.has_nan() || other.has_nan() {
             return F64I::NAI;
@@ -336,6 +339,7 @@ impl F64I {
     /// the result is never negative — `[-1, 2]² = [0, 4]`, not `[-2, 4]`
     /// (the single-variable case of the dependency problem, Section VII-C).
     #[must_use]
+    #[inline]
     pub fn sqr(&self) -> F64I {
         if self.has_nan() {
             return F64I::NAI;
@@ -360,6 +364,7 @@ impl F64I {
     /// entire line, matching [`F64I::div`]); `n == 0` returns `[1, 1]`
     /// (the C `pow(x, 0) == 1` convention, including `pow(0, 0)`).
     #[must_use]
+    #[inline]
     pub fn powi(&self, n: i32) -> F64I {
         if self.has_nan() {
             return F64I::NAI;
@@ -453,6 +458,7 @@ impl F64I {
     }
 
     /// `self < other` as a three-valued boolean.
+    #[must_use]
     pub fn cmp_lt(&self, other: &F64I) -> TBool {
         if self.has_nan() || other.has_nan() {
             return TBool::Unknown;
@@ -467,6 +473,7 @@ impl F64I {
     }
 
     /// `self <= other`.
+    #[must_use]
     pub fn cmp_le(&self, other: &F64I) -> TBool {
         if self.has_nan() || other.has_nan() {
             return TBool::Unknown;
@@ -481,16 +488,19 @@ impl F64I {
     }
 
     /// `self > other`.
+    #[must_use]
     pub fn cmp_gt(&self, other: &F64I) -> TBool {
         other.cmp_lt(self)
     }
 
     /// `self >= other`.
+    #[must_use]
     pub fn cmp_ge(&self, other: &F64I) -> TBool {
         other.cmp_le(self)
     }
 
     /// `self == other` (point equality).
+    #[must_use]
     pub fn cmp_eq(&self, other: &F64I) -> TBool {
         if self.has_nan() || other.has_nan() {
             return TBool::Unknown;
@@ -505,6 +515,7 @@ impl F64I {
     }
 
     /// `self != other`.
+    #[must_use]
     pub fn cmp_ne(&self, other: &F64I) -> TBool {
         self.cmp_eq(other).not()
     }
@@ -513,6 +524,7 @@ impl F64I {
     /// Section VII: 53 minus the base-2 log of the number of double
     /// values contained. A point interval certifies the full 53 bits; a
     /// NaN or infinite endpoint certifies none.
+    #[must_use]
     pub fn certified_bits(&self) -> f64 {
         if self.has_nan() || !self.lo().is_finite() || !self.hi.is_finite() {
             return 0.0;
@@ -525,6 +537,7 @@ impl F64I {
 
 impl core::ops::Add for F64I {
     type Output = F64I;
+    #[inline]
     fn add(self, rhs: F64I) -> F64I {
         F64I::add(&self, &rhs)
     }
@@ -532,6 +545,7 @@ impl core::ops::Add for F64I {
 
 impl core::ops::Sub for F64I {
     type Output = F64I;
+    #[inline]
     fn sub(self, rhs: F64I) -> F64I {
         F64I::sub(&self, &rhs)
     }
@@ -539,6 +553,7 @@ impl core::ops::Sub for F64I {
 
 impl core::ops::Mul for F64I {
     type Output = F64I;
+    #[inline]
     fn mul(self, rhs: F64I) -> F64I {
         F64I::mul(&self, &rhs)
     }
@@ -546,6 +561,7 @@ impl core::ops::Mul for F64I {
 
 impl core::ops::Div for F64I {
     type Output = F64I;
+    #[inline]
     fn div(self, rhs: F64I) -> F64I {
         F64I::div(&self, &rhs)
     }
@@ -553,12 +569,14 @@ impl core::ops::Div for F64I {
 
 impl core::ops::Neg for F64I {
     type Output = F64I;
+    #[inline]
     fn neg(self) -> F64I {
         F64I::neg(&self)
     }
 }
 
 impl Default for F64I {
+    #[inline]
     fn default() -> F64I {
         F64I::ZERO
     }

@@ -2,18 +2,329 @@
 //! Table II).
 //!
 //! In the paper's C runtime a double-precision interval occupies one SSE
-//! register (`__m128d`) and the wider types pack 2 or 4 intervals into AVX
-//! registers. In this Rust reproduction the directed rounding is computed
-//! by branch-free error-free transformations (see `igen-round`), so the
-//! lane types below are plain fixed-size arrays whose operations are
-//! written as straight-line lane loops — exactly the shape LLVM's
-//! auto-vectorizer turns into SSE/AVX code at `opt-level=3`. The
-//! performance experiments (Fig. 8) compare these against the scalar and
-//! library versions.
+//! register (`__m128d`) and the wider types pack 2 or 4 intervals into
+//! AVX registers. The double-precision lane types here use the same
+//! layout transposed into **SoA-in-register** form: [`F64Ix4`] holds a
+//! `neg_lo[4]` column and a `hi[4]` column, so each column is exactly one
+//! AVX register and every arithmetic operation maps onto the packed
+//! directed-rounding kernels of [`igen_round::simd`] (add/sub are two
+//! packed `add_ru` calls, mul is four packed product-pair calls plus
+//! packed NaN-max reductions — the branch-free Section II recipe, four
+//! intervals at a time). The kernels are selected once at runtime by CPU
+//! feature detection; on non-x86-64 hosts, and under
+//! [`igen_round::simd::force_backend`], the same code runs through the
+//! portable scalar lane loop. All paths are bit-identical per lane to the
+//! scalar [`F64I`] operations — the property tests pin this on random and
+//! special-value lanes.
+//!
+//! The double-double lane types ([`DdIx2`], [`DdIx4`]) keep the plain
+//! lane-loop shape: a `DdI` operation is a long chain of dependent EFTs
+//! with little packed-width parallelism to harvest, and LLVM already
+//! autovectorizes the independent lanes where profitable.
 
 use crate::ddi::DdI;
 use crate::f64i::F64I;
+use igen_round::simd;
 
+/// Packed double-precision intervals in SoA-in-register layout: one
+/// column of negated lower endpoints and one of upper endpoints, exactly
+/// the scalar [`F64I`] representation transposed across `LANES` lanes.
+macro_rules! f64i_lane_type {
+    ($(#[$doc:meta])* $name:ident, $n:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        pub struct $name {
+            /// Negated-lower-endpoint column (`-lo`, one slot per lane).
+            neg_lo: [f64; $n],
+            /// Upper-endpoint column.
+            hi: [f64; $n],
+        }
+
+        impl $name {
+            /// Number of packed intervals.
+            pub const LANES: usize = $n;
+
+            /// Broadcasts one interval to all lanes.
+            pub fn splat(v: F64I) -> Self {
+                $name { neg_lo: [v.neg_lo(); $n], hi: [v.hi(); $n] }
+            }
+
+            /// Packs `LANES` intervals.
+            pub fn from_lanes(xs: [F64I; $n]) -> Self {
+                $name { neg_lo: xs.map(|x| x.neg_lo()), hi: xs.map(|x| x.hi()) }
+            }
+
+            /// Builds directly from endpoint columns — the raw
+            /// representation, used by the batch engine to feed packed
+            /// kernels straight from its SoA buffers. The caller asserts
+            /// every lane is a valid interval (`-neg_lo[i] <= hi[i]` or
+            /// NaN), as with [`F64I::from_neg_lo_hi`].
+            #[inline]
+            pub fn from_columns(neg_lo: [f64; $n], hi: [f64; $n]) -> Self {
+                #[cfg(debug_assertions)]
+                for i in 0..$n {
+                    let _ = F64I::from_neg_lo_hi(neg_lo[i], hi[i]);
+                }
+                $name { neg_lo, hi }
+            }
+
+            /// The negated-lower-endpoint column.
+            #[inline]
+            pub fn neg_lo_col(&self) -> &[f64; $n] {
+                &self.neg_lo
+            }
+
+            /// The upper-endpoint column.
+            #[inline]
+            pub fn hi_col(&self) -> &[f64; $n] {
+                &self.hi
+            }
+
+            /// Loads lanes from a slice.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `s.len() < LANES`.
+            pub fn load(s: &[F64I]) -> Self {
+                let mut a = [F64I::default(); $n];
+                a.copy_from_slice(&s[..$n]);
+                Self::from_lanes(a)
+            }
+
+            /// Stores lanes to a slice.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `s.len() < LANES`.
+            pub fn store(&self, s: &mut [F64I]) {
+                for i in 0..$n {
+                    s[i] = self.lane(i);
+                }
+            }
+
+            /// Lane-wise fused multiply-accumulate `self * b + c`
+            /// (used heavily by the vectorized kernels). Performs the
+            /// packed multiply followed by the packed add — the same
+            /// operation sequence as the scalar `x * b + c` per lane.
+            #[inline]
+            #[must_use]
+            pub fn mul_add(self, b: Self, c: Self) -> Self {
+                self * b + c
+            }
+
+            /// Horizontal sum of all lanes (sequential left-to-right
+            /// scalar adds, so the result is independent of the packed
+            /// backend).
+            pub fn reduce_sum(self) -> F64I {
+                let mut acc = self.lane(0);
+                for i in 1..$n {
+                    acc = acc + self.lane(i);
+                }
+                acc
+            }
+
+            /// Lane accessor.
+            #[inline]
+            pub fn lane(&self, i: usize) -> F64I {
+                F64I::from_neg_lo_hi(self.neg_lo[i], self.hi[i])
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::splat(F64I::default())
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = $name;
+            /// Exact per-lane endpoint swap — free in the `(-lo, hi)`
+            /// layout, no rounding involved.
+            #[inline]
+            fn neg(self) -> $name {
+                $name { neg_lo: self.hi, hi: self.neg_lo }
+            }
+        }
+    };
+}
+
+f64i_lane_type!(
+    /// Two packed double-precision intervals — the counterpart of the
+    /// paper's `m256di_1` (one AVX register holding 2 intervals). Stored
+    /// as two half-filled columns; arithmetic widens into the 4-lane
+    /// packed kernels (lanes are independent, so the two padding lanes
+    /// cannot influence the live ones).
+    F64Ix2,
+    2
+);
+
+f64i_lane_type!(
+    /// Four packed double-precision intervals — the counterpart of two
+    /// AVX registers (`m256di_2`), the widest shape the vectorized
+    /// kernels use. Each endpoint column is one 256-bit register on the
+    /// AVX2 backend.
+    F64Ix4,
+    4
+);
+
+impl core::ops::Add for F64Ix4 {
+    type Output = F64Ix4;
+    /// Packed interval addition: two packed `add_ru` calls (Section II),
+    /// bit-identical per lane to [`F64I::add`].
+    #[inline]
+    fn add(self, rhs: F64Ix4) -> F64Ix4 {
+        let bk = simd::active_backend();
+        F64Ix4 {
+            neg_lo: simd::add_ru_4(bk, &self.neg_lo, &rhs.neg_lo),
+            hi: simd::add_ru_4(bk, &self.hi, &rhs.hi),
+        }
+    }
+}
+
+impl core::ops::Sub for F64Ix4 {
+    type Output = F64Ix4;
+    /// Packed interval subtraction `a + (-b)`: endpoint-column swap plus
+    /// two packed `add_ru` calls, bit-identical per lane to [`F64I::sub`].
+    #[inline]
+    fn sub(self, rhs: F64Ix4) -> F64Ix4 {
+        let bk = simd::active_backend();
+        F64Ix4 {
+            neg_lo: simd::add_ru_4(bk, &self.neg_lo, &rhs.hi),
+            hi: simd::add_ru_4(bk, &self.hi, &rhs.neg_lo),
+        }
+    }
+}
+
+impl core::ops::Mul for F64Ix4 {
+    type Output = F64Ix4;
+    /// Packed branch-free interval multiplication: the same four shared
+    /// product/residual pairs and NaN-max endpoint reductions as
+    /// [`F64I::mul`], each evaluated on whole columns. Bit-identical per
+    /// lane to the scalar operation (same IEEE operation sequence; see
+    /// `igen_round::simd`).
+    #[inline]
+    fn mul(self, rhs: F64Ix4) -> F64Ix4 {
+        let bk = simd::active_backend();
+        let (u1, l1) = simd::mul_ru_both_4(bk, &self.neg_lo, &rhs.neg_lo);
+        let (l2, u2) = simd::mul_ru_both_4(bk, &self.neg_lo, &rhs.hi);
+        let (l3, u3) = simd::mul_ru_both_4(bk, &self.hi, &rhs.neg_lo);
+        let (u4, l4) = simd::mul_ru_both_4(bk, &self.hi, &rhs.hi);
+        F64Ix4 {
+            neg_lo: simd::max_nan_4(
+                bk,
+                &simd::max_nan_4(bk, &l1, &l2),
+                &simd::max_nan_4(bk, &l3, &l4),
+            ),
+            hi: simd::max_nan_4(bk, &simd::max_nan_4(bk, &u1, &u2), &simd::max_nan_4(bk, &u3, &u4)),
+        }
+    }
+}
+
+impl core::ops::Div for F64Ix4 {
+    type Output = F64Ix4;
+    /// Packed interval division. Lanes are first screened for the scalar
+    /// special cases (NaN endpoints → NAI, zero-straddling divisor →
+    /// ENTIRE); if any lane is special the whole vector takes the scalar
+    /// lane loop (trivially bit-identical), otherwise four packed
+    /// quotient-pair calls and NaN-max reductions mirror [`F64I::div`].
+    #[inline]
+    fn div(self, rhs: F64Ix4) -> F64Ix4 {
+        let mut special = false;
+        for i in 0..4 {
+            special |= self.neg_lo[i].is_nan()
+                || self.hi[i].is_nan()
+                || rhs.neg_lo[i].is_nan()
+                || rhs.hi[i].is_nan()
+                || (-rhs.neg_lo[i] <= 0.0 && rhs.hi[i] >= 0.0);
+        }
+        if special {
+            let mut out = [F64I::default(); 4];
+            for (i, lane) in out.iter_mut().enumerate() {
+                *lane = self.lane(i) / rhs.lane(i);
+            }
+            return F64Ix4::from_lanes(out);
+        }
+        let bk = simd::active_backend();
+        // bl = -neg_lo (the positive... sign-flipped low column), exactly
+        // as the scalar kernel rebuilds the divisor's lower endpoint.
+        let bl = rhs.neg_lo.map(|x| -x);
+        let (l1, u1) = simd::div_ru_both_4(bk, &self.neg_lo, &bl);
+        let (l2, u2) = simd::div_ru_both_4(bk, &self.neg_lo, &rhs.hi);
+        let (u3, l3) = simd::div_ru_both_4(bk, &self.hi, &bl);
+        let (u4, l4) = simd::div_ru_both_4(bk, &self.hi, &rhs.hi);
+        F64Ix4 {
+            neg_lo: simd::max_nan_4(
+                bk,
+                &simd::max_nan_4(bk, &l1, &l2),
+                &simd::max_nan_4(bk, &l3, &l4),
+            ),
+            hi: simd::max_nan_4(bk, &simd::max_nan_4(bk, &u1, &u2), &simd::max_nan_4(bk, &u3, &u4)),
+        }
+    }
+}
+
+impl F64Ix2 {
+    /// Widens into a 4-lane vector; the two padding lanes hold `[1, 1]`,
+    /// which is valid for every operation (in particular it is a
+    /// zero-free divisor, so padding never forces the division fallback).
+    /// Lanes are computed independently by every packed kernel, so the
+    /// padding cannot influence the two live lanes.
+    #[inline]
+    fn widen(self) -> F64Ix4 {
+        F64Ix4 {
+            neg_lo: [self.neg_lo[0], self.neg_lo[1], -1.0, -1.0],
+            hi: [self.hi[0], self.hi[1], 1.0, 1.0],
+        }
+    }
+
+    /// Takes the two live lanes back out of a widened result.
+    #[inline]
+    fn narrow(v: F64Ix4) -> F64Ix2 {
+        F64Ix2 { neg_lo: [v.neg_lo[0], v.neg_lo[1]], hi: [v.hi[0], v.hi[1]] }
+    }
+}
+
+impl core::ops::Add for F64Ix2 {
+    type Output = F64Ix2;
+    /// Packed interval addition (via the 4-lane kernels; see
+    /// [`F64Ix4`]'s `Add`).
+    #[inline]
+    fn add(self, rhs: F64Ix2) -> F64Ix2 {
+        Self::narrow(self.widen() + rhs.widen())
+    }
+}
+
+impl core::ops::Sub for F64Ix2 {
+    type Output = F64Ix2;
+    /// Packed interval subtraction (via the 4-lane kernels).
+    #[inline]
+    fn sub(self, rhs: F64Ix2) -> F64Ix2 {
+        Self::narrow(self.widen() - rhs.widen())
+    }
+}
+
+impl core::ops::Mul for F64Ix2 {
+    type Output = F64Ix2;
+    /// Packed interval multiplication (via the 4-lane kernels).
+    #[inline]
+    fn mul(self, rhs: F64Ix2) -> F64Ix2 {
+        Self::narrow(self.widen() * rhs.widen())
+    }
+}
+
+impl core::ops::Div for F64Ix2 {
+    type Output = F64Ix2;
+    /// Packed interval division (via the 4-lane kernels; the `[1, 1]`
+    /// padding is a zero-free divisor, so only live lanes can trigger
+    /// the special-case fallback).
+    #[inline]
+    fn div(self, rhs: F64Ix2) -> F64Ix2 {
+        Self::narrow(self.widen() / rhs.widen())
+    }
+}
+
+/// Plain lane-loop vector types (used for the double-double lanes, where
+/// the long dependent EFT chains leave little packed parallelism).
 macro_rules! lane_type {
     ($(#[$doc:meta])* $name:ident, $elem:ty, $n:expr) => {
         $(#[$doc])*
@@ -27,6 +338,11 @@ macro_rules! lane_type {
             /// Broadcasts one interval to all lanes.
             pub fn splat(v: $elem) -> Self {
                 $name([v; $n])
+            }
+
+            /// Packs `LANES` intervals.
+            pub fn from_lanes(xs: [$elem; $n]) -> Self {
+                $name(xs)
             }
 
             /// Loads lanes from a slice.
@@ -112,6 +428,18 @@ macro_rules! lane_type {
             }
         }
 
+        impl core::ops::Div for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: $name) -> $name {
+                let mut out = [<$elem>::default(); $n];
+                for i in 0..$n {
+                    out[i] = self.0[i] / rhs.0[i];
+                }
+                $name(out)
+            }
+        }
+
         impl core::ops::Neg for $name {
             type Output = $name;
             #[inline]
@@ -131,23 +459,6 @@ macro_rules! lane_type {
         }
     };
 }
-
-lane_type!(
-    /// Two packed double-precision intervals — the counterpart of the
-    /// paper's `m256di_1` (one AVX register holding 2 intervals).
-    F64Ix2,
-    F64I,
-    2
-);
-
-lane_type!(
-    /// Four packed double-precision intervals — the counterpart of two
-    /// AVX registers (`m256di_2`), the widest shape the vectorized
-    /// kernels use.
-    F64Ix4,
-    F64I,
-    4
-);
 
 lane_type!(
     /// Two packed double-double intervals (`2 ddi` of Table II).
@@ -174,10 +485,49 @@ mod tests {
         let va = F64Ix4::splat(a);
         let vb = F64Ix4::splat(b);
         let sum = va + vb;
+        let diff = va - vb;
         let prod = va * vb;
+        let quot = va / vb;
         for i in 0..4 {
             assert_eq!(sum.lane(i), a + b);
+            assert_eq!(diff.lane(i), a - b);
             assert_eq!(prod.lane(i), a * b);
+            assert_eq!(quot.lane(i), a / b);
+        }
+    }
+
+    #[test]
+    fn x2_lanes_match_scalar() {
+        let a = F64I::new(-0.3, 0.7).unwrap();
+        let b = F64I::new(0.11, 5.3).unwrap();
+        let va = F64Ix2::from_lanes([a, b]);
+        let vb = F64Ix2::from_lanes([b, a]);
+        let sum = va + vb;
+        let prod = va * vb;
+        let quot = va / vb;
+        for i in 0..2 {
+            let (x, y) = (va.lane(i), vb.lane(i));
+            assert_eq!(sum.lane(i), x + y);
+            assert_eq!(prod.lane(i), x * y);
+            assert_eq!(quot.lane(i), x / y);
+        }
+    }
+
+    #[test]
+    fn div_special_lanes_fall_back() {
+        // One straddling divisor lane forces the scalar path for the
+        // whole vector; results must still match lane-wise scalar div.
+        let nums = [F64I::point(1.0), F64I::new(-2.0, 3.0).unwrap(), F64I::NAI, F64I::point(4.0)];
+        let dens =
+            [F64I::new(-1.0, 1.0).unwrap(), F64I::point(2.0), F64I::point(1.0), F64I::point(0.5)];
+        let q = F64Ix4::from_lanes(nums) / F64Ix4::from_lanes(dens);
+        for i in 0..4 {
+            let want = nums[i] / dens[i];
+            if want.has_nan() {
+                assert!(q.lane(i).has_nan(), "lane {i}");
+            } else {
+                assert_eq!(q.lane(i), want, "lane {i}");
+            }
         }
     }
 
@@ -192,6 +542,16 @@ mod tests {
     }
 
     #[test]
+    fn columns_hold_raw_representation() {
+        let x = F64I::new(-2.0, 5.0).unwrap();
+        let v = F64Ix4::splat(x);
+        assert_eq!(v.neg_lo_col(), &[2.0; 4]);
+        assert_eq!(v.hi_col(), &[5.0; 4]);
+        let rebuilt = F64Ix4::from_columns(*v.neg_lo_col(), *v.hi_col());
+        assert_eq!(rebuilt, v);
+    }
+
+    #[test]
     fn mul_add_and_reduce() {
         let a = F64Ix2::splat(F64I::point(2.0));
         let b = F64Ix2::splat(F64I::point(3.0));
@@ -199,6 +559,15 @@ mod tests {
         let r = a.mul_add(b, c);
         assert_eq!(r.lane(0).hi(), 7.0);
         assert_eq!(r.reduce_sum().hi(), 14.0);
+    }
+
+    #[test]
+    fn neg_is_exact_swap() {
+        let v = F64Ix4::splat(F64I::new(-1.5, 2.5).unwrap());
+        let n = -v;
+        for i in 0..4 {
+            assert_eq!(n.lane(i), -v.lane(i));
+        }
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Bit-identity of the packed lane types against the scalar interval
+//! operations, across every backend the host supports.
+//!
+//! `F64Ix2`/`F64Ix4` dispatch to the packed kernels of
+//! `igen_round::simd`; this suite forces each backend in turn (portable,
+//! SSE2, AVX2+FMA where detected) and checks that every lane of every
+//! vector operation equals the scalar `F64I` result bit for bit —
+//! including NaN, infinite, subnormal and signed-zero endpoints, which
+//! the random generator produces and the deterministic grid guarantees.
+//!
+//! The backend override is process-global, so every forced section takes
+//! a mutex; no other test in this binary touches the lane types outside
+//! of it.
+
+use igen_interval::{F64Ix2, F64Ix4, F64I};
+use igen_round::simd::{self, Backend};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes `force_backend` sections (the override is process-global).
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_backend<T>(bk: Backend, f: impl FnOnce() -> T) -> T {
+    let _guard = BACKEND_LOCK.lock().unwrap();
+    simd::force_backend(Some(bk));
+    let out = f();
+    simd::force_backend(None);
+    out
+}
+
+fn backends() -> Vec<Backend> {
+    [Backend::Portable, Backend::Sse2, Backend::Avx2Fma]
+        .into_iter()
+        .filter(|&bk| bk <= simd::detected_backend())
+        .collect()
+}
+
+/// Intervals over the full double range: ordered endpoints from
+/// arbitrary doubles, keeping NaN endpoints (unknown bounds) when the
+/// generator produces them.
+fn iv_any() -> impl Strategy<Value = F64I> {
+    (any::<f64>(), any::<f64>()).prop_map(|(x, y)| {
+        if x.is_nan() || y.is_nan() {
+            F64I::from_neg_lo_hi(x, y)
+        } else {
+            F64I::new(x.min(y), x.max(y)).expect("ordered")
+        }
+    })
+}
+
+fn same(got: F64I, want: F64I) -> bool {
+    got.neg_lo().to_bits() == want.neg_lo().to_bits() && got.hi().to_bits() == want.hi().to_bits()
+}
+
+/// Checks every `F64Ix4` and `F64Ix2` operation lane-wise against the
+/// scalar ops, under the given backend.
+fn check_lanes(bk: Backend, a: [F64I; 4], b: [F64I; 4]) -> Result<(), TestCaseError> {
+    // Scalar references, computed outside the forced section (scalar ops
+    // never dispatch).
+    let want_add: Vec<F64I> = (0..4).map(|i| a[i] + b[i]).collect();
+    let want_sub: Vec<F64I> = (0..4).map(|i| a[i] - b[i]).collect();
+    let want_mul: Vec<F64I> = (0..4).map(|i| a[i] * b[i]).collect();
+    let want_div: Vec<F64I> = (0..4).map(|i| a[i] / b[i]).collect();
+    let want_fma: Vec<F64I> = (0..4).map(|i| a[i] * b[i] + a[i]).collect();
+    let (got4, got2) = with_backend(bk, || {
+        let va = F64Ix4::from_lanes(a);
+        let vb = F64Ix4::from_lanes(b);
+        let wa = F64Ix2::from_lanes([a[0], a[1]]);
+        let wb = F64Ix2::from_lanes([b[0], b[1]]);
+        (
+            (va + vb, va - vb, va * vb, va / vb, va.mul_add(vb, va), va.reduce_sum()),
+            (wa + wb, wa - wb, wa * wb, wa / wb, wa.mul_add(wb, wa)),
+        )
+    });
+    let want_red = {
+        let mut acc = a[0];
+        for x in &a[1..] {
+            acc = acc + *x;
+        }
+        acc
+    };
+    for i in 0..4 {
+        let ctx = format!("{bk:?} lane {i}: a={} b={}", a[i], b[i]);
+        prop_assert!(same(got4.0.lane(i), want_add[i]), "x4 add {ctx}");
+        prop_assert!(same(got4.1.lane(i), want_sub[i]), "x4 sub {ctx}");
+        prop_assert!(same(got4.2.lane(i), want_mul[i]), "x4 mul {ctx}");
+        prop_assert!(same(got4.3.lane(i), want_div[i]), "x4 div {ctx}");
+        prop_assert!(same(got4.4.lane(i), want_fma[i]), "x4 mul_add {ctx}");
+    }
+    prop_assert!(same(got4.5, want_red), "x4 reduce_sum {bk:?}");
+    for i in 0..2 {
+        let ctx = format!("{bk:?} lane {i}: a={} b={}", a[i], b[i]);
+        prop_assert!(same(got2.0.lane(i), want_add[i]), "x2 add {ctx}");
+        prop_assert!(same(got2.1.lane(i), want_sub[i]), "x2 sub {ctx}");
+        prop_assert!(same(got2.2.lane(i), want_mul[i]), "x2 mul {ctx}");
+        prop_assert!(same(got2.3.lane(i), want_div[i]), "x2 div {ctx}");
+        prop_assert!(same(got2.4.lane(i), want_fma[i]), "x2 mul_add {ctx}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(800))]
+
+    #[test]
+    fn vector_ops_bit_identical_all_backends(
+        a0 in iv_any(), a1 in iv_any(), a2 in iv_any(), a3 in iv_any(),
+        b0 in iv_any(), b1 in iv_any(), b2 in iv_any(), b3 in iv_any(),
+    ) {
+        for bk in backends() {
+            check_lanes(bk, [a0, a1, a2, a3], [b0, b1, b2, b3])?;
+        }
+    }
+}
+
+/// Deterministic special-endpoint grid, each pair rotated through every
+/// lane position on every backend.
+#[test]
+fn vector_ops_bit_identical_special_grid() {
+    let specials = [
+        F64I::point(0.0),
+        F64I::new(-0.0, 0.0).unwrap(),
+        F64I::point(1.0),
+        F64I::point(-1.0),
+        F64I::point(0.1),
+        F64I::new(-2.0, 3.0).unwrap(),
+        F64I::new(f64::MIN_POSITIVE, 2.0 * f64::MIN_POSITIVE).unwrap(),
+        F64I::new(-f64::from_bits(1), f64::from_bits(1)).unwrap(),
+        F64I::new(1e300, f64::MAX).unwrap(),
+        F64I::new(-f64::MAX, -1e300).unwrap(),
+        F64I::new(f64::NEG_INFINITY, f64::INFINITY).unwrap(),
+        F64I::new(1.0, f64::INFINITY).unwrap(),
+        F64I::NAI,
+        F64I::from_neg_lo_hi(f64::NAN, 1.0),
+        F64I::ENTIRE,
+    ];
+    let benign = F64I::new(1.0, 2.0).unwrap();
+    for bk in backends() {
+        for &x in &specials {
+            for &y in &specials {
+                for pos in 0..4 {
+                    let mut a = [benign; 4];
+                    let mut b = [benign; 4];
+                    a[pos] = x;
+                    b[pos] = y;
+                    if let Err(e) = check_lanes(bk, a, b) {
+                        panic!("special grid ({x}, {y}) pos {pos}: {e:?}");
+                    }
+                }
+            }
+        }
+    }
+}

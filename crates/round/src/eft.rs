@@ -50,6 +50,35 @@ pub fn split(x: f64) -> (f64, f64) {
     (h, x - h)
 }
 
+/// TwoProd via Dekker's splitting: returns `(p, e)` with `p = RN(a * b)`
+/// and `p + e = a * b` *exactly*, without using an FMA.
+///
+/// Exactness holds when no intermediate over- or underflows: sufficient
+/// conditions are `|a|, |b| <= 2^996` with `|a * b| <= 2^1021` (so the
+/// Veltkamp splits and the partial products do not overflow) and
+/// `|a * b| >= 2^-967` with `|a|, |b| >= 2^-480` (so the partial
+/// products keep all their bits, even when subnormal). This is
+/// the classical pre-FMA path of the paper's generated runtime; the
+/// packed SSE2 kernels in [`crate::simd`] use it lane-wise under exactly
+/// these guards, and the test suite pins it bit-equal to [`two_prod`] on
+/// the shared validity range so the FMA fast path can never silently
+/// diverge.
+///
+/// # Example
+///
+/// ```
+/// use igen_round::{two_prod, two_prod_dekker};
+/// assert_eq!(two_prod_dekker(0.1, 0.1), two_prod(0.1, 0.1));
+/// ```
+#[inline(always)]
+pub fn two_prod_dekker(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let (ah, al) = split(a);
+    let (bh, bl) = split(b);
+    let e = ((ah * bh - p) + ah * bl + al * bh) + al * bl;
+    (p, e)
+}
+
 /// TwoProd via FMA: returns `(p, e)` with `p = RN(a * b)` and
 /// `p + e = a * b` *exactly*, provided `a * b` neither overflows nor falls
 /// into the subnormal range.

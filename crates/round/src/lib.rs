@@ -31,14 +31,19 @@
 //! assert!(lo < hi); // 0.1 + 0.2 is inexact, so the enclosure is nonempty
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide except in the explicit-SIMD module, whose
+// packed kernels require `core::arch::x86_64` intrinsics. Every other
+// module (and every dependent crate) remains free of unsafe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod eft;
 mod ops;
+#[cfg_attr(target_arch = "x86_64", allow(unsafe_code))]
+pub mod simd;
 mod ulp;
 
-pub use eft::{fast_two_sum, split, two_prod, two_sum};
+pub use eft::{fast_two_sum, split, two_prod, two_prod_dekker, two_sum};
 pub use ops::{
     add_rd, add_ru, div_rd, div_ru, div_ru_both, fma_rd, fma_ru, mul_rd, mul_ru, mul_ru_both,
     sqrt_rd, sqrt_ru, sub_rd, sub_ru,

@@ -195,7 +195,7 @@ fn mul_ru_slow(a: f64, b: f64, p: f64) -> f64 {
 /// The FMA residual `a*b - p` is exactly representable only when its
 /// quantum `2^(ea+eb-104)` stays in range, i.e. for `|p| >= 2^-967`;
 /// below that the residual can round to zero and lose its sign.
-const FMA_RESIDUAL_EXACT_MIN: f64 = 2.5e-291; // > 2^-966
+pub(crate) const FMA_RESIDUAL_EXACT_MIN: f64 = 2.5e-291; // > 2^-966
 
 /// Downward-rounded multiplication: `RD(a * b)`, bit-exact (see
 /// [`mul_ru`]).
@@ -241,7 +241,7 @@ pub fn div_ru_both(a: f64, b: f64) -> (f64, f64) {
 
 /// Threshold below which the division EFT may lose the residual sign;
 /// dividends smaller than this use the conservative path.
-const DIV_EXACT_MIN_A: f64 = 1e-270;
+pub(crate) const DIV_EXACT_MIN_A: f64 = 1e-270;
 
 /// Upward-rounded division: returns `RU(a / b)`.
 ///

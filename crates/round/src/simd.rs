@@ -1,0 +1,761 @@
+//! Explicit SIMD packed directed-rounding kernels with runtime dispatch.
+//!
+//! The paper's central performance result (Section IV-A "Vectorized
+//! intervals", Table II, Fig. 8) comes from *packed* interval arithmetic:
+//! one SSE/AVX register holds 1–4 intervals and every directed-rounding
+//! operation is a handful of packed instructions. The scalar kernels in
+//! [`crate::ops`] implement directed rounding in software via error-free
+//! transformations; this module provides the same functions over four
+//! binary64 lanes at a time, written with `core::arch::x86_64`
+//! intrinsics, selected once at runtime by CPU-feature detection.
+//!
+//! # Backends
+//!
+//! * [`Backend::Avx2Fma`] — one 256-bit register per column, FMA-based
+//!   `two_prod` residuals (`vfmsub`), AVX2 integer ops for the
+//!   branch-free one-ulp bump.
+//! * [`Backend::Sse2`] — two 128-bit registers per column (SSE2 is the
+//!   x86-64 baseline, always available there). Product residuals use
+//!   Dekker's FMA-free `two_prod` ([`crate::two_prod_dekker`]) with
+//!   magnitude guards that keep the splitting exact.
+//! * [`Backend::Portable`] — straight lane loops over the scalar
+//!   kernels, the only backend on non-x86-64 targets and the reference
+//!   the property tests pin the packed paths against.
+//!
+//! # Bit-identity contract
+//!
+//! Every packed function here returns, in each lane, **exactly the bits**
+//! the corresponding scalar kernel returns for that lane's operands —
+//! for *all* inputs, including NaN, infinities, subnormals and
+//! signed zeros. The mechanism (see DESIGN.md §10):
+//!
+//! 1. the packed hot path performs the *same IEEE operation sequence* as
+//!    the scalar hot path, lane-wise (packed and scalar IEEE ops are both
+//!    correctly rounded, hence bit-equal);
+//! 2. a packed validity mask re-checks the scalar hot path's guard
+//!    conditions (plus, on the Dekker path, the split-exactness bounds);
+//! 3. lanes whose guard fails — rare by construction — are recomputed by
+//!    calling the scalar kernel itself, cold paths included.
+//!
+//! Soundness therefore never rests on new reasoning: the packed kernels
+//! are the scalar kernels, evaluated four lanes at a time.
+
+use core::sync::atomic::{AtomicU8, Ordering};
+
+use crate::ops::{DIV_EXACT_MIN_A, FMA_RESIDUAL_EXACT_MIN};
+
+/// A packed-kernel implementation level, ordered from narrowest to
+/// widest. `Backend::Sse2 < Backend::Avx2Fma`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Backend {
+    /// Scalar lane loops (always available; the only level off x86-64).
+    Portable,
+    /// Packed 128-bit kernels, FMA-free (x86-64 baseline).
+    Sse2,
+    /// Packed 256-bit kernels using AVX2 integer ops and FMA residuals.
+    Avx2Fma,
+}
+
+impl Backend {
+    fn from_tag(tag: u8) -> Option<Backend> {
+        match tag {
+            1 => Some(Backend::Portable),
+            2 => Some(Backend::Sse2),
+            3 => Some(Backend::Avx2Fma),
+            _ => None,
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            Backend::Portable => 1,
+            Backend::Sse2 => 2,
+            Backend::Avx2Fma => 3,
+        }
+    }
+}
+
+impl core::fmt::Display for Backend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Backend::Portable => "portable",
+            Backend::Sse2 => "sse2",
+            Backend::Avx2Fma => "avx2+fma",
+        })
+    }
+}
+
+/// Cached CPU detection result (0 = not yet probed).
+static DETECTED: AtomicU8 = AtomicU8::new(0);
+
+/// Forced override for benchmarks/tests (0 = none).
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// The widest backend this CPU supports, probed once and cached.
+pub fn detected_backend() -> Backend {
+    if let Some(bk) = Backend::from_tag(DETECTED.load(Ordering::Relaxed)) {
+        return bk;
+    }
+    let bk = probe();
+    DETECTED.store(bk.tag(), Ordering::Relaxed);
+    bk
+}
+
+#[cfg(target_arch = "x86_64")]
+fn probe() -> Backend {
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        Backend::Avx2Fma
+    } else {
+        Backend::Sse2
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn probe() -> Backend {
+    Backend::Portable
+}
+
+/// Forces the dispatch level used by [`active_backend`] (benchmark and
+/// test hook; `None` restores CPU detection). Requests wider than the
+/// detected level are clamped — forcing can only *downgrade*, so it can
+/// never select instructions the host lacks. Returns the level actually
+/// in effect.
+pub fn force_backend(bk: Option<Backend>) -> Backend {
+    match bk {
+        Some(b) => {
+            let eff = b.min(detected_backend());
+            FORCED.store(eff.tag(), Ordering::Relaxed);
+            eff
+        }
+        None => {
+            FORCED.store(0, Ordering::Relaxed);
+            detected_backend()
+        }
+    }
+}
+
+/// The backend the packed interval operations currently dispatch to: the
+/// forced level if one is set, the detected level otherwise.
+#[inline]
+pub fn active_backend() -> Backend {
+    match Backend::from_tag(FORCED.load(Ordering::Relaxed)) {
+        Some(bk) => bk,
+        None => detected_backend(),
+    }
+}
+
+/// Clamp a requested level to what the CPU supports, so a stale or
+/// wrong caller-provided level can never reach unsupported instructions.
+#[inline]
+fn clamp(bk: Backend) -> Backend {
+    bk.min(detected_backend())
+}
+
+/// NaN-propagating maximum: NaN if either operand is NaN, otherwise the
+/// larger operand (`a` on ties, including `max_nan(+0.0, -0.0) == +0.0`).
+/// This is the endpoint-selection primitive of the branch-free interval
+/// multiplication and division; [`max_nan_4`] is its packed form.
+#[inline(always)]
+pub fn max_nan(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else if a >= b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Packed upward-rounded addition: lane-wise [`crate::add_ru`],
+/// bit-identical in every lane.
+pub fn add_ru_4(bk: Backend, a: &[f64; 4], b: &[f64; 4]) -> [f64; 4] {
+    match clamp(bk) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() guarantees the detected CPU has AVX2 and FMA.
+        Backend::Avx2Fma => unsafe { x86::add_ru_4_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86-64 baseline ISA.
+        Backend::Sse2 => unsafe { x86::add_ru_4_sse2(a, b) },
+        _ => core::array::from_fn(|i| crate::add_ru(a[i], b[i])),
+    }
+}
+
+/// Packed paired upward products: lane-wise [`crate::mul_ru_both`]
+/// (returns `(RU(a*b), RU(-(a*b)))` per lane), bit-identical in every
+/// lane.
+pub fn mul_ru_both_4(bk: Backend, a: &[f64; 4], b: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
+    match clamp(bk) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() guarantees the detected CPU has AVX2 and FMA.
+        Backend::Avx2Fma => unsafe { x86::mul_ru_both_4_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86-64 baseline ISA.
+        Backend::Sse2 => unsafe { x86::mul_ru_both_4_sse2(a, b) },
+        _ => {
+            let mut hi = [0.0; 4];
+            let mut lo = [0.0; 4];
+            for i in 0..4 {
+                (hi[i], lo[i]) = crate::mul_ru_both(a[i], b[i]);
+            }
+            (hi, lo)
+        }
+    }
+}
+
+/// Packed paired upward quotients: lane-wise [`crate::div_ru_both`]
+/// (returns `(RU(a/b), RU(-(a/b)))` per lane), bit-identical in every
+/// lane.
+pub fn div_ru_both_4(bk: Backend, a: &[f64; 4], b: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
+    match clamp(bk) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() guarantees the detected CPU has AVX2 and FMA.
+        Backend::Avx2Fma => unsafe { x86::div_ru_both_4_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86-64 baseline ISA.
+        Backend::Sse2 => unsafe { x86::div_ru_both_4_sse2(a, b) },
+        _ => {
+            let mut hi = [0.0; 4];
+            let mut lo = [0.0; 4];
+            for i in 0..4 {
+                (hi[i], lo[i]) = crate::div_ru_both(a[i], b[i]);
+            }
+            (hi, lo)
+        }
+    }
+}
+
+/// Packed NaN-propagating maximum: lane-wise [`max_nan`], bit-identical
+/// in every lane (ties select the first operand; NaN results are the
+/// canonical quiet NaN).
+pub fn max_nan_4(bk: Backend, a: &[f64; 4], b: &[f64; 4]) -> [f64; 4] {
+    match clamp(bk) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() guarantees the detected CPU has AVX2 and FMA.
+        Backend::Avx2Fma => unsafe { x86::max_nan_4_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86-64 baseline ISA.
+        Backend::Sse2 => unsafe { x86::max_nan_4_sse2(a, b) },
+        _ => core::array::from_fn(|i| max_nan(a[i], b[i])),
+    }
+}
+
+/// Largest operand magnitude for which Veltkamp splitting cannot
+/// overflow: `2^996` (the split multiplies by `2^27 + 1`).
+pub(crate) const DEKKER_OP_MAX: f64 = f64::from_bits((1023 + 996) << 52);
+
+/// Smallest operand magnitude the Dekker product path accepts: `2^-480`.
+/// With both operands at least this large the partial products carry at
+/// most 53 significant bits above `2^-1064`, so they are exact even when
+/// subnormal and the FMA-free residual equals the FMA residual bit for
+/// bit.
+pub(crate) const DEKKER_OP_MIN: f64 = f64::from_bits((1023 - 480) << 52);
+
+/// Largest rounded-product magnitude the Dekker path accepts: `2^1021`.
+/// The high partial product `ah*bh` can exceed `|a*b|` by a couple of
+/// ulps of the split halves; capping `|RN(a*b)|` three binades below
+/// overflow guarantees every partial product stays finite.
+pub(crate) const DEKKER_PROD_MAX: f64 = f64::from_bits((1023 + 1021) << 52);
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The packed x86-64 kernel bodies. Everything here is `unsafe fn`:
+    //! the AVX2+FMA functions require those CPU features (enforced by the
+    //! dispatchers via `clamp`), the SSE2 ones only the x86-64 baseline.
+
+    use super::{
+        DEKKER_OP_MAX, DEKKER_OP_MIN, DEKKER_PROD_MAX, DIV_EXACT_MIN_A, FMA_RESIDUAL_EXACT_MIN,
+    };
+    use core::arch::x86_64::*;
+
+    /// All-lanes-valid movemask value for one 256-bit column.
+    const ALL4: i32 = 0b1111;
+
+    // ------------------------------------------------------------------
+    // AVX2 + FMA: one 256-bit register per column.
+    // ------------------------------------------------------------------
+
+    /// `|x|` (clears the sign bit).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn abs_256(x: __m256d) -> __m256d {
+        _mm256_andnot_pd(_mm256_set1_pd(-0.0), x)
+    }
+
+    /// `-x` (flips the sign bit; exact, matches scalar `-x`).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn neg_256(x: __m256d) -> __m256d {
+        _mm256_xor_pd(_mm256_set1_pd(-0.0), x)
+    }
+
+    /// Lane mask: `x` is finite (strictly below +∞ in magnitude; NaN
+    /// lanes report false, exactly like `f64::is_finite`).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn is_finite_256(x: __m256d) -> __m256d {
+        _mm256_cmp_pd::<_CMP_LT_OQ>(abs_256(x), _mm256_set1_pd(f64::INFINITY))
+    }
+
+    /// Lane mask: `lo <= |x| <= hi` (false for NaN `x`).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn abs_in_range_256(x: __m256d, lo: f64, hi: f64) -> __m256d {
+        let ax = abs_256(x);
+        _mm256_and_pd(
+            _mm256_cmp_pd::<_CMP_GE_OQ>(ax, _mm256_set1_pd(lo)),
+            _mm256_cmp_pd::<_CMP_LE_OQ>(ax, _mm256_set1_pd(hi)),
+        )
+    }
+
+    /// Packed branch-free directed bump: lane-wise `ops::bump_up` — steps
+    /// each lane one value toward +∞ where the `up` mask is set, via the
+    /// same monotone signed-integer encoding of the float order.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn bump_up_256(s: __m256d, up: __m256d) -> __m256d {
+        let zero = _mm256_setzero_si256();
+        let bits = _mm256_castpd_si256(s);
+        // mask = (bits >> 63 logical-after-arith) — 0x7fff.. for negatives.
+        let neg = _mm256_cmpgt_epi64(zero, bits);
+        let mask = _mm256_srli_epi64::<1>(neg);
+        // key = (bits ^ mask) + (up as i64)
+        let inc = _mm256_srli_epi64::<63>(_mm256_castpd_si256(up));
+        let key = _mm256_add_epi64(_mm256_xor_si256(bits, mask), inc);
+        let neg2 = _mm256_cmpgt_epi64(zero, key);
+        let mask2 = _mm256_srli_epi64::<1>(neg2);
+        _mm256_castsi256_pd(_mm256_xor_si256(key, mask2))
+    }
+
+    /// Packed `add_ru`: TwoSum + directed bump on all four lanes; lanes
+    /// whose sum or residual leaves the finite range are recomputed with
+    /// the scalar kernel (which handles overflow and invalid operations).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn add_ru_4_avx2(a: &[f64; 4], b: &[f64; 4]) -> [f64; 4] {
+        let va = _mm256_loadu_pd(a.as_ptr());
+        let vb = _mm256_loadu_pd(b.as_ptr());
+        // Knuth TwoSum, lane-wise — the same six IEEE additions as the
+        // scalar `two_sum`.
+        let s = _mm256_add_pd(va, vb);
+        let a1 = _mm256_sub_pd(s, vb);
+        let b1 = _mm256_sub_pd(s, a1);
+        let da = _mm256_sub_pd(va, a1);
+        let db = _mm256_sub_pd(vb, b1);
+        let e = _mm256_add_pd(da, db);
+        let up = _mm256_cmp_pd::<_CMP_GT_OQ>(e, _mm256_setzero_pd());
+        let bumped = bump_up_256(s, up);
+        let ok = _mm256_movemask_pd(_mm256_and_pd(is_finite_256(s), is_finite_256(e)));
+        let mut out = [0.0; 4];
+        _mm256_storeu_pd(out.as_mut_ptr(), bumped);
+        if ok != ALL4 {
+            patch(ok, &mut out, |i| crate::add_ru(a[i], b[i]));
+        }
+        out
+    }
+
+    /// Packed `mul_ru_both`: product + FMA residual + two directed bumps;
+    /// lanes outside the residual-exactness range fall back to the scalar
+    /// kernel.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn mul_ru_both_4_avx2(a: &[f64; 4], b: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
+        let va = _mm256_loadu_pd(a.as_ptr());
+        let vb = _mm256_loadu_pd(b.as_ptr());
+        let p = _mm256_mul_pd(va, vb);
+        let e = _mm256_fmsub_pd(va, vb, p); // a*b - p, exactly (FMA)
+        let zero = _mm256_setzero_pd();
+        let hi = bump_up_256(p, _mm256_cmp_pd::<_CMP_GT_OQ>(e, zero));
+        let lo = bump_up_256(neg_256(p), _mm256_cmp_pd::<_CMP_LT_OQ>(e, zero));
+        let ok = _mm256_movemask_pd(_mm256_and_pd(
+            abs_in_range_256(p, FMA_RESIDUAL_EXACT_MIN, f64::MAX),
+            is_finite_256(e),
+        ));
+        let mut out_hi = [0.0; 4];
+        let mut out_lo = [0.0; 4];
+        _mm256_storeu_pd(out_hi.as_mut_ptr(), hi);
+        _mm256_storeu_pd(out_lo.as_mut_ptr(), lo);
+        if ok != ALL4 {
+            patch_pair(ok, &mut out_hi, &mut out_lo, |i| crate::mul_ru_both(a[i], b[i]));
+        }
+        (out_hi, out_lo)
+    }
+
+    /// Packed `div_ru_both`: quotient + `two_prod` residual check + two
+    /// directed bumps; lanes outside the exactness range fall back to the
+    /// scalar kernel.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn div_ru_both_4_avx2(a: &[f64; 4], b: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
+        let va = _mm256_loadu_pd(a.as_ptr());
+        let vb = _mm256_loadu_pd(b.as_ptr());
+        let q = _mm256_div_pd(va, vb);
+        // two_prod(q, b) via FMA.
+        let h = _mm256_mul_pd(q, vb);
+        let l = _mm256_fmsub_pd(q, vb, h);
+        let r = _mm256_sub_pd(_mm256_sub_pd(va, h), l);
+        let zero = _mm256_setzero_pd();
+        let b_pos = _mm256_cmp_pd::<_CMP_GT_OQ>(vb, zero);
+        let b_neg = _mm256_cmp_pd::<_CMP_LT_OQ>(vb, zero);
+        let r_pos = _mm256_cmp_pd::<_CMP_GT_OQ>(r, zero);
+        let r_neg = _mm256_cmp_pd::<_CMP_LT_OQ>(r, zero);
+        let up = _mm256_or_pd(_mm256_and_pd(b_pos, r_pos), _mm256_and_pd(b_neg, r_neg));
+        let dn = _mm256_or_pd(_mm256_and_pd(b_pos, r_neg), _mm256_and_pd(b_neg, r_pos));
+        let hi = bump_up_256(q, up);
+        let lo = bump_up_256(neg_256(q), dn);
+        let ok1 = _mm256_and_pd(
+            abs_in_range_256(q, f64::MIN_POSITIVE, f64::MAX),
+            abs_in_range_256(va, DIV_EXACT_MIN_A, f64::MAX),
+        );
+        let ok2 = abs_in_range_256(h, f64::MIN_POSITIVE, f64::MAX);
+        let ok = _mm256_movemask_pd(_mm256_and_pd(ok1, ok2));
+        let mut out_hi = [0.0; 4];
+        let mut out_lo = [0.0; 4];
+        _mm256_storeu_pd(out_hi.as_mut_ptr(), hi);
+        _mm256_storeu_pd(out_lo.as_mut_ptr(), lo);
+        if ok != ALL4 {
+            patch_pair(ok, &mut out_hi, &mut out_lo, |i| crate::div_ru_both(a[i], b[i]));
+        }
+        (out_hi, out_lo)
+    }
+
+    /// Packed `max_nan`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn max_nan_4_avx2(a: &[f64; 4], b: &[f64; 4]) -> [f64; 4] {
+        let va = _mm256_loadu_pd(a.as_ptr());
+        let vb = _mm256_loadu_pd(b.as_ptr());
+        // a >= b selects a (ties keep a, matching the scalar kernel);
+        // unordered lanes are overwritten with the canonical quiet NaN.
+        let ge = _mm256_cmp_pd::<_CMP_GE_OQ>(va, vb);
+        let sel = _mm256_blendv_pd(vb, va, ge);
+        let unord = _mm256_cmp_pd::<_CMP_UNORD_Q>(va, vb);
+        let res = _mm256_blendv_pd(sel, _mm256_set1_pd(f64::NAN), unord);
+        let mut out = [0.0; 4];
+        _mm256_storeu_pd(out.as_mut_ptr(), res);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // SSE2 baseline: two 128-bit registers per column, no FMA — product
+    // residuals use Dekker's splitting under magnitude guards.
+    // ------------------------------------------------------------------
+
+    #[inline]
+    unsafe fn abs_128(x: __m128d) -> __m128d {
+        _mm_andnot_pd(_mm_set1_pd(-0.0), x)
+    }
+
+    #[inline]
+    unsafe fn neg_128(x: __m128d) -> __m128d {
+        _mm_xor_pd(_mm_set1_pd(-0.0), x)
+    }
+
+    #[inline]
+    unsafe fn is_finite_128(x: __m128d) -> __m128d {
+        _mm_cmplt_pd(abs_128(x), _mm_set1_pd(f64::INFINITY))
+    }
+
+    #[inline]
+    unsafe fn abs_in_range_128(x: __m128d, lo: f64, hi: f64) -> __m128d {
+        let ax = abs_128(x);
+        _mm_and_pd(_mm_cmpge_pd(ax, _mm_set1_pd(lo)), _mm_cmple_pd(ax, _mm_set1_pd(hi)))
+    }
+
+    /// Mask-select `if mask { x } else { y }` without SSE4.1 `blendv`.
+    #[inline]
+    unsafe fn select_128(mask: __m128d, x: __m128d, y: __m128d) -> __m128d {
+        _mm_or_pd(_mm_and_pd(mask, x), _mm_andnot_pd(mask, y))
+    }
+
+    /// Per-64-bit-lane arithmetic sign mask (all-ones where the lane is
+    /// negative as a signed integer) — SSE2 has no 64-bit compare, so the
+    /// 32-bit arithmetic shift of the high dword is broadcast down.
+    #[inline]
+    unsafe fn sign_mask_epi64_128(v: __m128i) -> __m128i {
+        _mm_shuffle_epi32::<0b11_11_01_01>(_mm_srai_epi32::<31>(v))
+    }
+
+    /// Packed branch-free directed bump, 2 lanes (see [`bump_up_256`]).
+    #[inline]
+    unsafe fn bump_up_128(s: __m128d, up: __m128d) -> __m128d {
+        let bits = _mm_castpd_si128(s);
+        let mask = _mm_srli_epi64::<1>(sign_mask_epi64_128(bits));
+        let inc = _mm_srli_epi64::<63>(_mm_castpd_si128(up));
+        let key = _mm_add_epi64(_mm_xor_si128(bits, mask), inc);
+        let mask2 = _mm_srli_epi64::<1>(sign_mask_epi64_128(key));
+        _mm_castsi128_pd(_mm_xor_si128(key, mask2))
+    }
+
+    /// One `add_ru` half-column: TwoSum + bump on 2 lanes, returning the
+    /// 2-bit validity mask alongside the packed result.
+    #[inline]
+    unsafe fn add_ru_2_sse2(va: __m128d, vb: __m128d) -> (__m128d, i32) {
+        let s = _mm_add_pd(va, vb);
+        let a1 = _mm_sub_pd(s, vb);
+        let b1 = _mm_sub_pd(s, a1);
+        let da = _mm_sub_pd(va, a1);
+        let db = _mm_sub_pd(vb, b1);
+        let e = _mm_add_pd(da, db);
+        let up = _mm_cmpgt_pd(e, _mm_setzero_pd());
+        let ok = _mm_movemask_pd(_mm_and_pd(is_finite_128(s), is_finite_128(e)));
+        (bump_up_128(s, up), ok)
+    }
+
+    pub(super) unsafe fn add_ru_4_sse2(a: &[f64; 4], b: &[f64; 4]) -> [f64; 4] {
+        let (lo, ok_lo) = add_ru_2_sse2(_mm_loadu_pd(a.as_ptr()), _mm_loadu_pd(b.as_ptr()));
+        let (hi, ok_hi) =
+            add_ru_2_sse2(_mm_loadu_pd(a.as_ptr().add(2)), _mm_loadu_pd(b.as_ptr().add(2)));
+        let mut out = [0.0; 4];
+        _mm_storeu_pd(out.as_mut_ptr(), lo);
+        _mm_storeu_pd(out.as_mut_ptr().add(2), hi);
+        let ok = ok_lo | (ok_hi << 2);
+        if ok != ALL4 {
+            patch(ok, &mut out, |i| crate::add_ru(a[i], b[i]));
+        }
+        out
+    }
+
+    /// Dekker `two_prod` on 2 lanes: returns `(p, e)` with the validity
+    /// mask of the splitting bounds (`2^-480 <= |a|, |b| <= 2^996` and
+    /// `|p| <= 2^1021`) under which `e` is exactly the FMA residual.
+    #[inline]
+    unsafe fn two_prod_dekker_2(va: __m128d, vb: __m128d) -> (__m128d, __m128d, __m128d) {
+        const FACTOR: f64 = 134_217_729.0; // 2^27 + 1
+        let f = _mm_set1_pd(FACTOR);
+        let p = _mm_mul_pd(va, vb);
+        let ca = _mm_mul_pd(f, va);
+        let ah = _mm_sub_pd(ca, _mm_sub_pd(ca, va));
+        let al = _mm_sub_pd(va, ah);
+        let cb = _mm_mul_pd(f, vb);
+        let bh = _mm_sub_pd(cb, _mm_sub_pd(cb, vb));
+        let bl = _mm_sub_pd(vb, bh);
+        // e = ((ah*bh - p) + ah*bl + al*bh) + al*bl, as in two_prod_dekker.
+        let e = _mm_add_pd(
+            _mm_add_pd(
+                _mm_add_pd(_mm_sub_pd(_mm_mul_pd(ah, bh), p), _mm_mul_pd(ah, bl)),
+                _mm_mul_pd(al, bh),
+            ),
+            _mm_mul_pd(al, bl),
+        );
+        let split_ok = _mm_and_pd(
+            _mm_and_pd(
+                abs_in_range_128(va, DEKKER_OP_MIN, DEKKER_OP_MAX),
+                abs_in_range_128(vb, DEKKER_OP_MIN, DEKKER_OP_MAX),
+            ),
+            _mm_cmple_pd(abs_128(p), _mm_set1_pd(DEKKER_PROD_MAX)),
+        );
+        (p, e, split_ok)
+    }
+
+    #[inline]
+    unsafe fn mul_ru_both_2_sse2(va: __m128d, vb: __m128d) -> (__m128d, __m128d, i32) {
+        let (p, e, split_ok) = two_prod_dekker_2(va, vb);
+        let zero = _mm_setzero_pd();
+        let hi = bump_up_128(p, _mm_cmpgt_pd(e, zero));
+        let lo = bump_up_128(neg_128(p), _mm_cmplt_pd(e, zero));
+        let ok = _mm_movemask_pd(_mm_and_pd(
+            _mm_and_pd(abs_in_range_128(p, FMA_RESIDUAL_EXACT_MIN, f64::MAX), is_finite_128(e)),
+            split_ok,
+        ));
+        (hi, lo, ok)
+    }
+
+    pub(super) unsafe fn mul_ru_both_4_sse2(a: &[f64; 4], b: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
+        let (hi0, lo0, ok0) =
+            mul_ru_both_2_sse2(_mm_loadu_pd(a.as_ptr()), _mm_loadu_pd(b.as_ptr()));
+        let (hi1, lo1, ok1) =
+            mul_ru_both_2_sse2(_mm_loadu_pd(a.as_ptr().add(2)), _mm_loadu_pd(b.as_ptr().add(2)));
+        let mut out_hi = [0.0; 4];
+        let mut out_lo = [0.0; 4];
+        _mm_storeu_pd(out_hi.as_mut_ptr(), hi0);
+        _mm_storeu_pd(out_hi.as_mut_ptr().add(2), hi1);
+        _mm_storeu_pd(out_lo.as_mut_ptr(), lo0);
+        _mm_storeu_pd(out_lo.as_mut_ptr().add(2), lo1);
+        let ok = ok0 | (ok1 << 2);
+        if ok != ALL4 {
+            patch_pair(ok, &mut out_hi, &mut out_lo, |i| crate::mul_ru_both(a[i], b[i]));
+        }
+        (out_hi, out_lo)
+    }
+
+    #[inline]
+    unsafe fn div_ru_both_2_sse2(va: __m128d, vb: __m128d) -> (__m128d, __m128d, i32) {
+        let q = _mm_div_pd(va, vb);
+        let (h, l, split_ok) = two_prod_dekker_2(q, vb);
+        let r = _mm_sub_pd(_mm_sub_pd(va, h), l);
+        let zero = _mm_setzero_pd();
+        let b_pos = _mm_cmpgt_pd(vb, zero);
+        let b_neg = _mm_cmplt_pd(vb, zero);
+        let r_pos = _mm_cmpgt_pd(r, zero);
+        let r_neg = _mm_cmplt_pd(r, zero);
+        let up = _mm_or_pd(_mm_and_pd(b_pos, r_pos), _mm_and_pd(b_neg, r_neg));
+        let dn = _mm_or_pd(_mm_and_pd(b_pos, r_neg), _mm_and_pd(b_neg, r_pos));
+        let hi = bump_up_128(q, up);
+        let lo = bump_up_128(neg_128(q), dn);
+        let ok1 = _mm_and_pd(
+            abs_in_range_128(q, f64::MIN_POSITIVE, f64::MAX),
+            abs_in_range_128(va, DIV_EXACT_MIN_A, f64::MAX),
+        );
+        let ok2 = abs_in_range_128(h, f64::MIN_POSITIVE, f64::MAX);
+        let ok = _mm_movemask_pd(_mm_and_pd(_mm_and_pd(ok1, ok2), split_ok));
+        (hi, lo, ok)
+    }
+
+    pub(super) unsafe fn div_ru_both_4_sse2(a: &[f64; 4], b: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
+        let (hi0, lo0, ok0) =
+            div_ru_both_2_sse2(_mm_loadu_pd(a.as_ptr()), _mm_loadu_pd(b.as_ptr()));
+        let (hi1, lo1, ok1) =
+            div_ru_both_2_sse2(_mm_loadu_pd(a.as_ptr().add(2)), _mm_loadu_pd(b.as_ptr().add(2)));
+        let mut out_hi = [0.0; 4];
+        let mut out_lo = [0.0; 4];
+        _mm_storeu_pd(out_hi.as_mut_ptr(), hi0);
+        _mm_storeu_pd(out_hi.as_mut_ptr().add(2), hi1);
+        _mm_storeu_pd(out_lo.as_mut_ptr(), lo0);
+        _mm_storeu_pd(out_lo.as_mut_ptr().add(2), lo1);
+        let ok = ok0 | (ok1 << 2);
+        if ok != ALL4 {
+            patch_pair(ok, &mut out_hi, &mut out_lo, |i| crate::div_ru_both(a[i], b[i]));
+        }
+        (out_hi, out_lo)
+    }
+
+    pub(super) unsafe fn max_nan_4_sse2(a: &[f64; 4], b: &[f64; 4]) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        for half in 0..2 {
+            let va = _mm_loadu_pd(a.as_ptr().add(2 * half));
+            let vb = _mm_loadu_pd(b.as_ptr().add(2 * half));
+            let sel = select_128(_mm_cmpge_pd(va, vb), va, vb);
+            let res = select_128(_mm_cmpunord_pd(va, vb), _mm_set1_pd(f64::NAN), sel);
+            _mm_storeu_pd(out.as_mut_ptr().add(2 * half), res);
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Rare-lane scalar patching.
+    // ------------------------------------------------------------------
+
+    /// Recomputes the lanes whose validity bit is clear with the scalar
+    /// kernel (cold: guard failures are rare by construction).
+    #[cold]
+    fn patch(ok: i32, out: &mut [f64; 4], f: impl Fn(usize) -> f64) {
+        for (i, lane) in out.iter_mut().enumerate() {
+            if ok & (1 << i) == 0 {
+                *lane = f(i);
+            }
+        }
+    }
+
+    /// Pair-result variant of [`patch`].
+    #[cold]
+    fn patch_pair(
+        ok: i32,
+        out_hi: &mut [f64; 4],
+        out_lo: &mut [f64; 4],
+        f: impl Fn(usize) -> (f64, f64),
+    ) {
+        for i in 0..4 {
+            if ok & (1 << i) == 0 {
+                (out_hi[i], out_lo[i]) = f(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backends() -> Vec<Backend> {
+        let mut bks = vec![Backend::Portable, Backend::Sse2, Backend::Avx2Fma];
+        bks.retain(|&bk| bk <= detected_backend());
+        bks
+    }
+
+    /// A deterministic grid of awkward operands, including every special
+    /// class the scalar kernels branch on.
+    fn grid() -> Vec<f64> {
+        vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            -0.1,
+            1.0 / 3.0,
+            f64::EPSILON,
+            1e16,
+            -1e16,
+            1e300,
+            -1e300,
+            f64::MAX,
+            -f64::MAX,
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+            f64::from_bits(1),
+            -f64::from_bits(1),
+            f64::from_bits(0x000f_ffff_ffff_ffff),
+            2.5e-291,
+            1e-290,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ]
+    }
+
+    fn assert_lane_bits(got: f64, want: f64, ctx: &str) {
+        assert!(
+            got.to_bits() == want.to_bits(),
+            "{ctx}: got {got:e} ({:#x}), want {want:e} ({:#x})",
+            got.to_bits(),
+            want.to_bits()
+        );
+    }
+
+    #[test]
+    fn packed_ops_bit_identical_on_grid() {
+        let g = grid();
+        for bk in backends() {
+            for c in g.chunks(4) {
+                let mut a = [0.0; 4];
+                a[..c.len()].copy_from_slice(c);
+                for &y in &g {
+                    let b = [y; 4];
+                    let s = add_ru_4(bk, &a, &b);
+                    let (mh, ml) = mul_ru_both_4(bk, &a, &b);
+                    let (dh, dl) = div_ru_both_4(bk, &a, &b);
+                    let mx = max_nan_4(bk, &a, &b);
+                    for i in 0..4 {
+                        let ctx = format!("{bk} a={} b={y}", a[i]);
+                        assert_lane_bits(s[i], crate::add_ru(a[i], y), &format!("add {ctx}"));
+                        let (wh, wl) = crate::mul_ru_both(a[i], y);
+                        assert_lane_bits(mh[i], wh, &format!("mul hi {ctx}"));
+                        assert_lane_bits(ml[i], wl, &format!("mul lo {ctx}"));
+                        let (qh, ql) = crate::div_ru_both(a[i], y);
+                        assert_lane_bits(dh[i], qh, &format!("div hi {ctx}"));
+                        assert_lane_bits(dl[i], ql, &format!("div lo {ctx}"));
+                        assert_lane_bits(mx[i], max_nan(a[i], y), &format!("max {ctx}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn force_backend_clamps_and_restores() {
+        let det = detected_backend();
+        assert_eq!(force_backend(Some(Backend::Portable)), Backend::Portable);
+        assert_eq!(active_backend(), Backend::Portable);
+        // Requesting the widest level yields at most the detected one.
+        assert_eq!(force_backend(Some(Backend::Avx2Fma)), det);
+        assert_eq!(force_backend(None), det);
+        assert_eq!(active_backend(), det);
+    }
+
+    #[test]
+    fn max_nan_scalar_semantics() {
+        assert_eq!(max_nan(1.0, 2.0), 2.0);
+        assert_eq!(max_nan(2.0, 1.0), 2.0);
+        assert!(max_nan(f64::NAN, 1.0).is_nan());
+        assert!(max_nan(1.0, f64::NAN).is_nan());
+        // Ties keep the first operand, including signed zeros.
+        assert!(max_nan(0.0, -0.0).is_sign_positive());
+        assert!(max_nan(-0.0, 0.0).is_sign_negative());
+    }
+}

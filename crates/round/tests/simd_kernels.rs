@@ -1,0 +1,213 @@
+//! Property tests for the packed directed-rounding kernels.
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **Bit-identity**: every packed kernel in `igen_round::simd` returns,
+//!    in each lane, exactly the bits of the corresponding scalar kernel —
+//!    on every backend the host supports, for random full-range operands
+//!    (the generator emits NaNs, infinities, subnormals and signed zeros)
+//!    and for an exhaustive special-value grid.
+//! 2. **FMA vs. Dekker exactness** (the SSE2 backend's product residual):
+//!    inside the documented guard range, `two_prod_dekker` equals the FMA
+//!    `two_prod` bit for bit, so the FMA fast path can never silently
+//!    diverge from the FMA-free one.
+
+use igen_round as r;
+use igen_round::simd::{self, Backend};
+use proptest::prelude::*;
+
+/// Every backend this host can actually run.
+fn backends() -> Vec<Backend> {
+    [Backend::Portable, Backend::Sse2, Backend::Avx2Fma]
+        .into_iter()
+        .filter(|&bk| bk <= simd::detected_backend())
+        .collect()
+}
+
+fn assert_lane(tag: &str, bk: Backend, i: usize, got: f64, want: f64) -> Result<(), TestCaseError> {
+    prop_assert!(
+        got.to_bits() == want.to_bits(),
+        "{tag} [{bk:?} lane {i}]: got {got:e} ({:#018x}), want {want:e} ({:#018x})",
+        got.to_bits(),
+        want.to_bits()
+    );
+    Ok(())
+}
+
+fn check_all_kernels(a: [f64; 4], b: [f64; 4]) -> Result<(), TestCaseError> {
+    for bk in backends() {
+        let s = simd::add_ru_4(bk, &a, &b);
+        let (mh, ml) = simd::mul_ru_both_4(bk, &a, &b);
+        let (dh, dl) = simd::div_ru_both_4(bk, &a, &b);
+        let mx = simd::max_nan_4(bk, &a, &b);
+        for i in 0..4 {
+            assert_lane("add_ru_4", bk, i, s[i], r::add_ru(a[i], b[i]))?;
+            let (wh, wl) = r::mul_ru_both(a[i], b[i]);
+            assert_lane("mul_ru_both_4.hi", bk, i, mh[i], wh)?;
+            assert_lane("mul_ru_both_4.lo", bk, i, ml[i], wl)?;
+            let (qh, ql) = r::div_ru_both(a[i], b[i]);
+            assert_lane("div_ru_both_4.hi", bk, i, dh[i], qh)?;
+            assert_lane("div_ru_both_4.lo", bk, i, dl[i], ql)?;
+            assert_lane("max_nan_4", bk, i, mx[i], simd::max_nan(a[i], b[i]))?;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3000))]
+
+    /// Random full-range lanes (the `any::<f64>()` generator mixes NaNs,
+    /// infinities, random bit patterns — hence subnormals — and wide-range
+    /// normals), all backends.
+    #[test]
+    fn packed_kernels_bit_identical_random(
+        a0 in any::<f64>(), a1 in any::<f64>(), a2 in any::<f64>(), a3 in any::<f64>(),
+        b0 in any::<f64>(), b1 in any::<f64>(), b2 in any::<f64>(), b3 in any::<f64>(),
+    ) {
+        check_all_kernels([a0, a1, a2, a3], [b0, b1, b2, b3])?;
+    }
+
+    /// Same property with all lanes sharing one operand pair, so every
+    /// special pair from the generator is exercised in every lane
+    /// position (the movemask/patch logic is position-sensitive).
+    #[test]
+    fn packed_kernels_bit_identical_broadcast(a in any::<f64>(), b in any::<f64>()) {
+        check_all_kernels([a; 4], [b; 4])?;
+        // And with the pair in a single lane amid benign neighbours.
+        for i in 0..4 {
+            let mut av = [1.0; 4];
+            let mut bv = [3.0; 4];
+            av[i] = a;
+            bv[i] = b;
+            check_all_kernels(av, bv)?;
+        }
+    }
+}
+
+/// 2^n as an exact f64 (|n| <= 1023).
+fn pow2(n: i64) -> f64 {
+    f64::from_bits(((1023 + n) as u64) << 52)
+}
+
+/// The documented `two_prod_dekker` exactness range (matches the guards
+/// the packed SSE2 kernels apply before trusting the Dekker residual).
+fn dekker_guard_ok(a: f64, b: f64) -> bool {
+    let p = a * b;
+    a.abs() >= pow2(-480)
+        && a.abs() <= pow2(996)
+        && b.abs() >= pow2(-480)
+        && b.abs() <= pow2(996)
+        && p.abs() <= pow2(1021)
+        && p.abs() >= 2.5e-291 // residual quantum stays representable (> 2^-966)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4000))]
+
+    /// Satellite: FMA `two_prod` fast path vs. the Dekker-split path.
+    /// Inside the guard range the two must agree bit for bit (both
+    /// components); the packed SSE2 kernels rely on exactly this.
+    #[test]
+    fn fma_and_dekker_two_prod_agree_in_guard_range(a in any::<f64>(), b in any::<f64>()) {
+        prop_assume!(dekker_guard_ok(a, b));
+        let (pf, ef) = r::two_prod(a, b);
+        let (pd, ed) = r::two_prod_dekker(a, b);
+        prop_assert_eq!(pf.to_bits(), pd.to_bits(), "product {a:e} * {b:e}");
+        prop_assert_eq!(
+            ef.to_bits(), ed.to_bits(),
+            "residual for {a:e} * {b:e}: fma {ef:e} vs dekker {ed:e}"
+        );
+    }
+}
+
+/// Deterministic boundary operands for the FMA/Dekker comparison: the
+/// guard-range edges and classic hard cases.
+#[test]
+fn fma_and_dekker_two_prod_agree_on_boundaries() {
+    let vals = [
+        pow2(-480), // smallest guarded operand magnitude
+        -pow2(-480),
+        pow2(996),          // largest guarded operand magnitude
+        pow2(-240),         // products right at 2^-480 * 2^996 scale
+        1.0 + f64::EPSILON, // full-significand neighbours of one
+        1.0 - f64::EPSILON / 2.0,
+        0.1,
+        1.0 / 3.0,
+        6.02214076e23,
+        1.0 + 2f64.powi(-26), // split boundary: 27 significant bits
+        134_217_729.0,        // the Veltkamp factor itself
+        f64::from_bits(0x3fefffffffffffff),
+        f64::from_bits(0x4340000000000001), // 2^53 + 2
+    ];
+    for &a in &vals {
+        for &b in &vals {
+            if !dekker_guard_ok(a, b) {
+                continue;
+            }
+            let (pf, ef) = r::two_prod(a, b);
+            let (pd, ed) = r::two_prod_dekker(a, b);
+            assert_eq!(pf.to_bits(), pd.to_bits(), "product {a:e} * {b:e}");
+            assert_eq!(ef.to_bits(), ed.to_bits(), "residual {a:e} * {b:e}");
+        }
+    }
+}
+
+/// Exhaustive special-value grid: every pair from a catalogue of IEEE
+/// edge cases, checked through every packed kernel on every backend and
+/// in every lane position (the grid is placed in each lane in turn).
+#[test]
+fn packed_kernels_bit_identical_special_grid() {
+    let specials = [
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        0.1,
+        1.0 / 3.0,
+        f64::EPSILON,
+        1e16,
+        -1e16,
+        1e300,
+        -1e300,
+        f64::MAX,
+        -f64::MAX,
+        f64::MIN_POSITIVE,
+        -f64::MIN_POSITIVE,
+        f64::from_bits(1), // smallest subnormal
+        -f64::from_bits(1),
+        f64::from_bits(0x000f_ffff_ffff_ffff), // largest subnormal
+        2.5e-291,                              // FMA residual guard boundary
+        1e-270,                                // division dividend guard boundary
+        pow2(-480),                            // Dekker operand guard boundary
+        pow2(996),
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NAN,
+    ];
+    for &x in &specials {
+        for &y in &specials {
+            for i in 0..4 {
+                let mut a = [1.0; 4];
+                let mut b = [3.0; 4];
+                a[i] = x;
+                b[i] = y;
+                if let Err(e) = check_all_kernels(a, b) {
+                    panic!("special grid ({x:e}, {y:e}) lane {i}: {e:?}");
+                }
+            }
+        }
+    }
+}
+
+/// The backend ladder is well-formed on this host: detection is stable,
+/// forcing clamps to the detected level, and `Portable` is always
+/// available.
+#[test]
+fn backend_detection_and_clamp() {
+    let det = simd::detected_backend();
+    assert_eq!(det, simd::detected_backend());
+    assert!(backends().contains(&Backend::Portable));
+    #[cfg(target_arch = "x86_64")]
+    assert!(det >= Backend::Sse2, "SSE2 is baseline on x86-64");
+}
