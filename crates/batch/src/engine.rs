@@ -20,6 +20,13 @@
 use std::num::NonZeroUsize;
 use std::ops::Range;
 
+use igen_telemetry::Counter;
+
+/// Worker chunks executed by the engine (one per spawned range, so the
+/// value depends on the thread count, unlike the arithmetic counters).
+/// Zero-sized no-op unless the `telemetry` feature is enabled.
+static BATCH_CHUNKS: Counter = Counter::new("batch.chunks");
+
 /// Execution parameters for the batch engine.
 #[derive(Debug, Clone)]
 pub struct BatchConfig {
@@ -110,13 +117,23 @@ where
 {
     let threads = cfg.effective_threads(n);
     if threads == 1 {
+        BATCH_CHUNKS.inc();
         return (0..n).map(f).collect();
     }
+    let _span = igen_telemetry::span("batch.par_map");
     let ranges = split_ranges(n, threads);
     let mut parts: Vec<Vec<O>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
-        let handles: Vec<_> =
-            ranges.into_iter().map(|r| scope.spawn(|| r.map(&f).collect::<Vec<O>>())).collect();
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                scope.spawn(|| {
+                    let _span = igen_telemetry::span("batch.chunk");
+                    BATCH_CHUNKS.inc();
+                    r.map(&f).collect::<Vec<O>>()
+                })
+            })
+            .collect();
         for h in handles {
             parts.push(h.join().expect("batch worker panicked"));
         }
@@ -155,11 +172,13 @@ where
     let nblocks = data.len().div_ceil(block_len);
     let threads = cfg.effective_threads(nblocks);
     if threads == 1 {
+        BATCH_CHUNKS.inc();
         for (bi, block) in data.chunks_mut(block_len).enumerate() {
             f(bi, block);
         }
         return;
     }
+    let _span = igen_telemetry::span("batch.for_each_block");
     let ranges = split_ranges(nblocks, threads);
     std::thread::scope(|scope| {
         let mut rest = data;
@@ -170,6 +189,8 @@ where
             rest = tail;
             let f = &f;
             handles.push(scope.spawn(move || {
+                let _span = igen_telemetry::span("batch.chunk");
+                BATCH_CHUNKS.inc();
                 for (off, block) in head.chunks_mut(block_len).enumerate() {
                     f(r.start + off, block);
                 }

@@ -23,12 +23,47 @@ use igen_kernels::{henon_from, Numeric};
 /// Batch items evolved per packed register group.
 const LANES: usize = 4;
 
+/// Interval endpoints as f64 for the telemetry width histograms
+/// (approximate — head component only — for double-double intervals).
+trait TelEndpoints {
+    fn tel_lo_hi(&self) -> (f64, f64);
+}
+
+impl TelEndpoints for F64I {
+    #[inline]
+    fn tel_lo_hi(&self) -> (f64, f64) {
+        (self.lo(), self.hi())
+    }
+}
+
+impl TelEndpoints for DdI {
+    #[inline]
+    fn tel_lo_hi(&self) -> (f64, f64) {
+        (self.lo().hi(), self.hi().hi())
+    }
+}
+
+/// Records every interval in `part` into `hist` when a telemetry trace
+/// is being recorded (compiles to nothing without the feature; the
+/// `recording()` gate keeps untraced runs at one branch per chunk).
+#[inline]
+fn record_widths<T: TelEndpoints>(hist: &'static igen_telemetry::WidthHist, part: &[T]) {
+    if igen_telemetry::recording() {
+        for v in part {
+            let (lo, hi) = v.tel_lo_hi();
+            hist.record(lo, hi);
+        }
+    }
+}
+
 macro_rules! lane_batch_kernels {
     ($batch:ty, $lane:ty, $elem:ty, $dot:ident, $mvm:ident, $henon:ident) => {
         /// Batched dot products: `xs`/`ys` hold `B` item-major vectors of
         /// length `n`; returns the `B` interval dot products, each
         /// bit-identical to [`igen_kernels::linalg::dot`] on that item.
         pub fn $dot(cfg: &BatchConfig, n: usize, xs: &$batch, ys: &$batch) -> $batch {
+            static WIDTH: igen_telemetry::WidthHist =
+                igen_telemetry::WidthHist::new(concat!("width.batch.", stringify!($dot)));
             assert_eq!(xs.len(), ys.len());
             if xs.is_empty() {
                 return <$batch>::new();
@@ -57,6 +92,7 @@ macro_rules! lane_batch_kernels {
                         out.push(acc);
                     }
                 }
+                record_widths(&WIDTH, &out);
                 out
             });
             parts.into_iter().flatten().collect()
@@ -75,6 +111,8 @@ macro_rules! lane_batch_kernels {
             xs: &$batch,
             ys: &$batch,
         ) -> $batch {
+            static WIDTH: igen_telemetry::WidthHist =
+                igen_telemetry::WidthHist::new(concat!("width.batch.", stringify!($mvm)));
             assert_eq!(a.len(), m * n);
             if xs.is_empty() && ys.is_empty() {
                 return <$batch>::new();
@@ -110,6 +148,7 @@ macro_rules! lane_batch_kernels {
                         }
                     }
                 }
+                record_widths(&WIDTH, &out);
                 out
             });
             parts.into_iter().flatten().collect()
@@ -120,6 +159,8 @@ macro_rules! lane_batch_kernels {
         /// register, returning the final `x` values. Each item is
         /// bit-identical to [`igen_kernels::henon_from`].
         pub fn $henon(cfg: &BatchConfig, iterations: usize, x0s: &$batch, y0s: &$batch) -> $batch {
+            static WIDTH: igen_telemetry::WidthHist =
+                igen_telemetry::WidthHist::new(concat!("width.batch.", stringify!($henon)));
             assert_eq!(x0s.len(), y0s.len());
             let batch = x0s.len();
             let groups = batch.div_ceil(LANES);
@@ -146,6 +187,7 @@ macro_rules! lane_batch_kernels {
                         out.push(henon_from(x0s.get(i), y0s.get(i), iterations));
                     }
                 }
+                record_widths(&WIDTH, &out);
                 out
             });
             parts.into_iter().flatten().collect()

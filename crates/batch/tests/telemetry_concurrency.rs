@@ -1,0 +1,161 @@
+//! Telemetry under concurrency (satellite of the telemetry PR): the
+//! runtime counters aggregated across `igen-batch` worker threads must
+//! equal the single-thread totals for the same workload — the batch
+//! engine partitions work, it must not change *what* runs — and the
+//! spans emitted to JSON must nest well-formedly per thread.
+//!
+//! The whole file needs real counters, so it only exists with the
+//! `telemetry` feature on (`cargo test -p igen-batch --features
+//! telemetry`).
+#![cfg(feature = "telemetry")]
+
+use igen_batch::{dot_batch, henon_ensemble, BatchConfig, BatchF64I};
+use igen_kernels::workload;
+use igen_telemetry::Snapshot;
+use proptest::prelude::*;
+
+/// Counter/hist snapshots are process-global; the tests here reset and
+/// re-read them, so they must not interleave.
+static TEL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn sample(seed: u64, len: usize) -> BatchF64I {
+    let mut rng = workload::rng(seed);
+    BatchF64I::from_intervals(&workload::intervals_1ulp(&workload::random_points(
+        &mut rng, len, -2.0, 2.0,
+    )))
+}
+
+/// Runs `work` from a clean telemetry slate and returns the snapshot it
+/// produced. The caller holds `TEL_LOCK`.
+fn traced(work: impl FnOnce()) -> Snapshot {
+    igen_telemetry::reset();
+    igen_telemetry::set_recording(true);
+    work();
+    igen_telemetry::set_recording(false);
+    let snap = igen_telemetry::snapshot();
+    igen_telemetry::reset();
+    snap
+}
+
+/// Counters whose value legitimately depends on the chunking itself
+/// rather than on the work performed (one `batch.chunks` tick per
+/// worker range).
+fn partitioning_dependent(name: &str) -> bool {
+    name == "batch.chunks"
+}
+
+fn workload_counters(snap: &Snapshot) -> Vec<(String, u64)> {
+    snap.counters.iter().filter(|(n, _)| !partitioning_dependent(n)).cloned().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The same workload run at 1, 2 and 3 worker threads produces
+    /// identical workload-counter totals (SIMD dispatches, guard
+    /// patches, ulp bumps, ...) and identical width histograms.
+    #[test]
+    fn counters_are_thread_count_invariant(
+        batch in 4usize..32,
+        n in 1usize..24,
+        seed in 0u64..1024,
+    ) {
+        let _serial = TEL_LOCK.lock().unwrap();
+        let xs = sample(seed, batch * n);
+        let ys = sample(seed ^ 0x9e37_79b9, batch * n);
+        let run = |threads: usize| {
+            let cfg = BatchConfig::new().with_threads(threads).with_seq_threshold(0);
+            traced(|| {
+                igen_bench_sink(dot_batch(&cfg, n, &xs, &ys));
+            })
+        };
+        let base = run(1);
+        let base_counters = workload_counters(&base);
+        prop_assert!(
+            base_counters.iter().any(|(n, v)| n.starts_with("simd.") && *v > 0),
+            "the workload must actually exercise the instrumented kernels: {base_counters:?}"
+        );
+        for threads in [2usize, 3] {
+            let multi = run(threads);
+            prop_assert_eq!(
+                &workload_counters(&multi),
+                &base_counters,
+                "counter totals diverged at {} threads",
+                threads
+            );
+            prop_assert_eq!(&multi.hists, &base.hists, "width histograms diverged");
+        }
+    }
+}
+
+/// Keeps results observable without depending on the bench crate.
+fn igen_bench_sink<T>(v: T) {
+    let _ = std::hint::black_box(v);
+}
+
+/// Spans from a multi-threaded run, serialized to JSON lines and parsed
+/// back, nest well-formedly: per thread, every span lies inside its
+/// parent's extent and its recorded depth equals the enclosing stack
+/// depth.
+#[test]
+fn emitted_spans_nest_well_formed() {
+    let _serial = TEL_LOCK.lock().unwrap();
+    let xs = sample(7, 64);
+    let ys = sample(8, 64);
+    let cfg = BatchConfig::new().with_threads(3).with_seq_threshold(0);
+    let snap = traced(|| {
+        igen_bench_sink(dot_batch(&cfg, 16, &xs, &ys));
+        igen_bench_sink(henon_ensemble(&cfg, 5, &xs, &ys));
+    });
+    // Round-trip through the emitted JSON, as the CLI would.
+    let parsed = Snapshot::from_jsonl(&snap.to_jsonl()).expect("re-parse own trace");
+    assert!(!parsed.spans.is_empty(), "the parallel path must record spans");
+    assert!(
+        parsed.spans.iter().any(|s| s.name == "batch.chunk"),
+        "per-worker chunk spans missing: {:?}",
+        parsed.spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
+    );
+
+    let mut by_thread: std::collections::BTreeMap<u64, Vec<&igen_telemetry::SpanRec>> =
+        std::collections::BTreeMap::new();
+    for s in &parsed.spans {
+        by_thread.entry(s.thread).or_default().push(s);
+    }
+    for (thread, mut spans) in by_thread {
+        // Parents start no later than children; at equal starts the
+        // shallower span is the parent.
+        spans.sort_by_key(|s| (s.start_ns, s.depth));
+        let mut stack: Vec<&igen_telemetry::SpanRec> = Vec::new();
+        for s in spans {
+            while let Some(top) = stack.last() {
+                if top.start_ns + top.dur_ns <= s.start_ns && s.depth <= top.depth {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            assert_eq!(
+                s.depth as usize,
+                stack.len(),
+                "thread {thread}: span {} at depth {} under stack {:?}",
+                s.name,
+                s.depth,
+                stack.iter().map(|t| t.name.as_str()).collect::<Vec<_>>()
+            );
+            if let Some(parent) = stack.last() {
+                assert!(
+                    s.start_ns >= parent.start_ns
+                        && s.start_ns + s.dur_ns <= parent.start_ns + parent.dur_ns,
+                    "thread {thread}: span {} [{}..{}] escapes parent {} [{}..{}]",
+                    s.name,
+                    s.start_ns,
+                    s.start_ns + s.dur_ns,
+                    parent.name,
+                    parent.start_ns,
+                    parent.start_ns + parent.dur_ns
+                );
+            }
+            stack.push(s);
+        }
+    }
+}

@@ -10,7 +10,7 @@
 
 use criterion::{black_box, Criterion};
 use igen_batch::{available_threads, dot_batch, henon_ensemble, mvm_batch, BatchConfig, BatchF64I};
-use igen_bench::{median_time, write_csv};
+use igen_bench::median_time;
 use igen_kernels::workload;
 
 /// Batched problem shapes kept small enough that the full sweep stays in
@@ -147,8 +147,9 @@ fn record_csv() {
             ));
         }
     }
-    write_csv(
+    igen_bench::write_csv_with_comments(
         "batch_throughput.csv",
+        &[igen_bench::host_line(cores)],
         "kernel,threads,host_cores,batch,median_ns,iops_per_sec,speedup_vs_1thread",
         &rows,
     );
@@ -158,7 +159,8 @@ fn main() {
     let mut c = Criterion::default().sample_size(10);
     bench_scaling(&mut c);
     // CI smoke (`--test`) only checks the benches run; skip the sweep.
-    if !std::env::args().any(|a| a == "--test") {
+    // Telemetry-instrumented builds never record (zero-tax guard).
+    if !std::env::args().any(|a| a == "--test") && igen_bench::perf_recording_allowed() {
         record_csv();
     }
 }

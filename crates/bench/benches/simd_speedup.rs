@@ -405,7 +405,8 @@ fn main() {
     let mut c = Criterion::default().sample_size(10);
     bench_ops(&mut c);
     // CI smoke (`--test`) only checks the benches run; skip the sweep.
-    if !std::env::args().any(|a| a == "--test") {
+    // Telemetry-instrumented builds never record (zero-tax guard).
+    if !std::env::args().any(|a| a == "--test") && igen_bench::perf_recording_allowed() {
         record_csv();
     }
 }

@@ -49,10 +49,26 @@ pub fn iops_per_cycle(iops: u64, t: Duration) -> f64 {
 ///
 /// Panics on I/O failure (harness context).
 pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    write_csv_with_comments(name, &[], header, rows);
+}
+
+/// [`write_csv`] with leading `# `-prefixed comment lines (provenance
+/// notes such as the recording host) above the column header.
+///
+/// # Panics
+///
+/// Panics on I/O failure (harness context).
+pub fn write_csv_with_comments(name: &str, comments: &[String], header: &str, rows: &[String]) {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir).expect("create results/");
     let path = dir.join(name);
-    let mut out = String::from(header);
+    let mut out = String::new();
+    for c in comments {
+        out.push_str("# ");
+        out.push_str(c);
+        out.push('\n');
+    }
+    out.push_str(header);
     out.push('\n');
     for r in rows {
         out.push_str(r);
@@ -60,6 +76,32 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     }
     std::fs::write(&path, out).expect("write csv");
     eprintln!("wrote {}", path.display());
+}
+
+/// One-line description of the recording host for CSV provenance
+/// comments: core count, architecture and OS.
+pub fn host_line(cores: usize) -> String {
+    format!("host: {cores} cores, {}, {}", std::env::consts::ARCH, std::env::consts::OS)
+}
+
+/// Whether recording performance CSVs is meaningful in this build.
+///
+/// The committed `results/*.csv` numbers measure the *uninstrumented*
+/// hot paths; a build with the `telemetry` feature unified in carries
+/// live counters/histograms in the kernels, so recording from it would
+/// silently mix that tax into the perf record. The benches still *run*
+/// (timings print either way) — only the CSV write is skipped, with an
+/// explanation.
+pub fn perf_recording_allowed() -> bool {
+    if igen_telemetry::COMPILED_IN {
+        eprintln!(
+            "igen-bench: the `telemetry` feature is compiled in; skipping CSV \
+             recording so instrumented timings never land in results/ \
+             (re-run from a default-features build to record)"
+        );
+        return false;
+    }
+    true
 }
 
 /// True when `--full` was passed: paper-size sweeps and 30 repetitions.
@@ -107,8 +149,13 @@ mod tests {
         assert!((ipc - 2.0).abs() < 1e-12);
     }
 
+    /// The CSV tests switch the process-wide working directory, so they
+    /// must not interleave.
+    static CWD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn csv_written_under_results() {
+        let _cwd = CWD_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join("igen_bench_test_csv");
         let _ = std::fs::create_dir_all(&dir);
         let old = std::env::current_dir().unwrap();
@@ -117,6 +164,26 @@ mod tests {
         let body = std::fs::read_to_string("results/unit_test.csv").unwrap();
         assert_eq!(body, "a,b\n1,2\n3,4\n");
         std::env::set_current_dir(old).unwrap();
+    }
+
+    #[test]
+    fn csv_comments_precede_header() {
+        let _cwd = CWD_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("igen_bench_test_csv_comments");
+        let _ = std::fs::create_dir_all(&dir);
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        write_csv_with_comments("unit_test2.csv", &[host_line(4)], "a,b", &["1,2".into()]);
+        let body = std::fs::read_to_string("results/unit_test2.csv").unwrap();
+        std::env::set_current_dir(old).unwrap();
+        assert!(body.starts_with("# host: 4 cores, "), "{body}");
+        assert!(body.ends_with("a,b\n1,2\n"), "{body}");
+    }
+
+    #[test]
+    fn perf_recording_tracks_telemetry_feature() {
+        // Default builds record; builds with telemetry unified in don't.
+        assert_eq!(perf_recording_allowed(), !igen_telemetry::COMPILED_IN);
     }
 
     #[test]

@@ -89,7 +89,10 @@ impl Compiler {
     /// [`CompileError::Unsupported`] for constructs outside the supported
     /// subset (Section IV-B "Limitations").
     pub fn compile_str(&self, src: &str) -> Result<Output, CompileError> {
-        let tu = igen_cfront::parse(src)?;
+        let tu = {
+            let _span = igen_telemetry::span("compile.parse");
+            igen_cfront::parse(src)?
+        };
         self.compile_unit(&tu)
     }
 
@@ -102,10 +105,15 @@ impl Compiler {
         // Layer 1 — lower: AST → three-address AST (type promotion,
         // constant enclosures, temporaries) plus detected reduction
         // groups.
-        let (lowered, warnings, reduction_groups, intrinsics_used) =
-            lower::lower_unit(tu, &self.cfg)?;
+        let (lowered, warnings, reduction_groups, intrinsics_used) = {
+            let _span = igen_telemetry::span("compile.lower");
+            lower::lower_unit(tu, &self.cfg)?
+        };
         // Layer 2 — optimize: typed IR through the pass pipeline.
-        let mut ir = igen_ir::build_unit(&lowered);
+        let mut ir = {
+            let _span = igen_telemetry::span("compile.build_ir");
+            igen_ir::build_unit(&lowered)
+        };
         let mut ctx = opt::PassCtx {
             cfg: &self.cfg,
             reduction_groups: reduction_groups.into(),
@@ -116,10 +124,12 @@ impl Compiler {
             // Restore the paper's dense `t1, t2, …`/`acc1, …` numbering;
             // an unchanged IR keeps its lowering-assigned numbers (and its
             // exact bytes).
+            let _span = igen_telemetry::span("compile.renumber");
             igen_ir::renumber_unit(&mut ir);
         }
         let reductions = ctx.reductions;
         // Layer 3 — emit: IR → AST → C through the existing printer.
+        let _emit_span = igen_telemetry::span("compile.emit");
         let unit = igen_ir::emit_unit(&ir);
         let mut c_source = igen_cfront::print_unit(&unit);
         // The requested register-packing configuration (Fig. 8's sv/vv)

@@ -203,12 +203,14 @@ fn pipeline(level: OptLevel) -> Vec<Box<dyn Pass>> {
 pub fn run_pipeline(unit: &mut IrUnit, ctx: &mut PassCtx<'_>) -> Result<PassReport, CompileError> {
     let mut report = PassReport { level: ctx.cfg.opt_level, passes: Vec::new() };
     for mut pass in pipeline(ctx.cfg.opt_level) {
+        let _span = igen_telemetry::span_joined("pass.", pass.name());
         let before = unit_stats(unit);
         let before_ir =
             if ctx.cfg.verify_passes && pass.exact() { Some(unit.clone()) } else { None };
         let changed = pass.run(unit, ctx)?;
         if let Some(before_ir) = before_ir {
             if changed {
+                let _span = igen_telemetry::span("compile.verify");
                 crate::verify::check_pass(&before_ir, unit, pass.name())?;
             }
         }

@@ -7,14 +7,28 @@ use crate::value::Value;
 use igen_cfront::{BinOp, Expr, UnOp};
 use igen_interval::{capi, DdI, SumAcc64, SumAccDd, TBool, F32I, F64I};
 
+/// Width histogram of every interval produced by an interpreted
+/// arithmetic operator (recorded only while a telemetry trace is on).
+static WIDTH_OPS: igen_telemetry::WidthHist = igen_telemetry::WidthHist::new("width.interp.ops");
+
+/// Records an arithmetic result's width and wraps it (inert without the
+/// `telemetry` feature or outside an active trace).
+#[inline]
+fn record_interval(v: F64I) -> Value {
+    if igen_telemetry::recording() {
+        WIDTH_OPS.record(v.lo(), v.hi());
+    }
+    Value::Interval(v)
+}
+
 /// Interval semantics of a C binary operator (used when kernels are
 /// interpreted directly over interval values).
 pub fn interval_binop(op: BinOp, a: F64I, b: F64I) -> Result<Value, RtError> {
     Ok(match op {
-        BinOp::Add => Value::Interval(a + b),
-        BinOp::Sub => Value::Interval(a - b),
-        BinOp::Mul => Value::Interval(a * b),
-        BinOp::Div => Value::Interval(a / b),
+        BinOp::Add => record_interval(a + b),
+        BinOp::Sub => record_interval(a - b),
+        BinOp::Mul => record_interval(a * b),
+        BinOp::Div => record_interval(a / b),
         BinOp::Lt => Value::TBool(a.cmp_lt(&b)),
         BinOp::Le => Value::TBool(a.cmp_le(&b)),
         BinOp::Gt => Value::TBool(a.cmp_gt(&b)),

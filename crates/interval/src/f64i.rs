@@ -185,6 +185,22 @@ impl F64I {
         r::add_ru(self.hi, self.neg_lo)
     }
 
+    /// Relative width `width() / max(|lo|, |hi|)` — the precision measure
+    /// the telemetry width histograms bucket by. Point intervals report 0,
+    /// intervals containing only zero report the absolute width, NaN
+    /// endpoints report NaN.
+    #[inline]
+    #[must_use]
+    pub fn rel_width(&self) -> f64 {
+        let w = self.width();
+        let mag = self.neg_lo.abs().max(self.hi.abs());
+        if mag > 0.0 {
+            w / mag
+        } else {
+            w
+        }
+    }
+
     /// Midpoint (approximate, round-to-nearest).
     pub fn mid(&self) -> f64 {
         if self.hi == -self.neg_lo {

@@ -22,6 +22,23 @@
 use crate::eft::{two_prod, two_sum};
 use crate::ulp::{exponent, next_down, next_up};
 
+/// Telemetry counters for the scalar rounding kernels (zero-sized no-ops
+/// unless the `telemetry` feature is enabled):
+///
+/// * `round.ulp_bumps` — directed one-ulp corrections applied on the
+///   scalar hot path (the packed kernels bump in-register and are
+///   counted separately via `simd.*`);
+/// * `round.specials` — slow-path NaN/±∞/exact-special returns;
+/// * `round.widenings` — conservative sound widenings: overflow
+///   saturation to ±MAX, underflow to one quantum, `next_up` fallbacks.
+pub(crate) mod tel {
+    use igen_telemetry::Counter;
+
+    pub static ULP_BUMPS: Counter = Counter::new("round.ulp_bumps");
+    pub static SPECIALS: Counter = Counter::new("round.specials");
+    pub static WIDENINGS: Counter = Counter::new("round.widenings");
+}
+
 /// `2^n` for |n| <= 1023, constructed exactly from bits.
 #[inline]
 fn pow2(n: i64) -> f64 {
@@ -53,6 +70,9 @@ fn scale2(mut x: f64, mut n: i64) -> f64 {
 /// correct directed rounding there); `up` must be false for NaN `s`.
 #[inline(always)]
 fn bump_up(s: f64, up: bool) -> f64 {
+    if up {
+        tel::ULP_BUMPS.inc();
+    }
     let bits = s.to_bits() as i64;
     let mask = (((bits >> 63) as u64) >> 1) as i64;
     let key = (bits ^ mask).wrapping_add(up as i64);
@@ -113,12 +133,15 @@ pub fn add_ru(a: f64, b: f64) -> f64 {
 fn add_ru_slow(a: f64, b: f64, s: f64) -> f64 {
     if !s.is_finite() {
         if s.is_nan() || a.is_infinite() || b.is_infinite() {
+            tel::SPECIALS.inc();
             return s; // exact infinity or invalid
         }
         // Finite operands overflowed under RN.
+        tel::WIDENINGS.inc();
         return if s == f64::INFINITY { f64::INFINITY } else { -f64::MAX };
     }
     // Intermediate overflow inside TwoSum (|s| close to MAX): widen.
+    tel::WIDENINGS.inc();
     next_up(s)
 }
 
@@ -170,12 +193,15 @@ pub fn mul_ru(a: f64, b: f64) -> f64 {
 #[cold]
 fn mul_ru_slow(a: f64, b: f64, p: f64) -> f64 {
     if p.is_nan() {
+        tel::SPECIALS.inc();
         return p;
     }
     if p.is_infinite() {
         if a.is_infinite() || b.is_infinite() {
+            tel::SPECIALS.inc();
             return p; // exact infinity
         }
+        tel::WIDENINGS.inc();
         return if p == f64::INFINITY { f64::INFINITY } else { -f64::MAX };
     }
     if p == 0.0 {
@@ -183,6 +209,7 @@ fn mul_ru_slow(a: f64, b: f64, p: f64) -> f64 {
             return p; // exact zero, RN sign convention matches RU
         }
         // Underflow to zero from nonzero operands.
+        tel::WIDENINGS.inc();
         return if (a > 0.0) == (b > 0.0) { f64::from_bits(1) } else { -0.0 };
     }
     // Tiny or subnormal product: exact scaled residual test.
@@ -270,12 +297,15 @@ pub fn div_ru(a: f64, b: f64) -> f64 {
 #[cold]
 fn div_ru_slow(a: f64, b: f64, q: f64) -> f64 {
     if q.is_nan() || b == 0.0 {
+        tel::SPECIALS.inc();
         return q;
     }
     if q.is_infinite() {
         if a.is_infinite() {
+            tel::SPECIALS.inc();
             return q; // exact
         }
+        tel::WIDENINGS.inc();
         return if q == f64::INFINITY { f64::INFINITY } else { -f64::MAX };
     }
     if q == 0.0 {
@@ -287,6 +317,7 @@ fn div_ru_slow(a: f64, b: f64, q: f64) -> f64 {
             return q;
         }
         // Underflow toward zero from nonzero finite operands.
+        tel::WIDENINGS.inc();
         return if (a > 0.0) == (b > 0.0) { f64::from_bits(1) } else { -0.0 };
     }
     if b.is_infinite() {

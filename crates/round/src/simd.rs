@@ -43,6 +43,38 @@
 use core::sync::atomic::{AtomicU8, Ordering};
 
 use crate::ops::{DIV_EXACT_MIN_A, FMA_RESIDUAL_EXACT_MIN};
+use igen_telemetry::Counter;
+
+/// Telemetry counters for the packed kernels: per-op packed-call and
+/// patched-lane counts plus backend-dispatch outcomes. Zero-sized no-ops
+/// unless the `telemetry` feature is enabled; the guard-failure *rate*
+/// per op is `lanes_patched / (4 * packed_calls)`.
+pub(crate) mod tel {
+    use igen_telemetry::Counter;
+
+    pub static DISPATCH_AVX2: Counter = Counter::new("simd.dispatch.avx2_fma");
+    pub static DISPATCH_SSE2: Counter = Counter::new("simd.dispatch.sse2");
+    pub static DISPATCH_PORTABLE: Counter = Counter::new("simd.dispatch.portable");
+    pub static ADD_PACKED: Counter = Counter::new("simd.add.packed_calls");
+    pub static ADD_PATCHED: Counter = Counter::new("simd.add.lanes_patched");
+    pub static MUL_PACKED: Counter = Counter::new("simd.mul.packed_calls");
+    pub static MUL_PATCHED: Counter = Counter::new("simd.mul.lanes_patched");
+    pub static DIV_PACKED: Counter = Counter::new("simd.div.packed_calls");
+    pub static DIV_PATCHED: Counter = Counter::new("simd.div.lanes_patched");
+    pub static MAX_PACKED: Counter = Counter::new("simd.max.packed_calls");
+}
+
+/// Counts one 4-wide call: which op was invoked and which backend
+/// served it (compiles to nothing without the `telemetry` feature).
+#[inline(always)]
+fn note_dispatch(bk: Backend, op_calls: &'static Counter) {
+    op_calls.inc();
+    match bk {
+        Backend::Avx2Fma => tel::DISPATCH_AVX2.inc(),
+        Backend::Sse2 => tel::DISPATCH_SSE2.inc(),
+        Backend::Portable => tel::DISPATCH_PORTABLE.inc(),
+    }
+}
 
 /// A packed-kernel implementation level, ordered from narrowest to
 /// widest. `Backend::Sse2 < Backend::Avx2Fma`.
@@ -169,7 +201,9 @@ pub fn max_nan(a: f64, b: f64) -> f64 {
 /// Packed upward-rounded addition: lane-wise [`crate::add_ru`],
 /// bit-identical in every lane.
 pub fn add_ru_4(bk: Backend, a: &[f64; 4], b: &[f64; 4]) -> [f64; 4] {
-    match clamp(bk) {
+    let bk = clamp(bk);
+    note_dispatch(bk, &tel::ADD_PACKED);
+    match bk {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: clamp() guarantees the detected CPU has AVX2 and FMA.
         Backend::Avx2Fma => unsafe { x86::add_ru_4_avx2(a, b) },
@@ -184,7 +218,9 @@ pub fn add_ru_4(bk: Backend, a: &[f64; 4], b: &[f64; 4]) -> [f64; 4] {
 /// (returns `(RU(a*b), RU(-(a*b)))` per lane), bit-identical in every
 /// lane.
 pub fn mul_ru_both_4(bk: Backend, a: &[f64; 4], b: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
-    match clamp(bk) {
+    let bk = clamp(bk);
+    note_dispatch(bk, &tel::MUL_PACKED);
+    match bk {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: clamp() guarantees the detected CPU has AVX2 and FMA.
         Backend::Avx2Fma => unsafe { x86::mul_ru_both_4_avx2(a, b) },
@@ -206,7 +242,9 @@ pub fn mul_ru_both_4(bk: Backend, a: &[f64; 4], b: &[f64; 4]) -> ([f64; 4], [f64
 /// (returns `(RU(a/b), RU(-(a/b)))` per lane), bit-identical in every
 /// lane.
 pub fn div_ru_both_4(bk: Backend, a: &[f64; 4], b: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
-    match clamp(bk) {
+    let bk = clamp(bk);
+    note_dispatch(bk, &tel::DIV_PACKED);
+    match bk {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: clamp() guarantees the detected CPU has AVX2 and FMA.
         Backend::Avx2Fma => unsafe { x86::div_ru_both_4_avx2(a, b) },
@@ -228,7 +266,9 @@ pub fn div_ru_both_4(bk: Backend, a: &[f64; 4], b: &[f64; 4]) -> ([f64; 4], [f64
 /// in every lane (ties select the first operand; NaN results are the
 /// canonical quiet NaN).
 pub fn max_nan_4(bk: Backend, a: &[f64; 4], b: &[f64; 4]) -> [f64; 4] {
-    match clamp(bk) {
+    let bk = clamp(bk);
+    note_dispatch(bk, &tel::MAX_PACKED);
+    match bk {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: clamp() guarantees the detected CPU has AVX2 and FMA.
         Backend::Avx2Fma => unsafe { x86::max_nan_4_avx2(a, b) },
@@ -269,6 +309,13 @@ mod x86 {
 
     /// All-lanes-valid movemask value for one 256-bit column.
     const ALL4: i32 = 0b1111;
+
+    /// Counts the lanes whose validity bit is clear in `ok` (the lanes
+    /// about to be recomputed by a scalar patch).
+    #[inline]
+    fn note_patched(c: &'static igen_telemetry::Counter, ok: i32) {
+        c.add((!ok & ALL4).count_ones() as u64);
+    }
 
     // ------------------------------------------------------------------
     // AVX2 + FMA: one 256-bit register per column.
@@ -347,6 +394,7 @@ mod x86 {
         let mut out = [0.0; 4];
         _mm256_storeu_pd(out.as_mut_ptr(), bumped);
         if ok != ALL4 {
+            note_patched(&super::tel::ADD_PATCHED, ok);
             patch(ok, &mut out, |i| crate::add_ru(a[i], b[i]));
         }
         out
@@ -373,6 +421,7 @@ mod x86 {
         _mm256_storeu_pd(out_hi.as_mut_ptr(), hi);
         _mm256_storeu_pd(out_lo.as_mut_ptr(), lo);
         if ok != ALL4 {
+            note_patched(&super::tel::MUL_PATCHED, ok);
             patch_pair(ok, &mut out_hi, &mut out_lo, |i| crate::mul_ru_both(a[i], b[i]));
         }
         (out_hi, out_lo)
@@ -410,6 +459,7 @@ mod x86 {
         _mm256_storeu_pd(out_hi.as_mut_ptr(), hi);
         _mm256_storeu_pd(out_lo.as_mut_ptr(), lo);
         if ok != ALL4 {
+            note_patched(&super::tel::DIV_PATCHED, ok);
             patch_pair(ok, &mut out_hi, &mut out_lo, |i| crate::div_ru_both(a[i], b[i]));
         }
         (out_hi, out_lo)
@@ -506,6 +556,7 @@ mod x86 {
         _mm_storeu_pd(out.as_mut_ptr().add(2), hi);
         let ok = ok_lo | (ok_hi << 2);
         if ok != ALL4 {
+            note_patched(&super::tel::ADD_PATCHED, ok);
             patch(ok, &mut out, |i| crate::add_ru(a[i], b[i]));
         }
         out
@@ -569,6 +620,7 @@ mod x86 {
         _mm_storeu_pd(out_lo.as_mut_ptr().add(2), lo1);
         let ok = ok0 | (ok1 << 2);
         if ok != ALL4 {
+            note_patched(&super::tel::MUL_PATCHED, ok);
             patch_pair(ok, &mut out_hi, &mut out_lo, |i| crate::mul_ru_both(a[i], b[i]));
         }
         (out_hi, out_lo)
@@ -610,6 +662,7 @@ mod x86 {
         _mm_storeu_pd(out_lo.as_mut_ptr().add(2), lo1);
         let ok = ok0 | (ok1 << 2);
         if ok != ALL4 {
+            note_patched(&super::tel::DIV_PATCHED, ok);
             patch_pair(ok, &mut out_hi, &mut out_lo, |i| crate::div_ru_both(a[i], b[i]));
         }
         (out_hi, out_lo)

@@ -1,0 +1,166 @@
+//! Lock-free atomic counters with lazy self-registration.
+//!
+//! A counter is declared as a `static` and increments with one relaxed
+//! `fetch_add`; the first increment registers the counter in a global
+//! registry so [`counters_snapshot`] can enumerate every counter that
+//! was ever touched without a central declaration list.
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    /// A named monotonic event counter (see module docs).
+    pub struct Counter {
+        name: &'static str,
+        value: AtomicU64,
+        registered: AtomicBool,
+    }
+
+    fn registry() -> &'static Mutex<Vec<&'static Counter>> {
+        static REGISTRY: OnceLock<Mutex<Vec<&'static Counter>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    impl Counter {
+        /// Creates a counter (usable in `static` position).
+        pub const fn new(name: &'static str) -> Counter {
+            Counter { name, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+        }
+
+        /// Adds one to the counter.
+        #[inline]
+        pub fn inc(&'static self) {
+            self.add(1);
+        }
+
+        /// Adds `n` to the counter.
+        #[inline]
+        pub fn add(&'static self, n: u64) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+            if !self.registered.load(Ordering::Relaxed) {
+                self.register();
+            }
+        }
+
+        #[cold]
+        fn register(&'static self) {
+            // `swap` makes exactly one thread win the registration.
+            if !self.registered.swap(true, Ordering::AcqRel) {
+                registry().lock().expect("telemetry registry poisoned").push(self);
+            }
+        }
+
+        /// Current value.
+        pub fn value(&self) -> u64 {
+            self.value.load(Ordering::Relaxed)
+        }
+
+        /// The counter's stable name.
+        pub fn name(&self) -> &'static str {
+            self.name
+        }
+    }
+
+    /// Every registered counter's `(name, value)`, sorted by name.
+    pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
+        let reg = registry().lock().expect("telemetry registry poisoned");
+        let mut out: Vec<(&'static str, u64)> = reg.iter().map(|c| (c.name(), c.value())).collect();
+        out.sort_unstable_by_key(|(n, _)| *n);
+        out
+    }
+
+    /// Zeroes every registered counter.
+    pub(crate) fn reset_counters() {
+        let reg = registry().lock().expect("telemetry registry poisoned");
+        for c in reg.iter() {
+            c.value.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    /// A named monotonic event counter — disabled build: zero-sized, every
+    /// method an empty inline function.
+    pub struct Counter {
+        _private: (),
+    }
+
+    impl Counter {
+        /// Creates a counter (usable in `static` position).
+        pub const fn new(_name: &'static str) -> Counter {
+            Counter { _private: () }
+        }
+
+        /// Adds one to the counter. No-op in this build.
+        #[inline(always)]
+        pub fn inc(&'static self) {}
+
+        /// Adds `n` to the counter. No-op in this build.
+        #[inline(always)]
+        pub fn add(&'static self, _n: u64) {}
+
+        /// Current value (always 0 in this build).
+        #[inline(always)]
+        pub fn value(&self) -> u64 {
+            0
+        }
+
+        /// The counter's stable name (empty in this build).
+        #[inline(always)]
+        pub fn name(&self) -> &'static str {
+            ""
+        }
+    }
+
+    /// Every registered counter's `(name, value)` — empty in this build.
+    pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+
+    pub(crate) fn reset_counters() {}
+}
+
+pub(crate) use imp::reset_counters;
+pub use imp::{counters_snapshot, Counter};
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    static A: Counter = Counter::new("test.counter.a");
+    static B: Counter = Counter::new("test.counter.b");
+
+    #[test]
+    fn counts_and_registers() {
+        A.inc();
+        A.add(2);
+        B.inc();
+        assert!(A.value() >= 3);
+        let snap = counters_snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"test.counter.a"));
+        assert!(names.contains(&"test.counter.b"));
+        // Sorted by name.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        static C: Counter = Counter::new("test.counter.concurrent");
+        let before = C.value();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        C.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(C.value() - before, 8000);
+    }
+}

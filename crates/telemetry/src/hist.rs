@@ -1,0 +1,210 @@
+//! Log2-bucketed histograms of relative interval width.
+//!
+//! Precision is a first-class diagnostic next to wall-clock: a change
+//! that speeds a kernel up but silently widens its enclosures is a
+//! regression. Kernels record the relative width of output intervals
+//! (`width / max(|lo|, |hi|)`) into a [`WidthHist`]; each sample lands
+//! in a power-of-two bucket keyed by `floor(log2(rel_width))`, so the
+//! histogram reads as "how many results were within 2^-52 relative,
+//! how many within 2^-40, …".
+//!
+//! Bucket layout (64 buckets):
+//! * bucket 0 — exact (zero-width point intervals);
+//! * buckets 1..=62 — `log2(rel_width)` clamped to `-61..=0`
+//!   (`idx = log2 + 62`), i.e. bucket 10 holds widths in
+//!   `[2^-52, 2^-51)`;
+//! * bucket 63 — width ≥ 1 relative, infinite, or NaN (an unbounded or
+//!   invalid enclosure).
+
+/// Number of buckets in a [`WidthHist`].
+pub const BUCKETS: usize = 64;
+
+/// `log2(rel_width)` represented by bucket `i` (1..=62); the ends are
+/// open-coded by the writers/readers.
+pub(crate) fn bucket_log2(i: usize) -> i32 {
+    i as i32 - 62
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::BUCKETS;
+    use crate::trace::HistRec;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    /// A log2-bucketed histogram of relative interval widths (see the
+    /// module docs for the bucket layout).
+    pub struct WidthHist {
+        name: &'static str,
+        registered: AtomicBool,
+        buckets: [AtomicU64; BUCKETS],
+    }
+
+    fn registry() -> &'static Mutex<Vec<&'static WidthHist>> {
+        static REGISTRY: OnceLock<Mutex<Vec<&'static WidthHist>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    #[allow(clippy::declare_interior_mutable_const)] // array-init seed only
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+
+    impl WidthHist {
+        /// Creates a histogram (usable in `static` position).
+        pub const fn new(name: &'static str) -> WidthHist {
+            WidthHist { name, registered: AtomicBool::new(false), buckets: [ZERO; BUCKETS] }
+        }
+
+        /// Records one interval `[lo, hi]` by its relative width.
+        ///
+        /// NaN endpoints and infinite widths land in the top bucket;
+        /// point intervals land in bucket 0 ("exact").
+        pub fn record(&'static self, lo: f64, hi: f64) {
+            let idx = if lo.is_nan() || hi.is_nan() {
+                BUCKETS - 1
+            } else {
+                let width = hi - lo;
+                let mag = lo.abs().max(hi.abs());
+                let rel = if mag > 0.0 { width / mag } else { width };
+                if rel == 0.0 {
+                    0
+                } else if rel >= 1.0 || rel.is_nan() {
+                    // >= 1 relative, infinite, or inf-inf width.
+                    BUCKETS - 1
+                } else {
+                    // floor(log2(rel)) from the biased exponent; subnormal
+                    // rel (biased 0) is far below any bucket — clamp low.
+                    let e = ((rel.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+                    (e + 62).clamp(1, BUCKETS as i32 - 2) as usize
+                }
+            };
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+            if !self.registered.load(Ordering::Relaxed) {
+                self.register();
+            }
+        }
+
+        #[cold]
+        fn register(&'static self) {
+            if !self.registered.swap(true, Ordering::AcqRel) {
+                registry().lock().expect("telemetry registry poisoned").push(self);
+            }
+        }
+
+        /// The histogram's stable name.
+        pub fn name(&self) -> &'static str {
+            self.name
+        }
+
+        /// Total samples recorded.
+        pub fn count(&self) -> u64 {
+            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+        }
+
+        fn record_snapshot(&self) -> HistRec {
+            let mut buckets = Vec::new();
+            for (i, b) in self.buckets.iter().enumerate() {
+                let v = b.load(Ordering::Relaxed);
+                if v > 0 {
+                    buckets.push((i as i32, v));
+                }
+            }
+            HistRec { name: self.name.to_string(), count: self.count(), buckets }
+        }
+    }
+
+    /// Every registered histogram's snapshot (nonzero buckets only,
+    /// keyed by bucket index), sorted by name.
+    pub fn hists_snapshot() -> Vec<HistRec> {
+        let reg = registry().lock().expect("telemetry registry poisoned");
+        let mut out: Vec<HistRec> = reg.iter().map(|h| h.record_snapshot()).collect();
+        out.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Zeroes every registered histogram.
+    pub(crate) fn reset_hists() {
+        let reg = registry().lock().expect("telemetry registry poisoned");
+        for h in reg.iter() {
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use crate::trace::HistRec;
+
+    /// A log2-bucketed histogram of relative interval widths — disabled
+    /// build: zero-sized, every method an empty inline function.
+    pub struct WidthHist {
+        _private: (),
+    }
+
+    impl WidthHist {
+        /// Creates a histogram (usable in `static` position).
+        pub const fn new(_name: &'static str) -> WidthHist {
+            WidthHist { _private: () }
+        }
+
+        /// Records one interval. No-op in this build.
+        #[inline(always)]
+        pub fn record(&'static self, _lo: f64, _hi: f64) {}
+
+        /// The histogram's stable name (empty in this build).
+        #[inline(always)]
+        pub fn name(&self) -> &'static str {
+            ""
+        }
+
+        /// Total samples recorded (always 0 in this build).
+        #[inline(always)]
+        pub fn count(&self) -> u64 {
+            0
+        }
+    }
+
+    /// Every registered histogram's snapshot — empty in this build.
+    pub fn hists_snapshot() -> Vec<HistRec> {
+        Vec::new()
+    }
+
+    pub(crate) fn reset_hists() {}
+}
+
+pub(crate) use imp::reset_hists;
+pub use imp::{hists_snapshot, WidthHist};
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_by_relative_width() {
+        static H: WidthHist = WidthHist::new("test.hist.buckets");
+        // Exact point.
+        H.record(1.0, 1.0);
+        // Two-ulp interval at magnitude 1: rel width just under 2^-51
+        // (2^-51 / (1 + 2^-51)), so floor(log2) = -52.
+        H.record(1.0, 1.0 + 2.0 * f64::EPSILON);
+        // Huge relative width.
+        H.record(-1.0, 1.0);
+        // NaN endpoint.
+        H.record(f64::NAN, 1.0);
+        let snap = hists_snapshot();
+        let h = snap.iter().find(|h| h.name == "test.hist.buckets").unwrap();
+        assert_eq!(h.count, 4);
+        let get = |idx: i32| h.buckets.iter().find(|(i, _)| *i == idx).map_or(0, |(_, v)| *v);
+        assert_eq!(get(0), 1, "exact bucket");
+        assert_eq!(get(-52 + 62), 1, "one-ulp bucket: {:?}", h.buckets);
+        assert_eq!(get(BUCKETS as i32 - 1), 2, "top bucket (wide + NaN)");
+    }
+
+    #[test]
+    fn bucket_log2_roundtrip() {
+        assert_eq!(bucket_log2(62), 0);
+        assert_eq!(bucket_log2(10), -52);
+        assert_eq!(bucket_log2(1), -61);
+    }
+}

@@ -1,0 +1,247 @@
+//! Human-readable rendering of a [`Snapshot`] (`igen-cli report`).
+//!
+//! The report derives the headline soundness diagnostics from raw
+//! counters — notably the per-op SIMD *guard-failure rate*: packed
+//! kernels process 4 lanes per call and fall back to a `#[cold]` scalar
+//! patch for each lane whose operands violate the backend's exactness
+//! guards, so `lanes_patched / (4 * packed_calls)` is the fraction of
+//! lanes that left the fast path.
+//!
+//! Always compiled: reporting works on traces read from disk even in
+//! builds without the `enabled` recording feature.
+
+use crate::hist::{bucket_log2, BUCKETS};
+use crate::trace::{HistRec, Snapshot};
+
+/// Renders `snap` as the human report: span timings grouped by name,
+/// derived SIMD guard-failure rates, backend-dispatch outcomes, interval
+/// width summaries, and the raw counter table.
+pub fn render_report(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    render_spans(&mut out, snap);
+    render_simd(&mut out, snap);
+    render_counters(&mut out, snap);
+    render_hists(&mut out, snap);
+    if out.is_empty() {
+        out.push_str("trace is empty (no spans, counters or histograms recorded)\n");
+    }
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 100_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 100_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn render_spans(out: &mut String, snap: &Snapshot) {
+    if snap.spans.is_empty() {
+        return;
+    }
+    // Group by name, ordered by earliest start so the compile phases
+    // read in pipeline order.
+    let mut groups: Vec<(&str, u64, u64, u64)> = Vec::new(); // name, count, total_ns, first_start
+    for s in &snap.spans {
+        match groups.iter_mut().find(|(n, ..)| *n == s.name) {
+            Some((_, count, total, first)) => {
+                *count += 1;
+                *total += s.dur_ns;
+                *first = (*first).min(s.start_ns);
+            }
+            None => groups.push((&s.name, 1, s.dur_ns, s.start_ns)),
+        }
+    }
+    groups.sort_by_key(|&(_, _, _, first)| first);
+    let name_w = groups.iter().map(|(n, ..)| n.len()).max().unwrap_or(0).max(4);
+    out.push_str(&format!("spans ({} recorded)\n", snap.spans.len()));
+    out.push_str(&format!(
+        "  {:<name_w$}  {:>7}  {:>10}  {:>10}\n",
+        "name", "count", "total", "mean"
+    ));
+    for (name, count, total, _) in &groups {
+        out.push_str(&format!(
+            "  {:<name_w$}  {:>7}  {:>10}  {:>10}\n",
+            name,
+            count,
+            fmt_ns(*total),
+            fmt_ns(total / count)
+        ));
+    }
+    out.push('\n');
+}
+
+fn counter(snap: &Snapshot, name: &str) -> Option<u64> {
+    snap.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}
+
+fn render_simd(out: &mut String, snap: &Snapshot) {
+    // Guard-failure rate per packed op.
+    let mut rows: Vec<(&str, u64, u64)> = Vec::new();
+    for op in ["add", "mul", "div", "max"] {
+        let packed = counter(snap, &format!("simd.{op}.packed_calls"));
+        let patched = counter(snap, &format!("simd.{op}.lanes_patched"));
+        if let Some(packed) = packed {
+            rows.push((op, packed, patched.unwrap_or(0)));
+        }
+    }
+    if !rows.is_empty() {
+        out.push_str("simd guard failures (lanes patched / 4-wide packed calls)\n");
+        for (op, packed, patched) in &rows {
+            let lanes = packed * 4;
+            let rate = if lanes > 0 { *patched as f64 / lanes as f64 * 100.0 } else { 0.0 };
+            out.push_str(&format!(
+                "  {:<4} {:>12} calls  {:>12} lanes patched  ({rate:.4}%)\n",
+                op, packed, patched
+            ));
+        }
+        out.push('\n');
+    }
+    let dispatch: Vec<&(String, u64)> =
+        snap.counters.iter().filter(|(n, _)| n.starts_with("simd.dispatch.")).collect();
+    if !dispatch.is_empty() {
+        let total: u64 = dispatch.iter().map(|(_, v)| *v).sum();
+        out.push_str("backend dispatch\n");
+        for (name, v) in &dispatch {
+            let backend = name.trim_start_matches("simd.dispatch.");
+            let pct = if total > 0 { *v as f64 / total as f64 * 100.0 } else { 0.0 };
+            out.push_str(&format!("  {backend:<10} {v:>12}  ({pct:.1}%)\n"));
+        }
+        out.push('\n');
+    }
+}
+
+fn render_counters(out: &mut String, snap: &Snapshot) {
+    if snap.counters.is_empty() {
+        return;
+    }
+    let name_w = snap.counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0).max(4);
+    out.push_str("counters\n");
+    for (name, value) in &snap.counters {
+        out.push_str(&format!("  {name:<name_w$}  {value:>12}\n"));
+    }
+    out.push('\n');
+}
+
+fn hist_summary(h: &HistRec) -> String {
+    let exact = h.buckets.iter().find(|(i, _)| *i == 0).map_or(0, |(_, v)| *v);
+    let unbounded = h.buckets.iter().find(|(i, _)| *i == BUCKETS as i32 - 1).map_or(0, |(_, v)| *v);
+    let pct = |n: u64| if h.count > 0 { n as f64 / h.count as f64 * 100.0 } else { 0.0 };
+    // Median bucket over the finite, nonzero-width samples.
+    let finite: u64 =
+        h.buckets.iter().filter(|(i, _)| *i > 0 && *i < BUCKETS as i32 - 1).map(|(_, v)| *v).sum();
+    let median = if finite == 0 {
+        "-".to_string()
+    } else {
+        let mut seen = 0u64;
+        let mut med = 0usize;
+        for (i, v) in &h.buckets {
+            if *i <= 0 || *i >= BUCKETS as i32 - 1 {
+                continue;
+            }
+            seen += v;
+            if seen * 2 >= finite {
+                med = *i as usize;
+                break;
+            }
+        }
+        format!("2^{}", bucket_log2(med))
+    };
+    format!(
+        "{:>10} samples  exact {:.1}%  median rel width {}  unbounded {:.2}%",
+        h.count,
+        pct(exact),
+        median,
+        pct(unbounded)
+    )
+}
+
+fn render_hists(out: &mut String, snap: &Snapshot) {
+    if snap.hists.is_empty() {
+        return;
+    }
+    let name_w = snap.hists.iter().map(|h| h.name.len()).max().unwrap_or(0).max(4);
+    out.push_str("interval width\n");
+    for h in &snap.hists {
+        out.push_str(&format!("  {:<name_w$}  {}\n", h.name, hist_summary(h)));
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanRec;
+
+    #[test]
+    fn report_covers_all_sections() {
+        let snap = Snapshot {
+            spans: vec![
+                SpanRec {
+                    name: "compile.lower".into(),
+                    thread: 0,
+                    depth: 0,
+                    start_ns: 0,
+                    dur_ns: 1000,
+                },
+                SpanRec {
+                    name: "pass.cse".into(),
+                    thread: 0,
+                    depth: 1,
+                    start_ns: 100,
+                    dur_ns: 400,
+                },
+                SpanRec {
+                    name: "pass.cse".into(),
+                    thread: 0,
+                    depth: 1,
+                    start_ns: 600,
+                    dur_ns: 200,
+                },
+            ],
+            counters: vec![
+                ("simd.add.lanes_patched".into(), 8),
+                ("simd.add.packed_calls".into(), 1000),
+                ("simd.dispatch.avx2_fma".into(), 3),
+                ("simd.dispatch.sse2".into(), 1),
+            ],
+            hists: vec![HistRec {
+                name: "width.batch.dot".into(),
+                count: 100,
+                buckets: vec![(0, 10), (10, 80), (63, 10)],
+            }],
+        };
+        let r = render_report(&snap);
+        assert!(r.contains("pass.cse"), "{r}");
+        assert!(r.contains("compile.lower"), "{r}");
+        // 8 / 4000 lanes = 0.2%.
+        assert!(r.contains("(0.2000%)"), "{r}");
+        assert!(r.contains("avx2_fma"), "{r}");
+        assert!(r.contains("(75.0%)"), "{r}");
+        assert!(r.contains("exact 10.0%"), "{r}");
+        assert!(r.contains("median rel width 2^-52"), "{r}");
+        assert!(r.contains("unbounded 10.00%"), "{r}");
+    }
+
+    #[test]
+    fn empty_snapshot_reports_empty() {
+        let r = render_report(&Snapshot::default());
+        assert!(r.contains("trace is empty"), "{r}");
+    }
+
+    #[test]
+    fn span_means_divide_by_count() {
+        let snap = Snapshot {
+            spans: vec![
+                SpanRec { name: "x".into(), thread: 0, depth: 0, start_ns: 0, dur_ns: 100 },
+                SpanRec { name: "x".into(), thread: 0, depth: 0, start_ns: 200, dur_ns: 300 },
+            ],
+            ..Default::default()
+        };
+        let r = render_report(&snap);
+        assert!(r.contains("200ns"), "mean should be 200ns: {r}");
+    }
+}

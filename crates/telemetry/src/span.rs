@@ -1,0 +1,204 @@
+//! Nestable, monotonic-clock timed scopes.
+//!
+//! [`span`] returns a [`SpanGuard`]; when the guard drops, a record with
+//! the thread, nesting depth, start offset and duration (nanoseconds
+//! since a process-wide epoch) is appended to the global span log.
+//! Spans are coarse by design — one per compiler phase, one per batch
+//! worker chunk — so the per-record mutex push is far off any hot path.
+//!
+//! Recording is gated by a runtime flag ([`set_recording`]) on top of
+//! the compile-time feature: an `enabled` build pays one relaxed atomic
+//! load per span site until a trace is actually requested.
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use crate::trace::SpanRec;
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    static RECORDING: AtomicBool = AtomicBool::new(false);
+
+    /// Turns span recording on or off (counters and histograms gate on
+    /// this flag too at their call sites, via [`recording`]).
+    pub fn set_recording(on: bool) {
+        RECORDING.store(on, Ordering::Release);
+    }
+
+    /// Whether a trace is currently being recorded.
+    #[inline]
+    pub fn recording() -> bool {
+        RECORDING.load(Ordering::Relaxed)
+    }
+
+    fn epoch() -> Instant {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    fn spans() -> &'static Mutex<Vec<SpanRec>> {
+        static SPANS: OnceLock<Mutex<Vec<SpanRec>>> = OnceLock::new();
+        SPANS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    thread_local! {
+        static DEPTH: Cell<u32> = const { Cell::new(0) };
+        static THREAD_ID: u64 = {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        };
+    }
+
+    struct ActiveSpan {
+        name: String,
+        thread: u64,
+        depth: u32,
+        start_ns: u64,
+        start: Instant,
+    }
+
+    /// An open span; records itself on drop. Hold it in a local:
+    /// `let _g = span("phase");`.
+    pub struct SpanGuard(Option<ActiveSpan>);
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            if let Some(a) = self.0.take() {
+                let dur_ns = a.start.elapsed().as_nanos() as u64;
+                DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+                spans().lock().expect("telemetry span log poisoned").push(SpanRec {
+                    name: a.name,
+                    thread: a.thread,
+                    depth: a.depth,
+                    start_ns: a.start_ns,
+                    dur_ns,
+                });
+            }
+        }
+    }
+
+    fn open(name: String) -> SpanGuard {
+        let start = Instant::now();
+        let start_ns = start.duration_since(epoch()).as_nanos() as u64;
+        let thread = THREAD_ID.with(|t| *t);
+        let depth = DEPTH.with(|d| {
+            let cur = d.get();
+            d.set(cur + 1);
+            cur
+        });
+        SpanGuard(Some(ActiveSpan { name, thread, depth, start_ns, start }))
+    }
+
+    /// Opens a span named `name` (inert unless [`recording`]).
+    pub fn span(name: &str) -> SpanGuard {
+        if !recording() {
+            return SpanGuard(None);
+        }
+        open(name.to_string())
+    }
+
+    /// Opens a span named `prefix` + `detail`, formatting only when a
+    /// trace is actually being recorded.
+    pub fn span_joined(prefix: &'static str, detail: &str) -> SpanGuard {
+        if !recording() {
+            return SpanGuard(None);
+        }
+        open(format!("{prefix}{detail}"))
+    }
+
+    /// All finished spans recorded so far, in completion order.
+    pub(crate) fn spans_snapshot() -> Vec<SpanRec> {
+        spans().lock().expect("telemetry span log poisoned").clone()
+    }
+
+    pub(crate) fn reset_spans() {
+        spans().lock().expect("telemetry span log poisoned").clear();
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use crate::trace::SpanRec;
+
+    /// An open span — disabled build: zero-sized, dropping does nothing.
+    pub struct SpanGuard;
+
+    /// Turns span recording on or off. No-op in this build.
+    #[inline(always)]
+    pub fn set_recording(_on: bool) {}
+
+    /// Whether a trace is currently being recorded — constant `false` in
+    /// this build, so guarded call sites are dead-code-eliminated.
+    #[inline(always)]
+    pub fn recording() -> bool {
+        false
+    }
+
+    /// Opens a span named `name`. No-op in this build.
+    #[inline(always)]
+    pub fn span(_name: &str) -> SpanGuard {
+        SpanGuard
+    }
+
+    /// Opens a span named `prefix` + `detail`. No-op in this build.
+    #[inline(always)]
+    pub fn span_joined(_prefix: &'static str, _detail: &str) -> SpanGuard {
+        SpanGuard
+    }
+
+    pub(crate) fn spans_snapshot() -> Vec<SpanRec> {
+        Vec::new()
+    }
+
+    pub(crate) fn reset_spans() {}
+}
+
+pub use imp::{recording, set_recording, span, span_joined, SpanGuard};
+pub(crate) use imp::{reset_spans, spans_snapshot};
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that toggle the global recording flag.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn spans_nest_and_record() {
+        let _l = lock();
+        set_recording(true);
+        let before = spans_snapshot().len();
+        {
+            let _a = span("test.outer");
+            let _b = span_joined("test.", "inner");
+        }
+        set_recording(false);
+        let spans = spans_snapshot();
+        let new: Vec<_> = spans[before..].iter().collect();
+        assert_eq!(new.len(), 2);
+        // Inner drops first.
+        assert_eq!(new[0].name, "test.inner");
+        assert_eq!(new[0].depth, 1);
+        assert_eq!(new[1].name, "test.outer");
+        assert_eq!(new[1].depth, 0);
+        assert_eq!(new[0].thread, new[1].thread);
+        // Containment: the inner span starts no earlier and ends no later.
+        assert!(new[0].start_ns >= new[1].start_ns);
+        assert!(new[0].start_ns + new[0].dur_ns <= new[1].start_ns + new[1].dur_ns);
+    }
+
+    #[test]
+    fn not_recording_records_nothing() {
+        let _l = lock();
+        set_recording(false);
+        let before = spans_snapshot().len();
+        {
+            let _a = span("test.dead");
+        }
+        assert_eq!(spans_snapshot().len(), before);
+    }
+}

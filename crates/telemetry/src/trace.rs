@@ -1,0 +1,245 @@
+//! Trace records and the JSON-lines wire format.
+//!
+//! A trace is a sequence of newline-delimited JSON objects, one record
+//! per line, discriminated by a `"type"` field:
+//!
+//! ```text
+//! {"type":"span","name":"pass.cse","thread":0,"depth":1,"start_ns":120,"dur_ns":45}
+//! {"type":"counter","name":"simd.add.packed_calls","value":4096}
+//! {"type":"hist","name":"width.batch.dot","count":512,"buckets":[[10,500],[11,12]]}
+//! ```
+//!
+//! [`Snapshot::from_jsonl`] accepts *concatenated* traces (e.g. a
+//! compile trace followed by a run trace, `cat`-ed into one file):
+//! duplicate counters sum, duplicate histograms sum bucket-wise, and
+//! spans concatenate. That makes "one JSON-lines trace" of a whole
+//! compile-then-execute session a plain file concatenation.
+//!
+//! This module is always compiled — reading and reporting traces works
+//! in builds without the `enabled` feature; only *recording* is gated.
+
+use crate::json::{self, Json};
+
+/// One finished span: a named scope on one thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Span name, e.g. `"pass.cse"` or `"batch.chunk"`.
+    pub name: String,
+    /// Dense per-process thread id (0 = first thread that opened a span).
+    pub thread: u64,
+    /// Nesting depth on that thread when the span opened (0 = top level).
+    pub depth: u32,
+    /// Start offset in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (monotonic clock).
+    pub dur_ns: u64,
+}
+
+/// One histogram: sample count plus nonzero `(bucket_index, count)`
+/// pairs. Bucket indices follow [`crate::hist`]'s layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistRec {
+    /// Histogram name, e.g. `"width.batch.dot"`.
+    pub name: String,
+    /// Total samples.
+    pub count: u64,
+    /// Nonzero buckets as `(bucket_index, count)`, ascending by index.
+    pub buckets: Vec<(i32, u64)>,
+}
+
+/// Everything one trace holds: spans, counters and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Finished spans in completion order.
+    pub spans: Vec<SpanRec>,
+    /// `(name, value)` counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub hists: Vec<HistRec>,
+}
+
+impl Snapshot {
+    /// Serializes the snapshot as JSON lines (spans, then counters, then
+    /// histograms; one record per line, trailing newline included when
+    /// nonempty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{{\"type\":\"span\",\"name\":{},\"thread\":{},\"depth\":{},\"start_ns\":{},\"dur_ns\":{}}}\n",
+                json::escape(&s.name),
+                s.thread,
+                s.depth,
+                s.start_ns,
+                s.dur_ns
+            ));
+        }
+        for (name, value) in &self.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}\n",
+                json::escape(name),
+                value
+            ));
+        }
+        for h in &self.hists {
+            let buckets: Vec<String> =
+                h.buckets.iter().map(|(i, v)| format!("[{i},{v}]")).collect();
+            out.push_str(&format!(
+                "{{\"type\":\"hist\",\"name\":{},\"count\":{},\"buckets\":[{}]}}\n",
+                json::escape(&h.name),
+                h.count,
+                buckets.join(",")
+            ));
+        }
+        out
+    }
+
+    /// Parses a JSON-lines trace, merging repeated records: counters with
+    /// the same name sum, histograms sum bucket-wise, spans concatenate
+    /// in input order. Blank lines and `#` comment lines are skipped.
+    ///
+    /// Errors name the offending line (1-based).
+    pub fn from_jsonl(src: &str) -> Result<Snapshot, String> {
+        let mut snap = Snapshot::default();
+        for (lineno, line) in src.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let bad = |what: &str| format!("line {}: bad or missing {what}", lineno + 1);
+            let ty = v.get("type").and_then(Json::as_str).ok_or_else(|| bad("type"))?;
+            match ty {
+                "span" => snap.spans.push(SpanRec {
+                    name: v
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("name"))?
+                        .to_string(),
+                    thread: v.get("thread").and_then(Json::as_u64).ok_or_else(|| bad("thread"))?,
+                    depth: v.get("depth").and_then(Json::as_u64).ok_or_else(|| bad("depth"))?
+                        as u32,
+                    start_ns: v
+                        .get("start_ns")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("start_ns"))?,
+                    dur_ns: v.get("dur_ns").and_then(Json::as_u64).ok_or_else(|| bad("dur_ns"))?,
+                }),
+                "counter" => {
+                    let name = v.get("name").and_then(Json::as_str).ok_or_else(|| bad("name"))?;
+                    let value =
+                        v.get("value").and_then(Json::as_u64).ok_or_else(|| bad("value"))?;
+                    match snap.counters.iter_mut().find(|(n, _)| n == name) {
+                        Some((_, total)) => *total += value,
+                        None => snap.counters.push((name.to_string(), value)),
+                    }
+                }
+                "hist" => {
+                    let name = v.get("name").and_then(Json::as_str).ok_or_else(|| bad("name"))?;
+                    let count =
+                        v.get("count").and_then(Json::as_u64).ok_or_else(|| bad("count"))?;
+                    let mut buckets = Vec::new();
+                    for pair in
+                        v.get("buckets").and_then(Json::as_arr).ok_or_else(|| bad("buckets"))?
+                    {
+                        let pair = pair.as_arr().ok_or_else(|| bad("bucket pair"))?;
+                        let (idx, n) = match pair {
+                            [i, n] => (
+                                i.as_i64().ok_or_else(|| bad("bucket index"))? as i32,
+                                n.as_u64().ok_or_else(|| bad("bucket count"))?,
+                            ),
+                            _ => return Err(bad("bucket pair")),
+                        };
+                        buckets.push((idx, n));
+                    }
+                    match snap.hists.iter_mut().find(|h| h.name == name) {
+                        Some(h) => {
+                            h.count += count;
+                            for (idx, n) in buckets {
+                                match h.buckets.iter_mut().find(|(i, _)| *i == idx) {
+                                    Some((_, total)) => *total += n,
+                                    None => h.buckets.push((idx, n)),
+                                }
+                            }
+                            h.buckets.sort_unstable_by_key(|(i, _)| *i);
+                        }
+                        None => snap.hists.push(HistRec { name: name.to_string(), count, buckets }),
+                    }
+                }
+                other => return Err(format!("line {}: unknown record type '{other}'", lineno + 1)),
+            }
+        }
+        snap.counters.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        snap.hists.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            spans: vec![
+                SpanRec {
+                    name: "compile.lower".into(),
+                    thread: 0,
+                    depth: 0,
+                    start_ns: 10,
+                    dur_ns: 100,
+                },
+                SpanRec { name: "pass.cse".into(), thread: 0, depth: 1, start_ns: 20, dur_ns: 30 },
+            ],
+            counters: vec![
+                ("simd.add.packed_calls".into(), 4096),
+                ("simd.dispatch.sse2".into(), 7),
+            ],
+            hists: vec![HistRec {
+                name: "width.batch.dot".into(),
+                count: 512,
+                buckets: vec![(10, 500), (63, 12)],
+            }],
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let snap = sample();
+        let text = snap.to_jsonl();
+        assert_eq!(text.lines().count(), 5);
+        let parsed = Snapshot::from_jsonl(&text).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn concatenated_traces_merge() {
+        let snap = sample();
+        let both = format!("{}\n# a comment\n{}", snap.to_jsonl(), snap.to_jsonl());
+        let merged = Snapshot::from_jsonl(&both).unwrap();
+        assert_eq!(merged.spans.len(), 4);
+        let add = merged.counters.iter().find(|(n, _)| n == "simd.add.packed_calls").unwrap();
+        assert_eq!(add.1, 8192);
+        let h = &merged.hists[0];
+        assert_eq!(h.count, 1024);
+        assert_eq!(h.buckets, vec![(10, 1000), (63, 24)]);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let err = Snapshot::from_jsonl("{\"type\":\"span\"}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let err =
+            Snapshot::from_jsonl("{\"type\":\"counter\",\"name\":\"x\",\"value\":1}\nnot json\n")
+                .unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = Snapshot::from_jsonl("{\"type\":\"mystery\"}\n").unwrap_err();
+        assert!(err.contains("unknown record type"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_is_empty_snapshot() {
+        assert_eq!(Snapshot::from_jsonl("").unwrap(), Snapshot::default());
+        assert_eq!(Snapshot::default().to_jsonl(), "");
+    }
+}

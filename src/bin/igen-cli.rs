@@ -6,17 +6,69 @@
 //! igen-cli compile input.c [-o igen_input.c] [--precision f32|f64|dd]
 //!                  [--opt-level 0|1|2] [--emit-ir] [--dump-passes]
 //!                  [--verify-passes] [--reductions] [--join-branches]
-//!                  [--intrinsics]
+//!                  [--intrinsics] [--metrics] [--trace-out <path>]
 //! igen-cli batch <dot|mvm|gemm|henon|ffnn> [--threads N] [--batch N]
 //!                [--size N] [--iters N] [--seq-threshold N]
+//!                [--metrics] [--trace-out <path>]
+//! igen-cli report <trace.jsonl>...
 //! ```
 //!
 //! The `compile` subcommand name is optional for backward compatibility:
 //! `igen-cli input.c` behaves identically.
+//!
+//! `--metrics` prints the human telemetry summary to stderr after the
+//! run; `--trace-out` writes the raw JSON-lines trace. Both need a build
+//! with the `telemetry` feature to record anything (a disabled build
+//! notes this and produces an empty trace). `report` re-renders one or
+//! more trace files — concatenated traces merge, so a compile trace and
+//! a run trace can be reported together.
 
 use igen::compiler::{BranchPolicy, Compiler, Config, OptLevel, OutputVec, Precision};
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// `--metrics` / `--trace-out` state shared by the compile and batch
+/// modes: turns recording on up front, then writes/prints on `finish`.
+struct Telemetry {
+    metrics: bool,
+    trace_out: Option<String>,
+}
+
+impl Telemetry {
+    fn start(metrics: bool, trace_out: Option<String>) -> Telemetry {
+        if metrics || trace_out.is_some() {
+            if !igen::telemetry::COMPILED_IN {
+                eprintln!(
+                    "igen-cli: note: built without the `telemetry` feature — \
+                     the trace will be empty (rebuild with `--features telemetry`)"
+                );
+            }
+            igen::telemetry::set_recording(true);
+        }
+        Telemetry { metrics, trace_out }
+    }
+
+    /// Stops recording and emits the trace/summary. Fails only on an
+    /// unwritable `--trace-out` path.
+    fn finish(self) -> Result<(), ExitCode> {
+        if !self.metrics && self.trace_out.is_none() {
+            return Ok(());
+        }
+        igen::telemetry::set_recording(false);
+        let snap = igen::telemetry::snapshot();
+        if let Some(path) = &self.trace_out {
+            if let Err(e) = std::fs::write(path, snap.to_jsonl()) {
+                eprintln!("igen-cli: cannot write {path}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+            eprintln!("wrote {path}");
+        }
+        if self.metrics {
+            eprint!("{}", igen::telemetry::render_report(&snap));
+        }
+        Ok(())
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
@@ -43,6 +95,9 @@ fn usage() -> ! {
                                of the SIMD intrinsics corpus)\n\
            --report            print detected reductions (Polly-style) and\n\
                                warnings to stderr\n\
+           --metrics           print the telemetry summary to stderr after the\n\
+                               run (needs a `--features telemetry` build)\n\
+           --trace-out <file>  write the telemetry trace as JSON lines\n\
          \n\
          batch mode (parallel batch evaluation over the interval runtime):\n\
            igen-cli batch <dot|mvm|gemm|henon|ffnn> [options]\n\
@@ -50,7 +105,11 @@ fn usage() -> ! {
            --batch <n>         batch items (default: 256)\n\
            --size <n>          per-item problem size (default: 256)\n\
            --iters <n>         Hénon iterations (default: 100)\n\
-           --seq-threshold <n> below this many items stay sequential"
+           --seq-threshold <n> below this many items stay sequential\n\
+           --metrics, --trace-out as above\n\
+         \n\
+         report mode (render recorded traces):\n\
+           igen-cli report <trace.jsonl>...   merge + summarize trace files"
     );
     std::process::exit(2)
 }
@@ -58,9 +117,44 @@ fn usage() -> ! {
 fn batch_usage() -> ! {
     eprintln!(
         "usage: igen-cli batch <dot|mvm|gemm|henon|ffnn> [--threads N] [--batch N]\n\
-         \x20                [--size N] [--iters N] [--seq-threshold N]"
+         \x20                [--size N] [--iters N] [--seq-threshold N]\n\
+         \x20                [--metrics] [--trace-out <file>]"
     );
     std::process::exit(2)
+}
+
+/// `igen-cli report`: parses one or more JSON-lines traces (merging
+/// duplicate counters/histograms) and prints the human summary.
+fn run_report(args: &[String]) -> ExitCode {
+    if args.is_empty() || args.iter().any(|a| a.starts_with('-')) {
+        eprintln!("usage: igen-cli report <trace.jsonl>...");
+        return ExitCode::from(2);
+    }
+    let mut all = String::new();
+    for path in args {
+        match std::fs::read_to_string(path) {
+            Ok(s) => {
+                all.push_str(&s);
+                if !s.ends_with('\n') {
+                    all.push('\n');
+                }
+            }
+            Err(e) => {
+                eprintln!("igen-cli: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match igen::telemetry::Snapshot::from_jsonl(&all) {
+        Ok(snap) => {
+            print!("{}", igen::telemetry::render_report(&snap));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("igen-cli: bad trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// `igen-cli batch <kernel>`: runs one batched kernel through
@@ -77,6 +171,8 @@ fn run_batch(args: &[String]) -> ExitCode {
     let mut size = 256usize;
     let mut iters = 100usize;
     let mut seq_threshold: Option<usize> = None;
+    let mut metrics = false;
+    let mut trace_out: Option<String> = None;
     let mut i = 1;
     let num = |args: &[String], i: &mut usize| -> usize {
         *i += 1;
@@ -89,10 +185,19 @@ fn run_batch(args: &[String]) -> ExitCode {
             "--size" => size = num(args, &mut i),
             "--iters" => iters = num(args, &mut i),
             "--seq-threshold" => seq_threshold = Some(num(args, &mut i)),
-            _ => batch_usage(),
+            "--metrics" => metrics = true,
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(args.get(i).cloned().unwrap_or_else(|| batch_usage()));
+            }
+            a => {
+                eprintln!("igen-cli: unknown batch option '{a}' (see igen-cli --help)");
+                std::process::exit(2)
+            }
         }
         i += 1;
     }
+    let tel = Telemetry::start(metrics, trace_out);
     let mut cfg = BatchConfig::new().with_threads(threads);
     if let Some(t) = seq_threshold {
         cfg = cfg.with_seq_threshold(t);
@@ -162,7 +267,12 @@ fn run_batch(args: &[String]) -> ExitCode {
             let b: Vec<Vec<igen::interval::F64I>> = batch::ffnn_batch(&cfg, &net, &ins);
             (batch as u64 * net.iops(), t1, t.elapsed(), a == b)
         }
-        _ => batch_usage(),
+        k => {
+            eprintln!(
+                "igen-cli: unknown batch kernel '{k}' (expected dot, mvm, gemm, henon or ffnn)"
+            );
+            return ExitCode::from(2);
+        }
     };
 
     if !same {
@@ -181,6 +291,9 @@ fn run_batch(args: &[String]) -> ExitCode {
         mops(tn),
         t1.as_secs_f64() / tn.as_secs_f64(),
     );
+    if let Err(code) = tel.finish() {
+        return code;
+    }
     ExitCode::SUCCESS
 }
 
@@ -189,9 +302,21 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("batch") {
         return run_batch(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("report") {
+        return run_report(&args[1..]);
+    }
     // `compile` is the canonical subcommand; the bare form stays accepted.
-    if args.first().map(String::as_str) == Some("compile") {
-        args.remove(0);
+    match args.first().map(String::as_str) {
+        Some("compile") => {
+            args.remove(0);
+        }
+        // A bare first argument that cannot be a C input file (no extension,
+        // no path separator) is a misspelled subcommand, not an input.
+        Some(a) if !a.starts_with('-') && !a.contains('.') && !a.contains('/') => {
+            eprintln!("igen-cli: unknown subcommand '{a}' (expected compile, batch or report)");
+            return ExitCode::from(2);
+        }
+        _ => {}
     }
     let mut input: Option<String> = None;
     let mut output: Option<String> = None;
@@ -200,6 +325,8 @@ fn main() -> ExitCode {
     let mut report = false;
     let mut emit_ir = false;
     let mut dump_passes = false;
+    let mut metrics = false;
+    let mut trace_out: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -243,10 +370,15 @@ fn main() -> ExitCode {
             "--join-branches" => cfg.branch_policy = BranchPolicy::JoinBranches,
             "--intrinsics" => emit_intrinsics = true,
             "--report" => report = true,
+            "--metrics" => metrics = true,
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "-h" | "--help" => usage(),
             a if a.starts_with('-') => {
-                eprintln!("unknown option {a}");
-                usage()
+                eprintln!("igen-cli: unknown option '{a}' (see igen-cli --help)");
+                return ExitCode::from(2);
             }
             a => {
                 if input.replace(a.to_string()).is_some() {
@@ -257,6 +389,7 @@ fn main() -> ExitCode {
         i += 1;
     }
     let Some(input) = input else { usage() };
+    let tel = Telemetry::start(metrics, trace_out);
 
     let src = match std::fs::read_to_string(&input) {
         Ok(s) => s,
@@ -320,6 +453,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Err(code) = tel.finish() {
+        return code;
     }
     ExitCode::SUCCESS
 }

@@ -109,11 +109,121 @@ fn missing_input_fails_cleanly() {
 }
 
 #[test]
-fn unknown_flag_shows_usage() {
+fn unknown_flag_is_a_one_line_error() {
     let dir = scratch("cli_usage");
     let out = run_in(&dir, &["--bogus"]);
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown option '--bogus'"), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "want a one-line error, got:\n{stderr}");
+}
+
+#[test]
+fn unknown_subcommand_is_a_one_line_error() {
+    let dir = scratch("cli_subcmd");
+    let out = run_in(&dir, &["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown subcommand 'frobnicate'"), "{stderr}");
+    assert!(stderr.contains("expected compile, batch or report"), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "want a one-line error, got:\n{stderr}");
+}
+
+#[test]
+fn unknown_batch_flag_and_kernel_fail_with_exit_2() {
+    let dir = scratch("cli_batch_err");
+    let out = run_in(&dir, &["batch", "dot", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown batch option '--bogus'"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = run_in(&dir, &["batch", "frob"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown batch kernel 'frob'"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn report_renders_a_handcrafted_trace() {
+    let dir = scratch("cli_trace_report");
+    // `report` only parses the trace, so it works in every build config.
+    fs::write(
+        dir.join("trace.jsonl"),
+        concat!(
+            r#"{"type":"span","name":"compile.parse","thread":0,"depth":0,"start_ns":0,"dur_ns":1500}"#,
+            "\n",
+            r#"{"type":"counter","name":"simd.add.packed_calls","value":100}"#,
+            "\n",
+            r#"{"type":"counter","name":"simd.add.lanes_patched","value":3}"#,
+            "\n",
+            r#"{"type":"hist","name":"width.batch.dot_batch","count":4,"buckets":[[-52,3],[-40,1]]}"#,
+            "\n",
+        ),
+    )
+    .unwrap();
+    let out = run_in(&dir, &["report", "trace.jsonl"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("compile.parse"), "{stdout}");
+    assert!(stdout.contains("simd.add"), "{stdout}");
+    assert!(stdout.contains("width.batch.dot_batch"), "{stdout}");
+}
+
+#[test]
+fn report_merges_concatenated_traces() {
+    let dir = scratch("cli_trace_merge");
+    let line = r#"{"type":"counter","name":"round.ulp_bumps","value":5}"#;
+    fs::write(dir.join("a.jsonl"), format!("{line}\n")).unwrap();
+    fs::write(dir.join("b.jsonl"), line).unwrap(); // no trailing newline
+    let out = run_in(&dir, &["report", "a.jsonl", "b.jsonl"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("round.ulp_bumps"), "{stdout}");
+    assert!(stdout.contains("10"), "counters must sum across files:\n{stdout}");
+}
+
+#[test]
+fn report_rejects_missing_and_malformed_traces() {
+    let dir = scratch("cli_trace_bad");
+    let out = run_in(&dir, &["report"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run_in(&dir, &["report", "nope.jsonl"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"), "");
+    fs::write(dir.join("garbage.jsonl"), "not json\n").unwrap();
+    let out = run_in(&dir, &["report", "garbage.jsonl"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad trace"), "");
+}
+
+#[test]
+fn trace_out_writes_a_trace_file() {
+    let dir = scratch("cli_trace_out");
+    fs::write(dir.join("t.c"), "double f(double a) { return a * a + 0.5; }").unwrap();
+    let out = run_in(&dir, &["compile", "t.c", "--trace-out", "t.jsonl", "--metrics"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let trace = fs::read_to_string(dir.join("t.jsonl")).unwrap();
+    // The report subcommand must accept whatever --trace-out wrote.
+    let out = run_in(&dir, &["report", "t.jsonl"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    if cfg!(feature = "telemetry") {
+        assert!(trace.contains("compile.parse"), "{trace}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("compile.parse"), "{stdout}");
+    } else {
+        // Disabled builds emit an empty trace and say so up front.
+        assert!(trace.is_empty(), "{trace}");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("trace is empty"),
+            "{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
 }
 
 #[test]
