@@ -13,12 +13,12 @@
 //!
 //! Trailing items (`B mod 4`) run the scalar kernel directly.
 
-use crate::engine::{par_for_each_block, par_map, par_map_indexed, BatchConfig};
+use crate::engine::{par_for_each_block, par_map_indexed, BatchConfig};
 use crate::soa::{BatchDdI, BatchF64I};
-use igen_interval::{DdI, DdIx4, F64Ix4, F64I};
+use igen_interval::{DdI, DdIx4, F64Ix4, LaneOps, F64I};
 use igen_kernels::ffnn::Ffnn;
-use igen_kernels::linalg::gemm;
-use igen_kernels::{henon_from, Numeric};
+use igen_kernels::linalg::gemm_packed;
+use igen_kernels::{henon_from, LaneOrScalar, Numeric};
 
 /// Batch items evolved per packed register group.
 const LANES: usize = 4;
@@ -199,9 +199,12 @@ lane_batch_kernels!(BatchF64I, F64Ix4, F64I, dot_batch, mvm_batch, henon_ensembl
 lane_batch_kernels!(BatchDdI, DdIx4, DdI, dot_batch_dd, mvm_batch_dd, henon_ensemble_dd);
 
 /// One GEMM `C += A·B` parallelized over blocks of `row_block` rows of
-/// `C`: every thread runs the scalar [`igen_kernels::linalg::gemm`] on a
-/// disjoint row block, so every element of `C` is computed by exactly
-/// the scalar loop — bit-identical at any thread count.
+/// `C`: every thread runs [`igen_kernels::linalg::gemm_packed`] on a
+/// disjoint row block, evolving four columns of `C` per packed register
+/// (for the IGen interval types — scalar otherwise). Each register lane
+/// executes exactly the scalar [`igen_kernels::linalg::gemm`] loop for
+/// its own column, so the result is bit-identical to the scalar GEMM at
+/// any thread count.
 // The parameter list mirrors `linalg::gemm` plus the engine config and
 // block size; bundling dims into a struct would diverge from the
 // kernel-crate idiom.
@@ -226,21 +229,40 @@ pub fn gemm_row_blocks<T: Numeric>(
     par_for_each_block(cfg, c, row_block * n, |bi, c_block| {
         let r0 = bi * row_block;
         let rows = c_block.len() / n;
-        gemm(rows, k, n, &a[r0 * k..(r0 + rows) * k], b, c_block);
+        gemm_packed(rows, k, n, &a[r0 * k..(r0 + rows) * k], b, c_block);
     });
 }
 
-/// Batched FFNN inference: one forward pass per input, in parallel.
-/// Embarrassingly parallel, so each output equals
-/// [`igen_kernels::ffnn::Ffnn::forward`] on that input bit-for-bit.
+/// Batched FFNN inference: forwards `T::Lane::WIDTH` batch items per
+/// packed register group (one item per lane, weights splat across the
+/// lanes), with trailing items on the scalar pass. Each lane executes
+/// exactly the scalar forward's operation sequence for its item, so
+/// every output equals [`igen_kernels::ffnn::Ffnn::forward`] on that
+/// input bit-for-bit, at any thread count.
 pub fn ffnn_batch<T: Numeric>(cfg: &BatchConfig, net: &Ffnn, inputs: &[Vec<f64>]) -> Vec<Vec<T>> {
-    par_map(cfg, inputs, |input| net.forward::<T>(input))
+    let width = <T::Lane as LaneOrScalar<T>>::WIDTH;
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let groups = inputs.len().div_ceil(width);
+    let parts = par_map_indexed(cfg, groups, |g| {
+        let first = g * width;
+        let items = width.min(inputs.len() - first);
+        if items == width && width > 1 {
+            let refs: Vec<&[f64]> =
+                inputs[first..first + width].iter().map(Vec::as_slice).collect();
+            net.forward_lanes::<T, T::Lane>(&refs)
+        } else {
+            inputs[first..first + items].iter().map(|input| net.forward::<T>(input)).collect()
+        }
+    });
+    parts.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use igen_kernels::linalg::{dot, mvm};
+    use igen_kernels::linalg::{dot, gemm, mvm};
     use igen_kernels::workload;
 
     fn cfg(threads: usize) -> BatchConfig {

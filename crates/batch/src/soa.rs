@@ -12,7 +12,7 @@
 //! AVX gather or a future GPU port wants to touch.
 
 use igen_dd::Dd;
-use igen_interval::{DdI, DdIx2, DdIx4, F64Ix2, F64Ix4, F64I};
+use igen_interval::{DdI, DdIx2, DdIx4, F64Ix2, F64Ix4, LaneOps, F64I};
 
 /// A batch of double-precision intervals in structure-of-arrays layout:
 /// one column of negated lower endpoints, one of upper endpoints.

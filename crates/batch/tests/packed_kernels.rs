@@ -1,0 +1,179 @@
+//! Bit-identity of the packed batched kernels against the scalar paper
+//! kernels, across thread counts and SIMD backends.
+//!
+//! `gemm_row_blocks` evolves four columns of `C` per packed register
+//! (`linalg::gemm_packed`) and `ffnn_batch` forwards four batch items
+//! per register group (`Ffnn::forward_lanes`); both must reproduce the
+//! scalar `gemm`/`forward` results bit for bit at any thread count and
+//! on every backend the host supports — including the forced-SSE2
+//! downgrade CI exercises on AVX2 hosts.
+//!
+//! The backend override is process-global, so every forced section takes
+//! a mutex; no other test in this binary touches the lane types outside
+//! of it.
+
+use igen_batch::{ffnn_batch, gemm_row_blocks, BatchConfig};
+use igen_interval::{DdI, F64I};
+use igen_kernels::ffnn::Ffnn;
+use igen_kernels::linalg::{gemm, gemm_lanes, gemm_packed};
+use igen_kernels::workload;
+use igen_round::simd::{self, Backend};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes `force_backend` sections (the override is process-global).
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_backend<T>(bk: Backend, f: impl FnOnce() -> T) -> T {
+    let _guard = BACKEND_LOCK.lock().unwrap();
+    simd::force_backend(Some(bk));
+    let out = f();
+    simd::force_backend(None);
+    out
+}
+
+fn backends() -> Vec<Backend> {
+    [Backend::Portable, Backend::Sse2, Backend::Avx2Fma]
+        .into_iter()
+        .filter(|&bk| bk <= simd::detected_backend())
+        .collect()
+}
+
+fn cfg(threads: usize) -> BatchConfig {
+    BatchConfig::new().with_threads(threads).with_seq_threshold(0)
+}
+
+fn sample(seed: u64, len: usize) -> Vec<F64I> {
+    let mut rng = workload::rng(seed);
+    workload::intervals_1ulp(&workload::random_points(&mut rng, len, -2.0, 2.0))
+}
+
+fn same_all(got: &[F64I], want: &[F64I]) -> bool {
+    got.len() == want.len()
+        && got.iter().zip(want).all(|(g, w)| {
+            g.neg_lo().to_bits() == w.neg_lo().to_bits() && g.hi().to_bits() == w.hi().to_bits()
+        })
+}
+
+/// The scalar reference never dispatches to packed kernels, so it is
+/// computed once outside the forced sections.
+#[test]
+fn gemm_row_blocks_bit_identical_all_backends_and_threads() {
+    // Dimensions chosen to exercise full lane groups, the column tail
+    // (n = 11 ≡ 3 mod 4) and a partial trailing row block.
+    let (m, k, n) = (10, 7, 11);
+    let a = sample(40, m * k);
+    let b = sample(41, k * n);
+    let c0 = sample(42, m * n);
+    let mut want = c0.clone();
+    gemm(m, k, n, &a, &b, &mut want);
+    for bk in backends() {
+        for threads in 1..=4 {
+            let got = with_backend(bk, || {
+                let mut c = c0.clone();
+                gemm_row_blocks(&cfg(threads), m, k, n, &a, &b, &mut c, 3);
+                c
+            });
+            assert!(same_all(&got, &want), "{bk:?} at {threads} threads diverged from scalar gemm");
+        }
+    }
+}
+
+#[test]
+fn ffnn_batch_bit_identical_all_backends_and_threads() {
+    let net = Ffnn::synthetic(12, 3);
+    // 7 inputs: one full 4-wide register group plus a scalar tail of 3.
+    let inputs: Vec<Vec<f64>> = (0..7).map(Ffnn::synthetic_input).collect();
+    let want: Vec<Vec<F64I>> = inputs.iter().map(|x| net.forward::<F64I>(x)).collect();
+    for bk in backends() {
+        for threads in 1..=4 {
+            let got: Vec<Vec<F64I>> = with_backend(bk, || ffnn_batch(&cfg(threads), &net, &inputs));
+            assert_eq!(got.len(), want.len());
+            for (b, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    same_all(g, w),
+                    "{bk:?} at {threads} threads: item {b} diverged from scalar forward"
+                );
+            }
+        }
+    }
+}
+
+/// Named for the CI leg that forces the SSE2 backend on AVX2 hosts: the
+/// packed batch kernels must survive the downgrade bit-identically.
+#[test]
+fn forced_sse2_batch_kernels_bit_identical() {
+    if simd::detected_backend() < Backend::Sse2 {
+        return; // nothing to force on this host
+    }
+    let (m, k, n) = (6, 5, 9);
+    let a = sample(50, m * k);
+    let b = sample(51, k * n);
+    let c0 = sample(52, m * n);
+    let mut want = c0.clone();
+    gemm(m, k, n, &a, &b, &mut want);
+    let net = Ffnn::synthetic(8, 9);
+    let inputs: Vec<Vec<f64>> = (0..5).map(Ffnn::synthetic_input).collect();
+    let want_ffnn: Vec<Vec<F64I>> = inputs.iter().map(|x| net.forward::<F64I>(x)).collect();
+    let (got_gemm, got_ffnn) = with_backend(Backend::Sse2, || {
+        let mut c = c0.clone();
+        gemm_row_blocks(&cfg(2), m, k, n, &a, &b, &mut c, 2);
+        let f: Vec<Vec<F64I>> = ffnn_batch(&cfg(2), &net, &inputs);
+        (c, f)
+    });
+    assert!(same_all(&got_gemm, &want), "forced SSE2 gemm diverged");
+    for (b, (g, w)) in got_ffnn.iter().zip(&want_ffnn).enumerate() {
+        assert!(same_all(g, w), "forced SSE2 ffnn item {b} diverged");
+    }
+}
+
+/// The double-double lane types have no packed backend, but the same
+/// generic kernels drive them: the batched results must still equal the
+/// scalar references exactly.
+#[test]
+fn gemm_and_ffnn_packed_dd_match_scalar() {
+    let (m, k, n) = (5, 4, 6);
+    let mk = |seed: u64, len: usize| -> Vec<DdI> {
+        sample(seed, len).iter().map(DdI::from_f64i).collect()
+    };
+    let (a, b, c0) = (mk(60, m * k), mk(61, k * n), mk(62, m * n));
+    let mut want = c0.clone();
+    gemm(m, k, n, &a, &b, &mut want);
+    let mut got = c0.clone();
+    gemm_row_blocks(&cfg(3), m, k, n, &a, &b, &mut got, 2);
+    assert_eq!(got, want);
+    let net = Ffnn::synthetic(8, 4);
+    let inputs: Vec<Vec<f64>> = (0..5).map(Ffnn::synthetic_input).collect();
+    let got: Vec<Vec<DdI>> = ffnn_batch(&cfg(2), &net, &inputs);
+    for (b, input) in inputs.iter().enumerate() {
+        assert_eq!(got[b], net.forward::<DdI>(input), "dd item {b}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random shapes and thread counts: `gemm_lanes` at the packed width
+    /// equals the scalar instantiation, through the batch entry point.
+    #[test]
+    fn gemm_row_blocks_bit_identical_random_shapes(
+        seed in 0u64..1000,
+        m in 1usize..9,
+        k in 1usize..7,
+        n in 1usize..13,
+        threads in 1usize..5,
+        row_block in 1usize..5,
+    ) {
+        let a = sample(seed, m * k);
+        let b = sample(seed + 1, k * n);
+        let c0 = sample(seed + 2, m * n);
+        let mut want = c0.clone();
+        gemm_lanes::<F64I, F64I>(m, k, n, &a, &b, &mut want);
+        let mut direct = c0.clone();
+        gemm_packed(m, k, n, &a, &b, &mut direct);
+        prop_assert!(same_all(&direct, &want), "gemm_packed diverged from scalar gemm_lanes");
+        let mut got = c0.clone();
+        gemm_row_blocks(&cfg(threads), m, k, n, &a, &b, &mut got, row_block);
+        prop_assert!(same_all(&got, &want), "gemm_row_blocks diverged at {threads} threads");
+    }
+}

@@ -9,7 +9,9 @@
 //! telemetry`).
 #![cfg(feature = "telemetry")]
 
+use igen_batch::engine::par_map;
 use igen_batch::{dot_batch, henon_ensemble, BatchConfig, BatchF64I};
+use igen_interval::{F64Ix4, LaneOps};
 use igen_kernels::workload;
 use igen_telemetry::Snapshot;
 use proptest::prelude::*;
@@ -63,10 +65,19 @@ proptest! {
         let _serial = TEL_LOCK.lock().unwrap();
         let xs = sample(seed, batch * n);
         let ys = sample(seed ^ 0x9e37_79b9, batch * n);
+        // Lane groups for a packed sqrt/sqr/compare sweep, so the
+        // unary/comparison patch-site counters are exercised too.
+        let groups: Vec<F64Ix4> =
+            (0..batch * n / 4).map(|g| xs.load_x4_contig(g * 4)).collect();
         let run = |threads: usize| {
             let cfg = BatchConfig::new().with_threads(threads).with_seq_threshold(0);
             traced(|| {
                 igen_bench_sink(dot_batch(&cfg, n, &xs, &ys));
+                igen_bench_sink(par_map(&cfg, &groups, |v| {
+                    let root = v.abs().sqrt();
+                    let square = v.sqr();
+                    (root, square, v.cmp_lt(square).lane(0))
+                }));
             })
         };
         let base = run(1);
@@ -75,6 +86,13 @@ proptest! {
             base_counters.iter().any(|(n, v)| n.starts_with("simd.") && *v > 0),
             "the workload must actually exercise the instrumented kernels: {base_counters:?}"
         );
+        for op in ["sqrt", "sqr", "abs", "cmp"] {
+            let name = format!("simd.{op}.packed_calls");
+            prop_assert!(
+                base_counters.iter().any(|(n, v)| *n == name && *v > 0),
+                "the sweep must tick {name}: {base_counters:?}"
+            );
+        }
         for threads in [2usize, 3] {
             let multi = run(threads);
             prop_assert_eq!(

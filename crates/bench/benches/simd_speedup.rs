@@ -10,17 +10,19 @@
 //!   `igen_round::simd` kernels on the host's detected backend.
 //!
 //! A plain run (without `--test`) records `results/simd_speedup.csv`
-//! with per-op and per-paper-kernel rows. The `packed_path` column is
-//! honest about which kernels actually route through the lane types:
-//! `gemm` and `ffnn` are scalar-per-item in `igen-batch`, so their
-//! "simd" rows measure the same code and hover around 1.0x.
+//! with per-op and per-paper-kernel rows. Every kernel row routes
+//! through the lane types: `gemm` evolves four columns of `C` per
+//! packed register (`linalg::gemm_packed`) and `ffnn` forwards four
+//! batch items per register group (`Ffnn::forward_lanes`), so the
+//! `packed_path` column is `true` across the board.
 
 use criterion::{black_box, Criterion};
+use igen_batch::available_threads;
 use igen_batch::{
     dot_batch, ffnn_batch, gemm_row_blocks, henon_ensemble, mvm_batch, BatchConfig, BatchF64I,
 };
-use igen_bench::{median_time, write_csv};
-use igen_interval::{F64Ix4, F64I};
+use igen_bench::{host_line, median_time, write_csv_with_comments};
+use igen_interval::{F64Ix4, LaneOps, F64I};
 use igen_kernels::ffnn::Ffnn;
 use igen_kernels::{henon_from, linalg, workload};
 use igen_round::simd::{self, Backend};
@@ -207,6 +209,54 @@ fn op_rows(reps: usize) -> Vec<Row> {
                     }
                 }
             ),
+            // sqrt over positive intervals (the guarded packed path; a
+            // negative radicand would patch the lane scalar-side).
+            op!(
+                "sqrt",
+                {
+                    let mut out = vec![F64I::point(0.0); OP_N];
+                    let b = &b;
+                    move || {
+                        for i in 0..OP_N {
+                            out[i] = b[i].sqrt();
+                        }
+                        black_box(&out);
+                    }
+                },
+                {
+                    let mut out = vec![F64Ix4::default(); OP_N / 4];
+                    let vb = &vb;
+                    move || {
+                        for i in 0..OP_N / 4 {
+                            out[i] = vb[i].sqrt();
+                        }
+                        black_box(&out);
+                    }
+                }
+            ),
+            op!(
+                "sqr",
+                {
+                    let mut out = vec![F64I::point(0.0); OP_N];
+                    let a = &a;
+                    move || {
+                        for i in 0..OP_N {
+                            out[i] = a[i].sqr();
+                        }
+                        black_box(&out);
+                    }
+                },
+                {
+                    let mut out = vec![F64Ix4::default(); OP_N / 4];
+                    let va = &va;
+                    move || {
+                        for i in 0..OP_N / 4 {
+                            out[i] = va[i].sqr();
+                        }
+                        black_box(&out);
+                    }
+                }
+            ),
         ]
     };
 
@@ -293,7 +343,8 @@ fn kernel_rows(reps: usize) -> Vec<Row> {
         simd: timed_with_backend(simd::detected_backend(), reps, &mut henon_lane),
     };
 
-    // gemm — `gemm_row_blocks` is scalar-per-row-block; no lane routing.
+    // gemm — `gemm_row_blocks` evolves four columns of C per packed
+    // register via `linalg::gemm_packed`.
     let ga = sample(28, GEMM_N * GEMM_N);
     let gb = sample(29, GEMM_N * GEMM_N);
     let gemm_scalar = median_time(reps, || {
@@ -308,13 +359,14 @@ fn kernel_rows(reps: usize) -> Vec<Row> {
     };
     let gemm = Row {
         name: "gemm",
-        packed_path: false,
+        packed_path: true,
         scalar: gemm_scalar,
         lane_portable: timed_with_backend(Backend::Portable, reps, &mut gemm_lane),
         simd: timed_with_backend(simd::detected_backend(), reps, &mut gemm_lane),
     };
 
-    // ffnn — `ffnn_batch` forwards each input with the scalar kernel.
+    // ffnn — `ffnn_batch` forwards four batch items per register group
+    // via `Ffnn::forward_lanes`.
     let net = Ffnn::synthetic(FFNN_WIDTH, 7);
     let inputs: Vec<Vec<f64>> = (0..FFNN_INPUTS as u64).map(Ffnn::synthetic_input).collect();
     let ffnn_scalar = median_time(reps, || {
@@ -327,7 +379,7 @@ fn kernel_rows(reps: usize) -> Vec<Row> {
     };
     let ffnn = Row {
         name: "ffnn",
-        packed_path: false,
+        packed_path: true,
         scalar: ffnn_scalar,
         lane_portable: timed_with_backend(Backend::Portable, reps, &mut ffnn_lane),
         simd: timed_with_backend(simd::detected_backend(), reps, &mut ffnn_lane),
@@ -363,8 +415,9 @@ fn record_csv() {
     for r in &kernel_rows(reps) {
         emit("kernel", r);
     }
-    write_csv(
+    write_csv_with_comments(
         "simd_speedup.csv",
+        &[host_line(available_threads())],
         "name,kind,detected_backend,packed_path,scalar_ns,lane_portable_ns,simd_ns,\
          speedup_lane_vs_scalar,speedup_simd_vs_scalar",
         &rows,

@@ -375,6 +375,45 @@ impl DdI {
         other.cmp_lt(self)
     }
 
+    /// `self <= other` three-valued.
+    #[must_use]
+    pub fn cmp_le(&self, other: &DdI) -> TBool {
+        if self.has_nan() || other.has_nan() {
+            return TBool::Unknown;
+        }
+        if self.hi.le(&other.lo()) {
+            TBool::True
+        } else if other.hi.lt(&self.lo()) {
+            TBool::False
+        } else {
+            TBool::Unknown
+        }
+    }
+
+    /// `self >= other` three-valued.
+    #[must_use]
+    pub fn cmp_ge(&self, other: &DdI) -> TBool {
+        other.cmp_le(self)
+    }
+
+    /// `self == other` three-valued (point equality, as in
+    /// `F64I::cmp_eq`: certainly true only when both intervals are the
+    /// same single point, certainly false when they are disjoint).
+    #[must_use]
+    pub fn cmp_eq(&self, other: &DdI) -> TBool {
+        if self.has_nan() || other.has_nan() {
+            return TBool::Unknown;
+        }
+        let point = |i: &DdI| i.lo().le(&i.hi) && i.hi.le(&i.lo());
+        if point(self) && point(other) && self.hi.le(&other.hi) && other.hi.le(&self.hi) {
+            TBool::True
+        } else if self.hi.lt(&other.lo()) || other.hi.lt(&self.lo()) {
+            TBool::False
+        } else {
+            TBool::Unknown
+        }
+    }
+
     /// If the interval is narrow enough that both endpoints round to the
     /// same binary64, returns that *certified double precision result*
     /// (Section VII-A: "at most one bit of error in double precision").

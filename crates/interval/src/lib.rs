@@ -58,4 +58,4 @@ pub use ddi::DdI;
 pub use f32i::F32I;
 pub use f64i::{InvalidInterval, F64I};
 pub use tbool::{TBool, UnknownBranch};
-pub use vector::{DdIx2, DdIx4, F64Ix2, F64Ix4};
+pub use vector::{DdIx2, DdIx4, F64Ix2, F64Ix4, LaneOps, TBoolLanes};

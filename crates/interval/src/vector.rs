@@ -24,7 +24,191 @@
 
 use crate::ddi::DdI;
 use crate::f64i::F64I;
+use crate::tbool::TBool;
+use igen_dd::Dd;
 use igen_round::simd;
+
+/// Per-lane three-valued comparison verdicts from the packed compare
+/// operations ([`LaneOps::cmp_lt`] and friends): one [`TBool`] per live
+/// lane. Vectors narrower than 4 lanes fill only the first
+/// [`TBoolLanes::lanes`] slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TBoolLanes {
+    vals: [TBool; 4],
+    n: usize,
+}
+
+impl TBoolLanes {
+    fn new(vals: [TBool; 4], n: usize) -> TBoolLanes {
+        TBoolLanes { vals, n }
+    }
+
+    /// Converts the packed tri-state masks, keeping the first `n` lanes.
+    fn from_trimask(m: simd::TriMask4, n: usize) -> TBoolLanes {
+        let mut vals = [TBool::Unknown; 4];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = match m.lane(i) {
+                Some(true) => TBool::True,
+                Some(false) => TBool::False,
+                None => TBool::Unknown,
+            };
+        }
+        TBoolLanes { vals, n }
+    }
+
+    /// Number of live lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.n
+    }
+
+    /// The verdict for lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a live lane.
+    #[must_use]
+    pub fn lane(&self, i: usize) -> TBool {
+        assert!(i < self.n, "TBoolLanes lane index {i} out of range ({} lanes)", self.n);
+        self.vals[i]
+    }
+}
+
+/// The unified operation surface of the packed interval lane types —
+/// every vectorized kernel in `igen-kernels`/`igen-batch` is written once
+/// against this trait and instantiated for [`F64Ix2`]/[`F64Ix4`] (packed
+/// x86 kernels with scalar-patch fallback) and [`DdIx2`]/[`DdIx4`]
+/// (lane loops over the double-double scalar ops).
+///
+/// Every method is **bit-identical per lane** to the corresponding scalar
+/// [`F64I`]/[`DdI`] operation: a lane of `a.sqrt()` equals
+/// `a.lane(i).sqrt()` exactly, for all inputs including NaN, infinities,
+/// subnormals and signed zeros (see DESIGN.md §10/§12 for why the packed
+/// paths preserve this).
+pub trait LaneOps:
+    Copy
+    + core::fmt::Debug
+    + PartialEq
+    + Default
+    + core::ops::Add<Output = Self>
+    + core::ops::Sub<Output = Self>
+    + core::ops::Mul<Output = Self>
+    + core::ops::Div<Output = Self>
+    + core::ops::Neg<Output = Self>
+{
+    /// The scalar interval element packed in each lane.
+    type Elem: Copy + core::fmt::Debug + PartialEq + core::ops::Add<Output = Self::Elem>;
+    /// The raw endpoint scalar of the SoA column layout (`f64` for the
+    /// double-precision lanes, [`Dd`] for the double-double ones).
+    type Endpoint: Copy;
+
+    /// Number of packed intervals.
+    const LANES: usize;
+
+    /// Broadcasts one interval to all lanes.
+    fn splat(v: Self::Elem) -> Self;
+
+    /// Builds a vector by evaluating `f` once per lane index, in order.
+    fn from_lanes_fn(f: impl FnMut(usize) -> Self::Elem) -> Self;
+
+    /// Builds directly from the leading `LANES` slots of two endpoint
+    /// columns — the raw representation, used by the batch engine to
+    /// feed packed kernels straight from its SoA buffers. The caller
+    /// asserts every lane is a valid interval (`-neg_lo[i] <= hi[i]` or
+    /// NaN).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either column holds fewer than `LANES` endpoints.
+    fn from_columns_slice(neg_lo: &[Self::Endpoint], hi: &[Self::Endpoint]) -> Self;
+
+    /// Lane accessor.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `i < LANES` with a clear message (release builds
+    /// still panic through the underlying array index).
+    fn lane(&self, i: usize) -> Self::Elem;
+
+    /// Loads the first `LANES` elements of a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug-asserts with a clear message first) if
+    /// `s.len() < LANES`.
+    fn load(s: &[Self::Elem]) -> Self {
+        debug_assert!(
+            s.len() >= Self::LANES,
+            "LaneOps::load: slice of {} elements cannot fill {} lanes",
+            s.len(),
+            Self::LANES
+        );
+        Self::from_lanes_fn(|i| s[i])
+    }
+
+    /// Stores the lanes to the first `LANES` slots of a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug-asserts with a clear message first) if
+    /// `s.len() < LANES`.
+    fn store(&self, s: &mut [Self::Elem]) {
+        debug_assert!(
+            s.len() >= Self::LANES,
+            "LaneOps::store: {} lanes do not fit in a slice of {} elements",
+            Self::LANES,
+            s.len()
+        );
+        for (i, out) in s.iter_mut().enumerate().take(Self::LANES) {
+            *out = self.lane(i);
+        }
+    }
+
+    /// Lane-wise multiply-accumulate `self * b + c`: the packed multiply
+    /// followed by the packed add — the same operation sequence as the
+    /// scalar `x * b + c` per lane.
+    #[must_use]
+    fn mul_add(self, b: Self, c: Self) -> Self {
+        self * b + c
+    }
+
+    /// Horizontal sum of all lanes (sequential left-to-right scalar
+    /// adds, so the result is independent of the packed backend).
+    fn reduce_sum(self) -> Self::Elem {
+        let mut acc = self.lane(0);
+        for i in 1..Self::LANES {
+            acc = acc + self.lane(i);
+        }
+        acc
+    }
+
+    /// Lane-wise interval square root.
+    #[must_use]
+    fn sqrt(self) -> Self;
+
+    /// Lane-wise interval absolute value.
+    #[must_use]
+    fn abs(self) -> Self;
+
+    /// Lane-wise dependency-aware interval square (`sqr`, never
+    /// negative — unlike `self * self`).
+    #[must_use]
+    fn sqr(self) -> Self;
+
+    /// Lane-wise rectified linear unit `max(x, [0, 0])` (exact endpoint
+    /// selections only).
+    #[must_use]
+    fn relu(self) -> Self;
+
+    /// Lane-wise three-valued `self < other`.
+    fn cmp_lt(self, other: Self) -> TBoolLanes;
+
+    /// Lane-wise three-valued `self <= other`.
+    fn cmp_le(self, other: Self) -> TBoolLanes;
+
+    /// Lane-wise three-valued point equality `self == other`.
+    fn cmp_eq(self, other: Self) -> TBoolLanes;
+}
 
 /// Packed double-precision intervals in SoA-in-register layout: one
 /// column of negated lower endpoints and one of upper endpoints, exactly
@@ -41,14 +225,6 @@ macro_rules! f64i_lane_type {
         }
 
         impl $name {
-            /// Number of packed intervals.
-            pub const LANES: usize = $n;
-
-            /// Broadcasts one interval to all lanes.
-            pub fn splat(v: F64I) -> Self {
-                $name { neg_lo: [v.neg_lo(); $n], hi: [v.hi(); $n] }
-            }
-
             /// Packs `LANES` intervals.
             pub fn from_lanes(xs: [F64I; $n]) -> Self {
                 $name { neg_lo: xs.map(|x| x.neg_lo()), hi: xs.map(|x| x.hi()) }
@@ -80,59 +256,12 @@ macro_rules! f64i_lane_type {
                 &self.hi
             }
 
-            /// Loads lanes from a slice.
-            ///
-            /// # Panics
-            ///
-            /// Panics if `s.len() < LANES`.
-            pub fn load(s: &[F64I]) -> Self {
-                let mut a = [F64I::default(); $n];
-                a.copy_from_slice(&s[..$n]);
-                Self::from_lanes(a)
-            }
-
-            /// Stores lanes to a slice.
-            ///
-            /// # Panics
-            ///
-            /// Panics if `s.len() < LANES`.
-            pub fn store(&self, s: &mut [F64I]) {
-                for i in 0..$n {
-                    s[i] = self.lane(i);
-                }
-            }
-
-            /// Lane-wise fused multiply-accumulate `self * b + c`
-            /// (used heavily by the vectorized kernels). Performs the
-            /// packed multiply followed by the packed add — the same
-            /// operation sequence as the scalar `x * b + c` per lane.
-            #[inline]
-            #[must_use]
-            pub fn mul_add(self, b: Self, c: Self) -> Self {
-                self * b + c
-            }
-
-            /// Horizontal sum of all lanes (sequential left-to-right
-            /// scalar adds, so the result is independent of the packed
-            /// backend).
-            pub fn reduce_sum(self) -> F64I {
-                let mut acc = self.lane(0);
-                for i in 1..$n {
-                    acc = acc + self.lane(i);
-                }
-                acc
-            }
-
-            /// Lane accessor.
-            #[inline]
-            pub fn lane(&self, i: usize) -> F64I {
-                F64I::from_neg_lo_hi(self.neg_lo[i], self.hi[i])
-            }
         }
 
         impl Default for $name {
             fn default() -> Self {
-                Self::splat(F64I::default())
+                let d = F64I::default();
+                $name { neg_lo: [d.neg_lo(); $n], hi: [d.hi(); $n] }
             }
         }
 
@@ -263,6 +392,171 @@ impl core::ops::Div for F64Ix4 {
     }
 }
 
+impl LaneOps for F64Ix4 {
+    type Elem = F64I;
+    type Endpoint = f64;
+    const LANES: usize = 4;
+
+    fn splat(v: F64I) -> Self {
+        F64Ix4 { neg_lo: [v.neg_lo(); 4], hi: [v.hi(); 4] }
+    }
+
+    fn from_lanes_fn(f: impl FnMut(usize) -> F64I) -> Self {
+        Self::from_lanes(core::array::from_fn(f))
+    }
+
+    fn from_columns_slice(neg_lo: &[f64], hi: &[f64]) -> Self {
+        Self::from_columns(neg_lo[..4].try_into().unwrap(), hi[..4].try_into().unwrap())
+    }
+
+    #[inline]
+    fn lane(&self, i: usize) -> F64I {
+        debug_assert!(i < 4, "F64Ix4 lane index {i} out of range (4 lanes)");
+        F64I::from_neg_lo_hi(self.neg_lo[i], self.hi[i])
+    }
+
+    /// Packed interval square root: `[RD(sqrt(lo)), RU(sqrt(hi))]` via
+    /// the packed directed-rounding sqrt kernels; the lower endpoint
+    /// mirrors through the exact column negation, exactly like the
+    /// scalar `F64I::sqrt`. Bit-identical per lane (negative radicands
+    /// produce the same NaN lower bounds).
+    fn sqrt(self) -> Self {
+        let bk = simd::active_backend();
+        let lo = self.neg_lo.map(|x| -x);
+        F64Ix4 { neg_lo: simd::sqrt_rd_4(bk, &lo).map(|x| -x), hi: simd::sqrt_ru_4(bk, &self.hi) }
+    }
+
+    /// Packed interval absolute value: exact packed selects replicating
+    /// `F64I::abs`' decision order per lane (see `igen_round::simd::abs_4`).
+    fn abs(self) -> Self {
+        let bk = simd::active_backend();
+        let (neg_lo, hi) = simd::abs_4(bk, &self.neg_lo, &self.hi);
+        F64Ix4 { neg_lo, hi }
+    }
+
+    /// Packed dependency-aware square. The magnitude columns `m` (max)
+    /// and `n` (min) are formed with exact scalar selects as in
+    /// `F64I::sqr`; both directed endpoint squares then come from the
+    /// packed square kernel (`RU(m²)` is its first column on `m`,
+    /// `-RD(n²)` its second on `n` — scalar identities that hold
+    /// bit-for-bit, see `igen_round::simd::sqr_ru_both_4`). Lanes whose
+    /// square is discarded (NaN lanes; the lower square of lanes
+    /// straddling zero) compute on a guard-friendly stand-in of `1.0`.
+    fn sqr(self) -> Self {
+        let bk = simd::active_backend();
+        let mut m = [0.0; 4];
+        let mut n = [0.0; 4];
+        let mut nan = [false; 4];
+        let mut straddle = [false; 4];
+        for i in 0..4 {
+            let (lo, hi) = (-self.neg_lo[i], self.hi[i]);
+            nan[i] = self.neg_lo[i].is_nan() || hi.is_nan();
+            straddle[i] = lo <= 0.0 && hi >= 0.0;
+            let (alo, ahi) = (lo.abs(), hi.abs());
+            m[i] = if nan[i] { 1.0 } else { alo.max(ahi) };
+            n[i] = if nan[i] || straddle[i] { 1.0 } else { alo.min(ahi) };
+        }
+        let (upper, _) = simd::sqr_ru_both_4(bk, &m);
+        let (_, lower_neg) = simd::sqr_ru_both_4(bk, &n);
+        let mut out = F64Ix4 { neg_lo: [0.0; 4], hi: [0.0; 4] };
+        for i in 0..4 {
+            (out.neg_lo[i], out.hi[i]) = if nan[i] {
+                (f64::NAN, f64::NAN)
+            } else if straddle[i] {
+                (0.0, upper[i])
+            } else {
+                (lower_neg[i], upper[i])
+            };
+        }
+        out
+    }
+
+    /// Lane-wise `max_i` against `[0, 0]` — exact endpoint min/max
+    /// selections only, so the plain lane loop is already bit-identical
+    /// to the scalar operation (and trivially autovectorizable).
+    fn relu(self) -> Self {
+        Self::from_lanes_fn(|i| self.lane(i).max_i(&F64I::ZERO))
+    }
+
+    fn cmp_lt(self, other: Self) -> TBoolLanes {
+        let bk = simd::active_backend();
+        let m = simd::cmp_lt_4(bk, &self.neg_lo, &self.hi, &other.neg_lo, &other.hi);
+        TBoolLanes::from_trimask(m, 4)
+    }
+
+    fn cmp_le(self, other: Self) -> TBoolLanes {
+        let bk = simd::active_backend();
+        let m = simd::cmp_le_4(bk, &self.neg_lo, &self.hi, &other.neg_lo, &other.hi);
+        TBoolLanes::from_trimask(m, 4)
+    }
+
+    fn cmp_eq(self, other: Self) -> TBoolLanes {
+        let bk = simd::active_backend();
+        let m = simd::cmp_eq_4(bk, &self.neg_lo, &self.hi, &other.neg_lo, &other.hi);
+        TBoolLanes::from_trimask(m, 4)
+    }
+}
+
+impl LaneOps for F64Ix2 {
+    type Elem = F64I;
+    type Endpoint = f64;
+    const LANES: usize = 2;
+
+    fn splat(v: F64I) -> Self {
+        F64Ix2 { neg_lo: [v.neg_lo(); 2], hi: [v.hi(); 2] }
+    }
+
+    fn from_lanes_fn(f: impl FnMut(usize) -> F64I) -> Self {
+        Self::from_lanes(core::array::from_fn(f))
+    }
+
+    fn from_columns_slice(neg_lo: &[f64], hi: &[f64]) -> Self {
+        Self::from_columns(neg_lo[..2].try_into().unwrap(), hi[..2].try_into().unwrap())
+    }
+
+    #[inline]
+    fn lane(&self, i: usize) -> F64I {
+        debug_assert!(i < 2, "F64Ix2 lane index {i} out of range (2 lanes)");
+        F64I::from_neg_lo_hi(self.neg_lo[i], self.hi[i])
+    }
+
+    /// Via the 4-lane kernels; the `[1, 1]` padding lanes are valid,
+    /// strictly positive operands for sqrt, so they never patch.
+    fn sqrt(self) -> Self {
+        Self::narrow(self.widen().sqrt())
+    }
+
+    /// Via the 4-lane kernels (see [`F64Ix4::abs`]).
+    fn abs(self) -> Self {
+        Self::narrow(self.widen().abs())
+    }
+
+    /// Via the 4-lane kernels; the `[1, 1]` padding squares to `[1, 1]`
+    /// on the guarded fast path.
+    fn sqr(self) -> Self {
+        Self::narrow(self.widen().sqr())
+    }
+
+    fn relu(self) -> Self {
+        Self::from_lanes_fn(|i| self.lane(i).max_i(&F64I::ZERO))
+    }
+
+    fn cmp_lt(self, other: Self) -> TBoolLanes {
+        let m = self.widen().cmp_lt(other.widen());
+        TBoolLanes::new([m.vals[0], m.vals[1], TBool::Unknown, TBool::Unknown], 2)
+    }
+
+    fn cmp_le(self, other: Self) -> TBoolLanes {
+        let m = self.widen().cmp_le(other.widen());
+        TBoolLanes::new([m.vals[0], m.vals[1], TBool::Unknown, TBool::Unknown], 2)
+    }
+
+    fn cmp_eq(self, other: Self) -> TBoolLanes {
+        let m = self.widen().cmp_eq(other.widen());
+        TBoolLanes::new([m.vals[0], m.vals[1], TBool::Unknown, TBool::Unknown], 2)
+    }
+}
+
 impl F64Ix2 {
     /// Widens into a 4-lane vector; the two padding lanes hold `[1, 1]`,
     /// which is valid for every operation (in particular it is a
@@ -332,63 +626,88 @@ macro_rules! lane_type {
         pub struct $name(pub [$elem; $n]);
 
         impl $name {
-            /// Number of packed intervals.
-            pub const LANES: usize = $n;
-
-            /// Broadcasts one interval to all lanes.
-            pub fn splat(v: $elem) -> Self {
-                $name([v; $n])
-            }
-
             /// Packs `LANES` intervals.
             pub fn from_lanes(xs: [$elem; $n]) -> Self {
                 $name(xs)
             }
 
-            /// Loads lanes from a slice.
-            ///
-            /// # Panics
-            ///
-            /// Panics if `s.len() < LANES`.
-            pub fn load(s: &[$elem]) -> Self {
-                let mut a = [<$elem>::default(); $n];
-                a.copy_from_slice(&s[..$n]);
-                $name(a)
-            }
-
-            /// Stores lanes to a slice.
-            ///
-            /// # Panics
-            ///
-            /// Panics if `s.len() < LANES`.
-            pub fn store(&self, s: &mut [$elem]) {
-                s[..$n].copy_from_slice(&self.0);
-            }
-
-            /// Lane-wise fused multiply-accumulate `self * b + c`
-            /// (used heavily by the vectorized kernels).
+            /// Applies a scalar op to every lane.
             #[inline]
-            #[must_use]
-            pub fn mul_add(self, b: Self, c: Self) -> Self {
+            fn map(self, f: impl Fn(&$elem) -> $elem) -> Self {
                 let mut out = [<$elem>::default(); $n];
                 for i in 0..$n {
-                    out[i] = self.0[i] * b.0[i] + c.0[i];
+                    out[i] = f(&self.0[i]);
                 }
                 $name(out)
             }
+        }
 
-            /// Horizontal sum of all lanes.
-            pub fn reduce_sum(self) -> $elem {
-                let mut acc = self.0[0];
-                for i in 1..$n {
-                    acc = acc + self.0[i];
-                }
-                acc
+        impl LaneOps for $name {
+            type Elem = $elem;
+            type Endpoint = Dd;
+            const LANES: usize = $n;
+
+            fn splat(v: $elem) -> Self {
+                $name([v; $n])
             }
 
-            /// Lane accessor.
-            pub fn lane(&self, i: usize) -> $elem {
+            fn from_lanes_fn(f: impl FnMut(usize) -> $elem) -> Self {
+                $name(core::array::from_fn(f))
+            }
+
+            fn from_columns_slice(neg_lo: &[Dd], hi: &[Dd]) -> Self {
+                Self::from_lanes_fn(|i| <$elem>::from_neg_lo_hi(neg_lo[i], hi[i]))
+            }
+
+            #[inline]
+            fn lane(&self, i: usize) -> $elem {
+                debug_assert!(
+                    i < $n,
+                    concat!(stringify!($name), " lane index {} out of range ({} lanes)"),
+                    i,
+                    $n
+                );
                 self.0[i]
+            }
+
+            fn sqrt(self) -> Self {
+                self.map(|x| x.sqrt())
+            }
+
+            fn abs(self) -> Self {
+                self.map(|x| x.abs())
+            }
+
+            fn sqr(self) -> Self {
+                self.map(|x| x.sqr())
+            }
+
+            fn relu(self) -> Self {
+                self.map(|x| x.max_i(&<$elem>::ZERO))
+            }
+
+            fn cmp_lt(self, other: Self) -> TBoolLanes {
+                let mut vals = [TBool::Unknown; 4];
+                for i in 0..$n {
+                    vals[i] = self.0[i].cmp_lt(&other.0[i]);
+                }
+                TBoolLanes::new(vals, $n)
+            }
+
+            fn cmp_le(self, other: Self) -> TBoolLanes {
+                let mut vals = [TBool::Unknown; 4];
+                for i in 0..$n {
+                    vals[i] = self.0[i].cmp_le(&other.0[i]);
+                }
+                TBoolLanes::new(vals, $n)
+            }
+
+            fn cmp_eq(self, other: Self) -> TBoolLanes {
+                let mut vals = [TBool::Unknown; 4];
+                for i in 0..$n {
+                    vals[i] = self.0[i].cmp_eq(&other.0[i]);
+                }
+                TBoolLanes::new(vals, $n)
             }
         }
 
@@ -477,6 +796,27 @@ lane_type!(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "lane index 4 out of range")]
+    fn lane_index_out_of_range_panics() {
+        let v = F64Ix4::splat(F64I::point(1.0));
+        let _ = v.lane(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "4 lanes do not fit in a slice of 3 elements")]
+    fn store_into_short_slice_panics() {
+        let v = F64Ix4::splat(F64I::point(1.0));
+        let mut out = [F64I::ZERO; 3];
+        v.store(&mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice of 2 elements cannot fill 4 lanes")]
+    fn load_from_short_slice_panics() {
+        let _ = F64Ix4::load(&[F64I::ZERO; 2]);
+    }
 
     #[test]
     fn lanes_match_scalar() {

@@ -12,7 +12,7 @@
 //! a mutex; no other test in this binary touches the lane types outside
 //! of it.
 
-use igen_interval::{F64Ix2, F64Ix4, F64I};
+use igen_interval::{F64Ix2, F64Ix4, LaneOps, TBool, F64I};
 use igen_round::simd::{self, Backend};
 use proptest::prelude::*;
 use std::sync::Mutex;
@@ -62,7 +62,14 @@ fn check_lanes(bk: Backend, a: [F64I; 4], b: [F64I; 4]) -> Result<(), TestCaseEr
     let want_mul: Vec<F64I> = (0..4).map(|i| a[i] * b[i]).collect();
     let want_div: Vec<F64I> = (0..4).map(|i| a[i] / b[i]).collect();
     let want_fma: Vec<F64I> = (0..4).map(|i| a[i] * b[i] + a[i]).collect();
-    let (got4, got2) = with_backend(bk, || {
+    let want_sqrt: Vec<F64I> = (0..4).map(|i| a[i].sqrt()).collect();
+    let want_abs: Vec<F64I> = (0..4).map(|i| a[i].abs()).collect();
+    let want_sqr: Vec<F64I> = (0..4).map(|i| a[i].sqr()).collect();
+    let want_relu: Vec<F64I> = (0..4).map(|i| a[i].max_i(&F64I::ZERO)).collect();
+    let want_lt: Vec<TBool> = (0..4).map(|i| a[i].cmp_lt(&b[i])).collect();
+    let want_le: Vec<TBool> = (0..4).map(|i| a[i].cmp_le(&b[i])).collect();
+    let want_eq: Vec<TBool> = (0..4).map(|i| a[i].cmp_eq(&b[i])).collect();
+    let (got4, got2, gotu4, gotu2, gotc4, gotc2) = with_backend(bk, || {
         let va = F64Ix4::from_lanes(a);
         let vb = F64Ix4::from_lanes(b);
         let wa = F64Ix2::from_lanes([a[0], a[1]]);
@@ -70,6 +77,10 @@ fn check_lanes(bk: Backend, a: [F64I; 4], b: [F64I; 4]) -> Result<(), TestCaseEr
         (
             (va + vb, va - vb, va * vb, va / vb, va.mul_add(vb, va), va.reduce_sum()),
             (wa + wb, wa - wb, wa * wb, wa / wb, wa.mul_add(wb, wa)),
+            (va.sqrt(), va.abs(), va.sqr(), va.relu()),
+            (wa.sqrt(), wa.abs(), wa.sqr(), wa.relu()),
+            (va.cmp_lt(vb), va.cmp_le(vb), va.cmp_eq(vb)),
+            (wa.cmp_lt(wb), wa.cmp_le(wb), wa.cmp_eq(wb)),
         )
     });
     let want_red = {
@@ -86,6 +97,13 @@ fn check_lanes(bk: Backend, a: [F64I; 4], b: [F64I; 4]) -> Result<(), TestCaseEr
         prop_assert!(same(got4.2.lane(i), want_mul[i]), "x4 mul {ctx}");
         prop_assert!(same(got4.3.lane(i), want_div[i]), "x4 div {ctx}");
         prop_assert!(same(got4.4.lane(i), want_fma[i]), "x4 mul_add {ctx}");
+        prop_assert!(same(gotu4.0.lane(i), want_sqrt[i]), "x4 sqrt {ctx}");
+        prop_assert!(same(gotu4.1.lane(i), want_abs[i]), "x4 abs {ctx}");
+        prop_assert!(same(gotu4.2.lane(i), want_sqr[i]), "x4 sqr {ctx}");
+        prop_assert!(same(gotu4.3.lane(i), want_relu[i]), "x4 relu {ctx}");
+        prop_assert!(gotc4.0.lane(i) == want_lt[i], "x4 cmp_lt {ctx}");
+        prop_assert!(gotc4.1.lane(i) == want_le[i], "x4 cmp_le {ctx}");
+        prop_assert!(gotc4.2.lane(i) == want_eq[i], "x4 cmp_eq {ctx}");
     }
     prop_assert!(same(got4.5, want_red), "x4 reduce_sum {bk:?}");
     for i in 0..2 {
@@ -95,6 +113,13 @@ fn check_lanes(bk: Backend, a: [F64I; 4], b: [F64I; 4]) -> Result<(), TestCaseEr
         prop_assert!(same(got2.2.lane(i), want_mul[i]), "x2 mul {ctx}");
         prop_assert!(same(got2.3.lane(i), want_div[i]), "x2 div {ctx}");
         prop_assert!(same(got2.4.lane(i), want_fma[i]), "x2 mul_add {ctx}");
+        prop_assert!(same(gotu2.0.lane(i), want_sqrt[i]), "x2 sqrt {ctx}");
+        prop_assert!(same(gotu2.1.lane(i), want_abs[i]), "x2 abs {ctx}");
+        prop_assert!(same(gotu2.2.lane(i), want_sqr[i]), "x2 sqr {ctx}");
+        prop_assert!(same(gotu2.3.lane(i), want_relu[i]), "x2 relu {ctx}");
+        prop_assert!(gotc2.0.lane(i) == want_lt[i], "x2 cmp_lt {ctx}");
+        prop_assert!(gotc2.1.lane(i) == want_le[i], "x2 cmp_le {ctx}");
+        prop_assert!(gotc2.2.lane(i) == want_eq[i], "x2 cmp_eq {ctx}");
     }
     Ok(())
 }

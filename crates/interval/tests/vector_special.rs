@@ -13,7 +13,7 @@
 //! a mutex; no other test in this binary touches the lane types outside
 //! of it.
 
-use igen_interval::{DdI, DdIx2, DdIx4, F64Ix2, F64Ix4, F64I};
+use igen_interval::{DdI, DdIx2, DdIx4, F64Ix2, F64Ix4, LaneOps, F64I};
 use igen_round::simd::{self, Backend};
 use proptest::prelude::*;
 use std::sync::Mutex;
@@ -71,22 +71,37 @@ fn check_portable(a: [F64I; 4], b: [F64I; 4]) -> Result<(), TestCaseError> {
         let vb = F64Ix4::from_lanes(b);
         let wa = F64Ix2::from_lanes([a[0], a[1]]);
         let wb = F64Ix2::from_lanes([b[0], b[1]]);
-        (va + vb, va - vb, va * vb, va / vb, va.mul_add(vb, va), -va, wa + wb, wa * wb, wa / wb)
+        (
+            (va + vb, va - vb, va * vb, va / vb, va.mul_add(vb, va), -va),
+            (va.sqrt(), va.abs(), va.sqr(), va.relu()),
+            (va.cmp_lt(vb), va.cmp_le(vb), va.cmp_eq(vb)),
+            (wa + wb, wa * wb, wa / wb, wa.sqrt(), wa.abs(), wa.sqr()),
+        )
     });
     for i in 0..4 {
         let ctx = format!("portable lane {i}: a={} b={}", a[i], b[i]);
-        prop_assert!(same(got.0.lane(i), a[i] + b[i]), "x4 add {ctx}");
-        prop_assert!(same(got.1.lane(i), a[i] - b[i]), "x4 sub {ctx}");
-        prop_assert!(same(got.2.lane(i), a[i] * b[i]), "x4 mul {ctx}");
-        prop_assert!(same(got.3.lane(i), a[i] / b[i]), "x4 div {ctx}");
-        prop_assert!(same(got.4.lane(i), a[i] * b[i] + a[i]), "x4 mul_add {ctx}");
-        prop_assert!(same(got.5.lane(i), -a[i]), "x4 neg {ctx}");
+        prop_assert!(same(got.0 .0.lane(i), a[i] + b[i]), "x4 add {ctx}");
+        prop_assert!(same(got.0 .1.lane(i), a[i] - b[i]), "x4 sub {ctx}");
+        prop_assert!(same(got.0 .2.lane(i), a[i] * b[i]), "x4 mul {ctx}");
+        prop_assert!(same(got.0 .3.lane(i), a[i] / b[i]), "x4 div {ctx}");
+        prop_assert!(same(got.0 .4.lane(i), a[i] * b[i] + a[i]), "x4 mul_add {ctx}");
+        prop_assert!(same(got.0 .5.lane(i), -a[i]), "x4 neg {ctx}");
+        prop_assert!(same(got.1 .0.lane(i), a[i].sqrt()), "x4 sqrt {ctx}");
+        prop_assert!(same(got.1 .1.lane(i), a[i].abs()), "x4 abs {ctx}");
+        prop_assert!(same(got.1 .2.lane(i), a[i].sqr()), "x4 sqr {ctx}");
+        prop_assert!(same(got.1 .3.lane(i), a[i].max_i(&F64I::ZERO)), "x4 relu {ctx}");
+        prop_assert!(got.2 .0.lane(i) == a[i].cmp_lt(&b[i]), "x4 cmp_lt {ctx}");
+        prop_assert!(got.2 .1.lane(i) == a[i].cmp_le(&b[i]), "x4 cmp_le {ctx}");
+        prop_assert!(got.2 .2.lane(i) == a[i].cmp_eq(&b[i]), "x4 cmp_eq {ctx}");
     }
     for i in 0..2 {
         let ctx = format!("portable lane {i}: a={} b={}", a[i], b[i]);
-        prop_assert!(same(got.6.lane(i), a[i] + b[i]), "x2 add {ctx}");
-        prop_assert!(same(got.7.lane(i), a[i] * b[i]), "x2 mul {ctx}");
-        prop_assert!(same(got.8.lane(i), a[i] / b[i]), "x2 div {ctx}");
+        prop_assert!(same(got.3 .0.lane(i), a[i] + b[i]), "x2 add {ctx}");
+        prop_assert!(same(got.3 .1.lane(i), a[i] * b[i]), "x2 mul {ctx}");
+        prop_assert!(same(got.3 .2.lane(i), a[i] / b[i]), "x2 div {ctx}");
+        prop_assert!(same(got.3 .3.lane(i), a[i].sqrt()), "x2 sqrt {ctx}");
+        prop_assert!(same(got.3 .4.lane(i), a[i].abs()), "x2 abs {ctx}");
+        prop_assert!(same(got.3 .5.lane(i), a[i].sqr()), "x2 sqr {ctx}");
     }
     Ok(())
 }
@@ -177,9 +192,17 @@ fn dd_lane_ops_match_scalar_on_special_values() {
                 let wb = DdIx2::from_lanes([b[0], b[1]]);
                 let (s4, p4) = (va + vb, va * vb);
                 let (s2, p2) = (wa + wb, wa * wb);
+                let (q4, m4, r4) = (va.sqrt(), va.abs(), va.sqr());
+                let (lt4, le4, eq4) = (va.cmp_lt(vb), va.cmp_le(vb), va.cmp_eq(vb));
                 for i in 0..4 {
                     assert_eq!(dd_bits(&s4.lane(i)), dd_bits(&(a[i] + b[i])), "ddx4 add lane {i}");
                     assert_eq!(dd_bits(&p4.lane(i)), dd_bits(&(a[i] * b[i])), "ddx4 mul lane {i}");
+                    assert_eq!(dd_bits(&q4.lane(i)), dd_bits(&a[i].sqrt()), "ddx4 sqrt lane {i}");
+                    assert_eq!(dd_bits(&m4.lane(i)), dd_bits(&a[i].abs()), "ddx4 abs lane {i}");
+                    assert_eq!(dd_bits(&r4.lane(i)), dd_bits(&a[i].sqr()), "ddx4 sqr lane {i}");
+                    assert_eq!(lt4.lane(i), a[i].cmp_lt(&b[i]), "ddx4 cmp_lt lane {i}");
+                    assert_eq!(le4.lane(i), a[i].cmp_le(&b[i]), "ddx4 cmp_le lane {i}");
+                    assert_eq!(eq4.lane(i), a[i].cmp_eq(&b[i]), "ddx4 cmp_eq lane {i}");
                 }
                 for i in 0..2 {
                     assert_eq!(dd_bits(&s2.lane(i)), dd_bits(&(a[i] + b[i])), "ddx2 add lane {i}");

@@ -29,4 +29,4 @@ pub mod workload;
 
 pub use fft::{fft, fft_iops, fft_unrolled, twiddles};
 pub use henon::{henon, henon_affine, henon_from, henon_iops};
-pub use num::Numeric;
+pub use num::{LaneOrScalar, Numeric};

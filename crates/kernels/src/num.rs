@@ -12,7 +12,7 @@
 //! compiled against different arithmetic back ends.
 
 use igen_baselines::{BoostI, FilibI, GaolI};
-use igen_interval::{DdI, F32I, F64I};
+use igen_interval::{DdI, DdIx4, F64Ix4, LaneOps, F32I, F64I};
 
 /// A sound (or plain) numeric type usable by the kernels.
 pub trait Numeric:
@@ -28,6 +28,13 @@ pub trait Numeric:
     + Sync
     + 'static
 {
+    /// The widest lane vector available for this element type:
+    /// [`F64Ix4`]/[`DdIx4`] for the IGen interval types, `Self` (one
+    /// lane) for everything without a packed representation. Kernels
+    /// written against [`LaneOrScalar`] instantiate at `T::Lane` to get
+    /// the packed path and at `T` itself to get the scalar reference.
+    type Lane: LaneOrScalar<Self>;
+
     /// Exact injection of a binary64 value (a point, for interval types).
     fn from_f64(v: f64) -> Self;
 
@@ -80,7 +87,116 @@ pub trait Numeric:
     fn certified_bits_n(&self) -> f64;
 }
 
+/// One kernel source, two instantiations: a value that is either a
+/// single [`Numeric`] element (`WIDTH == 1`) or a packed lane vector of
+/// `WIDTH` elements. The generic kernels (`linalg::gemm_lanes`,
+/// `Ffnn::forward_lanes`) are written once against this trait; at
+/// `L = T` they *are* the scalar reference loop, and at `L = T::Lane`
+/// every lane executes exactly that scalar loop's operation sequence on
+/// its own element — which, with the packed `igen_round::simd` kernels
+/// being lane-wise bit-identical to the scalar ops, makes the two
+/// instantiations bit-identical element for element.
+pub trait LaneOrScalar<T: Numeric>:
+    Copy + core::ops::Add<Output = Self> + core::ops::Mul<Output = Self> + Send + Sync
+{
+    /// Elements per value (1 for the scalar instantiation).
+    const WIDTH: usize;
+
+    /// Broadcasts one element to every lane.
+    fn splat_l(v: T) -> Self;
+
+    /// Builds a value lane by lane from `f(0), .., f(WIDTH - 1)`.
+    fn from_fn_l(f: impl FnMut(usize) -> T) -> Self;
+
+    /// Loads `WIDTH` consecutive elements from `src`.
+    fn load_l(src: &[T]) -> Self;
+
+    /// Stores the `WIDTH` elements to the front of `dst`.
+    fn store_l(self, dst: &mut [T]);
+
+    /// The `i`-th element (`i < WIDTH`).
+    fn lane_l(self, i: usize) -> T;
+
+    /// Per-lane ReLU (`max(0, x)`, sound for interval types).
+    #[must_use]
+    fn relu_l(self) -> Self;
+}
+
+/// Every numeric element is itself a 1-wide "lane vector": the scalar
+/// instantiation of the generic kernels.
+impl<T: Numeric> LaneOrScalar<T> for T {
+    const WIDTH: usize = 1;
+
+    fn splat_l(v: T) -> T {
+        v
+    }
+    fn from_fn_l(mut f: impl FnMut(usize) -> T) -> T {
+        f(0)
+    }
+    fn load_l(src: &[T]) -> T {
+        src[0]
+    }
+    fn store_l(self, dst: &mut [T]) {
+        dst[0] = self;
+    }
+    fn lane_l(self, i: usize) -> T {
+        debug_assert!(i == 0, "scalar LaneOrScalar has exactly one lane, got index {i}");
+        self
+    }
+    fn relu_l(self) -> T {
+        self.relu()
+    }
+}
+
+impl LaneOrScalar<F64I> for F64Ix4 {
+    const WIDTH: usize = 4;
+
+    fn splat_l(v: F64I) -> F64Ix4 {
+        <F64Ix4 as LaneOps>::splat(v)
+    }
+    fn from_fn_l(f: impl FnMut(usize) -> F64I) -> F64Ix4 {
+        <F64Ix4 as LaneOps>::from_lanes_fn(f)
+    }
+    fn load_l(src: &[F64I]) -> F64Ix4 {
+        <F64Ix4 as LaneOps>::load(src)
+    }
+    fn store_l(self, dst: &mut [F64I]) {
+        <F64Ix4 as LaneOps>::store(&self, dst);
+    }
+    fn lane_l(self, i: usize) -> F64I {
+        <F64Ix4 as LaneOps>::lane(&self, i)
+    }
+    fn relu_l(self) -> F64Ix4 {
+        <F64Ix4 as LaneOps>::relu(self)
+    }
+}
+
+impl LaneOrScalar<DdI> for DdIx4 {
+    const WIDTH: usize = 4;
+
+    fn splat_l(v: DdI) -> DdIx4 {
+        <DdIx4 as LaneOps>::splat(v)
+    }
+    fn from_fn_l(f: impl FnMut(usize) -> DdI) -> DdIx4 {
+        <DdIx4 as LaneOps>::from_lanes_fn(f)
+    }
+    fn load_l(src: &[DdI]) -> DdIx4 {
+        <DdIx4 as LaneOps>::load(src)
+    }
+    fn store_l(self, dst: &mut [DdI]) {
+        <DdIx4 as LaneOps>::store(&self, dst);
+    }
+    fn lane_l(self, i: usize) -> DdI {
+        <DdIx4 as LaneOps>::lane(&self, i)
+    }
+    fn relu_l(self) -> DdIx4 {
+        <DdIx4 as LaneOps>::relu(self)
+    }
+}
+
 impl Numeric for f64 {
+    type Lane = f64;
+
     fn from_f64(v: f64) -> f64 {
         v
     }
@@ -105,6 +221,8 @@ impl Numeric for f64 {
 }
 
 impl Numeric for F64I {
+    type Lane = F64Ix4;
+
     fn from_f64(v: f64) -> F64I {
         F64I::point(v)
     }
@@ -137,6 +255,8 @@ impl Numeric for F64I {
 }
 
 impl Numeric for DdI {
+    type Lane = DdIx4;
+
     fn from_f64(v: f64) -> DdI {
         DdI::point_f64(v)
     }
@@ -169,6 +289,8 @@ impl Numeric for DdI {
 }
 
 impl Numeric for F32I {
+    type Lane = F32I;
+
     fn from_f64(v: f64) -> F32I {
         F32I::enclose_f64(v)
     }
@@ -190,6 +312,8 @@ impl Numeric for F32I {
 }
 
 impl Numeric for BoostI {
+    type Lane = BoostI;
+
     fn from_f64(v: f64) -> BoostI {
         BoostI::point(v)
     }
@@ -211,6 +335,8 @@ impl Numeric for BoostI {
 }
 
 impl Numeric for FilibI {
+    type Lane = FilibI;
+
     fn from_f64(v: f64) -> FilibI {
         FilibI::point(v)
     }
@@ -232,6 +358,8 @@ impl Numeric for FilibI {
 }
 
 impl Numeric for GaolI {
+    type Lane = GaolI;
+
     fn from_f64(v: f64) -> GaolI {
         GaolI::point(v)
     }

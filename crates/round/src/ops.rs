@@ -356,7 +356,7 @@ pub fn div_rd(a: f64, b: f64) -> f64 {
 }
 
 /// Threshold below which the square-root EFT may lose exactness.
-const SQRT_EXACT_MIN_A: f64 = 1e-290;
+pub(crate) const SQRT_EXACT_MIN_A: f64 = 1e-290;
 
 /// Upward-rounded square root: returns `RU(sqrt(a))`.
 ///

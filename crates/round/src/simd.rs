@@ -42,7 +42,7 @@
 
 use core::sync::atomic::{AtomicU8, Ordering};
 
-use crate::ops::{DIV_EXACT_MIN_A, FMA_RESIDUAL_EXACT_MIN};
+use crate::ops::{DIV_EXACT_MIN_A, FMA_RESIDUAL_EXACT_MIN, SQRT_EXACT_MIN_A};
 use igen_telemetry::Counter;
 
 /// Telemetry counters for the packed kernels: per-op packed-call and
@@ -62,6 +62,13 @@ pub(crate) mod tel {
     pub static DIV_PACKED: Counter = Counter::new("simd.div.packed_calls");
     pub static DIV_PATCHED: Counter = Counter::new("simd.div.lanes_patched");
     pub static MAX_PACKED: Counter = Counter::new("simd.max.packed_calls");
+    pub static SQRT_PACKED: Counter = Counter::new("simd.sqrt.packed_calls");
+    pub static SQRT_PATCHED: Counter = Counter::new("simd.sqrt.lanes_patched");
+    pub static SQR_PACKED: Counter = Counter::new("simd.sqr.packed_calls");
+    pub static SQR_PATCHED: Counter = Counter::new("simd.sqr.lanes_patched");
+    pub static ABS_PACKED: Counter = Counter::new("simd.abs.packed_calls");
+    pub static CMP_PACKED: Counter = Counter::new("simd.cmp.packed_calls");
+    pub static CMP_PATCHED: Counter = Counter::new("simd.cmp.lanes_patched");
 }
 
 /// Counts one 4-wide call: which op was invoked and which backend
@@ -279,6 +286,299 @@ pub fn max_nan_4(bk: Backend, a: &[f64; 4], b: &[f64; 4]) -> [f64; 4] {
     }
 }
 
+/// Packed upward-rounded square root: lane-wise [`crate::sqrt_ru`],
+/// bit-identical in every lane (negative radicands yield NaN lanes, as in
+/// the scalar kernel). Shares the `simd.sqrt.*` telemetry counters with
+/// [`sqrt_rd_4`].
+pub fn sqrt_ru_4(bk: Backend, a: &[f64; 4]) -> [f64; 4] {
+    let bk = clamp(bk);
+    note_dispatch(bk, &tel::SQRT_PACKED);
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() guarantees the detected CPU has AVX2 and FMA.
+        Backend::Avx2Fma => unsafe { x86::sqrt_ru_4_avx2(a) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86-64 baseline ISA.
+        Backend::Sse2 => unsafe { x86::sqrt_ru_4_sse2(a) },
+        _ => core::array::from_fn(|i| crate::sqrt_ru(a[i])),
+    }
+}
+
+/// Packed downward-rounded square root: lane-wise [`crate::sqrt_rd`],
+/// bit-identical in every lane.
+pub fn sqrt_rd_4(bk: Backend, a: &[f64; 4]) -> [f64; 4] {
+    let bk = clamp(bk);
+    note_dispatch(bk, &tel::SQRT_PACKED);
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() guarantees the detected CPU has AVX2 and FMA.
+        Backend::Avx2Fma => unsafe { x86::sqrt_rd_4_avx2(a) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86-64 baseline ISA.
+        Backend::Sse2 => unsafe { x86::sqrt_rd_4_sse2(a) },
+        _ => core::array::from_fn(|i| crate::sqrt_rd(a[i])),
+    }
+}
+
+/// Packed paired upward squares: lane-wise `mul_ru_both(a, a)`, i.e.
+/// `(RU(a²), RU(-(a²)))` per lane, bit-identical in every lane. The
+/// interval square builds both directed endpoint squares from this:
+/// `RU(m²)` directly and `RD(n²) = -RU(-(n²))` through the pair (the
+/// scalar identities `mul_ru(m,m) == mul_ru_both(m,m).0` and
+/// `-mul_rd(n,n) == mul_ru_both(n,n).1` hold bit-for-bit on all inputs —
+/// the hot paths run the same IEEE sequence and the slow paths delegate
+/// to the same scalar kernels).
+pub fn sqr_ru_both_4(bk: Backend, a: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
+    let bk = clamp(bk);
+    note_dispatch(bk, &tel::SQR_PACKED);
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() guarantees the detected CPU has AVX2 and FMA.
+        Backend::Avx2Fma => unsafe { x86::sqr_ru_both_4_avx2(a) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86-64 baseline ISA.
+        Backend::Sse2 => unsafe { x86::sqr_ru_both_4_sse2(a) },
+        _ => {
+            let mut hi = [0.0; 4];
+            let mut lo = [0.0; 4];
+            for i in 0..4 {
+                (hi[i], lo[i]) = crate::mul_ru_both(a[i], a[i]);
+            }
+            (hi, lo)
+        }
+    }
+}
+
+/// Scalar reference for [`abs_4`]: the interval absolute value on one raw
+/// `(neg_lo, hi)` endpoint pair (the `(-lo, hi)` column layout the packed
+/// kernels operate on). NaN endpoints yield `(NaN, NaN)`; a nonnegative
+/// interval is returned unchanged, a nonpositive one endpoint-swapped
+/// (exact negation in this layout), and a zero-straddling one maps to
+/// `[ -(-0.0), max(|lo|, |hi|) ]`.
+pub fn abs_cols(neg_lo: f64, hi: f64) -> (f64, f64) {
+    if neg_lo.is_nan() || hi.is_nan() {
+        (f64::NAN, f64::NAN)
+    } else if -neg_lo >= 0.0 {
+        (neg_lo, hi)
+    } else if hi <= 0.0 {
+        (hi, neg_lo)
+    } else {
+        (-0.0, max_nan(neg_lo, hi))
+    }
+}
+
+/// Packed interval absolute value on raw endpoint columns: lane-wise
+/// [`abs_cols`], bit-identical in every lane. Pure selects on exact
+/// comparisons — no rounding, hence no guard and no patch path.
+pub fn abs_4(bk: Backend, neg_lo: &[f64; 4], hi: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
+    let bk = clamp(bk);
+    note_dispatch(bk, &tel::ABS_PACKED);
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() guarantees the detected CPU has AVX2 and FMA.
+        Backend::Avx2Fma => unsafe { x86::abs_4_avx2(neg_lo, hi) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86-64 baseline ISA.
+        Backend::Sse2 => unsafe { x86::abs_4_sse2(neg_lo, hi) },
+        _ => {
+            let mut out_n = [0.0; 4];
+            let mut out_h = [0.0; 4];
+            for i in 0..4 {
+                (out_n[i], out_h[i]) = abs_cols(neg_lo[i], hi[i]);
+            }
+            (out_n, out_h)
+        }
+    }
+}
+
+/// Tri-state result of a packed 4-lane interval comparison: per lane
+/// *certainly true*, *certainly false*, or *unknown* (overlapping
+/// intervals, or a NaN endpoint). This is the branch-free lane-mask form
+/// of the interval layer's three-valued booleans; the two masks are kept
+/// disjoint with *true* taking priority, matching the scalar `if`/`else
+/// if` decision order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TriMask4 {
+    true_mask: u8,
+    false_mask: u8,
+}
+
+impl TriMask4 {
+    /// Builds the mask pair from 4-bit lane masks; `true` wins where both
+    /// bits are set (the scalar references test the *true* condition
+    /// first).
+    pub(crate) fn new(true_mask: u8, false_mask: u8) -> TriMask4 {
+        let t = true_mask & 0xf;
+        TriMask4 { true_mask: t, false_mask: false_mask & 0xf & !t }
+    }
+
+    /// The lane verdict: `Some(true)`, `Some(false)`, or `None` (unknown).
+    #[must_use]
+    pub fn lane(self, i: usize) -> Option<bool> {
+        assert!(i < 4, "TriMask4 lane index {i} out of range (4 lanes)");
+        if self.true_mask >> i & 1 == 1 {
+            Some(true)
+        } else if self.false_mask >> i & 1 == 1 {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// True if lane `i` is certainly true.
+    #[must_use]
+    pub fn is_true(self, i: usize) -> bool {
+        self.lane(i) == Some(true)
+    }
+
+    /// True if lane `i` is certainly false.
+    #[must_use]
+    pub fn is_false(self, i: usize) -> bool {
+        self.lane(i) == Some(false)
+    }
+
+    /// True if lane `i` is undecided.
+    #[must_use]
+    pub fn is_unknown(self, i: usize) -> bool {
+        self.lane(i).is_none()
+    }
+}
+
+/// Scalar reference for [`cmp_lt_4`]: `a < b` on raw `(neg_lo, hi)`
+/// endpoint pairs. `Some(true)` when every point of `a` is below every
+/// point of `b`, `Some(false)` when none is, `None` otherwise (overlap or
+/// NaN). Mirrors `F64I::cmp_lt` with `True/False/Unknown` mapped to
+/// `Some(true)/Some(false)/None`.
+pub fn cmp_lt_cols(a_neg_lo: f64, a_hi: f64, b_neg_lo: f64, b_hi: f64) -> Option<bool> {
+    if a_neg_lo.is_nan() || a_hi.is_nan() || b_neg_lo.is_nan() || b_hi.is_nan() {
+        None
+    } else if a_hi < -b_neg_lo {
+        Some(true)
+    } else if -a_neg_lo >= b_hi {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Scalar reference for [`cmp_le_4`]: `a <= b` (see [`cmp_lt_cols`]).
+pub fn cmp_le_cols(a_neg_lo: f64, a_hi: f64, b_neg_lo: f64, b_hi: f64) -> Option<bool> {
+    if a_neg_lo.is_nan() || a_hi.is_nan() || b_neg_lo.is_nan() || b_hi.is_nan() {
+        None
+    } else if a_hi <= -b_neg_lo {
+        Some(true)
+    } else if -a_neg_lo > b_hi {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Scalar reference for [`cmp_eq_4`]: point equality — `Some(true)` only
+/// when both intervals are the same single point, `Some(false)` when they
+/// are disjoint (see [`cmp_lt_cols`]).
+pub fn cmp_eq_cols(a_neg_lo: f64, a_hi: f64, b_neg_lo: f64, b_hi: f64) -> Option<bool> {
+    if a_neg_lo.is_nan() || a_hi.is_nan() || b_neg_lo.is_nan() || b_hi.is_nan() {
+        None
+    } else if -a_neg_lo == a_hi && -b_neg_lo == b_hi && a_hi == b_hi {
+        Some(true)
+    } else if a_hi < -b_neg_lo || b_hi < -a_neg_lo {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Packed interval `a < b` on raw endpoint columns: lane-wise
+/// [`cmp_lt_cols`], identical verdict in every lane. The comparisons are
+/// exact (no rounding), so there is no recompute patch; lanes holding a
+/// NaN endpoint are resolved by the packed NaN screen and counted under
+/// `simd.cmp.lanes_patched` (the special-lane analogue of the arithmetic
+/// kernels' guard failures).
+pub fn cmp_lt_4(
+    bk: Backend,
+    a_neg_lo: &[f64; 4],
+    a_hi: &[f64; 4],
+    b_neg_lo: &[f64; 4],
+    b_hi: &[f64; 4],
+) -> TriMask4 {
+    let bk = clamp(bk);
+    note_dispatch(bk, &tel::CMP_PACKED);
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() guarantees the detected CPU has AVX2 and FMA.
+        Backend::Avx2Fma => unsafe { x86::cmp_lt_4_avx2(a_neg_lo, a_hi, b_neg_lo, b_hi) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86-64 baseline ISA.
+        Backend::Sse2 => unsafe { x86::cmp_lt_4_sse2(a_neg_lo, a_hi, b_neg_lo, b_hi) },
+        _ => cmp_cols_portable(a_neg_lo, a_hi, b_neg_lo, b_hi, cmp_lt_cols),
+    }
+}
+
+/// Packed interval `a <= b` on raw endpoint columns: lane-wise
+/// [`cmp_le_cols`] (see [`cmp_lt_4`]).
+pub fn cmp_le_4(
+    bk: Backend,
+    a_neg_lo: &[f64; 4],
+    a_hi: &[f64; 4],
+    b_neg_lo: &[f64; 4],
+    b_hi: &[f64; 4],
+) -> TriMask4 {
+    let bk = clamp(bk);
+    note_dispatch(bk, &tel::CMP_PACKED);
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() guarantees the detected CPU has AVX2 and FMA.
+        Backend::Avx2Fma => unsafe { x86::cmp_le_4_avx2(a_neg_lo, a_hi, b_neg_lo, b_hi) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86-64 baseline ISA.
+        Backend::Sse2 => unsafe { x86::cmp_le_4_sse2(a_neg_lo, a_hi, b_neg_lo, b_hi) },
+        _ => cmp_cols_portable(a_neg_lo, a_hi, b_neg_lo, b_hi, cmp_le_cols),
+    }
+}
+
+/// Packed interval point equality on raw endpoint columns: lane-wise
+/// [`cmp_eq_cols`] (see [`cmp_lt_4`]).
+pub fn cmp_eq_4(
+    bk: Backend,
+    a_neg_lo: &[f64; 4],
+    a_hi: &[f64; 4],
+    b_neg_lo: &[f64; 4],
+    b_hi: &[f64; 4],
+) -> TriMask4 {
+    let bk = clamp(bk);
+    note_dispatch(bk, &tel::CMP_PACKED);
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamp() guarantees the detected CPU has AVX2 and FMA.
+        Backend::Avx2Fma => unsafe { x86::cmp_eq_4_avx2(a_neg_lo, a_hi, b_neg_lo, b_hi) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86-64 baseline ISA.
+        Backend::Sse2 => unsafe { x86::cmp_eq_4_sse2(a_neg_lo, a_hi, b_neg_lo, b_hi) },
+        _ => cmp_cols_portable(a_neg_lo, a_hi, b_neg_lo, b_hi, cmp_eq_cols),
+    }
+}
+
+/// Shared portable lane loop for the packed comparisons.
+fn cmp_cols_portable(
+    a_neg_lo: &[f64; 4],
+    a_hi: &[f64; 4],
+    b_neg_lo: &[f64; 4],
+    b_hi: &[f64; 4],
+    op: fn(f64, f64, f64, f64) -> Option<bool>,
+) -> TriMask4 {
+    let mut t = 0u8;
+    let mut f = 0u8;
+    for i in 0..4 {
+        match op(a_neg_lo[i], a_hi[i], b_neg_lo[i], b_hi[i]) {
+            Some(true) => t |= 1 << i,
+            Some(false) => f |= 1 << i,
+            None => {}
+        }
+    }
+    TriMask4::new(t, f)
+}
+
 /// Largest operand magnitude for which Veltkamp splitting cannot
 /// overflow: `2^996` (the split multiplies by `2^27 + 1`).
 pub(crate) const DEKKER_OP_MAX: f64 = f64::from_bits((1023 + 996) << 52);
@@ -303,7 +603,8 @@ mod x86 {
     //! dispatchers via `clamp`), the SSE2 ones only the x86-64 baseline.
 
     use super::{
-        DEKKER_OP_MAX, DEKKER_OP_MIN, DEKKER_PROD_MAX, DIV_EXACT_MIN_A, FMA_RESIDUAL_EXACT_MIN,
+        TriMask4, DEKKER_OP_MAX, DEKKER_OP_MIN, DEKKER_PROD_MAX, DIV_EXACT_MIN_A,
+        FMA_RESIDUAL_EXACT_MIN, SQRT_EXACT_MIN_A,
     };
     use core::arch::x86_64::*;
 
@@ -400,13 +701,13 @@ mod x86 {
         out
     }
 
-    /// Packed `mul_ru_both`: product + FMA residual + two directed bumps;
-    /// lanes outside the residual-exactness range fall back to the scalar
-    /// kernel.
+    /// The `mul_ru_both` hot path on one 256-bit column pair: product +
+    /// FMA residual + two directed bumps, plus the residual-exactness
+    /// validity mask. Shared by the multiply and square kernels (which
+    /// differ only in which scalar kernel patches the failing lanes).
     #[target_feature(enable = "avx2,fma")]
-    pub(super) unsafe fn mul_ru_both_4_avx2(a: &[f64; 4], b: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
-        let va = _mm256_loadu_pd(a.as_ptr());
-        let vb = _mm256_loadu_pd(b.as_ptr());
+    #[inline]
+    unsafe fn mul_ru_both_4_avx2_core(va: __m256d, vb: __m256d) -> (__m256d, __m256d, i32) {
         let p = _mm256_mul_pd(va, vb);
         let e = _mm256_fmsub_pd(va, vb, p); // a*b - p, exactly (FMA)
         let zero = _mm256_setzero_pd();
@@ -416,6 +717,17 @@ mod x86 {
             abs_in_range_256(p, FMA_RESIDUAL_EXACT_MIN, f64::MAX),
             is_finite_256(e),
         ));
+        (hi, lo, ok)
+    }
+
+    /// Packed `mul_ru_both`: product + FMA residual + two directed bumps;
+    /// lanes outside the residual-exactness range fall back to the scalar
+    /// kernel.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn mul_ru_both_4_avx2(a: &[f64; 4], b: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
+        let va = _mm256_loadu_pd(a.as_ptr());
+        let vb = _mm256_loadu_pd(b.as_ptr());
+        let (hi, lo, ok) = mul_ru_both_4_avx2_core(va, vb);
         let mut out_hi = [0.0; 4];
         let mut out_lo = [0.0; 4];
         _mm256_storeu_pd(out_hi.as_mut_ptr(), hi);
@@ -425,6 +737,182 @@ mod x86 {
             patch_pair(ok, &mut out_hi, &mut out_lo, |i| crate::mul_ru_both(a[i], b[i]));
         }
         (out_hi, out_lo)
+    }
+
+    /// Packed `mul_ru_both(a, a)`: the multiply hot path with both
+    /// operands the same column; failing lanes patch with the scalar
+    /// square (`mul_ru_both(a, a)`) under the square's own counter.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn sqr_ru_both_4_avx2(a: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
+        let va = _mm256_loadu_pd(a.as_ptr());
+        let (hi, lo, ok) = mul_ru_both_4_avx2_core(va, va);
+        let mut out_hi = [0.0; 4];
+        let mut out_lo = [0.0; 4];
+        _mm256_storeu_pd(out_hi.as_mut_ptr(), hi);
+        _mm256_storeu_pd(out_lo.as_mut_ptr(), lo);
+        if ok != ALL4 {
+            note_patched(&super::tel::SQR_PATCHED, ok);
+            patch_pair(ok, &mut out_hi, &mut out_lo, |i| crate::mul_ru_both(a[i], a[i]));
+        }
+        (out_hi, out_lo)
+    }
+
+    /// The packed sqrt hot path on one 256-bit column: `s = sqrt(a)`, the
+    /// FMA residual `r = RN(s*s - a)` whose sign directs the bump, and
+    /// the scalar guard mask (`a >= SQRT_EXACT_MIN_A && s <= MAX`; the
+    /// `>=` compare is ordered, so NaN and negative radicands fail it and
+    /// take the scalar patch, which reproduces their NaN handling).
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    unsafe fn sqrt_sr_4_avx2(va: __m256d) -> (__m256d, __m256d, i32) {
+        let s = _mm256_sqrt_pd(va);
+        let r = _mm256_fmsub_pd(s, s, va);
+        let ok = _mm256_movemask_pd(_mm256_and_pd(
+            _mm256_cmp_pd::<_CMP_GE_OQ>(va, _mm256_set1_pd(SQRT_EXACT_MIN_A)),
+            _mm256_cmp_pd::<_CMP_LE_OQ>(s, _mm256_set1_pd(f64::MAX)),
+        ));
+        (s, r, ok)
+    }
+
+    /// Packed `sqrt_ru`: correctly-rounded packed sqrt + FMA residual +
+    /// directed bump, exactly the scalar hot path lane-wise.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn sqrt_ru_4_avx2(a: &[f64; 4]) -> [f64; 4] {
+        let va = _mm256_loadu_pd(a.as_ptr());
+        let (s, r, ok) = sqrt_sr_4_avx2(va);
+        let up = _mm256_cmp_pd::<_CMP_LT_OQ>(r, _mm256_setzero_pd());
+        let bumped = bump_up_256(s, up);
+        let mut out = [0.0; 4];
+        _mm256_storeu_pd(out.as_mut_ptr(), bumped);
+        if ok != ALL4 {
+            note_patched(&super::tel::SQRT_PATCHED, ok);
+            patch(ok, &mut out, |i| crate::sqrt_ru(a[i]));
+        }
+        out
+    }
+
+    /// Packed `sqrt_rd`: the downward bump mirrors through negation, as
+    /// in the scalar kernel (`-bump_up(-s, r > 0)`).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn sqrt_rd_4_avx2(a: &[f64; 4]) -> [f64; 4] {
+        let va = _mm256_loadu_pd(a.as_ptr());
+        let (s, r, ok) = sqrt_sr_4_avx2(va);
+        let up = _mm256_cmp_pd::<_CMP_GT_OQ>(r, _mm256_setzero_pd());
+        let bumped = neg_256(bump_up_256(neg_256(s), up));
+        let mut out = [0.0; 4];
+        _mm256_storeu_pd(out.as_mut_ptr(), bumped);
+        if ok != ALL4 {
+            note_patched(&super::tel::SQRT_PATCHED, ok);
+            patch(ok, &mut out, |i| crate::sqrt_rd(a[i]));
+        }
+        out
+    }
+
+    /// Packed interval absolute value on raw `(neg_lo, hi)` columns:
+    /// nested selects replicating `abs_cols`' decision order (NaN screen,
+    /// then nonnegative, then nonpositive, then the straddle case). All
+    /// comparisons exact — no patch path.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn abs_4_avx2(neg_lo: &[f64; 4], hi: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
+        let vn = _mm256_loadu_pd(neg_lo.as_ptr());
+        let vh = _mm256_loadu_pd(hi.as_ptr());
+        let zero = _mm256_setzero_pd();
+        let nonneg = _mm256_cmp_pd::<_CMP_GE_OQ>(neg_256(vn), zero); // lo >= 0
+        let nonpos = _mm256_cmp_pd::<_CMP_LE_OQ>(vh, zero); // hi <= 0
+        let unord = _mm256_cmp_pd::<_CMP_UNORD_Q>(vn, vh);
+        // Straddle lanes: max_nan(neg_lo, hi) with the a-on-ties select
+        // (operands there are never NaN — the screen overrides).
+        let mx = _mm256_blendv_pd(vh, vn, _mm256_cmp_pd::<_CMP_GE_OQ>(vn, vh));
+        let nanv = _mm256_set1_pd(f64::NAN);
+        let out_n =
+            _mm256_blendv_pd(_mm256_blendv_pd(_mm256_set1_pd(-0.0), vh, nonpos), vn, nonneg);
+        let out_h = _mm256_blendv_pd(_mm256_blendv_pd(mx, vn, nonpos), vh, nonneg);
+        let mut res_n = [0.0; 4];
+        let mut res_h = [0.0; 4];
+        _mm256_storeu_pd(res_n.as_mut_ptr(), _mm256_blendv_pd(out_n, nanv, unord));
+        _mm256_storeu_pd(res_h.as_mut_ptr(), _mm256_blendv_pd(out_h, nanv, unord));
+        (res_n, res_h)
+    }
+
+    /// NaN screen for the packed comparisons: lanes where either interval
+    /// carries a NaN endpoint (counted as patched special lanes).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn cmp_nan_256(anl: __m256d, ah: __m256d, bnl: __m256d, bh: __m256d) -> __m256d {
+        _mm256_or_pd(_mm256_cmp_pd::<_CMP_UNORD_Q>(anl, ah), _mm256_cmp_pd::<_CMP_UNORD_Q>(bnl, bh))
+    }
+
+    /// Folds packed true/false/nan lane masks into a [`TriMask4`], noting
+    /// the NaN-screened lanes under the comparison patch counter.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn trimask(t: __m256d, f: __m256d, nan: __m256d) -> TriMask4 {
+        let nm = _mm256_movemask_pd(nan);
+        if nm != 0 {
+            note_patched(&super::tel::CMP_PATCHED, !nm);
+        }
+        TriMask4::new(
+            (_mm256_movemask_pd(_mm256_andnot_pd(nan, t)) & ALL4) as u8,
+            (_mm256_movemask_pd(_mm256_andnot_pd(nan, f)) & ALL4) as u8,
+        )
+    }
+
+    /// Packed `a < b` on raw endpoint columns (lane-wise `cmp_lt_cols`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn cmp_lt_4_avx2(
+        anl: &[f64; 4],
+        ah: &[f64; 4],
+        bnl: &[f64; 4],
+        bh: &[f64; 4],
+    ) -> TriMask4 {
+        let vanl = _mm256_loadu_pd(anl.as_ptr());
+        let vah = _mm256_loadu_pd(ah.as_ptr());
+        let vbnl = _mm256_loadu_pd(bnl.as_ptr());
+        let vbh = _mm256_loadu_pd(bh.as_ptr());
+        let t = _mm256_cmp_pd::<_CMP_LT_OQ>(vah, neg_256(vbnl)); // a.hi < b.lo
+        let f = _mm256_cmp_pd::<_CMP_GE_OQ>(neg_256(vanl), vbh); // a.lo >= b.hi
+        trimask(t, f, cmp_nan_256(vanl, vah, vbnl, vbh))
+    }
+
+    /// Packed `a <= b` on raw endpoint columns (lane-wise `cmp_le_cols`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn cmp_le_4_avx2(
+        anl: &[f64; 4],
+        ah: &[f64; 4],
+        bnl: &[f64; 4],
+        bh: &[f64; 4],
+    ) -> TriMask4 {
+        let vanl = _mm256_loadu_pd(anl.as_ptr());
+        let vah = _mm256_loadu_pd(ah.as_ptr());
+        let vbnl = _mm256_loadu_pd(bnl.as_ptr());
+        let vbh = _mm256_loadu_pd(bh.as_ptr());
+        let t = _mm256_cmp_pd::<_CMP_LE_OQ>(vah, neg_256(vbnl)); // a.hi <= b.lo
+        let f = _mm256_cmp_pd::<_CMP_GT_OQ>(neg_256(vanl), vbh); // a.lo > b.hi
+        trimask(t, f, cmp_nan_256(vanl, vah, vbnl, vbh))
+    }
+
+    /// Packed point equality on raw endpoint columns (lane-wise
+    /// `cmp_eq_cols`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn cmp_eq_4_avx2(
+        anl: &[f64; 4],
+        ah: &[f64; 4],
+        bnl: &[f64; 4],
+        bh: &[f64; 4],
+    ) -> TriMask4 {
+        let vanl = _mm256_loadu_pd(anl.as_ptr());
+        let vah = _mm256_loadu_pd(ah.as_ptr());
+        let vbnl = _mm256_loadu_pd(bnl.as_ptr());
+        let vbh = _mm256_loadu_pd(bh.as_ptr());
+        let point_a = _mm256_cmp_pd::<_CMP_EQ_OQ>(neg_256(vanl), vah);
+        let point_b = _mm256_cmp_pd::<_CMP_EQ_OQ>(neg_256(vbnl), vbh);
+        let t =
+            _mm256_and_pd(_mm256_and_pd(point_a, point_b), _mm256_cmp_pd::<_CMP_EQ_OQ>(vah, vbh));
+        let f = _mm256_or_pd(
+            _mm256_cmp_pd::<_CMP_LT_OQ>(vah, neg_256(vbnl)),
+            _mm256_cmp_pd::<_CMP_LT_OQ>(vbh, neg_256(vanl)),
+        );
+        trimask(t, f, cmp_nan_256(vanl, vah, vbnl, vbh))
     }
 
     /// Packed `div_ru_both`: quotient + `two_prod` residual check + two
@@ -680,6 +1168,198 @@ mod x86 {
         out
     }
 
+    /// Packed `mul_ru_both(a, a)` on the SSE2 path: the multiply halves
+    /// with both operands the same column, patched under the square's
+    /// counter.
+    pub(super) unsafe fn sqr_ru_both_4_sse2(a: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
+        let va0 = _mm_loadu_pd(a.as_ptr());
+        let va1 = _mm_loadu_pd(a.as_ptr().add(2));
+        let (hi0, lo0, ok0) = mul_ru_both_2_sse2(va0, va0);
+        let (hi1, lo1, ok1) = mul_ru_both_2_sse2(va1, va1);
+        let mut out_hi = [0.0; 4];
+        let mut out_lo = [0.0; 4];
+        _mm_storeu_pd(out_hi.as_mut_ptr(), hi0);
+        _mm_storeu_pd(out_hi.as_mut_ptr().add(2), hi1);
+        _mm_storeu_pd(out_lo.as_mut_ptr(), lo0);
+        _mm_storeu_pd(out_lo.as_mut_ptr().add(2), lo1);
+        let ok = ok0 | (ok1 << 2);
+        if ok != ALL4 {
+            note_patched(&super::tel::SQR_PATCHED, ok);
+            patch_pair(ok, &mut out_hi, &mut out_lo, |i| crate::mul_ru_both(a[i], a[i]));
+        }
+        (out_hi, out_lo)
+    }
+
+    /// The FMA-free sqrt hot path on 2 lanes: `s = sqrt(a)` (packed sqrt
+    /// is correctly rounded, bit-equal to scalar `a.sqrt()`), then the
+    /// residual sign via Dekker: with `(p, e) = two_prod(s, s)`,
+    /// `d = (p - a) + e`. Under the guard `a >= SQRT_EXACT_MIN_A` the
+    /// rounded square `p` lies within `[a/2, 2a]` (s is within a few ulps
+    /// of √a), so `p - a` is exact by Sterbenz and `(p - a) + e` rounds
+    /// the exact value `s² - a` once — the very value the scalar FMA
+    /// residual `RN(s·s - a)` rounds. The two residuals are therefore
+    /// bit-equal, and every bump decision matches the scalar kernel's.
+    /// The validity mask additionally requires the Dekker split bounds on
+    /// `(s, s, p)` (lanes with `a` within a binade of `f64::MAX`, or with
+    /// `s` below the `2^-480` split floor near `a ≈ 1e-290`, patch).
+    #[inline]
+    unsafe fn sqrt_sd_2_sse2(va: __m128d) -> (__m128d, __m128d, i32) {
+        let s = _mm_sqrt_pd(va);
+        let (p, e, split_ok) = two_prod_dekker_2(s, s);
+        let d = _mm_add_pd(_mm_sub_pd(p, va), e);
+        let ok = _mm_movemask_pd(_mm_and_pd(
+            _mm_and_pd(
+                _mm_cmpge_pd(va, _mm_set1_pd(SQRT_EXACT_MIN_A)),
+                _mm_cmple_pd(s, _mm_set1_pd(f64::MAX)),
+            ),
+            split_ok,
+        ));
+        (s, d, ok)
+    }
+
+    pub(super) unsafe fn sqrt_ru_4_sse2(a: &[f64; 4]) -> [f64; 4] {
+        let zero = _mm_setzero_pd();
+        let (s0, d0, ok0) = sqrt_sd_2_sse2(_mm_loadu_pd(a.as_ptr()));
+        let (s1, d1, ok1) = sqrt_sd_2_sse2(_mm_loadu_pd(a.as_ptr().add(2)));
+        let mut out = [0.0; 4];
+        _mm_storeu_pd(out.as_mut_ptr(), bump_up_128(s0, _mm_cmplt_pd(d0, zero)));
+        _mm_storeu_pd(out.as_mut_ptr().add(2), bump_up_128(s1, _mm_cmplt_pd(d1, zero)));
+        let ok = ok0 | (ok1 << 2);
+        if ok != ALL4 {
+            note_patched(&super::tel::SQRT_PATCHED, ok);
+            patch(ok, &mut out, |i| crate::sqrt_ru(a[i]));
+        }
+        out
+    }
+
+    pub(super) unsafe fn sqrt_rd_4_sse2(a: &[f64; 4]) -> [f64; 4] {
+        let zero = _mm_setzero_pd();
+        let (s0, d0, ok0) = sqrt_sd_2_sse2(_mm_loadu_pd(a.as_ptr()));
+        let (s1, d1, ok1) = sqrt_sd_2_sse2(_mm_loadu_pd(a.as_ptr().add(2)));
+        let mut out = [0.0; 4];
+        let b0 = neg_128(bump_up_128(neg_128(s0), _mm_cmpgt_pd(d0, zero)));
+        let b1 = neg_128(bump_up_128(neg_128(s1), _mm_cmpgt_pd(d1, zero)));
+        _mm_storeu_pd(out.as_mut_ptr(), b0);
+        _mm_storeu_pd(out.as_mut_ptr().add(2), b1);
+        let ok = ok0 | (ok1 << 2);
+        if ok != ALL4 {
+            note_patched(&super::tel::SQRT_PATCHED, ok);
+            patch(ok, &mut out, |i| crate::sqrt_rd(a[i]));
+        }
+        out
+    }
+
+    /// Packed interval absolute value, SSE2 halves (see [`abs_4_avx2`]).
+    pub(super) unsafe fn abs_4_sse2(neg_lo: &[f64; 4], hi: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
+        let mut res_n = [0.0; 4];
+        let mut res_h = [0.0; 4];
+        let zero = _mm_setzero_pd();
+        let nanv = _mm_set1_pd(f64::NAN);
+        for half in 0..2 {
+            let vn = _mm_loadu_pd(neg_lo.as_ptr().add(2 * half));
+            let vh = _mm_loadu_pd(hi.as_ptr().add(2 * half));
+            let nonneg = _mm_cmpge_pd(neg_128(vn), zero);
+            let nonpos = _mm_cmple_pd(vh, zero);
+            let unord = _mm_cmpunord_pd(vn, vh);
+            let mx = select_128(_mm_cmpge_pd(vn, vh), vn, vh);
+            let out_n = select_128(nonneg, vn, select_128(nonpos, vh, _mm_set1_pd(-0.0)));
+            let out_h = select_128(nonneg, vh, select_128(nonpos, vn, mx));
+            _mm_storeu_pd(res_n.as_mut_ptr().add(2 * half), select_128(unord, nanv, out_n));
+            _mm_storeu_pd(res_h.as_mut_ptr().add(2 * half), select_128(unord, nanv, out_h));
+        }
+        (res_n, res_h)
+    }
+
+    /// One packed-comparison half: true/false/nan 2-lane movemasks from
+    /// the compare closure applied to the loaded columns.
+    type Cmp2 = unsafe fn(__m128d, __m128d, __m128d, __m128d) -> (__m128d, __m128d);
+
+    /// Shared SSE2 comparison driver: runs `op` on both halves, screens
+    /// NaN lanes, and folds the masks into a [`TriMask4`].
+    #[inline]
+    unsafe fn cmp_4_sse2(
+        anl: &[f64; 4],
+        ah: &[f64; 4],
+        bnl: &[f64; 4],
+        bh: &[f64; 4],
+        op: Cmp2,
+    ) -> TriMask4 {
+        let mut t = 0i32;
+        let mut f = 0i32;
+        let mut nan = 0i32;
+        for half in 0..2 {
+            let vanl = _mm_loadu_pd(anl.as_ptr().add(2 * half));
+            let vah = _mm_loadu_pd(ah.as_ptr().add(2 * half));
+            let vbnl = _mm_loadu_pd(bnl.as_ptr().add(2 * half));
+            let vbh = _mm_loadu_pd(bh.as_ptr().add(2 * half));
+            let nm = _mm_or_pd(_mm_cmpunord_pd(vanl, vah), _mm_cmpunord_pd(vbnl, vbh));
+            let (tm, fm) = op(vanl, vah, vbnl, vbh);
+            t |= _mm_movemask_pd(_mm_andnot_pd(nm, tm)) << (2 * half);
+            f |= _mm_movemask_pd(_mm_andnot_pd(nm, fm)) << (2 * half);
+            nan |= _mm_movemask_pd(nm) << (2 * half);
+        }
+        if nan != 0 {
+            note_patched(&super::tel::CMP_PATCHED, !nan);
+        }
+        TriMask4::new(t as u8, f as u8)
+    }
+
+    pub(super) unsafe fn cmp_lt_4_sse2(
+        anl: &[f64; 4],
+        ah: &[f64; 4],
+        bnl: &[f64; 4],
+        bh: &[f64; 4],
+    ) -> TriMask4 {
+        unsafe fn op(
+            vanl: __m128d,
+            vah: __m128d,
+            vbnl: __m128d,
+            vbh: __m128d,
+        ) -> (__m128d, __m128d) {
+            (_mm_cmplt_pd(vah, neg_128(vbnl)), _mm_cmpge_pd(neg_128(vanl), vbh))
+        }
+        cmp_4_sse2(anl, ah, bnl, bh, op)
+    }
+
+    pub(super) unsafe fn cmp_le_4_sse2(
+        anl: &[f64; 4],
+        ah: &[f64; 4],
+        bnl: &[f64; 4],
+        bh: &[f64; 4],
+    ) -> TriMask4 {
+        unsafe fn op(
+            vanl: __m128d,
+            vah: __m128d,
+            vbnl: __m128d,
+            vbh: __m128d,
+        ) -> (__m128d, __m128d) {
+            (_mm_cmple_pd(vah, neg_128(vbnl)), _mm_cmpgt_pd(neg_128(vanl), vbh))
+        }
+        cmp_4_sse2(anl, ah, bnl, bh, op)
+    }
+
+    pub(super) unsafe fn cmp_eq_4_sse2(
+        anl: &[f64; 4],
+        ah: &[f64; 4],
+        bnl: &[f64; 4],
+        bh: &[f64; 4],
+    ) -> TriMask4 {
+        unsafe fn op(
+            vanl: __m128d,
+            vah: __m128d,
+            vbnl: __m128d,
+            vbh: __m128d,
+        ) -> (__m128d, __m128d) {
+            let t = _mm_and_pd(
+                _mm_and_pd(_mm_cmpeq_pd(neg_128(vanl), vah), _mm_cmpeq_pd(neg_128(vbnl), vbh)),
+                _mm_cmpeq_pd(vah, vbh),
+            );
+            let f = _mm_or_pd(_mm_cmplt_pd(vah, neg_128(vbnl)), _mm_cmplt_pd(vbh, neg_128(vanl)));
+            (t, f)
+        }
+        cmp_4_sse2(anl, ah, bnl, bh, op)
+    }
+
     // ------------------------------------------------------------------
     // Rare-lane scalar patching.
     // ------------------------------------------------------------------
@@ -774,6 +1454,13 @@ mod tests {
                     let (mh, ml) = mul_ru_both_4(bk, &a, &b);
                     let (dh, dl) = div_ru_both_4(bk, &a, &b);
                     let mx = max_nan_4(bk, &a, &b);
+                    let sru = sqrt_ru_4(bk, &a);
+                    let srd = sqrt_rd_4(bk, &a);
+                    let (qqh, qql) = sqr_ru_both_4(bk, &a);
+                    let (an, ah) = abs_4(bk, &a, &b);
+                    let clt = cmp_lt_4(bk, &a, &b, &b, &a);
+                    let cle = cmp_le_4(bk, &a, &b, &b, &a);
+                    let ceq = cmp_eq_4(bk, &a, &b, &b, &a);
                     for i in 0..4 {
                         let ctx = format!("{bk} a={} b={y}", a[i]);
                         assert_lane_bits(s[i], crate::add_ru(a[i], y), &format!("add {ctx}"));
@@ -784,6 +1471,17 @@ mod tests {
                         assert_lane_bits(dh[i], qh, &format!("div hi {ctx}"));
                         assert_lane_bits(dl[i], ql, &format!("div lo {ctx}"));
                         assert_lane_bits(mx[i], max_nan(a[i], y), &format!("max {ctx}"));
+                        assert_lane_bits(sru[i], crate::sqrt_ru(a[i]), &format!("sqrt ru {ctx}"));
+                        assert_lane_bits(srd[i], crate::sqrt_rd(a[i]), &format!("sqrt rd {ctx}"));
+                        let (zh, zl) = crate::mul_ru_both(a[i], a[i]);
+                        assert_lane_bits(qqh[i], zh, &format!("sqr hi {ctx}"));
+                        assert_lane_bits(qql[i], zl, &format!("sqr lo {ctx}"));
+                        let (wn, wh2) = abs_cols(a[i], y);
+                        assert_lane_bits(an[i], wn, &format!("abs neg_lo {ctx}"));
+                        assert_lane_bits(ah[i], wh2, &format!("abs hi {ctx}"));
+                        assert_eq!(clt.lane(i), cmp_lt_cols(a[i], y, y, a[i]), "lt {ctx}");
+                        assert_eq!(cle.lane(i), cmp_le_cols(a[i], y, y, a[i]), "le {ctx}");
+                        assert_eq!(ceq.lane(i), cmp_eq_cols(a[i], y, y, a[i]), "eq {ctx}");
                     }
                 }
             }

@@ -40,6 +40,19 @@ fn check_all_kernels(a: [f64; 4], b: [f64; 4]) -> Result<(), TestCaseError> {
         let (mh, ml) = simd::mul_ru_both_4(bk, &a, &b);
         let (dh, dl) = simd::div_ru_both_4(bk, &a, &b);
         let mx = simd::max_nan_4(bk, &a, &b);
+        // Unary kernels over `a` (random lanes include negative
+        // radicands, which must take the scalar NaN path identically).
+        let qu = simd::sqrt_ru_4(bk, &a);
+        let qd = simd::sqrt_rd_4(bk, &a);
+        let (su, sl) = simd::sqr_ru_both_4(bk, &a);
+        // Column kernels treat `a` as the neg_lo column and `b` as the
+        // hi column — arbitrary raw columns on purpose: the packed path
+        // must match the scalar column reference even on endpoint pairs
+        // no valid interval would produce.
+        let (an, ah) = simd::abs_4(bk, &a, &b);
+        let lt = simd::cmp_lt_4(bk, &a, &b, &b, &a);
+        let le = simd::cmp_le_4(bk, &a, &b, &b, &a);
+        let eq = simd::cmp_eq_4(bk, &a, &b, &b, &a);
         for i in 0..4 {
             assert_lane("add_ru_4", bk, i, s[i], r::add_ru(a[i], b[i]))?;
             let (wh, wl) = r::mul_ru_both(a[i], b[i]);
@@ -49,6 +62,32 @@ fn check_all_kernels(a: [f64; 4], b: [f64; 4]) -> Result<(), TestCaseError> {
             assert_lane("div_ru_both_4.hi", bk, i, dh[i], qh)?;
             assert_lane("div_ru_both_4.lo", bk, i, dl[i], ql)?;
             assert_lane("max_nan_4", bk, i, mx[i], simd::max_nan(a[i], b[i]))?;
+            assert_lane("sqrt_ru_4", bk, i, qu[i], r::sqrt_ru(a[i]))?;
+            assert_lane("sqrt_rd_4", bk, i, qd[i], r::sqrt_rd(a[i]))?;
+            let (vh, vl) = r::mul_ru_both(a[i], a[i]);
+            assert_lane("sqr_ru_both_4.hi", bk, i, su[i], vh)?;
+            assert_lane("sqr_ru_both_4.lo", bk, i, sl[i], vl)?;
+            let (wn, wh) = simd::abs_cols(a[i], b[i]);
+            assert_lane("abs_4.neg_lo", bk, i, an[i], wn)?;
+            assert_lane("abs_4.hi", bk, i, ah[i], wh)?;
+            prop_assert!(
+                lt.lane(i) == simd::cmp_lt_cols(a[i], b[i], b[i], a[i]),
+                "cmp_lt_4 [{bk:?} lane {i}]: a={:e} b={:e}",
+                a[i],
+                b[i]
+            );
+            prop_assert!(
+                le.lane(i) == simd::cmp_le_cols(a[i], b[i], b[i], a[i]),
+                "cmp_le_4 [{bk:?} lane {i}]: a={:e} b={:e}",
+                a[i],
+                b[i]
+            );
+            prop_assert!(
+                eq.lane(i) == simd::cmp_eq_cols(a[i], b[i], b[i], a[i]),
+                "cmp_eq_4 [{bk:?} lane {i}]: a={:e} b={:e}",
+                a[i],
+                b[i]
+            );
         }
     }
     Ok(())
@@ -179,6 +218,8 @@ fn packed_kernels_bit_identical_special_grid() {
         f64::from_bits(0x000f_ffff_ffff_ffff), // largest subnormal
         2.5e-291,                              // FMA residual guard boundary
         1e-270,                                // division dividend guard boundary
+        1e-290,                                // sqrt radicand guard boundary
+        -1e-290,                               // negative radicand at the guard
         pow2(-480),                            // Dekker operand guard boundary
         pow2(996),
         f64::INFINITY,

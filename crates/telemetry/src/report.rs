@@ -81,7 +81,7 @@ fn counter(snap: &Snapshot, name: &str) -> Option<u64> {
 fn render_simd(out: &mut String, snap: &Snapshot) {
     // Guard-failure rate per packed op.
     let mut rows: Vec<(&str, u64, u64)> = Vec::new();
-    for op in ["add", "mul", "div", "max"] {
+    for op in ["add", "mul", "div", "max", "sqrt", "sqr", "abs", "cmp"] {
         let packed = counter(snap, &format!("simd.{op}.packed_calls"));
         let patched = counter(snap, &format!("simd.{op}.lanes_patched"));
         if let Some(packed) = packed {
@@ -205,6 +205,9 @@ mod tests {
             counters: vec![
                 ("simd.add.lanes_patched".into(), 8),
                 ("simd.add.packed_calls".into(), 1000),
+                ("simd.sqrt.lanes_patched".into(), 2),
+                ("simd.sqrt.packed_calls".into(), 100),
+                ("simd.cmp.packed_calls".into(), 50),
                 ("simd.dispatch.avx2_fma".into(), 3),
                 ("simd.dispatch.sse2".into(), 1),
             ],
@@ -219,6 +222,10 @@ mod tests {
         assert!(r.contains("compile.lower"), "{r}");
         // 8 / 4000 lanes = 0.2%.
         assert!(r.contains("(0.2000%)"), "{r}");
+        // 2 / 400 lanes = 0.5%; cmp shows up with zero patched lanes.
+        assert!(r.contains("(0.5000%)"), "{r}");
+        assert!(r.contains("sqrt"), "{r}");
+        assert!(r.contains("cmp"), "{r}");
         assert!(r.contains("avx2_fma"), "{r}");
         assert!(r.contains("(75.0%)"), "{r}");
         assert!(r.contains("exact 10.0%"), "{r}");
