@@ -22,6 +22,13 @@
 //! rounding substrate (`igen-round`) as IGen itself, so every comparison
 //! in the benchmarks is apples-to-apples on rounding cost and differs
 //! only in the algorithmic structure.
+//!
+//! The [`backend`] module adds the benchmark-gauntlet abstraction on top:
+//! one [`IntervalBackend`] trait every implementation (these baselines,
+//! the naive switched-rounding [`NaiveI`], the production IGen types, the
+//! `igen-mpf` oracle) is driven through, and [`naive`] adds the
+//! switched-rounding-mode emulation that serves as the gauntlet's
+//! universal baseline.
 
 #![forbid(unsafe_code)]
 // `debug_assert!(!(lo > hi))` below is deliberate: unlike `lo <= hi` it
@@ -29,7 +36,12 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod costmodel;
+pub mod naive;
+
+pub use backend::{IntervalBackend, IvalVec, Kernel, KernelCase};
+pub use naive::NaiveI;
 
 use igen_round as r;
 
@@ -90,7 +102,7 @@ impl BoostI {
     }
 }
 
-fn igen_interval_accuracy(lo: f64, hi: f64) -> f64 {
+pub(crate) fn igen_interval_accuracy(lo: f64, hi: f64) -> f64 {
     if lo.is_nan() || hi.is_nan() || !lo.is_finite() || !hi.is_finite() || lo > hi {
         return 0.0;
     }

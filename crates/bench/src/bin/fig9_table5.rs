@@ -6,7 +6,9 @@
 //! Paper sizes: fft-64, potrf-124, ffnn-200, gemm-616 (the quick mode
 //! scales gemm/ffnn down; pass `--full` for the paper's sizes).
 
-use igen_bench::{full_mode, median_time, reps, sink, write_csv, NOMINAL_GHZ};
+use igen_bench::{
+    full_mode, host_line, median_time, reps, sink, write_csv_with_comments, NOMINAL_GHZ,
+};
 use igen_interval::{DdI, F64I};
 use igen_kernels::ffnn::Ffnn;
 use igen_kernels::linalg::{gemm_iops, gemm_unrolled, potrf_iops, potrf_unrolled};
@@ -58,7 +60,13 @@ fn main() {
             fl(&m.t_vv_dd)
         ));
     }
-    write_csv("real_perf.csv", "bench,n,baseline_fpc,igen_vv_dbl_fpc,igen_vv_dd_fpc", &rows9a);
+    let host = [host_line(igen_batch::available_threads())];
+    write_csv_with_comments(
+        "real_perf.csv",
+        &host,
+        "bench,n,baseline_fpc,igen_vv_dbl_fpc,igen_vv_dd_fpc",
+        &rows9a,
+    );
 
     println!("\n== Fig. 9b: certified accuracy [bits] ==");
     let mut rows9b = Vec::new();
@@ -69,7 +77,7 @@ fn main() {
         );
         rows9b.push(format!("{},{},{:.2},{:.2}", m.bench, m.n, m.bits_f64, m.bits_dd));
     }
-    write_csv("accuracy.csv", "bench,n,bits_double,bits_dd", &rows9b);
+    write_csv_with_comments("accuracy.csv", &host, "bench,n,bits_double,bits_dd", &rows9b);
 
     println!("\n== Table V: slowdown of IGen configurations vs float input ==");
     println!("{:12} {:>8} {:>8} {:>8} {:>8}", "Name", "Dbl sv", "Dbl vv", "DD sv", "DD vv");
@@ -94,7 +102,7 @@ fn main() {
             sd(&m.t_vv_dd)
         ));
     }
-    write_csv("overhead.csv", "bench,n,dbl_sv,dbl_vv,dd_sv,dd_vv", &rows5);
+    write_csv_with_comments("overhead.csv", &host, "bench,n,dbl_sv,dbl_vv,dd_sv,dd_vv", &rows5);
 }
 
 fn fft_meas(n: usize) -> Meas {

@@ -88,8 +88,9 @@ fn main() {
     println!("{:16} {:>8}", "Division", div_flops);
     println!();
     println!("shape check: Add < Mul < Div: {}", add_flops < mul_flops && mul_flops < div_flops);
-    igen_bench::write_csv(
+    igen_bench::write_csv_with_comments(
         "ddi_op_cost.csv",
+        &[igen_bench::host_line(igen_batch::available_threads())],
         "op,flops",
         &[format!("add,{add_flops}"), format!("mul,{mul_flops}"), format!("div,{div_flops}")],
     );

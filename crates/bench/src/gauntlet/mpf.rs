@@ -1,0 +1,186 @@
+//! One-file gauntlet plug-in for the 256-bit multiprecision oracle.
+//!
+//! [`MpfInterval`] is not an `igen_kernels::Numeric` (it is a heap-free
+//! but 10×-wider-than-f64 value type with `&self` operator methods), so
+//! the five kernels are written out longhand here against the same
+//! operation sequences the generic kernels use. Its outputs are the
+//! tightest enclosures in the gauntlet and double as the ground truth
+//! for the soundness property tests: every other backend's output must
+//! enclose the oracle's `to_f64_pair`.
+
+use igen_baselines::backend::{IntervalBackend, IvalVec, Kernel, KernelCase};
+use igen_kernels::ffnn::Ffnn;
+use igen_mpf::MpfInterval;
+
+/// The multiprecision oracle as a gauntlet contender: slow by design,
+/// included so the trajectory records how far production widths sit
+/// from the attainable tightest enclosure (and what that costs).
+pub struct MpfBackend;
+
+fn convert(v: &IvalVec) -> Vec<MpfInterval> {
+    v.lo.iter().zip(&v.hi).map(|(&l, &h)| MpfInterval::from_f64_pair(l, h)).collect()
+}
+
+fn collect(vals: impl IntoIterator<Item = MpfInterval>) -> IvalVec {
+    let mut out = IvalVec::new();
+    for v in vals {
+        let (l, h) = v.to_f64_pair();
+        out.push(l, h);
+    }
+    out
+}
+
+fn dot(x: &[MpfInterval], y: &[MpfInterval]) -> MpfInterval {
+    let mut acc = MpfInterval::from_f64(0.0);
+    for (a, b) in x.iter().zip(y) {
+        acc = acc.add(&a.mul(b));
+    }
+    acc
+}
+
+fn mvm(n: usize, a: &[MpfInterval], x: &[MpfInterval], y: &mut [MpfInterval]) {
+    for i in 0..n {
+        let mut acc = y[i];
+        for j in 0..n {
+            acc = acc.add(&a[i * n + j].mul(&x[j]));
+        }
+        y[i] = acc;
+    }
+}
+
+fn gemm(n: usize, a: &[MpfInterval], b: &[MpfInterval], c: &mut [MpfInterval]) {
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = c[i * n + j];
+            for p in 0..n {
+                acc = acc.add(&a[i * n + p].mul(&b[p * n + j]));
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+fn henon_from(x0: MpfInterval, y0: MpfInterval, iterations: usize) -> MpfInterval {
+    // `x' = 1 - a·x² + y`, `y' = b·x` with the paper's `a = 1.05`,
+    // `b = 0.3`, matching `igen_kernels::henon_from`'s operation
+    // sequence (including the rational-constant enclosures).
+    let one = MpfInterval::from_f64(1.0);
+    let a = MpfInterval::from_f64(105.0).div(&MpfInterval::from_f64(100.0));
+    let b = MpfInterval::from_f64(3.0).div(&MpfInterval::from_f64(10.0));
+    let (mut x, mut y) = (x0, y0);
+    for _ in 0..iterations {
+        let xi = x;
+        x = one.sub(&a.mul(&xi).mul(&xi)).add(&y);
+        y = b.mul(&xi);
+    }
+    x
+}
+
+fn ffnn_forward(net: &Ffnn, input: &[f64]) -> Vec<MpfInterval> {
+    let mut act: Vec<MpfInterval> = input.iter().map(|&p| MpfInterval::from_f64(p)).collect();
+    let layers = net.weights.len();
+    for (li, (w, b)) in net.weights.iter().zip(&net.biases).enumerate() {
+        let fan_in = act.len();
+        let mut next = Vec::with_capacity(b.len());
+        for (o, &bias) in b.iter().enumerate() {
+            let mut acc = MpfInterval::from_f64(bias);
+            for (i, a) in act.iter().enumerate() {
+                acc = acc.add(&MpfInterval::from_f64(w[o * fan_in + i]).mul(a));
+            }
+            next.push(if li + 1 == layers { acc } else { acc.max_zero() });
+        }
+        act = next;
+    }
+    act
+}
+
+impl IntervalBackend for MpfBackend {
+    fn name(&self) -> &'static str {
+        "mpf"
+    }
+
+    fn style(&self) -> &'static str {
+        "256-bit multiprecision oracle, outward rounded (tightest enclosure)"
+    }
+
+    fn instantiate<'a>(&'a self, case: &'a KernelCase) -> Box<dyn FnMut() -> IvalVec + 'a> {
+        let (n, batch, iters) = (case.n, case.batch, case.iters);
+        match case.kernel {
+            Kernel::Dot => {
+                let x = convert(&case.x);
+                let y = convert(&case.y);
+                Box::new(move || {
+                    collect((0..batch).map(|b| dot(&x[b * n..(b + 1) * n], &y[b * n..(b + 1) * n])))
+                })
+            }
+            Kernel::Mvm => {
+                let a = convert(&case.w);
+                let x = convert(&case.x);
+                let y0 = convert(&case.y);
+                Box::new(move || {
+                    let mut y = y0.clone();
+                    for b in 0..batch {
+                        mvm(n, &a, &x[b * n..(b + 1) * n], &mut y[b * n..(b + 1) * n]);
+                    }
+                    collect(y)
+                })
+            }
+            Kernel::Gemm => {
+                let a = convert(&case.w);
+                let b = convert(&case.x);
+                let c0 = convert(&case.y);
+                Box::new(move || {
+                    let mut c = c0.clone();
+                    gemm(n, &a, &b, &mut c);
+                    collect(c)
+                })
+            }
+            Kernel::Henon => {
+                let x0 = convert(&case.x);
+                let y0 = convert(&case.y);
+                Box::new(move || collect((0..batch).map(|b| henon_from(x0[b], y0[b], iters))))
+            }
+            Kernel::Ffnn => {
+                let net = Ffnn::synthetic(n, case.ffnn_seed);
+                let dim = case.x.len() / batch;
+                let inputs: Vec<Vec<f64>> =
+                    (0..batch).map(|b| case.x.lo[b * dim..(b + 1) * dim].to_vec()).collect();
+                Box::new(move || collect(inputs.iter().flat_map(|inp| ffnn_forward(&net, inp))))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The oracle's Hénon sequence must track the f64 kernel: starting
+    /// from the same point, the f64 result lies inside the oracle's
+    /// (slightly widened by f64 rounding at readout) enclosure.
+    #[test]
+    fn mpf_henon_tracks_f64_kernel() {
+        let x = henon_from(MpfInterval::from_f64(0.1), MpfInterval::from_f64(0.2), 10);
+        let f: f64 = igen_kernels::henon_from(0.1_f64, 0.2_f64, 10);
+        let (lo, hi) = x.to_f64_pair();
+        // f64 arithmetic drifts from the true orbit, but after only 10
+        // iterations it stays within a loose band of it.
+        assert!(lo.is_finite() && hi.is_finite());
+        assert!((f - (lo + hi) * 0.5).abs() < 1e-6, "f64 {f} vs oracle [{lo},{hi}]");
+    }
+
+    /// The oracle's ffnn forward agrees with the generic f64 forward to
+    /// rounding error.
+    #[test]
+    fn mpf_ffnn_tracks_f64_forward() {
+        let net = Ffnn::synthetic(8, 7);
+        let input = Ffnn::synthetic_input(3);
+        let oracle = ffnn_forward(&net, &input);
+        let plain: Vec<f64> = net.forward::<f64>(&input);
+        assert_eq!(oracle.len(), plain.len());
+        for (o, p) in oracle.iter().zip(&plain) {
+            let (lo, hi) = o.to_f64_pair();
+            assert!(lo - 1e-9 <= *p && *p <= hi + 1e-9, "f64 {p} outside oracle [{lo},{hi}]");
+        }
+    }
+}

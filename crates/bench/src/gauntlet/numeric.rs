@@ -1,0 +1,207 @@
+//! One-file gauntlet plug-in covering every scalar `Numeric` interval
+//! type in the workspace.
+//!
+//! Anything implementing [`igen_kernels::Numeric`] plus the small
+//! [`GauntletNum`] endpoint-conversion shim runs all five kernels
+//! through the *same generic code* — so adding e.g. a new baseline
+//! library to the gauntlet is one `GauntletNum` impl and one registry
+//! line. The kernels themselves come from `igen-kernels` (instantiated
+//! at lane width 1), so the scalar production types here execute the
+//! exact operation sequence the packed backend must reproduce.
+
+use igen_baselines::backend::{IntervalBackend, IvalVec, Kernel, KernelCase};
+use igen_baselines::{BoostI, FilibI, GaolI, NaiveI};
+use igen_interval::{DdI, F64I};
+use igen_kernels::ffnn::Ffnn;
+use igen_kernels::{henon_from, linalg, Numeric};
+
+/// Endpoint conversion between a numeric interval type and the plain
+/// f64 pairs the gauntlet speaks. `from_endpoints` may assume a valid
+/// (non-NaN, ordered) pair — the harness only generates such inputs.
+pub trait GauntletNum: Numeric {
+    /// Builds the interval `[lo, hi]`.
+    fn from_endpoints(lo: f64, hi: f64) -> Self;
+    /// Returns `(lo, hi)` as the tightest f64 pair enclosing the value.
+    fn endpoints(&self) -> (f64, f64);
+}
+
+impl GauntletNum for NaiveI {
+    fn from_endpoints(lo: f64, hi: f64) -> Self {
+        NaiveI::new(lo, hi)
+    }
+    fn endpoints(&self) -> (f64, f64) {
+        (self.lo(), self.hi())
+    }
+}
+
+impl GauntletNum for BoostI {
+    fn from_endpoints(lo: f64, hi: f64) -> Self {
+        BoostI::new(lo, hi)
+    }
+    fn endpoints(&self) -> (f64, f64) {
+        (self.lo(), self.hi())
+    }
+}
+
+impl GauntletNum for FilibI {
+    fn from_endpoints(lo: f64, hi: f64) -> Self {
+        FilibI::new(lo, hi)
+    }
+    fn endpoints(&self) -> (f64, f64) {
+        (self.lo(), self.hi())
+    }
+}
+
+impl GauntletNum for GaolI {
+    fn from_endpoints(lo: f64, hi: f64) -> Self {
+        GaolI::new(lo, hi)
+    }
+    fn endpoints(&self) -> (f64, f64) {
+        (self.lo(), self.hi())
+    }
+}
+
+impl GauntletNum for F64I {
+    fn from_endpoints(lo: f64, hi: f64) -> Self {
+        F64I::new(lo, hi).expect("gauntlet inputs are valid intervals")
+    }
+    fn endpoints(&self) -> (f64, f64) {
+        (self.lo(), self.hi())
+    }
+}
+
+impl GauntletNum for DdI {
+    fn from_endpoints(lo: f64, hi: f64) -> Self {
+        DdI::from_f64i(&F64I::new(lo, hi).expect("gauntlet inputs are valid intervals"))
+    }
+    fn endpoints(&self) -> (f64, f64) {
+        let f = self.to_f64i();
+        (f.lo(), f.hi())
+    }
+}
+
+/// The generic backend: a registry name, a style blurb, and a numeric
+/// type that does all the work.
+pub struct NumericBackend<T: GauntletNum> {
+    name: &'static str,
+    style: &'static str,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: GauntletNum> NumericBackend<T> {
+    /// A gauntlet entry running every kernel at scalar lane width over `T`.
+    pub fn new(name: &'static str, style: &'static str) -> Self {
+        NumericBackend { name, style, _marker: std::marker::PhantomData }
+    }
+}
+
+fn convert<T: GauntletNum>(v: &IvalVec) -> Vec<T> {
+    v.lo.iter().zip(&v.hi).map(|(&l, &h)| T::from_endpoints(l, h)).collect()
+}
+
+fn collect<T: GauntletNum>(vals: impl IntoIterator<Item = T>) -> IvalVec {
+    let mut out = IvalVec::new();
+    for v in vals {
+        let (l, h) = v.endpoints();
+        out.push(l, h);
+    }
+    out
+}
+
+impl<T: GauntletNum> IntervalBackend for NumericBackend<T> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn style(&self) -> &'static str {
+        self.style
+    }
+
+    fn instantiate<'a>(&'a self, case: &'a KernelCase) -> Box<dyn FnMut() -> IvalVec + 'a> {
+        let (n, batch, iters) = (case.n, case.batch, case.iters);
+        match case.kernel {
+            Kernel::Dot => {
+                let x: Vec<T> = convert(&case.x);
+                let y: Vec<T> = convert(&case.y);
+                Box::new(move || {
+                    collect(
+                        (0..batch)
+                            .map(|b| linalg::dot(&x[b * n..(b + 1) * n], &y[b * n..(b + 1) * n])),
+                    )
+                })
+            }
+            Kernel::Mvm => {
+                let a: Vec<T> = convert(&case.w);
+                let x: Vec<T> = convert(&case.x);
+                let y0: Vec<T> = convert(&case.y);
+                Box::new(move || {
+                    let mut y = y0.clone();
+                    for b in 0..batch {
+                        linalg::mvm(n, n, &a, &x[b * n..(b + 1) * n], &mut y[b * n..(b + 1) * n]);
+                    }
+                    collect(y)
+                })
+            }
+            Kernel::Gemm => {
+                let a: Vec<T> = convert(&case.w);
+                let b: Vec<T> = convert(&case.x);
+                let c0: Vec<T> = convert(&case.y);
+                Box::new(move || {
+                    let mut c = c0.clone();
+                    linalg::gemm(n, n, n, &a, &b, &mut c);
+                    collect(c)
+                })
+            }
+            Kernel::Henon => {
+                let x0: Vec<T> = convert(&case.x);
+                let y0: Vec<T> = convert(&case.y);
+                Box::new(move || collect((0..batch).map(|b| henon_from(x0[b], y0[b], iters))))
+            }
+            Kernel::Ffnn => {
+                let net = Ffnn::synthetic(n, case.ffnn_seed);
+                // Point inputs: the gauntlet stores them as degenerate
+                // intervals, the forward pass takes the f64 values.
+                let dim = case.x.len() / batch;
+                let inputs: Vec<Vec<f64>> =
+                    (0..batch).map(|b| case.x.lo[b * dim..(b + 1) * dim].to_vec()).collect();
+                Box::new(move || collect(inputs.iter().flat_map(|inp| net.forward::<T>(inp))))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_conversions_roundtrip() {
+        fn check<T: GauntletNum>() {
+            for (l, h) in [(1.0, 2.0), (-3.5, -1.25), (-1.0, 4.0), (0.0, 0.0)] {
+                let (rl, rh) = T::from_endpoints(l, h).endpoints();
+                assert!(rl <= l && h <= rh, "lossy roundtrip: [{l},{h}] -> [{rl},{rh}]");
+            }
+        }
+        check::<NaiveI>();
+        check::<BoostI>();
+        check::<FilibI>();
+        check::<GaolI>();
+        check::<F64I>();
+        check::<DdI>();
+    }
+
+    #[test]
+    fn scalar_f64i_backend_matches_direct_kernel_calls() {
+        let cases = crate::gauntlet::cases();
+        let dot_case = &cases[0];
+        let b = NumericBackend::<F64I>::new("igen-f64", "test");
+        let out = b.instantiate(dot_case)();
+        assert_eq!(out.len(), dot_case.batch);
+        // Reproduce item 0 by hand.
+        let n = dot_case.n;
+        let x: Vec<F64I> = convert(&dot_case.x);
+        let y: Vec<F64I> = convert(&dot_case.y);
+        let d = linalg::dot(&x[..n], &y[..n]);
+        assert_eq!(out.get(0), (d.lo(), d.hi()));
+    }
+}

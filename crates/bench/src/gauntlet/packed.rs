@@ -1,0 +1,136 @@
+//! One-file gauntlet plug-in for the production packed path: the
+//! `igen-batch` SoA engine over `F64I`, which routes through the
+//! `LaneOps` packed interval kernels (`igen-round::simd`).
+//!
+//! Pinned to one worker thread so the gauntlet's `speedup_vs_naive`
+//! column isolates the SIMD win, not host-dependent thread scaling —
+//! the same convention as the `simd_speedup` bench. Outputs are
+//! bit-identical to the scalar `igen-f64` backend (the packed kernels'
+//! contract), which the gauntlet soundness tests rely on.
+
+use igen_baselines::backend::{IntervalBackend, IvalVec, Kernel, KernelCase};
+use igen_batch::{
+    dot_batch, ffnn_batch, gemm_row_blocks, henon_ensemble, mvm_batch, BatchConfig, BatchF64I,
+};
+use igen_interval::F64I;
+use igen_kernels::ffnn::Ffnn;
+
+/// The packed production backend (`igen-batch` SoA + `LaneOps` SIMD).
+pub struct PackedBackend;
+
+fn cfg() -> BatchConfig {
+    BatchConfig::new().with_threads(1)
+}
+
+fn to_f64i(v: &IvalVec) -> Vec<F64I> {
+    v.lo.iter()
+        .zip(&v.hi)
+        .map(|(&l, &h)| F64I::new(l, h).expect("gauntlet inputs are valid intervals"))
+        .collect()
+}
+
+fn to_batch(v: &IvalVec) -> BatchF64I {
+    BatchF64I::from_intervals(&to_f64i(v))
+}
+
+fn from_intervals(xs: &[F64I]) -> IvalVec {
+    let mut out = IvalVec::with_capacity(xs.len());
+    for x in xs {
+        out.push(x.lo(), x.hi());
+    }
+    out
+}
+
+impl IntervalBackend for PackedBackend {
+    fn name(&self) -> &'static str {
+        "igen-packed"
+    }
+
+    fn style(&self) -> &'static str {
+        "IGen packed path: SoA batches over LaneOps SIMD interval kernels, 1 thread"
+    }
+
+    fn packed_path(&self) -> bool {
+        true
+    }
+
+    fn instantiate<'a>(&'a self, case: &'a KernelCase) -> Box<dyn FnMut() -> IvalVec + 'a> {
+        let (n, batch, iters) = (case.n, case.batch, case.iters);
+        let cfg = cfg();
+        match case.kernel {
+            Kernel::Dot => {
+                let xs = to_batch(&case.x);
+                let ys = to_batch(&case.y);
+                Box::new(move || from_intervals(&dot_batch(&cfg, n, &xs, &ys).to_intervals()))
+            }
+            Kernel::Mvm => {
+                let a = to_f64i(&case.w);
+                let xs = to_batch(&case.x);
+                let ys = to_batch(&case.y);
+                Box::new(move || {
+                    from_intervals(&mvm_batch(&cfg, n, n, &a, &xs, &ys).to_intervals())
+                })
+            }
+            Kernel::Gemm => {
+                let a = to_f64i(&case.w);
+                let b = to_f64i(&case.x);
+                let c0 = to_f64i(&case.y);
+                Box::new(move || {
+                    let mut c = c0.clone();
+                    gemm_row_blocks(&cfg, n, n, n, &a, &b, &mut c, 8);
+                    from_intervals(&c)
+                })
+            }
+            Kernel::Henon => {
+                let x0s = to_batch(&case.x);
+                let y0s = to_batch(&case.y);
+                Box::new(move || {
+                    from_intervals(&henon_ensemble(&cfg, iters, &x0s, &y0s).to_intervals())
+                })
+            }
+            Kernel::Ffnn => {
+                let net = Ffnn::synthetic(n, case.ffnn_seed);
+                let dim = case.x.len() / batch;
+                let inputs: Vec<Vec<f64>> =
+                    (0..batch).map(|b| case.x.lo[b * dim..(b + 1) * dim].to_vec()).collect();
+                Box::new(move || {
+                    let outs: Vec<Vec<F64I>> = ffnn_batch(&cfg, &net, &inputs);
+                    let mut out = IvalVec::new();
+                    for item in outs {
+                        for v in item {
+                            out.push(v.lo(), v.hi());
+                        }
+                    }
+                    out
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gauntlet::numeric::NumericBackend;
+
+    /// The packed path's defining contract: bit-identical outputs to the
+    /// scalar F64I backend on every gauntlet kernel.
+    #[test]
+    fn packed_outputs_are_bit_identical_to_scalar_f64i() {
+        let scalar = NumericBackend::<F64I>::new("igen-f64", "test");
+        for case in crate::gauntlet::cases() {
+            let got = PackedBackend.instantiate(&case)();
+            let want = scalar.instantiate(&case)();
+            assert_eq!(got.len(), want.len(), "{}", case.kernel);
+            for i in 0..got.len() {
+                let (gl, gh) = got.get(i);
+                let (wl, wh) = want.get(i);
+                assert!(
+                    gl.to_bits() == wl.to_bits() && gh.to_bits() == wh.to_bits(),
+                    "{} item {i}: packed [{gl},{gh}] != scalar [{wl},{wh}]",
+                    case.kernel
+                );
+            }
+        }
+    }
+}

@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gauntlet;
+
 use std::time::{Duration, Instant};
 
 /// Nominal clock of the paper's machine (2.7 GHz Xeon E-2176M), used to

@@ -1,0 +1,184 @@
+//! `igen-bench` — the benchmark-suite front door. Today it hosts the
+//! cross-library gauntlet; the paper's per-figure binaries remain
+//! separate (`cargo run -p igen-bench --bin fig8_scalar_perf`, …).
+//!
+//! ```text
+//! igen-bench gauntlet [--full] [--backends a,b,...] [--out <path>]
+//!                     [--pr N] [--check <baseline.json>] [--tol F]
+//!                     [--tol-width F]
+//! ```
+//!
+//! `gauntlet` runs every registered interval backend through the shared
+//! dot/mvm/gemm/henon/ffnn kernel set and writes the machine-readable
+//! trajectory JSON (schema `igen-bench-gauntlet/v1`).
+//!
+//! Output-path policy: with an explicit `--out` the file goes exactly
+//! there. Otherwise the default is `results/BENCH_<pr>.json` only for a
+//! full-mode run from a telemetry-free build
+//! (`igen_bench::perf_recording_allowed`); smoke runs default to
+//! `./BENCH_<pr>.json` in the working directory, so a CI smoke job can
+//! never overwrite a committed full-mode baseline.
+//!
+//! `--check <baseline.json>` additionally compares the fresh run against
+//! a recorded baseline and exits nonzero on regression: packed-path
+//! speedup-vs-naive ratios (host-independent) within `--tol` (default
+//! 0.5 = 50% slack) and deterministic mean relative widths within
+//! `--tol-width` (default 1e-6).
+
+use igen_bench::gauntlet;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: igen-bench gauntlet [--full] [--backends a,b,...] [--out <path>]\n\
+     \x20                          [--pr N] [--check <baseline.json>] [--tol F] [--tol-width F]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gauntlet") => run_gauntlet(&args[1..]),
+        Some(cmd) => {
+            eprintln!("igen-bench: unknown subcommand '{cmd}' (expected gauntlet)");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_gauntlet(args: &[String]) -> ExitCode {
+    let mut backends: Vec<String> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut pr = gauntlet::CURRENT_PR;
+    let mut check: Option<String> = None;
+    let mut tol = gauntlet::DEFAULT_SPEED_TOL;
+    let mut tol_width = gauntlet::DEFAULT_WIDTH_TOL;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, ExitCode> {
+            it.next().cloned().ok_or_else(|| {
+                eprintln!("igen-bench: {name} needs a value");
+                ExitCode::from(2)
+            })
+        };
+        match arg.as_str() {
+            "--full" => {} // read by igen_bench::full_mode()
+            "--backends" => match value("--backends") {
+                Ok(v) => backends.extend(v.split(',').map(|s| s.trim().to_string())),
+                Err(c) => return c,
+            },
+            "--out" => match value("--out") {
+                Ok(v) => out = Some(v),
+                Err(c) => return c,
+            },
+            "--pr" => match value("--pr").map(|v| v.parse::<u32>()) {
+                Ok(Ok(v)) => pr = v,
+                Ok(Err(_)) => {
+                    eprintln!("igen-bench: --pr needs an unsigned integer");
+                    return ExitCode::from(2);
+                }
+                Err(c) => return c,
+            },
+            "--check" => match value("--check") {
+                Ok(v) => check = Some(v),
+                Err(c) => return c,
+            },
+            "--tol" => match value("--tol").map(|v| v.parse::<f64>()) {
+                Ok(Ok(v)) => tol = v,
+                Ok(Err(_)) => {
+                    eprintln!("igen-bench: --tol needs a number");
+                    return ExitCode::from(2);
+                }
+                Err(c) => return c,
+            },
+            "--tol-width" => match value("--tol-width").map(|v| v.parse::<f64>()) {
+                Ok(Ok(v)) => tol_width = v,
+                Ok(Err(_)) => {
+                    eprintln!("igen-bench: --tol-width needs a number");
+                    return ExitCode::from(2);
+                }
+                Err(c) => return c,
+            },
+            other => {
+                eprintln!("igen-bench: unknown option '{other}' for gauntlet");
+                eprintln!("{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let known = gauntlet::backend_names();
+    for b in &backends {
+        if !known.contains(&b.as_str()) {
+            eprintln!("igen-bench: unknown backend '{b}' (expected one of: {})", known.join(", "));
+            return ExitCode::from(2);
+        }
+    }
+
+    let full = igen_bench::full_mode();
+    let mode = if full { "full" } else { "smoke" };
+    // The CI gate consumes smoke numbers, so smoke gets a wider median
+    // window than the figure-regenerating binaries' quick mode.
+    let reps = igen_bench::reps().max(9);
+    let mut report = gauntlet::run(&backends, reps, mode);
+    report.pr = pr;
+    print!("{}", report.render());
+
+    let default_name = format!("BENCH_{pr}.json");
+    let path = match out {
+        Some(p) => p,
+        // Only a full-mode, telemetry-free run may write the committed
+        // trajectory under results/; smoke timings land in the cwd.
+        None if full && igen_bench::perf_recording_allowed() => {
+            format!("results/{default_name}")
+        }
+        None => default_name,
+    };
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("igen-bench: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("igen-bench: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {path}");
+
+    if let Some(baseline_path) = check {
+        let src = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("igen-bench: cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match gauntlet::Report::from_json(&src) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("igen-bench: bad baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let violations = gauntlet::check_regression(&report, &baseline, tol, tol_width);
+        if violations.is_empty() {
+            println!(
+                "check vs {baseline_path}: OK ({} baseline rows, tol {tol}, tol-width {tol_width})",
+                baseline.rows.len()
+            );
+        } else {
+            eprintln!("igen-bench: regression vs {baseline_path}:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,155 @@
+//! The gauntlet's soundness property: on random inputs, every
+//! registered backend's output interval must *enclose* the 256-bit
+//! `igen-mpf` oracle's tight enclosure, for all five kernels.
+//!
+//! Why enclosure of the oracle (and not just of a sampled point) is the
+//! right check: the oracle's `to_f64_pair` is the tightest f64 pair
+//! around the true result set, and any sound backend's f64 endpoints
+//! bound the true set from outside — so a sound backend's lower
+//! endpoint is an f64 at or below the true infimum, hence at or below
+//! the oracle's rounded-down infimum, and symmetrically above. A single
+//! violated endpoint is a genuine soundness bug, not rounding slack.
+
+use igen_bench::gauntlet::{self, IvalVec, Kernel, KernelCase};
+use igen_kernels::ffnn;
+use igen_kernels::workload;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+
+/// Random interval operands: mostly 1-ulp boxes around random points,
+/// with every third entry widened to exercise non-degenerate widths.
+fn rand_ivals(rng: &mut StdRng, len: usize, lo: f64, hi: f64, wide: bool) -> IvalVec {
+    let pts = workload::random_points(rng, len, lo, hi);
+    let mut v = IvalVec::with_capacity(len);
+    for (i, &p) in pts.iter().enumerate() {
+        if wide && i % 3 == 0 {
+            let w = 1e-3 * ((i % 7) as f64 + 1.0);
+            v.push(p - w, p + w);
+        } else {
+            v.push(igen_round::next_down(p), igen_round::next_up(p));
+        }
+    }
+    v
+}
+
+/// A downsized gauntlet case (the shipped sizes would make the 256-bit
+/// oracle the bottleneck of the property test).
+fn small_case(kernel: Kernel, seed: u64, wide: bool) -> KernelCase {
+    let mut rng = workload::rng(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let (mut n, mut batch, mut iters) = (0, 0, 0);
+    let (x, y, w);
+    match kernel {
+        Kernel::Dot => {
+            (n, batch) = (5, 2);
+            x = rand_ivals(&mut rng, batch * n, -2.0, 2.0, wide);
+            y = rand_ivals(&mut rng, batch * n, -2.0, 2.0, wide);
+            w = IvalVec::new();
+        }
+        Kernel::Mvm => {
+            (n, batch) = (3, 2);
+            x = rand_ivals(&mut rng, batch * n, -2.0, 2.0, wide);
+            y = rand_ivals(&mut rng, batch * n, -2.0, 2.0, wide);
+            w = rand_ivals(&mut rng, n * n, -2.0, 2.0, wide);
+        }
+        Kernel::Gemm => {
+            n = 3;
+            x = rand_ivals(&mut rng, n * n, -2.0, 2.0, wide);
+            y = rand_ivals(&mut rng, n * n, -2.0, 2.0, wide);
+            w = rand_ivals(&mut rng, n * n, -2.0, 2.0, wide);
+        }
+        Kernel::Henon => {
+            (batch, iters) = (4, 5);
+            x = rand_ivals(&mut rng, batch, -0.5, 0.5, wide);
+            y = rand_ivals(&mut rng, batch, -0.5, 0.5, wide);
+            w = IvalVec::new();
+        }
+        Kernel::Ffnn => {
+            (n, batch) = (4, 1);
+            // Point pixel inputs (the forward pass consumes f64 points).
+            let pts = workload::random_points(&mut rng, batch * ffnn::INPUT_DIM, 0.0, 1.0);
+            let mut v = IvalVec::with_capacity(pts.len());
+            for &p in &pts {
+                v.push(p, p);
+            }
+            x = v;
+            y = IvalVec::new();
+            w = IvalVec::new();
+        }
+    }
+    KernelCase { kernel, n, batch, iters, ffnn_seed: seed % 13, x, y, w }
+}
+
+fn check_kernel(kernel: Kernel, seed: u64, wide: bool) -> Result<(), TestCaseError> {
+    let case = small_case(kernel, seed, wide);
+    let backends = gauntlet::registry();
+    let oracle =
+        backends.iter().find(|b| b.name() == "mpf").expect("oracle registered").instantiate(&case)(
+        );
+    for b in &backends {
+        if b.name() == "mpf" {
+            continue;
+        }
+        let out = b.instantiate(&case)();
+        prop_assert_eq!(out.len(), oracle.len(), "{}/{}: length", b.name(), kernel);
+        for i in 0..out.len() {
+            let (bl, bh) = out.get(i);
+            let (ol, oh) = oracle.get(i);
+            prop_assert!(
+                bl <= ol && oh <= bh,
+                "{}/{} item {}: [{}, {}] does not enclose oracle [{}, {}] (seed {}, wide {})",
+                b.name(),
+                kernel,
+                i,
+                bl,
+                bh,
+                ol,
+                oh,
+                seed,
+                wide
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_backend_encloses_the_oracle(seed in 0u64..1_000_000, wide in any::<bool>()) {
+        for kernel in Kernel::ALL {
+            check_kernel(kernel, seed, wide)?;
+        }
+    }
+}
+
+/// The shipped (full-size) gauntlet cases stay sound too — one pass over
+/// the exact inputs the perf trajectory is recorded on.
+#[test]
+fn shipped_cases_are_sound_for_every_backend() {
+    let backends = gauntlet::registry();
+    for case in gauntlet::cases() {
+        let oracle = backends
+            .iter()
+            .find(|b| b.name() == "mpf")
+            .expect("oracle registered")
+            .instantiate(&case)();
+        for b in &backends {
+            if b.name() == "mpf" {
+                continue;
+            }
+            let out = b.instantiate(&case)();
+            assert_eq!(out.len(), oracle.len(), "{}/{}", b.name(), case.kernel);
+            for i in 0..out.len() {
+                let (bl, bh) = out.get(i);
+                let (ol, oh) = oracle.get(i);
+                assert!(
+                    bl <= ol && oh <= bh,
+                    "{}/{} item {i}: [{bl}, {bh}] does not enclose oracle [{ol}, {oh}]",
+                    b.name(),
+                    case.kernel
+                );
+            }
+        }
+    }
+}

@@ -11,7 +11,7 @@
 //! This models exactly what the paper does: the same source computation
 //! compiled against different arithmetic back ends.
 
-use igen_baselines::{BoostI, FilibI, GaolI};
+use igen_baselines::{BoostI, FilibI, GaolI, NaiveI};
 use igen_interval::{DdI, DdIx4, F64Ix4, LaneOps, F32I, F64I};
 
 /// A sound (or plain) numeric type usable by the kernels.
@@ -305,6 +305,29 @@ impl Numeric for F32I {
     }
     fn mid_f64(&self) -> f64 {
         0.5 * (self.lo() as f64 + self.hi() as f64)
+    }
+    fn certified_bits_n(&self) -> f64 {
+        self.certified_bits()
+    }
+}
+
+impl Numeric for NaiveI {
+    type Lane = NaiveI;
+
+    fn from_f64(v: f64) -> NaiveI {
+        NaiveI::point(v)
+    }
+    fn from_f64_enclose(v: f64) -> NaiveI {
+        NaiveI::new(igen_round::next_down(v), igen_round::next_up(v))
+    }
+    fn sqrt_n(self) -> NaiveI {
+        self.sqrt()
+    }
+    fn relu(self) -> NaiveI {
+        self.max_zero()
+    }
+    fn mid_f64(&self) -> f64 {
+        0.5 * (self.lo() + self.hi())
     }
     fn certified_bits_n(&self) -> f64 {
         self.certified_bits()

@@ -183,6 +183,29 @@ impl MpfInterval {
     pub fn sqrt(&self) -> MpfInterval {
         MpfInterval { lo: self.lo.sqrt(Rm::Down), hi: self.hi.sqrt(Rm::Up) }
     }
+
+    /// Maximum against zero (the ReLU activation of the ffnn benchmark):
+    /// exact, endpoint-monotonic. A NaN endpoint stays NaN.
+    #[must_use]
+    pub fn max_zero(&self) -> MpfInterval {
+        let zero = Mpf::ZERO;
+        let clamp = |e: &Mpf| {
+            if e.is_nan() || e.cmp_num(&zero) != Some(Ordering::Less) {
+                *e
+            } else {
+                zero
+            }
+        };
+        MpfInterval { lo: clamp(&self.lo), hi: clamp(&self.hi) }
+    }
+
+    /// The tightest `f64` pair enclosing this interval: the lower
+    /// endpoint rounded down to binary64, the upper rounded up. This is
+    /// how the oracle reports results to the benchmark gauntlet, where
+    /// every backend speaks f64 endpoints.
+    pub fn to_f64_pair(&self) -> (f64, f64) {
+        (self.lo.to_f64(Rm::Down), self.hi.to_f64(Rm::Up))
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +244,29 @@ mod tests {
         let s = m.sqrt();
         assert!(s.lo().is_nan());
         assert_eq!(s.hi().to_f64(crate::Rm::Up), 1.0);
+    }
+
+    #[test]
+    fn max_zero_is_relu() {
+        let m = MpfInterval::from_f64_pair(-2.0, 3.0).max_zero();
+        assert_eq!(m.to_f64_pair(), (0.0, 3.0));
+        let n = MpfInterval::from_f64_pair(-2.0, -1.0).max_zero();
+        assert_eq!(n.to_f64_pair(), (0.0, 0.0));
+        let p = MpfInterval::from_f64_pair(1.0, 2.0).max_zero();
+        assert_eq!(p.to_f64_pair(), (1.0, 2.0));
+    }
+
+    #[test]
+    fn f64_pair_rounds_outward() {
+        // 0.1 * 3 needs 55 bits: the 256-bit product is exact, and the
+        // f64 pair must bracket it strictly.
+        let p = MpfInterval::from_f64(0.1).mul(&MpfInterval::from_f64(3.0));
+        let (lo, hi) = p.to_f64_pair();
+        assert!(lo < hi);
+        assert!(
+            p.contains_f64(lo) || p.lo().cmp_num(&Mpf::from_f64(lo)) == Some(Ordering::Greater)
+        );
+        assert_eq!(igen_round::ulps_between(lo, hi), 1);
     }
 
     #[test]

@@ -1,17 +1,19 @@
-//! A minimal JSON reader for the trace format.
+//! A minimal JSON reader for small self-controlled formats.
 //!
-//! The build environment is offline (no serde), and the trace format is
-//! small and self-controlled, so this module implements just enough of
-//! RFC 8259 to parse what [`crate::trace`] emits: objects, arrays,
-//! strings with the standard escapes, integers/floats, booleans and
-//! null. It is always compiled (trace *reading* must work in builds
-//! without the `enabled` feature).
+//! The build environment is offline (no serde), and the workspace's JSON
+//! formats are small and self-controlled, so this module implements just
+//! enough of RFC 8259 to parse what [`crate::trace`] emits — objects,
+//! arrays, strings with the standard escapes, integers/floats, booleans
+//! and null. It is always compiled (trace *reading* must work in builds
+//! without the `enabled` feature) and public: other workspace tools with
+//! hand-rolled JSON output (e.g. the `igen-bench` gauntlet's
+//! `BENCH_*.json` trajectory) reuse it as their reader.
 
 use std::collections::BTreeMap;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -28,44 +30,65 @@ pub(crate) enum Json {
 }
 
 impl Json {
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    /// Member `key` of an object (`None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(m) => m.get(key),
             _ => None,
         }
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    /// The value as an exact unsigned integer (`None` beyond 2^53).
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
             _ => None,
         }
     }
 
-    pub(crate) fn as_i64(&self) -> Option<i64> {
+    /// The value as an exact signed integer (`None` beyond ±2^53).
+    pub fn as_i64(&self) -> Option<i64> {
         match self {
             Json::Num(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Some(*n as i64),
             _ => None,
         }
     }
 
-    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+    /// The element slice, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
 }
 
 /// Escapes `s` as a JSON string literal (with surrounding quotes).
-pub(crate) fn escape(s: &str) -> String {
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -85,7 +108,7 @@ pub(crate) fn escape(s: &str) -> String {
 
 /// Parses one complete JSON value from `src` (trailing whitespace
 /// allowed, anything else is an error).
-pub(crate) fn parse(src: &str) -> Result<Json, String> {
+pub fn parse(src: &str) -> Result<Json, String> {
     let mut p = Parser { bytes: src.as_bytes(), pos: 0 };
     let v = p.value()?;
     p.skip_ws();

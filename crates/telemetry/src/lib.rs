@@ -68,7 +68,7 @@
 
 mod counter;
 mod hist;
-mod json;
+pub mod json;
 mod report;
 mod span;
 mod trace;
