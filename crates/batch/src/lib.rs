@@ -51,6 +51,7 @@
 
 pub mod engine;
 pub mod kernels;
+pub mod program;
 pub mod soa;
 
 pub use engine::{available_threads, BatchConfig, DEFAULT_SEQ_THRESHOLD};
@@ -58,4 +59,5 @@ pub use kernels::{
     dot_batch, dot_batch_dd, ffnn_batch, gemm_row_blocks, henon_ensemble, henon_ensemble_dd,
     mvm_batch, mvm_batch_dd,
 };
+pub use program::BatchProgram;
 pub use soa::{BatchDdI, BatchF64I};

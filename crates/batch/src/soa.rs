@@ -156,6 +156,16 @@ impl BatchDdI {
         BatchDdI::default()
     }
 
+    /// An empty batch with component capacity reserved for `n` items.
+    pub fn with_capacity(n: usize) -> BatchDdI {
+        BatchDdI {
+            neg_lo_hi: Vec::with_capacity(n),
+            neg_lo_lo: Vec::with_capacity(n),
+            hi_hi: Vec::with_capacity(n),
+            hi_lo: Vec::with_capacity(n),
+        }
+    }
+
     /// Columnizes a slice of double-double intervals.
     pub fn from_intervals(xs: &[DdI]) -> BatchDdI {
         let mut b = BatchDdI::new();

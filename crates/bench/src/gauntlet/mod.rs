@@ -30,6 +30,7 @@
 pub mod mpf;
 pub mod numeric;
 pub mod packed;
+pub mod vm;
 
 pub use igen_baselines::backend::{IntervalBackend, IvalVec, Kernel, KernelCase};
 
@@ -41,7 +42,7 @@ use igen_telemetry::json::{self, Json};
 
 /// The PR index stamped into the default trajectory file name
 /// (`results/BENCH_<pr>.json`). Bump when recording a new PR's baseline.
-pub const CURRENT_PR: u32 = 6;
+pub const CURRENT_PR: u32 = 7;
 
 /// JSON schema tag; bump on incompatible report changes.
 pub const SCHEMA: &str = "igen-bench-gauntlet/v1";
@@ -89,6 +90,7 @@ pub fn registry() -> Vec<Box<dyn IntervalBackend>> {
             "IGen production DdI: double-double endpoints, ~2^-106 widths",
         )),
         Box::new(packed::PackedBackend),
+        Box::new(vm::VmBackend),
     ]
 }
 
@@ -479,12 +481,15 @@ mod tests {
     #[test]
     fn registry_covers_the_required_contenders() {
         let names = backend_names();
-        for required in ["naive", "boost", "mpf", "igen-f64", "igen-dd", "igen-packed"] {
+        for required in
+            ["naive", "boost", "mpf", "igen-f64", "igen-dd", "igen-packed", "compiled-vm"]
+        {
             assert!(names.contains(&required), "missing backend {required}");
         }
         assert_eq!(names[0], "naive", "naive must stay the denominator");
-        // Exactly one packed-path backend today.
-        assert_eq!(registry().iter().filter(|b| b.packed_path()).count(), 1);
+        // Two packed-path backends: the hand-written kernels and the
+        // bytecode VM executing the same SoA lanes.
+        assert_eq!(registry().iter().filter(|b| b.packed_path()).count(), 2);
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! One-file gauntlet plug-in for the bytecode VM: each kernel is
+//! written as plain C, compiled through the full IGen pipeline at
+//! `-O2`, lowered to register bytecode, and executed by the
+//! lane-generic `igen-vm` interpreter over `igen-batch` SoA buffers —
+//! the "compile any function" path, timed against the hand-written
+//! kernels it generalizes.
+//!
+//! Compilation and lowering happen at `instantiate` (untimed setup);
+//! the timed closure only executes bytecode. One worker thread, like
+//! `igen-packed`, so the column isolates the execution model. GEMM is a
+//! single batch item (batching is across items, and the gauntlet's
+//! GEMM case is one matrix product), so it exercises the scalar lane
+//! of the same executor; the other kernels run the packed path.
+
+use igen_baselines::backend::{IntervalBackend, IvalVec, Kernel, KernelCase};
+use igen_batch::{BatchConfig, BatchF64I, BatchProgram};
+use igen_core::{compile_to_program, Compiler, Config, OptLevel};
+use igen_kernels::ffnn::Ffnn;
+use igen_vm::{ArgBind, BindSpec};
+
+/// The compiled-bytecode backend.
+pub struct VmBackend;
+
+const DOT_SRC: &str = r#"
+double dot(double* x, double* y, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s = s + x[i] * y[i];
+    }
+    return s;
+}
+"#;
+
+const MVM_SRC: &str = r#"
+void mvm(double* a, double* x, double* y, int n) {
+    for (int i = 0; i < n; i++) {
+        double acc = y[i];
+        for (int j = 0; j < n; j++) {
+            acc = acc + a[i * n + j] * x[j];
+        }
+        y[i] = acc;
+    }
+}
+"#;
+
+const GEMM_SRC: &str = r#"
+void gemm(double* a, double* b, double* c, int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            double acc = c[i * n + j];
+            for (int k = 0; k < n; k++) {
+                acc = acc + a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+"#;
+
+const HENON_SRC: &str = r#"
+double henon(double x0, double y0, int iterations) {
+    double x = x0;
+    double y = y0;
+    for (int i = 0; i < iterations; i++) {
+        double xi = x;
+        double xn = 1.0 - 1.05 * xi * xi + y;
+        y = 0.3 * xi;
+        x = xn;
+    }
+    return x;
+}
+"#;
+
+/// Dense-network C source with literal layer bounds: the input feeds
+/// layer 0 directly, hidden activations go through `fmax(acc, 0.0)`
+/// (ReLU), the last layer writes the output array raw — the exact
+/// operation sequence of `Ffnn::forward`.
+fn ffnn_source(dims: &[usize]) -> String {
+    let layers = dims.len() - 1;
+    let mut params = vec!["double* x".to_string()];
+    for l in 0..layers {
+        params.push(format!("double* w{l}"));
+        params.push(format!("double* b{l}"));
+    }
+    params.push("double* o".to_string());
+    let mut body = String::new();
+    let mut prev = "x".to_string();
+    for l in 0..layers {
+        let (fan_in, fan_out) = (dims[l], dims[l + 1]);
+        let last = l + 1 == layers;
+        let dst = if last { "o".to_string() } else { format!("a{}", l + 1) };
+        if !last {
+            body.push_str(&format!("    double {dst}[{fan_out}];\n"));
+        }
+        body.push_str(&format!(
+            "    for (int j = 0; j < {fan_out}; j++) {{\n\
+             \x20       double acc = b{l}[j];\n\
+             \x20       for (int i = 0; i < {fan_in}; i++) {{\n\
+             \x20           acc = acc + w{l}[j * {fan_in} + i] * {prev}[i];\n\
+             \x20       }}\n"
+        ));
+        if last {
+            body.push_str(&format!("        {dst}[j] = acc;\n    }}\n"));
+        } else {
+            body.push_str(&format!("        {dst}[j] = fmax(acc, 0.0);\n    }}\n"));
+        }
+        prev = dst;
+    }
+    format!("void ffnn({}) {{\n{body}}}\n", params.join(", "))
+}
+
+fn compile(src: &str, fn_name: &str, bind: &BindSpec) -> BatchProgram {
+    let cfg = Config { opt_level: OptLevel::O2, ..Config::default() };
+    let out = Compiler::new(cfg).compile_str(src).expect("gauntlet kernel source compiles");
+    let prog = compile_to_program(&out, fn_name, bind).expect("gauntlet kernel lowers to bytecode");
+    BatchProgram::new(prog)
+}
+
+fn uniform_pairs(v: &IvalVec) -> Vec<(f64, f64)> {
+    v.lo.iter().zip(&v.hi).map(|(&l, &h)| (l, h)).collect()
+}
+
+fn uniform_points(v: &[f64]) -> Vec<(f64, f64)> {
+    v.iter().map(|&p| (p, p)).collect()
+}
+
+/// Item-major flattening of per-item slices from several columns:
+/// `cols` are (buffer, per-item length) in program input order.
+fn item_major(cols: &[(&IvalVec, usize)], items: usize) -> BatchF64I {
+    let total: usize = cols.iter().map(|&(_, len)| len).sum();
+    let mut out = BatchF64I::with_capacity(items * total);
+    for item in 0..items {
+        for &(col, len) in cols {
+            for j in 0..len {
+                let (lo, hi) = col.get(item * len + j);
+                out.push(
+                    igen_interval::F64I::new(lo, hi).expect("gauntlet inputs are valid intervals"),
+                );
+            }
+        }
+    }
+    out
+}
+
+fn to_ivalvec(b: &BatchF64I) -> IvalVec {
+    let mut out = IvalVec::with_capacity(b.len());
+    for v in b.to_intervals() {
+        out.push(v.lo(), v.hi());
+    }
+    out
+}
+
+impl IntervalBackend for VmBackend {
+    fn name(&self) -> &'static str {
+        "compiled-vm"
+    }
+
+    fn style(&self) -> &'static str {
+        "C compiled to register bytecode, lane-generic executor over SoA batches, 1 thread"
+    }
+
+    fn packed_path(&self) -> bool {
+        true
+    }
+
+    fn instantiate<'a>(&'a self, case: &'a KernelCase) -> Box<dyn FnMut() -> IvalVec + 'a> {
+        let (n, batch, iters) = (case.n, case.batch, case.iters);
+        let cfg = BatchConfig::new().with_threads(1);
+        match case.kernel {
+            Kernel::Dot => {
+                let bind =
+                    BindSpec::new(vec![ArgBind::In(n), ArgBind::In(n), ArgBind::Int(n as i64)]);
+                let bp = compile(DOT_SRC, "dot", &bind);
+                let inputs = item_major(&[(&case.x, n), (&case.y, n)], batch);
+                Box::new(move || to_ivalvec(&bp.run(&cfg, &inputs)))
+            }
+            Kernel::Mvm => {
+                let bind = BindSpec::new(vec![
+                    ArgBind::Uniform(uniform_pairs(&case.w)),
+                    ArgBind::In(n),
+                    ArgBind::InOut(n),
+                    ArgBind::Int(n as i64),
+                ]);
+                let bp = compile(MVM_SRC, "mvm", &bind);
+                let inputs = item_major(&[(&case.x, n), (&case.y, n)], batch);
+                Box::new(move || to_ivalvec(&bp.run(&cfg, &inputs)))
+            }
+            Kernel::Gemm => {
+                let bind = BindSpec::new(vec![
+                    ArgBind::Uniform(uniform_pairs(&case.w)),
+                    ArgBind::In(n * n),
+                    ArgBind::InOut(n * n),
+                    ArgBind::Int(n as i64),
+                ]);
+                let bp = compile(GEMM_SRC, "gemm", &bind);
+                let inputs = item_major(&[(&case.x, n * n), (&case.y, n * n)], 1);
+                Box::new(move || to_ivalvec(&bp.run(&cfg, &inputs)))
+            }
+            Kernel::Henon => {
+                let bind =
+                    BindSpec::new(vec![ArgBind::Ival, ArgBind::Ival, ArgBind::Int(iters as i64)]);
+                let bp = compile(HENON_SRC, "henon", &bind);
+                let inputs = item_major(&[(&case.x, 1), (&case.y, 1)], batch);
+                Box::new(move || to_ivalvec(&bp.run(&cfg, &inputs)))
+            }
+            Kernel::Ffnn => {
+                let net = Ffnn::synthetic(n, case.ffnn_seed);
+                let dim = case.x.len() / batch;
+                let mut dims = vec![dim];
+                dims.extend(net.biases.iter().map(Vec::len));
+                let mut binds = vec![ArgBind::In(dim)];
+                for (w, b) in net.weights.iter().zip(&net.biases) {
+                    binds.push(ArgBind::Uniform(uniform_points(w)));
+                    binds.push(ArgBind::Uniform(uniform_points(b)));
+                }
+                binds.push(ArgBind::Out(10));
+                let bp = compile(&ffnn_source(&dims), "ffnn", &BindSpec::new(binds));
+                let inputs = item_major(&[(&case.x, dim)], batch);
+                Box::new(move || to_ivalvec(&bp.run(&cfg, &inputs)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gauntlet::numeric::NumericBackend;
+    use igen_interval::F64I;
+
+    /// The bytecode path must reproduce the hand-written kernels'
+    /// operation sequences: bit-identical outputs to the scalar F64I
+    /// backend on the shared gauntlet cases.
+    #[test]
+    fn vm_outputs_are_bit_identical_to_scalar_f64i() {
+        let scalar = NumericBackend::<F64I>::new("igen-f64", "test");
+        for case in crate::gauntlet::cases() {
+            let got = VmBackend.instantiate(&case)();
+            let want = scalar.instantiate(&case)();
+            assert_eq!(got.len(), want.len(), "{}", case.kernel);
+            for i in 0..got.len() {
+                let (gl, gh) = got.get(i);
+                let (wl, wh) = want.get(i);
+                assert!(
+                    gl.to_bits() == wl.to_bits() && gh.to_bits() == wh.to_bits(),
+                    "{} item {i}: vm [{gl},{gh}] != scalar [{wl},{wh}]",
+                    case.kernel
+                );
+            }
+        }
+    }
+}

@@ -52,6 +52,7 @@ pub mod reduce;
 mod simd;
 pub mod types;
 mod verify;
+pub mod vm_bridge;
 
 pub use config::{BranchPolicy, Config, OptLevel, OutputVec, Precision};
 pub use header::runtime_header;
@@ -59,6 +60,10 @@ pub use lower::{CompileError, Output};
 pub use opt::{PassReport, PassStats};
 pub use reduce::ReductionInfo;
 pub use simd::{compile_intrinsics, hand_optimized, HAND_OPTIMIZED};
+pub use vm_bridge::{
+    compile_to_program, interp_reference, interp_reference_dd, verify_bit_identity,
+    verify_bit_identity_dd, VmBridgeError,
+};
 
 use igen_cfront::TranslationUnit;
 

@@ -114,6 +114,18 @@ impl Interp {
         }
     }
 
+    /// Drops all heap arrays and accumulators and resets the step
+    /// counter, keeping the loaded functions. Lets one interpreter be
+    /// reused across many independent calls (e.g. per-item differential
+    /// checks) without cross-item heap growth or budget carry-over.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.accs64.clear();
+        self.accsdd.clear();
+        self.scopes.clear();
+        self.steps = 0;
+    }
+
     /// Allocates a heap array of doubles; returns the pointer value.
     pub fn alloc_f64(&mut self, data: &[f64]) -> Value {
         self.heap.push(data.iter().map(|&v| Value::F64(v)).collect());

@@ -75,6 +75,21 @@ pub trait Numeric:
     /// Square root (sound for interval types).
     fn sqrt_n(self) -> Self;
 
+    /// Absolute value (sound for interval types).
+    fn abs_n(self) -> Self;
+
+    /// `x²`. The default multiplies; interval types with a
+    /// sign-tracking square override it with the tighter kernel.
+    fn sqr_n(self) -> Self {
+        self * self
+    }
+
+    /// Pointwise minimum (for intervals: `[min lo, min hi]`).
+    fn min_n(self, other: Self) -> Self;
+
+    /// Pointwise maximum (for intervals: `[max lo, max hi]`).
+    fn max_n(self, other: Self) -> Self;
+
     /// `max(0, x)` — the ReLU activation of the ffnn benchmark.
     fn relu(self) -> Self;
 
@@ -97,7 +112,14 @@ pub trait Numeric:
 /// being lane-wise bit-identical to the scalar ops, makes the two
 /// instantiations bit-identical element for element.
 pub trait LaneOrScalar<T: Numeric>:
-    Copy + core::ops::Add<Output = Self> + core::ops::Mul<Output = Self> + Send + Sync
+    Copy
+    + core::ops::Add<Output = Self>
+    + core::ops::Sub<Output = Self>
+    + core::ops::Mul<Output = Self>
+    + core::ops::Div<Output = Self>
+    + core::ops::Neg<Output = Self>
+    + Send
+    + Sync
 {
     /// Elements per value (1 for the scalar instantiation).
     const WIDTH: usize;
@@ -120,6 +142,26 @@ pub trait LaneOrScalar<T: Numeric>:
     /// Per-lane ReLU (`max(0, x)`, sound for interval types).
     #[must_use]
     fn relu_l(self) -> Self;
+
+    /// Per-lane square root.
+    #[must_use]
+    fn sqrt_l(self) -> Self;
+
+    /// Per-lane absolute value.
+    #[must_use]
+    fn abs_l(self) -> Self;
+
+    /// Per-lane square (the sign-tracking kernel where one exists).
+    #[must_use]
+    fn sqr_l(self) -> Self;
+
+    /// Per-lane pointwise minimum.
+    #[must_use]
+    fn min_l(self, other: Self) -> Self;
+
+    /// Per-lane pointwise maximum.
+    #[must_use]
+    fn max_l(self, other: Self) -> Self;
 }
 
 /// Every numeric element is itself a 1-wide "lane vector": the scalar
@@ -146,6 +188,21 @@ impl<T: Numeric> LaneOrScalar<T> for T {
     fn relu_l(self) -> T {
         self.relu()
     }
+    fn sqrt_l(self) -> T {
+        self.sqrt_n()
+    }
+    fn abs_l(self) -> T {
+        self.abs_n()
+    }
+    fn sqr_l(self) -> T {
+        self.sqr_n()
+    }
+    fn min_l(self, other: T) -> T {
+        self.min_n(other)
+    }
+    fn max_l(self, other: T) -> T {
+        self.max_n(other)
+    }
 }
 
 impl LaneOrScalar<F64I> for F64Ix4 {
@@ -168,6 +225,25 @@ impl LaneOrScalar<F64I> for F64Ix4 {
     }
     fn relu_l(self) -> F64Ix4 {
         <F64Ix4 as LaneOps>::relu(self)
+    }
+    fn sqrt_l(self) -> F64Ix4 {
+        <F64Ix4 as LaneOps>::sqrt(self)
+    }
+    fn abs_l(self) -> F64Ix4 {
+        <F64Ix4 as LaneOps>::abs(self)
+    }
+    fn sqr_l(self) -> F64Ix4 {
+        <F64Ix4 as LaneOps>::sqr(self)
+    }
+    // min/max have no packed kernel: the lanes are independent, so the
+    // lane-wise loop is bit-identical to the scalar instantiation (the
+    // same argument as `LaneOps::relu` on the lane types without a
+    // packed ReLU).
+    fn min_l(self, other: F64Ix4) -> F64Ix4 {
+        <F64Ix4 as LaneOps>::from_lanes_fn(|i| self.lane_l(i).min_i(&other.lane_l(i)))
+    }
+    fn max_l(self, other: F64Ix4) -> F64Ix4 {
+        <F64Ix4 as LaneOps>::from_lanes_fn(|i| self.lane_l(i).max_i(&other.lane_l(i)))
     }
 }
 
@@ -192,6 +268,21 @@ impl LaneOrScalar<DdI> for DdIx4 {
     fn relu_l(self) -> DdIx4 {
         <DdIx4 as LaneOps>::relu(self)
     }
+    fn sqrt_l(self) -> DdIx4 {
+        <DdIx4 as LaneOps>::sqrt(self)
+    }
+    fn abs_l(self) -> DdIx4 {
+        <DdIx4 as LaneOps>::abs(self)
+    }
+    fn sqr_l(self) -> DdIx4 {
+        <DdIx4 as LaneOps>::sqr(self)
+    }
+    fn min_l(self, other: DdIx4) -> DdIx4 {
+        <DdIx4 as LaneOps>::from_lanes_fn(|i| self.lane_l(i).min_i(&other.lane_l(i)))
+    }
+    fn max_l(self, other: DdIx4) -> DdIx4 {
+        <DdIx4 as LaneOps>::from_lanes_fn(|i| self.lane_l(i).max_i(&other.lane_l(i)))
+    }
 }
 
 impl Numeric for f64 {
@@ -208,6 +299,15 @@ impl Numeric for f64 {
     }
     fn sqrt_n(self) -> f64 {
         self.sqrt()
+    }
+    fn abs_n(self) -> f64 {
+        self.abs()
+    }
+    fn min_n(self, other: f64) -> f64 {
+        self.min(other)
+    }
+    fn max_n(self, other: f64) -> f64 {
+        self.max(other)
     }
     fn relu(self) -> f64 {
         self.max(0.0)
@@ -243,6 +343,18 @@ impl Numeric for F64I {
     fn sqrt_n(self) -> F64I {
         self.sqrt()
     }
+    fn abs_n(self) -> F64I {
+        self.abs()
+    }
+    fn sqr_n(self) -> F64I {
+        self.sqr()
+    }
+    fn min_n(self, other: F64I) -> F64I {
+        self.min_i(&other)
+    }
+    fn max_n(self, other: F64I) -> F64I {
+        self.max_i(&other)
+    }
     fn relu(self) -> F64I {
         self.max_i(&F64I::ZERO)
     }
@@ -277,6 +389,18 @@ impl Numeric for DdI {
     fn sqrt_n(self) -> DdI {
         self.sqrt()
     }
+    fn abs_n(self) -> DdI {
+        self.abs()
+    }
+    fn sqr_n(self) -> DdI {
+        self.sqr()
+    }
+    fn min_n(self, other: DdI) -> DdI {
+        self.min_i(&other)
+    }
+    fn max_n(self, other: DdI) -> DdI {
+        self.max_i(&other)
+    }
     fn relu(self) -> DdI {
         self.max_i(&DdI::ZERO)
     }
@@ -299,6 +423,17 @@ impl Numeric for F32I {
     }
     fn sqrt_n(self) -> F32I {
         self.sqrt()
+    }
+    fn abs_n(self) -> F32I {
+        // Same roundtrip the interpreter's `ia_abs_f32` builtin uses:
+        // the f64 kernel is exact on f32 endpoints.
+        F32I::from_f64i(&self.to_f64i().abs())
+    }
+    fn min_n(self, other: F32I) -> F32I {
+        self.min_i(&other)
+    }
+    fn max_n(self, other: F32I) -> F32I {
+        self.max_i(&other)
     }
     fn relu(self) -> F32I {
         self.max_i(&F32I::ZERO)
@@ -323,6 +458,22 @@ impl Numeric for NaiveI {
     fn sqrt_n(self) -> NaiveI {
         self.sqrt()
     }
+    fn abs_n(self) -> NaiveI {
+        let (l, h) = (self.lo(), self.hi());
+        if l >= 0.0 {
+            self
+        } else if h <= 0.0 {
+            NaiveI::new(-h, -l)
+        } else {
+            NaiveI::new(0.0, (-l).max(h))
+        }
+    }
+    fn min_n(self, other: NaiveI) -> NaiveI {
+        NaiveI::new(self.lo().min(other.lo()), self.hi().min(other.hi()))
+    }
+    fn max_n(self, other: NaiveI) -> NaiveI {
+        NaiveI::new(self.lo().max(other.lo()), self.hi().max(other.hi()))
+    }
     fn relu(self) -> NaiveI {
         self.max_zero()
     }
@@ -345,6 +496,22 @@ impl Numeric for BoostI {
     }
     fn sqrt_n(self) -> BoostI {
         self.sqrt()
+    }
+    fn abs_n(self) -> BoostI {
+        let (l, h) = (self.lo(), self.hi());
+        if l >= 0.0 {
+            self
+        } else if h <= 0.0 {
+            BoostI::new(-h, -l)
+        } else {
+            BoostI::new(0.0, (-l).max(h))
+        }
+    }
+    fn min_n(self, other: BoostI) -> BoostI {
+        BoostI::new(self.lo().min(other.lo()), self.hi().min(other.hi()))
+    }
+    fn max_n(self, other: BoostI) -> BoostI {
+        BoostI::new(self.lo().max(other.lo()), self.hi().max(other.hi()))
     }
     fn relu(self) -> BoostI {
         self.max_zero()
@@ -369,6 +536,22 @@ impl Numeric for FilibI {
     fn sqrt_n(self) -> FilibI {
         self.sqrt()
     }
+    fn abs_n(self) -> FilibI {
+        let (l, h) = (self.lo(), self.hi());
+        if l >= 0.0 {
+            self
+        } else if h <= 0.0 {
+            FilibI::new(-h, -l)
+        } else {
+            FilibI::new(0.0, (-l).max(h))
+        }
+    }
+    fn min_n(self, other: FilibI) -> FilibI {
+        FilibI::new(self.lo().min(other.lo()), self.hi().min(other.hi()))
+    }
+    fn max_n(self, other: FilibI) -> FilibI {
+        FilibI::new(self.lo().max(other.lo()), self.hi().max(other.hi()))
+    }
     fn relu(self) -> FilibI {
         self.max_zero()
     }
@@ -391,6 +574,22 @@ impl Numeric for GaolI {
     }
     fn sqrt_n(self) -> GaolI {
         self.sqrt()
+    }
+    fn abs_n(self) -> GaolI {
+        let (l, h) = (self.lo(), self.hi());
+        if l >= 0.0 {
+            self
+        } else if h <= 0.0 {
+            GaolI::new(-h, -l)
+        } else {
+            GaolI::new(0.0, (-l).max(h))
+        }
+    }
+    fn min_n(self, other: GaolI) -> GaolI {
+        GaolI::new(self.lo().min(other.lo()), self.hi().min(other.hi()))
+    }
+    fn max_n(self, other: GaolI) -> GaolI {
+        GaolI::new(self.lo().max(other.lo()), self.hi().max(other.hi()))
     }
     fn relu(self) -> GaolI {
         self.max_zero()

@@ -1,0 +1,392 @@
+//! The register bytecode: a flat instruction list over dense virtual
+//! registers, with pooled constants and declared inputs/outputs.
+//!
+//! A [`Program`] is precision-tagged but otherwise representation-free:
+//! the same bytecode runs width-1 scalar (`F64I`, `DdI`) and 4-wide
+//! packed (`F64Ix4`, `DdIx4`) through the one executor loop in
+//! [`crate::exec`]. Registers are single-assignment by construction
+//! (the lowering pass emits a fresh register per operation and aliases
+//! copies away), input registers are `0..n_inputs`, and every constant
+//! lives in the pool as four binary64 components — enough to hold a
+//! double-double interval exactly, with the low components zero for
+//! `f64` programs.
+
+/// Target endpoint precision of a program. The bytecode deliberately
+/// has no `f32` variant: the lowering pass rejects `f32i` functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Binary64 endpoints (`f64i`).
+    F64,
+    /// Double-double endpoints (`ddi`).
+    Dd,
+}
+
+impl Precision {
+    /// Stable lower-case name (matches `igen_core::Config::suffix`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::Dd => "dd",
+        }
+    }
+}
+
+impl core::fmt::Display for Precision {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One pooled constant: a full double-double interval as four binary64
+/// components `[lo_hi + lo_lo, hi_hi + hi_lo]` (the `ia_set_ddx`
+/// layout). `f64` programs use only `lo_hi`/`hi_hi` and keep the low
+/// components at zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolConst {
+    /// High component of the lower endpoint.
+    pub lo_hi: f64,
+    /// Low component of the lower endpoint.
+    pub lo_lo: f64,
+    /// High component of the upper endpoint.
+    pub hi_hi: f64,
+    /// Low component of the upper endpoint.
+    pub hi_lo: f64,
+}
+
+impl PoolConst {
+    /// An `f64` constant `[lo, hi]` (low components zero).
+    pub fn f64_pair(lo: f64, hi: f64) -> PoolConst {
+        PoolConst { lo_hi: lo, lo_lo: 0.0, hi_hi: hi, hi_lo: 0.0 }
+    }
+
+    /// The bit-pattern key used to deduplicate pool entries (`-0.0`
+    /// and `0.0` are distinct, NaN payloads are preserved).
+    pub fn bits(&self) -> [u64; 4] {
+        [self.lo_hi.to_bits(), self.lo_lo.to_bits(), self.hi_hi.to_bits(), self.hi_lo.to_bits()]
+    }
+}
+
+/// One bytecode instruction. Operands are virtual register indices;
+/// `dst` is always a previously unwritten register (single assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// `dst ← consts[idx]`
+    Const {
+        /// Destination register.
+        dst: u32,
+        /// Constant-pool index.
+        idx: u32,
+    },
+    /// `dst ← a + b`
+    Add {
+        /// Destination register.
+        dst: u32,
+        /// Left operand register.
+        a: u32,
+        /// Right operand register.
+        b: u32,
+    },
+    /// `dst ← a - b`
+    Sub {
+        /// Destination register.
+        dst: u32,
+        /// Left operand register.
+        a: u32,
+        /// Right operand register.
+        b: u32,
+    },
+    /// `dst ← a * b`
+    Mul {
+        /// Destination register.
+        dst: u32,
+        /// Left operand register.
+        a: u32,
+        /// Right operand register.
+        b: u32,
+    },
+    /// `dst ← a / b`
+    Div {
+        /// Destination register.
+        dst: u32,
+        /// Left operand register.
+        a: u32,
+        /// Right operand register.
+        b: u32,
+    },
+    /// `dst ← min(a, b)` pointwise
+    Min {
+        /// Destination register.
+        dst: u32,
+        /// Left operand register.
+        a: u32,
+        /// Right operand register.
+        b: u32,
+    },
+    /// `dst ← max(a, b)` pointwise
+    Max {
+        /// Destination register.
+        dst: u32,
+        /// Left operand register.
+        a: u32,
+        /// Right operand register.
+        b: u32,
+    },
+    /// `dst ← -a`
+    Neg {
+        /// Destination register.
+        dst: u32,
+        /// Operand register.
+        a: u32,
+    },
+    /// `dst ← sqrt(a)`
+    Sqrt {
+        /// Destination register.
+        dst: u32,
+        /// Operand register.
+        a: u32,
+    },
+    /// `dst ← |a|`
+    Abs {
+        /// Destination register.
+        dst: u32,
+        /// Operand register.
+        a: u32,
+    },
+    /// `dst ← a²` (the dependency-aware square)
+    Sqr {
+        /// Destination register.
+        dst: u32,
+        /// Operand register.
+        a: u32,
+    },
+    /// `dst ← aⁿ` (integer exponent, clamped to `i32` like the
+    /// `ia_pow_*` builtins)
+    Pow {
+        /// Destination register.
+        dst: u32,
+        /// Operand register.
+        a: u32,
+        /// Exponent.
+        n: i32,
+    },
+}
+
+impl Insn {
+    /// The destination register.
+    pub fn dst(&self) -> u32 {
+        match *self {
+            Insn::Const { dst, .. }
+            | Insn::Add { dst, .. }
+            | Insn::Sub { dst, .. }
+            | Insn::Mul { dst, .. }
+            | Insn::Div { dst, .. }
+            | Insn::Min { dst, .. }
+            | Insn::Max { dst, .. }
+            | Insn::Neg { dst, .. }
+            | Insn::Sqrt { dst, .. }
+            | Insn::Abs { dst, .. }
+            | Insn::Sqr { dst, .. }
+            | Insn::Pow { dst, .. } => dst,
+        }
+    }
+}
+
+/// One declared program output: a label (for dumps and diagnostics)
+/// and the register holding the value after the last instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputSlot {
+    /// Human-readable label (`return`, `y[3]`, …).
+    pub label: String,
+    /// Source register.
+    pub reg: u32,
+}
+
+/// A compiled register-bytecode program (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Source function name.
+    pub name: String,
+    /// Endpoint precision.
+    pub precision: Precision,
+    /// Number of input registers (`0..n_inputs` are inputs, in binding
+    /// order).
+    pub n_inputs: u32,
+    /// Total register-file size.
+    pub n_regs: u32,
+    /// Constant pool (deduplicated by bit pattern).
+    pub consts: Vec<PoolConst>,
+    /// The instruction stream, in execution order.
+    pub insns: Vec<Insn>,
+    /// One label per input register (`x0`, `y[2]`, …).
+    pub inputs: Vec<String>,
+    /// Declared outputs, in harvest order (function return first, then
+    /// `out`/`inout` array cells in parameter order).
+    pub outputs: Vec<OutputSlot>,
+}
+
+impl Program {
+    /// Renders the deterministic text listing pinned by the golden
+    /// tests: header, constant pool, input bindings, instructions,
+    /// output bindings. Floats print in Rust's shortest-roundtrip
+    /// form, so equal programs dump to equal strings and vice versa.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "program {} precision={} inputs={} regs={} consts={} insns={}",
+            self.name,
+            self.precision,
+            self.n_inputs,
+            self.n_regs,
+            self.consts.len(),
+            self.insns.len()
+        );
+        for (i, c) in self.consts.iter().enumerate() {
+            match self.precision {
+                Precision::F64 => {
+                    let _ = writeln!(s, "  c{} = [{:?}, {:?}]", i, c.lo_hi, c.hi_hi);
+                }
+                Precision::Dd => {
+                    let _ = writeln!(
+                        s,
+                        "  c{} = [{:?} {:?}, {:?} {:?}]",
+                        i, c.lo_hi, c.lo_lo, c.hi_hi, c.hi_lo
+                    );
+                }
+            }
+        }
+        for (i, label) in self.inputs.iter().enumerate() {
+            let _ = writeln!(s, "  in r{i} = {label}");
+        }
+        for insn in &self.insns {
+            let line = match *insn {
+                Insn::Const { dst, idx } => format!("r{dst} = const c{idx}"),
+                Insn::Add { dst, a, b } => format!("r{dst} = add r{a}, r{b}"),
+                Insn::Sub { dst, a, b } => format!("r{dst} = sub r{a}, r{b}"),
+                Insn::Mul { dst, a, b } => format!("r{dst} = mul r{a}, r{b}"),
+                Insn::Div { dst, a, b } => format!("r{dst} = div r{a}, r{b}"),
+                Insn::Min { dst, a, b } => format!("r{dst} = min r{a}, r{b}"),
+                Insn::Max { dst, a, b } => format!("r{dst} = max r{a}, r{b}"),
+                Insn::Neg { dst, a } => format!("r{dst} = neg r{a}"),
+                Insn::Sqrt { dst, a } => format!("r{dst} = sqrt r{a}"),
+                Insn::Abs { dst, a } => format!("r{dst} = abs r{a}"),
+                Insn::Sqr { dst, a } => format!("r{dst} = sqr r{a}"),
+                Insn::Pow { dst, a, n } => format!("r{dst} = pow r{a}, {n}"),
+            };
+            let _ = writeln!(s, "  {line}");
+        }
+        for o in &self.outputs {
+            let _ = writeln!(s, "  out {} = r{}", o.label, o.reg);
+        }
+        s
+    }
+
+    /// Structural sanity: every operand register is written (or an
+    /// input) before it is read, every `dst` is fresh, constant
+    /// indices are in range, and outputs name written registers.
+    /// Lowering output always validates; the executor relies on it.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n_regs as usize;
+        if (self.n_inputs as usize) != self.inputs.len() {
+            return Err(format!(
+                "n_inputs={} but {} input labels",
+                self.n_inputs,
+                self.inputs.len()
+            ));
+        }
+        let mut written = vec![false; n];
+        for w in written.iter_mut().take(self.n_inputs as usize) {
+            *w = true;
+        }
+        let read_ok = |written: &[bool], r: u32| -> Result<(), String> {
+            match written.get(r as usize) {
+                Some(true) => Ok(()),
+                Some(false) => Err(format!("register r{r} read before written")),
+                None => Err(format!("register r{r} out of range (regs={n})")),
+            }
+        };
+        for insn in &self.insns {
+            match *insn {
+                Insn::Const { idx, .. } => {
+                    if idx as usize >= self.consts.len() {
+                        return Err(format!("constant c{idx} out of range"));
+                    }
+                }
+                Insn::Add { a, b, .. }
+                | Insn::Sub { a, b, .. }
+                | Insn::Mul { a, b, .. }
+                | Insn::Div { a, b, .. }
+                | Insn::Min { a, b, .. }
+                | Insn::Max { a, b, .. } => {
+                    read_ok(&written, a)?;
+                    read_ok(&written, b)?;
+                }
+                Insn::Neg { a, .. }
+                | Insn::Sqrt { a, .. }
+                | Insn::Abs { a, .. }
+                | Insn::Sqr { a, .. }
+                | Insn::Pow { a, .. } => read_ok(&written, a)?,
+            }
+            let dst = insn.dst() as usize;
+            if dst >= n {
+                return Err(format!("destination r{dst} out of range (regs={n})"));
+            }
+            if written[dst] {
+                return Err(format!("register r{dst} written twice"));
+            }
+            written[dst] = true;
+        }
+        for o in &self.outputs {
+            read_ok(&written, o.reg).map_err(|e| format!("output {}: {e}", o.label))?;
+        }
+        if self.outputs.is_empty() {
+            return Err("program declares no outputs".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Program {
+        Program {
+            name: "toy".into(),
+            precision: Precision::F64,
+            n_inputs: 2,
+            n_regs: 4,
+            consts: vec![PoolConst::f64_pair(1.0, 1.0)],
+            insns: vec![Insn::Const { dst: 2, idx: 0 }, Insn::Add { dst: 3, a: 0, b: 2 }],
+            inputs: vec!["a".into(), "b".into()],
+            outputs: vec![OutputSlot { label: "return".into(), reg: 3 }],
+        }
+    }
+
+    #[test]
+    fn dump_is_deterministic_and_complete() {
+        let p = toy();
+        let d = p.dump();
+        assert_eq!(d, p.dump());
+        assert!(d.contains("program toy precision=f64 inputs=2 regs=4 consts=1 insns=2"));
+        assert!(d.contains("c0 = [1.0, 1.0]"));
+        assert!(d.contains("in r0 = a"));
+        assert!(d.contains("r3 = add r0, r2"));
+        assert!(d.contains("out return = r3"));
+    }
+
+    #[test]
+    fn validate_catches_structural_bugs() {
+        assert!(toy().validate().is_ok());
+        let mut p = toy();
+        p.insns[1] = Insn::Add { dst: 3, a: 0, b: 3 };
+        assert!(p.validate().unwrap_err().contains("read before written"));
+        let mut p = toy();
+        p.insns[1] = Insn::Add { dst: 2, a: 0, b: 1 };
+        assert!(p.validate().unwrap_err().contains("written twice"));
+        let mut p = toy();
+        p.outputs[0].reg = 9;
+        assert!(p.validate().unwrap_err().contains("out of range"));
+    }
+}

@@ -1,0 +1,249 @@
+//! The lane-generic bytecode executor.
+//!
+//! One interpreter loop, two instantiations per precision: `L = T`
+//! runs a single item (the scalar reference), `L = T::Lane` runs four
+//! items at once over the packed `LaneOps` kernels. Because every
+//! packed operation is lane-wise bit-identical to its scalar
+//! counterpart (the contract pinned in `igen-interval`), the two
+//! instantiations produce bit-identical endpoints item for item — the
+//! same argument that makes the hand-written batch kernels
+//! thread-count invariant extends to every compiled program.
+
+use crate::bytecode::{Insn, PoolConst, Precision, Program};
+use igen_interval::{DdI, F64I};
+use igen_kernels::{LaneOrScalar, Numeric};
+use igen_telemetry::{Counter, WidthHist};
+
+/// Total bytecode instructions retired by [`run_lanes`] (one count per
+/// instruction per call, independent of lane width).
+pub static VM_INSNS_EXECUTED: Counter = Counter::new("vm.insns_executed");
+
+/// [`run_lanes`] invocations at packed width (4 items per call).
+pub static VM_PACKED_CALLS: Counter = Counter::new("vm.packed_calls");
+
+/// [`run_lanes`] invocations at scalar width (tail items and
+/// reference runs).
+pub static VM_SCALAR_CALLS: Counter = Counter::new("vm.scalar_calls");
+
+/// An interval element the bytecode executor can run over: a
+/// [`Numeric`] type plus constant-pool decoding and the clamped
+/// integer power the `ia_pow_*` builtins implement.
+pub trait VmElem: Numeric {
+    /// The bytecode precision this element executes.
+    const PRECISION: Precision;
+
+    /// Decodes a pooled constant (exact: the pool stores full
+    /// double-double components).
+    fn from_const(c: &PoolConst) -> Self;
+
+    /// Integer power, matching `ia_pow_f64`/`ia_pow_dd` bit for bit.
+    fn powi_e(self, n: i32) -> Self;
+
+    /// Tightest enclosing f64 endpoint pair (for width telemetry and
+    /// endpoint comparisons).
+    fn endpoints_f64(&self) -> (f64, f64);
+}
+
+impl VmElem for F64I {
+    const PRECISION: Precision = Precision::F64;
+
+    fn from_const(c: &PoolConst) -> F64I {
+        // Same as `ia_set_f64(lo_hi, hi_hi)`; lowering guarantees an
+        // ordered pair.
+        F64I::new(c.lo_hi, c.hi_hi).expect("pool constant is ordered")
+    }
+    fn powi_e(self, n: i32) -> F64I {
+        self.powi(n)
+    }
+    fn endpoints_f64(&self) -> (f64, f64) {
+        (self.lo(), self.hi())
+    }
+}
+
+impl VmElem for DdI {
+    const PRECISION: Precision = Precision::Dd;
+
+    fn from_const(c: &PoolConst) -> DdI {
+        // Same as `ia_set_ddx(lo_hi, lo_lo, hi_hi, hi_lo)`.
+        DdI::new(igen_dd::Dd::new(c.lo_hi, c.lo_lo), igen_dd::Dd::new(c.hi_hi, c.hi_lo))
+            .expect("pool constant is ordered")
+    }
+    fn powi_e(self, n: i32) -> DdI {
+        self.powi(n)
+    }
+    fn endpoints_f64(&self) -> (f64, f64) {
+        let f = self.to_f64i();
+        (f.lo(), f.hi())
+    }
+}
+
+/// Executes `p` over a register file of lanes: `inputs` feeds registers
+/// `0..n_inputs` (one lane vector per input, so `L::WIDTH` items run at
+/// once), `regs` is caller-owned scratch reused across calls, and the
+/// declared outputs land in `outputs` in declaration order.
+///
+/// # Panics
+///
+/// Panics if the element precision does not match the program's or if
+/// `inputs.len() != n_inputs`. Register/constant indices are trusted
+/// (lowering validates them; see [`Program::validate`]).
+pub fn run_lanes<T: VmElem, L: LaneOrScalar<T>>(
+    p: &Program,
+    inputs: &[L],
+    regs: &mut Vec<L>,
+    outputs: &mut Vec<L>,
+) {
+    assert_eq!(T::PRECISION, p.precision, "element precision does not match program");
+    assert_eq!(inputs.len(), p.n_inputs as usize, "program expects {} inputs", p.n_inputs);
+    regs.clear();
+    regs.resize(p.n_regs as usize, L::splat_l(T::zero()));
+    regs[..inputs.len()].copy_from_slice(inputs);
+    for insn in &p.insns {
+        let v = match *insn {
+            Insn::Const { idx, .. } => L::splat_l(T::from_const(&p.consts[idx as usize])),
+            Insn::Add { a, b, .. } => regs[a as usize] + regs[b as usize],
+            Insn::Sub { a, b, .. } => regs[a as usize] - regs[b as usize],
+            Insn::Mul { a, b, .. } => regs[a as usize] * regs[b as usize],
+            Insn::Div { a, b, .. } => regs[a as usize] / regs[b as usize],
+            Insn::Min { a, b, .. } => regs[a as usize].min_l(regs[b as usize]),
+            Insn::Max { a, b, .. } => regs[a as usize].max_l(regs[b as usize]),
+            Insn::Neg { a, .. } => -regs[a as usize],
+            Insn::Sqrt { a, .. } => regs[a as usize].sqrt_l(),
+            Insn::Abs { a, .. } => regs[a as usize].abs_l(),
+            Insn::Sqr { a, .. } => regs[a as usize].sqr_l(),
+            Insn::Pow { a, n, .. } => {
+                // No packed powi kernel: lane-wise is bit-identical
+                // because the lanes are independent.
+                let x = regs[a as usize];
+                L::from_fn_l(|i| x.lane_l(i).powi_e(n))
+            }
+        };
+        regs[insn.dst() as usize] = v;
+    }
+    VM_INSNS_EXECUTED.add(p.insns.len() as u64);
+    if L::WIDTH > 1 {
+        VM_PACKED_CALLS.inc();
+    } else {
+        VM_SCALAR_CALLS.inc();
+    }
+    outputs.clear();
+    outputs.extend(p.outputs.iter().map(|o| regs[o.reg as usize]));
+}
+
+/// One-item convenience wrapper: runs `p` at scalar width and returns
+/// the outputs in declaration order.
+pub fn run_scalar<T: VmElem>(p: &Program, inputs: &[T]) -> Vec<T> {
+    let mut regs = Vec::new();
+    let mut out = Vec::new();
+    run_lanes::<T, T>(p, inputs, &mut regs, &mut out);
+    out
+}
+
+/// The per-program output-width histogram `width.vm.<name>`.
+///
+/// The telemetry registry holds `'static` histograms, so per-program
+/// instances are interned and leaked on first use — programs are few
+/// and long-lived, and in non-telemetry builds the histogram is a
+/// zero-sized no-op.
+pub fn program_width_hist(name: &str) -> &'static WidthHist {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static TABLE: OnceLock<Mutex<HashMap<String, &'static WidthHist>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut t = table.lock().expect("vm hist table poisoned");
+    if let Some(h) = t.get(name) {
+        return h;
+    }
+    let full: &'static str = Box::leak(format!("width.vm.{name}").into_boxed_str());
+    let h: &'static WidthHist = Box::leak(Box::new(WidthHist::new(full)));
+    t.insert(name.to_string(), h);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::OutputSlot;
+
+    fn quad() -> Program {
+        // return -b + sqrt(b² - 4ac) with a=r0, b=r1, c=r2.
+        let p = Program {
+            name: "quad".into(),
+            precision: Precision::F64,
+            n_inputs: 3,
+            n_regs: 11,
+            consts: vec![PoolConst::f64_pair(4.0, 4.0)],
+            insns: vec![
+                Insn::Sqr { dst: 3, a: 1 },
+                Insn::Const { dst: 4, idx: 0 },
+                Insn::Mul { dst: 5, a: 4, b: 0 },
+                Insn::Mul { dst: 6, a: 5, b: 2 },
+                Insn::Sub { dst: 7, a: 3, b: 6 },
+                Insn::Sqrt { dst: 8, a: 7 },
+                Insn::Neg { dst: 9, a: 1 },
+                Insn::Add { dst: 10, a: 9, b: 8 },
+            ],
+            inputs: vec!["a".into(), "b".into(), "c".into()],
+            outputs: vec![OutputSlot { label: "return".into(), reg: 10 }],
+        };
+        p.validate().expect("valid test program");
+        p
+    }
+
+    #[test]
+    fn packed_is_bit_identical_to_scalar() {
+        let p = quad();
+        let items: Vec<[F64I; 3]> = (0..4)
+            .map(|i| {
+                let f = i as f64;
+                [
+                    F64I::new(1.0 + 0.25 * f, 1.0 + 0.3 * f).unwrap(),
+                    F64I::new(-3.5 - f, -3.0 - f).unwrap(),
+                    F64I::new(0.5, 0.75 + 0.1 * f).unwrap(),
+                ]
+            })
+            .collect();
+        // Scalar, one item at a time.
+        let scalar: Vec<Vec<F64I>> = items.iter().map(|it| run_scalar(&p, it)).collect();
+        // Packed, all four in one call.
+        let inputs: Vec<igen_interval::F64Ix4> = (0..3)
+            .map(|j| <igen_interval::F64Ix4 as LaneOrScalar<F64I>>::from_fn_l(|l| items[l][j]))
+            .collect();
+        let mut regs = Vec::new();
+        let mut out = Vec::new();
+        run_lanes::<F64I, igen_interval::F64Ix4>(&p, &inputs, &mut regs, &mut out);
+        for (l, want) in scalar.iter().enumerate() {
+            let got = out[0].lane_l(l);
+            assert_eq!(got.lo().to_bits(), want[0].lo().to_bits());
+            assert_eq!(got.hi().to_bits(), want[0].hi().to_bits());
+        }
+    }
+
+    #[test]
+    fn dd_constants_roundtrip_through_the_pool() {
+        use igen_dd::Dd;
+        let c = PoolConst { lo_hi: 1.05, lo_lo: -4.44e-17, hi_hi: 1.05, hi_lo: -4.4e-17 };
+        let v = DdI::from_const(&c);
+        assert_eq!(v.lo().hi(), 1.05);
+        assert_eq!(v.lo().lo(), -4.44e-17);
+        let p = Program {
+            name: "c".into(),
+            precision: Precision::Dd,
+            n_inputs: 0,
+            n_regs: 1,
+            consts: vec![c],
+            insns: vec![Insn::Const { dst: 0, idx: 0 }],
+            inputs: vec![],
+            outputs: vec![OutputSlot { label: "return".into(), reg: 0 }],
+        };
+        let out = run_scalar::<DdI>(&p, &[]);
+        assert_eq!(out[0].hi().cmp_num(&Dd::new(1.05, -4.4e-17)), Some(core::cmp::Ordering::Equal));
+    }
+
+    #[test]
+    #[should_panic(expected = "precision")]
+    fn precision_mismatch_panics() {
+        let p = quad();
+        let _ = run_scalar::<DdI>(&p, &[DdI::ZERO, DdI::ZERO, DdI::ZERO]);
+    }
+}

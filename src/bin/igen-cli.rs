@@ -7,11 +7,20 @@
 //!                  [--opt-level 0|1|2] [--emit-ir] [--dump-passes]
 //!                  [--verify-passes] [--reductions] [--join-branches]
 //!                  [--intrinsics] [--metrics] [--trace-out <path>]
+//! igen-cli run <input.c> [--fn NAME] [--batch N] [--threads N]
+//!              [--opt-level 0|1|2] [--precision f64|dd] [--arg name=INT]
+//!              [--len name=N] [--size N] [--seed N] [--emit-bytecode]
+//!              [--metrics] [--trace-out <path>]
 //! igen-cli batch <dot|mvm|gemm|henon|ffnn> [--threads N] [--batch N]
 //!                [--size N] [--iters N] [--seq-threshold N]
 //!                [--metrics] [--trace-out <path>]
 //! igen-cli report <trace.jsonl>...
 //! ```
+//!
+//! `run` compiles a C function once into register bytecode and executes
+//! it over a generated input batch on the multi-threaded packed path,
+//! verifying bit identity against the single-thread run and against the
+//! differential interpreter before reporting throughput.
 //!
 //! The `compile` subcommand name is optional for backward compatibility:
 //! `igen-cli input.c` behaves identically.
@@ -98,6 +107,20 @@ fn usage() -> ! {
            --metrics           print the telemetry summary to stderr after the\n\
                                run (needs a `--features telemetry` build)\n\
            --trace-out <file>  write the telemetry trace as JSON lines\n\
+         \n\
+         run mode (compile once to bytecode, execute over an input batch):\n\
+           igen-cli run <input.c> [options]\n\
+           --fn <name>         function to compile (default: the only function)\n\
+           --batch <n>         batch items (default: 64)\n\
+           --threads <n>       worker threads (default: all cores; 0 = all)\n\
+           --opt-level <n>     IR optimization level (default: 2)\n\
+           --precision <p>     f64 (default) | dd\n\
+           --arg <name=INT>    fix an integer parameter (loop bounds, sizes)\n\
+           --len <name=N>      elements behind a pointer parameter\n\
+           --size <n>          default pointer-parameter length (default: 8)\n\
+           --seed <n>          input generator seed\n\
+           --emit-bytecode     print the lowered instruction dump to stdout\n\
+           --metrics, --trace-out as above\n\
          \n\
          batch mode (parallel batch evaluation over the interval runtime):\n\
            igen-cli batch <dot|mvm|gemm|henon|ffnn> [options]\n\
@@ -297,10 +320,264 @@ fn run_batch(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `igen-cli run <input.c>`: compiles one function into register
+/// bytecode and executes it over a generated input batch on the packed
+/// multi-threaded path, pinning the result against both the
+/// single-thread run and the differential interpreter before reporting
+/// throughput.
+fn run_run(args: &[String]) -> ExitCode {
+    use igen::batch::{BatchConfig, BatchDdI, BatchF64I, BatchProgram};
+    use igen::kernels::workload;
+    use igen::vm::{ArgBind, BindSpec};
+
+    let mut input: Option<String> = None;
+    let mut fn_name: Option<String> = None;
+    let mut batch = 64usize;
+    let mut threads = 0usize; // 0 = all cores
+    let mut size = 8usize;
+    let mut seed = 0x16e0u64;
+    let mut emit_bytecode = false;
+    let mut metrics = false;
+    let mut trace_out: Option<String> = None;
+    let mut cfg = Config { opt_level: OptLevel::O2, ..Config::default() };
+    let mut int_args: Vec<(String, i64)> = Vec::new();
+    let mut lens: Vec<(String, usize)> = Vec::new();
+
+    let fail2 = |msg: String| -> ExitCode {
+        eprintln!("igen-cli: {msg}");
+        ExitCode::from(2)
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let take = |args: &[String], i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--fn" => match take(args, &mut i) {
+                Some(v) => fn_name = Some(v),
+                None => return fail2("--fn needs a function name".into()),
+            },
+            "--batch" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => batch = v,
+                None => return fail2("--batch needs a count".into()),
+            },
+            "--threads" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => threads = v,
+                None => return fail2("--threads needs a count".into()),
+            },
+            "--size" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => size = v,
+                None => return fail2("--size needs a count".into()),
+            },
+            "--seed" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return fail2("--seed needs an integer".into()),
+            },
+            "--opt-level" => {
+                cfg.opt_level = match take(args, &mut i).as_deref() {
+                    Some("0") => OptLevel::O0,
+                    Some("1") => OptLevel::O1,
+                    Some("2") => OptLevel::O2,
+                    _ => return fail2("--opt-level needs 0, 1 or 2".into()),
+                };
+            }
+            "--precision" => {
+                cfg.precision = match take(args, &mut i).as_deref() {
+                    Some("f64") => Precision::F64,
+                    Some("dd") => Precision::Dd,
+                    _ => return fail2("run supports --precision f64 or dd".into()),
+                };
+            }
+            "--arg" => {
+                let v = take(args, &mut i).unwrap_or_default();
+                match v.split_once('=').and_then(|(n, x)| Some((n, x.parse::<i64>().ok()?))) {
+                    Some((n, x)) => int_args.push((n.to_string(), x)),
+                    None => return fail2(format!("bad --arg '{v}' (expected name=integer)")),
+                }
+            }
+            "--len" => {
+                let v = take(args, &mut i).unwrap_or_default();
+                match v.split_once('=').and_then(|(n, x)| Some((n, x.parse::<usize>().ok()?))) {
+                    Some((n, x)) => lens.push((n.to_string(), x)),
+                    None => return fail2(format!("bad --len '{v}' (expected name=count)")),
+                }
+            }
+            "--emit-bytecode" => emit_bytecode = true,
+            "--metrics" => metrics = true,
+            "--trace-out" => match take(args, &mut i) {
+                Some(v) => trace_out = Some(v),
+                None => return fail2("--trace-out needs a path".into()),
+            },
+            "-h" | "--help" => usage(),
+            a if a.starts_with('-') => {
+                return fail2(format!("unknown run option '{a}' (see igen-cli --help)"));
+            }
+            a => {
+                if input.replace(a.to_string()).is_some() {
+                    return fail2("run takes one input file".into());
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(input) = input else {
+        return fail2("run needs an input file (see igen-cli --help)".into());
+    };
+    if batch == 0 {
+        return fail2("--batch must be at least 1".into());
+    }
+    let tel = Telemetry::start(metrics, trace_out);
+
+    let src = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => return fail2(format!("cannot read {input}: {e}")),
+    };
+    let out = match Compiler::new(cfg).compile_str(&src) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("igen-cli: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Pick the function: --fn, or the file's only definition.
+    let names: Vec<&str> = out.ir.functions().map(|f| f.name.as_str()).collect();
+    let fn_name = match fn_name {
+        Some(n) => {
+            if !names.contains(&n.as_str()) {
+                return fail2(format!("no function '{n}' in {input}"));
+            }
+            n
+        }
+        None => match names.as_slice() {
+            [only] => only.to_string(),
+            _ => {
+                return fail2(format!(
+                    "{input} defines {} functions; pick one with --fn <name>",
+                    names.len()
+                ))
+            }
+        },
+    };
+
+    // Bind parameters: interval scalars and arrays feed the batch,
+    // integer parameters are fixed via --arg.
+    let func = out.ir.functions().find(|f| f.name == fn_name).expect("function exists");
+    let mut binds = Vec::new();
+    for p in &func.params {
+        use igen::cfront::Type;
+        match &p.ty {
+            Type::Named(_) => binds.push(ArgBind::Ival),
+            Type::Ptr(_) | Type::Array(_, _) => {
+                let len = lens.iter().find(|(n, _)| *n == p.name).map(|&(_, l)| l).unwrap_or(size);
+                binds.push(ArgBind::InOut(len));
+            }
+            Type::Int | Type::UInt | Type::Long | Type::ULong => {
+                match int_args.iter().find(|(n, _)| *n == p.name) {
+                    Some(&(_, v)) => binds.push(ArgBind::Int(v)),
+                    None => {
+                        return fail2(format!(
+                            "integer parameter '{}' needs --arg {}=<value>",
+                            p.name, p.name
+                        ))
+                    }
+                }
+            }
+            other => {
+                eprintln!("igen-cli: parameter '{}' has unsupported type {other:?}", p.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let bind = BindSpec::new(binds);
+    let prog = match igen::compiler::compile_to_program(&out, &fn_name, &bind) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("igen-cli: {fn_name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if emit_bytecode {
+        print!("{}", prog.dump());
+    }
+    let nin = prog.n_inputs as usize;
+    let nout = prog.outputs.len();
+    let n_insns = prog.insns.len();
+    let check_items = batch.min(8);
+    let mut rng = workload::rng(seed);
+
+    // Execute: differential interpreter check on a prefix, then the
+    // 1-thread vs N-thread bit-identity run over the full batch.
+    let seq = BatchConfig::new().with_threads(1).with_seq_threshold(0);
+    let par = BatchConfig::new().with_threads(threads).with_seq_threshold(0);
+    let (t1, tn, same) = match cfg.precision {
+        Precision::Dd => {
+            let ivals = workload::dd_intervals_1ulp(&mut rng, batch * nin, -2.0, 2.0);
+            if let Err(e) = igen::compiler::verify_bit_identity_dd(
+                &out,
+                &prog,
+                &bind,
+                &ivals[..check_items * nin],
+            ) {
+                eprintln!("igen-cli: {fn_name}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let bp = BatchProgram::new(prog);
+            let soa = BatchDdI::from_intervals(&ivals);
+            let t = Instant::now();
+            let a = bp.run_dd(&seq, &soa);
+            let t1 = t.elapsed();
+            let t = Instant::now();
+            let b = bp.run_dd(&par, &soa);
+            (t1, t.elapsed(), a == b)
+        }
+        _ => {
+            let pts = workload::random_points(&mut rng, batch * nin, -2.0, 2.0);
+            let ivals = workload::intervals_1ulp(&pts);
+            if let Err(e) =
+                igen::compiler::verify_bit_identity(&out, &prog, &bind, &ivals[..check_items * nin])
+            {
+                eprintln!("igen-cli: {fn_name}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let bp = BatchProgram::new(prog);
+            let soa = BatchF64I::from_intervals(&ivals);
+            let t = Instant::now();
+            let a = bp.run(&seq, &soa);
+            let t1 = t.elapsed();
+            let t = Instant::now();
+            let b = bp.run(&par, &soa);
+            (t1, t.elapsed(), a == b)
+        }
+    };
+    if !same {
+        eprintln!("igen-cli: batched result diverged from the single-thread path");
+        return ExitCode::FAILURE;
+    }
+    let eff_threads = par.threads();
+    println!(
+        "{fn_name}: {n_insns} insns, {nin} inputs -> {nout} outputs per item\n\
+         batch={batch} threads={eff_threads}\n\
+         1 thread : {t1:>12.3?}\n\
+         {eff_threads} threads: {tn:>12.3?}  ({:.2}x)\n\
+         differential interpreter check: ok ({check_items} items)\n\
+         results bit-identical across thread counts: yes",
+        t1.as_secs_f64() / tn.as_secs_f64(),
+    );
+    if let Err(code) = tel.finish() {
+        return code;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("batch") {
         return run_batch(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("run") {
+        return run_run(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("report") {
         return run_report(&args[1..]);
@@ -313,7 +590,9 @@ fn main() -> ExitCode {
         // A bare first argument that cannot be a C input file (no extension,
         // no path separator) is a misspelled subcommand, not an input.
         Some(a) if !a.starts_with('-') && !a.contains('.') && !a.contains('/') => {
-            eprintln!("igen-cli: unknown subcommand '{a}' (expected compile, batch or report)");
+            eprintln!(
+                "igen-cli: unknown subcommand '{a}' (expected compile, run, batch or report)"
+            );
             return ExitCode::from(2);
         }
         _ => {}

@@ -17,3 +17,4 @@ pub use igen_mpf as mpf;
 pub use igen_round as round;
 pub use igen_simdgen as simdgen;
 pub use igen_telemetry as telemetry;
+pub use igen_vm as vm;

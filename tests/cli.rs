@@ -125,7 +125,7 @@ fn unknown_subcommand_is_a_one_line_error() {
     assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown subcommand 'frobnicate'"), "{stderr}");
-    assert!(stderr.contains("expected compile, batch or report"), "{stderr}");
+    assert!(stderr.contains("expected compile, run, batch or report"), "{stderr}");
     assert_eq!(stderr.trim_end().lines().count(), 1, "want a one-line error, got:\n{stderr}");
 }
 
@@ -146,6 +146,96 @@ fn unknown_batch_flag_and_kernel_fail_with_exit_2() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
+}
+
+#[test]
+fn run_compiles_and_executes_a_batch() {
+    let dir = scratch("cli_run");
+    fs::write(
+        dir.join("dot.c"),
+        r#"
+        double dot(double* x, double* y, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) {
+                s = s + x[i] * y[i];
+            }
+            return s;
+        }
+        "#,
+    )
+    .unwrap();
+    let out = run_in(
+        &dir,
+        &[
+            "run",
+            "dot.c",
+            "--arg",
+            "n=5",
+            "--len",
+            "x=5",
+            "--len",
+            "y=5",
+            "--batch",
+            "10",
+            "--emit-bytecode",
+        ],
+    );
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("program dot"), "{stdout}");
+    assert!(stdout.contains("in r0 = x[0]"), "{stdout}");
+    assert!(stdout.contains("differential interpreter check: ok"), "{stdout}");
+    assert!(stdout.contains("results bit-identical across thread counts: yes"), "{stdout}");
+    // The compile artifacts of compile mode are not produced by run.
+    assert!(!dir.join("igen_dot.c").exists());
+}
+
+#[test]
+fn run_unknown_flag_is_a_one_line_exit_2() {
+    let dir = scratch("cli_run_flag");
+    fs::write(dir.join("f.c"), "double f(double a) { return a + 1.0; }").unwrap();
+    let out = run_in(&dir, &["run", "f.c", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown run option '--frobnicate'"), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "want a one-line error, got:\n{stderr}");
+}
+
+#[test]
+fn run_missing_file_is_a_one_line_exit_2() {
+    let dir = scratch("cli_run_missing");
+    let out = run_in(&dir, &["run", "nonexistent.c"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read nonexistent.c"), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "want a one-line error, got:\n{stderr}");
+}
+
+#[test]
+fn run_missing_int_arg_names_the_parameter() {
+    let dir = scratch("cli_run_intarg");
+    fs::write(
+        dir.join("h.c"),
+        "double h(double x, int k) { double r = x; for (int i = 0; i < k; i++) { r = r * x; } return r; }",
+    )
+    .unwrap();
+    let out = run_in(&dir, &["run", "h.c"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--arg k=<value>"), "{stderr}");
+    let out = run_in(&dir, &["run", "h.c", "--arg", "k=3", "--batch", "6"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn run_rejects_untraceable_functions_with_the_reason() {
+    let dir = scratch("cli_run_reject");
+    fs::write(dir.join("b.c"), "double b(double x) { if (x > 0.0) { return x; } return 0.0; }")
+        .unwrap();
+    let out = run_in(&dir, &["run", "b.c"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("interval"), "{stderr}");
 }
 
 #[test]
