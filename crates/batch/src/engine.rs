@@ -32,6 +32,7 @@ static BATCH_CHUNKS: Counter = Counter::new("batch.chunks");
 pub struct BatchConfig {
     threads: usize,
     seq_threshold: usize,
+    tile_groups: usize,
 }
 
 /// Below this many work items the engine stays sequential by default —
@@ -40,7 +41,11 @@ pub const DEFAULT_SEQ_THRESHOLD: usize = 32;
 
 impl Default for BatchConfig {
     fn default() -> BatchConfig {
-        BatchConfig { threads: available_threads(), seq_threshold: DEFAULT_SEQ_THRESHOLD }
+        BatchConfig {
+            threads: available_threads(),
+            seq_threshold: DEFAULT_SEQ_THRESHOLD,
+            tile_groups: igen_vm::DEFAULT_TILE_GROUPS,
+        }
     }
 }
 
@@ -71,9 +76,25 @@ impl BatchConfig {
         self
     }
 
+    /// Sets the tiled-executor tile size in packed groups per tile
+    /// (`0` means the default, [`igen_vm::DEFAULT_TILE_GROUPS`]). Tile
+    /// size never changes a result bit — only how much instruction
+    /// decode is amortized per sweep.
+    #[must_use]
+    pub fn with_tile_groups(mut self, tile_groups: usize) -> BatchConfig {
+        self.tile_groups =
+            if tile_groups == 0 { igen_vm::DEFAULT_TILE_GROUPS } else { tile_groups };
+        self
+    }
+
     /// Configured worker thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Configured packed groups per executor tile.
+    pub fn tile_groups(&self) -> usize {
+        self.tile_groups
     }
 
     /// Configured sequential fallback threshold.
@@ -115,10 +136,28 @@ where
     O: Send,
     F: Fn(usize) -> O + Sync,
 {
+    par_map_indexed_with(cfg, n, || (), |(), i| f(i))
+}
+
+/// [`par_map_indexed`] with per-worker mutable state: `init` runs once
+/// on each worker thread and the resulting state is threaded through
+/// every call that worker makes, in index order. Used to reuse
+/// expensive scratch (tile register banks) across a worker's chunk
+/// without any cross-index data flow — `f` must still be a pure
+/// function of its index for the determinism guarantee to hold; the
+/// state may only carry *allocations*, never values that influence
+/// results.
+pub fn par_map_indexed_with<S, O, Init, F>(cfg: &BatchConfig, n: usize, init: Init, f: F) -> Vec<O>
+where
+    O: Send,
+    Init: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> O + Sync,
+{
     let threads = cfg.effective_threads(n);
     if threads == 1 {
         BATCH_CHUNKS.inc();
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
     let _span = igen_telemetry::span("batch.par_map");
     let ranges = split_ranges(n, threads);
@@ -127,10 +166,12 @@ where
         let handles: Vec<_> = ranges
             .into_iter()
             .map(|r| {
-                scope.spawn(|| {
+                let (f, init) = (&f, &init);
+                scope.spawn(move || {
                     let _span = igen_telemetry::span("batch.chunk");
                     BATCH_CHUNKS.inc();
-                    r.map(&f).collect::<Vec<O>>()
+                    let mut state = init();
+                    r.map(|i| f(&mut state, i)).collect::<Vec<O>>()
                 })
             })
             .collect();
@@ -266,6 +307,34 @@ mod tests {
         let seq: Vec<u64> = (0..1000).map(|i| (i as u64).wrapping_mul(0x9e37)).collect();
         let par = par_map_indexed(&cfg, 1000, |i| (i as u64).wrapping_mul(0x9e37));
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_with_state_matches_sequential_at_any_thread_count() {
+        // The state is a scratch buffer; results must not depend on
+        // which worker owned it or how work was split.
+        let run = |threads| {
+            let cfg = BatchConfig::new().with_threads(threads).with_seq_threshold(0);
+            par_map_indexed_with(&cfg, 777, Vec::<u64>::new, |scratch, i| {
+                scratch.clear();
+                scratch.extend((0..4).map(|k| (i as u64 + k) * 31));
+                scratch.iter().copied().fold(0u64, u64::wrapping_add)
+            })
+        };
+        let one = run(1);
+        for t in [2, 3, 8] {
+            assert_eq!(one, run(t), "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn tile_groups_default_and_zero_roundtrip() {
+        assert_eq!(BatchConfig::new().tile_groups(), igen_vm::DEFAULT_TILE_GROUPS);
+        assert_eq!(
+            BatchConfig::new().with_tile_groups(0).tile_groups(),
+            igen_vm::DEFAULT_TILE_GROUPS
+        );
+        assert_eq!(BatchConfig::new().with_tile_groups(16).tile_groups(), 16);
     }
 
     #[test]

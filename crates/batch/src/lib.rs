@@ -55,6 +55,7 @@ pub mod program;
 pub mod soa;
 
 pub use engine::{available_threads, BatchConfig, DEFAULT_SEQ_THRESHOLD};
+pub use igen_vm::DEFAULT_TILE_GROUPS;
 pub use kernels::{
     dot_batch, dot_batch_dd, ffnn_batch, gemm_row_blocks, henon_ensemble, henon_ensemble_dd,
     mvm_batch, mvm_batch_dd,

@@ -42,7 +42,7 @@ use igen_telemetry::json::{self, Json};
 
 /// The PR index stamped into the default trajectory file name
 /// (`results/BENCH_<pr>.json`). Bump when recording a new PR's baseline.
-pub const CURRENT_PR: u32 = 7;
+pub const CURRENT_PR: u32 = 8;
 
 /// JSON schema tag; bump on incompatible report changes.
 pub const SCHEMA: &str = "igen-bench-gauntlet/v1";
@@ -438,6 +438,21 @@ pub fn check_regression(
     speed_tol: f64,
     width_tol: f64,
 ) -> Vec<String> {
+    check_regression_with(current, baseline, speed_tol, width_tol, &[])
+}
+
+/// [`check_regression`] with per-backend speed-tolerance overrides
+/// (`--tol-backend NAME=F`): a backend named in `speed_tol_overrides`
+/// is gated at its own tolerance instead of `speed_tol`, so a
+/// newly-optimized backend can be pinned tighter than the generous
+/// default without squeezing every other contender.
+pub fn check_regression_with(
+    current: &Report,
+    baseline: &Report,
+    speed_tol: f64,
+    width_tol: f64,
+    speed_tol_overrides: &[(String, f64)],
+) -> Vec<String> {
     let mut violations = Vec::new();
     let find = |rows: &[Row], backend: &str, kernel: &str| -> Option<Row> {
         rows.iter().find(|r| r.backend == backend && r.kernel == kernel).cloned()
@@ -452,14 +467,18 @@ pub fn check_regression(
             }
             continue;
         };
-        if base.packed_path && cur.speedup_vs_naive < base.speedup_vs_naive * (1.0 - speed_tol) {
+        let tol = speed_tol_overrides
+            .iter()
+            .find(|(name, _)| *name == base.backend)
+            .map_or(speed_tol, |(_, t)| *t);
+        if base.packed_path && cur.speedup_vs_naive < base.speedup_vs_naive * (1.0 - tol) {
             violations.push(format!(
                 "{}/{}: speedup vs naive regressed {:.2}x -> {:.2}x (tolerance {:.0}%)",
                 base.backend,
                 base.kernel,
                 base.speedup_vs_naive,
                 cur.speedup_vs_naive,
-                speed_tol * 100.0
+                tol * 100.0
             ));
         }
         let width_ok = cur.mean_rel_width <= base.mean_rel_width * (1.0 + width_tol)
@@ -575,6 +594,24 @@ mod tests {
         let mut noisy = base.clone();
         noisy.rows[1].speedup_vs_naive = 6.0; // 40% drop < 50% tolerance
         assert!(check_regression(&noisy, &base, DEFAULT_SPEED_TOL, DEFAULT_WIDTH_TOL).is_empty());
+    }
+
+    #[test]
+    fn per_backend_tolerance_overrides_the_default() {
+        let base = tiny_report();
+        let mut drift = base.clone();
+        drift.rows[1].speedup_vs_naive = 8.5; // 15% drop
+                                              // Default 50% tolerance passes; a 10% override on the backend fails.
+        assert!(check_regression(&drift, &base, DEFAULT_SPEED_TOL, DEFAULT_WIDTH_TOL).is_empty());
+        let overrides = vec![("igen-packed".to_string(), 0.10)];
+        let v =
+            check_regression_with(&drift, &base, DEFAULT_SPEED_TOL, DEFAULT_WIDTH_TOL, &overrides);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("tolerance 10%"), "{v:?}");
+        // An override for a different backend leaves the row at the default.
+        let other = vec![("compiled-vm".to_string(), 0.10)];
+        assert!(check_regression_with(&drift, &base, DEFAULT_SPEED_TOL, DEFAULT_WIDTH_TOL, &other)
+            .is_empty());
     }
 
     #[test]

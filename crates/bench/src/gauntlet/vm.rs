@@ -1,16 +1,20 @@
 //! One-file gauntlet plug-in for the bytecode VM: each kernel is
 //! written as plain C, compiled through the full IGen pipeline at
-//! `-O2`, lowered to register bytecode, and executed by the
-//! lane-generic `igen-vm` interpreter over `igen-batch` SoA buffers —
-//! the "compile any function" path, timed against the hand-written
-//! kernels it generalizes.
+//! `-O2`, lowered to register bytecode, peepholed (endpoint-exact
+//! rewrites + liveness register renumbering), and executed by the
+//! tiled instruction-major `igen-vm` executor over `igen-batch` SoA
+//! buffers — the "compile any function" path, timed against the
+//! hand-written kernels it generalizes.
 //!
-//! Compilation and lowering happen at `instantiate` (untimed setup);
-//! the timed closure only executes bytecode. One worker thread, like
-//! `igen-packed`, so the column isolates the execution model. GEMM is a
-//! single batch item (batching is across items, and the gauntlet's
-//! GEMM case is one matrix product), so it exercises the scalar lane
-//! of the same executor; the other kernels run the packed path.
+//! Compilation, the peephole pass and constant hoisting happen at
+//! `instantiate` (untimed setup); the timed closure only executes
+//! prepared bytecode over per-worker tile banks. One worker thread,
+//! like `igen-packed`, so the column isolates the execution model.
+//! GEMM is a single batch item (batching is across items, and the
+//! gauntlet's GEMM case is one matrix product), so it exercises the
+//! scalar-width tail of the same tiled executor — its win comes from
+//! the renumbered register file staying cache-resident; the other
+//! kernels run the packed tile path.
 
 use igen_baselines::backend::{IntervalBackend, IvalVec, Kernel, KernelCase};
 use igen_batch::{BatchConfig, BatchF64I, BatchProgram};

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod gauntlet;
+pub mod trajectory;
 
 use std::time::{Duration, Instant};
 

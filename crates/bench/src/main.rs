@@ -5,12 +5,20 @@
 //! ```text
 //! igen-bench gauntlet [--full] [--backends a,b,...] [--out <path>]
 //!                     [--pr N] [--check <baseline.json>] [--tol F]
-//!                     [--tol-width F]
+//!                     [--tol-width F] [--tol-backend NAME=F]...
+//! igen-bench trajectory [--dir <results>] [--out <TRAJECTORY.md>]
+//!                       [--csv <TRAJECTORY.csv>]
 //! ```
 //!
 //! `gauntlet` runs every registered interval backend through the shared
 //! dot/mvm/gemm/henon/ffnn kernel set and writes the machine-readable
-//! trajectory JSON (schema `igen-bench-gauntlet/v1`).
+//! trajectory JSON (schema `igen-bench-gauntlet/v1`). `--tol-backend`
+//! (repeatable) pins a named backend to its own speed tolerance,
+//! tighter or looser than the global `--tol`.
+//!
+//! `trajectory` merges every committed `results/BENCH_<pr>.json` into
+//! the reviewable `results/TRAJECTORY.md` pivot (speedup-vs-naive per
+//! backend × kernel × PR) plus the flat `results/TRAJECTORY.csv`.
 //!
 //! Output-path policy: with an explicit `--out` the file goes exactly
 //! there. Otherwise the default is `results/BENCH_<pr>.json` only for a
@@ -30,15 +38,18 @@ use std::process::ExitCode;
 
 fn usage() -> &'static str {
     "usage: igen-bench gauntlet [--full] [--backends a,b,...] [--out <path>]\n\
-     \x20                          [--pr N] [--check <baseline.json>] [--tol F] [--tol-width F]"
+     \x20                          [--pr N] [--check <baseline.json>] [--tol F] [--tol-width F]\n\
+     \x20                          [--tol-backend NAME=F]...\n\
+     \x20      igen-bench trajectory [--dir <results>] [--out <TRAJECTORY.md>] [--csv <TRAJECTORY.csv>]"
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("gauntlet") => run_gauntlet(&args[1..]),
+        Some("trajectory") => run_trajectory(&args[1..]),
         Some(cmd) => {
-            eprintln!("igen-bench: unknown subcommand '{cmd}' (expected gauntlet)");
+            eprintln!("igen-bench: unknown subcommand '{cmd}' (expected gauntlet or trajectory)");
             ExitCode::from(2)
         }
         None => {
@@ -48,6 +59,65 @@ fn main() -> ExitCode {
     }
 }
 
+fn run_trajectory(args: &[String]) -> ExitCode {
+    let mut dir = "results".to_string();
+    let mut out = "results/TRAJECTORY.md".to_string();
+    let mut csv = "results/TRAJECTORY.csv".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, ExitCode> {
+            it.next().cloned().ok_or_else(|| {
+                eprintln!("igen-bench: {name} needs a value");
+                ExitCode::from(2)
+            })
+        };
+        match arg.as_str() {
+            "--dir" => match value("--dir") {
+                Ok(v) => dir = v,
+                Err(c) => return c,
+            },
+            "--out" => match value("--out") {
+                Ok(v) => out = v,
+                Err(c) => return c,
+            },
+            "--csv" => match value("--csv") {
+                Ok(v) => csv = v,
+                Err(c) => return c,
+            },
+            other => {
+                eprintln!("igen-bench: unknown option '{other}' for trajectory");
+                eprintln!("{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let reports = match igen_bench::trajectory::collect(std::path::Path::new(&dir)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("igen-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if reports.is_empty() {
+        eprintln!("igen-bench: no BENCH_<pr>.json reports under {dir}");
+        return ExitCode::FAILURE;
+    }
+    let md = igen_bench::trajectory::render_markdown(&reports);
+    let flat = igen_bench::trajectory::render_csv(&reports);
+    for (path, body) in [(&out, &md), (&csv, &flat)] {
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("igen-bench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    println!("merged {} reports (PRs: {})", reports.len(), {
+        let prs: Vec<String> = reports.iter().map(|r| r.pr.to_string()).collect();
+        prs.join(", ")
+    });
+    ExitCode::SUCCESS
+}
+
 fn run_gauntlet(args: &[String]) -> ExitCode {
     let mut backends: Vec<String> = Vec::new();
     let mut out: Option<String> = None;
@@ -55,6 +125,7 @@ fn run_gauntlet(args: &[String]) -> ExitCode {
     let mut check: Option<String> = None;
     let mut tol = gauntlet::DEFAULT_SPEED_TOL;
     let mut tol_width = gauntlet::DEFAULT_WIDTH_TOL;
+    let mut tol_backends: Vec<(String, f64)> = Vec::new();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -100,6 +171,16 @@ fn run_gauntlet(args: &[String]) -> ExitCode {
                     eprintln!("igen-bench: --tol-width needs a number");
                     return ExitCode::from(2);
                 }
+                Err(c) => return c,
+            },
+            "--tol-backend" => match value("--tol-backend") {
+                Ok(v) => match v.split_once('=').map(|(n, t)| (n.to_string(), t.parse::<f64>())) {
+                    Some((name, Ok(t))) if !name.is_empty() => tol_backends.push((name, t)),
+                    _ => {
+                        eprintln!("igen-bench: --tol-backend needs NAME=F (e.g. compiled-vm=0.25)");
+                        return ExitCode::from(2);
+                    }
+                },
                 Err(c) => return c,
             },
             other => {
@@ -166,10 +247,18 @@ fn run_gauntlet(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let violations = gauntlet::check_regression(&report, &baseline, tol, tol_width);
+        let violations =
+            gauntlet::check_regression_with(&report, &baseline, tol, tol_width, &tol_backends);
         if violations.is_empty() {
+            let overrides = if tol_backends.is_empty() {
+                String::new()
+            } else {
+                let parts: Vec<String> =
+                    tol_backends.iter().map(|(n, t)| format!("{n}={t}")).collect();
+                format!(", overrides {}", parts.join(","))
+            };
             println!(
-                "check vs {baseline_path}: OK ({} baseline rows, tol {tol}, tol-width {tol_width})",
+                "check vs {baseline_path}: OK ({} baseline rows, tol {tol}, tol-width {tol_width}{overrides})",
                 baseline.rows.len()
             );
         } else {

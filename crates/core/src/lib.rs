@@ -61,8 +61,8 @@ pub use opt::{PassReport, PassStats};
 pub use reduce::ReductionInfo;
 pub use simd::{compile_intrinsics, hand_optimized, HAND_OPTIMIZED};
 pub use vm_bridge::{
-    compile_to_program, interp_reference, interp_reference_dd, verify_bit_identity,
-    verify_bit_identity_dd, VmBridgeError,
+    compile_to_program, compile_to_program_raw, interp_reference, interp_reference_dd,
+    verify_bit_identity, verify_bit_identity_dd, VmBridgeError,
 };
 
 use igen_cfront::TranslationUnit;

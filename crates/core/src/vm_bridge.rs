@@ -75,7 +75,10 @@ impl From<RtError> for VmBridgeError {
 }
 
 /// Lowers the named function of a compiled output into register
-/// bytecode under the given parameter bindings.
+/// bytecode under the given parameter bindings and runs the bytecode
+/// peephole pass (endpoint-exact rewrites plus register renumbering —
+/// see `igen_vm::peephole`). Use [`compile_to_program_raw`] to inspect
+/// or pin the un-peepholed lowering.
 ///
 /// # Errors
 ///
@@ -83,6 +86,25 @@ impl From<RtError> for VmBridgeError {
 /// function, [`VmBridgeError::Lower`] if it falls outside the traced
 /// subset.
 pub fn compile_to_program(
+    out: &Output,
+    fn_name: &str,
+    bind: &BindSpec,
+) -> Result<Program, VmBridgeError> {
+    let raw = compile_to_program_raw(out, fn_name, bind)?;
+    let _span = igen_telemetry::span("vm.peephole");
+    Ok(igen_vm::peephole(&raw).0)
+}
+
+/// [`compile_to_program`] without the peephole pass: the raw,
+/// single-assignment lowering output. Every endpoint bit matches the
+/// peepholed program — the `vm_peephole` differential tests pin that —
+/// so the choice only affects instruction count and register-file
+/// size.
+///
+/// # Errors
+///
+/// Same as [`compile_to_program`].
+pub fn compile_to_program_raw(
     out: &Output,
     fn_name: &str,
     bind: &BindSpec,

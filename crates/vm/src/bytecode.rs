@@ -169,6 +169,35 @@ pub enum Insn {
         /// Exponent.
         n: i32,
     },
+    /// `dst ← acc + (a * b)` — a *dispatch-fused* multiply-accumulate:
+    /// the product is rounded exactly as a standalone `Mul` and the sum
+    /// exactly as a standalone `Add` with the product as the **right**
+    /// operand, so the result is bit-identical to the unfused pair.
+    /// This is not an FMA (which would round once); only the temporary
+    /// register and the second dispatch are eliminated.
+    MulAdd {
+        /// Destination register.
+        dst: u32,
+        /// Product left operand register.
+        a: u32,
+        /// Product right operand register.
+        b: u32,
+        /// Accumulator register (left operand of the add).
+        acc: u32,
+    },
+    /// `dst ← acc - (a * b)` — the subtracting twin of [`Insn::MulAdd`],
+    /// with the product as the subtrahend. Same exactness argument:
+    /// both roundings are preserved, only the dispatch is fused.
+    MulSub {
+        /// Destination register.
+        dst: u32,
+        /// Product left operand register.
+        a: u32,
+        /// Product right operand register.
+        b: u32,
+        /// Accumulator register (minuend of the sub).
+        acc: u32,
+    },
 }
 
 impl Insn {
@@ -186,7 +215,9 @@ impl Insn {
             | Insn::Sqrt { dst, .. }
             | Insn::Abs { dst, .. }
             | Insn::Sqr { dst, .. }
-            | Insn::Pow { dst, .. } => dst,
+            | Insn::Pow { dst, .. }
+            | Insn::MulAdd { dst, .. }
+            | Insn::MulSub { dst, .. } => dst,
         }
     }
 }
@@ -273,6 +304,12 @@ impl Program {
                 Insn::Abs { dst, a } => format!("r{dst} = abs r{a}"),
                 Insn::Sqr { dst, a } => format!("r{dst} = sqr r{a}"),
                 Insn::Pow { dst, a, n } => format!("r{dst} = pow r{a}, {n}"),
+                Insn::MulAdd { dst, a, b, acc } => {
+                    format!("r{dst} = muladd r{acc}, r{a}, r{b}")
+                }
+                Insn::MulSub { dst, a, b, acc } => {
+                    format!("r{dst} = mulsub r{acc}, r{a}, r{b}")
+                }
             };
             let _ = writeln!(s, "  {line}");
         }
@@ -282,11 +319,25 @@ impl Program {
         s
     }
 
-    /// Structural sanity: every operand register is written (or an
-    /// input) before it is read, every `dst` is fresh, constant
+    /// Structural sanity the executors rely on: every operand register
+    /// is written (or an input) before it is read, register/constant
     /// indices are in range, and outputs name written registers.
-    /// Lowering output always validates; the executor relies on it.
+    /// Registers **may** be reused — the peephole pass renumbers into a
+    /// compact reusable file. Raw lowering output additionally
+    /// satisfies the stricter [`Program::validate_ssa`].
     pub fn validate(&self) -> Result<(), String> {
+        self.check(false)
+    }
+
+    /// [`Program::validate`] plus single assignment: every `dst` is a
+    /// fresh register. Lowering emits this form; the peephole pass
+    /// consumes it and returns programs that only satisfy the relaxed
+    /// [`Program::validate`].
+    pub fn validate_ssa(&self) -> Result<(), String> {
+        self.check(true)
+    }
+
+    fn check(&self, ssa: bool) -> Result<(), String> {
         let n = self.n_regs as usize;
         if (self.n_inputs as usize) != self.inputs.len() {
             return Err(format!(
@@ -327,12 +378,17 @@ impl Program {
                 | Insn::Abs { a, .. }
                 | Insn::Sqr { a, .. }
                 | Insn::Pow { a, .. } => read_ok(&written, a)?,
+                Insn::MulAdd { a, b, acc, .. } | Insn::MulSub { a, b, acc, .. } => {
+                    read_ok(&written, a)?;
+                    read_ok(&written, b)?;
+                    read_ok(&written, acc)?;
+                }
             }
             let dst = insn.dst() as usize;
             if dst >= n {
                 return Err(format!("destination r{dst} out of range (regs={n})"));
             }
-            if written[dst] {
+            if ssa && written[dst] {
                 return Err(format!("register r{dst} written twice"));
             }
             written[dst] = true;
@@ -383,10 +439,17 @@ mod tests {
         p.insns[1] = Insn::Add { dst: 3, a: 0, b: 3 };
         assert!(p.validate().unwrap_err().contains("read before written"));
         let mut p = toy();
-        p.insns[1] = Insn::Add { dst: 2, a: 0, b: 1 };
-        assert!(p.validate().unwrap_err().contains("written twice"));
-        let mut p = toy();
         p.outputs[0].reg = 9;
         assert!(p.validate().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn ssa_validation_rejects_register_reuse_but_validate_allows_it() {
+        let mut p = toy();
+        p.insns[1] = Insn::Add { dst: 2, a: 0, b: 1 };
+        p.outputs[0].reg = 2;
+        assert!(p.validate().is_ok(), "relaxed form permits reuse");
+        assert!(p.validate_ssa().unwrap_err().contains("written twice"));
+        assert!(toy().validate_ssa().is_ok(), "SSA lowering output passes both");
     }
 }

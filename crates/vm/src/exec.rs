@@ -95,8 +95,12 @@ pub fn run_lanes<T: VmElem, L: LaneOrScalar<T>>(
 ) {
     assert_eq!(T::PRECISION, p.precision, "element precision does not match program");
     assert_eq!(inputs.len(), p.n_inputs as usize, "program expects {} inputs", p.n_inputs);
-    regs.clear();
-    regs.resize(p.n_regs as usize, L::splat_l(T::zero()));
+    // Grow-only: stale values from a previous call are never read
+    // because validation guarantees every read follows a write, so a
+    // reused register file skips the full zero-reinit per call.
+    if regs.len() < p.n_regs as usize {
+        regs.resize(p.n_regs as usize, L::splat_l(T::zero()));
+    }
     regs[..inputs.len()].copy_from_slice(inputs);
     for insn in &p.insns {
         let v = match *insn {
@@ -116,6 +120,15 @@ pub fn run_lanes<T: VmElem, L: LaneOrScalar<T>>(
                 // because the lanes are independent.
                 let x = regs[a as usize];
                 L::from_fn_l(|i| x.lane_l(i).powi_e(n))
+            }
+            // Dispatch-fused multiply-accumulate: the same two rounded
+            // interval ops as the Mul+Add/Sub pair it replaced, product
+            // on the right of the accumulate, so bit-identical.
+            Insn::MulAdd { a, b, acc, .. } => {
+                regs[acc as usize] + (regs[a as usize] * regs[b as usize])
+            }
+            Insn::MulSub { a, b, acc, .. } => {
+                regs[acc as usize] - (regs[a as usize] * regs[b as usize])
             }
         };
         regs[insn.dst() as usize] = v;

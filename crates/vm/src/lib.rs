@@ -22,7 +22,11 @@
 pub mod bytecode;
 pub mod exec;
 pub mod lower;
+pub mod peephole;
+pub mod prepared;
 
 pub use bytecode::{Insn, OutputSlot, PoolConst, Precision, Program};
 pub use exec::{program_width_hist, run_lanes, run_scalar, VmElem};
 pub use lower::{lower, ArgBind, BindSpec, LowerError, DEFAULT_STEP_BUDGET, MAX_INSNS};
+pub use peephole::{peephole, PeepholeStats};
+pub use prepared::{run_tile, PreparedProgram, TileBank, DEFAULT_TILE_GROUPS};

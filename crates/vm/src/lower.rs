@@ -333,7 +333,7 @@ pub fn lower(f: &IrFunction, bind: &BindSpec) -> Result<Program, LowerError> {
         inputs,
         outputs,
     };
-    debug_assert_eq!(prog.validate(), Ok(()));
+    debug_assert_eq!(prog.validate_ssa(), Ok(()));
     Ok(prog)
 }
 

@@ -10,7 +10,7 @@
 //! igen-cli run <input.c> [--fn NAME] [--batch N] [--threads N]
 //!              [--opt-level 0|1|2] [--precision f64|dd] [--arg name=INT]
 //!              [--len name=N] [--size N] [--seed N] [--emit-bytecode]
-//!              [--metrics] [--trace-out <path>]
+//!              [--no-peephole] [--tile N] [--metrics] [--trace-out <path>]
 //! igen-cli batch <dot|mvm|gemm|henon|ffnn> [--threads N] [--batch N]
 //!                [--size N] [--iters N] [--seq-threshold N]
 //!                [--metrics] [--trace-out <path>]
@@ -119,7 +119,11 @@ fn usage() -> ! {
            --len <name=N>      elements behind a pointer parameter\n\
            --size <n>          default pointer-parameter length (default: 8)\n\
            --seed <n>          input generator seed\n\
-           --emit-bytecode     print the lowered instruction dump to stdout\n\
+           --emit-bytecode     print the executed instruction dump to stdout\n\
+           --no-peephole       skip the bytecode peephole pass (run the raw\n\
+                               SSA lowering; same bits, more instructions)\n\
+           --tile <n>          packed groups per executor tile (default: 8;\n\
+                               0 = default; never changes a result bit)\n\
            --metrics, --trace-out as above\n\
          \n\
          batch mode (parallel batch evaluation over the interval runtime):\n\
@@ -337,6 +341,8 @@ fn run_run(args: &[String]) -> ExitCode {
     let mut size = 8usize;
     let mut seed = 0x16e0u64;
     let mut emit_bytecode = false;
+    let mut no_peephole = false;
+    let mut tile = 0usize; // 0 = default tile size
     let mut metrics = false;
     let mut trace_out: Option<String> = None;
     let mut cfg = Config { opt_level: OptLevel::O2, ..Config::default() };
@@ -404,6 +410,11 @@ fn run_run(args: &[String]) -> ExitCode {
                 }
             }
             "--emit-bytecode" => emit_bytecode = true,
+            "--no-peephole" => no_peephole = true,
+            "--tile" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => tile = v,
+                None => return fail2("--tile needs a group count".into()),
+            },
             "--metrics" => metrics = true,
             "--trace-out" => match take(args, &mut i) {
                 Some(v) => trace_out = Some(v),
@@ -491,7 +502,14 @@ fn run_run(args: &[String]) -> ExitCode {
         }
     }
     let bind = BindSpec::new(binds);
-    let prog = match igen::compiler::compile_to_program(&out, &fn_name, &bind) {
+    // --no-peephole keeps the raw SSA lowering; the default runs the
+    // endpoint-exact peephole pass. Either way --emit-bytecode prints
+    // the program that actually executes below.
+    let prog = match if no_peephole {
+        igen::compiler::compile_to_program_raw(&out, &fn_name, &bind)
+    } else {
+        igen::compiler::compile_to_program(&out, &fn_name, &bind)
+    } {
         Ok(p) => p,
         Err(e) => {
             eprintln!("igen-cli: {fn_name}: {e}");
@@ -509,8 +527,8 @@ fn run_run(args: &[String]) -> ExitCode {
 
     // Execute: differential interpreter check on a prefix, then the
     // 1-thread vs N-thread bit-identity run over the full batch.
-    let seq = BatchConfig::new().with_threads(1).with_seq_threshold(0);
-    let par = BatchConfig::new().with_threads(threads).with_seq_threshold(0);
+    let seq = BatchConfig::new().with_threads(1).with_seq_threshold(0).with_tile_groups(tile);
+    let par = BatchConfig::new().with_threads(threads).with_seq_threshold(0).with_tile_groups(tile);
     let (t1, tn, same) = match cfg.precision {
         Precision::Dd => {
             let ivals = workload::dd_intervals_1ulp(&mut rng, batch * nin, -2.0, 2.0);

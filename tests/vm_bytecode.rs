@@ -1,20 +1,23 @@
 //! Lowering determinism: the bytecode emitted for a fixed function at
 //! a fixed opt level is a pure function of the source — two
 //! independent compiles produce byte-identical instruction dumps, and
-//! the dump for the golden Hénon kernel is pinned under
-//! `tests/golden/expected/henon_map.bytecode`.
+//! the dumps for the golden Hénon kernel are pinned under
+//! `tests/golden/expected/`: `henon_map.bytecode` is the default
+//! (peepholed) program the batch engine executes,
+//! `henon_map.nopeephole.bytecode` pins the raw lowering the pass
+//! consumes.
 //!
-//! To regenerate after an intentional lowering change:
+//! To regenerate after an intentional lowering or peephole change:
 //!
 //! ```text
 //! IGEN_REGEN_GOLDEN=1 cargo test -q --test vm_bytecode
 //! ```
 
-use igen::compiler::{compile_to_program, Compiler, Config, OptLevel};
-use igen::vm::{ArgBind, BindSpec};
+use igen::compiler::{compile_to_program, compile_to_program_raw, Compiler, Config, OptLevel};
+use igen::vm::{ArgBind, BindSpec, Program};
 use std::path::PathBuf;
 
-fn henon_dump() -> String {
+fn henon_program(peephole: bool) -> Program {
     let src = std::fs::read_to_string(
         PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/inputs/henon.c"),
     )
@@ -22,35 +25,49 @@ fn henon_dump() -> String {
     let cfg = Config { opt_level: OptLevel::O2, ..Config::default() };
     let out = Compiler::new(cfg).compile_str(&src).expect("compiles");
     let bind = BindSpec::new(vec![ArgBind::Ival, ArgBind::Ival, ArgBind::Int(3)]);
-    let prog = compile_to_program(&out, "henon_map", &bind).expect("lowers");
+    let prog = if peephole {
+        compile_to_program(&out, "henon_map", &bind).expect("lowers")
+    } else {
+        compile_to_program_raw(&out, "henon_map", &bind).expect("lowers")
+    };
     prog.validate().expect("valid");
-    prog.dump()
+    prog
 }
 
-#[test]
-fn lowering_is_deterministic() {
-    assert_eq!(henon_dump(), henon_dump());
-}
-
-#[test]
-fn henon_bytecode_matches_golden() {
+fn check_golden(file: &str, got: &str) {
     let expected_path =
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/expected/henon_map.bytecode");
-    let got = henon_dump();
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/expected").join(file);
     if std::env::var_os("IGEN_REGEN_GOLDEN").is_some() {
-        std::fs::write(&expected_path, &got).expect("write golden");
+        std::fs::write(&expected_path, got).expect("write golden");
         return;
     }
     let want = std::fs::read_to_string(&expected_path).expect(
         "golden bytecode dump missing; regenerate with IGEN_REGEN_GOLDEN=1 cargo test --test vm_bytecode",
     );
-    assert_eq!(got, want, "bytecode dump drifted from the committed golden file");
+    assert_eq!(got, want, "bytecode dump drifted from the committed golden {file}");
 }
 
-/// Structural invariants of the lowered Hénon program: constants are
-/// interned (three distinct literals → three pool entries, each
-/// materialized once) and unrolling scales the instruction count with
-/// the iteration bound.
+#[test]
+fn lowering_is_deterministic() {
+    assert_eq!(henon_program(true).dump(), henon_program(true).dump());
+    assert_eq!(henon_program(false).dump(), henon_program(false).dump());
+}
+
+#[test]
+fn henon_bytecode_matches_golden() {
+    check_golden("henon_map.bytecode", &henon_program(true).dump());
+}
+
+#[test]
+fn henon_raw_bytecode_matches_golden() {
+    check_golden("henon_map.nopeephole.bytecode", &henon_program(false).dump());
+}
+
+/// Structural invariants of the *raw* lowering (the peephole pass
+/// reshapes instruction counts, so these pin the lowering itself):
+/// constants are interned (three distinct literals → three pool
+/// entries, each materialized once) and unrolling scales the
+/// instruction count with the iteration bound.
 #[test]
 fn henon_lowering_shape() {
     let src = std::fs::read_to_string(
@@ -61,16 +78,31 @@ fn henon_lowering_shape() {
     let out = Compiler::new(cfg).compile_str(&src).expect("compiles");
     let lower_at = |iters: i64| {
         let bind = BindSpec::new(vec![ArgBind::Ival, ArgBind::Ival, ArgBind::Int(iters)]);
-        compile_to_program(&out, "henon_map", &bind).expect("lowers")
+        compile_to_program_raw(&out, "henon_map", &bind).expect("lowers")
     };
     let p3 = lower_at(3);
     let p6 = lower_at(6);
+    p3.validate_ssa().expect("raw lowering is single-assignment");
     assert_eq!(p3.consts.len(), p6.consts.len(), "pool size is iteration-independent");
-    let const_insns = |p: &igen::vm::Program| {
-        p.insns.iter().filter(|i| matches!(i, igen::vm::Insn::Const { .. })).count()
-    };
+    let const_insns =
+        |p: &Program| p.insns.iter().filter(|i| matches!(i, igen::vm::Insn::Const { .. })).count();
     assert_eq!(const_insns(&p3), p3.consts.len(), "each pooled constant materialized once");
     let arith3 = p3.insns.len() - const_insns(&p3);
     let arith6 = p6.insns.len() - const_insns(&p6);
     assert_eq!(arith6, 2 * arith3, "unrolled arithmetic scales linearly with iterations");
+}
+
+/// The peephole pass must shrink the Hénon register file (liveness
+/// renumbering) and never grow the instruction stream.
+#[test]
+fn peephole_shrinks_the_henon_register_file() {
+    let raw = henon_program(false);
+    let peep = henon_program(true);
+    assert!(
+        peep.n_regs < raw.n_regs,
+        "renumbering should shrink regs: raw {} vs peepholed {}",
+        raw.n_regs,
+        peep.n_regs
+    );
+    assert!(peep.insns.len() <= raw.insns.len());
 }
