@@ -22,7 +22,9 @@ use crate::engine::{par_map_indexed_with, BatchConfig};
 use crate::soa::{BatchDdI, BatchF64I};
 use igen_interval::{DdI, DdIx4, F64Ix4, F64I};
 use igen_kernels::LaneOrScalar;
-use igen_vm::{program_width_hist, run_tile, Precision, PreparedProgram, Program, TileBank};
+use igen_vm::{
+    program_width_hist, run_tile, run_tile_profiled, Precision, PreparedProgram, Program, TileBank,
+};
 use std::sync::Mutex;
 
 /// Upper bound on pooled scratch sets kept across calls — enough for
@@ -167,7 +169,7 @@ impl BatchProgram {
             panic!("run_dd executes dd programs");
         };
         let prog = prep.program();
-        let _span = igen_telemetry::span_joined("vm.batch", &prog.name);
+        let _span = igen_telemetry::span_joined("vm.batch.", &prog.name);
         let nin = prog.n_inputs as usize;
         let nout = prog.outputs.len();
         let items = self.items_in(inputs.len());
@@ -275,7 +277,7 @@ impl BatchProgram {
             panic!("run executes f64 programs");
         };
         let prog = prep.program();
-        let _span = igen_telemetry::span_joined("vm.batch", &prog.name);
+        let _span = igen_telemetry::span_joined("vm.batch.", &prog.name);
         let nin = prog.n_inputs as usize;
         let nout = prog.outputs.len();
         let items = self.items_in(inputs.len());
@@ -358,6 +360,144 @@ impl BatchProgram {
                     hist.record(f.lo(), f.hi());
                 }
                 result.push(v);
+            }
+        }
+        result
+    }
+
+    /// Runs an `f64` program with per-instruction width-provenance
+    /// profiling into `prof` ([`igen_vm::run_tile_profiled`]).
+    ///
+    /// Sequential by design: profiling wants undistorted per-site
+    /// timing, and the output is bit-identical to [`BatchProgram::run`]
+    /// at any thread count regardless. The program-level width
+    /// histogram is *not* fed here — the profile rows already carry the
+    /// widths, site by site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is not `f64` precision or the batch
+    /// length is not a multiple of the input count.
+    pub fn run_profiled(
+        &self,
+        cfg: &BatchConfig,
+        inputs: &BatchF64I,
+        prof: &mut igen_telemetry::UnitProfiler,
+    ) -> BatchF64I {
+        let Prepared::F64(prep) = &self.prepared else {
+            panic!("run_dd_profiled executes dd programs");
+        };
+        let prog = prep.program();
+        let _span = igen_telemetry::span_joined("vm.batch.profiled.", &prog.name);
+        let nin = prog.n_inputs as usize;
+        let nout = prog.outputs.len();
+        let items = self.items_in(inputs.len());
+        let groups = items / 4;
+        let tail = items % 4;
+        let tile = cfg.tile_groups().min(groups.max(1));
+        let mut result = BatchF64I::with_capacity(items * nout);
+        let mut packed: Option<(TileBank<F64I, F64Ix4>, Vec<F64Ix4>)> = None;
+        let mut g0 = 0usize;
+        while g0 < groups {
+            let ng = (groups - g0).min(tile);
+            let (bank, out) =
+                packed.get_or_insert_with(|| (TileBank::new(prep, tile), Vec::new()));
+            for j in 0..nin {
+                let col = bank.input_column(j as u32);
+                for (g, slot) in col.iter_mut().enumerate().take(ng) {
+                    *slot = inputs.load_x4((g0 + g) * 4 * nin + j, nin);
+                }
+            }
+            run_tile_profiled(prep, bank, ng, out, prof);
+            for g in 0..ng {
+                for l in 0..4 {
+                    for s in 0..nout {
+                        result.push(out[s * ng + g].lane_l(l));
+                    }
+                }
+            }
+            g0 += ng;
+        }
+        if tail > 0 {
+            let mut bank = TileBank::<F64I, F64I>::new(prep, tail);
+            let mut out = Vec::new();
+            for j in 0..nin {
+                let col = bank.input_column(j as u32);
+                for (g, slot) in col.iter_mut().enumerate().take(tail) {
+                    *slot = inputs.get((groups * 4 + g) * nin + j);
+                }
+            }
+            run_tile_profiled(prep, &mut bank, tail, &mut out, prof);
+            for g in 0..tail {
+                for s in 0..nout {
+                    result.push(out[s * tail + g]);
+                }
+            }
+        }
+        result
+    }
+
+    /// [`BatchProgram::run_profiled`] for `dd` programs — sequential,
+    /// bit-identical to [`BatchProgram::run_dd`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is not `dd` precision or the batch length
+    /// is not a multiple of the input count.
+    pub fn run_dd_profiled(
+        &self,
+        cfg: &BatchConfig,
+        inputs: &BatchDdI,
+        prof: &mut igen_telemetry::UnitProfiler,
+    ) -> BatchDdI {
+        let Prepared::Dd(prep) = &self.prepared else {
+            panic!("run_profiled executes f64 programs");
+        };
+        let prog = prep.program();
+        let _span = igen_telemetry::span_joined("vm.batch.profiled.", &prog.name);
+        let nin = prog.n_inputs as usize;
+        let nout = prog.outputs.len();
+        let items = self.items_in(inputs.len());
+        let groups = items / 4;
+        let tail = items % 4;
+        let tile = cfg.tile_groups().min(groups.max(1));
+        let mut result = BatchDdI::with_capacity(items * nout);
+        let mut packed: Option<(TileBank<DdI, DdIx4>, Vec<DdIx4>)> = None;
+        let mut g0 = 0usize;
+        while g0 < groups {
+            let ng = (groups - g0).min(tile);
+            let (bank, out) =
+                packed.get_or_insert_with(|| (TileBank::new(prep, tile), Vec::new()));
+            for j in 0..nin {
+                let col = bank.input_column(j as u32);
+                for (g, slot) in col.iter_mut().enumerate().take(ng) {
+                    *slot = inputs.load_x4((g0 + g) * 4 * nin + j, nin);
+                }
+            }
+            run_tile_profiled(prep, bank, ng, out, prof);
+            for g in 0..ng {
+                for l in 0..4 {
+                    for s in 0..nout {
+                        result.push(out[s * ng + g].lane_l(l));
+                    }
+                }
+            }
+            g0 += ng;
+        }
+        if tail > 0 {
+            let mut bank = TileBank::<DdI, DdI>::new(prep, tail);
+            let mut out = Vec::new();
+            for j in 0..nin {
+                let col = bank.input_column(j as u32);
+                for (g, slot) in col.iter_mut().enumerate().take(tail) {
+                    *slot = inputs.get((groups * 4 + g) * nin + j);
+                }
+            }
+            run_tile_profiled(prep, &mut bank, tail, &mut out, prof);
+            for g in 0..tail {
+                for s in 0..nout {
+                    result.push(out[s * tail + g]);
+                }
             }
         }
         result

@@ -233,6 +233,10 @@ pub struct Report {
     pub host: String,
     /// Detected SIMD dispatch backend on the recording host.
     pub simd_backend: String,
+    /// Whether the recording binary had telemetry/profiling compiled
+    /// in. Instrumented timings are tainted — `--check` refuses them as
+    /// baselines (absent in pre-flag reports, parsed as `false`).
+    pub instrumented: bool,
     /// Median-of-`reps` timing.
     pub reps: usize,
     /// All backend × kernel measurements.
@@ -314,6 +318,7 @@ pub fn run(filter: &[String], reps: usize, mode: &str) -> Report {
         mode: mode.to_string(),
         host: crate::host_line(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)),
         simd_backend: igen_round::simd::detected_backend().to_string(),
+        instrumented: igen_telemetry::COMPILED_IN,
         reps,
         rows,
     }
@@ -330,6 +335,7 @@ impl Report {
         s.push_str(&format!("  \"mode\": {},\n", json::escape(&self.mode)));
         s.push_str(&format!("  \"host\": {},\n", json::escape(&self.host)));
         s.push_str(&format!("  \"simd_backend\": {},\n", json::escape(&self.simd_backend)));
+        s.push_str(&format!("  \"instrumented\": {},\n", self.instrumented));
         s.push_str(&format!("  \"reps\": {},\n", self.reps));
         s.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
@@ -391,6 +397,9 @@ impl Report {
             mode: field_str("mode")?,
             host: field_str("host")?,
             simd_backend: field_str("simd_backend")?,
+            // Absent before the flag existed: old baselines keep parsing
+            // and count as uninstrumented.
+            instrumented: v.get("instrumented").and_then(Json::as_bool).unwrap_or(false),
             reps: v.get("reps").and_then(Json::as_u64).ok_or("missing reps")? as usize,
             rows,
         })
@@ -399,8 +408,13 @@ impl Report {
     /// Renders the human table (stdout companion of the JSON).
     pub fn render(&self) -> String {
         let mut s = format!(
-            "benchmark gauntlet — PR {}, {} mode, {} reps\nhost: {} (simd: {})\n\n",
-            self.pr, self.mode, self.reps, self.host, self.simd_backend
+            "benchmark gauntlet — PR {}, {} mode, {} reps\nhost: {} (simd: {}){}\n\n",
+            self.pr,
+            self.mode,
+            self.reps,
+            self.host,
+            self.simd_backend,
+            if self.instrumented { "\nWARNING: instrumented build — not a baseline" } else { "" },
         );
         s.push_str(&format!(
             "{:<12} {:<7} {:>6} {:>12} {:>10} {:>9}  {}\n",
@@ -454,6 +468,16 @@ pub fn check_regression_with(
     speed_tol_overrides: &[(String, f64)],
 ) -> Vec<String> {
     let mut violations = Vec::new();
+    // The schema-level form of `perf_recording_allowed`: a baseline
+    // recorded by an instrumented binary never gates anything.
+    if baseline.instrumented {
+        violations.push(
+            "baseline was recorded with telemetry/profiling compiled in; \
+             re-record it with an uninstrumented build"
+                .to_string(),
+        );
+        return violations;
+    }
     let find = |rows: &[Row], backend: &str, kernel: &str| -> Option<Row> {
         rows.iter().find(|r| r.backend == backend && r.kernel == kernel).cloned()
     };
@@ -527,6 +551,7 @@ mod tests {
             mode: "full".into(),
             host: "host: 1 cores, x86_64, linux".into(),
             simd_backend: "avx2_fma".into(),
+            instrumented: false,
             reps: 30,
             rows: vec![
                 Row {
@@ -628,5 +653,32 @@ mod tests {
         let v = check_regression(&missing, &base, DEFAULT_SPEED_TOL, DEFAULT_WIDTH_TOL);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("missing"), "{v:?}");
+    }
+
+    #[test]
+    fn instrumented_flag_roundtrips_and_defaults_to_false() {
+        let mut r = tiny_report();
+        r.instrumented = true;
+        let json = r.to_json();
+        assert!(json.contains("\"instrumented\": true"), "{json}");
+        assert!(Report::from_json(&json).unwrap().instrumented);
+        // A pre-flag baseline (field absent) still parses, as clean.
+        let legacy = json.replace("  \"instrumented\": true,\n", "");
+        assert!(!legacy.contains("instrumented"));
+        assert!(!Report::from_json(&legacy).unwrap().instrumented);
+    }
+
+    #[test]
+    fn check_refuses_instrumented_baselines() {
+        let current = tiny_report();
+        let mut tainted = tiny_report();
+        tainted.instrumented = true;
+        let v = check_regression(&current, &tainted, DEFAULT_SPEED_TOL, DEFAULT_WIDTH_TOL);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("instrumented"), "{v:?}");
+        // An instrumented *current* run can still be gated — only the
+        // baseline side is a recording.
+        assert!(check_regression(&tainted, &current, DEFAULT_SPEED_TOL, DEFAULT_WIDTH_TOL)
+            .is_empty());
     }
 }

@@ -38,15 +38,25 @@ fn gauntlet_writes_schema_valid_json_and_self_check_passes() {
     assert_eq!(report.rows.len(), 2 * gauntlet::Kernel::ALL.len());
     assert!(report.rows.iter().any(|r| r.packed_path));
     assert_eq!(report.mode, "smoke");
+    // The header must say whether this binary was instrumented.
+    assert_eq!(report.instrumented, !igen_bench::perf_recording_allowed());
 
-    // A fresh run checked against the one just written must pass: the
-    // width columns are deterministic and the speed tolerance is wide.
-    let st = bin()
+    // A fresh run checked against the one just written: with a clean
+    // build it must pass (width columns are deterministic, the speed
+    // tolerance wide); an instrumented build's report is refused as a
+    // baseline outright.
+    let cmd = bin()
         .args(quick_args(&dir.join("run2.json")))
         .args(["--check", &out.display().to_string()])
-        .status()
+        .output()
         .unwrap();
-    assert!(st.success(), "self-check should pass");
+    if report.instrumented {
+        assert!(!cmd.status.success(), "instrumented baseline must be refused");
+        let stderr = String::from_utf8_lossy(&cmd.stderr);
+        assert!(stderr.contains("instrumented"), "stderr: {stderr}");
+    } else {
+        assert!(cmd.status.success(), "self-check should pass");
+    }
 }
 
 #[test]
@@ -59,8 +69,11 @@ fn check_fails_against_a_doctored_baseline() {
     assert!(st.success());
 
     // Pretend the packed path used to be 1000x faster: the fresh run
-    // must now look like a catastrophic regression.
+    // must now look like a catastrophic regression. Mark the doctored
+    // baseline clean so the speed gate (not the instrumented-baseline
+    // refusal) is what fires, whatever build recorded it.
     let mut baseline = Report::from_json(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    baseline.instrumented = false;
     for r in &mut baseline.rows {
         if r.packed_path {
             r.speedup_vs_naive *= 1000.0;

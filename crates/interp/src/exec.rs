@@ -3,7 +3,7 @@
 
 use crate::builtins;
 use crate::value::Value;
-use igen_cfront::{BinOp, Expr, Function, Item, Stmt, TranslationUnit, Type, UnOp};
+use igen_cfront::{BinOp, Expr, Function, Item, Loc, Stmt, TranslationUnit, Type, UnOp};
 use igen_interval::{DdI, SumAcc64, SumAccDd, TBool, F64I};
 use std::collections::HashMap;
 
@@ -58,6 +58,55 @@ enum Place {
     UnionWhole(Box<Place>),
 }
 
+/// Width-provenance profiling state. Unlike the VM, whose instruction
+/// count is known before execution, the interpreter discovers its sites
+/// dynamically: each distinct (source location, operation) pair that
+/// performs interval arithmetic is assigned a dense index on first use.
+struct ProfState {
+    prof: igen_telemetry::UnitProfiler,
+    sites: HashMap<(u32, u32, String), usize>,
+}
+
+/// Relative width of an interval-valued `Value`, `None` for scalars.
+fn value_rel_width(v: &Value) -> Option<f64> {
+    let iv = match v {
+        Value::Interval(i) => *i,
+        Value::Interval32(i) => i.to_f64i(),
+        Value::DdInterval(d) => d.to_f64i(),
+        _ => return None,
+    };
+    Some(igen_telemetry::profile::rel_width(iv.lo(), iv.hi()))
+}
+
+/// Widest relative width across `vals` (NaN if any interval input has a
+/// NaN endpoint; 0.0 when no input carries width).
+fn max_rel_width(vals: &[Value]) -> f64 {
+    let mut max_in = 0.0_f64;
+    for v in vals {
+        if let Some(w) = value_rel_width(v) {
+            if w.is_nan() {
+                return f64::NAN;
+            }
+            if w > max_in {
+                max_in = w;
+            }
+        }
+    }
+    max_in
+}
+
+/// Mnemonic for an `ia_*` builtin: the `ia_` prefix and precision
+/// suffix stripped, so interpreter profile rows line up with the VM's
+/// instruction names (`ia_mul_f64` and the `mul` bytecode both say
+/// `mul`).
+fn ia_mnemonic(name: &str) -> &str {
+    let s = name.strip_prefix("ia_").unwrap_or(name);
+    s.strip_suffix("_f64")
+        .or_else(|| s.strip_suffix("_f32"))
+        .or_else(|| s.strip_suffix("_dd"))
+        .unwrap_or(s)
+}
+
 /// The interpreter: owns the program, a heap of arrays, accumulator
 /// stores and the scope stack of the current call.
 pub struct Interp {
@@ -69,6 +118,7 @@ pub struct Interp {
     steps: u64,
     /// Maximum evaluation steps before aborting (defaults to 200M).
     pub step_budget: u64,
+    prof: Option<ProfState>,
 }
 
 impl Interp {
@@ -90,6 +140,7 @@ impl Interp {
             scopes: Vec::new(),
             steps: 0,
             step_budget: 200_000_000,
+            prof: None,
         }
     }
 
@@ -115,15 +166,54 @@ impl Interp {
     }
 
     /// Drops all heap arrays and accumulators and resets the step
-    /// counter, keeping the loaded functions. Lets one interpreter be
-    /// reused across many independent calls (e.g. per-item differential
-    /// checks) without cross-item heap growth or budget carry-over.
+    /// counter, keeping the loaded functions (and any active profile,
+    /// which spans calls). Lets one interpreter be reused across many
+    /// independent calls (e.g. per-item differential checks) without
+    /// cross-item heap growth or budget carry-over.
     pub fn reset(&mut self) {
         self.heap.clear();
         self.accs64.clear();
         self.accsdd.clear();
         self.scopes.clear();
         self.steps = 0;
+    }
+
+    /// Begins recording a width-provenance profile under `unit`. Every
+    /// interval operation evaluated until [`Interp::profile_finish`] —
+    /// `ia_*` builtin calls and direct operators on interval values —
+    /// records its execution time and width amplification against its
+    /// source location. Inert unless telemetry recording is on; never
+    /// changes computed values.
+    pub fn profile_start(&mut self, unit: &str) {
+        self.prof = Some(ProfState {
+            prof: igen_telemetry::UnitProfiler::start(unit, 0),
+            sites: HashMap::new(),
+        });
+    }
+
+    /// Stops profiling and merges the recorded rows into the global
+    /// telemetry profile registry. No-op if profiling was never started.
+    pub fn profile_finish(&mut self) {
+        if let Some(ps) = self.prof.take() {
+            ps.prof.finish();
+        }
+    }
+
+    /// Dense site index for a (location, operation) pair, assigning the
+    /// next index (and growing the profiler) on first sight.
+    fn prof_site(&mut self, loc: Loc, op: &str) -> usize {
+        let ps = self.prof.as_mut().expect("prof_site requires active profiling");
+        let next = ps.sites.len();
+        let key = (loc.line, loc.col, op.to_string());
+        match ps.sites.get(&key) {
+            Some(&i) => i,
+            None => {
+                ps.sites.insert(key, next);
+                ps.prof.grow(next + 1);
+                ps.prof.set_meta(next, loc.line, loc.col, op);
+                next
+            }
+        }
     }
 
     /// Allocates a heap array of doubles; returns the pointer value.
@@ -449,7 +539,7 @@ impl Interp {
                 self.store(place, new)?;
                 Ok(old)
             }
-            Expr::Binary { op, lhs, rhs, .. } => {
+            Expr::Binary { op, lhs, rhs, loc } => {
                 // Short-circuit logicals.
                 if *op == BinOp::And {
                     return Ok(Value::Int((self.eval_cond(lhs)? && self.eval_cond(rhs)?) as i64));
@@ -459,22 +549,22 @@ impl Interp {
                 }
                 let l = self.eval(lhs)?;
                 let r = self.eval(rhs)?;
-                self.eval_binop(*op, l, r)
+                self.eval_binop_at(*op, l, r, *loc)
             }
-            Expr::Assign { op, lhs, rhs, .. } => {
+            Expr::Assign { op, lhs, rhs, loc } => {
                 let rv = self.eval(rhs)?;
                 let new = match op.bin_op() {
                     None => rv,
                     Some(bop) => {
                         let old = self.eval(lhs)?;
-                        self.eval_binop(bop, old, rv)?
+                        self.eval_binop_at(bop, old, rv, *loc)?
                     }
                 };
                 let place = self.resolve_place(lhs)?;
                 self.store(place, new.clone())?;
                 Ok(new)
             }
-            Expr::Call { name, args, .. } => self.eval_call(name, args),
+            Expr::Call { name, args, loc } => self.eval_call(name, args, *loc),
             Expr::Index(base, idx) => {
                 let i = self
                     .eval(idx)?
@@ -605,6 +695,40 @@ impl Interp {
         }
     }
 
+    /// [`Interp::eval_binop`] with a source location, recording a
+    /// profile sample when profiling is on and the operands carry
+    /// intervals (direct operator arithmetic on interval values).
+    fn eval_binop_at(&mut self, op: BinOp, l: Value, r: Value, loc: Loc) -> Result<Value, RtError> {
+        use BinOp::*;
+        let interval_args = matches!(l, Value::Interval(_) | Value::Interval32(_) | Value::DdInterval(_))
+            || matches!(r, Value::Interval(_) | Value::Interval32(_) | Value::DdInterval(_));
+        if self.prof.is_none() || !interval_args || !matches!(op, Add | Sub | Mul | Div) {
+            return self.eval_binop(op, l, r);
+        }
+        let wl = value_rel_width(&l).unwrap_or(0.0);
+        let wr = value_rel_width(&r).unwrap_or(0.0);
+        let max_in = if wl.is_nan() || wr.is_nan() { f64::NAN } else { wl.max(wr) };
+        let op_name = match op {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            _ => unreachable!(),
+        };
+        let site = self.prof_site(loc, op_name);
+        let ps = self.prof.as_ref().expect("profiling active");
+        let t0 = ps.prof.now_ns();
+        let out = self.eval_binop(op, l, r)?;
+        if let Some(ps) = self.prof.as_mut() {
+            let dt = ps.prof.now_ns().saturating_sub(t0);
+            ps.prof.add_time(site, dt);
+            if let Some(out_rel) = value_rel_width(&out) {
+                ps.prof.add_sample(site, max_in, out_rel);
+            }
+        }
+        Ok(out)
+    }
+
     fn eval_binop(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, RtError> {
         use BinOp::*;
         // Interval arithmetic via operators happens when kernels are
@@ -677,7 +801,7 @@ impl Interp {
         }
     }
 
-    fn eval_call(&mut self, name: &str, args: &[Expr]) -> Result<Value, RtError> {
+    fn eval_call(&mut self, name: &str, args: &[Expr], loc: Loc) -> Result<Value, RtError> {
         // Accumulator builtins take their first argument by address.
         if let Some(v) = builtins::try_accumulator_call(self, name, args)? {
             return Ok(v);
@@ -688,7 +812,24 @@ impl Interp {
             // pointed-at value (pointers are first-class here).
             vals.push(self.eval(a)?);
         }
-        if let Some(v) = builtins::try_builtin(self, name, &vals)? {
+        // Profile `ia_*` builtins: in a transformed unit these ARE the
+        // interval operations, and the call carries the source location
+        // of the expression it replaced.
+        if self.prof.is_some() && name.starts_with("ia_") {
+            let max_in = max_rel_width(&vals);
+            let site = self.prof_site(loc, ia_mnemonic(name));
+            let t0 = self.prof.as_ref().expect("profiling active").prof.now_ns();
+            if let Some(v) = builtins::try_builtin(self, name, &vals)? {
+                if let Some(ps) = self.prof.as_mut() {
+                    let dt = ps.prof.now_ns().saturating_sub(t0);
+                    ps.prof.add_time(site, dt);
+                    if let Some(out_rel) = value_rel_width(&v) {
+                        ps.prof.add_sample(site, max_in, out_rel);
+                    }
+                }
+                return Ok(v);
+            }
+        } else if let Some(v) = builtins::try_builtin(self, name, &vals)? {
             return Ok(v);
         }
         if self.functions.contains_key(name) {

@@ -1,0 +1,77 @@
+//! Width-provenance profiling through the interpreter: profiling must
+//! never change computed values, and (when telemetry is compiled in and
+//! recording) must attribute interval operations to real source lines
+//! of the *original* program — the transformer forwards each
+//! expression's location into the `ia_*` call that replaces it.
+
+use igen_core::{Compiler, Config};
+use igen_interp::{Interp, Value};
+use igen_interval::F64I;
+
+const SRC: &str = "\
+double kernel(double x, double y) {
+    double a = 1.05;
+    double xx = x * x;
+    double w = 1 - a * xx + y;
+    return w * w - x;
+}
+";
+
+fn interval_interp() -> Interp {
+    let out = Compiler::new(Config::default()).compile_str(SRC).expect("compile");
+    Interp::new(&out.unit)
+}
+
+fn run(interp: &mut Interp, x: F64I, y: F64I) -> F64I {
+    interp.reset();
+    interp
+        .call("kernel", vec![Value::Interval(x), Value::Interval(y)])
+        .expect("kernel runs")
+        .as_interval()
+        .expect("interval result")
+}
+
+#[test]
+fn profiling_does_not_change_results() {
+    let cases = [
+        (F64I::new(0.4, 0.6).unwrap(), F64I::new(-0.1, 0.1).unwrap()),
+        (F64I::point(1.25), F64I::point(-0.5)),
+        (F64I::new(-2.0, 2.0).unwrap(), F64I::point(0.3)),
+    ];
+    let mut plain = interval_interp();
+    let mut profiled = interval_interp();
+    profiled.profile_start("interp.test.identity");
+    for (x, y) in cases {
+        let a = run(&mut plain, x, y);
+        let b = run(&mut profiled, x, y);
+        assert_eq!(a.lo().to_bits(), b.lo().to_bits(), "lo differs for {x} {y}");
+        assert_eq!(a.hi().to_bits(), b.hi().to_bits(), "hi differs for {x} {y}");
+    }
+    profiled.profile_finish();
+}
+
+#[cfg(feature = "telemetry")]
+#[test]
+fn profile_rows_name_original_source_lines() {
+    igen_telemetry::set_recording(true);
+    let mut interp = interval_interp();
+    interp.profile_start("interp.test.lines");
+    run(&mut interp, F64I::new(0.9, 1.1).unwrap(), F64I::point(0.25));
+    interp.profile_finish();
+    igen_telemetry::set_recording(false);
+
+    let rows: Vec<_> = igen_telemetry::profiles_snapshot()
+        .into_iter()
+        .filter(|r| r.unit == "interp.test.lines")
+        .collect();
+    assert!(!rows.is_empty(), "profiling recorded no rows");
+    // `x * x` lives on line 3 of SRC; `1 - a * xx + y` on line 4.
+    let mul3 = rows.iter().find(|r| r.line == 3 && r.op == "mul");
+    assert!(mul3.is_some(), "no mul row for line 3: {rows:?}");
+    assert!(rows.iter().any(|r| r.line == 4), "no rows for line 4: {rows:?}");
+    // Every arithmetic row carries a known location and real samples.
+    for r in rows.iter().filter(|r| matches!(r.op.as_str(), "mul" | "add" | "sub")) {
+        assert!(r.line > 0, "unlocated arithmetic row {r:?}");
+        assert!(r.count > 0, "sample-less row {r:?}");
+    }
+}

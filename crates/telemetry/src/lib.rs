@@ -69,15 +69,17 @@
 mod counter;
 mod hist;
 pub mod json;
+pub mod profile;
 mod report;
 mod span;
 mod trace;
 
 pub use counter::{counters_snapshot, Counter};
 pub use hist::{hists_snapshot, WidthHist};
+pub use profile::{profiles_snapshot, UnitProfiler};
 pub use report::render_report;
 pub use span::{recording, set_recording, span, span_joined, SpanGuard};
-pub use trace::{HistRec, Snapshot, SpanRec};
+pub use trace::{HistRec, ProfileRec, Snapshot, SpanRec};
 
 /// Whether telemetry recording was compiled in (the `enabled` feature).
 ///
@@ -113,16 +115,21 @@ pub fn snapshot() -> Snapshot {
         spans: span::spans_snapshot(),
         counters: counters_snapshot().into_iter().map(|(n, v)| (n.to_string(), v)).collect(),
         hists: hists_snapshot(),
+        profiles: profiles_snapshot(),
     }
 }
 
-/// Clears recorded spans and zeroes every registered counter and
-/// histogram, so per-run numbers can be measured from a long-lived
-/// process. No-op without the `enabled` feature.
+/// Clears recorded spans and instruction-site profiles, zeroes every
+/// registered counter and histogram, and re-anchors the span epoch so
+/// spans opened after the reset have offsets measured from the reset,
+/// not from process start. Lets per-run numbers be measured from a
+/// long-lived process. No-op without the `enabled` feature.
 pub fn reset() {
     span::reset_spans();
+    span::reset_epoch();
     counter::reset_counters();
     hist::reset_hists();
+    profile::reset_profiles();
 }
 
 #[cfg(all(test, not(feature = "enabled")))]
@@ -138,6 +145,7 @@ mod zero_cost {
         assert_eq!(std::mem::size_of::<Counter>(), 0);
         assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
         assert_eq!(std::mem::size_of::<WidthHist>(), 0);
+        assert_eq!(std::mem::size_of::<UnitProfiler>(), 0);
     }
 
     #[test]
@@ -152,10 +160,17 @@ mod zero_cost {
         H.record(1.0, 2.0);
         let _g = span("dead");
         let _h = span_joined("dead.", "joined");
+        let mut p = UnitProfiler::start("zero.profile", 8);
+        assert!(!p.active());
+        p.set_meta(0, 1, 1, "mul");
+        p.add_time(0, p.now_ns());
+        p.add_sample(0, 1e-10, 2e-10);
+        p.finish();
         let snap = snapshot();
         assert!(snap.spans.is_empty());
         assert!(snap.counters.is_empty());
         assert!(snap.hists.is_empty());
+        assert!(snap.profiles.is_empty());
         // This module only compiles with the feature off, where the
         // flag must read false.
         assert!(!std::hint::black_box(COMPILED_IN));

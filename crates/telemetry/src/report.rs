@@ -14,16 +14,19 @@ use crate::hist::{bucket_log2, BUCKETS};
 use crate::trace::{HistRec, Snapshot};
 
 /// Renders `snap` as the human report: span timings grouped by name,
-/// derived SIMD guard-failure rates, backend-dispatch outcomes, interval
-/// width summaries, and the raw counter table.
+/// derived SIMD guard-failure rates, backend-dispatch outcomes,
+/// per-rule peephole rewrite totals, interval width summaries,
+/// instruction-site profiles, and the raw counter table.
 pub fn render_report(snap: &Snapshot) -> String {
     let mut out = String::new();
     render_spans(&mut out, snap);
     render_simd(&mut out, snap);
+    render_peephole(&mut out, snap);
     render_counters(&mut out, snap);
     render_hists(&mut out, snap);
+    render_profiles(&mut out, snap);
     if out.is_empty() {
-        out.push_str("trace is empty (no spans, counters or histograms recorded)\n");
+        out.push_str("trace is empty (no spans, counters, histograms or profiles recorded)\n");
     }
     out
 }
@@ -114,6 +117,34 @@ fn render_simd(out: &mut String, snap: &Snapshot) {
     }
 }
 
+fn render_peephole(out: &mut String, snap: &Snapshot) {
+    // One line per rewrite rule, so peephole behavior is auditable per
+    // program (the raw counters repeat below; this is the readable view).
+    let rules = [
+        ("dedup", "constant pool entries deduplicated"),
+        ("neg_fold", "add/sub-of-neg folded"),
+        ("sqr", "mul(x,x) strengthened to sqr"),
+        ("dce", "dead instructions removed"),
+        ("fuse", "mul+acc fused to muladd/mulsub"),
+        ("renumber", "registers reclaimed by renumbering"),
+    ];
+    let rows: Vec<(&str, &str, u64)> = rules
+        .iter()
+        .filter_map(|(key, what)| {
+            counter(snap, &format!("vm.peephole.{key}")).map(|v| (*key, *what, v))
+        })
+        .collect();
+    if rows.is_empty() {
+        return;
+    }
+    let total: u64 = rows.iter().map(|(.., v)| *v).sum();
+    out.push_str(&format!("peephole rewrites ({total} total)\n"));
+    for (key, what, v) in &rows {
+        out.push_str(&format!("  {key:<9} {v:>10}  {what}\n"));
+    }
+    out.push('\n');
+}
+
 fn render_counters(out: &mut String, snap: &Snapshot) {
     if snap.counters.is_empty() {
         return;
@@ -171,6 +202,44 @@ fn render_hists(out: &mut String, snap: &Snapshot) {
     out.push('\n');
 }
 
+fn render_profiles(out: &mut String, snap: &Snapshot) {
+    if snap.profiles.is_empty() {
+        return;
+    }
+    let total_ns: u64 = snap.profiles.iter().map(|p| p.total_ns).sum();
+    let mut by_time: Vec<&crate::trace::ProfileRec> = snap.profiles.iter().collect();
+    by_time.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.site.cmp(&b.site)));
+    out.push_str(&format!(
+        "instruction-site profile ({} sites, {} total)\n",
+        snap.profiles.len(),
+        fmt_ns(total_ns)
+    ));
+    out.push_str(&format!(
+        "  {:<20} {:>4}  {:<6} {:>9} {:>10} {:>7} {:>9}  {}\n",
+        "unit", "site", "op", "count", "time", "time%", "amp", "source"
+    ));
+    for p in by_time.iter().take(16) {
+        let share = if total_ns > 0 { p.total_ns as f64 / total_ns as f64 * 100.0 } else { 0.0 };
+        let amp = p.mean_amp_log2().map_or("-".to_string(), |a| format!("2^{a:+.1}"));
+        let src = if p.line > 0 { format!("line {}:{}", p.line, p.col) } else { "?".to_string() };
+        out.push_str(&format!(
+            "  {:<20} {:>4}  {:<6} {:>9} {:>10} {:>6.1}% {:>9}  {}\n",
+            p.unit,
+            p.site,
+            p.op,
+            p.count,
+            fmt_ns(p.total_ns),
+            share,
+            amp,
+            src
+        ));
+    }
+    if by_time.len() > 16 {
+        out.push_str(&format!("  ... {} more sites\n", by_time.len() - 16));
+    }
+    out.push('\n');
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,11 +279,26 @@ mod tests {
                 ("simd.cmp.packed_calls".into(), 50),
                 ("simd.dispatch.avx2_fma".into(), 3),
                 ("simd.dispatch.sse2".into(), 1),
+                ("vm.peephole.dedup".into(), 4),
+                ("vm.peephole.neg_fold".into(), 2),
+                ("vm.peephole.dce".into(), 5),
             ],
             hists: vec![HistRec {
                 name: "width.batch.dot".into(),
                 count: 100,
                 buckets: vec![(0, 10), (10, 80), (63, 10)],
+            }],
+            profiles: vec![crate::trace::ProfileRec {
+                unit: "henon_map".into(),
+                site: 3,
+                line: 7,
+                col: 14,
+                op: "mul".into(),
+                count: 640,
+                total_ns: 5200,
+                in_width_sum: 1.2e-13,
+                out_width_sum: 3.4e-13,
+                amp: vec![(33, 640)],
             }],
         };
         let r = render_report(&snap);
@@ -231,6 +315,15 @@ mod tests {
         assert!(r.contains("exact 10.0%"), "{r}");
         assert!(r.contains("median rel width 2^-52"), "{r}");
         assert!(r.contains("unbounded 10.00%"), "{r}");
+        // Per-rule peephole section (11 total across the three rules).
+        assert!(r.contains("peephole rewrites (11 total)"), "{r}");
+        assert!(r.contains("neg_fold"), "{r}");
+        assert!(r.contains("dead instructions removed"), "{r}");
+        // Instruction-site profile section with source attribution.
+        assert!(r.contains("instruction-site profile (1 sites"), "{r}");
+        assert!(r.contains("henon_map"), "{r}");
+        assert!(r.contains("line 7:14"), "{r}");
+        assert!(r.contains("2^+1.0"), "{r}");
     }
 
     #[test]

@@ -32,9 +32,21 @@ mod imp {
         RECORDING.load(Ordering::Relaxed)
     }
 
+    // The trace epoch is resettable: `reset()` re-anchors it so spans
+    // recorded after a reset carry offsets measured from the reset, not
+    // from process start (one mutex lock per span open is fine — spans
+    // are coarse by design).
+    fn epoch_cell() -> &'static Mutex<Instant> {
+        static EPOCH: OnceLock<Mutex<Instant>> = OnceLock::new();
+        EPOCH.get_or_init(|| Mutex::new(Instant::now()))
+    }
+
     fn epoch() -> Instant {
-        static EPOCH: OnceLock<Instant> = OnceLock::new();
-        *EPOCH.get_or_init(Instant::now)
+        *epoch_cell().lock().expect("telemetry epoch poisoned")
+    }
+
+    pub(crate) fn reset_epoch() {
+        *epoch_cell().lock().expect("telemetry epoch poisoned") = Instant::now();
     }
 
     fn spans() -> &'static Mutex<Vec<SpanRec>> {
@@ -152,10 +164,12 @@ mod imp {
     }
 
     pub(crate) fn reset_spans() {}
+
+    pub(crate) fn reset_epoch() {}
 }
 
 pub use imp::{recording, set_recording, span, span_joined, SpanGuard};
-pub(crate) use imp::{reset_spans, spans_snapshot};
+pub(crate) use imp::{reset_epoch, reset_spans, spans_snapshot};
 
 #[cfg(all(test, feature = "enabled"))]
 mod tests {

@@ -1,0 +1,70 @@
+//! Regression test for `igen_telemetry::reset()`: a reset must leave
+//! the *whole* snapshot empty (spans, counters, histograms, profiles)
+//! and re-anchor the span epoch so later spans carry offsets measured
+//! from the reset. Runs as an integration test so the process-global
+//! telemetry state is not shared with the library's unit tests.
+#![cfg(feature = "enabled")]
+
+use igen_telemetry as tel;
+
+static COUNTER: tel::Counter = tel::Counter::new("reset.test.counter");
+static HIST: tel::WidthHist = tel::WidthHist::new("reset.test.hist");
+
+#[test]
+fn reset_clears_everything_and_reanchors_the_epoch() {
+    tel::set_recording(true);
+
+    // Anchor the (lazily initialized) epoch, then put enough wall-clock
+    // before the reset that stale epoch offsets would be visibly large.
+    {
+        let _g = tel::span("reset.test.anchor");
+    }
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    {
+        let _g = tel::span("reset.test.before");
+    }
+    COUNTER.add(7);
+    HIST.record(1.0, 1.5);
+    let mut prof = tel::UnitProfiler::start("reset.test.unit", 2);
+    assert!(prof.active());
+    prof.set_meta(0, 3, 1, "mul");
+    prof.add_time(0, 100);
+    prof.add_sample(0, 1e-12, 2e-12);
+    prof.finish();
+
+    let before = tel::snapshot();
+    assert!(!before.spans.is_empty());
+    assert!(before.counters.iter().any(|(n, v)| n == "reset.test.counter" && *v == 7));
+    assert!(before.hists.iter().any(|h| h.name == "reset.test.hist" && h.count == 1));
+    assert!(before.profiles.iter().any(|p| p.unit == "reset.test.unit" && p.count == 1));
+    let old_span = before.spans.iter().find(|s| s.name == "reset.test.before").unwrap();
+    // The pre-reset span started at least the sleep after the old epoch.
+    assert!(old_span.start_ns >= 20_000_000, "start_ns = {}", old_span.start_ns);
+
+    let t_reset = std::time::Instant::now();
+    tel::reset();
+
+    // Snapshot after reset is empty across every record kind.
+    let after = tel::snapshot();
+    assert!(after.spans.is_empty(), "{:?}", after.spans);
+    assert!(after.counters.iter().all(|(_, v)| *v == 0), "{:?}", after.counters);
+    assert!(after.hists.iter().all(|h| h.count == 0), "{:?}", after.hists);
+    assert!(after.profiles.is_empty(), "{:?}", after.profiles);
+
+    // A span opened right after the reset has a sane offset: no larger
+    // than the wall-clock elapsed since the reset (a stale epoch would
+    // report at least the 20ms slept before it).
+    {
+        let _g = tel::span("reset.test.after");
+    }
+    let elapsed_ns = t_reset.elapsed().as_nanos() as u64;
+    let snap = tel::snapshot();
+    let new_span = snap.spans.iter().find(|s| s.name == "reset.test.after").unwrap();
+    assert!(
+        new_span.start_ns <= elapsed_ns,
+        "span epoch not re-anchored: start_ns = {} but only {} ns since reset",
+        new_span.start_ns,
+        elapsed_ns
+    );
+    tel::set_recording(false);
+}

@@ -201,6 +201,26 @@ pub enum Insn {
 }
 
 impl Insn {
+    /// The instruction's lower-case mnemonic (matches [`Program::dump`]).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Insn::Const { .. } => "const",
+            Insn::Add { .. } => "add",
+            Insn::Sub { .. } => "sub",
+            Insn::Mul { .. } => "mul",
+            Insn::Div { .. } => "div",
+            Insn::Min { .. } => "min",
+            Insn::Max { .. } => "max",
+            Insn::Neg { .. } => "neg",
+            Insn::Sqrt { .. } => "sqrt",
+            Insn::Abs { .. } => "abs",
+            Insn::Sqr { .. } => "sqr",
+            Insn::Pow { .. } => "pow",
+            Insn::MulAdd { .. } => "muladd",
+            Insn::MulSub { .. } => "mulsub",
+        }
+    }
+
     /// The destination register.
     pub fn dst(&self) -> u32 {
         match *self {
@@ -219,6 +239,46 @@ impl Insn {
             | Insn::MulAdd { dst, .. }
             | Insn::MulSub { dst, .. } => dst,
         }
+    }
+}
+
+/// The source location one bytecode instruction originated from
+/// (1-based line and column of the source expression; 0 = unknown,
+/// e.g. synthesized constants with no single source site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct SrcLoc {
+    /// 1-based source line (0 = unknown).
+    pub line: u32,
+    /// 1-based source column (0 = unknown).
+    pub col: u32,
+}
+
+impl SrcLoc {
+    /// Whether this location names a real source site.
+    pub fn is_known(&self) -> bool {
+        self.line > 0
+    }
+}
+
+/// Source-provenance side table: `sites[i]` is the source location of
+/// `insns[i]`. Kept *parallel* to the instruction stream (never encoded
+/// into it), so [`Program::dump`] — and therefore the golden bytecode
+/// listings — are unchanged by provenance. Every transformation that
+/// reorders, drops or fuses instructions (peephole rewriting, dead-code
+/// elimination, liveness renumbering) transforms the side table
+/// identically; [`Program::validate`] checks the lengths stay in sync.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DebugMap {
+    /// One source location per instruction, by instruction index.
+    /// Empty means "no provenance recorded" (hand-built programs).
+    pub sites: Vec<SrcLoc>,
+}
+
+impl DebugMap {
+    /// The source location of instruction `insn_idx` (unknown when the
+    /// map is empty or out of range).
+    pub fn site(&self, insn_idx: usize) -> SrcLoc {
+        self.sites.get(insn_idx).copied().unwrap_or_default()
     }
 }
 
@@ -253,6 +313,8 @@ pub struct Program {
     /// Declared outputs, in harvest order (function return first, then
     /// `out`/`inout` array cells in parameter order).
     pub outputs: Vec<OutputSlot>,
+    /// Source-provenance side table (parallel to `insns`; may be empty).
+    pub debug: DebugMap,
 }
 
 impl Program {
@@ -339,6 +401,13 @@ impl Program {
 
     fn check(&self, ssa: bool) -> Result<(), String> {
         let n = self.n_regs as usize;
+        if !self.debug.sites.is_empty() && self.debug.sites.len() != self.insns.len() {
+            return Err(format!(
+                "debug map has {} sites for {} instructions",
+                self.debug.sites.len(),
+                self.insns.len()
+            ));
+        }
         if (self.n_inputs as usize) != self.inputs.len() {
             return Err(format!(
                 "n_inputs={} but {} input labels",
@@ -417,6 +486,7 @@ mod tests {
             insns: vec![Insn::Const { dst: 2, idx: 0 }, Insn::Add { dst: 3, a: 0, b: 2 }],
             inputs: vec!["a".into(), "b".into()],
             outputs: vec![OutputSlot { label: "return".into(), reg: 3 }],
+            debug: DebugMap::default(),
         }
     }
 
@@ -441,6 +511,20 @@ mod tests {
         let mut p = toy();
         p.outputs[0].reg = 9;
         assert!(p.validate().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn debug_map_must_stay_parallel_to_insns() {
+        let mut p = toy();
+        p.debug.sites = vec![SrcLoc { line: 3, col: 5 }];
+        assert!(p.validate().unwrap_err().contains("debug map"), "length mismatch rejected");
+        p.debug.sites.push(SrcLoc::default());
+        assert!(p.validate().is_ok(), "full-length map accepted");
+        assert_eq!(p.debug.site(0), SrcLoc { line: 3, col: 5 });
+        assert!(!p.debug.site(1).is_known());
+        assert!(!p.debug.site(99).is_known(), "out of range reads as unknown");
+        // Provenance never leaks into the golden-pinned listing.
+        assert_eq!(p.dump(), toy().dump());
     }
 
     #[test]

@@ -152,6 +152,85 @@ pub fn run_scalar<T: VmElem>(p: &Program, inputs: &[T]) -> Vec<T> {
     out
 }
 
+/// Largest relative input width of `insn`'s source registers, or `0.0`
+/// for a zero-operand instruction (a `Const` is a width *source*: any
+/// width at its output is width introduced, not amplified).
+pub(crate) fn max_src_rel(insn: &Insn, at: impl Fn(u32) -> (f64, f64)) -> f64 {
+    use igen_telemetry::profile::rel_width;
+    let mut max_in = 0.0f64;
+    for r in crate::peephole::srcs(insn) {
+        let (lo, hi) = at(r);
+        let w = rel_width(lo, hi);
+        // NaN operands poison the max (NaN.max keeps the other side,
+        // so propagate by hand): the sample lands in the top bucket.
+        if w.is_nan() {
+            return f64::NAN;
+        }
+        max_in = max_in.max(w);
+    }
+    max_in
+}
+
+/// [`run_scalar`] with per-instruction profiling: execution time,
+/// input/output relative widths and the width-amplification statistic
+/// accumulate into `prof` under each instruction's [`DebugMap`] site.
+///
+/// The arithmetic is the *same operations in the same order* as
+/// [`run_lanes`] at scalar width, so the returned endpoints are
+/// bit-identical to an unprofiled run — profiling only observes values,
+/// it never re-rounds them. When `prof` is inactive (telemetry compiled
+/// out or recording off) this falls straight through to [`run_scalar`]
+/// and pays nothing per instruction.
+pub fn run_scalar_profiled<T: VmElem>(
+    p: &Program,
+    inputs: &[T],
+    prof: &mut igen_telemetry::UnitProfiler,
+) -> Vec<T> {
+    use igen_telemetry::profile::rel_width;
+    if !prof.active() {
+        return run_scalar(p, inputs);
+    }
+    assert_eq!(T::PRECISION, p.precision, "element precision does not match program");
+    assert_eq!(inputs.len(), p.n_inputs as usize, "program expects {} inputs", p.n_inputs);
+    let mut regs: Vec<T> = vec![T::zero(); p.n_regs as usize];
+    regs[..inputs.len()].copy_from_slice(inputs);
+    for (i, insn) in p.insns.iter().enumerate() {
+        let site = p.debug.site(i);
+        prof.set_meta(i, site.line, site.col, insn.op_name());
+        // Sources are read before the write: the peephole reuses
+        // registers, so dst may alias a source.
+        let max_in = max_src_rel(insn, |r| regs[r as usize].endpoints_f64());
+        let t0 = prof.now_ns();
+        let v = match *insn {
+            Insn::Const { idx, .. } => T::from_const(&p.consts[idx as usize]),
+            Insn::Add { a, b, .. } => regs[a as usize] + regs[b as usize],
+            Insn::Sub { a, b, .. } => regs[a as usize] - regs[b as usize],
+            Insn::Mul { a, b, .. } => regs[a as usize] * regs[b as usize],
+            Insn::Div { a, b, .. } => regs[a as usize] / regs[b as usize],
+            Insn::Min { a, b, .. } => regs[a as usize].min_l(regs[b as usize]),
+            Insn::Max { a, b, .. } => regs[a as usize].max_l(regs[b as usize]),
+            Insn::Neg { a, .. } => -regs[a as usize],
+            Insn::Sqrt { a, .. } => regs[a as usize].sqrt_l(),
+            Insn::Abs { a, .. } => regs[a as usize].abs_l(),
+            Insn::Sqr { a, .. } => regs[a as usize].sqr_l(),
+            Insn::Pow { a, n, .. } => regs[a as usize].powi_e(n),
+            Insn::MulAdd { a, b, acc, .. } => {
+                regs[acc as usize] + (regs[a as usize] * regs[b as usize])
+            }
+            Insn::MulSub { a, b, acc, .. } => {
+                regs[acc as usize] - (regs[a as usize] * regs[b as usize])
+            }
+        };
+        prof.add_time(i, prof.now_ns().saturating_sub(t0));
+        let (lo, hi) = v.endpoints_f64();
+        prof.add_sample(i, max_in, rel_width(lo, hi));
+        regs[insn.dst() as usize] = v;
+    }
+    VM_INSNS_EXECUTED.add(p.insns.len() as u64);
+    VM_SCALAR_CALLS.inc();
+    p.outputs.iter().map(|o| regs[o.reg as usize]).collect()
+}
+
 /// The per-program output-width histogram `width.vm.<name>`.
 ///
 /// The telemetry registry holds `'static` histograms, so per-program
@@ -198,6 +277,7 @@ mod tests {
             ],
             inputs: vec!["a".into(), "b".into(), "c".into()],
             outputs: vec![OutputSlot { label: "return".into(), reg: 10 }],
+            debug: crate::bytecode::DebugMap::default(),
         };
         p.validate().expect("valid test program");
         p
@@ -248,6 +328,7 @@ mod tests {
             insns: vec![Insn::Const { dst: 0, idx: 0 }],
             inputs: vec![],
             outputs: vec![OutputSlot { label: "return".into(), reg: 0 }],
+            debug: crate::bytecode::DebugMap::default(),
         };
         let out = run_scalar::<DdI>(&p, &[]);
         assert_eq!(out[0].hi().cmp_num(&Dd::new(1.05, -4.4e-17)), Some(core::cmp::Ordering::Equal));
@@ -258,5 +339,27 @@ mod tests {
     fn precision_mismatch_panics() {
         let p = quad();
         let _ = run_scalar::<DdI>(&p, &[DdI::ZERO, DdI::ZERO, DdI::ZERO]);
+    }
+
+    #[test]
+    fn profiled_run_is_bit_identical_to_plain() {
+        // Holds whether or not the profiler is live: inactive it falls
+        // through to run_scalar, active it runs the same operations in
+        // the same order and only observes the values.
+        let p = quad();
+        let x = [
+            F64I::new(1.25, 1.5).unwrap(),
+            F64I::new(-4.0, -3.5).unwrap(),
+            F64I::new(0.5, 0.625).unwrap(),
+        ];
+        let want = run_scalar(&p, &x);
+        let mut prof = igen_telemetry::UnitProfiler::start(&p.name, p.insns.len());
+        let got = run_scalar_profiled(&p, &x, &mut prof);
+        prof.finish();
+        assert_eq!(want.len(), got.len());
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.lo().to_bits(), g.lo().to_bits());
+            assert_eq!(w.hi().to_bits(), g.hi().to_bits());
+        }
     }
 }

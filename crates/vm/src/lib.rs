@@ -25,8 +25,8 @@ pub mod lower;
 pub mod peephole;
 pub mod prepared;
 
-pub use bytecode::{Insn, OutputSlot, PoolConst, Precision, Program};
-pub use exec::{program_width_hist, run_lanes, run_scalar, VmElem};
+pub use bytecode::{DebugMap, Insn, OutputSlot, PoolConst, Precision, Program, SrcLoc};
+pub use exec::{program_width_hist, run_lanes, run_scalar, run_scalar_profiled, VmElem};
 pub use lower::{lower, ArgBind, BindSpec, LowerError, DEFAULT_STEP_BUDGET, MAX_INSNS};
 pub use peephole::{peephole, PeepholeStats};
-pub use prepared::{run_tile, PreparedProgram, TileBank, DEFAULT_TILE_GROUPS};
+pub use prepared::{run_tile, run_tile_profiled, PreparedProgram, TileBank, DEFAULT_TILE_GROUPS};

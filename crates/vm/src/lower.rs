@@ -20,8 +20,8 @@
 //! and the differential interpreter remains the fallback for rejected
 //! functions.
 
-use crate::bytecode::{Insn, OutputSlot, PoolConst, Precision, Program};
-use igen_cfront::{AssignOp, BinOp, Type, UnOp};
+use crate::bytecode::{DebugMap, Insn, OutputSlot, PoolConst, Precision, Program, SrcLoc};
+use igen_cfront::{AssignOp, BinOp, Loc, Type, UnOp};
 use igen_interval::capi;
 use igen_interval::{DdI, F64I};
 use igen_ir::{IrExpr, IrFunction, IrStmt, OpKind, Sfx};
@@ -171,6 +171,9 @@ struct Lowerer {
     precision: Precision,
     sfx: Sfx,
     insns: Vec<Insn>,
+    /// One source site per emitted instruction, kept in lock-step with
+    /// `insns` so the [`DebugMap`] side-table stays parallel.
+    sites: Vec<SrcLoc>,
     consts: Vec<PoolConst>,
     pool_idx: HashMap<[u64; 4], u32>,
     const_reg: HashMap<[u64; 4], u32>,
@@ -192,6 +195,7 @@ pub fn lower(f: &IrFunction, bind: &BindSpec) -> Result<Program, LowerError> {
             Precision::Dd => Sfx::Dd,
         },
         insns: Vec::new(),
+        sites: Vec::new(),
         consts: Vec::new(),
         pool_idx: HashMap::new(),
         const_reg: HashMap::new(),
@@ -332,9 +336,32 @@ pub fn lower(f: &IrFunction, bind: &BindSpec) -> Result<Program, LowerError> {
         insns: lw.insns,
         inputs,
         outputs,
+        debug: DebugMap { sites: lw.sites },
     };
     debug_assert_eq!(prog.validate_ssa(), Ok(()));
     Ok(prog)
+}
+
+fn site(loc: Loc) -> SrcLoc {
+    SrcLoc { line: loc.line, col: loc.col }
+}
+
+/// Best-effort source site for an expression form that does not carry
+/// its own location (unary minus, casts): walk inward until a located
+/// node is found.
+fn expr_site(e: &IrExpr) -> SrcLoc {
+    match e {
+        IrExpr::Op { loc, .. }
+        | IrExpr::Call { loc, .. }
+        | IrExpr::Binary { loc, .. }
+        | IrExpr::Assign { loc, .. }
+        | IrExpr::Var(_, loc) => site(*loc),
+        IrExpr::Unary(_, inner) | IrExpr::PostIncDec(inner, _) | IrExpr::Cast(_, inner) => {
+            expr_site(inner)
+        }
+        IrExpr::Index(base, _) => expr_site(base),
+        _ => SrcLoc::default(),
+    }
 }
 
 fn bad_bind(name: &str, want: &str, got: &Type) -> LowerError {
@@ -404,18 +431,20 @@ impl Lowerer {
         r
     }
 
-    fn emit(&mut self, insn: Insn) -> Result<u32, LowerError> {
+    fn emit(&mut self, insn: Insn, loc: SrcLoc) -> Result<u32, LowerError> {
         if self.insns.len() >= MAX_INSNS {
             return Err(LowerError::TooLarge(self.insns.len() + 1));
         }
         let dst = insn.dst();
         self.insns.push(insn);
+        self.sites.push(loc);
         Ok(dst)
     }
 
     /// Materializes a pooled constant into a register, deduplicating
     /// both the pool entry and the `Const` instruction by bit pattern.
-    fn konst(&mut self, c: PoolConst) -> Result<u32, LowerError> {
+    /// A deduplicated constant keeps the site of its *first* use.
+    fn konst(&mut self, c: PoolConst, loc: SrcLoc) -> Result<u32, LowerError> {
         let bits = c.bits();
         if let Some(&r) = self.const_reg.get(&bits) {
             return Ok(r);
@@ -430,18 +459,18 @@ impl Lowerer {
             }
         };
         let dst = self.fresh();
-        self.emit(Insn::Const { dst, idx })?;
+        self.emit(Insn::Const { dst, idx }, loc)?;
         self.const_reg.insert(bits, dst);
         Ok(dst)
     }
 
-    fn f64i_const(&mut self, v: &F64I) -> Result<u32, LowerError> {
-        self.konst(PoolConst::f64_pair(v.lo(), v.hi()))
+    fn f64i_const(&mut self, v: &F64I, loc: SrcLoc) -> Result<u32, LowerError> {
+        self.konst(PoolConst::f64_pair(v.lo(), v.hi()), loc)
     }
 
-    fn ddi_const(&mut self, v: &DdI) -> Result<u32, LowerError> {
+    fn ddi_const(&mut self, v: &DdI, loc: SrcLoc) -> Result<u32, LowerError> {
         let (lo, hi) = (v.lo(), v.hi());
-        self.konst(PoolConst { lo_hi: lo.hi(), lo_lo: lo.lo(), hi_hi: hi.hi(), hi_lo: hi.lo() })
+        self.konst(PoolConst { lo_hi: lo.hi(), lo_lo: lo.lo(), hi_hi: hi.hi(), hi_lo: hi.lo() }, loc)
     }
 
     // --- variable environment -------------------------------------------
@@ -486,16 +515,18 @@ impl Lowerer {
         }
         if let Some(pairs) = &self.arrays[arr].uniform {
             let (lo, hi) = pairs[i];
+            // Uniform cells have no single source expression; their
+            // `Const` carries an unknown site.
             let r = match self.precision {
                 Precision::F64 => {
                     let v = capi::ia_set_f64(lo, hi);
-                    self.f64i_const(&v)?
+                    self.f64i_const(&v, SrcLoc::default())?
                 }
                 Precision::Dd => {
                     // Uniform pairs promote exactly like the interp
                     // reference: a full-width f64 interval.
                     let v = DdI::from_f64i(&capi::ia_set_f64(lo, hi));
-                    self.ddi_const(&v)?
+                    self.ddi_const(&v, SrcLoc::default())?
                 }
             };
             self.arrays[arr].cells[i] = Some(r);
@@ -547,7 +578,7 @@ impl Lowerer {
             IrExpr::Temp(n) => {
                 self.temps.get(n).copied().ok_or_else(|| LowerError::UninitRead(format!("t{n}")))
             }
-            IrExpr::Op { op, sfx, args, .. } => self.eval_op(op.clone(), *sfx, args),
+            IrExpr::Op { op, sfx, args, loc } => self.eval_op(op.clone(), *sfx, args, site(*loc)),
             IrExpr::Call { name, .. } => Err(LowerError::Unsupported(format!("call to `{name}`"))),
             IrExpr::Unary(op, inner) => self.eval_unary(*op, inner),
             IrExpr::PostIncDec(target, inc) => {
@@ -558,7 +589,7 @@ impl Lowerer {
                 Ok(Av::Int(v))
             }
             IrExpr::Binary { op, lhs, rhs, .. } => self.eval_binary(*op, lhs, rhs),
-            IrExpr::Assign { op, lhs, rhs, .. } => self.eval_assign(*op, lhs, rhs),
+            IrExpr::Assign { op, lhs, rhs, loc } => self.eval_assign(*op, lhs, rhs, site(*loc)),
             IrExpr::Index(base, idx) => {
                 let b = self.eval(base)?;
                 let (arr, off) = match b {
@@ -605,7 +636,13 @@ impl Lowerer {
         }
     }
 
-    fn eval_op(&mut self, op: OpKind, sfx: Sfx, args: &[IrExpr]) -> Result<Av, LowerError> {
+    fn eval_op(
+        &mut self,
+        op: OpKind,
+        sfx: Sfx,
+        args: &[IrExpr],
+        loc: SrcLoc,
+    ) -> Result<Av, LowerError> {
         use OpKind::*;
         // Pure arithmetic must carry the program's precision; the
         // constructor opcodes are checked structurally below.
@@ -625,7 +662,7 @@ impl Lowerer {
                 lw.want_iv(v, "operand")?
             };
             let dst = lw.fresh();
-            lw.emit(f(dst, a, b))?;
+            lw.emit(f(dst, a, b), loc)?;
             Ok(Av::Iv(dst))
         };
         let un = |lw: &mut Self, args: &[IrExpr], f: fn(u32, u32) -> Insn| {
@@ -634,7 +671,7 @@ impl Lowerer {
                 lw.want_iv(v, "operand")?
             };
             let dst = lw.fresh();
-            lw.emit(f(dst, a))?;
+            lw.emit(f(dst, a), loc)?;
             Ok(Av::Iv(dst))
         };
         match op {
@@ -660,7 +697,7 @@ impl Lowerer {
                 // Same clamp as the ia_pow_* builtins.
                 let n = n.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
                 let dst = self.fresh();
-                self.emit(Insn::Pow { dst, a, n })?;
+                self.emit(Insn::Pow { dst, a, n }, loc)?;
                 Ok(Av::Iv(dst))
             }
             Set => {
@@ -675,11 +712,11 @@ impl Lowerer {
                 let r = match self.precision {
                     Precision::F64 => {
                         let v = capi::ia_set_f64(lo, hi);
-                        self.f64i_const(&v)?
+                        self.f64i_const(&v, loc)?
                     }
                     Precision::Dd => {
                         let v = capi::ia_set_dd(lo, hi);
-                        self.ddi_const(&v)?
+                        self.ddi_const(&v, loc)?
                     }
                 };
                 Ok(Av::Iv(r))
@@ -693,7 +730,7 @@ impl Lowerer {
                 let hi_hi = self.float_arg(&args[2])?;
                 let hi_lo = self.float_arg(&args[3])?;
                 let v = capi::ia_set_ddx(lo_hi, lo_lo, hi_hi, hi_lo);
-                let r = self.ddi_const(&v)?;
+                let r = self.ddi_const(&v, loc)?;
                 Ok(Av::Iv(r))
             }
             SetInt => {
@@ -704,11 +741,11 @@ impl Lowerer {
                 let r = match self.precision {
                     Precision::F64 => {
                         let v = capi::ia_set_int_f64(n);
-                        self.f64i_const(&v)?
+                        self.f64i_const(&v, loc)?
                     }
                     Precision::Dd => {
                         let v = capi::ia_set_int_dd(n);
-                        self.ddi_const(&v)?
+                        self.ddi_const(&v, loc)?
                     }
                 };
                 Ok(Av::Iv(r))
@@ -745,7 +782,7 @@ impl Lowerer {
                     // this pass, but stay permissive.
                     Av::Iv(r) => {
                         let dst = self.fresh();
-                        self.emit(Insn::Neg { dst, a: r })?;
+                        self.emit(Insn::Neg { dst, a: r }, expr_site(inner))?;
                         Ok(Av::Iv(dst))
                     }
                     _ => Err(LowerError::Unsupported("unary minus operand".into())),
@@ -833,7 +870,13 @@ impl Lowerer {
         Ok(Av::Int(v))
     }
 
-    fn eval_assign(&mut self, op: AssignOp, lhs: &IrExpr, rhs: &IrExpr) -> Result<Av, LowerError> {
+    fn eval_assign(
+        &mut self,
+        op: AssignOp,
+        lhs: &IrExpr,
+        rhs: &IrExpr,
+        loc: SrcLoc,
+    ) -> Result<Av, LowerError> {
         let rv = self.eval(rhs)?;
         let stored = match op.bin_op() {
             None => rv,
@@ -860,7 +903,7 @@ impl Lowerer {
                                 ))
                             }
                         };
-                        self.emit(insn)?;
+                        self.emit(insn, loc)?;
                         Av::Iv(dst)
                     }
                     _ => return Err(LowerError::Unsupported("compound assignment".into())),

@@ -79,14 +79,23 @@
 //! The lattice is deliberately tiny: it exists to make the rewrite
 //! *provably* exact, not to maximize hit rate.
 
-use crate::bytecode::{Insn, PoolConst, Precision, Program};
+use crate::bytecode::{DebugMap, Insn, PoolConst, Precision, Program, SrcLoc};
 use igen_telemetry::Counter;
 
-/// Peephole rewrites applied across all [`peephole`] calls (constant
-/// dedups, strength reductions and dead instructions removed; the
-/// renumbering itself is not counted — it is a renaming, not a
-/// rewrite). Zero-sized no-op unless the `telemetry` feature is on.
-pub static VM_PEEPHOLE_REWRITES: Counter = Counter::new("vm.peephole.rewrites");
+/// Constant-pool entries merged plus redundant `Const` materializations
+/// forwarded, across all [`peephole`] calls. Zero-sized no-op unless
+/// the `telemetry` feature is on — as are the five counters below.
+pub static VM_PEEPHOLE_DEDUP: Counter = Counter::new("vm.peephole.dedup");
+/// `Add`/`Sub`-of-`Neg` strength reductions applied.
+pub static VM_PEEPHOLE_NEG_FOLD: Counter = Counter::new("vm.peephole.neg_fold");
+/// `Mul(x,x)` → `Sqr(x)` strength reductions applied.
+pub static VM_PEEPHOLE_SQR: Counter = Counter::new("vm.peephole.sqr");
+/// Dead instructions removed.
+pub static VM_PEEPHOLE_DCE: Counter = Counter::new("vm.peephole.dce");
+/// `Mul`+accumulate pairs fused into `MulAdd`/`MulSub`.
+pub static VM_PEEPHOLE_FUSE: Counter = Counter::new("vm.peephole.fuse");
+/// Registers reclaimed by the liveness renumbering.
+pub static VM_PEEPHOLE_RENUMBER: Counter = Counter::new("vm.peephole.renumber");
 
 /// What [`peephole`] did to a program.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -129,6 +138,12 @@ impl PeepholeStats {
 /// reused, but every read still follows a write); it is generally *not*
 /// single-assignment, so [`Program::validate_ssa`] no longer applies.
 ///
+/// If the input carries a [`DebugMap`], the output's map stays parallel
+/// to the rewritten stream: a strength-reduced instruction keeps its
+/// own site, a fused `MulAdd`/`MulSub` takes the *accumulate*'s site
+/// (that is the instruction whose destination survives), and dropped
+/// instructions drop their sites.
+///
 /// # Panics
 ///
 /// Panics if `p` itself fails [`Program::validate`] — the pass only
@@ -136,6 +151,16 @@ impl PeepholeStats {
 pub fn peephole(p: &Program) -> (Program, PeepholeStats) {
     p.validate().expect("peephole input must validate");
     let mut stats = PeepholeStats::default();
+
+    // Provenance side-table, carried in lock-step with the instruction
+    // stream through every stage below. A program without a debug map
+    // stays without one.
+    let track_sites = !p.debug.sites.is_empty();
+    let in_sites: Vec<SrcLoc> = if track_sites {
+        p.debug.sites.clone() // validate() pinned the length
+    } else {
+        vec![SrcLoc::default(); p.insns.len()]
+    };
 
     // 1. Pool dedup by bit pattern.
     let (consts, pool_remap, pool_merged) = dedup_pool(&p.consts);
@@ -154,7 +179,8 @@ pub fn peephole(p: &Program) -> (Program, PeepholeStats) {
     let mut first_const: Vec<Option<u32>> = vec![None; consts.len()];
     let mut strict_pos = vec![false; n];
     let mut insns: Vec<Insn> = Vec::with_capacity(p.insns.len());
-    for insn in &p.insns {
+    let mut sites: Vec<SrcLoc> = Vec::with_capacity(p.insns.len());
+    for (insn, site) in p.insns.iter().zip(&in_sites) {
         let fwd = |r: u32, alias: &[u32]| alias[r as usize];
         let mut rewritten = match *insn {
             Insn::Const { dst, idx } => Insn::Const { dst, idx: pool_remap[idx as usize] },
@@ -241,6 +267,7 @@ pub fn peephole(p: &Program) -> (Program, PeepholeStats) {
         strict_pos[rewritten.dst() as usize] = sp;
         def[rewritten.dst() as usize] = Some(rewritten);
         insns.push(rewritten);
+        sites.push(*site);
     }
     let outputs: Vec<(String, u32)> =
         p.outputs.iter().map(|o| (o.label.clone(), alias[o.reg as usize])).collect();
@@ -263,6 +290,8 @@ pub fn peephole(p: &Program) -> (Program, PeepholeStats) {
     let before = insns.len();
     let insns: Vec<Insn> =
         insns.into_iter().zip(&keep).filter_map(|(i, k)| k.then_some(i)).collect();
+    let sites: Vec<SrcLoc> =
+        sites.into_iter().zip(&keep).filter_map(|(s, k)| k.then_some(s)).collect();
     stats.insns_removed += before - insns.len();
 
     // 4. Accumulate dispatch fusion on the (still single-assignment)
@@ -282,6 +311,7 @@ pub fn peephole(p: &Program) -> (Program, PeepholeStats) {
         is_output[*r as usize] = true;
     }
     let mut fused: Vec<Insn> = Vec::with_capacity(insns.len());
+    let mut fused_sites: Vec<SrcLoc> = Vec::with_capacity(sites.len());
     let mut i = 0;
     while i < insns.len() {
         if let Insn::Mul { dst: t, a, b } = insns[i] {
@@ -297,6 +327,9 @@ pub fn peephole(p: &Program) -> (Program, PeepholeStats) {
                 };
                 if let Some(f) = fuse {
                     fused.push(f);
+                    // The superinstruction's destination is the
+                    // accumulate's; so is its blame site.
+                    fused_sites.push(sites[i + 1]);
                     stats.mul_acc_fused += 1;
                     i += 2;
                     continue;
@@ -304,9 +337,11 @@ pub fn peephole(p: &Program) -> (Program, PeepholeStats) {
             }
         }
         fused.push(insns[i]);
+        fused_sites.push(sites[i]);
         i += 1;
     }
     let insns = fused;
+    let sites = fused_sites;
 
     // 5. Liveness-based renumbering. Layout: inputs keep 0..n_inputs,
     //    each surviving Const gets a pinned register right after (so
@@ -319,8 +354,13 @@ pub fn peephole(p: &Program) -> (Program, PeepholeStats) {
     // Hoist constants to the front: they have no operands and pinned
     // destinations, so execution order is preserved for everything that
     // reads them, and the dump shows the constant bank contiguously.
-    let (const_insns, body): (Vec<Insn>, Vec<Insn>) =
-        insns.into_iter().partition(|i| matches!(i, Insn::Const { .. }));
+    // Sites partition along with their instructions.
+    let (const_part, body_part): (Vec<(Insn, SrcLoc)>, Vec<(Insn, SrcLoc)>) = insns
+        .into_iter()
+        .zip(sites)
+        .partition(|(i, _)| matches!(i, Insn::Const { .. }));
+    let (const_insns, const_sites): (Vec<Insn>, Vec<SrcLoc>) = const_part.into_iter().unzip();
+    let (body, body_sites): (Vec<Insn>, Vec<SrcLoc>) = body_part.into_iter().unzip();
 
     // Last read of each (old) register over the body + outputs.
     let mut last_use = vec![0usize; n];
@@ -388,10 +428,20 @@ pub fn peephole(p: &Program) -> (Program, PeepholeStats) {
                 reg: map[r as usize].expect("output register is live"),
             })
             .collect(),
+        debug: if track_sites {
+            DebugMap { sites: const_sites.into_iter().chain(body_sites).collect() }
+        } else {
+            DebugMap::default()
+        },
     };
     stats.regs_saved = p.n_regs.saturating_sub(out.n_regs);
     debug_assert_eq!(out.validate(), Ok(()));
-    VM_PEEPHOLE_REWRITES.add(stats.rewrites() as u64);
+    VM_PEEPHOLE_DEDUP.add(stats.consts_deduped as u64);
+    VM_PEEPHOLE_NEG_FOLD.add((stats.neg_add_to_sub + stats.neg_sub_to_add) as u64);
+    VM_PEEPHOLE_SQR.add(stats.mul_to_sqr as u64);
+    VM_PEEPHOLE_DCE.add(stats.insns_removed as u64);
+    VM_PEEPHOLE_FUSE.add(stats.mul_acc_fused as u64);
+    VM_PEEPHOLE_RENUMBER.add(stats.regs_saved as u64);
     (out, stats)
 }
 
@@ -417,7 +467,7 @@ fn dedup_pool(pool: &[PoolConst]) -> (Vec<PoolConst>, Vec<u32>, usize) {
 }
 
 /// Source registers of an instruction, in operand order.
-fn srcs(insn: &Insn) -> Vec<u32> {
+pub(crate) fn srcs(insn: &Insn) -> Vec<u32> {
     match *insn {
         Insn::Const { .. } => vec![],
         Insn::Add { a, b, .. }
@@ -479,9 +529,48 @@ mod tests {
             insns,
             inputs: (0..n_inputs).map(|i| format!("x{i}")).collect(),
             outputs: vec![OutputSlot { label: "return".into(), reg: out }],
+            debug: DebugMap::default(),
         };
         p.validate().expect("test program validates");
         p
+    }
+
+    #[test]
+    fn debug_sites_follow_instructions_through_every_stage() {
+        // r3 = -x1 @6:1; r4 = x0 + r3 @7:5; r5 = x0 * x1 @8:5;
+        // r6 = r4 + r5 @9:5  — exercises strength reduction (Neg dies),
+        // fusion (Mul+Add → MulAdd taking the Add's site), and
+        // renumbering, with a distinct site on every instruction.
+        let mut p = prog(
+            2,
+            7,
+            vec![],
+            vec![
+                Insn::Neg { dst: 2, a: 1 },
+                Insn::Add { dst: 3, a: 0, b: 2 },
+                Insn::Mul { dst: 4, a: 0, b: 1 },
+                Insn::Add { dst: 5, a: 3, b: 4 },
+            ],
+            5,
+        );
+        let s = |line, col| SrcLoc { line, col };
+        p.debug.sites = vec![s(6, 1), s(7, 5), s(8, 5), s(9, 5)];
+        p.validate().expect("debug map parallel");
+        let (q, st) = peephole(&p);
+        assert_eq!(st.neg_add_to_sub, 1);
+        assert_eq!(st.mul_acc_fused, 1);
+        assert_eq!(q.validate(), Ok(()));
+        assert_eq!(q.debug.sites.len(), q.insns.len());
+        // The strength-reduced Sub keeps the Add's own site; the fused
+        // MulAdd takes the accumulate's site, not the Mul's.
+        let sub_at = q.insns.iter().position(|i| matches!(i, Insn::Sub { .. })).unwrap();
+        assert_eq!(q.debug.site(sub_at), s(7, 5));
+        let fused_at = q.insns.iter().position(|i| matches!(i, Insn::MulAdd { .. })).unwrap();
+        assert_eq!(q.debug.site(fused_at), s(9, 5));
+        // A program without a debug map stays without one.
+        let bare = prog(2, 3, vec![], vec![Insn::Add { dst: 2, a: 0, b: 1 }], 2);
+        let (q, _) = peephole(&bare);
+        assert!(q.debug.sites.is_empty());
     }
 
     #[test]

@@ -68,6 +68,11 @@ pub struct PreparedProgram<T: VmElem> {
     /// The instructions executed per call (everything not hoisted, in
     /// original order).
     body: Vec<Insn>,
+    /// For each body instruction, its index in `prog.insns` — the key
+    /// into the program's [`DebugMap`](crate::bytecode::DebugMap) and
+    /// the profiler's site table (hoisting shifts body positions, so
+    /// body index ≠ instruction index).
+    body_idx: Vec<u32>,
 }
 
 impl<T: VmElem> PreparedProgram<T> {
@@ -86,7 +91,8 @@ impl<T: VmElem> PreparedProgram<T> {
         }
         let mut consts = Vec::new();
         let mut body = Vec::new();
-        for insn in &prog.insns {
+        let mut body_idx = Vec::new();
+        for (i, insn) in prog.insns.iter().enumerate() {
             if let Insn::Const { dst, idx } = *insn {
                 if dst >= prog.n_inputs && writes[dst as usize] == 1 {
                     consts.push((dst, T::from_const(&prog.consts[idx as usize])));
@@ -94,9 +100,10 @@ impl<T: VmElem> PreparedProgram<T> {
                 }
             }
             body.push(*insn);
+            body_idx.push(i as u32);
         }
         let id = NEXT_PREP_ID.fetch_add(1, Ordering::Relaxed);
-        PreparedProgram { prog, id, consts, body }
+        PreparedProgram { prog, id, consts, body, body_idx }
     }
 
     /// The underlying program.
@@ -292,6 +299,98 @@ pub fn run_tile<T: VmElem, L: LaneOrScalar<T>>(
     }
 }
 
+/// [`run_tile`] with per-instruction profiling. Each body instruction's
+/// sweep over the tile is timed as one sample against its *original*
+/// instruction index (the hoisted-constant split shifts body positions,
+/// so the prepared program carries the index map), and every element it
+/// produced contributes an input/output width sample.
+///
+/// The sweeps themselves are the exact loops of [`run_tile`] — the
+/// profiler reads the bank between instructions, never inside a sweep —
+/// so the outputs are bit-identical to an unprofiled run. When `prof`
+/// is inactive this falls straight through to [`run_tile`].
+pub fn run_tile_profiled<T: VmElem, L: LaneOrScalar<T>>(
+    prep: &PreparedProgram<T>,
+    bank: &mut TileBank<T, L>,
+    n_groups: usize,
+    outputs: &mut Vec<L>,
+    prof: &mut igen_telemetry::UnitProfiler,
+) {
+    use igen_telemetry::profile::rel_width;
+    if !prof.active() {
+        return run_tile(prep, bank, n_groups, outputs);
+    }
+    assert_eq!(bank.prep_id, prep.id, "tile bank was built for a different program");
+    assert!(n_groups <= bank.tile, "n_groups {} exceeds tile {}", n_groups, bank.tile);
+    let tile = bank.tile;
+    for (bi, insn) in prep.body.iter().enumerate() {
+        let oi = prep.body_idx[bi] as usize;
+        let site = prep.prog.debug.site(oi);
+        prof.set_meta(oi, site.line, site.col, insn.op_name());
+        // Input widths are read before the sweep: the renumbered
+        // programs reuse registers, so dst may alias a source.
+        let mut max_in = vec![0.0f64; n_groups * L::WIDTH];
+        for g in 0..n_groups {
+            for l in 0..L::WIDTH {
+                max_in[g * L::WIDTH + l] =
+                    crate::exec::max_src_rel(insn, |r| {
+                        bank.bank[r as usize * tile + g].lane_l(l).endpoints_f64()
+                    });
+            }
+        }
+        let t0 = prof.now_ns();
+        {
+            let bk = &mut bank.bank[..];
+            match *insn {
+                Insn::Const { dst, idx } => {
+                    let v = L::splat_l(T::from_const(&prep.prog.consts[idx as usize]));
+                    sweep1(bk, tile, n_groups, dst, dst, |_| v);
+                }
+                Insn::Add { dst, a, b } => sweep2(bk, tile, n_groups, dst, a, b, |x, y| x + y),
+                Insn::Sub { dst, a, b } => sweep2(bk, tile, n_groups, dst, a, b, |x, y| x - y),
+                Insn::Mul { dst, a, b } => sweep2(bk, tile, n_groups, dst, a, b, |x, y| x * y),
+                Insn::Div { dst, a, b } => sweep2(bk, tile, n_groups, dst, a, b, |x, y| x / y),
+                Insn::Min { dst, a, b } => {
+                    sweep2(bk, tile, n_groups, dst, a, b, |x, y| x.min_l(y))
+                }
+                Insn::Max { dst, a, b } => {
+                    sweep2(bk, tile, n_groups, dst, a, b, |x, y| x.max_l(y))
+                }
+                Insn::Neg { dst, a } => sweep1(bk, tile, n_groups, dst, a, |x| -x),
+                Insn::Sqrt { dst, a } => sweep1(bk, tile, n_groups, dst, a, |x| x.sqrt_l()),
+                Insn::Abs { dst, a } => sweep1(bk, tile, n_groups, dst, a, |x| x.abs_l()),
+                Insn::Sqr { dst, a } => sweep1(bk, tile, n_groups, dst, a, |x| x.sqr_l()),
+                Insn::Pow { dst, a, n } => {
+                    sweep1(bk, tile, n_groups, dst, a, |x| {
+                        L::from_fn_l(|i| x.lane_l(i).powi_e(n))
+                    })
+                }
+                Insn::MulAdd { dst, a, b, acc } => {
+                    sweep3(bk, tile, n_groups, dst, a, b, acc, |x, y, z| z + (x * y))
+                }
+                Insn::MulSub { dst, a, b, acc } => {
+                    sweep3(bk, tile, n_groups, dst, a, b, acc, |x, y, z| z - (x * y))
+                }
+            }
+        }
+        prof.add_time(oi, prof.now_ns().saturating_sub(t0));
+        let di = insn.dst() as usize * tile;
+        for g in 0..n_groups {
+            for l in 0..L::WIDTH {
+                let (lo, hi) = bank.bank[di + g].lane_l(l).endpoints_f64();
+                prof.add_sample(oi, max_in[g * L::WIDTH + l], rel_width(lo, hi));
+            }
+        }
+    }
+    VM_INSNS_EXECUTED.add(prep.body.len() as u64);
+    VM_TILES.inc();
+    outputs.clear();
+    for o in &prep.prog.outputs {
+        let oi = o.reg as usize * tile;
+        outputs.extend_from_slice(&bank.bank[oi..oi + n_groups]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +418,7 @@ mod tests {
             ],
             inputs: vec!["a".into(), "b".into(), "c".into()],
             outputs: vec![OutputSlot { label: "return".into(), reg: 10 }],
+            debug: crate::bytecode::DebugMap::default(),
         };
         p.validate().expect("valid test program");
         p
@@ -404,6 +504,7 @@ mod tests {
             insns: vec![Insn::Add { dst: 1, a: 0, b: 0 }, Insn::Mul { dst: 1, a: 1, b: 1 }],
             inputs: vec!["x".into()],
             outputs: vec![OutputSlot { label: "return".into(), reg: 1 }],
+            debug: crate::bytecode::DebugMap::default(),
         };
         p.validate().expect("relaxed form validates");
         let prep = PreparedProgram::<F64I>::new(p.clone());
@@ -418,6 +519,46 @@ mod tests {
             let want = run_scalar(&p, &[x])[0];
             assert_eq!(got.lo().to_bits(), want.lo().to_bits());
             assert_eq!(got.hi().to_bits(), want.hi().to_bits());
+        }
+    }
+
+    #[test]
+    fn profiled_tile_is_bit_identical_to_plain() {
+        let p = quad();
+        let prep = PreparedProgram::<F64I>::new(p.clone());
+        let mut bank = TileBank::<F64I, F64I>::new(&prep, 4);
+        let mut plain = Vec::new();
+        for g in 0..4 {
+            for (r, v) in item(g).iter().enumerate() {
+                bank.input_column(r as u32)[g] = *v;
+            }
+        }
+        run_tile(&prep, &mut bank, 4, &mut plain);
+        let mut profiled = Vec::new();
+        let mut prof = igen_telemetry::UnitProfiler::start(&p.name, p.insns.len());
+        for g in 0..4 {
+            for (r, v) in item(g).iter().enumerate() {
+                bank.input_column(r as u32)[g] = *v;
+            }
+        }
+        run_tile_profiled(&prep, &mut bank, 4, &mut profiled, &mut prof);
+        prof.finish();
+        assert_eq!(plain.len(), profiled.len());
+        for (w, g) in plain.iter().zip(&profiled) {
+            assert_eq!(w.lo().to_bits(), g.lo().to_bits());
+            assert_eq!(w.hi().to_bits(), g.hi().to_bits());
+        }
+    }
+
+    #[test]
+    fn body_index_map_names_original_instructions() {
+        // quad hoists the single Const (original index 1): every body
+        // instruction keeps its index into prog.insns.
+        let prep = PreparedProgram::<F64I>::new(quad());
+        assert_eq!(prep.body_idx.len(), prep.body.len());
+        assert_eq!(prep.body_idx, vec![0, 2, 3, 4, 5, 6, 7]);
+        for (bi, &oi) in prep.body_idx.iter().enumerate() {
+            assert_eq!(prep.body[bi], prep.prog.insns[oi as usize]);
         }
     }
 

@@ -1,0 +1,3 @@
+double poly(double x) {
+    return 1.0 + 0.5 * (x * x) + 0.25 * (x * x) * (x * x);
+}

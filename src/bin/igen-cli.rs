@@ -14,6 +14,8 @@
 //! igen-cli batch <dot|mvm|gemm|henon|ffnn> [--threads N] [--batch N]
 //!                [--size N] [--iters N] [--seq-threshold N]
 //!                [--metrics] [--trace-out <path>]
+//! igen-cli profile <input.c> [--fn NAME] [--batch N] [--opt-level 0|1|2]
+//!                  [--precision f64|dd] [--top N] [--trace-out <path>] ...
 //! igen-cli report <trace.jsonl>...
 //! ```
 //!
@@ -134,6 +136,18 @@ fn usage() -> ! {
            --iters <n>         Hénon iterations (default: 100)\n\
            --seq-threshold <n> below this many items stay sequential\n\
            --metrics, --trace-out as above\n\
+         \n\
+         profile mode (width-provenance blame report):\n\
+           igen-cli profile <input.c> [options]\n\
+           --fn, --batch, --threads, --opt-level, --precision, --arg,\n\
+           --len, --size, --seed, --no-peephole, --tile as in run mode\n\
+           --top <n>           sites per blame table (default: 8)\n\
+           --trace-out <file>  write the full telemetry trace (profile\n\
+                               records included) as JSON lines\n\
+           Runs the function over a generated batch with per-instruction\n\
+           profiling (needs a `--features telemetry` build), verifies the\n\
+           profiled outputs are bit-identical to the unprofiled run, and\n\
+           ranks source sites by time share and by width amplification.\n\
          \n\
          report mode (render recorded traces):\n\
            igen-cli report <trace.jsonl>...   merge + summarize trace files"
@@ -324,6 +338,68 @@ fn run_batch(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Picks the function to compile: `--fn`, or the file's only definition.
+fn pick_function(
+    out: &igen::compiler::Output,
+    want: Option<String>,
+    input: &str,
+) -> Result<String, String> {
+    let names: Vec<&str> = out.ir.functions().map(|f| f.name.as_str()).collect();
+    match want {
+        Some(n) => {
+            if !names.contains(&n.as_str()) {
+                return Err(format!("no function '{n}' in {input}"));
+            }
+            Ok(n)
+        }
+        None => match names.as_slice() {
+            [only] => Ok(only.to_string()),
+            _ => Err(format!(
+                "{input} defines {} functions; pick one with --fn <name>",
+                names.len()
+            )),
+        },
+    }
+}
+
+/// Binds parameters for batched execution: interval scalars and arrays
+/// feed the batch, integer parameters are fixed via `--arg`, pointer
+/// lengths come from `--len` (default `size`).
+fn build_binds(
+    func: &igen::ir::IrFunction,
+    int_args: &[(String, i64)],
+    lens: &[(String, usize)],
+    size: usize,
+) -> Result<igen::vm::BindSpec, String> {
+    use igen::cfront::Type;
+    use igen::vm::{ArgBind, BindSpec};
+    let mut binds = Vec::new();
+    for p in &func.params {
+        match &p.ty {
+            Type::Named(_) => binds.push(ArgBind::Ival),
+            Type::Ptr(_) | Type::Array(_, _) => {
+                let len = lens.iter().find(|(n, _)| *n == p.name).map(|&(_, l)| l).unwrap_or(size);
+                binds.push(ArgBind::InOut(len));
+            }
+            Type::Int | Type::UInt | Type::Long | Type::ULong => {
+                match int_args.iter().find(|(n, _)| *n == p.name) {
+                    Some(&(_, v)) => binds.push(ArgBind::Int(v)),
+                    None => {
+                        return Err(format!(
+                            "integer parameter '{}' needs --arg {}=<value>",
+                            p.name, p.name
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(format!("parameter '{}' has unsupported type {other:?}", p.name));
+            }
+        }
+    }
+    Ok(BindSpec::new(binds))
+}
+
 /// `igen-cli run <input.c>`: compiles one function into register
 /// bytecode and executes it over a generated input batch on the packed
 /// multi-threaded path, pinning the result against both the
@@ -332,7 +408,6 @@ fn run_batch(args: &[String]) -> ExitCode {
 fn run_run(args: &[String]) -> ExitCode {
     use igen::batch::{BatchConfig, BatchDdI, BatchF64I, BatchProgram};
     use igen::kernels::workload;
-    use igen::vm::{ArgBind, BindSpec};
 
     let mut input: Option<String> = None;
     let mut fn_name: Option<String> = None;
@@ -452,56 +527,15 @@ fn run_run(args: &[String]) -> ExitCode {
         }
     };
 
-    // Pick the function: --fn, or the file's only definition.
-    let names: Vec<&str> = out.ir.functions().map(|f| f.name.as_str()).collect();
-    let fn_name = match fn_name {
-        Some(n) => {
-            if !names.contains(&n.as_str()) {
-                return fail2(format!("no function '{n}' in {input}"));
-            }
-            n
-        }
-        None => match names.as_slice() {
-            [only] => only.to_string(),
-            _ => {
-                return fail2(format!(
-                    "{input} defines {} functions; pick one with --fn <name>",
-                    names.len()
-                ))
-            }
-        },
+    let fn_name = match pick_function(&out, fn_name, &input) {
+        Ok(n) => n,
+        Err(e) => return fail2(e),
     };
-
-    // Bind parameters: interval scalars and arrays feed the batch,
-    // integer parameters are fixed via --arg.
     let func = out.ir.functions().find(|f| f.name == fn_name).expect("function exists");
-    let mut binds = Vec::new();
-    for p in &func.params {
-        use igen::cfront::Type;
-        match &p.ty {
-            Type::Named(_) => binds.push(ArgBind::Ival),
-            Type::Ptr(_) | Type::Array(_, _) => {
-                let len = lens.iter().find(|(n, _)| *n == p.name).map(|&(_, l)| l).unwrap_or(size);
-                binds.push(ArgBind::InOut(len));
-            }
-            Type::Int | Type::UInt | Type::Long | Type::ULong => {
-                match int_args.iter().find(|(n, _)| *n == p.name) {
-                    Some(&(_, v)) => binds.push(ArgBind::Int(v)),
-                    None => {
-                        return fail2(format!(
-                            "integer parameter '{}' needs --arg {}=<value>",
-                            p.name, p.name
-                        ))
-                    }
-                }
-            }
-            other => {
-                eprintln!("igen-cli: parameter '{}' has unsupported type {other:?}", p.name);
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    let bind = BindSpec::new(binds);
+    let bind = match build_binds(func, &int_args, &lens, size) {
+        Ok(b) => b,
+        Err(e) => return fail2(e),
+    };
     // --no-peephole keeps the raw SSA lowering; the default runs the
     // endpoint-exact peephole pass. Either way --emit-bytecode prints
     // the program that actually executes below.
@@ -589,6 +623,310 @@ fn run_run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `igen-cli profile <input.c>`: compiles one function, runs it over a
+/// generated input batch with per-instruction width-provenance
+/// profiling, verifies the profiled outputs are bit-identical to the
+/// unprofiled run (at 1 thread and at `--threads`), and prints a blame
+/// report — the source sites costing the most time and amplifying
+/// enclosure width the most.
+fn run_profile(args: &[String]) -> ExitCode {
+    use igen::batch::{BatchConfig, BatchDdI, BatchF64I, BatchProgram};
+    use igen::kernels::workload;
+
+    let mut input: Option<String> = None;
+    let mut fn_name: Option<String> = None;
+    let mut batch = 64usize;
+    let mut threads = 4usize;
+    let mut size = 8usize;
+    let mut seed = 0x16e0u64;
+    let mut top = 8usize;
+    let mut no_peephole = false;
+    let mut tile = 0usize;
+    let mut trace_out: Option<String> = None;
+    let mut cfg = Config { opt_level: OptLevel::O2, ..Config::default() };
+    let mut int_args: Vec<(String, i64)> = Vec::new();
+    let mut lens: Vec<(String, usize)> = Vec::new();
+
+    let fail2 = |msg: String| -> ExitCode {
+        eprintln!("igen-cli: {msg}");
+        ExitCode::from(2)
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let take = |args: &[String], i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--fn" => match take(args, &mut i) {
+                Some(v) => fn_name = Some(v),
+                None => return fail2("--fn needs a function name".into()),
+            },
+            "--batch" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => batch = v,
+                None => return fail2("--batch needs a count".into()),
+            },
+            "--threads" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => threads = v,
+                None => return fail2("--threads needs a count".into()),
+            },
+            "--size" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => size = v,
+                None => return fail2("--size needs a count".into()),
+            },
+            "--seed" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return fail2("--seed needs an integer".into()),
+            },
+            "--top" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => top = v,
+                None => return fail2("--top needs a count".into()),
+            },
+            "--opt-level" => {
+                cfg.opt_level = match take(args, &mut i).as_deref() {
+                    Some("0") => OptLevel::O0,
+                    Some("1") => OptLevel::O1,
+                    Some("2") => OptLevel::O2,
+                    _ => return fail2("--opt-level needs 0, 1 or 2".into()),
+                };
+            }
+            "--precision" => {
+                cfg.precision = match take(args, &mut i).as_deref() {
+                    Some("f64") => Precision::F64,
+                    Some("dd") => Precision::Dd,
+                    _ => return fail2("profile supports --precision f64 or dd".into()),
+                };
+            }
+            "--arg" => {
+                let v = take(args, &mut i).unwrap_or_default();
+                match v.split_once('=').and_then(|(n, x)| Some((n, x.parse::<i64>().ok()?))) {
+                    Some((n, x)) => int_args.push((n.to_string(), x)),
+                    None => return fail2(format!("bad --arg '{v}' (expected name=integer)")),
+                }
+            }
+            "--len" => {
+                let v = take(args, &mut i).unwrap_or_default();
+                match v.split_once('=').and_then(|(n, x)| Some((n, x.parse::<usize>().ok()?))) {
+                    Some((n, x)) => lens.push((n.to_string(), x)),
+                    None => return fail2(format!("bad --len '{v}' (expected name=count)")),
+                }
+            }
+            "--no-peephole" => no_peephole = true,
+            "--tile" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => tile = v,
+                None => return fail2("--tile needs a group count".into()),
+            },
+            "--trace-out" => match take(args, &mut i) {
+                Some(v) => trace_out = Some(v),
+                None => return fail2("--trace-out needs a path".into()),
+            },
+            "-h" | "--help" => usage(),
+            a if a.starts_with('-') => {
+                return fail2(format!("unknown profile option '{a}' (see igen-cli --help)"));
+            }
+            a => {
+                if input.replace(a.to_string()).is_some() {
+                    return fail2("profile takes one input file".into());
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(input) = input else {
+        return fail2("profile needs an input file (see igen-cli --help)".into());
+    };
+    if batch == 0 {
+        return fail2("--batch must be at least 1".into());
+    }
+    if !igen::telemetry::COMPILED_IN {
+        eprintln!(
+            "igen-cli: note: built without the `telemetry` feature — \
+             the run is verified but no profile can be recorded \
+             (rebuild with `--features telemetry`)"
+        );
+    }
+
+    let src = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => return fail2(format!("cannot read {input}: {e}")),
+    };
+    let out = match Compiler::new(cfg).compile_str(&src) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("igen-cli: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fn_name = match pick_function(&out, fn_name, &input) {
+        Ok(n) => n,
+        Err(e) => return fail2(e),
+    };
+    let func = out.ir.functions().find(|f| f.name == fn_name).expect("function exists");
+    let bind = match build_binds(func, &int_args, &lens, size) {
+        Ok(b) => b,
+        Err(e) => return fail2(e),
+    };
+    let prog = match if no_peephole {
+        igen::compiler::compile_to_program_raw(&out, &fn_name, &bind)
+    } else {
+        igen::compiler::compile_to_program(&out, &fn_name, &bind)
+    } {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("igen-cli: {fn_name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let known_sites = prog.debug.sites.iter().filter(|s| s.is_known()).count();
+    let n_insns = prog.insns.len();
+    let nin = prog.n_inputs as usize;
+    let mut rng = workload::rng(seed);
+
+    // Reference runs first (unprofiled, recording off): 1 thread and
+    // --threads; then the profiled sequential run, which must match
+    // both bit for bit.
+    let seq = BatchConfig::new().with_threads(1).with_seq_threshold(0).with_tile_groups(tile);
+    let par = BatchConfig::new().with_threads(threads).with_seq_threshold(0).with_tile_groups(tile);
+    let unit = fn_name.clone();
+    let same = match cfg.precision {
+        Precision::Dd => {
+            let ivals = workload::dd_intervals_1ulp(&mut rng, batch * nin, -2.0, 2.0);
+            let bp = BatchProgram::new(prog);
+            let soa = BatchDdI::from_intervals(&ivals);
+            let a = bp.run_dd(&seq, &soa);
+            let b = bp.run_dd(&par, &soa);
+            igen::telemetry::set_recording(true);
+            let mut prof = igen::telemetry::UnitProfiler::start(&unit, n_insns);
+            let c = bp.run_dd_profiled(&seq, &soa, &mut prof);
+            prof.finish();
+            a == b && a == c
+        }
+        _ => {
+            let pts = workload::random_points(&mut rng, batch * nin, -2.0, 2.0);
+            let ivals = workload::intervals_1ulp(&pts);
+            let bp = BatchProgram::new(prog);
+            let soa = BatchF64I::from_intervals(&ivals);
+            let a = bp.run(&seq, &soa);
+            let b = bp.run(&par, &soa);
+            igen::telemetry::set_recording(true);
+            let mut prof = igen::telemetry::UnitProfiler::start(&unit, n_insns);
+            let c = bp.run_profiled(&seq, &soa, &mut prof);
+            prof.finish();
+            a == b && a == c
+        }
+    };
+    igen::telemetry::set_recording(false);
+    if !same {
+        eprintln!("igen-cli: profiled run diverged from the unprofiled run");
+        return ExitCode::FAILURE;
+    }
+
+    let snap = igen::telemetry::snapshot();
+    if let Some(path) = &trace_out {
+        if let Err(e) = std::fs::write(path, snap.to_jsonl()) {
+            eprintln!("igen-cli: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    let rows: Vec<_> = snap.profiles.iter().filter(|r| r.unit == unit).collect();
+    println!(
+        "{fn_name}: {n_insns} insns ({known_sites} with source locations), \
+         batch={batch}, profiled outputs bit-identical to unprofiled: yes"
+    );
+    if rows.is_empty() {
+        println!("no profile recorded (telemetry not compiled in)");
+        return ExitCode::SUCCESS;
+    }
+    print!("{}", render_blame(&rows, &src, &input, top));
+    ExitCode::SUCCESS
+}
+
+/// Renders the ranked blame tables: top sites by execution-time share
+/// and by mean width amplification, each naming (and excerpting) the
+/// source line it came from.
+fn render_blame(
+    rows: &[&igen::telemetry::ProfileRec],
+    src: &str,
+    input: &str,
+    top: usize,
+) -> String {
+    use std::fmt::Write as _;
+    let lines: Vec<&str> = src.lines().collect();
+    let file = std::path::Path::new(input)
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_else(|| input.to_string());
+    let excerpt = |line: u32| -> String {
+        let text = if line > 0 { lines.get(line as usize - 1).map_or("", |l| l.trim()) } else { "" };
+        let mut t = text.to_string();
+        if t.len() > 48 {
+            t.truncate(47);
+            t.push('…');
+        }
+        t
+    };
+    let source = |r: &igen::telemetry::ProfileRec| -> String {
+        if r.line > 0 {
+            format!("{file}:{}:{}  {}", r.line, r.col, excerpt(r.line))
+        } else {
+            "(no source site)".to_string()
+        }
+    };
+    let total_ns: u64 = rows.iter().map(|r| r.total_ns).sum();
+    let mut out = String::new();
+
+    let mut by_time: Vec<&&igen::telemetry::ProfileRec> = rows.iter().collect();
+    by_time.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.site.cmp(&b.site)));
+    let _ = writeln!(out, "hot sites by time:");
+    let _ = writeln!(out, "  rank  time%      time  op       count  source");
+    for (i, r) in by_time.iter().take(top).enumerate() {
+        let share = if total_ns > 0 { 100.0 * r.total_ns as f64 / total_ns as f64 } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "  {:>4}  {:>4.1}%  {:>7}  {:<7}  {:>5}  {}",
+            i + 1,
+            share,
+            format_ns(r.total_ns),
+            r.op,
+            r.count,
+            source(r),
+        );
+    }
+
+    let mut by_amp: Vec<&&igen::telemetry::ProfileRec> =
+        rows.iter().filter(|r| r.mean_amp_log2().is_some()).collect();
+    by_amp.sort_by(|a, b| {
+        let (wa, wb) = (a.mean_amp_log2().unwrap_or(0.0), b.mean_amp_log2().unwrap_or(0.0));
+        wb.partial_cmp(&wa).unwrap_or(std::cmp::Ordering::Equal).then(a.site.cmp(&b.site))
+    });
+    let _ = writeln!(out, "width amplification (log2 out/in per sample):");
+    let _ = writeln!(out, "  rank     amp  op       count  source");
+    for (i, r) in by_amp.iter().take(top).enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:>4}  2^{:+.1}  {:<7}  {:>5}  {}",
+            i + 1,
+            r.mean_amp_log2().unwrap_or(0.0),
+            r.op,
+            r.count,
+            source(r),
+        );
+    }
+    out
+}
+
+/// Compact duration rendering for the blame table (ns → µs → ms).
+fn format_ns(ns: u64) -> String {
+    if ns >= 10_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("batch") {
@@ -596,6 +934,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("run") {
         return run_run(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("profile") {
+        return run_profile(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("report") {
         return run_report(&args[1..]);
@@ -609,7 +950,8 @@ fn main() -> ExitCode {
         // no path separator) is a misspelled subcommand, not an input.
         Some(a) if !a.starts_with('-') && !a.contains('.') && !a.contains('/') => {
             eprintln!(
-                "igen-cli: unknown subcommand '{a}' (expected compile, run, batch or report)"
+                "igen-cli: unknown subcommand '{a}' \
+                 (expected compile, run, batch, profile or report)"
             );
             return ExitCode::from(2);
         }
