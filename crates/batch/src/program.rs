@@ -400,8 +400,7 @@ impl BatchProgram {
         let mut g0 = 0usize;
         while g0 < groups {
             let ng = (groups - g0).min(tile);
-            let (bank, out) =
-                packed.get_or_insert_with(|| (TileBank::new(prep, tile), Vec::new()));
+            let (bank, out) = packed.get_or_insert_with(|| (TileBank::new(prep, tile), Vec::new()));
             for j in 0..nin {
                 let col = bank.input_column(j as u32);
                 for (g, slot) in col.iter_mut().enumerate().take(ng) {
@@ -466,8 +465,7 @@ impl BatchProgram {
         let mut g0 = 0usize;
         while g0 < groups {
             let ng = (groups - g0).min(tile);
-            let (bank, out) =
-                packed.get_or_insert_with(|| (TileBank::new(prep, tile), Vec::new()));
+            let (bank, out) = packed.get_or_insert_with(|| (TileBank::new(prep, tile), Vec::new()));
             for j in 0..nin {
                 let col = bank.input_column(j as u32);
                 for (g, slot) in col.iter_mut().enumerate().take(ng) {

@@ -678,7 +678,8 @@ mod tests {
         assert!(v[0].contains("instrumented"), "{v:?}");
         // An instrumented *current* run can still be gated — only the
         // baseline side is a recording.
-        assert!(check_regression(&tainted, &current, DEFAULT_SPEED_TOL, DEFAULT_WIDTH_TOL)
-            .is_empty());
+        assert!(
+            check_regression(&tainted, &current, DEFAULT_SPEED_TOL, DEFAULT_WIDTH_TOL).is_empty()
+        );
     }
 }

@@ -17,10 +17,12 @@
 //! kernels run the packed tile path.
 
 use igen_baselines::backend::{IntervalBackend, IvalVec, Kernel, KernelCase};
-use igen_batch::{BatchConfig, BatchF64I, BatchProgram};
-use igen_core::{compile_to_program, Compiler, Config, OptLevel};
+use igen_batch::{BatchConfig, BatchF64I};
+use igen_core::{Config, OptLevel};
 use igen_kernels::ffnn::Ffnn;
+use igen_session::{BindRequest, CompileRequest, CompiledUnit, Session};
 use igen_vm::{ArgBind, BindSpec};
+use std::sync::{Arc, OnceLock};
 
 /// The compiled-bytecode backend.
 pub struct VmBackend;
@@ -113,11 +115,24 @@ fn ffnn_source(dims: &[usize]) -> String {
     format!("void ffnn({}) {{\n{body}}}\n", params.join(", "))
 }
 
-fn compile(src: &str, fn_name: &str, bind: &BindSpec) -> BatchProgram {
-    let cfg = Config { opt_level: OptLevel::O2, ..Config::default() };
-    let out = Compiler::new(cfg).compile_str(src).expect("gauntlet kernel source compiles");
-    let prog = compile_to_program(&out, fn_name, bind).expect("gauntlet kernel lowers to bytecode");
-    BatchProgram::new(prog)
+/// The process-wide compile session: rerunning a kernel case (or the
+/// same kernel at another size with an identical binding shape) reuses
+/// the verified program instead of re-walking the pipeline.
+fn session() -> &'static Session {
+    static SESSION: OnceLock<Session> = OnceLock::new();
+    SESSION.get_or_init(Session::default)
+}
+
+fn compile(src: &str, fn_name: &str, bind: &BindSpec) -> Arc<CompiledUnit> {
+    let req = CompileRequest {
+        source: src.into(),
+        origin: format!("gauntlet:{fn_name}"),
+        fn_name: Some(fn_name.to_string()),
+        cfg: Config { opt_level: OptLevel::O2, ..Config::default() },
+        bind: BindRequest::Explicit(bind.clone()),
+        peephole: true,
+    };
+    session().compile(&req).expect("gauntlet kernel compiles to verified bytecode")
 }
 
 fn uniform_pairs(v: &IvalVec) -> Vec<(f64, f64)> {
@@ -176,7 +191,7 @@ impl IntervalBackend for VmBackend {
                     BindSpec::new(vec![ArgBind::In(n), ArgBind::In(n), ArgBind::Int(n as i64)]);
                 let bp = compile(DOT_SRC, "dot", &bind);
                 let inputs = item_major(&[(&case.x, n), (&case.y, n)], batch);
-                Box::new(move || to_ivalvec(&bp.run(&cfg, &inputs)))
+                Box::new(move || to_ivalvec(&bp.batch.run(&cfg, &inputs)))
             }
             Kernel::Mvm => {
                 let bind = BindSpec::new(vec![
@@ -187,7 +202,7 @@ impl IntervalBackend for VmBackend {
                 ]);
                 let bp = compile(MVM_SRC, "mvm", &bind);
                 let inputs = item_major(&[(&case.x, n), (&case.y, n)], batch);
-                Box::new(move || to_ivalvec(&bp.run(&cfg, &inputs)))
+                Box::new(move || to_ivalvec(&bp.batch.run(&cfg, &inputs)))
             }
             Kernel::Gemm => {
                 let bind = BindSpec::new(vec![
@@ -198,14 +213,14 @@ impl IntervalBackend for VmBackend {
                 ]);
                 let bp = compile(GEMM_SRC, "gemm", &bind);
                 let inputs = item_major(&[(&case.x, n * n), (&case.y, n * n)], 1);
-                Box::new(move || to_ivalvec(&bp.run(&cfg, &inputs)))
+                Box::new(move || to_ivalvec(&bp.batch.run(&cfg, &inputs)))
             }
             Kernel::Henon => {
                 let bind =
                     BindSpec::new(vec![ArgBind::Ival, ArgBind::Ival, ArgBind::Int(iters as i64)]);
                 let bp = compile(HENON_SRC, "henon", &bind);
                 let inputs = item_major(&[(&case.x, 1), (&case.y, 1)], batch);
-                Box::new(move || to_ivalvec(&bp.run(&cfg, &inputs)))
+                Box::new(move || to_ivalvec(&bp.batch.run(&cfg, &inputs)))
             }
             Kernel::Ffnn => {
                 let net = Ffnn::synthetic(n, case.ffnn_seed);
@@ -220,7 +235,7 @@ impl IntervalBackend for VmBackend {
                 binds.push(ArgBind::Out(10));
                 let bp = compile(&ffnn_source(&dims), "ffnn", &BindSpec::new(binds));
                 let inputs = item_major(&[(&case.x, dim)], batch);
-                Box::new(move || to_ivalvec(&bp.run(&cfg, &inputs)))
+                Box::new(move || to_ivalvec(&bp.batch.run(&cfg, &inputs)))
             }
         }
     }

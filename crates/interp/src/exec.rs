@@ -700,8 +700,9 @@ impl Interp {
     /// intervals (direct operator arithmetic on interval values).
     fn eval_binop_at(&mut self, op: BinOp, l: Value, r: Value, loc: Loc) -> Result<Value, RtError> {
         use BinOp::*;
-        let interval_args = matches!(l, Value::Interval(_) | Value::Interval32(_) | Value::DdInterval(_))
-            || matches!(r, Value::Interval(_) | Value::Interval32(_) | Value::DdInterval(_));
+        let interval_args =
+            matches!(l, Value::Interval(_) | Value::Interval32(_) | Value::DdInterval(_))
+                || matches!(r, Value::Interval(_) | Value::Interval32(_) | Value::DdInterval(_));
         if self.prof.is_none() || !interval_args || !matches!(op, Add | Sub | Mul | Div) {
             return self.eval_binop(op, l, r);
         }

@@ -1,0 +1,249 @@
+//! The compile cache: verified batch programs keyed by the full
+//! compile request.
+//!
+//! The key is *every* request field that can change the generated
+//! bytecode: the source text, the compiler [`Config`] (opt level,
+//! precision, policies), the function name, the binding shape, and the
+//! peephole flag. `origin` is deliberately excluded — it only labels
+//! diagnostics, and two clients compiling the same source from
+//! different paths should share one program.
+//!
+//! Lookups fast-reject on an FNV-1a hash of the source, then compare
+//! the **full source bytes** and every other key field. A hash
+//! collision can therefore cost a redundant comparison but can never
+//! return a stale or wrong program — staleness safety does not rest on
+//! a 64-bit hash.
+//!
+//! Eviction is least-recently-used over a small vector (move-to-front
+//! on hit); compile caches hold tens of entries, not thousands, so a
+//! linear scan beats hashing the whole source on every lookup anyway.
+
+use crate::pipeline::{BindRequest, CompileRequest, CompiledUnit};
+use igen_core::Config;
+use igen_telemetry::Counter;
+use std::sync::Arc;
+
+static CACHE_HITS: Counter = Counter::new("session.cache.hits");
+static CACHE_MISSES: Counter = Counter::new("session.cache.misses");
+static CACHE_EVICTIONS: Counter = Counter::new("session.cache.evictions");
+
+/// Cache activity counters for one [`CompileCache`] since construction.
+///
+/// These are per-cache and always available; the global
+/// `session.cache.*` telemetry counters mirror them when the
+/// `telemetry` feature is compiled in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries dropped to stay within the capacity.
+    pub evictions: u64,
+    /// Programs currently cached.
+    pub len: usize,
+}
+
+/// One cached entry: the key fields plus the shared compiled unit.
+struct Entry {
+    source_hash: u64,
+    source: Arc<str>,
+    fn_name: Option<String>,
+    cfg: Config,
+    bind: BindRequest,
+    peephole: bool,
+    unit: Arc<CompiledUnit>,
+}
+
+impl Entry {
+    fn matches(&self, hash: u64, req: &CompileRequest) -> bool {
+        self.source_hash == hash
+            && self.peephole == req.peephole
+            && self.cfg == req.cfg
+            && self.fn_name == req.fn_name
+            && self.bind == req.bind
+            && *self.source == *req.source
+    }
+}
+
+/// An LRU cache of verified compiled units (see module docs for the
+/// key derivation and the collision-safety argument).
+pub struct CompileCache {
+    entries: Vec<Entry>,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl CompileCache {
+    /// Default capacity when the caller passes 0.
+    pub const DEFAULT_CAP: usize = 64;
+
+    /// A cache holding at most `cap` programs (0 = [`Self::DEFAULT_CAP`]).
+    pub fn new(cap: usize) -> CompileCache {
+        let cap = if cap == 0 { Self::DEFAULT_CAP } else { cap };
+        CompileCache { entries: Vec::new(), cap, hits: 0, misses: 0, evictions: 0 }
+    }
+
+    /// Looks up `req`, moving a hit to the front of the LRU order.
+    pub fn get(&mut self, req: &CompileRequest) -> Option<Arc<CompiledUnit>> {
+        let hash = fnv1a(req.source.as_bytes());
+        match self.entries.iter().position(|e| e.matches(hash, req)) {
+            Some(i) => {
+                self.hits += 1;
+                CACHE_HITS.inc();
+                let e = self.entries.remove(i);
+                let unit = Arc::clone(&e.unit);
+                self.entries.insert(0, e);
+                Some(unit)
+            }
+            None => {
+                self.misses += 1;
+                CACHE_MISSES.inc();
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly compiled unit at the front, evicting the
+    /// least-recently-used entry if the cache is full. A racing insert
+    /// of the same key replaces the older copy instead of duplicating
+    /// it.
+    pub fn insert(&mut self, req: &CompileRequest, unit: Arc<CompiledUnit>) {
+        let hash = fnv1a(req.source.as_bytes());
+        if let Some(i) = self.entries.iter().position(|e| e.matches(hash, req)) {
+            self.entries.remove(i);
+        } else if self.entries.len() >= self.cap {
+            self.entries.pop();
+            self.evictions += 1;
+            CACHE_EVICTIONS.inc();
+        }
+        self.entries.insert(
+            0,
+            Entry {
+                source_hash: hash,
+                source: Arc::clone(&req.source),
+                fn_name: req.fn_name.clone(),
+                cfg: req.cfg,
+                bind: req.bind.clone(),
+                peephole: req.peephole,
+                unit,
+            },
+        );
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.entries.len(),
+        }
+    }
+
+    /// Maximum number of cached programs.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and good enough for a fast
+/// reject (correctness never depends on it — see module docs).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::compile_uncached;
+
+    fn req(src: &str) -> CompileRequest {
+        CompileRequest::new(src, "<test>")
+    }
+
+    fn unit(r: &CompileRequest) -> Arc<CompiledUnit> {
+        Arc::new(compile_uncached(r, false).expect("test source compiles"))
+    }
+
+    const SQ: &str = "double sq(double x) { return x * x; }";
+    const CUBE: &str = "double cube(double x) { return x * x * x; }";
+
+    #[test]
+    fn hit_after_insert_and_miss_before() {
+        let mut c = CompileCache::new(4);
+        let r = req(SQ);
+        assert!(c.get(&r).is_none());
+        let u = unit(&r);
+        c.insert(&r, Arc::clone(&u));
+        let got = c.get(&r).expect("hit");
+        assert!(Arc::ptr_eq(&got, &u));
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, evictions: 0, len: 1 });
+    }
+
+    #[test]
+    fn any_key_field_change_misses() {
+        let mut c = CompileCache::new(8);
+        let r = req(SQ);
+        c.insert(&r, unit(&r));
+
+        let mut by_source = req(CUBE);
+        by_source.fn_name = None;
+        assert!(c.get(&by_source).is_none());
+
+        let mut by_opt = r.clone();
+        by_opt.cfg.opt_level = igen_core::OptLevel::O0;
+        assert!(c.get(&by_opt).is_none());
+
+        let mut by_precision = r.clone();
+        by_precision.cfg.precision = igen_core::Precision::Dd;
+        assert!(c.get(&by_precision).is_none());
+
+        let mut by_peephole = r.clone();
+        by_peephole.peephole = false;
+        assert!(c.get(&by_peephole).is_none());
+
+        let mut by_bind = r.clone();
+        by_bind.bind = BindRequest::FromParams { int_args: Vec::new(), lens: Vec::new(), size: 16 };
+        assert!(c.get(&by_bind).is_none());
+
+        // ...while origin changes still hit: it is not part of the key.
+        let mut by_origin = r.clone();
+        by_origin.origin = "elsewhere.c".into();
+        assert!(c.get(&by_origin).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut c = CompileCache::new(2);
+        let a = req(SQ);
+        let b = req(CUBE);
+        let d = req("double half(double x) { return x * 0.5; }");
+        c.insert(&a, unit(&a));
+        c.insert(&b, unit(&b));
+        assert!(c.get(&a).is_some()); // a is now the most recently used
+        c.insert(&d, unit(&d)); // evicts b
+        assert!(c.get(&b).is_none());
+        assert!(c.get(&a).is_some());
+        assert!(c.get(&d).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().len, 2);
+    }
+
+    #[test]
+    fn reinserting_the_same_key_does_not_duplicate() {
+        let mut c = CompileCache::new(4);
+        let r = req(SQ);
+        c.insert(&r, unit(&r));
+        c.insert(&r, unit(&r));
+        assert_eq!(c.stats().len, 1);
+        assert_eq!(c.stats().evictions, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! The shared command-line flag cursor used by every `igen-cli` and
+//! `igen-bench` subcommand.
+//!
+//! Each front door used to hand-roll the same three moves — take the
+//! flag's value, parse it, print a one-line message and exit 2 — with
+//! per-subcommand copies of the `take`/`value` closures. [`Flags`]
+//! centralizes the moves while leaving the *messages* at the call
+//! sites, so every historical diagnostic stays byte-identical:
+//!
+//! - [`Flags::value`] / [`Flags::parse`] fail with `"{flag} needs
+//!   {what}"` (e.g. `--batch needs a count`), matching the CLI's
+//!   merged missing/unparsable convention.
+//! - [`Flags::pair`] fails with `"bad {flag} '{v}' (expected
+//!   {expected})"` for `name=value` flags like `--arg`/`--len`.
+//!
+//! Errors carry the bare message; the caller prepends its program
+//! prefix (`igen-cli: ` / `igen-bench: `) and chooses the exit code.
+
+/// A cursor over a subcommand's argument slice.
+pub struct Flags<'a> {
+    args: &'a [String],
+    i: usize,
+}
+
+impl<'a> Flags<'a> {
+    /// A cursor at the start of `args` (the slice *after* the
+    /// subcommand name).
+    pub fn new(args: &'a [String]) -> Flags<'a> {
+        Flags { args, i: 0 }
+    }
+
+    /// The next argument, advancing the cursor; `None` at the end.
+    #[allow(clippy::should_implement_trait)] // deliberate Iterator-free cursor: callers match on &str
+    pub fn next(&mut self) -> Option<&'a str> {
+        let a = self.args.get(self.i)?;
+        self.i += 1;
+        Some(a)
+    }
+
+    /// The current flag's value argument, or `"{flag} needs {what}"`.
+    pub fn value(&mut self, flag: &str, what: &str) -> Result<&'a str, String> {
+        self.next().ok_or_else(|| format!("{flag} needs {what}"))
+    }
+
+    /// The current flag's value parsed as `T`. A missing *or*
+    /// unparsable value yields the same `"{flag} needs {what}"`
+    /// message (the historical CLI folds both cases together).
+    pub fn parse<T: std::str::FromStr>(&mut self, flag: &str, what: &str) -> Result<T, String> {
+        self.next().and_then(|v| v.parse().ok()).ok_or_else(|| format!("{flag} needs {what}"))
+    }
+
+    /// The current flag's `name=value` argument with the value parsed
+    /// as `T`, or `"bad {flag} '{v}' (expected {expected})"`. A missing
+    /// argument reports an empty `''`, matching the historical
+    /// `unwrap_or_default` behavior.
+    pub fn pair<T: std::str::FromStr>(
+        &mut self,
+        flag: &str,
+        expected: &str,
+    ) -> Result<(String, T), String> {
+        let v = self.next().unwrap_or_default();
+        v.split_once('=')
+            .and_then(|(n, x)| Some((n.to_string(), x.parse().ok()?)))
+            .ok_or_else(|| format!("bad {flag} '{v}' (expected {expected})"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn cursor_walks_and_takes_values() {
+        let args = argv(&["--fn", "dot", "input.c"]);
+        let mut f = Flags::new(&args);
+        assert_eq!(f.next(), Some("--fn"));
+        assert_eq!(f.value("--fn", "a function name"), Ok("dot"));
+        assert_eq!(f.next(), Some("input.c"));
+        assert_eq!(f.next(), None);
+    }
+
+    #[test]
+    fn missing_and_unparsable_values_share_the_needs_message() {
+        let empty = argv(&[]);
+        let mut f = Flags::new(&empty);
+        assert_eq!(f.value("--fn", "a function name"), Err("--fn needs a function name".into()));
+        assert_eq!(f.parse::<usize>("--batch", "a count"), Err("--batch needs a count".into()));
+
+        let junk = argv(&["wat"]);
+        let mut f = Flags::new(&junk);
+        assert_eq!(f.parse::<usize>("--batch", "a count"), Err("--batch needs a count".into()));
+    }
+
+    #[test]
+    fn pair_parses_name_eq_value_and_reports_the_raw_text() {
+        let good = argv(&["n=12"]);
+        let mut f = Flags::new(&good);
+        assert_eq!(f.pair::<i64>("--arg", "name=integer"), Ok(("n".into(), 12)));
+
+        let bad = argv(&["n=twelve"]);
+        let mut f = Flags::new(&bad);
+        assert_eq!(
+            f.pair::<i64>("--arg", "name=integer"),
+            Err("bad --arg 'n=twelve' (expected name=integer)".into())
+        );
+
+        let missing = argv(&[]);
+        let mut f = Flags::new(&missing);
+        assert_eq!(
+            f.pair::<usize>("--len", "name=count"),
+            Err("bad --len '' (expected name=count)".into())
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Cache-key correctness: a [`Session`] must never serve a stale
+//! program. Whatever sequence of requests hits the cache — including
+//! one small enough to evict constantly — the unit returned for a
+//! request is always byte-identical (instruction dump and all) to a
+//! fresh, uncached compile of that same request. Mutating any key
+//! field (source bytes, opt level, precision, binding shape, peephole
+//! flag) therefore can never return the previous program.
+
+use igen_core::{Config, OptLevel, Precision};
+use igen_session::{compile_uncached, BindRequest, CompileRequest, Session};
+use proptest::prelude::*;
+
+/// Small corpus with distinct bytecode: two unary sources that differ
+/// only in a constant, a binary source, and a pointer/loop source
+/// whose lowering depends on the binding shape (`size`).
+const SOURCES: [&str; 4] = [
+    "double f(double x) { return x * (x + 1.0); }",
+    "double f(double x) { return x * (x + 2.0); }",
+    "double g(double x, double y) { return x * y + y; }",
+    "double s(double* v, int n) {\n\
+     \x20   double acc = 0.0;\n\
+     \x20   for (int i = 0; i < n; i++) { acc = acc + v[i]; }\n\
+     \x20   return acc;\n\
+     }",
+];
+
+fn request(src: usize, opt: u8, dd: bool, size: usize, peephole: bool) -> CompileRequest {
+    let opt_level = match opt {
+        0 => OptLevel::O0,
+        1 => OptLevel::O1,
+        _ => OptLevel::O2,
+    };
+    let precision = if dd { Precision::Dd } else { Precision::F64 };
+    // The loop source's integer bound must be bound to a value; tie it
+    // to `size` so the binding shape varies with the generated size.
+    let int_args = if src == 3 { vec![("n".to_string(), size as i64)] } else { Vec::new() };
+    CompileRequest {
+        source: SOURCES[src].into(),
+        origin: format!("case-{src}"),
+        fn_name: None,
+        cfg: Config { opt_level, precision, ..Config::default() },
+        bind: BindRequest::FromParams { int_args, lens: Vec::new(), size },
+        peephole,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16 })]
+
+    /// Drive a deliberately tiny cache (capacity 2 → constant eviction
+    /// and reinsertion) with an arbitrary request sequence; every
+    /// response must match an uncached compile of the same request.
+    #[test]
+    fn cache_never_serves_a_stale_program(
+        seq in prop::collection::vec(
+            (0usize..SOURCES.len(), 0u8..3, any::<bool>(), 1usize..4, any::<bool>()),
+            1..10,
+        )
+    ) {
+        let session = Session::new(2);
+        for (src, opt, dd, size, peephole) in seq {
+            let req = request(src, opt, dd, size, peephole);
+            let cached = session.compile(&req).expect("corpus sources compile");
+            let fresh = compile_uncached(&req, false).expect("corpus sources compile");
+            prop_assert_eq!(
+                cached.batch.program().dump(),
+                fresh.batch.program().dump(),
+                "cached program diverged from an uncached compile of the same request",
+            );
+        }
+    }
+}
+
+/// The sharpest staleness shape — two requests identical except for
+/// one constant byte in the source — must produce different programs.
+#[test]
+fn one_byte_source_mutation_misses_the_cache() {
+    let session = Session::new(0);
+    let a = session.compile(&request(0, 2, false, 8, true)).unwrap();
+    let b = session.compile(&request(1, 2, false, 8, true)).unwrap();
+    assert_ne!(
+        a.batch.program().dump(),
+        b.batch.program().dump(),
+        "sources differing in one constant must compile to different programs"
+    );
+    let stats = session.cache_stats();
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.misses, 2);
+}
+
+/// Same source, every other key field flipped one at a time: each
+/// flip is a miss, and re-requesting the original is a hit.
+#[test]
+fn each_key_field_is_load_bearing() {
+    let session = Session::new(0);
+    let base = request(0, 2, false, 8, true);
+    session.compile(&base).unwrap();
+    session.compile(&request(0, 0, false, 8, true)).unwrap(); // opt level
+    session.compile(&request(0, 2, true, 8, true)).unwrap(); // precision
+    session.compile(&request(0, 2, false, 8, false)).unwrap(); // peephole
+    session.compile(&request(3, 2, false, 2, true)).unwrap(); // binding shape…
+    session.compile(&request(3, 2, false, 3, true)).unwrap(); // …varies with size
+    assert_eq!(session.cache_stats().misses, 6);
+    session.compile(&base).unwrap();
+    assert_eq!(session.cache_stats().hits, 1);
+}

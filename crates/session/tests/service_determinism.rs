@@ -1,0 +1,144 @@
+//! Service-level determinism: every compile/run/profile/ping response
+//! is a pure function of its request line — the same requests produce
+//! byte-identical responses whether the pool runs 1 worker or 4,
+//! whether the cache is cold or warm, and however many clients submit
+//! concurrently. Deadlines and backpressure are structured one-line
+//! errors, never hangs.
+
+use igen_session::{Service, ServiceConfig, Ticket};
+use std::time::Duration;
+
+const SQ: &str = "double sq(double x) { return x * x; }";
+
+/// A request mix covering every deterministic response shape: compile
+/// (with and without bytecode), f64/dd runs from the seeded generator,
+/// an explicit-inputs run, ping, a protocol error and a compile error.
+fn request_lines() -> Vec<String> {
+    vec![
+        format!(r#"{{"id":0,"kind":"compile","source":"{SQ}"}}"#),
+        format!(r#"{{"id":1,"kind":"compile","source":"{SQ}","emit_bytecode":true}}"#),
+        format!(r#"{{"id":2,"kind":"run","source":"{SQ}","batch":4,"seed":7}}"#),
+        format!(r#"{{"id":3,"kind":"run","source":"{SQ}","precision":"dd","batch":3}}"#),
+        format!(r#"{{"id":4,"kind":"run","source":"{SQ}","inputs":[[1.0,2.0],[-3.5,-3.5]]}}"#),
+        r#"{"id":5,"kind":"ping"}"#.to_string(),
+        r#"{"id":6,"kind":"frobnicate"}"#.to_string(),
+        r#"{"id":7,"kind":"compile","source":"double bad(double x) { return x + ; }"}"#.to_string(),
+        format!(r#"{{"id":8,"kind":"run","source":"{SQ}","opt_level":9}}"#),
+    ]
+}
+
+fn client_responses(svc: &Service, lines: &[String]) -> Vec<String> {
+    let tickets: Vec<Ticket> = lines.iter().map(|l| svc.submit(l)).collect();
+    tickets.into_iter().map(Ticket::wait).collect()
+}
+
+/// Four concurrent clients submit the identical request list against a
+/// 1-worker pool and against a 4-worker pool: all eight response lists
+/// must be byte-identical (so worker sharding, queue interleaving and
+/// cache warmth are all invisible in the bytes).
+#[test]
+fn concurrent_clients_get_byte_identical_responses_across_worker_counts() {
+    let lines = request_lines();
+    let mut transcripts: Vec<Vec<String>> = Vec::new();
+    for workers in [1usize, 4] {
+        let svc = Service::start(ServiceConfig { workers, ..ServiceConfig::default() });
+        let mut from_this_pool = std::thread::scope(|s| {
+            let handles: Vec<_> =
+                (0..4).map(|_| s.spawn(|| client_responses(&svc, &lines))).collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect::<Vec<_>>()
+        });
+        transcripts.append(&mut from_this_pool);
+    }
+    let reference = &transcripts[0];
+    assert!(reference.iter().take(6).all(|r| r.contains(r#""ok":true"#)), "{reference:?}");
+    assert!(reference[6].contains("unknown kind 'frobnicate'"), "{:?}", reference[6]);
+    assert!(reference[7].contains(r#""ok":false"#), "{:?}", reference[7]);
+    assert!(reference[8].contains(r#"\"opt_level\" must be 0, 1 or 2"#), "{:?}", reference[8]);
+    for (i, t) in transcripts.iter().enumerate() {
+        assert_eq!(
+            t, reference,
+            "client transcript {i} diverged — responses must be a pure function of the request"
+        );
+    }
+}
+
+/// A request whose deadline expires while it waits behind a slow job
+/// gets the structured deadline error (with the *configured* ms, so
+/// the line itself stays deterministic), not a hang and not a result.
+#[test]
+fn queued_past_its_deadline_is_a_structured_error() {
+    let svc = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    // Occupy the single worker long enough for the deadline to lapse.
+    let slow = svc.submit(r#"{"id":"slow","kind":"ping","sleep_ms":150}"#);
+    let doomed = svc.submit(r#"{"id":"late","kind":"ping","deadline_ms":1}"#);
+    assert_eq!(
+        doomed.wait(),
+        r#"{"id":"late","ok":false,"error":"deadline expired after 1ms in queue"}"#
+    );
+    assert!(slow.wait().contains(r#""kind":"pong""#));
+}
+
+/// A full queue answers `queue full` immediately instead of stalling
+/// the submitter; once the queue drains, the same request succeeds.
+#[test]
+fn full_queue_is_backpressure_not_a_hang() {
+    let svc =
+        Service::start(ServiceConfig { workers: 1, queue_cap: 1, ..ServiceConfig::default() });
+    let slow = svc.submit(r#"{"id":"slow","kind":"ping","sleep_ms":150}"#);
+    // Wait for the worker to pick the slow job up so the queue is
+    // empty, then fill the single slot.
+    while svc.queue_depth() > 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let queued = svc.submit(r#"{"id":"q","kind":"ping"}"#);
+    let rejected = svc.submit(r#"{"id":"r","kind":"ping"}"#);
+    assert_eq!(
+        rejected.wait(),
+        r#"{"id":"r","ok":false,"error":"queue full (1 queued): retry later"}"#
+    );
+    assert!(slow.wait().contains(r#""kind":"pong""#));
+    assert!(queued.wait().contains(r#""kind":"pong""#));
+    // Drained: the retry the error asked for now succeeds.
+    assert!(svc.submit(r#"{"id":"r2","kind":"ping"}"#).wait().contains(r#""kind":"pong""#));
+}
+
+/// `metrics` is the one deliberately non-deterministic kind: it
+/// reports observability state (cache hits, queue high-water mark)
+/// rather than computation, and it must work without the telemetry
+/// feature compiled in.
+#[test]
+fn metrics_reports_cache_and_queue_counters() {
+    let svc = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let run = format!(r#"{{"kind":"run","source":"{SQ}"}}"#);
+    svc.submit(&run).wait();
+    svc.submit(&run).wait();
+    let metrics = svc.submit(r#"{"id":9,"kind":"metrics"}"#).wait();
+    assert!(metrics.contains(r#""ok":true"#), "{metrics}");
+    for needle in [
+        "igen_session_cache_hits 1",
+        "igen_session_cache_misses 1",
+        "igen_session_cache_len 1",
+        "igen_session_queue_depth_max",
+    ] {
+        assert!(metrics.contains(needle), "metrics response missing `{needle}`: {metrics}");
+    }
+    assert_eq!(svc.cache_stats().hits, 1);
+    assert_eq!(svc.cache_stats().misses, 1);
+}
+
+/// `shutdown` flips the service into rejecting mode: in-flight and
+/// already-queued work still completes, new submissions get the
+/// structured shutting-down error.
+#[test]
+fn shutdown_drains_queued_work_then_rejects() {
+    let svc = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let slow = svc.submit(r#"{"id":"slow","kind":"ping","sleep_ms":100}"#);
+    let queued = svc.submit(r#"{"id":"q","kind":"ping"}"#);
+    let bye = svc.submit(r#"{"id":"bye","kind":"shutdown"}"#);
+    assert!(bye.is_shutdown());
+    assert!(bye.wait().contains(r#""kind":"shutdown""#));
+    let rejected = svc.submit(r#"{"id":"late","kind":"ping"}"#);
+    assert_eq!(rejected.wait(), r#"{"id":"late","ok":false,"error":"service is shutting down"}"#);
+    assert!(slow.wait().contains(r#""kind":"pong""#));
+    assert!(queued.wait().contains(r#""kind":"pong""#));
+}

@@ -1,0 +1,52 @@
+//! The warm-cache contract, pinned via telemetry span counts: a cache
+//! hit performs *zero* pipeline work — no parse, no IR build, no
+//! optimization, no lowering, no peephole, no verification. Only runs
+//! under `--features telemetry` (the spans are compiled out otherwise).
+#![cfg(feature = "telemetry")]
+
+use igen_session::{CompileRequest, Session};
+
+/// Every span the source→BatchProgram pipeline can emit.
+const PIPELINE_SPANS: [&str; 9] = [
+    "compile.parse",
+    "compile.build_ir",
+    "compile.lower",
+    "compile.emit",
+    "compile.verify",
+    "compile.renumber",
+    "vm.lower",
+    "vm.peephole",
+    "vm.verify",
+];
+
+fn pipeline_span_count() -> usize {
+    igen_telemetry::snapshot()
+        .spans
+        .iter()
+        .filter(|s| PIPELINE_SPANS.contains(&s.name.as_str()))
+        .count()
+}
+
+#[test]
+fn a_cache_hit_does_zero_pipeline_work() {
+    igen_telemetry::reset();
+    igen_telemetry::set_recording(true);
+    let session = Session::new(0);
+    let req = CompileRequest::new("double sq(double x) { return x * x; }", "warm-cache-test");
+
+    session.compile(&req).expect("compiles");
+    let cold = pipeline_span_count();
+    assert!(cold > 0, "the cold compile must record pipeline spans (recording is on)");
+
+    session.compile(&req).expect("compiles");
+    let warm = pipeline_span_count();
+    igen_telemetry::set_recording(false);
+
+    assert_eq!(
+        warm, cold,
+        "a warm-cache compile must add zero parse/lower/opt/verify spans (cold run recorded \
+         {cold}, after the hit the log holds {warm})"
+    );
+    let stats = session.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+}

@@ -43,6 +43,17 @@ mod imp {
             }
         }
 
+        /// Raises the counter to `v` if `v` exceeds the current value
+        /// (for high-water marks like `session.queue.depth_max`; the
+        /// counter stays monotonic under concurrent recorders).
+        #[inline]
+        pub fn record_max(&'static self, v: u64) {
+            self.value.fetch_max(v, Ordering::Relaxed);
+            if !self.registered.load(Ordering::Relaxed) {
+                self.register();
+            }
+        }
+
         #[cold]
         fn register(&'static self) {
             // `swap` makes exactly one thread win the registration.
@@ -101,6 +112,11 @@ mod imp {
         #[inline(always)]
         pub fn add(&'static self, _n: u64) {}
 
+        /// Raises the counter to `v` if it exceeds the current value.
+        /// No-op in this build.
+        #[inline(always)]
+        pub fn record_max(&'static self, _v: u64) {}
+
         /// Current value (always 0 in this build).
         #[inline(always)]
         pub fn value(&self) -> u64 {
@@ -146,6 +162,18 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn record_max_is_a_high_water_mark() {
+        static M: Counter = Counter::new("test.counter.max");
+        M.record_max(5);
+        M.record_max(3); // lower: ignored
+        assert_eq!(M.value(), 5);
+        M.record_max(9);
+        assert_eq!(M.value(), 9);
+        let names: Vec<&str> = counters_snapshot().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"test.counter.max"));
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub fn render_report(snap: &Snapshot) -> String {
     render_spans(&mut out, snap);
     render_simd(&mut out, snap);
     render_peephole(&mut out, snap);
+    render_session(&mut out, snap);
     render_counters(&mut out, snap);
     render_hists(&mut out, snap);
     render_profiles(&mut out, snap);
@@ -141,6 +142,28 @@ fn render_peephole(out: &mut String, snap: &Snapshot) {
     out.push_str(&format!("peephole rewrites ({total} total)\n"));
     for (key, what, v) in &rows {
         out.push_str(&format!("  {key:<9} {v:>10}  {what}\n"));
+    }
+    out.push('\n');
+}
+
+fn render_session(out: &mut String, snap: &Snapshot) {
+    // Session-layer health: compile-cache effectiveness and the worker
+    // queue's high-water mark (raw counters repeat below).
+    let hits = counter(snap, "session.cache.hits");
+    let misses = counter(snap, "session.cache.misses");
+    if hits.is_none() && misses.is_none() {
+        return;
+    }
+    let (hits, misses) = (hits.unwrap_or(0), misses.unwrap_or(0));
+    let evictions = counter(snap, "session.cache.evictions").unwrap_or(0);
+    let lookups = hits + misses;
+    let rate = if lookups > 0 { hits as f64 / lookups as f64 * 100.0 } else { 0.0 };
+    out.push_str("session\n");
+    out.push_str(&format!(
+        "  compile cache  {hits} hits / {lookups} lookups  ({rate:.1}%)  {evictions} evicted\n"
+    ));
+    if let Some(depth) = counter(snap, "session.queue.depth_max") {
+        out.push_str(&format!("  queue depth    {depth} max\n"));
     }
     out.push('\n');
 }
@@ -324,6 +347,26 @@ mod tests {
         assert!(r.contains("henon_map"), "{r}");
         assert!(r.contains("line 7:14"), "{r}");
         assert!(r.contains("2^+1.0"), "{r}");
+    }
+
+    #[test]
+    fn session_section_derives_the_hit_rate() {
+        let snap = Snapshot {
+            counters: vec![
+                ("session.cache.evictions".into(), 1),
+                ("session.cache.hits".into(), 3),
+                ("session.cache.misses".into(), 1),
+                ("session.queue.depth_max".into(), 5),
+            ],
+            ..Default::default()
+        };
+        let r = render_report(&snap);
+        assert!(r.contains("session\n"), "{r}");
+        assert!(r.contains("3 hits / 4 lookups  (75.0%)  1 evicted"), "{r}");
+        assert!(r.contains("queue depth    5 max"), "{r}");
+        // Absent counters: no session section.
+        let r2 = render_report(&Snapshot::default());
+        assert!(!r2.contains("session\n"), "{r2}");
     }
 
     #[test]

@@ -496,10 +496,7 @@ mod tests {
         assert!(m.contains("igen_counter{name=\"simd.add.packed_calls\"} 4096"), "{m}");
         assert!(m.contains("igen_width_count{name=\"width.batch.dot\"} 512"), "{m}");
         assert!(m.contains("igen_width_unbounded{name=\"width.batch.dot\"} 12"), "{m}");
-        assert!(
-            m.contains("igen_profile_count{unit=\"henon_map\",site=\"3\",line=\"7\""),
-            "{m}"
-        );
+        assert!(m.contains("igen_profile_count{unit=\"henon_map\",site=\"3\",line=\"7\""), "{m}");
         assert!(m.contains("igen_profile_total_ns"), "{m}");
         assert!(m.contains("igen_profile_mean_amp_log2"), "{m}");
         // Every line is `name{labels} value`.

@@ -470,7 +470,10 @@ impl Lowerer {
 
     fn ddi_const(&mut self, v: &DdI, loc: SrcLoc) -> Result<u32, LowerError> {
         let (lo, hi) = (v.lo(), v.hi());
-        self.konst(PoolConst { lo_hi: lo.hi(), lo_lo: lo.lo(), hi_hi: hi.hi(), hi_lo: hi.lo() }, loc)
+        self.konst(
+            PoolConst { lo_hi: lo.hi(), lo_lo: lo.lo(), hi_hi: hi.hi(), hi_lo: hi.lo() },
+            loc,
+        )
     }
 
     // --- variable environment -------------------------------------------

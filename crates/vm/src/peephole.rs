@@ -355,10 +355,9 @@ pub fn peephole(p: &Program) -> (Program, PeepholeStats) {
     // destinations, so execution order is preserved for everything that
     // reads them, and the dump shows the constant bank contiguously.
     // Sites partition along with their instructions.
-    let (const_part, body_part): (Vec<(Insn, SrcLoc)>, Vec<(Insn, SrcLoc)>) = insns
-        .into_iter()
-        .zip(sites)
-        .partition(|(i, _)| matches!(i, Insn::Const { .. }));
+    type SitedInsns = Vec<(Insn, SrcLoc)>;
+    let (const_part, body_part): (SitedInsns, SitedInsns) =
+        insns.into_iter().zip(sites).partition(|(i, _)| matches!(i, Insn::Const { .. }));
     let (const_insns, const_sites): (Vec<Insn>, Vec<SrcLoc>) = const_part.into_iter().unzip();
     let (body, body_sites): (Vec<Insn>, Vec<SrcLoc>) = body_part.into_iter().unzip();
 

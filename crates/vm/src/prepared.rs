@@ -332,10 +332,9 @@ pub fn run_tile_profiled<T: VmElem, L: LaneOrScalar<T>>(
         let mut max_in = vec![0.0f64; n_groups * L::WIDTH];
         for g in 0..n_groups {
             for l in 0..L::WIDTH {
-                max_in[g * L::WIDTH + l] =
-                    crate::exec::max_src_rel(insn, |r| {
-                        bank.bank[r as usize * tile + g].lane_l(l).endpoints_f64()
-                    });
+                max_in[g * L::WIDTH + l] = crate::exec::max_src_rel(insn, |r| {
+                    bank.bank[r as usize * tile + g].lane_l(l).endpoints_f64()
+                });
             }
         }
         let t0 = prof.now_ns();
@@ -350,20 +349,14 @@ pub fn run_tile_profiled<T: VmElem, L: LaneOrScalar<T>>(
                 Insn::Sub { dst, a, b } => sweep2(bk, tile, n_groups, dst, a, b, |x, y| x - y),
                 Insn::Mul { dst, a, b } => sweep2(bk, tile, n_groups, dst, a, b, |x, y| x * y),
                 Insn::Div { dst, a, b } => sweep2(bk, tile, n_groups, dst, a, b, |x, y| x / y),
-                Insn::Min { dst, a, b } => {
-                    sweep2(bk, tile, n_groups, dst, a, b, |x, y| x.min_l(y))
-                }
-                Insn::Max { dst, a, b } => {
-                    sweep2(bk, tile, n_groups, dst, a, b, |x, y| x.max_l(y))
-                }
+                Insn::Min { dst, a, b } => sweep2(bk, tile, n_groups, dst, a, b, |x, y| x.min_l(y)),
+                Insn::Max { dst, a, b } => sweep2(bk, tile, n_groups, dst, a, b, |x, y| x.max_l(y)),
                 Insn::Neg { dst, a } => sweep1(bk, tile, n_groups, dst, a, |x| -x),
                 Insn::Sqrt { dst, a } => sweep1(bk, tile, n_groups, dst, a, |x| x.sqrt_l()),
                 Insn::Abs { dst, a } => sweep1(bk, tile, n_groups, dst, a, |x| x.abs_l()),
                 Insn::Sqr { dst, a } => sweep1(bk, tile, n_groups, dst, a, |x| x.sqr_l()),
                 Insn::Pow { dst, a, n } => {
-                    sweep1(bk, tile, n_groups, dst, a, |x| {
-                        L::from_fn_l(|i| x.lane_l(i).powi_e(n))
-                    })
+                    sweep1(bk, tile, n_groups, dst, a, |x| L::from_fn_l(|i| x.lane_l(i).powi_e(n)))
                 }
                 Insn::MulAdd { dst, a, b, acc } => {
                     sweep3(bk, tile, n_groups, dst, a, b, acc, |x, y, z| z + (x * y))

@@ -16,13 +16,19 @@
 //!                [--metrics] [--trace-out <path>]
 //! igen-cli profile <input.c> [--fn NAME] [--batch N] [--opt-level 0|1|2]
 //!                  [--precision f64|dd] [--top N] [--trace-out <path>] ...
+//! igen-cli serve [--socket <path>] [--workers N] [--deadline-ms N]
+//!                [--cache-cap N] [--queue-cap N] [--record]
 //! igen-cli report <trace.jsonl>...
 //! ```
 //!
 //! `run` compiles a C function once into register bytecode and executes
 //! it over a generated input batch on the multi-threaded packed path,
 //! verifying bit identity against the single-thread run and against the
-//! differential interpreter before reporting throughput.
+//! differential interpreter before reporting throughput. The
+//! source→bytecode pipeline itself lives in `igen-session`
+//! ([`igen::session::compile_uncached`]); `run` and `profile` are thin
+//! clients over it, and `serve` keeps it resident behind a compile
+//! cache for request/response use.
 //!
 //! The `compile` subcommand name is optional for backward compatibility:
 //! `igen-cli input.c` behaves identically.
@@ -34,7 +40,8 @@
 //! more trace files — concatenated traces merge, so a compile trace and
 //! a run trace can be reported together.
 
-use igen::compiler::{BranchPolicy, Compiler, Config, OptLevel, OutputVec, Precision};
+use igen::compiler::{BranchPolicy, Config, OptLevel, OutputVec, Precision};
+use igen::session::{compile_uncached, BindRequest, CompileRequest, Flags};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -149,6 +156,23 @@ fn usage() -> ! {
            profiled outputs are bit-identical to the unprofiled run, and\n\
            ranks source sites by time share and by width amplification.\n\
          \n\
+         serve mode (always-on JSON-lines interval service):\n\
+           igen-cli serve [options]\n\
+           --socket <path>     serve a Unix socket instead of stdio\n\
+           --workers <n>       worker threads (default: all cores; 0 = all)\n\
+           --deadline-ms <n>   default per-request queue deadline (0 = none;\n\
+                               a request's own deadline_ms overrides)\n\
+           --cache-cap <n>     compiled-program cache capacity (default: 64)\n\
+           --queue-cap <n>     pending-request bound (default: 64); a full\n\
+                               queue answers 'queue full' instead of stalling\n\
+           --record            record telemetry spans while serving (trace\n\
+                               memory grows unboundedly; prefer the metrics\n\
+                               request kind for steady-state observability)\n\
+           One JSON request per line on stdin (or per connection on the\n\
+           socket), one JSON response per line: kinds compile, run,\n\
+           profile, metrics, ping, shutdown. Compiled programs are\n\
+           verified once, cached, and shared across requests.\n\
+         \n\
          report mode (render recorded traces):\n\
            igen-cli report <trace.jsonl>...   merge + summarize trace files"
     );
@@ -206,7 +230,8 @@ fn run_batch(args: &[String]) -> ExitCode {
     use igen::kernels::ffnn::Ffnn;
     use igen::kernels::{linalg, workload};
 
-    let Some(kernel) = args.first() else { batch_usage() };
+    let mut f = Flags::new(args);
+    let Some(kernel) = f.next() else { batch_usage() };
     let mut threads = 0usize; // 0 = all cores
     let mut batch = 256usize;
     let mut size = 256usize;
@@ -214,29 +239,25 @@ fn run_batch(args: &[String]) -> ExitCode {
     let mut seq_threshold: Option<usize> = None;
     let mut metrics = false;
     let mut trace_out: Option<String> = None;
-    let mut i = 1;
-    let num = |args: &[String], i: &mut usize| -> usize {
-        *i += 1;
-        args.get(*i).and_then(|s| s.parse().ok()).unwrap_or_else(|| batch_usage())
-    };
-    while i < args.len() {
-        match args[i].as_str() {
-            "--threads" => threads = num(args, &mut i),
-            "--batch" => batch = num(args, &mut i),
-            "--size" => size = num(args, &mut i),
-            "--iters" => iters = num(args, &mut i),
-            "--seq-threshold" => seq_threshold = Some(num(args, &mut i)),
+    // This mode's historical behavior: any missing/unparsable value
+    // prints the batch usage text, so the Flags messages are unused.
+    let num = |f: &mut Flags| -> usize { f.parse(" ", " ").unwrap_or_else(|_| batch_usage()) };
+    while let Some(a) = f.next() {
+        match a {
+            "--threads" => threads = num(&mut f),
+            "--batch" => batch = num(&mut f),
+            "--size" => size = num(&mut f),
+            "--iters" => iters = num(&mut f),
+            "--seq-threshold" => seq_threshold = Some(num(&mut f)),
             "--metrics" => metrics = true,
             "--trace-out" => {
-                i += 1;
-                trace_out = Some(args.get(i).cloned().unwrap_or_else(|| batch_usage()));
+                trace_out = Some(f.next().unwrap_or_else(|| batch_usage()).to_string());
             }
             a => {
                 eprintln!("igen-cli: unknown batch option '{a}' (see igen-cli --help)");
                 std::process::exit(2)
             }
         }
-        i += 1;
     }
     let tel = Telemetry::start(metrics, trace_out);
     let mut cfg = BatchConfig::new().with_threads(threads);
@@ -252,7 +273,7 @@ fn run_batch(args: &[String]) -> ExitCode {
     };
 
     // Each arm: (total interval ops, one-thread time, n-thread time, identical?)
-    let (iops, t1, tn, same) = match kernel.as_str() {
+    let (iops, t1, tn, same) = match kernel {
         "dot" => {
             let xs = inputs(&mut rng, batch * size);
             let ys = inputs(&mut rng, batch * size);
@@ -338,75 +359,46 @@ fn run_batch(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Picks the function to compile: `--fn`, or the file's only definition.
-fn pick_function(
-    out: &igen::compiler::Output,
-    want: Option<String>,
-    input: &str,
-) -> Result<String, String> {
-    let names: Vec<&str> = out.ir.functions().map(|f| f.name.as_str()).collect();
-    match want {
-        Some(n) => {
-            if !names.contains(&n.as_str()) {
-                return Err(format!("no function '{n}' in {input}"));
-            }
-            Ok(n)
-        }
-        None => match names.as_slice() {
-            [only] => Ok(only.to_string()),
-            _ => Err(format!(
-                "{input} defines {} functions; pick one with --fn <name>",
-                names.len()
-            )),
-        },
-    }
+/// Prints a one-line usage error and exits 2 — the shape every
+/// subcommand's diagnostics share.
+fn fail2(msg: String) -> ExitCode {
+    eprintln!("igen-cli: {msg}");
+    ExitCode::from(2)
 }
 
-/// Binds parameters for batched execution: interval scalars and arrays
-/// feed the batch, integer parameters are fixed via `--arg`, pointer
-/// lengths come from `--len` (default `size`).
-fn build_binds(
-    func: &igen::ir::IrFunction,
-    int_args: &[(String, i64)],
-    lens: &[(String, usize)],
-    size: usize,
-) -> Result<igen::vm::BindSpec, String> {
-    use igen::cfront::Type;
-    use igen::vm::{ArgBind, BindSpec};
-    let mut binds = Vec::new();
-    for p in &func.params {
-        match &p.ty {
-            Type::Named(_) => binds.push(ArgBind::Ival),
-            Type::Ptr(_) | Type::Array(_, _) => {
-                let len = lens.iter().find(|(n, _)| *n == p.name).map(|&(_, l)| l).unwrap_or(size);
-                binds.push(ArgBind::InOut(len));
-            }
-            Type::Int | Type::UInt | Type::Long | Type::ULong => {
-                match int_args.iter().find(|(n, _)| *n == p.name) {
-                    Some(&(_, v)) => binds.push(ArgBind::Int(v)),
-                    None => {
-                        return Err(format!(
-                            "integer parameter '{}' needs --arg {}=<value>",
-                            p.name, p.name
-                        ))
-                    }
-                }
-            }
-            other => {
-                return Err(format!("parameter '{}' has unsupported type {other:?}", p.name));
-            }
+/// Unwraps a flag-parse result, exiting 2 with the one-line message on
+/// failure (keeps the `while let` loops below readable).
+macro_rules! flag {
+    ($e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(msg) => return fail2(msg),
+        }
+    };
+}
+
+/// Compiles `req` through the shared session pipeline, mapping
+/// [`igen::session::SessionError`] onto the CLI's historical exit
+/// codes: usage errors (bad `--fn`, missing `--arg`) exit 2,
+/// compile/lowering failures exit 1 — with byte-identical messages.
+fn compile_unit(req: &CompileRequest) -> Result<igen::session::CompiledUnit, ExitCode> {
+    match compile_uncached(req, false) {
+        Ok(unit) => Ok(unit),
+        Err(e) if e.is_usage() => Err(fail2(e.to_string())),
+        Err(e) => {
+            eprintln!("igen-cli: {e}");
+            Err(ExitCode::FAILURE)
         }
     }
-    Ok(BindSpec::new(binds))
 }
 
 /// `igen-cli run <input.c>`: compiles one function into register
-/// bytecode and executes it over a generated input batch on the packed
-/// multi-threaded path, pinning the result against both the
-/// single-thread run and the differential interpreter before reporting
-/// throughput.
+/// bytecode via the `igen-session` pipeline and executes it over a
+/// generated input batch on the packed multi-threaded path, pinning the
+/// result against both the single-thread run and the differential
+/// interpreter before reporting throughput.
 fn run_run(args: &[String]) -> ExitCode {
-    use igen::batch::{BatchConfig, BatchDdI, BatchF64I, BatchProgram};
+    use igen::batch::{BatchConfig, BatchDdI, BatchF64I};
     use igen::kernels::workload;
 
     let mut input: Option<String> = None;
@@ -424,39 +416,16 @@ fn run_run(args: &[String]) -> ExitCode {
     let mut int_args: Vec<(String, i64)> = Vec::new();
     let mut lens: Vec<(String, usize)> = Vec::new();
 
-    let fail2 = |msg: String| -> ExitCode {
-        eprintln!("igen-cli: {msg}");
-        ExitCode::from(2)
-    };
-    let mut i = 0;
-    while i < args.len() {
-        let take = |args: &[String], i: &mut usize| -> Option<String> {
-            *i += 1;
-            args.get(*i).cloned()
-        };
-        match args[i].as_str() {
-            "--fn" => match take(args, &mut i) {
-                Some(v) => fn_name = Some(v),
-                None => return fail2("--fn needs a function name".into()),
-            },
-            "--batch" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
-                Some(v) => batch = v,
-                None => return fail2("--batch needs a count".into()),
-            },
-            "--threads" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
-                Some(v) => threads = v,
-                None => return fail2("--threads needs a count".into()),
-            },
-            "--size" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
-                Some(v) => size = v,
-                None => return fail2("--size needs a count".into()),
-            },
-            "--seed" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
-                Some(v) => seed = v,
-                None => return fail2("--seed needs an integer".into()),
-            },
+    let mut f = Flags::new(args);
+    while let Some(a) = f.next() {
+        match a {
+            "--fn" => fn_name = Some(flag!(f.value("--fn", "a function name")).to_string()),
+            "--batch" => batch = flag!(f.parse("--batch", "a count")),
+            "--threads" => threads = flag!(f.parse("--threads", "a count")),
+            "--size" => size = flag!(f.parse("--size", "a count")),
+            "--seed" => seed = flag!(f.parse("--seed", "an integer")),
             "--opt-level" => {
-                cfg.opt_level = match take(args, &mut i).as_deref() {
+                cfg.opt_level = match f.next() {
                     Some("0") => OptLevel::O0,
                     Some("1") => OptLevel::O1,
                     Some("2") => OptLevel::O2,
@@ -464,37 +433,19 @@ fn run_run(args: &[String]) -> ExitCode {
                 };
             }
             "--precision" => {
-                cfg.precision = match take(args, &mut i).as_deref() {
+                cfg.precision = match f.next() {
                     Some("f64") => Precision::F64,
                     Some("dd") => Precision::Dd,
                     _ => return fail2("run supports --precision f64 or dd".into()),
                 };
             }
-            "--arg" => {
-                let v = take(args, &mut i).unwrap_or_default();
-                match v.split_once('=').and_then(|(n, x)| Some((n, x.parse::<i64>().ok()?))) {
-                    Some((n, x)) => int_args.push((n.to_string(), x)),
-                    None => return fail2(format!("bad --arg '{v}' (expected name=integer)")),
-                }
-            }
-            "--len" => {
-                let v = take(args, &mut i).unwrap_or_default();
-                match v.split_once('=').and_then(|(n, x)| Some((n, x.parse::<usize>().ok()?))) {
-                    Some((n, x)) => lens.push((n.to_string(), x)),
-                    None => return fail2(format!("bad --len '{v}' (expected name=count)")),
-                }
-            }
+            "--arg" => int_args.push(flag!(f.pair("--arg", "name=integer"))),
+            "--len" => lens.push(flag!(f.pair("--len", "name=count"))),
             "--emit-bytecode" => emit_bytecode = true,
             "--no-peephole" => no_peephole = true,
-            "--tile" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
-                Some(v) => tile = v,
-                None => return fail2("--tile needs a group count".into()),
-            },
+            "--tile" => tile = flag!(f.parse("--tile", "a group count")),
             "--metrics" => metrics = true,
-            "--trace-out" => match take(args, &mut i) {
-                Some(v) => trace_out = Some(v),
-                None => return fail2("--trace-out needs a path".into()),
-            },
+            "--trace-out" => trace_out = Some(flag!(f.value("--trace-out", "a path")).to_string()),
             "-h" | "--help" => usage(),
             a if a.starts_with('-') => {
                 return fail2(format!("unknown run option '{a}' (see igen-cli --help)"));
@@ -505,7 +456,6 @@ fn run_run(args: &[String]) -> ExitCode {
                 }
             }
         }
-        i += 1;
     }
     let Some(input) = input else {
         return fail2("run needs an input file (see igen-cli --help)".into());
@@ -519,43 +469,26 @@ fn run_run(args: &[String]) -> ExitCode {
         Ok(s) => s,
         Err(e) => return fail2(format!("cannot read {input}: {e}")),
     };
-    let out = match Compiler::new(cfg).compile_str(&src) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("igen-cli: {input}: {e}");
-            return ExitCode::FAILURE;
-        }
+    let unit = match compile_unit(&CompileRequest {
+        source: src.into(),
+        origin: input.clone(),
+        fn_name,
+        cfg,
+        bind: BindRequest::FromParams { int_args, lens, size },
+        peephole: !no_peephole,
+    }) {
+        Ok(u) => u,
+        Err(code) => return code,
     };
-
-    let fn_name = match pick_function(&out, fn_name, &input) {
-        Ok(n) => n,
-        Err(e) => return fail2(e),
-    };
-    let func = out.ir.functions().find(|f| f.name == fn_name).expect("function exists");
-    let bind = match build_binds(func, &int_args, &lens, size) {
-        Ok(b) => b,
-        Err(e) => return fail2(e),
-    };
-    // --no-peephole keeps the raw SSA lowering; the default runs the
-    // endpoint-exact peephole pass. Either way --emit-bytecode prints
-    // the program that actually executes below.
-    let prog = match if no_peephole {
-        igen::compiler::compile_to_program_raw(&out, &fn_name, &bind)
-    } else {
-        igen::compiler::compile_to_program(&out, &fn_name, &bind)
-    } {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("igen-cli: {fn_name}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    // Either lowering path feeds --emit-bytecode the program that
+    // actually executes below.
     if emit_bytecode {
-        print!("{}", prog.dump());
+        print!("{}", unit.batch.program().dump());
     }
-    let nin = prog.n_inputs as usize;
-    let nout = prog.outputs.len();
-    let n_insns = prog.insns.len();
+    let fn_name = &unit.fn_name;
+    let nin = unit.n_inputs();
+    let nout = unit.n_outputs();
+    let n_insns = unit.batch.program().insns.len();
     let check_items = batch.min(8);
     let mut rng = workload::rng(seed);
 
@@ -567,39 +500,40 @@ fn run_run(args: &[String]) -> ExitCode {
         Precision::Dd => {
             let ivals = workload::dd_intervals_1ulp(&mut rng, batch * nin, -2.0, 2.0);
             if let Err(e) = igen::compiler::verify_bit_identity_dd(
-                &out,
-                &prog,
-                &bind,
+                &unit.out,
+                unit.batch.program(),
+                &unit.bind,
                 &ivals[..check_items * nin],
             ) {
                 eprintln!("igen-cli: {fn_name}: {e}");
                 return ExitCode::FAILURE;
             }
-            let bp = BatchProgram::new(prog);
             let soa = BatchDdI::from_intervals(&ivals);
             let t = Instant::now();
-            let a = bp.run_dd(&seq, &soa);
+            let a = unit.batch.run_dd(&seq, &soa);
             let t1 = t.elapsed();
             let t = Instant::now();
-            let b = bp.run_dd(&par, &soa);
+            let b = unit.batch.run_dd(&par, &soa);
             (t1, t.elapsed(), a == b)
         }
         _ => {
             let pts = workload::random_points(&mut rng, batch * nin, -2.0, 2.0);
             let ivals = workload::intervals_1ulp(&pts);
-            if let Err(e) =
-                igen::compiler::verify_bit_identity(&out, &prog, &bind, &ivals[..check_items * nin])
-            {
+            if let Err(e) = igen::compiler::verify_bit_identity(
+                &unit.out,
+                unit.batch.program(),
+                &unit.bind,
+                &ivals[..check_items * nin],
+            ) {
                 eprintln!("igen-cli: {fn_name}: {e}");
                 return ExitCode::FAILURE;
             }
-            let bp = BatchProgram::new(prog);
             let soa = BatchF64I::from_intervals(&ivals);
             let t = Instant::now();
-            let a = bp.run(&seq, &soa);
+            let a = unit.batch.run(&seq, &soa);
             let t1 = t.elapsed();
             let t = Instant::now();
-            let b = bp.run(&par, &soa);
+            let b = unit.batch.run(&par, &soa);
             (t1, t.elapsed(), a == b)
         }
     };
@@ -623,14 +557,14 @@ fn run_run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `igen-cli profile <input.c>`: compiles one function, runs it over a
-/// generated input batch with per-instruction width-provenance
-/// profiling, verifies the profiled outputs are bit-identical to the
-/// unprofiled run (at 1 thread and at `--threads`), and prints a blame
-/// report — the source sites costing the most time and amplifying
-/// enclosure width the most.
+/// `igen-cli profile <input.c>`: compiles one function (again via the
+/// shared `igen-session` pipeline), runs it over a generated input
+/// batch with per-instruction width-provenance profiling, verifies the
+/// profiled outputs are bit-identical to the unprofiled run (at 1
+/// thread and at `--threads`), and prints a blame report — the source
+/// sites costing the most time and amplifying enclosure width the most.
 fn run_profile(args: &[String]) -> ExitCode {
-    use igen::batch::{BatchConfig, BatchDdI, BatchF64I, BatchProgram};
+    use igen::batch::{BatchConfig, BatchDdI, BatchF64I};
     use igen::kernels::workload;
 
     let mut input: Option<String> = None;
@@ -647,43 +581,17 @@ fn run_profile(args: &[String]) -> ExitCode {
     let mut int_args: Vec<(String, i64)> = Vec::new();
     let mut lens: Vec<(String, usize)> = Vec::new();
 
-    let fail2 = |msg: String| -> ExitCode {
-        eprintln!("igen-cli: {msg}");
-        ExitCode::from(2)
-    };
-    let mut i = 0;
-    while i < args.len() {
-        let take = |args: &[String], i: &mut usize| -> Option<String> {
-            *i += 1;
-            args.get(*i).cloned()
-        };
-        match args[i].as_str() {
-            "--fn" => match take(args, &mut i) {
-                Some(v) => fn_name = Some(v),
-                None => return fail2("--fn needs a function name".into()),
-            },
-            "--batch" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
-                Some(v) => batch = v,
-                None => return fail2("--batch needs a count".into()),
-            },
-            "--threads" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
-                Some(v) => threads = v,
-                None => return fail2("--threads needs a count".into()),
-            },
-            "--size" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
-                Some(v) => size = v,
-                None => return fail2("--size needs a count".into()),
-            },
-            "--seed" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
-                Some(v) => seed = v,
-                None => return fail2("--seed needs an integer".into()),
-            },
-            "--top" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
-                Some(v) => top = v,
-                None => return fail2("--top needs a count".into()),
-            },
+    let mut f = Flags::new(args);
+    while let Some(a) = f.next() {
+        match a {
+            "--fn" => fn_name = Some(flag!(f.value("--fn", "a function name")).to_string()),
+            "--batch" => batch = flag!(f.parse("--batch", "a count")),
+            "--threads" => threads = flag!(f.parse("--threads", "a count")),
+            "--size" => size = flag!(f.parse("--size", "a count")),
+            "--seed" => seed = flag!(f.parse("--seed", "an integer")),
+            "--top" => top = flag!(f.parse("--top", "a count")),
             "--opt-level" => {
-                cfg.opt_level = match take(args, &mut i).as_deref() {
+                cfg.opt_level = match f.next() {
                     Some("0") => OptLevel::O0,
                     Some("1") => OptLevel::O1,
                     Some("2") => OptLevel::O2,
@@ -691,35 +599,17 @@ fn run_profile(args: &[String]) -> ExitCode {
                 };
             }
             "--precision" => {
-                cfg.precision = match take(args, &mut i).as_deref() {
+                cfg.precision = match f.next() {
                     Some("f64") => Precision::F64,
                     Some("dd") => Precision::Dd,
                     _ => return fail2("profile supports --precision f64 or dd".into()),
                 };
             }
-            "--arg" => {
-                let v = take(args, &mut i).unwrap_or_default();
-                match v.split_once('=').and_then(|(n, x)| Some((n, x.parse::<i64>().ok()?))) {
-                    Some((n, x)) => int_args.push((n.to_string(), x)),
-                    None => return fail2(format!("bad --arg '{v}' (expected name=integer)")),
-                }
-            }
-            "--len" => {
-                let v = take(args, &mut i).unwrap_or_default();
-                match v.split_once('=').and_then(|(n, x)| Some((n, x.parse::<usize>().ok()?))) {
-                    Some((n, x)) => lens.push((n.to_string(), x)),
-                    None => return fail2(format!("bad --len '{v}' (expected name=count)")),
-                }
-            }
+            "--arg" => int_args.push(flag!(f.pair("--arg", "name=integer"))),
+            "--len" => lens.push(flag!(f.pair("--len", "name=count"))),
             "--no-peephole" => no_peephole = true,
-            "--tile" => match take(args, &mut i).and_then(|v| v.parse().ok()) {
-                Some(v) => tile = v,
-                None => return fail2("--tile needs a group count".into()),
-            },
-            "--trace-out" => match take(args, &mut i) {
-                Some(v) => trace_out = Some(v),
-                None => return fail2("--trace-out needs a path".into()),
-            },
+            "--tile" => tile = flag!(f.parse("--tile", "a group count")),
+            "--trace-out" => trace_out = Some(flag!(f.value("--trace-out", "a path")).to_string()),
             "-h" | "--help" => usage(),
             a if a.starts_with('-') => {
                 return fail2(format!("unknown profile option '{a}' (see igen-cli --help)"));
@@ -730,7 +620,6 @@ fn run_profile(args: &[String]) -> ExitCode {
                 }
             }
         }
-        i += 1;
     }
     let Some(input) = input else {
         return fail2("profile needs an input file (see igen-cli --help)".into());
@@ -750,36 +639,22 @@ fn run_profile(args: &[String]) -> ExitCode {
         Ok(s) => s,
         Err(e) => return fail2(format!("cannot read {input}: {e}")),
     };
-    let out = match Compiler::new(cfg).compile_str(&src) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("igen-cli: {input}: {e}");
-            return ExitCode::FAILURE;
-        }
+    let unit = match compile_unit(&CompileRequest {
+        source: src.as_str().into(),
+        origin: input.clone(),
+        fn_name,
+        cfg,
+        bind: BindRequest::FromParams { int_args, lens, size },
+        peephole: !no_peephole,
+    }) {
+        Ok(u) => u,
+        Err(code) => return code,
     };
-    let fn_name = match pick_function(&out, fn_name, &input) {
-        Ok(n) => n,
-        Err(e) => return fail2(e),
-    };
-    let func = out.ir.functions().find(|f| f.name == fn_name).expect("function exists");
-    let bind = match build_binds(func, &int_args, &lens, size) {
-        Ok(b) => b,
-        Err(e) => return fail2(e),
-    };
-    let prog = match if no_peephole {
-        igen::compiler::compile_to_program_raw(&out, &fn_name, &bind)
-    } else {
-        igen::compiler::compile_to_program(&out, &fn_name, &bind)
-    } {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("igen-cli: {fn_name}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let fn_name = unit.fn_name.clone();
+    let prog = unit.batch.program();
     let known_sites = prog.debug.sites.iter().filter(|s| s.is_known()).count();
     let n_insns = prog.insns.len();
-    let nin = prog.n_inputs as usize;
+    let nin = unit.n_inputs();
     let mut rng = workload::rng(seed);
 
     // Reference runs first (unprofiled, recording off): 1 thread and
@@ -787,30 +662,27 @@ fn run_profile(args: &[String]) -> ExitCode {
     // both bit for bit.
     let seq = BatchConfig::new().with_threads(1).with_seq_threshold(0).with_tile_groups(tile);
     let par = BatchConfig::new().with_threads(threads).with_seq_threshold(0).with_tile_groups(tile);
-    let unit = fn_name.clone();
     let same = match cfg.precision {
         Precision::Dd => {
             let ivals = workload::dd_intervals_1ulp(&mut rng, batch * nin, -2.0, 2.0);
-            let bp = BatchProgram::new(prog);
             let soa = BatchDdI::from_intervals(&ivals);
-            let a = bp.run_dd(&seq, &soa);
-            let b = bp.run_dd(&par, &soa);
+            let a = unit.batch.run_dd(&seq, &soa);
+            let b = unit.batch.run_dd(&par, &soa);
             igen::telemetry::set_recording(true);
-            let mut prof = igen::telemetry::UnitProfiler::start(&unit, n_insns);
-            let c = bp.run_dd_profiled(&seq, &soa, &mut prof);
+            let mut prof = igen::telemetry::UnitProfiler::start(&fn_name, n_insns);
+            let c = unit.batch.run_dd_profiled(&seq, &soa, &mut prof);
             prof.finish();
             a == b && a == c
         }
         _ => {
             let pts = workload::random_points(&mut rng, batch * nin, -2.0, 2.0);
             let ivals = workload::intervals_1ulp(&pts);
-            let bp = BatchProgram::new(prog);
             let soa = BatchF64I::from_intervals(&ivals);
-            let a = bp.run(&seq, &soa);
-            let b = bp.run(&par, &soa);
+            let a = unit.batch.run(&seq, &soa);
+            let b = unit.batch.run(&par, &soa);
             igen::telemetry::set_recording(true);
-            let mut prof = igen::telemetry::UnitProfiler::start(&unit, n_insns);
-            let c = bp.run_profiled(&seq, &soa, &mut prof);
+            let mut prof = igen::telemetry::UnitProfiler::start(&fn_name, n_insns);
+            let c = unit.batch.run_profiled(&seq, &soa, &mut prof);
             prof.finish();
             a == b && a == c
         }
@@ -829,7 +701,7 @@ fn run_profile(args: &[String]) -> ExitCode {
         }
         eprintln!("wrote {path}");
     }
-    let rows: Vec<_> = snap.profiles.iter().filter(|r| r.unit == unit).collect();
+    let rows: Vec<_> = snap.profiles.iter().filter(|r| r.unit == fn_name).collect();
     println!(
         "{fn_name}: {n_insns} insns ({known_sites} with source locations), \
          batch={batch}, profiled outputs bit-identical to unprofiled: yes"
@@ -840,6 +712,60 @@ fn run_profile(args: &[String]) -> ExitCode {
     }
     print!("{}", render_blame(&rows, &src, &input, top));
     ExitCode::SUCCESS
+}
+
+/// `igen-cli serve`: the always-on interval service — a persistent
+/// worker pool over the `igen-session` compile cache, speaking the
+/// JSON-lines protocol on stdio or a Unix socket (see
+/// `igen::session::service`).
+fn run_serve(args: &[String]) -> ExitCode {
+    use igen::session::{serve_lines, Service, ServiceConfig};
+
+    let mut cfg = ServiceConfig::default();
+    let mut socket: Option<String> = None;
+    let mut record = false;
+    let mut f = Flags::new(args);
+    while let Some(a) = f.next() {
+        match a {
+            "--socket" => socket = Some(flag!(f.value("--socket", "a path")).to_string()),
+            "--workers" => cfg.workers = flag!(f.parse("--workers", "a count")),
+            "--deadline-ms" => {
+                cfg.deadline_ms = flag!(f.parse("--deadline-ms", "a count in milliseconds"));
+            }
+            "--cache-cap" => cfg.cache_cap = flag!(f.parse("--cache-cap", "a count")),
+            "--queue-cap" => cfg.queue_cap = flag!(f.parse("--queue-cap", "a count")),
+            "--record" => record = true,
+            "-h" | "--help" => usage(),
+            a => return fail2(format!("unknown serve option '{a}' (see igen-cli --help)")),
+        }
+    }
+    if record {
+        if !igen::telemetry::COMPILED_IN {
+            eprintln!(
+                "igen-cli: note: built without the `telemetry` feature — \
+                 --record will trace nothing (rebuild with `--features telemetry`)"
+            );
+        }
+        igen::telemetry::set_recording(true);
+    }
+    let svc = Service::start(cfg);
+    let served = match socket {
+        #[cfg(unix)]
+        Some(path) => igen::session::serve_unix(&svc, std::path::Path::new(&path)),
+        #[cfg(not(unix))]
+        Some(_) => {
+            eprintln!("igen-cli: --socket needs a unix platform (use stdio)");
+            return ExitCode::from(2);
+        }
+        None => serve_lines(&svc, std::io::stdin().lock(), std::io::stdout()).map(|_| ()),
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("igen-cli: serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Renders the ranked blame tables: top sites by execution-time share
@@ -858,7 +784,8 @@ fn render_blame(
         .map(|f| f.to_string_lossy().into_owned())
         .unwrap_or_else(|| input.to_string());
     let excerpt = |line: u32| -> String {
-        let text = if line > 0 { lines.get(line as usize - 1).map_or("", |l| l.trim()) } else { "" };
+        let text =
+            if line > 0 { lines.get(line as usize - 1).map_or("", |l| l.trim()) } else { "" };
         let mut t = text.to_string();
         if t.len() > 48 {
             t.truncate(47);
@@ -929,20 +856,13 @@ fn format_ns(ns: u64) -> String {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("batch") {
-        return run_batch(&args[1..]);
-    }
-    if args.first().map(String::as_str) == Some("run") {
-        return run_run(&args[1..]);
-    }
-    if args.first().map(String::as_str) == Some("profile") {
-        return run_profile(&args[1..]);
-    }
-    if args.first().map(String::as_str) == Some("report") {
-        return run_report(&args[1..]);
-    }
-    // `compile` is the canonical subcommand; the bare form stays accepted.
     match args.first().map(String::as_str) {
+        Some("batch") => return run_batch(&args[1..]),
+        Some("run") => return run_run(&args[1..]),
+        Some("profile") => return run_profile(&args[1..]),
+        Some("serve") => return run_serve(&args[1..]),
+        Some("report") => return run_report(&args[1..]),
+        // `compile` is the canonical subcommand; the bare form stays accepted.
         Some("compile") => {
             args.remove(0);
         }
@@ -951,7 +871,7 @@ fn main() -> ExitCode {
         Some(a) if !a.starts_with('-') && !a.contains('.') && !a.contains('/') => {
             eprintln!(
                 "igen-cli: unknown subcommand '{a}' \
-                 (expected compile, run, batch, profile or report)"
+                 (expected compile, run, batch, profile, serve or report)"
             );
             return ExitCode::from(2);
         }
@@ -967,16 +887,12 @@ fn main() -> ExitCode {
     let mut metrics = false;
     let mut trace_out: Option<String> = None;
 
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "-o" => {
-                i += 1;
-                output = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
+    let mut f = Flags::new(&args);
+    while let Some(a) = f.next() {
+        match a {
+            "-o" => output = Some(f.next().unwrap_or_else(|| usage()).to_string()),
             "--precision" => {
-                i += 1;
-                cfg.precision = match args.get(i).map(String::as_str) {
+                cfg.precision = match f.next() {
                     Some("f32") => Precision::F32,
                     Some("f64") => Precision::F64,
                     Some("dd") => Precision::Dd,
@@ -984,8 +900,7 @@ fn main() -> ExitCode {
                 };
             }
             "--opt-level" => {
-                i += 1;
-                cfg.opt_level = match args.get(i).map(String::as_str) {
+                cfg.opt_level = match f.next() {
                     Some("0") => OptLevel::O0,
                     Some("1") => OptLevel::O1,
                     Some("2") => OptLevel::O2,
@@ -998,8 +913,7 @@ fn main() -> ExitCode {
             "--reductions" => cfg.reductions = true,
             "--sqr-rewrite" => cfg.sqr_rewrite = true,
             "--vectorize" => {
-                i += 1;
-                cfg.vectorize = match args.get(i).map(String::as_str) {
+                cfg.vectorize = match f.next() {
                     Some("ss") => OutputVec::Scalar,
                     Some("sv") => OutputVec::Sse,
                     Some("vv") => OutputVec::Avx,
@@ -1010,10 +924,7 @@ fn main() -> ExitCode {
             "--intrinsics" => emit_intrinsics = true,
             "--report" => report = true,
             "--metrics" => metrics = true,
-            "--trace-out" => {
-                i += 1;
-                trace_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
+            "--trace-out" => trace_out = Some(f.next().unwrap_or_else(|| usage()).to_string()),
             "-h" | "--help" => usage(),
             a if a.starts_with('-') => {
                 eprintln!("igen-cli: unknown option '{a}' (see igen-cli --help)");
@@ -1025,7 +936,6 @@ fn main() -> ExitCode {
                 }
             }
         }
-        i += 1;
     }
     let Some(input) = input else { usage() };
     let tel = Telemetry::start(metrics, trace_out);
@@ -1037,7 +947,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let out = match Compiler::new(cfg).compile_str(&src) {
+    let out = match igen::compiler::Compiler::new(cfg).compile_str(&src) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("igen-cli: {input}: {e}");

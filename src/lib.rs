@@ -15,6 +15,7 @@ pub use igen_ir as ir;
 pub use igen_kernels as kernels;
 pub use igen_mpf as mpf;
 pub use igen_round as round;
+pub use igen_session as session;
 pub use igen_simdgen as simdgen;
 pub use igen_telemetry as telemetry;
 pub use igen_vm as vm;

@@ -125,7 +125,7 @@ fn unknown_subcommand_is_a_one_line_error() {
     assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown subcommand 'frobnicate'"), "{stderr}");
-    assert!(stderr.contains("expected compile, run, batch, profile or report"), "{stderr}");
+    assert!(stderr.contains("expected compile, run, batch, profile, serve or report"), "{stderr}");
     assert_eq!(stderr.trim_end().lines().count(), 1, "want a one-line error, got:\n{stderr}");
 }
 
